@@ -1,0 +1,1 @@
+bench/bench_common.ml: Printf Repro_cts String Sys

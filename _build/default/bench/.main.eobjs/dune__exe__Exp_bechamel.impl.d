@@ -1,0 +1,1 @@
+bench/exp_bechamel.ml: Analyze Array Bechamel Bench_common Benchmark Hashtbl Instance List Measure Repro_core Repro_cts Staged Test Time Toolkit

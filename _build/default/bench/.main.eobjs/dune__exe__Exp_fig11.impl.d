@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Array Bench_common List Printf Repro_cell Repro_clocktree Repro_core Repro_util

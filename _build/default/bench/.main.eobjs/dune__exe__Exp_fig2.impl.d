@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bench_common List Repro_core Repro_util

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Array Bench_common Printf Repro_core Repro_cts Repro_mosp String

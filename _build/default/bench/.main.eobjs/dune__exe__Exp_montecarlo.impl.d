@@ -1,0 +1,1 @@
+bench/exp_montecarlo.ml: Bench_common Hashtbl List Repro_core Repro_cts Repro_util

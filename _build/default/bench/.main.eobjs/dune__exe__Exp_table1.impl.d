@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bench_common Float List Repro_cell Repro_util

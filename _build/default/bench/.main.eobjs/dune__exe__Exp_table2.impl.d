@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Bench_common List Printf Repro_cell Repro_util Repro_waveform String

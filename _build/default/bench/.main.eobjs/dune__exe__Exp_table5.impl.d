@@ -1,0 +1,1 @@
+bench/exp_table5.ml: Array Bench_common List Repro_core Repro_cts Repro_util

@@ -1,0 +1,1 @@
+bench/exp_table6.ml: Bench_common List Repro_core Repro_cts Repro_util

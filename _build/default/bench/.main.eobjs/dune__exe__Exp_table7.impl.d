@@ -1,0 +1,1 @@
+bench/exp_table7.ml: Array Bench_common List Repro_clocktree Repro_core Repro_cts Repro_util

@@ -1,0 +1,20 @@
+(* Shared helpers for the experiment harness. *)
+
+let section title =
+  let bar = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n%!" bar title bar
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* The benchmarks of Table V in paper order. *)
+let table5_suite = Repro_cts.Benchmarks.all
+
+(* Cheaper parameters for the heavy multi-mode experiments; the skew
+   bounds are scaled from the paper's 90/110/130 ps to our trees'
+   shorter source latencies (see EXPERIMENTS.md). *)
+let multimode_slots = 24

@@ -1,0 +1,50 @@
+(* Related-work progression (Sec. I / Sec. II of the paper): how each
+   generation of polarity assignment improves on the last.
+
+     initial            all buffers
+     [22] Nieh          opposite-phase halves (global split)
+     [23] Samanta       placement-balanced (per-zone split)
+     [27] ClkPeakMin    skew-aware balancing with sizing
+     ClkWaveMin         fine-grained waveform-aware (this paper)
+
+   Reported: golden peak current, VDD/GND noise, and skew per step. *)
+
+module Flow = Repro_core.Flow
+module Golden = Repro_core.Golden
+module Related = Repro_core.Related_baselines
+module Context = Repro_core.Context
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Table = Repro_util.Table
+
+let run () =
+  Bench_common.section
+    "Related-work progression — [22] -> [23] -> [27] -> ClkWaveMin";
+  let env = Timing.nominal () in
+  List.iter
+    (fun name ->
+      let spec = Repro_cts.Benchmarks.find name in
+      let tree = Repro_cts.Benchmarks.synthesize spec in
+      let base = Assignment.default tree ~num_modes:1 in
+      let t =
+        Table.create
+          ~headers:[ "method"; "peak (mA)"; "VDD (mV)"; "GND (mV)"; "skew (ps)" ]
+      in
+      let row label asg =
+        let m = Golden.evaluate tree asg env in
+        Table.add_row t
+          [ label;
+            Table.cell_f m.Golden.peak_current_ma;
+            Table.cell_f m.Golden.vdd_noise_mv;
+            Table.cell_f m.Golden.gnd_noise_mv;
+            Table.cell_f m.Golden.skew_ps ]
+      in
+      row "initial (all buffers)" base;
+      row "[22] opposite-phase" (Related.opposite_phase tree base);
+      row "[23] placement-balanced" (Related.placement_balanced tree base);
+      let ctx = Context.create ~env tree ~cells:(Flow.leaf_library ()) in
+      row "[27] ClkPeakMin" (Repro_core.Clk_peakmin.optimize ctx).Context.assignment;
+      row "ClkWaveMin" (Repro_core.Clk_wavemin.optimize ctx).Context.assignment;
+      Bench_common.note "%s:" name;
+      print_string (Table.render t))
+    [ "s13207"; "s35932" ]

@@ -1,0 +1,52 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table's
+   algorithmic kernel, timed on a fixed s13207 zone workload so the
+   runtime comparison of Table VI has a rigorous counterpart. *)
+
+open Bechamel
+open Toolkit
+
+module Context = Repro_core.Context
+module Noise_table = Repro_core.Noise_table
+module Flow = Repro_core.Flow
+
+let make_workload () =
+  let spec = Repro_cts.Benchmarks.find "s13207" in
+  let tree = Repro_cts.Benchmarks.synthesize spec in
+  let params = { Context.default_params with Context.num_slots = 32 } in
+  let ctx = Context.create ~params tree ~cells:(Flow.leaf_library ()) in
+  let cls = List.hd ctx.Context.classes in
+  let table = ctx.Context.tables.(0) in
+  let avail =
+    Array.map (fun row -> cls.Context.avail.(row)) table.Noise_table.sink_rows
+  in
+  (ctx, table, avail)
+
+let run () =
+  Bench_common.section
+    "Bechamel — zone-solver kernels (Table V/VI runtime counterpart, one s13207 zone)";
+  let ctx, table, avail = make_workload () in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let grouped =
+    Test.make_grouped ~name:"zone-solvers"
+      [ test "ClkWaveMin (Warburton)" (fun () ->
+            Repro_core.Clk_wavemin.zone_solver ctx table ~avail);
+        test "ClkWaveMin-f (greedy)" (fun () ->
+            Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail);
+        test "ClkPeakMin (knapsack DP)" (fun () ->
+            Repro_core.Clk_peakmin.zone_solver ctx table ~avail) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name stats ->
+      match Analyze.OLS.estimates stats with
+      | Some (est :: _) -> Bench_common.note "%-48s %14.1f ns/run" name est
+      | Some [] | None -> Bench_common.note "%-48s (no estimate)" name)
+    results

@@ -1,0 +1,67 @@
+(* Extension: XOR-gate reconfigurable polarity ([30], [31] of the
+   paper).  Per power mode the polarity of every leaf is a free
+   configuration bit (delay-neutral), which lower-bounds what any static
+   assignment can achieve.  Reported per benchmark: the static
+   ClkWaveMin-M estimate, the dynamic estimate, and the XOR area
+   overhead. *)
+
+module Flow = Repro_core.Flow
+module Context = Repro_core.Context
+module Dynamic_polarity = Repro_core.Dynamic_polarity
+module Clk_wavemin_m = Repro_core.Clk_wavemin_m
+module Islands = Repro_cts.Islands
+module Timing = Repro_clocktree.Timing
+module Table = Repro_util.Table
+
+let envs_for spec =
+  let islands =
+    Islands.grid ~die_side:spec.Repro_cts.Benchmarks.die_side ~count:4
+  in
+  let rng = Repro_util.Rng.create ~seed:(spec.Repro_cts.Benchmarks.seed * 17) in
+  let modes = Islands.random_modes rng islands ~num_modes:2 () in
+  Array.mapi
+    (fun mode_idx vdds ->
+      { (Timing.nominal ~mode:mode_idx ()) with
+        Timing.vdd_of = (fun nd -> Islands.vdd_of_node islands vdds nd) })
+    modes
+
+let run () =
+  Bench_common.section
+    "Extension — dynamic (XOR) polarity vs static ClkWaveMin-M (2 power modes)";
+  let params =
+    { Context.default_params with
+      Context.kappa = 24.0;
+      num_slots = Bench_common.multimode_slots;
+      max_interval_classes = 8;
+      max_labels = 200 }
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "circuit"; "static est (uA)"; "dynamic est (uA)"; "gain";
+          "XOR area (um^2)" ]
+  in
+  List.iter
+    (fun spec ->
+      let tree = Repro_cts.Benchmarks.synthesize spec in
+      let envs = envs_for spec in
+      let static = Clk_wavemin_m.optimize ~params tree ~envs in
+      let dynamic = Dynamic_polarity.optimize ~params tree ~envs in
+      let gain =
+        Flow.improvement_pct
+          ~baseline:static.Clk_wavemin_m.predicted_peak_ua
+          ~value:dynamic.Dynamic_polarity.predicted_peak_ua
+      in
+      Table.add_row t
+        [ spec.Repro_cts.Benchmarks.name;
+          Table.cell_f static.Clk_wavemin_m.predicted_peak_ua;
+          Table.cell_f dynamic.Dynamic_polarity.predicted_peak_ua;
+          Table.cell_pct gain;
+          Table.cell_f ~decimals:0 dynamic.Dynamic_polarity.area_overhead ])
+    (List.filter
+       (fun s ->
+         List.mem s.Repro_cts.Benchmarks.name [ "s13207"; "s15850"; "s38584" ])
+       Bench_common.table5_suite);
+  print_string (Table.render t);
+  Bench_common.note
+    "dynamic >= static is impossible by construction: reconfigurability removes the mode coupling"

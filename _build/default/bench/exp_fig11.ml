@@ -1,0 +1,127 @@
+(* Fig. 10/11 + Table IV + Fig. 12: the two-power-mode worked example.
+   A 4-leaf tree spans two voltage islands A1 (always 1.1 V) and A2
+   (1.1 V in mode M1, 0.9 V in mode M2).  Printed: the per-mode arrival
+   grids over the toy X1/X2 library, the per-mode feasible intervals,
+   the feasible intersections with their node-to-type (fsbl/infsbl)
+   tables, and the min-max solution of the best intersection. *)
+
+module Multimode = Repro_core.Multimode
+module Context = Repro_core.Context
+module Intervals = Repro_core.Intervals
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Table = Repro_util.Table
+
+(* Root at the A1/A2 boundary; taps and leaves inside their islands. *)
+let example_tree () =
+  let node id parent children kind x y wire_len sink_cap cell =
+    { Tree.id; parent; children; kind; x; y;
+      wire = Wire.of_length wire_len; sink_cap; default_cell = cell }
+  in
+  Tree.create
+    [|
+      node 0 None [ 1; 2 ] Tree.Internal 50.0 50.0 0.0 0.0 (Library.buf 16);
+      node 1 (Some 0) [ 3; 4 ] Tree.Internal 25.0 50.0 30.0 0.0 (Library.buf 4);
+      node 2 (Some 0) [ 5; 6 ] Tree.Internal 75.0 50.0 30.0 0.0 (Library.buf 4);
+      node 3 (Some 1) [] Tree.Leaf 15.0 40.0 15.0 2.2 (Library.buf 2);
+      node 4 (Some 1) [] Tree.Leaf 20.0 65.0 18.0 1.8 (Library.buf 2);
+      node 5 (Some 2) [] Tree.Leaf 80.0 35.0 15.0 2.0 (Library.buf 2);
+      node 6 (Some 2) [] Tree.Leaf 85.0 60.0 18.0 2.4 (Library.buf 2);
+    |]
+
+let vdd_of_mode mode nd =
+  (* A1: x < 50; A2: x >= 50. *)
+  if nd.Tree.x < 50.0 then 1.1
+  else match mode with 0 -> 1.1 | _ -> 0.9
+
+let cells = Library.toy_buffers @ Library.toy_inverters
+
+let kappa = 12.0
+
+let run () =
+  Bench_common.section
+    "Fig. 10/11 + Table IV + Fig. 12 — the two-power-mode worked example";
+  let tree = example_tree () in
+  let envs =
+    Array.init 2 (fun mode ->
+        { (Timing.nominal ~mode ()) with Timing.vdd_of = vdd_of_mode mode })
+  in
+  let base = Assignment.default tree ~num_modes:2 in
+  (* Per-mode arrival grids (Fig. 11's dot grids). *)
+  Array.iteri
+    (fun m env ->
+      let timing = Timing.analyze tree base env ~edge:Electrical.Rising in
+      let sinks = Intervals.collect tree base env timing ~cells in
+      Bench_common.note "mode M%d arrival times (ps):" (m + 1);
+      let t = Table.create ~headers:("sink" :: List.map (fun c -> c.Cell.name) cells) in
+      Array.iteri
+        (fun i s ->
+          Table.add_row t
+            (Printf.sprintf "e%d" (i + 1)
+            :: Array.to_list
+                 (Array.map
+                    (fun c -> Table.cell_f ~decimals:1 c.Intervals.arrival)
+                    s.Intervals.candidates)))
+        sinks;
+      print_string (Table.render t);
+      let ivs = Intervals.feasible_intervals sinks ~kappa in
+      Bench_common.note "  feasible intervals at kappa = %.0f ps: %d" kappa
+        (List.length ivs))
+    envs;
+  (* Intersections (Table IV). *)
+  let params =
+    { Context.default_params with
+      Context.kappa;
+      num_slots = 8;
+      sibling_guard = 0.5;
+      max_interval_classes = 12 }
+  in
+  let mm = Multimode.create ~params tree ~base ~envs ~cells in
+  Bench_common.note "feasible intersections: %d" (List.length mm.Multimode.intersections);
+  List.iteri
+    (fun k inter ->
+      if k < 3 then begin
+        Bench_common.note "intersection %d: M1 [%.1f, %.1f] x M2 [%.1f, %.1f], DoF %d"
+          (k + 1)
+          inter.Multimode.intervals.(0).Intervals.lo
+          inter.Multimode.intervals.(0).Intervals.hi
+          inter.Multimode.intervals.(1).Intervals.lo
+          inter.Multimode.intervals.(1).Intervals.hi
+          inter.Multimode.degree_of_freedom;
+        let t =
+          Table.create
+            ~headers:
+              ("node"
+              :: Array.to_list
+                   (Array.map (fun c -> c.Cell.name) mm.Multimode.cell_universe))
+        in
+        Array.iteri
+          (fun row avail ->
+            Table.add_row t
+              (Printf.sprintf "e%d" (row + 1)
+              :: Array.to_list
+                   (Array.map (fun ok -> if ok then "fsbl" else "infsbl") avail)))
+          inter.Multimode.cell_avail;
+        print_string (Table.render t)
+      end)
+    mm.Multimode.intersections;
+  (* Solve (Fig. 12's MOSP on the best intersection). *)
+  if Multimode.feasible mm then begin
+    let sol = Multimode.solve mm in
+    Bench_common.note "best intersection solution (peak estimate %.1f uA):"
+      sol.Multimode.predicted_peak_ua;
+    Array.iteri
+      (fun i nd ->
+        Bench_common.note "  e%d <- %s" (i + 1)
+          (Assignment.cell sol.Multimode.assignment nd.Tree.id).Cell.name)
+      (Tree.leaves tree);
+    let skews = Repro_core.Adb_embedding.skews tree sol.Multimode.assignment envs in
+    Bench_common.note "skews: M1 %.1f ps, M2 %.1f ps (kappa %.0f)" skews.(0)
+      skews.(1) kappa
+  end
+  else Bench_common.note "no feasible intersection (unexpected for this toy)"

@@ -1,0 +1,85 @@
+(* Fig. 5/6 (and Table II): the worked interval example.  A small
+   4-leaf tree with the toy X1/X2 library: collect per-(sink, cell)
+   arrival times, form the intervals [t - kappa, t], and report which
+   are feasible. *)
+
+module Intervals = Repro_core.Intervals
+module Observations = Repro_core.Observations
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Table = Repro_util.Table
+
+(* Fig. 5's toy: a root buffer directly driving four leaves with
+   near-equal arrival times (the paper's 69/70/71/70 situation), so
+   that kappa = 5 ps admits a handful of feasible intervals over the
+   X1/X2 library. *)
+let fig5_tree () =
+  let node id parent children kind x y wire_len sink_cap cell =
+    {
+      Repro_clocktree.Tree.id;
+      parent;
+      children;
+      kind;
+      x;
+      y;
+      wire = Repro_clocktree.Wire.of_length wire_len;
+      sink_cap;
+      default_cell = cell;
+    }
+  in
+  Repro_clocktree.Tree.create
+    [|
+      node 0 None [ 1; 2; 3; 4 ] Tree.Internal 50.0 50.0 0.0 0.0
+        (Library.buf 16);
+      node 1 (Some 0) [] Tree.Leaf 30.0 40.0 12.0 1.8 (Library.buf 2);
+      node 2 (Some 0) [] Tree.Leaf 60.0 35.0 18.0 2.2 (Library.buf 2);
+      node 3 (Some 0) [] Tree.Leaf 45.0 70.0 25.0 2.6 (Library.buf 2);
+      node 4 (Some 0) [] Tree.Leaf 70.0 60.0 20.0 2.0 (Library.buf 2);
+    |]
+
+let run () =
+  Bench_common.section
+    "Fig. 5/6 — arrival-time grid and feasible intervals (toy X1/X2 library, kappa = 5 ps)";
+  let tree = fig5_tree () in
+  ignore (Observations.example_tree ());
+  let asg = Assignment.default tree ~num_modes:1 in
+  let env = Timing.nominal () in
+  let timing = Timing.analyze tree asg env ~edge:Electrical.Rising in
+  let cells = Library.toy_buffers @ Library.toy_inverters in
+  let sinks = Intervals.collect tree asg env timing ~cells in
+  let t =
+    Table.create
+      ~headers:("sink" :: List.map (fun c -> c.Cell.name) cells)
+  in
+  Array.iteri
+    (fun i s ->
+      Table.add_row t
+        (Printf.sprintf "e%d" (i + 1)
+        :: Array.to_list
+             (Array.map
+                (fun c -> Table.cell_f ~decimals:1 c.Intervals.arrival)
+                s.Intervals.candidates)))
+    sinks;
+  print_string (Table.render t);
+  let kappa = 5.0 in
+  let ivs = Intervals.feasible_intervals sinks ~kappa in
+  Bench_common.note "kappa = %.0f ps: %d feasible interval(s)" kappa (List.length ivs);
+  List.iter
+    (fun iv ->
+      let avail = Intervals.availability sinks iv in
+      let dof =
+        Array.fold_left
+          (fun acc row ->
+            acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 row)
+          0 avail
+      in
+      Bench_common.note "  [%.1f, %.1f]  degree of freedom %d" iv.Intervals.lo
+        iv.Intervals.hi dof)
+    ivs;
+  let wide = Intervals.feasible_intervals sinks ~kappa:12.0 in
+  Bench_common.note "kappa = 12 ps: %d feasible interval(s) (wider bound, more freedom)"
+    (List.length wide)

@@ -1,0 +1,47 @@
+(* Fig. 9 / Algorithm 1: the WaveMin-to-MOSP conversion.  Shows the
+   layered graph built for one zone of a real benchmark: row/vertex/arc
+   counts, the weight dimension |S|, an example arc weight, and the
+   min-max solution. *)
+
+module Context = Repro_core.Context
+module Clk_wavemin = Repro_core.Clk_wavemin
+module Noise_table = Repro_core.Noise_table
+module Layered = Repro_mosp.Layered
+module Warburton = Repro_mosp.Warburton
+module Flow = Repro_core.Flow
+
+let run () =
+  Bench_common.section "Fig. 9 — MOSP graph of one zone (Algorithm 1), s13207";
+  let spec = Repro_cts.Benchmarks.find "s13207" in
+  let tree = Repro_cts.Benchmarks.synthesize spec in
+  let params = { Context.default_params with Context.num_slots = 8 } in
+  let ctx = Context.create ~params tree ~cells:(Flow.leaf_library ()) in
+  match ctx.Context.classes with
+  | [] -> Bench_common.note "no feasible interval (unexpected)"
+  | cls :: _ ->
+    let table = ctx.Context.tables.(0) in
+    let avail =
+      Array.map (fun row -> cls.Context.avail.(row)) table.Noise_table.sink_rows
+    in
+    let graph, _ = Clk_wavemin.to_mosp table ~avail in
+    Bench_common.note "interval [%.1f, %.1f] ps, degree of freedom %d"
+      cls.Context.interval.Repro_core.Intervals.lo
+      cls.Context.interval.Repro_core.Intervals.hi cls.Context.degree_of_freedom;
+    Bench_common.note "rows (zone sinks): %d" (Layered.num_rows graph);
+    Bench_common.note "vertices (incl. src/dest): %d" (Layered.num_vertices graph);
+    Bench_common.note "arcs: %d" (Layered.num_arcs graph);
+    Bench_common.note "arc weight dimension r = |S| = %d" (Layered.dimension graph);
+    let opts = Layered.options graph in
+    let w = opts.(0).(0) in
+    Bench_common.note "example arc weight (row 1, option 1): (%s) uA"
+      (String.concat ", "
+         (Array.to_list (Array.map (fun v -> Printf.sprintf "%.1f" v) w)));
+    Bench_common.note "dest arc weight (non-leaf noise, Observation 1): (%s) uA"
+      (String.concat ", "
+         (Array.to_list
+            (Array.map (fun v -> Printf.sprintf "%.1f" v) (Layered.dest_weight graph))));
+    let sol = Warburton.solve_min_max ~epsilon:0.01 graph in
+    Bench_common.note "min-max Pareto path objective: %.1f uA; choices: [%s]"
+      sol.Warburton.objective
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int sol.Warburton.choices)))

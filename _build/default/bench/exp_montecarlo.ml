@@ -1,0 +1,77 @@
+(* Sec. VII-D: Monte-Carlo process variation.  Gaussian sigma/mu = 5%
+   on cell delays and wire RC, 1000 instances.  Reported: skew yield and
+   the normalized standard deviations of peak current and VDD/GND noise.
+   Paper: yields 95.5% (PeakMin) vs 83.9% (WaveMin) — WaveMin's
+   solutions sit closer to the skew bound; normalized sigmas ~0.05-0.09.
+
+   The paper optimizes and measures yield against kappa = 100 ps on
+   nanosecond-latency trees; our trees are an order of magnitude
+   shallower, so the equivalent bound here is 35 ps — what matters for
+   the phenomenon is how close each optimizer leaves the nominal skew to
+   the bound relative to the variation-induced spread. *)
+
+module Flow = Repro_core.Flow
+module Context = Repro_core.Context
+module Montecarlo = Repro_core.Montecarlo
+module Table = Repro_util.Table
+
+let kappa = 35.0
+
+(* The paper runs 1000 HSPICE instances; the golden evaluator is cheap
+   enough to run on a subset while skew is measured on all. *)
+let config =
+  { Montecarlo.default_config with
+    Montecarlo.instances = 1000;
+    noise_instances = 48;
+    kappa }
+
+let run () =
+  Bench_common.section
+    "Sec. VII-D — Monte-Carlo variation (kappa = 35 ps, sigma/mu = 5%, 1000 instances)";
+  let params = { Context.default_params with Context.kappa } in
+  let t =
+    Table.create
+      ~headers:
+        [ "circuit"; "algo"; "yield"; "mean skew"; "s/m peak"; "s/m VDD";
+          "s/m GND" ]
+  in
+  let yields = Hashtbl.create 4 in
+  List.iter
+    (fun spec ->
+      let tree = Repro_cts.Benchmarks.synthesize spec in
+      let name = spec.Repro_cts.Benchmarks.name in
+      List.iter
+        (fun algo ->
+          let run = Flow.run_tree ~params ~name tree algo in
+          ignore run;
+          let ctx = Context.create ~params tree ~cells:(Flow.leaf_library ()) in
+          let assignment =
+            match algo with
+            | Flow.Peakmin -> (Repro_core.Clk_peakmin.optimize ctx).Context.assignment
+            | Flow.Wavemin -> (Repro_core.Clk_wavemin.optimize ctx).Context.assignment
+            | Flow.Wavemin_fast | Flow.Initial -> assert false
+          in
+          let rep = Montecarlo.run ~config tree assignment in
+          let key = Flow.algorithm_name algo in
+          let prev = try Hashtbl.find yields key with Not_found -> [] in
+          Hashtbl.replace yields key (rep.Montecarlo.skew_yield :: prev);
+          Table.add_row t
+            [ name; key;
+              Table.cell_pct (100.0 *. rep.Montecarlo.skew_yield);
+              Table.cell_f rep.Montecarlo.mean_skew;
+              Table.cell_f ~decimals:3 rep.Montecarlo.norm_std_peak;
+              Table.cell_f ~decimals:3 rep.Montecarlo.norm_std_vdd;
+              Table.cell_f ~decimals:3 rep.Montecarlo.norm_std_gnd ])
+        [ Flow.Peakmin; Flow.Wavemin ])
+    (List.filter
+       (fun s ->
+         List.mem s.Repro_cts.Benchmarks.name
+           [ "s13207"; "s15850"; "s35932"; "s38584" ])
+       Bench_common.table5_suite);
+  print_string (Table.render t);
+  Hashtbl.iter
+    (fun algo ys ->
+      let mean = List.fold_left ( +. ) 0.0 ys /. float_of_int (List.length ys) in
+      Bench_common.note "average skew yield %s: %.1f%%" algo (100.0 *. mean))
+    yields;
+  Bench_common.note "(paper: ClkPeakMin 95.5%%, ClkWaveMin 83.9%%; sigma/mu ~0.05-0.09)"

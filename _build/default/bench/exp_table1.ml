@@ -1,0 +1,39 @@
+(* Table I: impact of buffer sizing and polarity assignment of 15
+   siblings on one observed buffer.  The observed delay and slew move
+   mildly (only the shared parent's load changes), the local rail peaks
+   move strongly. *)
+
+module Characterize = Repro_cell.Characterize
+module Table = Repro_util.Table
+
+let run () =
+  Bench_common.section
+    "Table I — sibling polarity/sizing impact (BUF_X16 parent, 16 leaves, BUF_X4 -> INV_X8)";
+  let rows = Characterize.sibling_sweep () in
+  let t =
+    Table.create
+      ~headers:
+        [ "#Invs"; "#Bufs"; "T_D rise"; "T_D fall"; "peak IDD"; "peak ISS";
+          "slew rise"; "slew fall" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [ Table.cell_i r.Characterize.num_inverters;
+          Table.cell_i r.Characterize.num_buffers;
+          Table.cell_f r.Characterize.obs_t_d_rise;
+          Table.cell_f r.Characterize.obs_t_d_fall;
+          Table.cell_f r.Characterize.peak_idd;
+          Table.cell_f r.Characterize.peak_iss;
+          Table.cell_f r.Characterize.obs_slew_rise;
+          Table.cell_f r.Characterize.obs_slew_fall ])
+    rows;
+  print_string (Table.render t);
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  Bench_common.note
+    "shape check: delay moved %.1f ps, slew moved %.1f ps, IDD peak moved %.1fx"
+    (Float.abs (last.Characterize.obs_t_d_rise -. first.Characterize.obs_t_d_rise))
+    (Float.abs (last.Characterize.obs_slew_rise -. first.Characterize.obs_slew_rise))
+    (Float.max
+       (last.Characterize.peak_idd /. first.Characterize.peak_idd)
+       (first.Characterize.peak_idd /. last.Characterize.peak_idd))

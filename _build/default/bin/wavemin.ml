@@ -1,0 +1,333 @@
+(* wavemin — command-line front end.
+
+   Subcommands:
+     list           benchmark suite with clock-tree statistics
+     run            optimize one benchmark with one algorithm
+     compare        ClkPeakMin vs ClkWaveMin vs ClkWaveMin-f on a benchmark
+     multimode      ClkWaveMin-M with voltage islands and power modes
+     montecarlo     process-variation analysis of an optimized design
+     characterize   print a cell's electrical profile
+     export         dump a benchmark's clock tree (tabular or DOT)
+     stats          structural/electrical statistics of a benchmark tree
+     report         write a markdown comparison report
+     library        dump the cell library in the Liberty-style format *)
+
+open Cmdliner
+
+module Flow = Repro_core.Flow
+module Context = Repro_core.Context
+module Golden = Repro_core.Golden
+module Benchmarks = Repro_cts.Benchmarks
+module Table = Repro_util.Table
+
+let bench_arg =
+  let doc = "Benchmark circuit name (see `wavemin list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let kappa_arg =
+  let doc = "Clock skew bound in ps." in
+  Arg.(value & opt float 20.0 & info [ "kappa"; "k" ] ~docv:"PS" ~doc)
+
+let slots_arg =
+  let doc = "Number of time sampling points |S|." in
+  Arg.(value & opt int 158 & info [ "slots"; "s" ] ~docv:"N" ~doc)
+
+let params_of kappa slots =
+  { Context.default_params with Context.kappa; num_slots = slots }
+
+let algo_arg =
+  let algos =
+    [ ("peakmin", Flow.Peakmin); ("wavemin", Flow.Wavemin);
+      ("wavemin-f", Flow.Wavemin_fast); ("initial", Flow.Initial) ]
+  in
+  let doc = "Algorithm: initial, peakmin, wavemin or wavemin-f." in
+  Arg.(value & opt (enum algos) Flow.Wavemin & info [ "algo"; "a" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Table.create
+        ~headers:[ "name"; "family"; "n"; "|L|"; "die (um)"; "skew (ps)" ]
+    in
+    List.iter
+      (fun spec ->
+        let tree = Benchmarks.synthesize spec in
+        Table.add_row t
+          [ spec.Benchmarks.name;
+            (match spec.Benchmarks.family with
+            | Benchmarks.Iscas89 -> "ISCAS'89"
+            | Benchmarks.Ispd09 -> "ISPD'09");
+            Table.cell_i spec.Benchmarks.num_nodes;
+            Table.cell_i spec.Benchmarks.num_leaves;
+            Table.cell_f ~decimals:0 spec.Benchmarks.die_side;
+            Table.cell_f (Repro_cts.Synthesis.nominal_skew tree) ])
+      Benchmarks.all;
+    print_string (Table.render t);
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+let print_run (r : Flow.run) =
+  Format.printf "%s on %s:@." (Flow.algorithm_name r.Flow.algorithm) r.Flow.benchmark;
+  Format.printf "  peak current  %8.2f mA@." r.Flow.metrics.Golden.peak_current_ma;
+  Format.printf "  VDD noise     %8.2f mV@." r.Flow.metrics.Golden.vdd_noise_mv;
+  Format.printf "  GND noise     %8.2f mV@." r.Flow.metrics.Golden.gnd_noise_mv;
+  Format.printf "  clock skew    %8.2f ps@." r.Flow.metrics.Golden.skew_ps;
+  Format.printf "  leaf inverters %7d@." r.Flow.num_leaf_inverters;
+  Format.printf "  optimizer time %7.2f s@." r.Flow.elapsed_s
+
+let run_cmd =
+  let run name algo kappa slots =
+    match Benchmarks.find name with
+    | spec ->
+      print_run (Flow.run_benchmark ~params:(params_of kappa slots) spec algo);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize one benchmark")
+    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg)
+
+let compare_cmd =
+  let run name kappa slots =
+    match Benchmarks.find name with
+    | spec ->
+      let params = params_of kappa slots in
+      let t =
+        Table.create
+          ~headers:
+            [ "algorithm"; "peak (mA)"; "VDD (mV)"; "GND (mV)"; "skew (ps)";
+              "#inv"; "time (s)" ]
+      in
+      List.iter
+        (fun algo ->
+          let r = Flow.run_benchmark ~params spec algo in
+          Table.add_row t
+            [ Flow.algorithm_name algo;
+              Table.cell_f r.Flow.metrics.Golden.peak_current_ma;
+              Table.cell_f r.Flow.metrics.Golden.vdd_noise_mv;
+              Table.cell_f r.Flow.metrics.Golden.gnd_noise_mv;
+              Table.cell_f r.Flow.metrics.Golden.skew_ps;
+              Table.cell_i r.Flow.num_leaf_inverters;
+              Table.cell_f ~decimals:3 r.Flow.elapsed_s ])
+        [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ];
+      print_string (Table.render t);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare the algorithms on one benchmark")
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg)
+
+let montecarlo_cmd =
+  let instances_arg =
+    Arg.(value & opt int 200 & info [ "instances"; "n" ] ~doc:"Monte-Carlo instances")
+  in
+  let run name kappa slots instances =
+    match Benchmarks.find name with
+    | spec ->
+      let params = params_of kappa slots in
+      let tree = Benchmarks.synthesize spec in
+      let ctx = Context.create ~params tree ~cells:(Flow.leaf_library ()) in
+      let o = Repro_core.Clk_wavemin.optimize ctx in
+      let config =
+        { Repro_core.Montecarlo.default_config with
+          Repro_core.Montecarlo.instances;
+          kappa = Float.max kappa 100.0 }
+      in
+      let rep = Repro_core.Montecarlo.run ~config tree o.Context.assignment in
+      Format.printf "Monte-Carlo (%d instances, sigma/mu = %.0f%%):@." instances
+        (100.0 *. config.Repro_core.Montecarlo.sigma_ratio);
+      Format.printf "  skew yield     %6.1f%% (kappa = %.0f ps)@."
+        (100.0 *. rep.Repro_core.Montecarlo.skew_yield)
+        config.Repro_core.Montecarlo.kappa;
+      Format.printf "  mean skew      %6.2f ps@." rep.Repro_core.Montecarlo.mean_skew;
+      Format.printf "  sigma/mu peak  %6.3f@." rep.Repro_core.Montecarlo.norm_std_peak;
+      Format.printf "  sigma/mu VDD   %6.3f@." rep.Repro_core.Montecarlo.norm_std_vdd;
+      Format.printf "  sigma/mu GND   %6.3f@." rep.Repro_core.Montecarlo.norm_std_gnd;
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "montecarlo" ~doc:"Process-variation analysis (Sec. VII-D)")
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ instances_arg)
+
+let characterize_cmd =
+  let cell_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CELL"
+           ~doc:"Cell name, e.g. BUF_X8")
+  in
+  let load_arg =
+    Arg.(value & opt float 12.0 & info [ "load" ] ~doc:"Output load in fF")
+  in
+  let run name load =
+    match Repro_cell.Library.find name with
+    | cell ->
+      let p =
+        Repro_cell.Characterize.profile cell ~vdd:1.1 ~load ~period:2000.0 ()
+      in
+      Format.printf "%s at 1.1 V, %.1f fF load:@." name load;
+      Format.printf "  T_D rise/fall  %.2f / %.2f ps@."
+        p.Repro_cell.Characterize.t_d_rise p.Repro_cell.Characterize.t_d_fall;
+      Format.printf "  slew rise/fall %.2f / %.2f ps@."
+        p.Repro_cell.Characterize.slew_rise p.Repro_cell.Characterize.slew_fall;
+      Format.printf "  peak IDD       %.2f uA@."
+        (Repro_waveform.Pwl.peak p.Repro_cell.Characterize.idd);
+      Format.printf "  peak ISS       %.2f uA@."
+        (Repro_waveform.Pwl.peak p.Repro_cell.Characterize.iss);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown cell %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Print a cell's electrical profile")
+    Term.(const run $ cell_arg $ load_arg)
+
+let multimode_cmd =
+  let modes_arg =
+    Arg.(value & opt int 4 & info [ "modes"; "m" ] ~doc:"Number of power modes")
+  in
+  let islands_arg =
+    Arg.(value & opt int 4 & info [ "islands"; "i" ] ~doc:"Number of voltage islands")
+  in
+  let run name kappa slots modes islands_n =
+    match Benchmarks.find name with
+    | spec ->
+      let tree = Benchmarks.synthesize spec in
+      let islands =
+        Repro_cts.Islands.grid ~die_side:spec.Benchmarks.die_side
+          ~count:islands_n
+      in
+      let rng = Repro_util.Rng.create ~seed:(spec.Benchmarks.seed * 31) in
+      let vdds =
+        Repro_cts.Islands.random_modes rng islands ~num_modes:modes ()
+      in
+      let envs =
+        Array.mapi
+          (fun mode_idx mode_vdds ->
+            { (Repro_clocktree.Timing.nominal ~mode:mode_idx ()) with
+              Repro_clocktree.Timing.vdd_of =
+                (fun nd -> Repro_cts.Islands.vdd_of_node islands mode_vdds nd) })
+          vdds
+      in
+      let params =
+        { (params_of kappa slots) with Context.max_interval_classes = 8 }
+      in
+      let o = Repro_core.Clk_wavemin_m.optimize ~params tree ~envs in
+      let m =
+        Golden.worst_over_modes tree o.Repro_core.Clk_wavemin_m.assignment envs
+      in
+      Format.printf "ClkWaveMin-M on %s (%d modes, %d islands, kappa %.0f ps):@."
+        name modes (Repro_cts.Islands.count islands) kappa;
+      Format.printf "  worst peak current %8.2f mA@." m.Golden.peak_current_ma;
+      Format.printf "  worst VDD noise    %8.2f mV@." m.Golden.vdd_noise_mv;
+      Format.printf "  worst GND noise    %8.2f mV@." m.Golden.gnd_noise_mv;
+      Format.printf "  #ADBs %d, #ADIs %d, used embedding %b, feasible %b@."
+        o.Repro_core.Clk_wavemin_m.num_adbs o.Repro_core.Clk_wavemin_m.num_adis
+        o.Repro_core.Clk_wavemin_m.used_adb_embedding
+        o.Repro_core.Clk_wavemin_m.feasible;
+      Format.printf "  per-mode skews:";
+      Array.iter (fun s -> Format.printf " %.1f" s) o.Repro_core.Clk_wavemin_m.skews;
+      Format.printf " ps@.";
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "multimode" ~doc:"ClkWaveMin-M on a benchmark (Sec. VI)")
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ modes_arg $ islands_arg)
+
+let export_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of the table")
+  in
+  let run name dot =
+    match Benchmarks.find name with
+    | spec ->
+      let tree = Benchmarks.synthesize spec in
+      print_string
+        (if dot then Repro_clocktree.Export.to_dot tree
+         else Repro_clocktree.Export.to_table tree);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Dump a benchmark's clock tree")
+    Term.(const run $ bench_arg $ dot_arg)
+
+let stats_cmd =
+  let run name =
+    match Benchmarks.find name with
+    | spec ->
+      let tree = Benchmarks.synthesize spec in
+      Format.printf "%a@." Repro_clocktree.Tree_stats.pp
+        (Repro_clocktree.Tree_stats.compute tree);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Clock-tree statistics of a benchmark")
+    Term.(const run $ bench_arg)
+
+let report_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ]
+           ~doc:"Write the report to a file instead of stdout")
+  in
+  let run name kappa slots out =
+    match Benchmarks.find name with
+    | spec ->
+      let report =
+        Repro_core.Report.for_benchmark ~params:(params_of kappa slots) spec
+          ~algorithms:[ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ]
+      in
+      (match out with
+      | None -> print_string report
+      | Some path ->
+        let oc = open_out path in
+        output_string oc report;
+        close_out oc;
+        Format.printf "wrote %s@." path);
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Markdown comparison report for a benchmark")
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ out_arg)
+
+let library_cmd =
+  let run () =
+    print_string (Repro_cell.Liberty.to_string Repro_cell.Library.all);
+    0
+  in
+  Cmd.v
+    (Cmd.info "library" ~doc:"Dump the standard cell library (Liberty-style)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "wavemin" ~version:"1.0.0"
+      ~doc:"Clock buffer polarity assignment with buffer sizing (WaveMin)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; multimode_cmd; montecarlo_cmd;
+            characterize_cmd; export_cmd; stats_cmd; report_cmd; library_cmd ]))

@@ -1,0 +1,1 @@
+examples/cts_comparison.ml: Format Repro_clocktree Repro_core Repro_cts Repro_util

@@ -1,0 +1,1 @@
+examples/cts_comparison.mli:

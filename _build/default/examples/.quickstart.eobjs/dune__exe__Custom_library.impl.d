@@ -1,0 +1,1 @@
+examples/custom_library.ml: Format List Printf Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util Repro_waveform

@@ -1,0 +1,1 @@
+examples/multimode_design.ml: Array Format Repro_clocktree Repro_core Repro_cts Repro_util

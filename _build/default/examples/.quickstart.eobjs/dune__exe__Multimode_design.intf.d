@@ -1,0 +1,1 @@
+examples/multimode_design.mli:

@@ -1,0 +1,1 @@
+examples/noise_analysis.ml: Array Float Format List Repro_cell Repro_clocktree Repro_core Repro_cts Repro_powergrid Repro_util Repro_waveform String

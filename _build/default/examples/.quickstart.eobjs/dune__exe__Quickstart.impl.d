@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util

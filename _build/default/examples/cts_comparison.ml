@@ -1,0 +1,51 @@
+(* CTS engine comparison: the level-balanced synthesizer (commercial
+   CTS style: uniform buffer depth + snaking) vs the DME construction
+   (binary merges, exact Elmore balancing).  WaveMin is agnostic to
+   where the zero-skew tree came from — both are optimized and the
+   outcomes compared.
+
+   Run with: dune exec examples/cts_comparison.exe *)
+
+module Placement = Repro_cts.Placement
+module Synthesis = Repro_cts.Synthesis
+module Dme = Repro_cts.Dme
+module Tree = Repro_clocktree.Tree
+module Tree_stats = Repro_clocktree.Tree_stats
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Context = Repro_core.Context
+module Golden = Repro_core.Golden
+module Power = Repro_core.Power
+module Flow = Repro_core.Flow
+
+let () =
+  let rng = Repro_util.Rng.create ~seed:31 in
+  let sinks =
+    Placement.random_sinks rng (Placement.square_die 220.0) ~count:48 ()
+  in
+  let level_tree = Synthesis.synthesize ~rng sinks ~internals:14 in
+  let dme_tree = Dme.synthesize sinks in
+  let env = Timing.nominal () in
+
+  let describe name tree =
+    Format.printf "=== %s ===@." name;
+    Format.printf "%a@." Tree_stats.pp (Tree_stats.compute tree);
+    Format.printf "nominal skew: %.2f ps@." (Synthesis.nominal_skew tree);
+    let initial = Assignment.default tree ~num_modes:1 in
+    let before = Golden.evaluate tree initial env in
+    let ctx = Context.create ~env tree ~cells:(Flow.leaf_library ()) in
+    let o = Repro_core.Clk_wavemin.optimize ctx in
+    let after = Golden.evaluate tree o.Context.assignment env in
+    let power = Power.analyze tree o.Context.assignment env in
+    Format.printf "peak current: %.2f -> %.2f mA (%.1f%%)@."
+      before.Golden.peak_current_ma after.Golden.peak_current_ma
+      (Flow.improvement_pct ~baseline:before.Golden.peak_current_ma
+         ~value:after.Golden.peak_current_ma);
+    Format.printf "%a@.@." Power.pp power
+  in
+  describe "level-balanced synthesis" level_tree;
+  describe "DME synthesis" dme_tree;
+  Format.printf
+    "Same sinks, two CTS engines: WaveMin cuts the peak on both; the DME@.";
+  Format.printf
+    "tree has more (binary) buffers, so its non-leaf background differs.@."

@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Array Format Int String

@@ -1,0 +1,1 @@
+lib/cell/cell.mli: Format

@@ -1,0 +1,1 @@
+lib/cell/characterize.ml: Cell Electrical Library List Repro_waveform

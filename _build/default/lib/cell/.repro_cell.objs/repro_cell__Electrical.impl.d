@@ -1,0 +1,1 @@
+lib/cell/electrical.ml: Cell Float Repro_waveform

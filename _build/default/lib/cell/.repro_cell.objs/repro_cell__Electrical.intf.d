@@ -1,0 +1,1 @@
+lib/cell/electrical.mli: Cell Repro_waveform

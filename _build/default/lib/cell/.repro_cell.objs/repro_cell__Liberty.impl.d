@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Array Buffer Cell Format List Printf Repro_util String

@@ -1,0 +1,1 @@
+lib/cell/liberty.mli: Cell Format

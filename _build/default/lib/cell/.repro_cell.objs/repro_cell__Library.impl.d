@@ -1,0 +1,1 @@
+lib/cell/library.ml: Cell List Printf String

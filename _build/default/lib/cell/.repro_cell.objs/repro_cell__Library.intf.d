@@ -1,0 +1,1 @@
+lib/cell/library.mli: Cell

@@ -1,0 +1,1 @@
+lib/cell/noise_lut.ml: Array Cell Electrical Float List Repro_waveform

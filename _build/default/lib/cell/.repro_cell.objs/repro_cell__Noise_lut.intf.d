@@ -1,0 +1,1 @@
+lib/cell/noise_lut.mli: Cell Electrical

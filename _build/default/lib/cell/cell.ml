@@ -1,0 +1,65 @@
+type polarity = Positive | Negative
+
+type kind = Buffer | Inverter | Adjustable_buffer | Adjustable_inverter
+
+type rail = Vdd_rail | Gnd_rail
+
+type t = {
+  name : string;
+  kind : kind;
+  drive : int;
+  input_cap : float;
+  output_res : float;
+  intrinsic_rise : float;
+  intrinsic_fall : float;
+  area : float;
+  delay_steps : float array;
+}
+
+let is_adjustable_kind = function
+  | Adjustable_buffer | Adjustable_inverter -> true
+  | Buffer | Inverter -> false
+
+let make ~name ~kind ~drive ~input_cap ~output_res ~intrinsic_rise
+    ~intrinsic_fall ~area ?(delay_steps = [||]) () =
+  if drive <= 0 then invalid_arg "Cell.make: drive must be positive";
+  if input_cap <= 0.0 || output_res <= 0.0 || intrinsic_rise <= 0.0
+     || intrinsic_fall <= 0.0 || area <= 0.0
+  then invalid_arg "Cell.make: electrical values must be positive";
+  (match (is_adjustable_kind kind, Array.length delay_steps) with
+  | true, 0 -> invalid_arg "Cell.make: adjustable cell needs delay steps"
+  | false, n when n > 0 ->
+    invalid_arg "Cell.make: fixed cell cannot have delay steps"
+  | true, _ | false, _ -> ());
+  if Array.length delay_steps > 0 then begin
+    if delay_steps.(0) <> 0.0 then
+      invalid_arg "Cell.make: delay steps must start at 0";
+    let sorted = Array.copy delay_steps in
+    Array.sort compare sorted;
+    if sorted <> delay_steps then
+      invalid_arg "Cell.make: delay steps must be sorted ascending"
+  end;
+  { name; kind; drive; input_cap; output_res; intrinsic_rise;
+    intrinsic_fall; area; delay_steps }
+
+let polarity cell =
+  match cell.kind with
+  | Buffer | Adjustable_buffer -> Positive
+  | Inverter | Adjustable_inverter -> Negative
+
+let is_adjustable cell = is_adjustable_kind cell.kind
+
+let equal a b = String.equal a.name b.name && a.drive = b.drive
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Int.compare a.drive b.drive
+  | c -> c
+
+let pp fmt cell = Format.pp_print_string fmt cell.name
+
+let opposite_rail = function Vdd_rail -> Gnd_rail | Gnd_rail -> Vdd_rail
+
+let pp_rail fmt = function
+  | Vdd_rail -> Format.pp_print_string fmt "VDD"
+  | Gnd_rail -> Format.pp_print_string fmt "GND"

@@ -1,0 +1,66 @@
+(** Clock buffering cells.
+
+    Four families of cells drive the leaves of the clock tree in the paper:
+    plain buffers (positive polarity), plain inverters (negative polarity),
+    adjustable delay buffers (ADB, positive) and the paper's proposed
+    adjustable delay inverters (ADI, negative).  Adjustable cells expose a
+    discrete set of extra capacitor-bank delays that can differ per power
+    mode; the chosen setting lives with the clock-tree assignment, not
+    here. *)
+
+type polarity = Positive | Negative
+(** Positive: the output switches in the same direction as the clock
+    source; negative: the opposite direction (footnote 1 of the paper). *)
+
+type kind = Buffer | Inverter | Adjustable_buffer | Adjustable_inverter
+
+type rail = Vdd_rail | Gnd_rail
+(** The two power rails whose current spikes constitute the noise. *)
+
+type t = private {
+  name : string;
+  kind : kind;
+  drive : int;  (** X-factor, e.g. 8 for BUF_X8. *)
+  input_cap : float;  (** fF presented to the parent net. *)
+  output_res : float;  (** kOhm equivalent driver resistance. *)
+  intrinsic_rise : float;  (** ps unloaded delay, output-rising event. *)
+  intrinsic_fall : float;  (** ps unloaded delay, output-falling event. *)
+  area : float;  (** um^2, used for area reporting. *)
+  delay_steps : float array;
+      (** Extra capacitor-bank delays (ps) selectable at runtime;
+          [[||]] for fixed cells.  Sorted ascending, starts at [0.]. *)
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  drive:int ->
+  input_cap:float ->
+  output_res:float ->
+  intrinsic_rise:float ->
+  intrinsic_fall:float ->
+  area:float ->
+  ?delay_steps:float array ->
+  unit ->
+  t
+(** Smart constructor.
+    @raise Invalid_argument if a fixed cell is given delay steps, an
+    adjustable cell is given none, or any electrical value is
+    non-positive. *)
+
+val polarity : t -> polarity
+(** Buffers and ADBs are positive; inverters and ADIs are negative. *)
+
+val is_adjustable : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality (cells are compared by name and drive). *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the cell name. *)
+
+val opposite_rail : rail -> rail
+
+val pp_rail : Format.formatter -> rail -> unit

@@ -1,0 +1,104 @@
+module Pwl = Repro_waveform.Pwl
+module Sampling = Repro_waveform.Sampling
+
+type profile = {
+  cell : Cell.t;
+  vdd : float;
+  load : float;
+  input_slew : float;
+  period : float;
+  t_d_rise : float;
+  t_d_fall : float;
+  slew_rise : float;
+  slew_fall : float;
+  idd : Pwl.t;
+  iss : Pwl.t;
+}
+
+let profile cell ~vdd ~load ?(input_slew = 20.0) ~period () =
+  if period <= 0.0 then invalid_arg "Characterize.profile: period <= 0";
+  let rising =
+    Electrical.event_currents cell ~vdd ~load ~input_slew ~edge:Electrical.Rising ()
+  in
+  let falling =
+    Electrical.event_currents cell ~vdd ~load ~input_slew ~edge:Electrical.Falling ()
+  in
+  let half = period /. 2.0 in
+  let idd = Pwl.add rising.Electrical.idd (Pwl.shift falling.Electrical.idd half) in
+  let iss = Pwl.add rising.Electrical.iss (Pwl.shift falling.Electrical.iss half) in
+  {
+    cell;
+    vdd;
+    load;
+    input_slew;
+    period;
+    t_d_rise = Electrical.delay cell ~vdd ~load ~input_slew ~edge:Electrical.Rising ();
+    t_d_fall = Electrical.delay cell ~vdd ~load ~input_slew ~edge:Electrical.Falling ();
+    slew_rise =
+      Electrical.output_slew cell ~vdd ~load ~input_slew ~edge:Electrical.Rising ();
+    slew_fall =
+      Electrical.output_slew cell ~vdd ~load ~input_slew ~edge:Electrical.Falling ();
+    idd;
+    iss;
+  }
+
+let hot_spot_times p ~count =
+  let per_rail = max 1 ((count + 1) / 2) in
+  Sampling.merge
+    [ Sampling.hot_spots p.idd ~count:per_rail;
+      Sampling.hot_spots p.iss ~count:per_rail ]
+
+type sibling_row = {
+  num_inverters : int;
+  num_buffers : int;
+  obs_t_d_rise : float;
+  obs_t_d_fall : float;
+  peak_idd : float;
+  peak_iss : float;
+  obs_slew_rise : float;
+  obs_slew_fall : float;
+}
+
+let sibling_sweep ?(parent = Library.buf 16) ?(observed = Library.buf 4)
+    ?(replacement = Library.inv 8) ?(fanout = 16) ?(leaf_load = 3.0) () =
+  if fanout < 2 then invalid_arg "Characterize.sibling_sweep: fanout < 2";
+  let vdd = Electrical.vdd_nominal in
+  let period = 500.0 in
+  let row k =
+    let kept = fanout - k in
+    (* Parent load is the sum of the children input capacitances; this is
+       the only channel by which sibling replacement reaches the observed
+       buffer (its input slew), per Observation 4. *)
+    let parent_load =
+      (float_of_int kept *. observed.Cell.input_cap)
+      +. (float_of_int k *. replacement.Cell.input_cap)
+    in
+    let input_slew =
+      Electrical.output_slew parent ~vdd ~load:parent_load ~edge:Electrical.Rising ()
+    in
+    let leaf_profile cell =
+      profile cell ~vdd ~load:leaf_load ~input_slew ~period ()
+    in
+    let obs = leaf_profile observed in
+    let rep = leaf_profile replacement in
+    (* All leaves switch simultaneously (same parent arrival), so the
+       local rail current is the direct sum of their pulses. *)
+    let group rail =
+      Pwl.sum
+        (Pwl.scale (rail obs) (float_of_int kept)
+        :: [ Pwl.scale (rail rep) (float_of_int k) ])
+    in
+    let idd_total = group (fun p -> p.idd) in
+    let iss_total = group (fun p -> p.iss) in
+    {
+      num_inverters = k;
+      num_buffers = kept;
+      obs_t_d_rise = obs.t_d_rise;
+      obs_t_d_fall = obs.t_d_fall;
+      peak_idd = Pwl.peak idd_total;
+      peak_iss = Pwl.peak iss_total;
+      obs_slew_rise = obs.slew_rise;
+      obs_slew_fall = obs.slew_fall;
+    }
+  in
+  List.init fanout row

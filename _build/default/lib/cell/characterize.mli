@@ -1,0 +1,60 @@
+(** Cell characterization (Sec. IV-B, Table I of the paper).
+
+    Characterization plays the role of the paper's HSPICE profiling runs:
+    it applies a clock pulse to a cell, records the propagation delays,
+    output slews and the I_DD/I_SS current waveforms over one clock
+    period, and extracts the hot-spot time sampling points that form the
+    set S of the WaveMin objective. *)
+
+type profile = {
+  cell : Cell.t;
+  vdd : float;
+  load : float;  (** fF on the cell output. *)
+  input_slew : float;  (** ps, the profiling slew (20 ps in the paper). *)
+  period : float;  (** ps; the rising edge is at 0, falling at period/2. *)
+  t_d_rise : float;  (** delay of the input-rising event. *)
+  t_d_fall : float;  (** delay of the input-falling event. *)
+  slew_rise : float;  (** output slew of the output-rising event. *)
+  slew_fall : float;  (** output slew of the output-falling event. *)
+  idd : Repro_waveform.Pwl.t;  (** V_DD current over one period. *)
+  iss : Repro_waveform.Pwl.t;  (** Gnd current over one period. *)
+}
+
+val profile :
+  Cell.t -> vdd:float -> load:float -> ?input_slew:float -> period:float -> unit -> profile
+(** Characterize one cell.  The default input slew is 20 ps, the paper's
+    profiling value (slightly sharper than the observed average so that
+    the noise estimates are upper bounds). *)
+
+val hot_spot_times : profile -> count:int -> float array
+(** The [count] highest-current times of the profile, pooled over both
+    rails — the sampling points s_1..s_n of Fig. 7(b). *)
+
+(** One row of the Table I sibling sweep. *)
+type sibling_row = {
+  num_inverters : int;
+  num_buffers : int;
+  obs_t_d_rise : float;  (** observed buffer delay, rising (ps). *)
+  obs_t_d_fall : float;
+  peak_idd : float;  (** local rail peak over the period (uA). *)
+  peak_iss : float;
+  obs_slew_rise : float;  (** observed buffer output slew (ps). *)
+  obs_slew_fall : float;
+}
+
+val sibling_sweep :
+  ?parent:Cell.t ->
+  ?observed:Cell.t ->
+  ?replacement:Cell.t ->
+  ?fanout:int ->
+  ?leaf_load:float ->
+  unit ->
+  sibling_row list
+(** Reproduce Table I: a parent (default BUF_X16) drives [fanout]
+    (default 16) leaves that all start as [observed] (default BUF_X4,
+    1 fF input cap) and are replaced one by one with [replacement]
+    (default INV_X8, 2.2 fF).  Each row reports the surviving observed
+    buffer's delay and slew — which move only mildly, because only the
+    parent load changes — and the local rail peaks, which move strongly
+    because every replacement swaps a cell's main pulse across rails and
+    sizes.  [leaf_load] is the FF capacitance per leaf (default 3 fF). *)

@@ -1,0 +1,108 @@
+type edge = Rising | Falling
+
+let vdd_nominal = 1.1
+
+let v_threshold = 0.35
+
+let alpha = 1.3
+
+(* Alpha-power law: cell delay scales as vdd / (vdd - vt)^alpha. *)
+let derate ~vdd =
+  if vdd <= v_threshold +. 0.05 then
+    invalid_arg "Electrical.derate: vdd too close to threshold";
+  let f v = v /. ((v -. v_threshold) ** alpha) in
+  f vdd /. f vdd_nominal
+
+let output_edge cell edge =
+  match (Cell.polarity cell, edge) with
+  | Cell.Positive, e -> e
+  | Cell.Negative, Rising -> Falling
+  | Cell.Negative, Falling -> Rising
+
+let default_slew = 20.0
+
+(* Elmore-style delay with a 0.69 RC coefficient plus a mild input-slew
+   penalty.  Rising/falling intrinsics differ (pMOS weaker). *)
+let delay cell ~vdd ~load ?(input_slew = default_slew) ~edge () =
+  let intrinsic =
+    match output_edge cell edge with
+    | Rising -> cell.Cell.intrinsic_rise
+    | Falling -> cell.Cell.intrinsic_fall
+  in
+  derate ~vdd
+  *. (intrinsic +. (0.69 *. cell.Cell.output_res *. load)
+     +. (0.05 *. input_slew))
+
+let output_slew cell ~vdd ~load ?(input_slew = 20.0) ~edge () =
+  let asym = match output_edge cell edge with Rising -> 1.12 | Falling -> 1.0 in
+  (derate ~vdd *. asym *. (6.0 +. (1.2 *. cell.Cell.output_res *. load)))
+  +. (0.3 *. input_slew)
+
+let self_cap cell = 0.4 *. float_of_int cell.Cell.drive
+
+let switching_charge cell ~vdd ~load = (load +. self_cap cell) *. vdd
+
+type currents = { idd : Repro_waveform.Pwl.t; iss : Repro_waveform.Pwl.t }
+
+(* Short-circuit fraction grows when the input transition is slow relative
+   to the output transition (both transistor stacks conduct for longer). *)
+let short_circuit_fraction ~input_slew ~width =
+  Float.min 0.45 (0.04 +. (0.12 *. input_slew /. width))
+
+let natural_width cell ~vdd ~load ~edge ~input_slew =
+  Float.max 6.0
+    (Float.max (0.6 *. input_slew)
+       (output_slew cell ~vdd ~load ~input_slew ~edge ()))
+
+(* The transistor stack cannot deliver more than ~vdd/R_out; when the
+   triangular charge pulse would exceed that, the driver is
+   slew-limited: the peak saturates and the pulse widens to conserve
+   charge.  The pull-up network (output rising) is modelled slightly
+   stronger than the pull-down, giving Table I's I_DD > I_SS asymmetry;
+   the factors calibrate BUF_X1/X2 onto Table II's 130/255 uA anchors. *)
+let saturation_factor = function Rising -> 0.78 | Falling -> 0.70
+
+let saturation_peak cell ~vdd ~output_edge:oe =
+  saturation_factor oe *. 1000.0 *. vdd /. cell.Cell.output_res
+
+(* (main peak uA, pulse width ps) of the main-rail pulse. *)
+let pulse_shape cell ~vdd ~load ~edge ~input_slew =
+  let w0 = natural_width cell ~vdd ~load ~edge ~input_slew in
+  let q_ac = 1000.0 *. switching_charge cell ~vdd ~load in
+  let h0 = 2.0 *. q_ac /. w0 in
+  let h_sat = saturation_peak cell ~vdd ~output_edge:(output_edge cell edge) in
+  if h0 <= h_sat then (h0, w0) else (h_sat, 2.0 *. q_ac /. h_sat)
+
+let peak_of_event cell ~vdd ~load ~edge ~rail =
+  let input_slew = default_slew in
+  let main, w = pulse_shape cell ~vdd ~load ~edge ~input_slew in
+  let main_rail =
+    match output_edge cell edge with
+    | Rising -> Cell.Vdd_rail
+    | Falling -> Cell.Gnd_rail
+  in
+  if rail = main_rail then main
+  else short_circuit_fraction ~input_slew ~width:w *. main
+
+let event_currents cell ~vdd ~load ?(input_slew = default_slew) ~edge () =
+  let d = delay cell ~vdd ~load ~input_slew ~edge () in
+  let main, w = pulse_shape cell ~vdd ~load ~edge ~input_slew in
+  let sc = short_circuit_fraction ~input_slew ~width:w *. main in
+  (* The main pulse peaks when the output crosses mid-rail, i.e. at the
+     propagation delay; it is skewed 40/60 around that instant.  The
+     short-circuit pulse overlaps the input transition, slightly
+     earlier. *)
+  let main_start = Float.max (0.1 *. d) (d -. (0.4 *. w)) in
+  let main_pulse =
+    Repro_waveform.Pwl.triangle ~start:main_start ~peak_time:d
+      ~finish:(d +. (0.6 *. w)) ~height:main
+  in
+  let sc_peak_t = Float.max (main_start +. 0.05 *. w) (d -. (0.1 *. w)) in
+  let sc_start = Float.max (0.05 *. d) (sc_peak_t -. (0.4 *. w)) in
+  let sc_pulse =
+    Repro_waveform.Pwl.triangle ~start:sc_start ~peak_time:sc_peak_t
+      ~finish:(sc_peak_t +. (0.4 *. w)) ~height:sc
+  in
+  match output_edge cell edge with
+  | Rising -> { idd = main_pulse; iss = sc_pulse }
+  | Falling -> { idd = sc_pulse; iss = main_pulse }

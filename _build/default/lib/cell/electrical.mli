@@ -1,0 +1,68 @@
+(** Analytic switch-level electrical models.
+
+    These models replace the HSPICE characterization runs of the paper.
+    They are calibrated so that the published anchor points hold: a
+    BUF_X16 has an output resistance of ~398 Ohm (Table I), a BUF_X4 has
+    an input capacitance of 1 fF and an INV_X8 of 2.2 fF (Table I), peak
+    currents for X1/X2 cells land in the 100-300 uA range of Table II,
+    and lowering V_DD from 1.1 V to 0.9 V stretches delays by the 12-29 %
+    of Table III while slightly reducing peak currents.
+
+    Units: time ps, capacitance fF, resistance kOhm (so R*C is in ps),
+    current uA, voltage V.  A triangular pulse of height h uA and width w
+    ps carries h*w/2 uA*ps = h*w/2 aC of charge; physical consistency
+    with Q = C*V is maintained ([1 fC = 1000 uA*ps]). *)
+
+type edge = Rising | Falling
+(** Direction of the switching event at the cell {e input}. *)
+
+val vdd_nominal : float
+(** 1.1 V — the nominal supply of the paper's experiments. *)
+
+val derate : vdd:float -> float
+(** Alpha-power-law delay derating factor, 1.0 at {!vdd_nominal} and
+    ~1.22 at 0.9 V.  @raise Invalid_argument if [vdd] is not above the
+    threshold voltage (0.35 V). *)
+
+val output_edge : Cell.t -> edge -> edge
+(** Direction of the output transition for an input edge: equal for
+    positive-polarity cells, opposite for negative. *)
+
+val delay :
+  Cell.t -> vdd:float -> load:float -> ?input_slew:float -> edge:edge -> unit -> float
+(** Propagation delay (ps) of the event whose {e input} edge is [edge].
+    [load] is the capacitance (fF) on the cell output; [input_slew]
+    (default 20 ps) adds a mild penalty.  Adjustable cells report the
+    delay at setting 0; add the chosen {!Cell.t.delay_steps} entry on
+    top. *)
+
+val output_slew :
+  Cell.t -> vdd:float -> load:float -> ?input_slew:float -> edge:edge -> unit -> float
+(** 20-80 % output transition time (ps); a slow input transition
+    degrades the output slew too (default input slew 20 ps). *)
+
+val switching_charge : Cell.t -> vdd:float -> load:float -> float
+(** Charge (fC) moved through the main rail per output transition:
+    (load + self capacitance) * vdd. *)
+
+val saturation_peak : Cell.t -> vdd:float -> output_edge:edge -> float
+(** Maximum current (uA) the driver can deliver (~0.7-0.8 * vdd/R_out;
+    the pull-up is slightly stronger than the pull-down): the
+    pulse-height ceiling.  Calibrated so BUF_X1/X2 land on Table II's
+    130/255 uA peaks. *)
+
+type currents = { idd : Repro_waveform.Pwl.t; iss : Repro_waveform.Pwl.t }
+(** Supply and ground current pulses (uA over ps).  Pulse heights are
+    capped at {!saturation_peak} with the width stretched to conserve
+    the switching charge. *)
+
+val event_currents :
+  Cell.t -> vdd:float -> load:float -> ?input_slew:float -> edge:edge -> unit -> currents
+(** Current waveforms caused by a single input edge arriving at time 0 at
+    the cell input.  The main pulse lands on V_DD when the output rises
+    and on Gnd when it falls; a smaller short-circuit pulse lands on the
+    opposite rail.  Peak ratios follow Table II's P+/P- asymmetry. *)
+
+val peak_of_event : Cell.t -> vdd:float -> load:float -> edge:edge -> rail:Cell.rail -> float
+(** Peak (uA) of the corresponding pulse of {!event_currents} — a cheap
+    accessor that avoids building the waveform. *)

@@ -1,0 +1,274 @@
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let kind_to_string = function
+  | Cell.Buffer -> "buffer"
+  | Cell.Inverter -> "inverter"
+  | Cell.Adjustable_buffer -> "adjustable_buffer"
+  | Cell.Adjustable_inverter -> "adjustable_inverter"
+
+let print_float = Repro_util.Floats.shortest_string
+
+let float_attr b name v =
+  Buffer.add_string b (Printf.sprintf "  %s : %s;\n" name (print_float v))
+
+let cell_to_buffer b (c : Cell.t) =
+  Buffer.add_string b (Printf.sprintf "cell (%s) {\n" c.Cell.name);
+  Buffer.add_string b
+    (Printf.sprintf "  kind : %s;\n" (kind_to_string c.Cell.kind));
+  Buffer.add_string b (Printf.sprintf "  drive : %d;\n" c.Cell.drive);
+  float_attr b "input_cap" c.Cell.input_cap;
+  float_attr b "output_res" c.Cell.output_res;
+  float_attr b "intrinsic_rise" c.Cell.intrinsic_rise;
+  float_attr b "intrinsic_fall" c.Cell.intrinsic_fall;
+  float_attr b "area" c.Cell.area;
+  if Array.length c.Cell.delay_steps > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "  delay_steps : (%s);\n"
+         (String.concat ", "
+            (Array.to_list (Array.map print_float c.Cell.delay_steps))));
+  Buffer.add_string b "}\n"
+
+let cell_to_string c =
+  let b = Buffer.create 256 in
+  cell_to_buffer b c;
+  Buffer.contents b
+
+let to_string cells =
+  let b = Buffer.create 1024 in
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b '\n';
+      cell_to_buffer b c)
+    cells;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+(* A tiny hand-rolled tokenizer over the whole input, tracking line
+   numbers for error reporting. *)
+type token =
+  | Ident of string
+  | Number of float
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semicolon
+  | Comma
+
+type lexed = { token : token; at : int }
+
+exception Parse_error of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push token = tokens := { token; at = !line } :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let is_number_char c =
+    (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && input.[i + 1] = '*' ->
+        (* Comment: skip to the closing marker, counting newlines. *)
+        let rec skip j =
+          if j + 1 >= n then fail !line "unterminated comment"
+          else if input.[j] = '*' && input.[j + 1] = '/' then j + 2
+          else begin
+            if input.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '(' ->
+        push Lparen;
+        go (i + 1)
+      | ')' ->
+        push Rparen;
+        go (i + 1)
+      | '{' ->
+        push Lbrace;
+        go (i + 1)
+      | '}' ->
+        push Rbrace;
+        go (i + 1)
+      | ':' ->
+        push Colon;
+        go (i + 1)
+      | ';' ->
+        push Semicolon;
+        go (i + 1)
+      | ',' ->
+        push Comma;
+        go (i + 1)
+      | c when (c >= '0' && c <= '9') || c = '-' || c = '+' ->
+        let j = ref i in
+        while !j < n && is_number_char input.[!j] do
+          incr j
+        done;
+        let text = String.sub input i (!j - i) in
+        (match float_of_string_opt text with
+        | Some v -> push (Number v)
+        | None -> fail !line "malformed number %S" text);
+        go !j
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        push (Ident (String.sub input i (!j - i)));
+        go !j
+      | c -> fail !line "unexpected character %C" c
+  in
+  go 0;
+  List.rev !tokens
+
+(* Recursive-descent parser over the token list. *)
+type attr_value = Num of float | Name of string | Tuple of float list
+
+let parse_tokens tokens =
+  let expect what pred = function
+    | [] -> fail 0 "unexpected end of input, expected %s" what
+    | t :: rest -> (
+      match pred t.token with
+      | Some v -> (v, rest)
+      | None -> fail t.at "expected %s" what)
+  in
+  let ident = expect "identifier" (function Ident s -> Some s | _ -> None) in
+  let punct name p =
+    expect name (fun t -> if t = p then Some () else None)
+  in
+  let rec attr_tuple acc tokens =
+    let v, tokens =
+      expect "number" (function Number v -> Some v | _ -> None) tokens
+    in
+    match tokens with
+    | { token = Comma; _ } :: rest -> attr_tuple (v :: acc) rest
+    | { token = Rparen; _ } :: rest -> (List.rev (v :: acc), rest)
+    | { at; _ } :: _ -> fail at "expected ',' or ')' in tuple"
+    | [] -> fail 0 "unexpected end of input in tuple"
+  in
+  let attr_value tokens =
+    match tokens with
+    | { token = Number v; _ } :: rest -> (Num v, rest)
+    | { token = Ident s; _ } :: rest -> (Name s, rest)
+    | { token = Lparen; _ } :: rest ->
+      let vs, rest = attr_tuple [] rest in
+      (Tuple vs, rest)
+    | { at; _ } :: _ -> fail at "expected attribute value"
+    | [] -> fail 0 "unexpected end of input, expected attribute value"
+  in
+  let rec attrs acc tokens =
+    match tokens with
+    | { token = Rbrace; _ } :: rest -> (List.rev acc, rest)
+    | { token = Ident name; at } :: rest ->
+      let (), rest = punct "':'" Colon rest in
+      let value, rest = attr_value rest in
+      let (), rest = punct "';'" Semicolon rest in
+      attrs ((name, value, at) :: acc) rest
+    | { at; _ } :: _ -> fail at "expected attribute or '}'"
+    | [] -> fail 0 "unexpected end of input inside cell block"
+  in
+  let build_cell name at attributes =
+    let find key =
+      List.find_opt (fun (k, _, _) -> String.equal k key) attributes
+    in
+    let number key =
+      match find key with
+      | Some (_, Num v, _) -> v
+      | Some (_, (Name _ | Tuple _), at) -> fail at "%s must be a number" key
+      | None -> fail at "cell %s is missing attribute %s" name key
+    in
+    let kind =
+      match find "kind" with
+      | Some (_, Name "buffer", _) -> Cell.Buffer
+      | Some (_, Name "inverter", _) -> Cell.Inverter
+      | Some (_, Name "adjustable_buffer", _) -> Cell.Adjustable_buffer
+      | Some (_, Name "adjustable_inverter", _) -> Cell.Adjustable_inverter
+      | Some (_, _, at) ->
+        fail at
+          "kind must be one of buffer, inverter, adjustable_buffer, adjustable_inverter"
+      | None -> fail at "cell %s is missing attribute kind" name
+    in
+    let delay_steps =
+      match find "delay_steps" with
+      | Some (_, Tuple vs, _) -> Array.of_list vs
+      | Some (_, (Num _ | Name _), at) -> fail at "delay_steps must be a tuple"
+      | None -> [||]
+    in
+    let allowed =
+      [ "kind"; "drive"; "input_cap"; "output_res"; "intrinsic_rise";
+        "intrinsic_fall"; "area"; "delay_steps" ]
+    in
+    List.iter
+      (fun (k, _, at) ->
+        if not (List.mem k allowed) then fail at "unknown attribute %s" k)
+      attributes;
+    match
+      Cell.make ~name ~kind
+        ~drive:(int_of_float (number "drive"))
+        ~input_cap:(number "input_cap")
+        ~output_res:(number "output_res")
+        ~intrinsic_rise:(number "intrinsic_rise")
+        ~intrinsic_fall:(number "intrinsic_fall")
+        ~area:(number "area") ~delay_steps ()
+    with
+    | cell -> cell
+    | exception Invalid_argument msg -> fail at "invalid cell %s: %s" name msg
+  in
+  let rec cells acc tokens =
+    match tokens with
+    | [] -> List.rev acc
+    | { token = Ident "cell"; at } :: rest ->
+      let (), rest = punct "'('" Lparen rest in
+      let name, rest = ident rest in
+      let (), rest = punct "')'" Rparen rest in
+      let (), rest = punct "'{'" Lbrace rest in
+      let attributes, rest = attrs [] rest in
+      cells (build_cell name at attributes :: acc) rest
+    | { at; _ } :: _ -> fail at "expected 'cell'"
+  in
+  cells [] tokens
+
+let parse input =
+  match parse_tokens (tokenize input) with
+  | cells -> Ok cells
+  | exception Parse_error e -> Error e
+
+let parse_exn input =
+  match parse input with
+  | Ok cells -> cells
+  | Error e -> failwith (Format.asprintf "Liberty.parse: %a" pp_error e)
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse contents
+
+let save_file path cells =
+  let oc = open_out path in
+  output_string oc (to_string cells);
+  close_out oc

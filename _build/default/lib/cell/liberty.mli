@@ -1,0 +1,45 @@
+(** Textual cell-library interchange, Liberty-flavoured.
+
+    Real flows exchange cell libraries as Liberty files.  This module
+    implements a small self-describing dialect of that idea: a library
+    is a sequence of cell blocks with typed attributes,
+
+    {v
+    cell (BUF_X8) {
+      kind : buffer;
+      drive : 8;
+      input_cap : 2.0;        /* fF */
+      output_res : 0.795;     /* kOhm */
+      intrinsic_rise : 17.66; /* ps */
+      intrinsic_fall : 19.34;
+      area : 11.2;
+      delay_steps : (0, 2, 4, 6, 8, 10);  /* adjustable cells only */
+    }
+    v}
+
+    so that user libraries can be versioned, diffed and loaded without
+    recompiling.  The printer and parser round-trip exactly. *)
+
+val to_string : Cell.t list -> string
+(** Serialize a library. *)
+
+val cell_to_string : Cell.t -> string
+(** Serialize one cell block. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Cell.t list, error) result
+(** Parse a library.  Comments ([/* ... */]) and blank lines are
+    ignored; unknown attributes are rejected (typo safety); every cell
+    must define all electrical attributes. *)
+
+val parse_exn : string -> Cell.t list
+(** @raise Failure with a rendered {!error} on malformed input. *)
+
+val load_file : string -> (Cell.t list, error) result
+(** Read and parse a file ({!error} line numbers refer to the file). *)
+
+val save_file : string -> Cell.t list -> unit
+(** Write a library to a file. *)

@@ -1,0 +1,76 @@
+let drives = [ 1; 2; 4; 8; 16; 32 ]
+
+let check_drive x =
+  if not (List.mem x drives) then
+    invalid_arg (Printf.sprintf "Library: unsupported drive X%d" x)
+
+let fdrive x = float_of_int x
+
+(* Intrinsic delays shrink mildly with drive (better internal slopes). *)
+let intrinsic base x = base /. (fdrive x ** 0.08)
+
+let buf x =
+  check_drive x;
+  Cell.make
+    ~name:(Printf.sprintf "BUF_X%d" x)
+    ~kind:Cell.Buffer ~drive:x
+    ~input_cap:(0.25 *. fdrive x)
+    ~output_res:(6.36 /. fdrive x)
+    ~intrinsic_rise:(intrinsic 21.0 x)
+    ~intrinsic_fall:(intrinsic 23.0 x)
+    ~area:(1.4 *. fdrive x)
+    ()
+
+let inv x =
+  check_drive x;
+  Cell.make
+    ~name:(Printf.sprintf "INV_X%d" x)
+    ~kind:Cell.Inverter ~drive:x
+    ~input_cap:(0.275 *. fdrive x)
+    ~output_res:(5.6 /. fdrive x)
+    ~intrinsic_rise:(intrinsic 17.0 x)
+    ~intrinsic_fall:(intrinsic 18.5 x)
+    ~area:(0.8 *. fdrive x)
+    ()
+
+let adjustable_steps =
+  [| 0.0; 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0; 16.0; 18.0; 20.0 |]
+
+let adb x =
+  check_drive x;
+  Cell.make
+    ~name:(Printf.sprintf "ADB_X%d" x)
+    ~kind:Cell.Adjustable_buffer ~drive:x
+    ~input_cap:(0.30 *. fdrive x)
+    ~output_res:(6.36 /. fdrive x)
+    ~intrinsic_rise:(intrinsic 25.0 x)
+    ~intrinsic_fall:(intrinsic 27.0 x)
+    ~area:(3.1 *. fdrive x)
+    ~delay_steps:adjustable_steps ()
+
+let adi x =
+  check_drive x;
+  (* Three inverter stages (Fig. 4): the first is minimum width, so the
+     ADI is noticeably slower than the same-drive ADB (Sec. VII-E). *)
+  Cell.make
+    ~name:(Printf.sprintf "ADI_X%d" x)
+    ~kind:Cell.Adjustable_inverter ~drive:x
+    ~input_cap:(0.30 *. fdrive x)
+    ~output_res:(5.6 /. fdrive x)
+    ~intrinsic_rise:(intrinsic 31.0 x)
+    ~intrinsic_fall:(intrinsic 33.0 x)
+    ~area:(3.4 *. fdrive x)
+    ~delay_steps:adjustable_steps ()
+
+let all =
+  List.concat_map (fun x -> [ buf x; inv x; adb x; adi x ]) drives
+
+let find name =
+  match List.find_opt (fun c -> String.equal c.Cell.name name) all with
+  | Some c -> c
+  | None -> raise Not_found
+
+let experiment_buffers = [ buf 8; buf 16 ]
+let experiment_inverters = [ inv 8; inv 16 ]
+let toy_buffers = [ buf 1; buf 2 ]
+let toy_inverters = [ inv 1; inv 2 ]

@@ -1,0 +1,51 @@
+(** Standard cell libraries.
+
+    The drive-strength families mirror the Nangate 45 nm open cell library
+    used by the paper: BUF_X1..X32 and INV_X1..X32, plus the adjustable
+    ADB_X* (capacitor-bank buffer, [16]) and the paper's proposed ADI_X*
+    (capacitor-bank inverter, Fig. 4).  The anchors from the paper hold:
+    BUF_X16 output resistance ~0.3975 kOhm, BUF_X4 input cap 1.0 fF,
+    INV_X8 input cap 2.2 fF. *)
+
+val buf : int -> Cell.t
+(** [buf x] is BUF_X[x].  @raise Invalid_argument unless [x] is one of
+    1, 2, 4, 8, 16, 32. *)
+
+val inv : int -> Cell.t
+(** [inv x] is INV_X[x], same drives as {!buf}. *)
+
+val adb : int -> Cell.t
+(** [adb x] is ADB_X[x] with the {!adjustable_steps} delay range. *)
+
+val adi : int -> Cell.t
+(** [adi x] is ADI_X[x]; slower than the same-drive ADB because of its
+    extra input inverter (Sec. VII-E). *)
+
+val drives : int list
+(** The available drive strengths, ascending. *)
+
+val adjustable_steps : float array
+(** The capacitor-bank delay steps of ADB/ADI cells: 0..20 ps in 2 ps
+    increments (the bank size is a design parameter, Fig. 4 of the
+    paper; 20 ps matches the mode-induced arrival spreads of the
+    synthetic trees). *)
+
+val find : string -> Cell.t
+(** Look a cell up by name, e.g. ["BUF_X8"].
+    @raise Not_found for unknown names. *)
+
+val all : Cell.t list
+(** Every cell of the library. *)
+
+val experiment_buffers : Cell.t list
+(** The buffer choices of the paper's experiments: BUF_X8 and BUF_X16
+    (Sec. VII-A). *)
+
+val experiment_inverters : Cell.t list
+(** INV_X8 and INV_X16 (Sec. VII-A). *)
+
+val toy_buffers : Cell.t list
+(** BUF_X1 and BUF_X2 — the worked-example library B of Table II. *)
+
+val toy_inverters : Cell.t list
+(** INV_X1 and INV_X2 — the worked-example library I of Table II. *)

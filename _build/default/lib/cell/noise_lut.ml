@@ -1,0 +1,120 @@
+module Pwl = Repro_waveform.Pwl
+
+type entry = {
+  d_rise : float;
+  d_fall : float;
+  rise : Electrical.currents;  (** Input-rising event, t = 0 at the edge. *)
+  fall : Electrical.currents;  (** Input-falling event. *)
+}
+
+type t = {
+  cell : Cell.t;
+  vdd : float;
+  loads : float array;
+  slews : float array;
+  grid : entry array array;  (** grid.(load index).(slew index) *)
+}
+
+let default_loads = [| 1.0; 3.0; 6.0; 10.0; 15.0; 20.0; 26.0; 33.0; 40.0 |]
+let default_slews = [| 8.0; 15.0; 25.0; 35.0; 48.0; 60.0 |]
+
+let check_grid name g =
+  if Array.length g < 2 then invalid_arg ("Noise_lut.build: " ^ name ^ " too small");
+  for i = 0 to Array.length g - 2 do
+    if g.(i) >= g.(i + 1) then
+      invalid_arg ("Noise_lut.build: " ^ name ^ " must be strictly increasing")
+  done
+
+let build cell ~vdd ?(loads = default_loads) ?(slews = default_slews) () =
+  check_grid "loads" loads;
+  check_grid "slews" slews;
+  let grid =
+    Array.map
+      (fun load ->
+        Array.map
+          (fun input_slew ->
+            {
+              d_rise =
+                Electrical.delay cell ~vdd ~load ~input_slew
+                  ~edge:Electrical.Rising ();
+              d_fall =
+                Electrical.delay cell ~vdd ~load ~input_slew
+                  ~edge:Electrical.Falling ();
+              rise =
+                Electrical.event_currents cell ~vdd ~load ~input_slew
+                  ~edge:Electrical.Rising ();
+              fall =
+                Electrical.event_currents cell ~vdd ~load ~input_slew
+                  ~edge:Electrical.Falling ();
+            })
+          slews)
+      loads
+  in
+  { cell; vdd; loads; slews; grid }
+
+let cell t = t.cell
+let vdd t = t.vdd
+let loads t = Array.copy t.loads
+let slews t = Array.copy t.slews
+
+(* Index of the cell [g.(i), g.(i+1)] containing x (clamped), plus the
+   interpolation fraction. *)
+let locate g x =
+  let n = Array.length g in
+  if x <= g.(0) then (0, 0.0)
+  else if x >= g.(n - 1) then (n - 2, 1.0)
+  else begin
+    let i = ref 0 in
+    while g.(!i + 1) < x do
+      incr i
+    done;
+    (!i, (x -. g.(!i)) /. (g.(!i + 1) -. g.(!i)))
+  end
+
+let bilinear t ~load ~input_slew f =
+  let i, fx = locate t.loads load in
+  let j, fy = locate t.slews input_slew in
+  let v00 = f t.grid.(i).(j)
+  and v01 = f t.grid.(i).(j + 1)
+  and v10 = f t.grid.(i + 1).(j)
+  and v11 = f t.grid.(i + 1).(j + 1) in
+  ((1.0 -. fx) *. (((1.0 -. fy) *. v00) +. (fy *. v01)))
+  +. (fx *. (((1.0 -. fy) *. v10) +. (fy *. v11)))
+
+let delay t ~load ~input_slew ~edge =
+  bilinear t ~load ~input_slew (fun e ->
+      match edge with Electrical.Rising -> e.d_rise | Electrical.Falling -> e.d_fall)
+
+let event_waveform entry ~edge ~rail =
+  let c =
+    match edge with Electrical.Rising -> entry.rise | Electrical.Falling -> entry.fall
+  in
+  match rail with
+  | Cell.Vdd_rail -> c.Electrical.idd
+  | Cell.Gnd_rail -> c.Electrical.iss
+
+let noise t ~load ~input_slew ~edge ~rail ~time =
+  bilinear t ~load ~input_slew (fun e ->
+      Pwl.eval (event_waveform e ~edge ~rail) time)
+
+let peak t ~load ~input_slew ~edge ~rail =
+  bilinear t ~load ~input_slew (fun e -> Pwl.peak (event_waveform e ~edge ~rail))
+
+let max_relative_error t ~probe_loads ~probe_slews =
+  let worst = ref 0.0 in
+  Array.iter
+    (fun load ->
+      Array.iter
+        (fun input_slew ->
+          List.iter
+            (fun edge ->
+              let exact =
+                Electrical.delay t.cell ~vdd:t.vdd ~load ~input_slew ~edge ()
+              in
+              let interp = delay t ~load ~input_slew ~edge in
+              if exact > 0.0 then
+                worst := Float.max !worst (Float.abs (interp -. exact) /. exact))
+            [ Electrical.Rising; Electrical.Falling ])
+        probe_slews)
+    probe_loads;
+  !worst

@@ -1,0 +1,56 @@
+(** Characterized noise lookup tables (Sec. IV-B).
+
+    The paper does not run SPICE inside the optimizer: every cell is
+    profiled once over a (load, input slew) grid, the I_DD/I_SS
+    waveforms are recorded, and [noise(cell, s)] is answered by linear
+    interpolation from the table.  This module is that mechanism.  The
+    rest of the library calls the analytic models directly (they are
+    cheap); the LUT exists to mirror the paper's flow, to bound the
+    interpolation error in tests, and to serve as the natural adapter
+    were a real characterization (SPICE decks) dropped in. *)
+
+type t
+
+val build :
+  Cell.t ->
+  vdd:float ->
+  ?loads:float array ->
+  ?slews:float array ->
+  unit ->
+  t
+(** Profile the cell on the grid (defaults: loads 1..40 fF in 9 points,
+    slews 8..60 ps in 6 points), recording the event waveforms for both
+    input edges at every grid point.
+    @raise Invalid_argument if a grid has fewer than 2 points or is not
+    strictly increasing. *)
+
+val cell : t -> Cell.t
+val vdd : t -> float
+val loads : t -> float array
+val slews : t -> float array
+
+val delay :
+  t -> load:float -> input_slew:float -> edge:Electrical.edge -> float
+(** Bilinearly interpolated propagation delay (ps); queries outside the
+    grid are clamped onto it. *)
+
+val noise :
+  t ->
+  load:float ->
+  input_slew:float ->
+  edge:Electrical.edge ->
+  rail:Cell.rail ->
+  time:float ->
+  float
+(** The noise function of the paper: interpolated current (uA) at a time
+    sampling point, measured from the input edge at time 0. *)
+
+val peak :
+  t -> load:float -> input_slew:float -> edge:Electrical.edge -> rail:Cell.rail -> float
+(** Interpolated pulse peak (uA) on a rail. *)
+
+val max_relative_error :
+  t -> probe_loads:float array -> probe_slews:float array -> float
+(** Worst relative error of the interpolated {!delay} against the direct
+    analytic model over the probe points — the table-accuracy metric a
+    characterization flow reports. *)

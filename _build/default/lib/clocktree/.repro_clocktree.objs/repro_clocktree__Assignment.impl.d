@@ -1,0 +1,1 @@
+lib/clocktree/assignment.ml: Array Repro_cell Tree

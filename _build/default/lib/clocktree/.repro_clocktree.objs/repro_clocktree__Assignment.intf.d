@@ -1,0 +1,1 @@
+lib/clocktree/assignment.mli: Repro_cell Tree

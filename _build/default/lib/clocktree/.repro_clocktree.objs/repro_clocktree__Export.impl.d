@@ -1,0 +1,1 @@
+lib/clocktree/export.ml: Array Assignment Buffer List Printf Repro_cell Repro_util String Tree Wire

@@ -1,0 +1,1 @@
+lib/clocktree/export.mli: Assignment Tree

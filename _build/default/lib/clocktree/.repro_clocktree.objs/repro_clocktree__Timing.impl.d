@@ -1,0 +1,1 @@
+lib/clocktree/timing.ml: Array Assignment Float List Repro_cell Repro_util Tree Wire

@@ -1,0 +1,1 @@
+lib/clocktree/timing.mli: Assignment Repro_cell Tree

@@ -1,0 +1,1 @@
+lib/clocktree/tree.ml: Array Format List Repro_cell Wire

@@ -1,0 +1,1 @@
+lib/clocktree/tree.mli: Format Repro_cell Wire

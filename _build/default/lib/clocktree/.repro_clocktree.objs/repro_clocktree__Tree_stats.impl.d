@@ -1,0 +1,1 @@
+lib/clocktree/tree_stats.ml: Array Assignment Format List Repro_cell Tree Wire

@@ -1,0 +1,1 @@
+lib/clocktree/tree_stats.mli: Assignment Format Tree

@@ -1,0 +1,1 @@
+lib/clocktree/wire.ml: Float

@@ -1,0 +1,125 @@
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+
+type env = {
+  vdd_of : Tree.node -> float;
+  mode : int;
+  cell_derate : Tree.node_id -> float;
+  wire_r_scale : Tree.node_id -> float;
+  wire_c_scale : Tree.node_id -> float;
+  source_slew : float;
+}
+
+let nominal ?(vdd = Electrical.vdd_nominal) ?(mode = 0) () =
+  {
+    vdd_of = (fun _ -> vdd);
+    mode;
+    cell_derate = (fun _ -> 1.0);
+    wire_r_scale = (fun _ -> 1.0);
+    wire_c_scale = (fun _ -> 1.0);
+    source_slew = 20.0;
+  }
+
+type result = {
+  input_arrival : float array;
+  input_edge : Electrical.edge array;
+  input_slew : float array;
+  load : float array;
+  sink_arrival : float array;
+}
+
+let scaled_wire env nd =
+  Wire.scaled nd.Tree.wire ~r_scale:(env.wire_r_scale nd.Tree.id)
+    ~c_scale:(env.wire_c_scale nd.Tree.id)
+
+(* Load on a node's cell output: leaf cells drive the FF pins; internal
+   cells drive each child's wire plus the child cell's input pin. *)
+let node_load tree asg env nd =
+  match nd.Tree.kind with
+  | Tree.Leaf -> nd.Tree.sink_cap
+  | Tree.Internal ->
+    List.fold_left
+      (fun acc child_id ->
+        let child = Tree.node tree child_id in
+        let w = scaled_wire env child in
+        acc +. w.Wire.cap +. (Assignment.cell asg child_id).Cell.input_cap)
+      0.0 nd.Tree.children
+
+let cell_delay asg env nd ~load ~input_slew ~edge =
+  let c = Assignment.cell asg nd.Tree.id in
+  let vdd = env.vdd_of nd in
+  let base = Electrical.delay c ~vdd ~load ~input_slew ~edge () in
+  (base *. env.cell_derate nd.Tree.id)
+  +. Assignment.extra_delay asg ~mode:env.mode nd.Tree.id
+
+let analyze tree asg env ~edge =
+  if env.mode < 0 || env.mode >= Assignment.num_modes asg then
+    invalid_arg "Timing.analyze: mode out of range";
+  let n = Tree.size tree in
+  let input_arrival = Array.make n 0.0 in
+  let input_edge = Array.make n edge in
+  let input_slew = Array.make n env.source_slew in
+  let load = Array.make n 0.0 in
+  let sink_arrival = Array.make n Float.nan in
+  Tree.iter_down tree (fun nd ->
+      let id = nd.Tree.id in
+      let l = node_load tree asg env nd in
+      load.(id) <- l;
+      let here_edge = input_edge.(id) in
+      let d =
+        cell_delay asg env nd ~load:l ~input_slew:input_slew.(id)
+          ~edge:here_edge
+      in
+      let out_time = input_arrival.(id) +. d in
+      let c = Assignment.cell asg id in
+      let out_slew =
+        Electrical.output_slew c ~vdd:(env.vdd_of nd) ~load:l
+          ~input_slew:input_slew.(id) ~edge:here_edge ()
+      in
+      let out_edge = Electrical.output_edge c here_edge in
+      (match nd.Tree.kind with
+      | Tree.Leaf -> sink_arrival.(id) <- out_time
+      | Tree.Internal -> ());
+      List.iter
+        (fun child_id ->
+          let child = Tree.node tree child_id in
+          let w = scaled_wire env child in
+          let child_cap = (Assignment.cell asg child_id).Cell.input_cap in
+          let wd = Wire.elmore_delay w ~load:child_cap in
+          input_arrival.(child_id) <- out_time +. wd;
+          input_edge.(child_id) <- out_edge;
+          input_slew.(child_id) <- out_slew +. (0.5 *. wd))
+        nd.Tree.children);
+  { input_arrival; input_edge; input_slew; load; sink_arrival }
+
+let sink_arrivals tree result =
+  Array.map
+    (fun nd -> (nd.Tree.id, result.sink_arrival.(nd.Tree.id)))
+    (Tree.leaves tree)
+
+let skew tree result =
+  let arr = sink_arrivals tree result in
+  match Array.length arr with
+  | 0 -> 0.0
+  | _ ->
+    let times = Array.map snd arr in
+    let lo, hi = Repro_util.Stats.min_max times in
+    hi -. lo
+
+let leaf_delay tree asg env result leaf_id candidate =
+  let nd = Tree.node tree leaf_id in
+  (match nd.Tree.kind with
+  | Tree.Leaf -> ()
+  | Tree.Internal -> invalid_arg "Timing.leaf_delay: not a leaf");
+  let vdd = env.vdd_of nd in
+  let base =
+    Electrical.delay candidate ~vdd ~load:nd.Tree.sink_cap
+      ~input_slew:result.input_slew.(leaf_id)
+      ~edge:result.input_edge.(leaf_id) ()
+  in
+  let extra =
+    if Cell.is_adjustable candidate then
+      Assignment.extra_delay asg ~mode:env.mode leaf_id
+    else 0.0
+  in
+  (base *. env.cell_derate leaf_id) +. extra

@@ -1,0 +1,51 @@
+(** Static timing of a clock tree under an assignment.
+
+    Timing propagates arrival time, edge direction and slew from the clock
+    source at the root input (time 0) down to the flip-flops.  The
+    environment abstracts everything that varies across experiments:
+    per-node supply voltage (voltage islands / power modes), the active
+    power mode for adjustable-delay settings, and the multiplicative
+    Monte-Carlo variations of cell delays and wire RC. *)
+
+type env = {
+  vdd_of : Tree.node -> float;  (** Supply of the island the node sits in. *)
+  mode : int;  (** Power mode index, selects the ADB/ADI settings. *)
+  cell_derate : Tree.node_id -> float;  (** Monte-Carlo delay multiplier. *)
+  wire_r_scale : Tree.node_id -> float;
+  wire_c_scale : Tree.node_id -> float;
+  source_slew : float;  (** ps slew of the clock at the root input. *)
+}
+
+val nominal : ?vdd:float -> ?mode:int -> unit -> env
+(** Uniform supply (default 1.1 V), no variation, 20 ps source slew. *)
+
+type result = {
+  input_arrival : float array;  (** ps at each node's input, by id. *)
+  input_edge : Repro_cell.Electrical.edge array;
+      (** Edge direction at each node's input (negative-polarity internal
+          cells flip it for the subtree below). *)
+  input_slew : float array;  (** ps at each node's input. *)
+  load : float array;  (** fF seen by each node's cell output. *)
+  sink_arrival : float array;
+      (** ps at the flip-flops, meaningful for leaf ids only ([nan]
+          elsewhere): leaf input arrival plus the leaf cell delay. *)
+}
+
+val analyze :
+  Tree.t -> Assignment.t -> env -> edge:Repro_cell.Electrical.edge -> result
+(** Propagate the source edge (at the root input, time 0) through the
+    tree.  @raise Invalid_argument if [env.mode] is out of range for the
+    assignment. *)
+
+val sink_arrivals : Tree.t -> result -> (Tree.node_id * float) array
+(** The (leaf id, FF arrival) pairs in id order. *)
+
+val skew : Tree.t -> result -> float
+(** Max minus min FF arrival — the paper's clock skew. *)
+
+val leaf_delay :
+  Tree.t -> Assignment.t -> env -> result -> Tree.node_id -> Repro_cell.Cell.t -> float
+(** Delay (ps) that the given candidate cell would have at the given leaf
+    (using the leaf's sink load, input slew, island supply, and the
+    adjustable setting of the current assignment) — the quantity that
+    drives arrival-time collection during polarity assignment. *)

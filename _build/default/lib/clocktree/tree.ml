@@ -1,0 +1,105 @@
+type node_id = int
+
+type kind = Internal | Leaf
+
+type node = {
+  id : node_id;
+  parent : node_id option;
+  children : node_id list;
+  kind : kind;
+  x : float;
+  y : float;
+  wire : Wire.t;
+  sink_cap : float;
+  default_cell : Repro_cell.Cell.t;
+}
+
+type t = { arr : node array; root_id : node_id; topo : node_id array }
+
+let validate arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Tree.create: empty node array";
+  let root_id = ref None in
+  Array.iteri
+    (fun i nd ->
+      if nd.id <> i then invalid_arg "Tree.create: node id mismatch";
+      (match nd.parent with
+      | None -> (
+        match !root_id with
+        | None -> root_id := Some i
+        | Some _ -> invalid_arg "Tree.create: multiple roots")
+      | Some p ->
+        if p < 0 || p >= n then invalid_arg "Tree.create: bad parent id";
+        if not (List.mem i arr.(p).children) then
+          invalid_arg "Tree.create: parent does not list child");
+      List.iter
+        (fun c ->
+          if c < 0 || c >= n then invalid_arg "Tree.create: bad child id";
+          if arr.(c).parent <> Some i then
+            invalid_arg "Tree.create: child does not point to parent")
+        nd.children;
+      match nd.kind with
+      | Leaf ->
+        if nd.children <> [] then invalid_arg "Tree.create: leaf with children";
+        if nd.sink_cap <= 0.0 then
+          invalid_arg "Tree.create: leaf needs positive sink capacitance"
+      | Internal ->
+        if nd.children = [] then
+          invalid_arg "Tree.create: internal node without children")
+    arr;
+  match !root_id with
+  | None -> invalid_arg "Tree.create: no root"
+  | Some r -> r
+
+let topological arr root_id =
+  let n = Array.length arr in
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec visit id =
+    order.(!pos) <- id;
+    incr pos;
+    List.iter visit arr.(id).children
+  in
+  visit root_id;
+  if !pos <> n then invalid_arg "Tree.create: disconnected nodes";
+  order
+
+let create arr =
+  let root_id = validate arr in
+  { arr; root_id; topo = topological arr root_id }
+
+let node t id =
+  if id < 0 || id >= Array.length t.arr then
+    invalid_arg "Tree.node: id out of range";
+  t.arr.(id)
+
+let root t = t.arr.(t.root_id)
+let size t = Array.length t.arr
+let nodes t = t.arr
+
+let leaves t =
+  Array.of_list
+    (Array.to_list t.arr |> List.filter (fun nd -> nd.kind = Leaf))
+
+let num_leaves t = Array.length (leaves t)
+
+let internals t =
+  Array.of_list
+    (Array.to_list t.arr |> List.filter (fun nd -> nd.kind = Internal))
+
+let topological_order t = Array.copy t.topo
+
+let depth t id =
+  let rec go id acc =
+    match t.arr.(id).parent with None -> acc | Some p -> go p (acc + 1)
+  in
+  go id 0
+
+let iter_down t f = Array.iter (fun id -> f t.arr.(id)) t.topo
+
+let pp_summary fmt t =
+  let max_depth =
+    Array.fold_left (fun acc nd -> max acc (depth t nd.id)) 0 (leaves t)
+  in
+  Format.fprintf fmt "clock tree: n=%d, |L|=%d, depth=%d" (size t)
+    (num_leaves t) max_depth

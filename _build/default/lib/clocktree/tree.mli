@@ -1,0 +1,63 @@
+(** Buffered clock tree structure.
+
+    A tree is an immutable array of buffering nodes.  Every node carries a
+    buffering element (a {!Repro_cell.Cell.t}); {e leaf} nodes drive
+    flip-flop clock pins directly (their load is [sink_cap]) and are the
+    subject of polarity assignment; {e internal} nodes drive child nodes
+    through RC wires.  Placement coordinates are in um on the die. *)
+
+type node_id = int
+
+type kind = Internal | Leaf
+
+type node = {
+  id : node_id;
+  parent : node_id option;  (** [None] only for the root. *)
+  children : node_id list;  (** Empty for leaves. *)
+  kind : kind;
+  x : float;
+  y : float;
+  wire : Wire.t;  (** Net from the parent output to this node's input. *)
+  sink_cap : float;  (** fF of FF clock pins (leaves; 0 for internal). *)
+  default_cell : Repro_cell.Cell.t;  (** The cell placed by CTS. *)
+}
+
+type t
+(** A validated clock tree. *)
+
+val create : node array -> t
+(** Build a tree from its node array.  Node [i] must have [id = i]; there
+    must be exactly one root; [children]/[parent] must agree; leaves must
+    have no children and positive sink capacitance.
+    @raise Invalid_argument when any invariant fails. *)
+
+val node : t -> node_id -> node
+(** @raise Invalid_argument on out-of-range ids. *)
+
+val root : t -> node
+val size : t -> int
+(** Number of buffering nodes, the paper's [n]. *)
+
+val nodes : t -> node array
+(** The underlying array (do not mutate). *)
+
+val leaves : t -> node array
+(** The leaf buffering elements in id order, the paper's set [L]. *)
+
+val num_leaves : t -> int
+(** The paper's [|L|]. *)
+
+val internals : t -> node array
+(** Non-leaf buffering elements. *)
+
+val topological_order : t -> node_id array
+(** Ids in root-to-leaves order (parents before children). *)
+
+val depth : t -> node_id -> int
+(** Root has depth 0. *)
+
+val iter_down : t -> (node -> unit) -> unit
+(** Visit every node parents-first. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: node count, leaf count, depth. *)

@@ -1,0 +1,79 @@
+module Cell = Repro_cell.Cell
+
+type t = {
+  num_nodes : int;
+  num_leaves : int;
+  num_internal : int;
+  max_depth : int;
+  total_wirelength : float;
+  total_wire_cap : float;
+  total_sink_cap : float;
+  total_cell_area : float;
+  max_fanout : int;
+  mean_fanout : float;
+  num_inverting_leaves : int;
+  num_adjustable : int;
+}
+
+let compute ?assignment tree =
+  let cell_of nd =
+    match assignment with
+    | Some asg -> Assignment.cell asg nd.Tree.id
+    | None -> nd.Tree.default_cell
+  in
+  let nodes = Tree.nodes tree in
+  let leaves = Tree.leaves tree in
+  let internals = Tree.internals tree in
+  let fold f init = Array.fold_left f init nodes in
+  let total_wirelength = fold (fun a nd -> a +. nd.Tree.wire.Wire.length) 0.0 in
+  let total_wire_cap = fold (fun a nd -> a +. nd.Tree.wire.Wire.cap) 0.0 in
+  let total_sink_cap = fold (fun a nd -> a +. nd.Tree.sink_cap) 0.0 in
+  let total_cell_area = fold (fun a nd -> a +. (cell_of nd).Cell.area) 0.0 in
+  let max_fanout =
+    Array.fold_left
+      (fun a nd -> max a (List.length nd.Tree.children))
+      0 internals
+  in
+  let mean_fanout =
+    if Array.length internals = 0 then 0.0
+    else
+      Array.fold_left
+        (fun a nd -> a +. float_of_int (List.length nd.Tree.children))
+        0.0 internals
+      /. float_of_int (Array.length internals)
+  in
+  let max_depth =
+    Array.fold_left (fun a nd -> max a (Tree.depth tree nd.Tree.id)) 0 leaves
+  in
+  let num_inverting_leaves =
+    Array.fold_left
+      (fun a nd -> if Cell.polarity (cell_of nd) = Cell.Negative then a + 1 else a)
+      0 leaves
+  in
+  let num_adjustable =
+    fold (fun a nd -> if Cell.is_adjustable (cell_of nd) then a + 1 else a) 0
+  in
+  {
+    num_nodes = Tree.size tree;
+    num_leaves = Array.length leaves;
+    num_internal = Array.length internals;
+    max_depth;
+    total_wirelength;
+    total_wire_cap;
+    total_sink_cap;
+    total_cell_area;
+    max_fanout;
+    mean_fanout;
+    num_inverting_leaves;
+    num_adjustable;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>nodes: %d (%d leaves, %d internal), depth %d@,\
+     wire: %.0f um (%.1f fF); sink cap %.1f fF; cell area %.1f um^2@,\
+     fanout: max %d, mean %.2f@,\
+     inverting leaves: %d; adjustable cells: %d@]"
+    s.num_nodes s.num_leaves s.num_internal s.max_depth s.total_wirelength
+    s.total_wire_cap s.total_sink_cap s.total_cell_area s.max_fanout
+    s.mean_fanout s.num_inverting_leaves s.num_adjustable

@@ -1,0 +1,24 @@
+(** Structural and electrical statistics of a clock tree — the numbers a
+    CTS report card shows (total wirelength, capacitance, buffer area,
+    fanout and depth distributions). *)
+
+type t = {
+  num_nodes : int;
+  num_leaves : int;
+  num_internal : int;
+  max_depth : int;  (** Leaf depth (uniform in synthesized trees). *)
+  total_wirelength : float;  (** um. *)
+  total_wire_cap : float;  (** fF. *)
+  total_sink_cap : float;  (** fF. *)
+  total_cell_area : float;  (** um^2 under the given assignment. *)
+  max_fanout : int;
+  mean_fanout : float;  (** Over internal nodes. *)
+  num_inverting_leaves : int;  (** Under the given assignment. *)
+  num_adjustable : int;  (** ADB/ADI count under the given assignment. *)
+}
+
+val compute : ?assignment:Assignment.t -> Tree.t -> t
+(** Statistics under an assignment (default: the tree's default cells). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,18 @@
+type t = { length : float; res : float; cap : float }
+
+let res_per_um = 2.0e-3
+let cap_per_um = 0.2
+
+let of_length length =
+  if length < 0.0 then invalid_arg "Wire.of_length: negative length";
+  { length; res = res_per_um *. length; cap = cap_per_um *. length }
+
+let zero = { length = 0.0; res = 0.0; cap = 0.0 }
+
+let manhattan ~x0 ~y0 ~x1 ~y1 =
+  of_length (Float.abs (x1 -. x0) +. Float.abs (y1 -. y0))
+
+let elmore_delay w ~load = w.res *. ((w.cap /. 2.0) +. load)
+
+let scaled w ~r_scale ~c_scale =
+  { w with res = w.res *. r_scale; cap = w.cap *. c_scale }

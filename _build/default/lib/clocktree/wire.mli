@@ -1,0 +1,32 @@
+(** Lumped RC interconnect segments.
+
+    Clock-tree nets are modelled as a single pi-segment per parent-child
+    edge: total resistance (kOhm) and capacitance (fF) proportional to the
+    routed length, using 45 nm-class per-unit constants. *)
+
+type t = { length : float;  (** um of routed wire. *)
+           res : float;  (** kOhm total. *)
+           cap : float  (** fF total. *) }
+
+val res_per_um : float
+(** 2.0e-3 kOhm/um (2 Ohm/um, thin-metal class). *)
+
+val cap_per_um : float
+(** 0.2 fF/um. *)
+
+val of_length : float -> t
+(** Wire of the given routed length with the default per-unit RC.
+    @raise Invalid_argument on negative length. *)
+
+val zero : t
+(** A zero-length wire (direct connection). *)
+
+val manhattan : x0:float -> y0:float -> x1:float -> y1:float -> t
+(** Wire along the Manhattan (L1) route between two points. *)
+
+val elmore_delay : t -> load:float -> float
+(** Elmore delay (ps) through the wire into a capacitive load (fF):
+    [res * (cap / 2 + load)]. *)
+
+val scaled : t -> r_scale:float -> c_scale:float -> t
+(** Multiply R and C independently (Monte-Carlo variation). *)

@@ -1,0 +1,1 @@
+lib/core/adb_embedding.ml: Array Float List Repro_cell Repro_clocktree

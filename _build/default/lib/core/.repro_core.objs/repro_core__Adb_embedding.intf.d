@@ -1,0 +1,1 @@
+lib/core/adb_embedding.mli: Repro_clocktree

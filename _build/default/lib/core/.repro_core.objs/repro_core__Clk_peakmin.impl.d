@@ -1,0 +1,1 @@
+lib/core/clk_peakmin.ml: Array Context Float Intervals List Noise_table Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/clk_peakmin.mli: Context Noise_table

@@ -1,0 +1,1 @@
+lib/core/clk_wavemin.ml: Array Context List Noise_table Repro_mosp

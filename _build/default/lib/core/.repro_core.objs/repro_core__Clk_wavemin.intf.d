@@ -1,0 +1,1 @@
+lib/core/clk_wavemin.mli: Context Noise_table Repro_mosp

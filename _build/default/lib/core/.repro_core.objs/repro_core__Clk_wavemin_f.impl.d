@@ -1,0 +1,1 @@
+lib/core/clk_wavemin_f.ml: Array Context Noise_table

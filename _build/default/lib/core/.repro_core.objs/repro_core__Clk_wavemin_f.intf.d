@@ -1,0 +1,1 @@
+lib/core/clk_wavemin_f.mli: Context Noise_table

@@ -1,0 +1,1 @@
+lib/core/clk_wavemin_m.ml: Adb_embedding Array Context Float Multimode Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/clk_wavemin_m.mli: Adb_embedding Context Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Float Hashtbl Intervals List Noise_table Repro_cell Repro_clocktree Repro_waveform Waveforms Zones

@@ -1,0 +1,1 @@
+lib/core/context.mli: Intervals Noise_table Repro_cell Repro_clocktree Zones

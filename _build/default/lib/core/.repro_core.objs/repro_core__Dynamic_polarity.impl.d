@@ -1,0 +1,1 @@
+lib/core/dynamic_polarity.ml: Array Clk_wavemin Clk_wavemin_m Context Float Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/dynamic_polarity.mli: Context Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Clk_peakmin Clk_wavemin Clk_wavemin_f Context Golden Repro_cell Repro_clocktree Repro_cts Sys

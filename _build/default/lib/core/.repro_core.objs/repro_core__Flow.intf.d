@@ -1,0 +1,1 @@
+lib/core/flow.mli: Context Golden Repro_cell Repro_clocktree Repro_cts

@@ -1,0 +1,1 @@
+lib/core/golden.ml: Array Float Repro_cell Repro_clocktree Repro_powergrid Repro_waveform Waveforms

@@ -1,0 +1,1 @@
+lib/core/golden.mli: Repro_clocktree Repro_powergrid

@@ -1,0 +1,1 @@
+lib/core/intervals.ml: Array Buffer List Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/intervals.mli: Repro_cell Repro_clocktree

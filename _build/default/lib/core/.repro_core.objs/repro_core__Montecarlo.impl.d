@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Float Golden Repro_cell Repro_clocktree Repro_util

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Repro_clocktree Repro_util

@@ -1,0 +1,1 @@
+lib/core/multimode.ml: Array Buffer Context Float Hashtbl Intervals List Noise_table Repro_cell Repro_clocktree Repro_mosp Repro_waveform Waveforms Zones

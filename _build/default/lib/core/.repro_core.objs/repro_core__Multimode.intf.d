@@ -1,0 +1,1 @@
+lib/core/multimode.mli: Context Intervals Noise_table Repro_cell Repro_clocktree Zones

@@ -1,0 +1,1 @@
+lib/core/noise_table.ml: Array Float Hashtbl Intervals List Repro_cell Repro_clocktree Repro_waveform Slots Waveforms Zones

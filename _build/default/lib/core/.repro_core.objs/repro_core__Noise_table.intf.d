@@ -1,0 +1,1 @@
+lib/core/noise_table.mli: Intervals Repro_cell Repro_clocktree Slots Zones

@@ -1,0 +1,1 @@
+lib/core/observations.ml: Array Bytes Float List Repro_cell Repro_clocktree Repro_mosp Repro_waveform String Waveforms

@@ -1,0 +1,1 @@
+lib/core/observations.mli: Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/power.ml: Array Float Format Golden Repro_cell Repro_clocktree Repro_waveform Waveforms

@@ -1,0 +1,1 @@
+lib/core/power.mli: Format Repro_clocktree

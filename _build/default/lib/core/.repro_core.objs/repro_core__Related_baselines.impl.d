@@ -1,0 +1,1 @@
+lib/core/related_baselines.ml: Array List Repro_cell Repro_clocktree Zones

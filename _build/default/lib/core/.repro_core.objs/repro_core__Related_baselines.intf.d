@@ -1,0 +1,1 @@
+lib/core/related_baselines.mli: Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Clk_peakmin Clk_wavemin Clk_wavemin_f Context Flow Golden List Power Printf Repro_clocktree Repro_cts Zones

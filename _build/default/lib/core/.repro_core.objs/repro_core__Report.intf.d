@@ -1,0 +1,1 @@
+lib/core/report.mli: Context Flow Repro_clocktree Repro_cts

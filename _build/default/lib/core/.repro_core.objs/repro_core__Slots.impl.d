@@ -1,0 +1,1 @@
+lib/core/slots.ml: Array Format List Repro_cell Repro_waveform

@@ -1,0 +1,1 @@
+lib/core/slots.mli: Format Repro_cell

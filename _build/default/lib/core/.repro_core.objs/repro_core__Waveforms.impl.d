@@ -1,0 +1,1 @@
+lib/core/waveforms.ml: Array Repro_cell Repro_clocktree Repro_waveform

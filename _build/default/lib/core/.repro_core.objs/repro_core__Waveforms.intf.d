@@ -1,0 +1,1 @@
+lib/core/waveforms.mli: Repro_cell Repro_clocktree

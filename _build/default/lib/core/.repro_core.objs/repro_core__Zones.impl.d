@@ -1,0 +1,1 @@
+lib/core/zones.ml: Array Float Hashtbl List Repro_clocktree

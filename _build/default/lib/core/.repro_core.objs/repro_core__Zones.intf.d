@@ -1,0 +1,1 @@
+lib/core/zones.mli: Repro_clocktree

@@ -1,0 +1,186 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+
+type result = {
+  assignment : Assignment.t;
+  num_adbs : int;
+  skews : float array;
+  feasible : bool;
+}
+
+let skews tree asg envs =
+  Array.map
+    (fun env -> Timing.skew tree (Timing.analyze tree asg env ~edge:Electrical.Rising))
+    envs
+
+let adb_steps = Library.adjustable_steps
+
+(* Smallest selectable step >= value (the largest step when the need
+   exceeds the ADB range). *)
+let ceil_step value =
+  let steps = adb_steps in
+  let n = Array.length steps in
+  let rec go i =
+    if i >= n then steps.(n - 1)
+    else if steps.(i) +. 1e-9 >= value then steps.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Largest selectable step <= value. *)
+let floor_step value =
+  let steps = adb_steps in
+  let n = Array.length steps in
+  let rec go i best =
+    if i >= n then best
+    else if steps.(i) <= value +. 1e-9 then go (i + 1) steps.(i)
+    else best
+  in
+  go 0 0.0
+
+(* Selectable step closest to value. *)
+let nearest_step value =
+  let lo = floor_step value and hi = ceil_step value in
+  if value -. lo <= hi -. value then lo else hi
+
+let max_step = Array.fold_left Float.max 0.0 adb_steps
+
+let nearest_drive drive =
+  let best = ref (List.hd Library.drives) in
+  List.iter
+    (fun d -> if abs (d - drive) < abs (!best - drive) then best := d)
+    Library.drives;
+  !best
+
+let embed ?(max_rounds = 8) tree base ~envs ~kappa =
+  if kappa <= 0.0 then invalid_arg "Adb_embedding.embed: kappa <= 0";
+  let num_modes = Array.length envs in
+  if num_modes = 0 then invalid_arg "Adb_embedding.embed: no modes";
+  if num_modes <> Assignment.num_modes base then
+    invalid_arg "Adb_embedding.embed: envs/assignment mode count mismatch";
+  let n = Tree.size tree in
+  let guard = 0.15 *. kappa in
+  let round asg =
+    let timings =
+      Array.map (fun env -> Timing.analyze tree asg env ~edge:Electrical.Rising) envs
+    in
+    let current_skews = Array.map (Timing.skew tree) timings in
+    if Array.for_all (fun s -> s <= kappa) current_skews then (asg, false)
+    else begin
+      (* Per-mode need of each leaf to reach the mode's arrival window. *)
+      let need = Array.make_matrix num_modes n 0.0 in
+      Array.iteri
+        (fun m timing ->
+          let arrivals = Timing.sink_arrivals tree timing in
+          let t_max =
+            Array.fold_left (fun acc (_, t) -> Float.max acc t) neg_infinity arrivals
+          in
+          Array.iter
+            (fun (leaf, t) ->
+              need.(m).(leaf) <- Float.max 0.0 (t_max -. kappa +. guard -. t))
+            arrivals)
+        timings;
+      (* Hierarchical absorption: a node absorbs (up to the ADB range)
+         the smallest residual need of the leaves below it; the
+         remainder propagates towards the leaves. *)
+      let absorb = Array.make_matrix num_modes n 0.0 in
+      let rec walk id inherited =
+        let nd = Tree.node tree id in
+        match nd.Tree.kind with
+        | Tree.Leaf ->
+          Array.iteri
+            (fun m inh ->
+              let rest = Float.max 0.0 (need.(m).(id) -. inh) in
+              (* Nearest step: a small undershoot is recovered next
+                 round, a large overshoot would create new skew. *)
+              if rest > 0.5 then absorb.(m).(id) <- nearest_step rest)
+            inherited
+        | Tree.Internal ->
+          (* Smallest per-mode need among the leaves below; all of them
+             share this node's [inherited] coverage. *)
+          let min_need = Array.make num_modes infinity in
+          let rec scan nid =
+            let nnd = Tree.node tree nid in
+            match nnd.Tree.kind with
+            | Tree.Leaf ->
+              for m = 0 to num_modes - 1 do
+                min_need.(m) <- Float.min min_need.(m) need.(m).(nid)
+              done
+            | Tree.Internal -> List.iter scan nnd.Tree.children
+          in
+          scan id;
+          let here =
+            Array.mapi
+              (fun m mn ->
+                let rest = Float.max 0.0 (mn -. inherited.(m)) in
+                (* Floor: internal overshoot accumulates along the path
+                   and would manufacture new skew; leaves make up the
+                   remainder. *)
+                if rest < 0.5 then 0.0 else Float.min max_step (floor_step rest))
+              min_need
+          in
+          (* Chains (single-child repeaters) are prime ADB sites too:
+             they delay exactly one subtree. *)
+          if Array.exists (fun a -> a > 0.0) here then
+            Array.iteri (fun m a -> absorb.(m).(id) <- a) here;
+          let inherited' =
+            Array.mapi (fun m inh -> inh +. absorb.(m).(id)) inherited
+          in
+          List.iter (fun c -> walk c inherited') nd.Tree.children
+      in
+      walk (Tree.root tree).Tree.id (Array.make num_modes 0.0);
+      (* Apply: convert absorbing nodes to ADBs and program them. *)
+      let asg = ref asg in
+      let changed = ref false in
+      for id = 0 to n - 1 do
+        let any = ref false in
+        for m = 0 to num_modes - 1 do
+          if absorb.(m).(id) > 0.0 then any := true
+        done;
+        if !any then begin
+          changed := true;
+          let prev = Assignment.cell !asg id in
+          let prev_extra =
+            Array.init num_modes (fun m -> Assignment.extra_delay !asg ~mode:m id)
+          in
+          (if not (Cell.is_adjustable prev) then
+             let drive = nearest_drive prev.Cell.drive in
+             asg := Assignment.set_cell !asg id (Library.adb drive));
+          for m = 0 to num_modes - 1 do
+            let total =
+              Float.min max_step
+                (nearest_step (prev_extra.(m) +. absorb.(m).(id)))
+            in
+            if total > 0.0 then
+              asg := Assignment.set_extra_delay !asg ~mode:m id total
+          done
+        end
+      done;
+      (!asg, !changed)
+    end
+  in
+  let rec iterate asg k =
+    if k >= max_rounds then asg
+    else
+      let asg', changed = round asg in
+      if changed then iterate asg' (k + 1) else asg'
+  in
+  let final = iterate base 0 in
+  let final_skews = skews tree final envs in
+  let num_adbs =
+    let count = ref 0 in
+    for id = 0 to n - 1 do
+      if Cell.is_adjustable (Assignment.cell final id) then incr count
+    done;
+    !count
+  in
+  {
+    assignment = final;
+    num_adbs;
+    skews = final_skews;
+    feasible = Array.for_all (fun s -> s <= kappa) final_skews;
+  }

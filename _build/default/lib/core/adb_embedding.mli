@@ -1,0 +1,37 @@
+(** Adjustable-delay-buffer embedding for multi-mode skew repair (the
+    role of Lim/Kim [16] and Kim/Joo/Kim [17] in the ClkWaveMin-M flow,
+    Fig. 13).
+
+    When buffer sizing alone cannot satisfy the skew bound in every
+    power mode, some buffers are replaced by ADBs whose capacitor-bank
+    delay is programmed per mode.  The embedding computes, for every
+    mode, how much extra delay each sink needs to land inside the mode's
+    arrival window, absorbs the common part of each subtree's need at
+    internal nodes (fewer ADBs), quantizes to the ADB delay steps, and
+    iterates until the skew of every mode meets the bound or no progress
+    is made. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+
+type result = {
+  assignment : Assignment.t;  (** With ADBs placed and programmed. *)
+  num_adbs : int;  (** Buffers converted to ADBs (leaf and internal). *)
+  skews : float array;  (** Final skew per mode, ps. *)
+  feasible : bool;  (** All mode skews within the bound. *)
+}
+
+val skews : Tree.t -> Assignment.t -> Timing.env array -> float array
+(** Per-mode clock skew of an assignment. *)
+
+val embed :
+  ?max_rounds:int ->
+  Tree.t ->
+  Assignment.t ->
+  envs:Timing.env array ->
+  kappa:float ->
+  result
+(** Insert and program ADBs on the base assignment ([max_rounds]
+    refinement rounds, default 4).
+    @raise Invalid_argument if [kappa <= 0] or [envs] is empty. *)

@@ -1,0 +1,34 @@
+(** ClkPeakMin — the baseline of Jang, Joo & Kim [27] (TCAD 2011).
+
+    The best previously known polarity assignment with sizing: per
+    feasible interval it minimizes
+
+    {v max ( sum over positive-polarity sinks of peak(cell),
+          sum over negative-polarity sinks of peak(cell) ) v}
+
+    where [peak] is the cell's characterized scalar peak current — i.e.
+    it balances the two rails using only per-cell peaks, ignoring the
+    arrival-time differences of the sinks and the non-leaf current
+    (the limitations WaveMin removes).  The inner problem is the
+    Knapsack-style balancing of [27], solved here by pseudo-polynomial
+    dynamic programming over a discretized positive-rail sum. *)
+
+val buckets : int
+(** Resolution of the DP discretization (512). *)
+
+val zone_solver :
+  Context.t -> Noise_table.t -> avail:bool array array -> int array
+(** Balance one zone: candidate index per zone sink.
+    @raise Invalid_argument if some sink has no available candidate. *)
+
+val zone_balance_objective : Noise_table.t -> choices:int array -> float
+(** The baseline's own objective value (uA) for a choice vector —
+    max(positive-rail sum, negative-rail sum) of scalar peaks. *)
+
+val optimize : Context.t -> Context.outcome
+(** Full ClkPeakMin over all zones and interval classes.  Class selection
+    uses the baseline's own objective, faithfully reproducing its
+    blindness to waveform timing; the reported [predicted_peak_ua] is
+    nevertheless measured with the fine-grained zone estimate so that
+    outcomes are comparable.
+    @raise Failure when the skew bound admits no feasible interval. *)

@@ -1,0 +1,38 @@
+module Layered = Repro_mosp.Layered
+module Warburton = Repro_mosp.Warburton
+
+let to_mosp (table : Noise_table.t) ~avail =
+  let mapping =
+    Array.mapi
+      (fun zi row ->
+        let admitted = ref [] in
+        Array.iteri (fun ci ok -> if ok then admitted := ci :: !admitted) row;
+        let admitted = Array.of_list (List.rev !admitted) in
+        if Array.length admitted = 0 then
+          invalid_arg "Clk_wavemin.to_mosp: sink without available candidate";
+        ignore zi;
+        admitted)
+      avail
+  in
+  let options =
+    Array.mapi
+      (fun zi admitted ->
+        Array.map (fun ci -> table.Noise_table.noise.(zi).(ci)) admitted)
+      mapping
+  in
+  let graph =
+    Layered.create ~options ~dest_weight:table.Noise_table.nonleaf
+  in
+  (graph, mapping)
+
+let zone_solver (ctx : Context.t) table ~avail =
+  let graph, mapping = to_mosp table ~avail in
+  let solution =
+    Warburton.solve_min_max ~epsilon:ctx.Context.params.Context.epsilon
+      ~max_labels:ctx.Context.params.Context.max_labels graph
+  in
+  Array.mapi
+    (fun row opt -> mapping.(row).(opt))
+    solution.Warburton.choices
+
+let optimize ctx = Context.solve_with ctx ~zone_solver

@@ -1,0 +1,22 @@
+(** ClkWaveMin (Sec. V-B): the approximation algorithm.
+
+    Per zone and per feasible interval class, the WaveMin instance is
+    converted to a layered MOSP graph (Algorithm 1) — one row per zone
+    sink, one vertex per admitted candidate, the non-leaf noise vector on
+    the dest arcs — and solved with the Warburton ε-approximation; the
+    Pareto path with the minimum worst component is selected. *)
+
+val to_mosp :
+  Noise_table.t -> avail:bool array array -> Repro_mosp.Layered.t * int array array
+(** Algorithm 1: build the layered graph for one zone under an
+    availability mask.  Also returns, per row, the mapping from graph
+    option index back to the candidate index in the noise table.
+    @raise Invalid_argument if some sink has no available candidate. *)
+
+val zone_solver :
+  Context.t -> Noise_table.t -> avail:bool array array -> int array
+(** Solve one zone: candidate index per zone sink. *)
+
+val optimize : Context.t -> Context.outcome
+(** Full ClkWaveMin over all zones and interval classes.
+    @raise Failure when the skew bound admits no feasible interval. *)

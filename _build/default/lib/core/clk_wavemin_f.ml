@@ -1,0 +1,49 @@
+let zone_solver (ctx : Context.t) (table : Noise_table.t) ~avail =
+  ignore ctx;
+  let num_sinks = Array.length table.Noise_table.sinks in
+  Array.iter
+    (fun row ->
+      if not (Array.exists (fun b -> b) row) then
+        invalid_arg "Clk_wavemin_f.zone_solver: sink without available candidate")
+    avail;
+  let num_slots = Array.length table.Noise_table.nonleaf in
+  let sum = Array.copy table.Noise_table.nonleaf in
+  let choices = Array.make num_sinks (-1) in
+  let assigned = Array.make num_sinks false in
+  (* Max over slots if the candidate were added to the current sum. *)
+  let worsened zi ci =
+    let v = table.Noise_table.noise.(zi).(ci) in
+    let m = ref 0.0 in
+    for si = 0 to num_slots - 1 do
+      let x = sum.(si) +. v.(si) in
+      if x > !m then m := x
+    done;
+    !m
+  in
+  for _ = 1 to num_sinks do
+    let best = ref None in
+    for zi = 0 to num_sinks - 1 do
+      if not assigned.(zi) then
+        Array.iteri
+          (fun ci ok ->
+            if ok then begin
+              let m = worsened zi ci in
+              match !best with
+              | Some (_, _, bm) when bm <= m -> ()
+              | Some _ | None -> best := Some (zi, ci, m)
+            end)
+          avail.(zi)
+    done;
+    match !best with
+    | None -> assert false (* every sink has an available candidate *)
+    | Some (zi, ci, _) ->
+      assigned.(zi) <- true;
+      choices.(zi) <- ci;
+      let v = table.Noise_table.noise.(zi).(ci) in
+      for si = 0 to num_slots - 1 do
+        sum.(si) <- sum.(si) +. v.(si)
+      done
+  done;
+  choices
+
+let optimize ctx = Context.solve_with ctx ~zone_solver

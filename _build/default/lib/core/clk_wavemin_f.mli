@@ -1,0 +1,16 @@
+(** ClkWaveMin-f (Sec. V-C): the fast greedy heuristic.
+
+    Instead of searching Pareto paths, the assignment is built vertex by
+    vertex: starting from the non-leaf noise expectation, repeatedly pick
+    the (sink, candidate) pair whose selection least worsens the running
+    maximum over slots, fix it, and remove the sink's other options.
+    Runs in O(|S| * |L|^2) per zone. *)
+
+val zone_solver :
+  Context.t -> Noise_table.t -> avail:bool array array -> int array
+(** Greedy zone solve: candidate index per zone sink.
+    @raise Invalid_argument if some sink has no available candidate. *)
+
+val optimize : Context.t -> Context.outcome
+(** Full ClkWaveMin-f over all zones and interval classes.
+    @raise Failure when the skew bound admits no feasible interval. *)

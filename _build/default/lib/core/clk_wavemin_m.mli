@@ -1,0 +1,45 @@
+(** ClkWaveMin-M (Fig. 13): polarity assignment for multi-power-mode
+    designs.
+
+    First the multi-mode WaveMin problem is attempted with plain buffer
+    and inverter sizing only; if no feasible interval intersection
+    exists, ADBs are embedded to repair the skew ({!Adb_embedding}), and
+    the optimization is re-run where ADB leaves may choose between
+    staying ADBs and becoming ADIs (never reverting to plain cells — the
+    ADB is needed for skew; never upgrading plain cells to ADBs — that
+    would waste area), while plain leaves use the normal B and I
+    libraries. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+module Cell := Repro_cell.Cell
+
+type outcome = {
+  assignment : Assignment.t;
+  predicted_peak_ua : float;
+  num_adbs : int;  (** ADBs in the final design (leaf + internal). *)
+  num_adis : int;  (** ADB leaves converted to ADIs. *)
+  used_adb_embedding : bool;
+  skews : float array;  (** Final per-mode skews. *)
+  feasible : bool;  (** All mode skews within kappa. *)
+}
+
+val adb_embedded_only :
+  ?params:Context.params ->
+  Tree.t ->
+  envs:Timing.env array ->
+  Adb_embedding.result
+(** The noise-unaware reference design of Table VII: ADBs inserted to
+    meet the skew bound in every mode, no polarity optimization. *)
+
+val optimize :
+  ?params:Context.params ->
+  ?buffers:Cell.t list ->
+  ?inverters:Cell.t list ->
+  Tree.t ->
+  envs:Timing.env array ->
+  outcome
+(** Full ClkWaveMin-M.  [buffers]/[inverters] default to the experiment
+    libraries (X8/X16).
+    @raise Invalid_argument on empty [envs]. *)

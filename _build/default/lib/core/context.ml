@@ -1,0 +1,188 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+
+type params = {
+  kappa : float;
+  epsilon : float;
+  num_slots : int;
+  zone_side : float;
+  max_labels : int;
+  coalesce : float;
+  max_interval_classes : int;
+  sibling_guard : float;
+}
+
+let default_params =
+  {
+    kappa = 20.0;
+    epsilon = 0.01;
+    num_slots = 158;
+    zone_side = 50.0;
+    max_labels = 400;
+    coalesce = 0.25;
+    max_interval_classes = 16;
+    sibling_guard = 4.0;
+  }
+
+type interval_class = {
+  interval : Intervals.interval;
+  avail : bool array array;
+  degree_of_freedom : int;
+}
+
+type t = {
+  tree : Tree.t;
+  base : Assignment.t;
+  env : Timing.env;
+  timing : Timing.result;
+  params : params;
+  cells : Cell.t array;
+  sinks : Intervals.sink array;
+  zones : Zones.t;
+  tables : Noise_table.t array;
+  classes : interval_class list;
+}
+
+let degree_of_freedom avail =
+  Array.fold_left
+    (fun acc row ->
+      acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 row)
+    0 avail
+
+let create ?(params = default_params) ?env ?base tree ~cells =
+  if cells = [] then invalid_arg "Context.create: empty cell library";
+  let env = match env with Some e -> e | None -> Timing.nominal () in
+  let base =
+    match base with Some a -> a | None -> Assignment.default tree ~num_modes:1
+  in
+  let timing = Timing.analyze tree base env ~edge:Electrical.Rising in
+  let falling = Timing.analyze tree base env ~edge:Electrical.Falling in
+  let sinks = Intervals.collect tree base env timing ~cells in
+  let zones = Zones.partition tree ~side:params.zone_side in
+  let num_leaves = Array.length (Tree.leaves tree) in
+  let internal_ids = Array.map (fun nd -> nd.Tree.id) (Tree.internals tree) in
+  let global_internal =
+    if Array.length internal_ids = 0 then
+      { Electrical.idd = Repro_waveform.Pwl.zero; iss = Repro_waveform.Pwl.zero }
+    else
+      Waveforms.period_rail_currents tree base env ~node_ids:internal_ids
+        ~period:Noise_table.default_period ()
+  in
+  let tables =
+    Array.map
+      (fun zone ->
+        (* Each zone accounts for a leaf-proportional share of the
+           chip-global non-leaf background; shares sum to 1, so the
+           per-zone objectives jointly balance the global waveform. *)
+        let share =
+          float_of_int (Array.length zone.Zones.leaf_ids)
+          /. float_of_int (max 1 num_leaves)
+        in
+        Noise_table.build tree base env ~rising:timing ~falling ~sinks ~zone
+          ~num_slots:params.num_slots
+          ~background:(global_internal, share) ())
+      (Zones.zones zones)
+  in
+  let effective_kappa =
+    Float.max 1.0 (params.kappa -. params.sibling_guard)
+  in
+  let feasible =
+    Intervals.feasible_intervals ~coalesce:params.coalesce sinks
+      ~kappa:effective_kappa
+  in
+  let seen = Hashtbl.create 32 in
+  let classes =
+    List.filter_map
+      (fun interval ->
+        let avail = Intervals.availability sinks interval in
+        let key = Intervals.signature avail in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some { interval; avail; degree_of_freedom = degree_of_freedom avail }
+        end)
+      feasible
+  in
+  let classes =
+    List.sort (fun a b -> compare b.degree_of_freedom a.degree_of_freedom) classes
+  in
+  let classes =
+    List.filteri (fun i _ -> i < params.max_interval_classes) classes
+  in
+  {
+    tree;
+    base;
+    env;
+    timing;
+    params;
+    cells = Array.of_list cells;
+    sinks;
+    zones;
+    tables;
+    classes;
+  }
+
+let feasible t = t.classes <> []
+
+type outcome = {
+  assignment : Assignment.t;
+  interval : Intervals.interval;
+  predicted_peak_ua : float;
+  zone_peaks : float array;
+}
+
+let zone_avail t avail (table : Noise_table.t) =
+  ignore t;
+  Array.map (fun row -> avail.(row)) table.Noise_table.sink_rows
+
+let apply_choices t per_zone_choices =
+  let asg = ref t.base in
+  Array.iteri
+    (fun zi choices ->
+      let table = t.tables.(zi) in
+      Array.iteri
+        (fun sink_idx cand_idx ->
+          let sink = table.Noise_table.sinks.(sink_idx) in
+          let cand = sink.Intervals.candidates.(cand_idx) in
+          asg := Assignment.set_cell !asg sink.Intervals.leaf_id cand.Intervals.cell;
+          if Cell.is_adjustable cand.Intervals.cell then
+            asg :=
+              Assignment.set_extra_delay !asg ~mode:t.env.Timing.mode
+                sink.Intervals.leaf_id cand.Intervals.extra)
+        choices)
+    per_zone_choices;
+  !asg
+
+let solve_with t ~zone_solver =
+  let best = ref None in
+  List.iter
+    (fun cls ->
+      let per_zone =
+        Array.map
+          (fun table ->
+            let avail = zone_avail t cls.avail table in
+            let choices = zone_solver t table ~avail in
+            let peak = Noise_table.zone_objective table ~choices in
+            (choices, peak))
+          t.tables
+      in
+      let peak =
+        Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 per_zone
+      in
+      match !best with
+      | Some (_, best_peak, _) when best_peak <= peak -> ()
+      | Some _ | None -> best := Some (cls, peak, per_zone))
+    t.classes;
+  match !best with
+  | None -> failwith "Context.solve_with: no feasible interval (skew bound too tight)"
+  | Some (cls, peak, per_zone) ->
+    let assignment = apply_choices t (Array.map fst per_zone) in
+    {
+      assignment;
+      interval = cls.interval;
+      predicted_peak_ua = peak;
+      zone_peaks = Array.map snd per_zone;
+    }

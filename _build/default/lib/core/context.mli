@@ -1,0 +1,85 @@
+(** Shared optimization context for the single-power-mode algorithms
+    (Fig. 8): timing, candidate arrivals, zones, per-zone noise tables,
+    and the deduplicated feasible time-interval classes.
+
+    Two feasible intervals admitting exactly the same candidate sets are
+    one {e class}; classes are ranked by their degree of freedom (total
+    number of admitted candidates, Sec. VI / Fig. 14) and only the top
+    [max_interval_classes] are explored — the pruning the paper derives
+    from the negative DoF/noise correlation. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+module Cell := Repro_cell.Cell
+
+type params = {
+  kappa : float;  (** Clock skew bound, ps. *)
+  epsilon : float;  (** Warburton approximation parameter. *)
+  num_slots : int;  (** |S|, split across both rails. *)
+  zone_side : float;  (** um. *)
+  max_labels : int;  (** Per-row label cap in the MOSP solver. *)
+  coalesce : float;  (** Arrival-time merging granularity, ps. *)
+  max_interval_classes : int;  (** DoF-pruned class budget. *)
+  sibling_guard : float;
+      (** ps subtracted from kappa when forming intervals.  Observation 4
+          lets the optimizer ignore the (small) effect of a sibling's
+          reassignment on a leaf's own arrival; the guard absorbs that
+          modelling slack so the final skew still meets kappa. *)
+}
+
+val default_params : params
+(** kappa = 20 ps, epsilon = 0.01, num_slots = 158, zone_side = 50 um,
+    max_labels = 400, coalesce = 0.25 ps, max_interval_classes = 16,
+    sibling_guard = 4 ps. *)
+
+type interval_class = {
+  interval : Intervals.interval;
+  avail : bool array array;  (** Global sink rows x candidates. *)
+  degree_of_freedom : int;
+}
+
+type t = {
+  tree : Tree.t;
+  base : Assignment.t;
+  env : Timing.env;
+  timing : Timing.result;
+  params : params;
+  cells : Cell.t array;  (** The candidate library, fixed order. *)
+  sinks : Intervals.sink array;  (** Global, leaf id order. *)
+  zones : Zones.t;
+  tables : Noise_table.t array;  (** One per zone. *)
+  classes : interval_class list;  (** DoF-descending. *)
+}
+
+val create :
+  ?params:params ->
+  ?env:Timing.env ->
+  ?base:Assignment.t ->
+  Tree.t ->
+  cells:Cell.t list ->
+  t
+(** Build the context.  [base] defaults to the tree's default assignment;
+    [env] to the nominal 1.1 V environment.
+    @raise Invalid_argument if [cells] is empty. *)
+
+val feasible : t -> bool
+(** At least one feasible interval class exists. *)
+
+type outcome = {
+  assignment : Assignment.t;
+  interval : Intervals.interval;
+  predicted_peak_ua : float;  (** max over zones of the zone estimate. *)
+  zone_peaks : float array;
+}
+
+val solve_with :
+  t ->
+  zone_solver:(t -> Noise_table.t -> avail:bool array array -> int array) ->
+  outcome
+(** Run [zone_solver] on every zone for every interval class and return
+    the best class's assignment.  The solver receives the zone's table
+    and the zone-local availability matrix (rows aligned with
+    [table.sinks]) and must return one {e available} candidate index per
+    zone sink.
+    @raise Failure when no feasible interval exists (check {!feasible}). *)

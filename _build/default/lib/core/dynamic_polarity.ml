@@ -1,0 +1,93 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+
+let xor_area_overhead = 1.1
+
+let inverting_twin (cell : Cell.t) =
+  match cell.Cell.kind with
+  | Cell.Buffer ->
+    Cell.make
+      ~name:("~" ^ cell.Cell.name)
+      ~kind:Cell.Inverter ~drive:cell.Cell.drive ~input_cap:cell.Cell.input_cap
+      ~output_res:cell.Cell.output_res
+        (* The twin's output edge is the opposite of the buffer's for the
+           same input edge; swapping the intrinsics makes the two cells
+           delay-matched per input edge. *)
+      ~intrinsic_rise:cell.Cell.intrinsic_fall
+      ~intrinsic_fall:cell.Cell.intrinsic_rise
+      ~area:(cell.Cell.area +. xor_area_overhead)
+      ()
+  | Cell.Inverter | Cell.Adjustable_buffer | Cell.Adjustable_inverter ->
+    invalid_arg "Dynamic_polarity.inverting_twin: driver must be a plain buffer"
+
+type outcome = {
+  polarity_bits : bool array array;
+  assignments : Assignment.t array;
+  predicted_peak_ua : float;
+  area_overhead : float;
+}
+
+let optimize ?(params = Context.default_params) ?(driver = Library.buf 8) tree
+    ~envs =
+  if Array.length envs = 0 then invalid_arg "Dynamic_polarity.optimize: no modes";
+  let twin = inverting_twin driver in
+  let leaves = Tree.leaves tree in
+  (* The twin is delay-matched, so the skew bound can never be the
+     binding constraint: relax kappa enough that the single interval
+     class admits both polarities everywhere. *)
+  let solutions =
+    Array.map
+      (fun env ->
+        (* Single-mode context in this mode's environment; mode index
+           must be 0 for a fresh 1-mode base assignment.  Polarity bits
+           are delay-neutral, so the skew bound is vacuous here: widen
+           it past this mode's base skew so the (unique) interval class
+           admits both polarities everywhere. *)
+        let env0 = { env with Timing.mode = 0 } in
+        let base = Assignment.default tree ~num_modes:1 in
+        let base_skew =
+          Timing.skew tree
+            (Timing.analyze tree base env0 ~edge:Repro_cell.Electrical.Rising)
+        in
+        let params =
+          { params with
+            Context.kappa =
+              Float.max params.Context.kappa
+                (base_skew +. params.Context.sibling_guard +. 1.0) }
+        in
+        let ctx = Context.create ~params ~env:env0 tree ~cells:[ driver; twin ] in
+        if not (Context.feasible ctx) then
+          failwith "Dynamic_polarity.optimize: no feasible interval (unexpected)";
+        Clk_wavemin.optimize ctx)
+      envs
+  in
+  let polarity_bits =
+    Array.map
+      (fun (sol : Context.outcome) ->
+        Array.map
+          (fun nd ->
+            Cell.polarity (Assignment.cell sol.Context.assignment nd.Tree.id)
+            = Cell.Negative)
+          leaves)
+      solutions
+  in
+  let predicted_peak_ua =
+    Array.fold_left
+      (fun acc (sol : Context.outcome) ->
+        Float.max acc sol.Context.predicted_peak_ua)
+      0.0 solutions
+  in
+  {
+    polarity_bits;
+    assignments = Array.map (fun (s : Context.outcome) -> s.Context.assignment) solutions;
+    predicted_peak_ua;
+    area_overhead = xor_area_overhead *. float_of_int (Array.length leaves);
+  }
+
+let static_gap ?(params = Context.default_params) tree ~envs =
+  let dynamic = optimize ~params tree ~envs in
+  let static = Clk_wavemin_m.optimize ~params tree ~envs in
+  (dynamic.predicted_peak_ua, static.Clk_wavemin_m.predicted_peak_ua)

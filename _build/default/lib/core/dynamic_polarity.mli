@@ -1,0 +1,59 @@
+(** Reconfigurable (XOR-gate) polarity assignment — the extension of
+    Lu/Taskin [30] and Lu/Teng/Taskin [31] the paper cites as recent
+    related work.
+
+    With an XOR gate in front of each leaf driver and double-edge
+    triggered flip-flops, a leaf's polarity becomes a {e configuration
+    bit} that can differ per power mode, without swapping cells and
+    (ideally) without touching the timing.  That removes both
+    restrictions static assignment fights with: the skew constraint
+    (polarity selection is delay-neutral) and the one-setting-for-all-
+    modes coupling.  The achievable peak is therefore a lower bound for
+    any static assignment over the same cell — which is exactly what
+    this module is for: quantifying how much of the gap ClkWaveMin-M
+    leaves on the table.
+
+    Modelling: each leaf keeps one driver cell; its inverting alter ego
+    is a synthetic cell with identical electrical parameters but
+    negative polarity (plus the XOR's area overhead).  Per power mode an
+    independent single-mode ClkWaveMin solves for the polarity bits. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+module Cell := Repro_cell.Cell
+
+val xor_area_overhead : float
+(** um^2 added per leaf for the XOR selector (1.1). *)
+
+val inverting_twin : Cell.t -> Cell.t
+(** The delay-matched negative-polarity twin of a (positive) driver
+    cell; its name gets an ["~"] prefix.
+    @raise Invalid_argument if the cell is not a plain buffer. *)
+
+type outcome = {
+  polarity_bits : bool array array;
+      (** [polarity_bits.(m).(i)]: leaf [i] (in {!Tree.leaves} order)
+          inverts in mode [m]. *)
+  assignments : Assignment.t array;
+      (** Per-mode static-equivalent assignments (for evaluation). *)
+  predicted_peak_ua : float;  (** Worst mode's zone estimate. *)
+  area_overhead : float;  (** Total XOR area added (um^2). *)
+}
+
+val optimize :
+  ?params:Context.params ->
+  ?driver:Cell.t ->
+  Tree.t ->
+  envs:Timing.env array ->
+  outcome
+(** Choose per-mode polarity bits ([driver] defaults to BUF_X8).  Every
+    mode is solved independently; because the twin is delay-matched,
+    every sink admits both polarities in every interval and skew equals
+    the all-buffer tree's skew in each mode.
+    @raise Invalid_argument if [envs] is empty or badly indexed. *)
+
+val static_gap :
+  ?params:Context.params -> Tree.t -> envs:Timing.env array -> float * float
+(** (dynamic predicted peak, static ClkWaveMin-M predicted peak) on the
+    same tree and modes — the reconfigurability benefit. *)

@@ -1,0 +1,66 @@
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+
+type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
+
+let algorithm_name = function
+  | Initial -> "Initial"
+  | Peakmin -> "ClkPeakMin"
+  | Wavemin -> "ClkWaveMin"
+  | Wavemin_fast -> "ClkWaveMin-f"
+
+type run = {
+  benchmark : string;
+  algorithm : algorithm;
+  params : Context.params;
+  metrics : Golden.metrics;
+  predicted_peak_ua : float;
+  num_leaf_inverters : int;
+  elapsed_s : float;
+}
+
+let leaf_library () =
+  [ Library.buf 8; Library.buf 16; Library.inv 8; Library.inv 16 ]
+
+let run_tree ?(params = Context.default_params) ~name tree algorithm =
+  let env = Timing.nominal () in
+  let t0 = Sys.time () in
+  let assignment, predicted =
+    match algorithm with
+    | Initial -> (Assignment.default tree ~num_modes:1, 0.0)
+    | Peakmin | Wavemin | Wavemin_fast ->
+      let ctx = Context.create ~params ~env tree ~cells:(leaf_library ()) in
+      let outcome =
+        match algorithm with
+        | Peakmin -> Clk_peakmin.optimize ctx
+        | Wavemin -> Clk_wavemin.optimize ctx
+        | Wavemin_fast -> Clk_wavemin_f.optimize ctx
+        | Initial -> assert false
+      in
+      (outcome.Context.assignment, outcome.Context.predicted_peak_ua)
+  in
+  let elapsed_s = Sys.time () -. t0 in
+  let metrics = Golden.evaluate tree assignment env in
+  let num_leaf_inverters =
+    Assignment.count_leaves assignment tree ~pred:(fun c ->
+        Cell.polarity c = Cell.Negative)
+  in
+  {
+    benchmark = name;
+    algorithm;
+    params;
+    metrics;
+    predicted_peak_ua = predicted;
+    num_leaf_inverters;
+    elapsed_s;
+  }
+
+let run_benchmark ?params spec algorithm =
+  let tree = Repro_cts.Benchmarks.synthesize spec in
+  run_tree ?params ~name:spec.Repro_cts.Benchmarks.name tree algorithm
+
+let improvement_pct ~baseline ~value =
+  if baseline = 0.0 then 0.0 else (baseline -. value) /. baseline *. 100.0

@@ -1,0 +1,39 @@
+(** End-to-end single-power-mode flow: synthesize a benchmark, run an
+    algorithm, evaluate with the golden evaluator — the machinery behind
+    Tables V and VI. *)
+
+type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
+(** [Initial] evaluates the unmodified CTS tree (all leaves at the
+    default buffer) as a reference point. *)
+
+val algorithm_name : algorithm -> string
+
+type run = {
+  benchmark : string;
+  algorithm : algorithm;
+  params : Context.params;
+  metrics : Golden.metrics;
+  predicted_peak_ua : float;  (** The optimizer's own estimate. *)
+  num_leaf_inverters : int;
+  elapsed_s : float;  (** CPU seconds spent inside the optimizer. *)
+}
+
+val leaf_library : unit -> Repro_cell.Cell.t list
+(** The experiment library of Sec. VII-A:
+    BUF_X8, BUF_X16, INV_X8, INV_X16. *)
+
+val run_tree :
+  ?params:Context.params ->
+  name:string ->
+  Repro_clocktree.Tree.t ->
+  algorithm ->
+  run
+(** Optimize an existing tree and evaluate the result. *)
+
+val run_benchmark :
+  ?params:Context.params -> Repro_cts.Benchmarks.spec -> algorithm -> run
+(** Synthesize the benchmark tree, then {!run_tree}. *)
+
+val improvement_pct : baseline:float -> value:float -> float
+(** [(baseline - value) / baseline * 100] — the paper's improvement
+    columns (negative = degradation).  Returns 0 for a zero baseline. *)

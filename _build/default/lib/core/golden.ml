@@ -1,0 +1,90 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+module Grid = Repro_powergrid.Grid
+module Noise = Repro_powergrid.Noise
+
+type metrics = {
+  peak_current_ma : float;
+  vdd_noise_mv : float;
+  gnd_noise_mv : float;
+  skew_ps : float;
+}
+
+let default_period = 2000.0
+
+let default_grid tree =
+  let side =
+    Array.fold_left
+      (fun acc nd -> Float.max acc (Float.max nd.Tree.x nd.Tree.y))
+      1.0 (Tree.nodes tree)
+  in
+  Grid.create ~die_side:(side *. 1.02) ()
+
+let node_injections tree asg env ~period =
+  let rising = Timing.analyze tree asg env ~edge:Electrical.Rising in
+  let falling = Timing.analyze tree asg env ~edge:Electrical.Falling in
+  let per_node nd =
+    let id = nd.Tree.id in
+    let r = Waveforms.node_currents tree asg env rising id in
+    let f = Waveforms.node_currents tree asg env falling id in
+    let idd =
+      Pwl.add r.Electrical.idd (Pwl.shift f.Electrical.idd (period /. 2.0))
+    in
+    let iss =
+      Pwl.add r.Electrical.iss (Pwl.shift f.Electrical.iss (period /. 2.0))
+    in
+    (nd, { Electrical.idd; iss })
+  in
+  (rising, Array.map per_node (Tree.nodes tree))
+
+let evaluate ?(period = default_period) ?grid ?(noise_samples = 48) tree asg env =
+  let grid = match grid with Some g -> g | None -> default_grid tree in
+  let rising, injections = node_injections tree asg env ~period in
+  let total_idd =
+    Pwl.sum (Array.to_list (Array.map (fun (_, c) -> c.Electrical.idd) injections))
+  in
+  let total_iss =
+    Pwl.sum (Array.to_list (Array.map (fun (_, c) -> c.Electrical.iss) injections))
+  in
+  let peak_ua = Float.max (Pwl.peak total_idd) (Pwl.peak total_iss) in
+  let vdd_inj =
+    Array.to_list
+      (Array.map
+         (fun ((nd : Tree.node), (c : Electrical.currents)) ->
+           { Noise.x = nd.Tree.x; y = nd.Tree.y; waveform = c.Electrical.idd })
+         injections)
+  in
+  let gnd_inj =
+    Array.to_list
+      (Array.map
+         (fun ((nd : Tree.node), (c : Electrical.currents)) ->
+           { Noise.x = nd.Tree.x; y = nd.Tree.y; waveform = c.Electrical.iss })
+         injections)
+  in
+  let times = Noise.default_times (vdd_inj @ gnd_inj) ~count:noise_samples in
+  let report = Noise.evaluate grid ~vdd:vdd_inj ~gnd:gnd_inj ~times in
+  {
+    peak_current_ma = peak_ua /. 1000.0;
+    vdd_noise_mv = report.Noise.vdd_noise_mv;
+    gnd_noise_mv = report.Noise.gnd_noise_mv;
+    skew_ps = Timing.skew tree rising;
+  }
+
+let worst_over_modes ?period ?grid ?noise_samples tree asg envs =
+  if Array.length envs = 0 then
+    invalid_arg "Golden.worst_over_modes: no modes";
+  let metrics =
+    Array.map (fun env -> evaluate ?period ?grid ?noise_samples tree asg env) envs
+  in
+  Array.fold_left
+    (fun acc m ->
+      {
+        peak_current_ma = Float.max acc.peak_current_ma m.peak_current_ma;
+        vdd_noise_mv = Float.max acc.vdd_noise_mv m.vdd_noise_mv;
+        gnd_noise_mv = Float.max acc.gnd_noise_mv m.gnd_noise_mv;
+        skew_ps = Float.max acc.skew_ps m.skew_ps;
+      })
+    metrics.(0) metrics

@@ -1,0 +1,53 @@
+(** Golden evaluation of an assignment — the HSPICE stand-in.
+
+    Unlike the optimizers' slot-sampled estimates, the golden evaluator
+    sums the full PWL current waveforms of {e every} buffering element
+    over a whole clock period (rising-edge event train plus falling-edge
+    train) and reports:
+
+    - the peak current: maximum instantaneous total current on either
+      rail (Table V/VI/VII's "Peak curr.");
+    - V_DD and Gnd noise: worst voltage fluctuation of the resistive
+      power mesh under those currents (Table V/VII's noise columns);
+    - the clock skew of the assignment. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+
+type metrics = {
+  peak_current_ma : float;
+  vdd_noise_mv : float;
+  gnd_noise_mv : float;
+  skew_ps : float;
+}
+
+val default_period : float
+(** 2000 ps (500 MHz). *)
+
+val evaluate :
+  ?period:float ->
+  ?grid:Repro_powergrid.Grid.t ->
+  ?noise_samples:int ->
+  Tree.t ->
+  Assignment.t ->
+  Timing.env ->
+  metrics
+(** Evaluate one assignment in one environment/mode.  When [grid] is
+    omitted a default 16 x 16 mesh sized to the tree's bounding box is
+    used.  [noise_samples] (default 48) is the number of grid transient
+    samples. *)
+
+val worst_over_modes :
+  ?period:float ->
+  ?grid:Repro_powergrid.Grid.t ->
+  ?noise_samples:int ->
+  Tree.t ->
+  Assignment.t ->
+  Timing.env array ->
+  metrics
+(** Component-wise worst metrics across power modes (Table VII reports
+    the worst mode). *)
+
+val default_grid : Tree.t -> Repro_powergrid.Grid.t
+(** The mesh used when [grid] is omitted. *)

@@ -1,0 +1,99 @@
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+
+type candidate = { cell : Cell.t; extra : float; arrival : float }
+
+type sink = { leaf_id : Tree.node_id; candidates : candidate array }
+
+let collect_per_leaf tree asg env timing ~cells_of =
+  Array.map
+    (fun nd ->
+      let leaf_id = nd.Tree.id in
+      let cells = cells_of leaf_id in
+      if cells = [] then
+        invalid_arg "Intervals.collect_per_leaf: empty leaf library";
+      let candidates =
+        List.concat_map
+          (fun cell ->
+            (* leaf_delay already includes the base assignment's setting
+               for adjustable cells; candidates span the selectable
+               steps instead. *)
+            let d = Timing.leaf_delay tree asg env timing leaf_id cell in
+            let base =
+              d
+              -. (if Cell.is_adjustable cell then
+                    Repro_clocktree.Assignment.extra_delay asg
+                      ~mode:env.Timing.mode leaf_id
+                  else 0.0)
+            in
+            let steps =
+              if Cell.is_adjustable cell then
+                Array.to_list cell.Cell.delay_steps
+              else [ 0.0 ]
+            in
+            List.map
+              (fun extra ->
+                {
+                  cell;
+                  extra;
+                  arrival =
+                    timing.Timing.input_arrival.(leaf_id) +. base +. extra;
+                })
+              steps)
+          cells
+        |> Array.of_list
+      in
+      { leaf_id; candidates })
+    (Tree.leaves tree)
+
+let collect tree asg env timing ~cells =
+  collect_per_leaf tree asg env timing ~cells_of:(fun _ -> cells)
+
+type interval = { lo : float; hi : float }
+
+let inside iv arrival = arrival >= iv.lo -. 1e-9 && arrival <= iv.hi +. 1e-9
+
+let feasible sinks iv =
+  Array.for_all
+    (fun s -> Array.exists (fun c -> inside iv c.arrival) s.candidates)
+    sinks
+
+let feasible_intervals ?(coalesce = 0.25) sinks ~kappa =
+  if kappa <= 0.0 then invalid_arg "Intervals.feasible_intervals: kappa <= 0";
+  let arrivals =
+    Array.to_list sinks
+    |> List.concat_map (fun s ->
+           Array.to_list (Array.map (fun c -> c.arrival) s.candidates))
+    |> List.sort_uniq compare
+  in
+  (* Coalesce near-equal arrival times to bound the interval count.  The
+     representative of each merged run is its LARGEST member: intervals
+     are [t - kappa, t], so only a representative at least as large as
+     every member of its run still covers the run. *)
+  let arrivals =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | prev :: rest when t -. prev < coalesce -> t :: rest
+        | _ -> t :: acc)
+      [] arrivals
+    |> List.rev
+  in
+  arrivals
+  |> List.map (fun hi -> { lo = hi -. kappa; hi })
+  |> List.filter (feasible sinks)
+
+let availability sinks iv =
+  Array.map
+    (fun s -> Array.map (fun c -> inside iv c.arrival) s.candidates)
+    sinks
+
+let signature avail =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun row ->
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) row;
+      Buffer.add_char buf '|')
+    avail;
+  Buffer.contents buf

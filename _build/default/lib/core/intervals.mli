@@ -1,0 +1,72 @@
+(** Arrival-time candidates and feasible time intervals (Sec. IV-A,
+    Fig. 6).
+
+    For every sink (leaf buffering element) and every cell of the
+    candidate library, the arrival time at the flip-flops is the leaf's
+    input arrival plus the candidate's delay.  Every distinct arrival
+    time [t] defines the interval [\[t - kappa, t\]]; an interval is
+    {e feasible} when every sink has at least one candidate cell whose
+    arrival lies inside it, in which case assigning only such cells
+    keeps the clock skew within [kappa]. *)
+
+module Tree := Repro_clocktree.Tree
+module Cell := Repro_cell.Cell
+
+type candidate = {
+  cell : Cell.t;
+  extra : float;
+      (** Selected adjustable-delay step (ps); 0 for fixed cells.
+          Adjustable cells contribute one candidate per delay step, so
+          choosing a candidate fixes both the cell and its setting. *)
+  arrival : float;  (** ps at the FFs when this candidate is assigned. *)
+}
+
+type sink = {
+  leaf_id : Tree.node_id;
+  candidates : candidate array;  (** One per library cell, in order. *)
+}
+
+val collect :
+  Tree.t ->
+  Repro_clocktree.Assignment.t ->
+  Repro_clocktree.Timing.env ->
+  Repro_clocktree.Timing.result ->
+  cells:Cell.t list ->
+  sink array
+(** Candidate arrivals for every leaf, in leaf id order; adjustable
+    cells are expanded over their delay steps. *)
+
+val collect_per_leaf :
+  Tree.t ->
+  Repro_clocktree.Assignment.t ->
+  Repro_clocktree.Timing.env ->
+  Repro_clocktree.Timing.result ->
+  cells_of:(Tree.node_id -> Cell.t list) ->
+  sink array
+(** Like {!collect} with a per-leaf candidate library — used by
+    ClkWaveMin-M where ADB leaves may only swap to ADB/ADI while plain
+    leaves use B and I (Fig. 13).
+    @raise Invalid_argument if some leaf gets an empty library. *)
+
+type interval = { lo : float; hi : float }
+(** [\[hi - kappa, hi\]] with [lo = hi -. kappa]. *)
+
+val feasible : sink array -> interval -> bool
+(** Every sink has a candidate inside the interval. *)
+
+val feasible_intervals :
+  ?coalesce:float -> sink array -> kappa:float -> interval list
+(** All feasible intervals defined by the (deduplicated) arrival times,
+    sorted by [hi].  [coalesce] (default 0.25 ps) merges arrival times
+    closer than that before interval generation, which bounds the
+    interval count without affecting feasibility materially.
+    @raise Invalid_argument if [kappa <= 0]. *)
+
+val availability : sink array -> interval -> bool array array
+(** [availability sinks iv] has one row per sink and one entry per
+    candidate: [true] iff the candidate's arrival is inside [iv]. *)
+
+val signature : bool array array -> string
+(** Canonical key of an availability matrix — intervals with equal
+    signatures admit exactly the same assignments and need solving only
+    once. *)

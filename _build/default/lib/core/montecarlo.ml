@@ -1,0 +1,75 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Electrical = Repro_cell.Electrical
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+type config = {
+  instances : int;
+  sigma_ratio : float;
+  kappa : float;
+  noise_instances : int;
+  seed : int;
+}
+
+let default_config =
+  { instances = 1000; sigma_ratio = 0.05; kappa = 100.0; noise_instances = 64;
+    seed = 20140214 }
+
+type report = {
+  skew_yield : float;
+  mean_skew : float;
+  norm_std_peak : float;
+  norm_std_vdd : float;
+  norm_std_gnd : float;
+}
+
+let positive_gaussian rng ~sigma_ratio =
+  Float.max 0.5 (Rng.gaussian rng ~mu:1.0 ~sigma:sigma_ratio)
+
+let perturbed_env rng ~sigma_ratio tree =
+  let n = Tree.size tree in
+  let cell_factor =
+    Array.init n (fun _ -> positive_gaussian rng ~sigma_ratio)
+  in
+  let wire_r = Array.init n (fun _ -> positive_gaussian rng ~sigma_ratio) in
+  let wire_c = Array.init n (fun _ -> positive_gaussian rng ~sigma_ratio) in
+  let nominal = Timing.nominal () in
+  {
+    nominal with
+    Timing.cell_derate = (fun id -> cell_factor.(id));
+    wire_r_scale = (fun id -> wire_r.(id));
+    wire_c_scale = (fun id -> wire_c.(id));
+  }
+
+let run ?(config = default_config) tree asg =
+  if config.instances < 1 then invalid_arg "Montecarlo.run: instances < 1";
+  let rng = Rng.create ~seed:config.seed in
+  let grid = Golden.default_grid tree in
+  let skews = Array.make config.instances 0.0 in
+  let noise_n = min config.noise_instances config.instances in
+  let peaks = Array.make noise_n 0.0 in
+  let vdds = Array.make noise_n 0.0 in
+  let gnds = Array.make noise_n 0.0 in
+  for i = 0 to config.instances - 1 do
+    let env = perturbed_env rng ~sigma_ratio:config.sigma_ratio tree in
+    if i < noise_n then begin
+      let m = Golden.evaluate ~grid tree asg env in
+      skews.(i) <- m.Golden.skew_ps;
+      peaks.(i) <- m.Golden.peak_current_ma;
+      vdds.(i) <- m.Golden.vdd_noise_mv;
+      gnds.(i) <- m.Golden.gnd_noise_mv
+    end
+    else begin
+      let timing = Timing.analyze tree asg env ~edge:Electrical.Rising in
+      skews.(i) <- Timing.skew tree timing
+    end
+  done;
+  {
+    skew_yield = Stats.fraction_satisfying (fun s -> s <= config.kappa) skews;
+    mean_skew = Stats.mean skews;
+    norm_std_peak = Stats.normalized_stddev peaks;
+    norm_std_vdd = Stats.normalized_stddev vdds;
+    norm_std_gnd = Stats.normalized_stddev gnds;
+  }

@@ -1,0 +1,40 @@
+(** Monte-Carlo process-variation analysis (Sec. VII-D).
+
+    Wire widths/lengths, buffer widths and threshold voltages are
+    randomized as Gaussians with sigma/mu = 5 %; in our model that maps
+    to multiplicative Gaussian factors on per-node cell delays and wire
+    R/C.  For each randomized instance the skew and the golden noise
+    metrics are measured; reported are the skew yield (share of
+    instances within the bound) and the normalized standard deviations
+    sigma-hat/mu-hat of peak current and V_DD/Gnd noise. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+
+type config = {
+  instances : int;  (** 1000 in the paper. *)
+  sigma_ratio : float;  (** 0.05 in the paper. *)
+  kappa : float;  (** Skew bound for the yield, ps. *)
+  noise_instances : int;
+      (** Number of instances on which the (expensive) golden noise
+          metrics are also measured; skew is measured on all. *)
+  seed : int;
+}
+
+val default_config : config
+(** 1000 instances, 5 %, kappa = 100 ps, 64 noise instances. *)
+
+type report = {
+  skew_yield : float;  (** Fraction of instances with skew <= kappa. *)
+  mean_skew : float;
+  norm_std_peak : float;  (** sigma-hat/mu-hat of peak current. *)
+  norm_std_vdd : float;
+  norm_std_gnd : float;
+}
+
+val run : ?config:config -> Tree.t -> Assignment.t -> report
+(** Analyse one (optimized) assignment under variation. *)
+
+val perturbed_env :
+  Repro_util.Rng.t -> sigma_ratio:float -> Tree.t -> Repro_clocktree.Timing.env
+(** One randomized environment instance (exposed for tests). *)

@@ -1,0 +1,168 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+
+type t = {
+  zone : Zones.zone;
+  slots : Slots.t array;
+  sinks : Intervals.sink array;
+  sink_rows : int array;
+  noise : float array array array;
+  nonleaf : float array;
+  cand_peak : float array array;
+}
+
+let default_period = 2000.0
+
+let add_currents (a : Electrical.currents) (b : Electrical.currents) =
+  {
+    Electrical.idd = Pwl.add a.Electrical.idd b.Electrical.idd;
+    iss = Pwl.add a.Electrical.iss b.Electrical.iss;
+  }
+
+let support_union acc w =
+  match (Pwl.support w, acc) with
+  | None, acc -> acc
+  | Some (a, b), None -> Some (a, b)
+  | Some (a, b), Some (lo, hi) -> Some (Float.min a lo, Float.max b hi)
+
+let build tree asg env ~rising ~falling ?(period = default_period) ~sinks
+    ~zone ~num_slots ?background () =
+  let row_of_leaf = Hashtbl.create 16 in
+  Array.iteri
+    (fun row (s : Intervals.sink) ->
+      Hashtbl.replace row_of_leaf s.Intervals.leaf_id row)
+    sinks;
+  let sink_rows =
+    Array.map
+      (fun leaf ->
+        match Hashtbl.find_opt row_of_leaf leaf with
+        | Some row -> row
+        | None -> invalid_arg "Noise_table.build: zone leaf missing from sinks")
+      zone.Zones.leaf_ids
+  in
+  let zone_sinks = Array.map (fun row -> sinks.(row)) sink_rows in
+  (* Per candidate: the rising-edge and (already period/2-shifted)
+     falling-edge pulse pairs, both also shifted by the candidate's
+     adjustable delay step. *)
+  let cand_pairs =
+    Array.map
+      (fun (s : Intervals.sink) ->
+        Array.map
+          (fun (c : Intervals.candidate) ->
+            let r, f =
+              Waveforms.candidate_period_currents tree env ~rising ~falling
+                s.Intervals.leaf_id c.Intervals.cell ~period
+            in
+            let shift (x : Electrical.currents) =
+              {
+                Electrical.idd = Pwl.shift x.Electrical.idd c.Intervals.extra;
+                iss = Pwl.shift x.Electrical.iss c.Intervals.extra;
+              }
+            in
+            (shift r, shift f))
+          s.Intervals.candidates)
+      zone_sinks
+  in
+  let cand_currents =
+    Array.map (Array.map (fun (r, f) -> add_currents r f)) cand_pairs
+  in
+  (* Slot selection: the paper samples both rails at both clock edges
+     (Sec. III); every candidate pulse peak is a priority instant and
+     the remaining budget is spread over the two per-edge leaf switching
+     windows (Fig. 7). *)
+  let peak_times rail_of =
+    Array.to_list cand_pairs
+    |> List.concat_map (fun per_sink ->
+           Array.to_list per_sink
+           |> List.concat_map (fun (r, f) ->
+                  [ Pwl.peak_time (rail_of r); Pwl.peak_time (rail_of f) ]))
+  in
+  let window part =
+    Array.fold_left
+      (fun acc per_sink ->
+        Array.fold_left
+          (fun acc pair ->
+            let (c : Electrical.currents) = part pair in
+            support_union (support_union acc c.Electrical.idd) c.Electrical.iss)
+          acc per_sink)
+      None cand_pairs
+  in
+  let windows = List.filter_map (fun w -> w) [ window fst; window snd ] in
+  (* Reference waveform for the grid: the zone's default leaf cells over
+     the whole period. *)
+  let reference =
+    let r =
+      Waveforms.total_rail_currents tree asg env rising
+        ~node_ids:zone.Zones.leaf_ids ()
+    in
+    let f =
+      Waveforms.total_rail_currents tree asg env falling
+        ~node_ids:zone.Zones.leaf_ids ()
+    in
+    add_currents r
+      {
+        Electrical.idd = Pwl.shift f.Electrical.idd (period /. 2.0);
+        iss = Pwl.shift f.Electrical.iss (period /. 2.0);
+      }
+  in
+  let slots =
+    Slots.of_currents reference ~count:num_slots
+      ~extra_vdd:(peak_times (fun (c : Electrical.currents) -> c.Electrical.idd))
+      ~extra_gnd:(peak_times (fun (c : Electrical.currents) -> c.Electrical.iss))
+      ~windows ()
+  in
+  let nonleaf_currents =
+    match background with
+    | Some (global, share) ->
+      (* The zone accounts for a leaf-proportional share of the entire
+         chip's non-leaf current; the shares sum to one, so optimizing
+         zones independently balances the global waveform without
+         double counting. *)
+      {
+        Electrical.idd = Pwl.scale global.Electrical.idd share;
+        iss = Pwl.scale global.Electrical.iss share;
+      }
+    | None ->
+      if Array.length zone.Zones.internal_ids = 0 then
+        { Electrical.idd = Pwl.zero; iss = Pwl.zero }
+      else
+        let r =
+          Waveforms.total_rail_currents tree asg env rising
+            ~node_ids:zone.Zones.internal_ids ()
+        in
+        let f =
+          Waveforms.total_rail_currents tree asg env falling
+            ~node_ids:zone.Zones.internal_ids ()
+        in
+        add_currents r
+          {
+            Electrical.idd = Pwl.shift f.Electrical.idd (period /. 2.0);
+            iss = Pwl.shift f.Electrical.iss (period /. 2.0);
+          }
+  in
+  let clamp = Array.map (fun v -> Float.max 0.0 v) in
+  let nonleaf = clamp (Slots.sample slots nonleaf_currents) in
+  let noise =
+    Array.map (Array.map (fun c -> clamp (Slots.sample slots c))) cand_currents
+  in
+  let cand_peak =
+    Array.map
+      (Array.map (fun (c : Electrical.currents) ->
+           Float.max (Pwl.peak c.Electrical.idd) (Pwl.peak c.Electrical.iss)))
+      cand_currents
+  in
+  { zone; slots; sinks = zone_sinks; sink_rows; noise; nonleaf; cand_peak }
+
+let zone_objective t ~choices =
+  if Array.length choices <> Array.length t.sinks then
+    invalid_arg "Noise_table.zone_objective: arity mismatch";
+  let acc = Array.copy t.nonleaf in
+  Array.iteri
+    (fun zi ci ->
+      let v = t.noise.(zi).(ci) in
+      Array.iteri (fun si x -> acc.(si) <- acc.(si) +. x) v)
+    choices;
+  Array.fold_left Float.max 0.0 acc

@@ -1,0 +1,59 @@
+(** Per-zone noise lookup tables (the [noise(e_i, type, s)] function of
+    the paper, Sec. IV-B).
+
+    For one zone the table holds, for every zone sink and every candidate
+    cell, the candidate's sampled current contribution at every slot of
+    the zone's sampling set S, plus the fixed contribution of the
+    non-leaf buffering elements located in the zone (Observation 1).
+    Tables are interval-independent: feasibility masks select among the
+    precomputed candidates. *)
+
+module Tree := Repro_clocktree.Tree
+
+type t = {
+  zone : Zones.zone;
+  slots : Slots.t array;
+  sinks : Intervals.sink array;  (** The zone's sinks, zone-local order. *)
+  sink_rows : int array;
+      (** For each zone sink, its row index in the global sink array. *)
+  noise : float array array array;
+      (** [noise.(zi).(ci).(si)] — zone sink [zi], candidate [ci],
+          slot [si]; uA. *)
+  nonleaf : float array;  (** Non-leaf contribution per slot; uA. *)
+  cand_peak : float array array;
+      (** [cand_peak.(zi).(ci)] — the candidate's own characterized peak
+          current (uA), max over both rails and all time: the scalar
+          the ClkPeakMin baseline [27] optimizes with. *)
+}
+
+val default_period : float
+(** 2000 ps (500 MHz) — the analysis period when none is given. *)
+
+val build :
+  Tree.t ->
+  Repro_clocktree.Assignment.t ->
+  Repro_clocktree.Timing.env ->
+  rising:Repro_clocktree.Timing.result ->
+  falling:Repro_clocktree.Timing.result ->
+  ?period:float ->
+  sinks:Intervals.sink array ->
+  zone:Zones.zone ->
+  num_slots:int ->
+  ?background:Repro_cell.Electrical.currents * float ->
+  unit ->
+  t
+(** Build the table for one zone.  [sinks] is the global candidate array
+    from {!Intervals.collect} (leaf id order).  Slot times combine the
+    zone's default-assignment waveform with the peak instants of every
+    candidate pulse (when the slot budget allows), so tall narrow
+    candidates cannot hide between samples.  [background] is the
+    out-of-zone non-leaf current and the fraction of it this zone
+    accounts for; per-zone shares sum to the full chip background, so
+    optimizing zones independently still balances the global waveform
+    (Observation 1 at chip scale). *)
+
+val zone_objective : t -> choices:int array -> float
+(** Estimated zone peak (uA) when zone sink [zi] uses candidate
+    [choices.(zi)]: max over slots of the summed contributions plus the
+    non-leaf term.
+    @raise Invalid_argument on arity mismatch. *)

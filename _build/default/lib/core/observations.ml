@@ -1,0 +1,138 @@
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+
+type fig2_row = {
+  polarities : string;
+  leaf_peak_ua : float;
+  total_peak_ua : float;
+}
+
+type fig2 = {
+  rows : fig2_row list;
+  best_by_leaf : fig2_row;
+  best_by_total : fig2_row;
+  divergence : bool;
+}
+
+(* Fig. 2(a): a root buffer driving two internal buffers, each driving
+   two leaves.  The internal nets are long (heavy wire capacitance), so
+   the internal buffers run saturated with wide current pulses that
+   overlap the leaf switching window — the non-leaf current fluctuation
+   of Observation 1.  Because the internal cells are positive-polarity
+   buffers, that background loads the V_DD rail, and the total-optimal
+   leaf assignment leans further towards inverters than the leaf-only
+   optimum does. *)
+let example_tree () =
+  let node id parent children kind x y wire_len sink_cap cell =
+    {
+      Tree.id;
+      parent;
+      children;
+      kind;
+      x;
+      y;
+      wire = Wire.of_length wire_len;
+      sink_cap;
+      default_cell = cell;
+    }
+  in
+  Tree.create
+    [|
+      node 0 None [ 1; 2 ] Tree.Internal 50.0 50.0 0.0 0.0 (Library.buf 8);
+      node 1 (Some 0) [ 3; 4 ] Tree.Internal 25.0 40.0 140.0 0.0 (Library.buf 8);
+      node 2 (Some 0) [ 5; 6 ] Tree.Internal 80.0 65.0 200.0 0.0 (Library.buf 8);
+      node 3 (Some 1) [] Tree.Leaf 15.0 30.0 60.0 11.0 (Library.buf 8);
+      node 4 (Some 1) [] Tree.Leaf 30.0 55.0 90.0 16.0 (Library.buf 8);
+      node 5 (Some 2) [] Tree.Leaf 70.0 80.0 70.0 10.0 (Library.buf 8);
+      node 6 (Some 2) [] Tree.Leaf 95.0 60.0 100.0 17.0 (Library.buf 8);
+    |]
+
+let fig2 () =
+  let tree = example_tree () in
+  let env = Timing.nominal () in
+  let leaves = Array.map (fun nd -> nd.Tree.id) (Tree.leaves tree) in
+  let rows =
+    List.init 16 (fun mask ->
+        let asg = ref (Assignment.default tree ~num_modes:1) in
+        let polarities = Bytes.make 4 'P' in
+        Array.iteri
+          (fun i leaf ->
+            if mask land (1 lsl i) <> 0 then begin
+              Bytes.set polarities i 'N';
+              asg := Assignment.set_cell !asg leaf (Library.inv 8)
+            end)
+          leaves;
+        let asg = !asg in
+        let timing = Timing.analyze tree asg env ~edge:Electrical.Rising in
+        let sum ids =
+          let cs = Array.map (Waveforms.node_currents tree asg env timing) ids in
+          let idd =
+            Pwl.sum (Array.to_list (Array.map (fun c -> c.Electrical.idd) cs))
+          in
+          let iss =
+            Pwl.sum (Array.to_list (Array.map (fun c -> c.Electrical.iss) cs))
+          in
+          Float.max (Pwl.peak idd) (Pwl.peak iss)
+        in
+        let all = Array.map (fun nd -> nd.Tree.id) (Tree.nodes tree) in
+        {
+          polarities = Bytes.to_string polarities;
+          leaf_peak_ua = sum leaves;
+          total_peak_ua = sum all;
+        })
+  in
+  let argmin f =
+    match rows with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left (fun acc r -> if f r < f acc then r else acc) first rest
+  in
+  let best_by_leaf = argmin (fun r -> r.leaf_peak_ua) in
+  let best_by_total = argmin (fun r -> r.total_peak_ua) in
+  {
+    rows;
+    best_by_leaf;
+    best_by_total;
+    divergence =
+      (not (String.equal best_by_leaf.polarities best_by_total.polarities))
+      || best_by_leaf.total_peak_ua > best_by_total.total_peak_ua +. 1e-9;
+  }
+
+type fig3 = { peak_without_adi : float; peak_with_adi : float; adi_helps : bool }
+
+(* Observation 3 as an abstract two-mode instance.  Three sinks whose
+   feasible intersection admits only buffers (as happens in Table IV,
+   where some intervals leave a sink with buffer types only), plus one
+   sink that must stay delay-adjustable for skew repair.  Without the
+   ADI every cell loads the V_DD rail; allowing the ADB to become an ADI
+   moves its burden onto the idle Gnd rail and strictly lowers the worst
+   peak over both modes. *)
+let fig3 () =
+  (* (P+ mode1, P- mode1, P+ mode2, P- mode2) *)
+  let buf = [| 10.0; 2.0; 9.0; 2.0 |] in
+  let adb = [| 11.0; 2.0; 10.0; 2.0 |] in
+  let adi = [| 3.0; 11.0; 2.0; 10.0 |] in
+  let solve adjustable_lib =
+    let plain = [ buf ] in
+    let options =
+      [| Array.of_list plain; Array.of_list plain; Array.of_list plain;
+         Array.of_list adjustable_lib |]
+    in
+    let graph =
+      Repro_mosp.Layered.create ~options ~dest_weight:(Array.make 4 0.0)
+    in
+    (Repro_mosp.Warburton.exhaustive_min_max graph).Repro_mosp.Warburton.objective
+  in
+  let peak_without_adi = solve [ adb ] in
+  let peak_with_adi = solve [ adb; adi ] in
+  {
+    peak_without_adi;
+    peak_with_adi;
+    adi_helps = peak_with_adi <= peak_without_adi +. 1e-9;
+  }

@@ -1,0 +1,39 @@
+(** The motivating observations of Sec. II as executable experiments.
+
+    [fig2] reproduces Observation 1/2: on a 4-leaf clock tree, the
+    polarity assignment that minimizes the {e leaf-only} peak current is
+    not the one that minimizes the {e total} (leaf + non-leaf) peak,
+    because the non-leaf pulses skew the accumulated waveform.
+
+    [fig3] reproduces Observation 3: on a two-power-mode toy instance
+    where one sink must stay delay-adjustable for skew reasons, adding
+    the ADI cell to the library strictly reduces the achievable peak
+    noise versus buffers/inverters/ADB alone. *)
+
+type fig2_row = {
+  polarities : string;  (** e.g. "NNPP": N = inverter, P = buffer. *)
+  leaf_peak_ua : float;  (** Peak of the summed leaf waveforms. *)
+  total_peak_ua : float;  (** Peak including the non-leaf waveforms. *)
+}
+
+type fig2 = {
+  rows : fig2_row list;  (** All 16 assignments. *)
+  best_by_leaf : fig2_row;  (** Argmin of [leaf_peak_ua]. *)
+  best_by_total : fig2_row;  (** Argmin of [total_peak_ua]. *)
+  divergence : bool;
+      (** The two argmins select different assignments, or the
+          leaf-optimal assignment is total-suboptimal. *)
+}
+
+val example_tree : unit -> Repro_clocktree.Tree.t
+(** The 4-leaf, 3-internal-node toy tree of Fig. 2(a). *)
+
+val fig2 : unit -> fig2
+
+type fig3 = {
+  peak_without_adi : float;
+  peak_with_adi : float;
+  adi_helps : bool;  (** [peak_with_adi <= peak_without_adi]. *)
+}
+
+val fig3 : unit -> fig3

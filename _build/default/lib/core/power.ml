@@ -1,0 +1,51 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+
+type report = {
+  charge_per_cycle_fc : float;
+  avg_power_uw : float;
+  peak_current_ma : float;
+  peak_to_average : float;
+  leaf_share : float;
+}
+
+let analyze ?(period = Golden.default_period) tree asg env =
+  let all = Waveforms.period_rail_currents tree asg env ~period () in
+  let leaf_ids = Array.map (fun nd -> nd.Tree.id) (Tree.leaves tree) in
+  let leaves =
+    let rising = Timing.analyze tree asg env ~edge:Electrical.Rising in
+    let falling = Timing.analyze tree asg env ~edge:Electrical.Falling in
+    let r = Waveforms.total_rail_currents tree asg env rising ~node_ids:leaf_ids () in
+    let f = Waveforms.total_rail_currents tree asg env falling ~node_ids:leaf_ids () in
+    Pwl.add r.Electrical.idd (Pwl.shift f.Electrical.idd (period /. 2.0))
+  in
+  (* uA*ps = aC; /1000 -> fC. *)
+  let total_charge_ac = Pwl.area all.Electrical.idd in
+  let leaf_charge_ac = Pwl.area leaves in
+  let charge_per_cycle_fc = total_charge_ac /. 1000.0 in
+  (* P = Q * V / T: fC * V / ps = mW; * 1000 -> uW. *)
+  let vdd = env.Timing.vdd_of (Tree.root tree) in
+  let avg_power_uw = charge_per_cycle_fc *. vdd /. period *. 1000.0 in
+  let peak_ua =
+    Float.max (Pwl.peak all.Electrical.idd) (Pwl.peak all.Electrical.iss)
+  in
+  let avg_current_ua = total_charge_ac /. period in
+  {
+    charge_per_cycle_fc;
+    avg_power_uw;
+    peak_current_ma = peak_ua /. 1000.0;
+    peak_to_average =
+      (if avg_current_ua > 0.0 then peak_ua /. avg_current_ua else 1.0);
+    leaf_share =
+      (if total_charge_ac > 0.0 then leaf_charge_ac /. total_charge_ac else 0.0);
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>charge/cycle: %.1f fC@,average power: %.2f uW@,\
+     peak current: %.2f mA (peak/avg %.1f)@,leaf share of charge: %.0f%%@]"
+    r.charge_per_cycle_fc r.avg_power_uw r.peak_current_ma r.peak_to_average
+    (100.0 *. r.leaf_share)

@@ -1,0 +1,33 @@
+(** Clock-tree power accounting.
+
+    Polarity assignment redistributes {e when} and {e on which rail}
+    charge moves, but the total switching charge per cycle is an
+    invariant of the tree (loads don't change; only cell swaps move it
+    slightly).  This module reports the classic numbers a clock-power
+    tool prints: per-cycle charge, average dynamic power at a clock
+    frequency, and the peak-to-average ratio that the paper's
+    optimization improves. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+
+type report = {
+  charge_per_cycle_fc : float;
+      (** Total V_DD charge moved per clock period (fC). *)
+  avg_power_uw : float;  (** Average dynamic power (uW) at the period. *)
+  peak_current_ma : float;  (** Worst instantaneous rail current. *)
+  peak_to_average : float;
+      (** Peak current over the cycle-average current — the crest the
+          polarity assignment flattens (1.0 when there is no current). *)
+  leaf_share : float;
+      (** Fraction of the charge drawn by leaf cells (0 when no charge
+          moves). *)
+}
+
+val analyze :
+  ?period:float -> Tree.t -> Assignment.t -> Timing.env -> report
+(** Full-period waveform-based accounting ([period] defaults to
+    {!Golden.default_period}). *)
+
+val pp : Format.formatter -> report -> unit

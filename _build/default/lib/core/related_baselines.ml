@@ -1,0 +1,61 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+
+let flip_cell (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Buffer -> Library.inv c.Cell.drive
+  | Cell.Inverter -> Library.buf c.Cell.drive
+  | Cell.Adjustable_buffer | Cell.Adjustable_inverter ->
+    invalid_arg "Related_baselines.flip_cell: adjustable cell"
+
+let flip_leaves asg tree leaf_ids =
+  List.fold_left
+    (fun a leaf -> Assignment.set_cell a leaf (flip_cell (Assignment.cell a leaf)))
+    asg leaf_ids
+  |> fun a ->
+  ignore tree;
+  a
+
+(* Leaves below a node. *)
+let rec leaves_below tree id =
+  let nd = Tree.node tree id in
+  match nd.Tree.kind with
+  | Tree.Leaf -> [ id ]
+  | Tree.Internal -> List.concat_map (leaves_below tree) nd.Tree.children
+
+let opposite_phase tree asg =
+  (* Walk down until a node with >= 2 children, then flip the leaves
+     under its first ceil(k/2) children. *)
+  let rec split_point id =
+    let nd = Tree.node tree id in
+    match nd.Tree.children with
+    | [] -> id
+    | [ only ] -> split_point only
+    | _ :: _ -> id
+  in
+  let at = split_point (Tree.root tree).Tree.id in
+  let nd = Tree.node tree at in
+  match nd.Tree.kind with
+  | Tree.Leaf -> asg (* single-leaf tree: nothing to balance *)
+  | Tree.Internal ->
+    let children = nd.Tree.children in
+    let half = (List.length children + 1) / 2 in
+    let first_half = List.filteri (fun i _ -> i < half) children in
+    let to_flip = List.concat_map (leaves_below tree) first_half in
+    flip_leaves asg tree to_flip
+
+let placement_balanced ?(zone_side = 50.0) tree asg =
+  let zones = Zones.partition tree ~side:zone_side in
+  Array.fold_left
+    (fun a zone ->
+      let ordered =
+        Array.to_list zone.Zones.leaf_ids
+        |> List.sort (fun i j ->
+               let ni = Tree.node tree i and nj = Tree.node tree j in
+               compare (ni.Tree.x, ni.Tree.y) (nj.Tree.x, nj.Tree.y))
+      in
+      let to_flip = List.filteri (fun i _ -> i mod 2 = 1) ordered in
+      flip_leaves a tree to_flip)
+    asg (Zones.zones zones)

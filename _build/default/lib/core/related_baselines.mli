@@ -1,0 +1,32 @@
+(** Earlier polarity-assignment baselines from the paper's related work.
+
+    - {!opposite_phase} — Nieh/Huang/Hsu [22]: split the clock tree into
+      two halves at the root and give one half negative polarity, so
+      roughly half the chip charges while the other discharges.  No
+      placement or timing awareness.
+    - {!placement_balanced} — Samanta/Venkataraman/Hu [23]: balance the
+      polarities {e locally}: within every zone, assign negative
+      polarity to half the leaves (round-robin in position order).
+      Placement-aware, but blind to skew, sizing, waveforms and non-leaf
+      current.
+
+    Both keep every leaf's drive strength (only the polarity flips, by
+    swapping to the same-drive inverter), which is how the paper's
+    comparisons treat them. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Cell := Repro_cell.Cell
+
+val flip_cell : Cell.t -> Cell.t
+(** The same-drive cell of opposite polarity (BUF_X8 <-> INV_X8).
+    @raise Invalid_argument for adjustable cells. *)
+
+val opposite_phase : Tree.t -> Assignment.t -> Assignment.t
+(** [22]: leaves under the root's first-half children flip polarity.
+    (With a single root child, the subtree is split one level lower.) *)
+
+val placement_balanced :
+  ?zone_side:float -> Tree.t -> Assignment.t -> Assignment.t
+(** [23]: per zone (default 50 um), flip every other leaf in x-then-y
+    position order. *)

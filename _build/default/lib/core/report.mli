@@ -1,0 +1,24 @@
+(** Markdown run reports.
+
+    Bundles everything a designer would want to see after optimizing one
+    clock tree — tree statistics, per-algorithm golden metrics, power
+    accounting, zone occupancy — as a self-contained markdown document
+    (the CLI's [report] subcommand writes it to a file). *)
+
+module Tree := Repro_clocktree.Tree
+
+val for_tree :
+  ?params:Context.params ->
+  name:string ->
+  Tree.t ->
+  algorithms:Flow.algorithm list ->
+  string
+(** Run each algorithm on the tree and render the comparison report.
+    Determinstic for a fixed tree and parameter set. *)
+
+val for_benchmark :
+  ?params:Context.params ->
+  Repro_cts.Benchmarks.spec ->
+  algorithms:Flow.algorithm list ->
+  string
+(** Synthesize the benchmark, then {!for_tree}. *)

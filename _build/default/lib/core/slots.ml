@@ -1,0 +1,58 @@
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+module Sampling = Repro_waveform.Sampling
+
+type t = { rail : Cell.rail; time : float }
+
+let subsample k items =
+  let arr = Array.of_list (List.sort_uniq compare items) in
+  let n = Array.length arr in
+  if n <= k then Array.to_list arr
+  else
+    List.init k (fun i -> arr.(i * n / k))
+
+let of_currents (currents : Electrical.currents) ~count ?(extra_vdd = [])
+    ?(extra_gnd = []) ?(windows = []) () =
+  if count < 2 then invalid_arg "Slots.of_currents: count < 2";
+  let per_rail = max 1 (count / 2) in
+  let windows = List.filter (fun (t0, t1) -> t1 > t0) windows in
+  let rail_slots rail w extras =
+    (* Priority instants first, grid for the remainder, the grid budget
+       spread evenly over the event windows (one per clock edge). *)
+    let chosen = subsample per_rail extras in
+    let remaining = per_rail - List.length chosen in
+    let grid =
+      if remaining <= 0 then []
+      else
+        match windows with
+        | [] -> Array.to_list (Sampling.split_max_times w ~halves:remaining)
+        | windows ->
+          let n = List.length windows in
+          List.concat
+            (List.mapi
+               (fun i (t0, t1) ->
+                 let budget = (remaining / n) + (if i < remaining mod n then 1 else 0) in
+                 if budget <= 0 then []
+                 else
+                   Array.to_list
+                     (Sampling.split_max_times_in w ~t0 ~t1 ~halves:budget))
+               windows)
+    in
+    Sampling.merge [ Array.of_list chosen; Array.of_list grid ]
+    |> Array.map (fun time -> { rail; time })
+  in
+  Array.append
+    (rail_slots Cell.Vdd_rail currents.Electrical.idd extra_vdd)
+    (rail_slots Cell.Gnd_rail currents.Electrical.iss extra_gnd)
+
+let sample slots (currents : Electrical.currents) =
+  Array.map
+    (fun slot ->
+      match slot.rail with
+      | Cell.Vdd_rail -> Pwl.eval currents.Electrical.idd slot.time
+      | Cell.Gnd_rail -> Pwl.eval currents.Electrical.iss slot.time)
+    slots
+
+let pp fmt slot =
+  Format.fprintf fmt "%a@%.1fps" Cell.pp_rail slot.rail slot.time

@@ -1,0 +1,38 @@
+(** Time-sampling slots: the set S of the WaveMin objective.
+
+    A slot is a (rail, time) pair; the estimate of the zone's peak
+    current is the maximum over slots of the summed cell contributions
+    at that slot (plus the non-leaf term).  Slot times are chosen per
+    zone with the split-max strategy of Sec. VII-C: the window covered
+    by the zone's default current waveform is divided into |S|/2
+    sub-windows per rail and the argmax time of each sub-window is
+    taken — for |S| = 4 this is exactly the paper's "maximum of each
+    half of each rail's waveform", and for large |S| it converges to
+    dense fine-grained sampling. *)
+
+type t = { rail : Repro_cell.Cell.rail; time : float }
+
+val of_currents :
+  Repro_cell.Electrical.currents ->
+  count:int ->
+  ?extra_vdd:float list ->
+  ?extra_gnd:float list ->
+  ?windows:(float * float) list ->
+  unit ->
+  t array
+(** Select [count] slots (half per rail, minimum one each) adapted to
+    the given reference waveform pair.  [extra_vdd]/[extra_gnd] are
+    priority sampling instants (candidate pulse peaks); they are taken
+    first — subsampled uniformly if they alone exceed the rail budget —
+    and the remaining budget is filled with the split-max grid of the
+    reference waveform.  [windows] restricts the grid to time intervals
+    (one per clock edge): pass the leaf switching windows so that the
+    estimate samples where the assignment decision acts, with the
+    non-leaf background entering as the tail it contributes there
+    (Fig. 2(d) of the paper).
+    @raise Invalid_argument if [count < 2]. *)
+
+val sample : t array -> Repro_cell.Electrical.currents -> float array
+(** Evaluate a cell's current contribution at every slot. *)
+
+val pp : Format.formatter -> t -> unit

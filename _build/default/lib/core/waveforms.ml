@@ -1,0 +1,68 @@
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+
+let shift_currents (c : Electrical.currents) dt =
+  { Electrical.idd = Pwl.shift c.Electrical.idd dt;
+    iss = Pwl.shift c.Electrical.iss dt }
+
+let node_currents tree asg env timing id =
+  let nd = Tree.node tree id in
+  let cell = Assignment.cell asg id in
+  let currents =
+    Electrical.event_currents cell ~vdd:(env.Timing.vdd_of nd)
+      ~load:timing.Timing.load.(id)
+      ~input_slew:timing.Timing.input_slew.(id)
+      ~edge:timing.Timing.input_edge.(id) ()
+  in
+  shift_currents currents timing.Timing.input_arrival.(id)
+
+let candidate_currents tree env timing id cell =
+  let nd = Tree.node tree id in
+  (match nd.Tree.kind with
+  | Tree.Leaf -> ()
+  | Tree.Internal -> invalid_arg "Waveforms.candidate_currents: not a leaf");
+  let currents =
+    Electrical.event_currents cell ~vdd:(env.Timing.vdd_of nd)
+      ~load:nd.Tree.sink_cap
+      ~input_slew:timing.Timing.input_slew.(id)
+      ~edge:timing.Timing.input_edge.(id) ()
+  in
+  shift_currents currents timing.Timing.input_arrival.(id)
+
+let total_rail_currents tree asg env timing ?node_ids () =
+  let ids =
+    match node_ids with
+    | Some ids -> ids
+    | None -> Array.map (fun nd -> nd.Tree.id) (Tree.nodes tree)
+  in
+  let currents = Array.map (node_currents tree asg env timing) ids in
+  {
+    Electrical.idd =
+      Pwl.sum (Array.to_list (Array.map (fun c -> c.Electrical.idd) currents));
+    iss =
+      Pwl.sum (Array.to_list (Array.map (fun c -> c.Electrical.iss) currents));
+  }
+
+let period_rail_currents tree asg env ?node_ids ~period () =
+  if period <= 0.0 then
+    invalid_arg "Waveforms.period_rail_currents: period <= 0";
+  let rising = Timing.analyze tree asg env ~edge:Electrical.Rising in
+  let falling = Timing.analyze tree asg env ~edge:Electrical.Falling in
+  let r = total_rail_currents tree asg env rising ?node_ids () in
+  let f = total_rail_currents tree asg env falling ?node_ids () in
+  {
+    Electrical.idd =
+      Pwl.add r.Electrical.idd (Pwl.shift f.Electrical.idd (period /. 2.0));
+    iss = Pwl.add r.Electrical.iss (Pwl.shift f.Electrical.iss (period /. 2.0));
+  }
+
+let candidate_period_currents tree env ~rising ~falling id cell ~period =
+  if period <= 0.0 then
+    invalid_arg "Waveforms.candidate_period_currents: period <= 0";
+  let r = candidate_currents tree env rising id cell in
+  let f = candidate_currents tree env falling id cell in
+  (r, shift_currents f (period /. 2.0))

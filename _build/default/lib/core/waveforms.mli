@@ -1,0 +1,71 @@
+(** Assembly of clock-tree current waveforms.
+
+    Bridges the cell-level event models and the tree: every node's
+    I_DD/I_SS pulses are computed at its own load, input slew and island
+    supply, and shifted to its input arrival time.  Used by the noise
+    tables that feed the optimizers and by the golden (HSPICE stand-in)
+    evaluator. *)
+
+module Tree := Repro_clocktree.Tree
+module Assignment := Repro_clocktree.Assignment
+module Timing := Repro_clocktree.Timing
+module Electrical := Repro_cell.Electrical
+
+val node_currents :
+  Tree.t ->
+  Assignment.t ->
+  Timing.env ->
+  Timing.result ->
+  Tree.node_id ->
+  Electrical.currents
+(** Current pulses of a node for the source edge analysed in the timing
+    result, shifted to absolute time (source edge at 0). *)
+
+val candidate_currents :
+  Tree.t ->
+  Timing.env ->
+  Timing.result ->
+  Tree.node_id ->
+  Repro_cell.Cell.t ->
+  Electrical.currents
+(** Current pulses the given candidate cell would produce at a leaf
+    (same load / slew / supply the leaf sees), shifted to absolute time.
+    @raise Invalid_argument if the node is not a leaf. *)
+
+val total_rail_currents :
+  Tree.t ->
+  Assignment.t ->
+  Timing.env ->
+  Timing.result ->
+  ?node_ids:Tree.node_id array ->
+  unit ->
+  Electrical.currents
+(** Sum of all (or the given) nodes' waveforms per rail — the total
+    current profile whose maximum is the peak current. *)
+
+val period_rail_currents :
+  Tree.t ->
+  Assignment.t ->
+  Timing.env ->
+  ?node_ids:Tree.node_id array ->
+  period:float ->
+  unit ->
+  Electrical.currents
+(** Full clock-period profile: the rising-edge event train at 0 plus the
+    falling-edge train at [period/2], each with its own timing analysis,
+    over all (or the given) nodes.
+    @raise Invalid_argument if [period <= 0]. *)
+
+val candidate_period_currents :
+  Tree.t ->
+  Timing.env ->
+  rising:Timing.result ->
+  falling:Timing.result ->
+  Tree.node_id ->
+  Repro_cell.Cell.t ->
+  period:float ->
+  Electrical.currents * Electrical.currents
+(** The candidate's pulses for the rising-edge event (absolute time) and
+    for the falling-edge event already shifted to the second half of the
+    period — the pair the per-edge sampling slots are computed from.
+    @raise Invalid_argument if the node is not a leaf or [period <= 0]. *)

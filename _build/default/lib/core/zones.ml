@@ -1,0 +1,76 @@
+module Tree = Repro_clocktree.Tree
+
+type zone = {
+  ix : int;
+  iy : int;
+  leaf_ids : Tree.node_id array;
+  internal_ids : Tree.node_id array;
+}
+
+type t = { side : float; zones : zone array; of_leaf : (int, int) Hashtbl.t }
+
+let partition tree ~side =
+  if side <= 0.0 then invalid_arg "Zones.partition: side <= 0";
+  let index_of nd =
+    ( int_of_float (Float.max 0.0 nd.Tree.x /. side),
+      int_of_float (Float.max 0.0 nd.Tree.y /. side) )
+  in
+  let table : (int * int, Tree.node_id list ref * Tree.node_id list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun nd ->
+      let key = index_of nd in
+      let leaves, internals =
+        match Hashtbl.find_opt table key with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref [], ref []) in
+          Hashtbl.add table key cell;
+          cell
+      in
+      match nd.Tree.kind with
+      | Tree.Leaf -> leaves := nd.Tree.id :: !leaves
+      | Tree.Internal -> internals := nd.Tree.id :: !internals)
+    (Tree.nodes tree);
+  let zones =
+    Hashtbl.fold
+      (fun (ix, iy) (leaves, internals) acc ->
+        match !leaves with
+        | [] -> acc
+        | _ ->
+          {
+            ix;
+            iy;
+            leaf_ids = Array.of_list (List.rev !leaves);
+            internal_ids = Array.of_list (List.rev !internals);
+          }
+          :: acc)
+      table []
+  in
+  let zones =
+    Array.of_list
+      (List.sort (fun a b -> compare (a.ix, a.iy) (b.ix, b.iy)) zones)
+  in
+  let of_leaf = Hashtbl.create 64 in
+  Array.iteri
+    (fun zi z -> Array.iter (fun leaf -> Hashtbl.replace of_leaf leaf zi) z.leaf_ids)
+    zones;
+  { side; zones; of_leaf }
+
+let zones t = t.zones
+let num_zones t = Array.length t.zones
+let side t = t.side
+
+let zone_of_leaf t leaf =
+  match Hashtbl.find_opt t.of_leaf leaf with
+  | Some zi -> Some t.zones.(zi)
+  | None -> None
+
+let mean_leaves_per_zone t =
+  if Array.length t.zones = 0 then 0.0
+  else
+    Array.fold_left
+      (fun acc z -> acc +. float_of_int (Array.length z.leaf_ids))
+      0.0 t.zones
+    /. float_of_int (Array.length t.zones)

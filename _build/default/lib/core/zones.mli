@@ -1,0 +1,35 @@
+(** Zone partitioning (Sec. V-A / VII-A).
+
+    Power/ground noise is a local effect, so the die is divided into
+    square zones (50 x 50 um in the paper) and the peak current is
+    minimized zone by zone; the design objective is the maximum over
+    zones.  A zone records the leaf buffering elements whose noise is
+    being optimized and the non-leaf elements whose current fluctuation
+    must be accounted for (Observation 1). *)
+
+type zone = {
+  ix : int;
+  iy : int;
+  leaf_ids : Repro_clocktree.Tree.node_id array;
+  internal_ids : Repro_clocktree.Tree.node_id array;
+}
+
+type t
+
+val partition : Repro_clocktree.Tree.t -> side:float -> t
+(** Partition the tree's nodes into zones of the given side (um).  Zones
+    without any leaf are dropped (nothing to optimize there).
+    @raise Invalid_argument if [side <= 0]. *)
+
+val zones : t -> zone array
+
+val num_zones : t -> int
+
+val side : t -> float
+
+val zone_of_leaf : t -> Repro_clocktree.Tree.node_id -> zone option
+(** Zone containing a given leaf, if any. *)
+
+val mean_leaves_per_zone : t -> float
+(** Average |zone leaves| over non-empty zones — the statistic the paper
+    reports (4.3 / 4.9 / 7.1). *)

@@ -1,0 +1,1 @@
+lib/cts/benchmarks.ml: List Placement Repro_util String Synthesis

@@ -1,0 +1,1 @@
+lib/cts/benchmarks.mli: Placement Repro_clocktree Synthesis

@@ -1,0 +1,1 @@
+lib/cts/dme.ml: Array Float Hashtbl Placement Repro_cell Repro_clocktree Repro_util Synthesis

@@ -1,0 +1,1 @@
+lib/cts/dme.mli: Placement Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/cts/htree.ml: Array Float List Placement Repro_cell Repro_clocktree Synthesis

@@ -1,0 +1,1 @@
+lib/cts/htree.mli: Placement Repro_cell Repro_clocktree

@@ -1,0 +1,1 @@
+lib/cts/islands.ml: Array Float Repro_clocktree Repro_util

@@ -1,0 +1,1 @@
+lib/cts/islands.mli: Repro_clocktree Repro_util

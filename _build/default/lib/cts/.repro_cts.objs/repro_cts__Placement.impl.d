@@ -1,0 +1,1 @@
+lib/cts/placement.ml: Array Float Repro_util

@@ -1,0 +1,1 @@
+lib/cts/placement.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/cts/synthesis.ml: Array Float List Placement Repro_cell Repro_clocktree Repro_util

@@ -1,0 +1,1 @@
+lib/cts/synthesis.mli: Placement Repro_cell Repro_clocktree Repro_util

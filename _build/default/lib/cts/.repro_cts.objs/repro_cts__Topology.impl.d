@@ -1,0 +1,1 @@
+lib/cts/topology.ml: Array Float List Placement Repro_util

@@ -1,0 +1,1 @@
+lib/cts/topology.mli: Placement Repro_util

@@ -1,0 +1,172 @@
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+
+(* Elmore delay of a wire of length [l] into a lumped load [cap]. *)
+let wire_delay l ~cap =
+  Wire.res_per_um *. l *. ((Wire.cap_per_um *. l /. 2.0) +. cap)
+
+(* Length whose wire delay into [cap] equals [target] (>= 0). *)
+let length_for target ~cap =
+  if target <= 0.0 then 0.0
+  else begin
+    let a = Wire.res_per_um *. Wire.cap_per_um /. 2.0 in
+    let b = Wire.res_per_um *. cap in
+    ((-.b) +. sqrt ((b *. b) +. (4.0 *. a *. target))) /. (2.0 *. a)
+  end
+
+let merge_split ~distance ~delay_a ~cap_a ~delay_b ~cap_b =
+  if distance < 0.0 || cap_a < 0.0 || cap_b < 0.0 then
+    invalid_arg "Dme.merge_split: negative input";
+  let balance la =
+    let lb = distance -. la in
+    delay_a +. wire_delay la ~cap:cap_a
+    -. (delay_b +. wire_delay lb ~cap:cap_b)
+  in
+  if balance 0.0 >= 0.0 then
+    (* a is slower even with a zero stub: detour b's wire. *)
+    (0.0, length_for (delay_a -. delay_b) ~cap:cap_b)
+  else if balance distance <= 0.0 then
+    (* b is slower even with the whole wire on a's side. *)
+    (length_for (delay_b -. delay_a) ~cap:cap_a, 0.0)
+  else begin
+    (* balance is continuous and increasing in la: bisect. *)
+    let rec bisect lo hi k =
+      if k = 0 then 0.5 *. (lo +. hi)
+      else begin
+        let mid = 0.5 *. (lo +. hi) in
+        if balance mid >= 0.0 then bisect lo mid (k - 1)
+        else bisect mid hi (k - 1)
+      end
+    in
+    let la = bisect 0.0 distance 60 in
+    (la, distance -. la)
+  end
+
+(* A merged subtree: the buffer at its root has its input at (x, y);
+   [delay] spans from that input to the slowest sink below. *)
+type subtree = {
+  x : float;
+  y : float;
+  delay : float;
+  node : int;  (** Proto index of the subtree root. *)
+}
+
+type proto = {
+  mutable parent : int option;
+  mutable children : int list;
+  kind : Tree.kind;
+  px : float;
+  py : float;
+  mutable wire_len : float;
+  sink_cap : float;
+  cell : Cell.t;
+}
+
+let vdd = Electrical.vdd_nominal
+
+let synthesize ?(buffer = Library.buf 16) sinks =
+  let n = Array.length sinks in
+  if n = 0 then invalid_arg "Dme.synthesize: no sinks";
+  let leaf_cell = Library.buf 8 in
+  let protos : (int, proto) Hashtbl.t = Hashtbl.create 64 in
+  let count = ref 0 in
+  let fresh ~kind ~x ~y ~sink_cap ~cell =
+    let id = !count in
+    incr count;
+    Hashtbl.replace protos id
+      { parent = None; children = []; kind; px = x; py = y; wire_len = 0.0;
+        sink_cap; cell };
+    id
+  in
+  let proto id = Hashtbl.find protos id in
+  let leaf_subtree i =
+    let s = sinks.(i) in
+    let node =
+      fresh ~kind:Tree.Leaf ~x:s.Placement.x ~y:s.Placement.y
+        ~sink_cap:s.Placement.cap ~cell:leaf_cell
+    in
+    {
+      x = s.Placement.x;
+      y = s.Placement.y;
+      delay =
+        Electrical.delay leaf_cell ~vdd ~load:s.Placement.cap
+          ~edge:Electrical.Rising ();
+      node;
+    }
+  in
+  let set_edge ~parent_id ~child ~wire_len =
+    let pc = proto parent_id and cc = proto child in
+    cc.parent <- Some parent_id;
+    cc.wire_len <- wire_len;
+    pc.children <- child :: pc.children
+  in
+  (* Input capacitance presented by a subtree root. *)
+  let leafish_cap sub = (proto sub.node).cell.Cell.input_cap in
+  (* Merge two subtrees: balance the wire split, place the parent buffer
+     at the split point along the (straightened) a-b segment. *)
+  let merge a b =
+    let distance = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y) in
+    let cap_a = leafish_cap a and cap_b = leafish_cap b in
+    let la, lb = merge_split ~distance ~delay_a:a.delay ~cap_a ~delay_b:b.delay ~cap_b in
+    let frac = if la +. lb > 0.0 then la /. (la +. lb) else 0.5 in
+    let x = a.x +. (frac *. (b.x -. a.x)) in
+    let y = a.y +. (frac *. (b.y -. a.y)) in
+    let node = fresh ~kind:Tree.Internal ~x ~y ~sink_cap:0.0 ~cell:buffer in
+    set_edge ~parent_id:node ~child:a.node ~wire_len:la;
+    set_edge ~parent_id:node ~child:b.node ~wire_len:lb;
+    let load =
+      (Wire.cap_per_um *. (la +. lb)) +. cap_a +. cap_b
+    in
+    let buf_delay = Electrical.delay buffer ~vdd ~load ~edge:Electrical.Rising () in
+    let child_delay =
+      (* Balanced: either branch gives (to first order) the same value. *)
+      Float.max
+        (wire_delay la ~cap:cap_a +. a.delay)
+        (wire_delay lb ~cap:cap_b +. b.delay)
+    in
+    { x; y; delay = buf_delay +. child_delay; node }
+  in
+  (* Bottom-up merging over the binary geometric bisection: recursively
+     split the sink set and merge the two halves' subtrees. *)
+  let rec build indices =
+    match Array.length indices with
+    | 1 -> leaf_subtree indices.(0)
+    | m ->
+      let xs = Array.map (fun i -> sinks.(i).Placement.x) indices in
+      let ys = Array.map (fun i -> sinks.(i).Placement.y) indices in
+      let x0, x1 = Repro_util.Stats.min_max xs in
+      let y0, y1 = Repro_util.Stats.min_max ys in
+      let key =
+        if x1 -. x0 >= y1 -. y0 then fun i -> sinks.(i).Placement.x
+        else fun i -> sinks.(i).Placement.y
+      in
+      let sorted = Array.copy indices in
+      Array.sort (fun a b -> compare (key a) (key b)) sorted;
+      let h = m / 2 in
+      merge (build (Array.sub sorted 0 h)) (build (Array.sub sorted h (m - h)))
+  in
+  let root = build (Array.init n (fun i -> i)) in
+  ignore root;
+  let arr = Array.init !count proto in
+  let nodes =
+    Array.mapi
+      (fun id p ->
+        {
+          Tree.id;
+          parent = p.parent;
+          children = p.children;
+          kind = p.kind;
+          x = p.px;
+          y = p.py;
+          wire = Wire.of_length p.wire_len;
+          sink_cap = p.sink_cap;
+          default_cell = p.cell;
+        })
+      arr
+  in
+  Tree.create nodes
+
+let nominal_skew = Synthesis.nominal_skew

@@ -1,0 +1,38 @@
+(** Deferred-merge-embedding (DME) style zero-skew synthesis.
+
+    The classic construction of Chao/Hsu/Wong: merge subtrees bottom-up
+    over a binary topology, splitting each merging wire's length so the
+    two sides' Elmore delays match exactly; when one side is slower than
+    the other even with a zero-length stub, the fast side's wire is
+    detoured (snaked) by the closed-form length that restores balance.
+    Every merge point receives a buffer.
+
+    This is an alternative to {!Synthesis} (level-balanced construction
+    plus iterative snaking): DME balances {e by construction}, produces
+    binary trees (n-1 internal nodes for n sinks), and demonstrates that
+    the optimizers are agnostic to how the zero-skew tree was obtained. *)
+
+val merge_split :
+  distance:float ->
+  delay_a:float ->
+  cap_a:float ->
+  delay_b:float ->
+  cap_b:float ->
+  float * float
+(** [(la, lb)] wire lengths from the merge point to subtrees a and b:
+    [la + lb >= distance] (equality unless a detour was needed) and the
+    Elmore-balanced delays agree to first order.  Exposed for tests.
+    @raise Invalid_argument on negative inputs. *)
+
+val synthesize :
+  ?buffer:Repro_cell.Cell.t ->
+  Placement.sink array ->
+  Repro_clocktree.Tree.t
+(** Build the DME tree over the binary geometric bisection of the sinks
+    ([buffer] defaults to BUF_X16 everywhere; leaves use BUF_X8).  The
+    resulting tree has exactly [2n - 1] buffering nodes for [n >= 2]
+    sinks.
+    @raise Invalid_argument on an empty sink set. *)
+
+val nominal_skew : Repro_clocktree.Tree.t -> float
+(** Alias of {!Synthesis.nominal_skew} for convenience. *)

@@ -1,0 +1,141 @@
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+
+let tap_positions ~die_side ~levels =
+  if levels < 0 then invalid_arg "Htree.tap_positions: levels < 0";
+  if die_side <= 0.0 then invalid_arg "Htree.tap_positions: non-positive die";
+  let rec expand centres k =
+    if k = 0 then centres
+    else begin
+      let offset = die_side /. Float.pow 2.0 (float_of_int (levels - k + 2)) in
+      let next =
+        List.concat_map
+          (fun (x, y) ->
+            [ (x -. offset, y -. offset); (x +. offset, y -. offset);
+              (x -. offset, y +. offset); (x +. offset, y +. offset) ])
+          centres
+      in
+      expand next (k - 1)
+    end
+  in
+  Array.of_list (expand [ (die_side /. 2.0, die_side /. 2.0) ] levels)
+
+(* Quadrant index of a point relative to a centre. *)
+let quadrant ~cx ~cy ~x ~y =
+  (if y >= cy then 2 else 0) + if x >= cx then 1 else 0
+
+(* Pruned fractal structure before node-id assignment. *)
+type plan = Pleaf of float * float * float | Pnode of float * float * plan list
+
+let synthesize ?(leaf_cell = Library.buf 8) ~die_side ~levels sinks =
+  if levels < 1 then invalid_arg "Htree.synthesize: levels < 1";
+  if Array.length sinks = 0 then invalid_arg "Htree.synthesize: no sinks";
+  (* Recursive build: returns None when no sink lives in the region. *)
+  let nodes = ref [] in
+  let count = ref 0 in
+  let emit ~parent ~children ~kind ~x ~y ~wire_len ~sink_cap ~cell =
+    let id = !count in
+    incr count;
+    nodes :=
+      (id, parent, children, kind, x, y, wire_len, sink_cap, cell) :: !nodes;
+    id
+  in
+  (* First pass: recursively decide the structure functionally. *)
+  let rec plan cx cy half level members =
+    if Array.length members = 0 then None
+    else if level = 0 then
+      let cap =
+        Array.fold_left (fun a i -> a +. sinks.(i).Placement.cap) 0.0 members
+      in
+      Some (Pleaf (cx, cy, cap))
+    else begin
+      let quads = [| []; []; []; [] |] in
+      Array.iter
+        (fun i ->
+          let q =
+            quadrant ~cx ~cy ~x:sinks.(i).Placement.x ~y:sinks.(i).Placement.y
+          in
+          quads.(q) <- i :: quads.(q))
+        members;
+      let offset = half /. 2.0 in
+      let centres =
+        [| (cx -. offset, cy -. offset); (cx +. offset, cy -. offset);
+           (cx -. offset, cy +. offset); (cx +. offset, cy +. offset) |]
+      in
+      let children =
+        List.filter_map
+          (fun q ->
+            let qx, qy = centres.(q) in
+            plan qx qy offset (level - 1) (Array.of_list quads.(q)))
+          [ 0; 1; 2; 3 ]
+      in
+      match children with
+      | [] -> None
+      | _ :: _ -> Some (Pnode (cx, cy, children))
+    end
+  in
+  let centre = die_side /. 2.0 in
+  let root_plan =
+    match
+      plan centre centre (die_side /. 2.0) levels
+        (Array.init (Array.length sinks) (fun i -> i))
+    with
+    | Some p -> p
+    | None -> assert false (* sinks is non-empty *)
+  in
+  (* Second pass: emit nodes, sizing internal buffers by level. *)
+  let drive_for_level level = if level >= 2 then 16 else 8 in
+  let rec emit_plan parent px py level = function
+    | Pleaf (x, y, cap) ->
+      ignore
+        (emit ~parent ~children:[] ~kind:Tree.Leaf ~x ~y
+           ~wire_len:(Float.abs (x -. px) +. Float.abs (y -. py))
+           ~sink_cap:cap ~cell:leaf_cell)
+    | Pnode (x, y, children) ->
+      let id =
+        emit ~parent ~children:[] ~kind:Tree.Internal ~x ~y
+          ~wire_len:(Float.abs (x -. px) +. Float.abs (y -. py))
+          ~sink_cap:0.0
+          ~cell:(Library.buf (drive_for_level level))
+      in
+      List.iter (emit_plan (Some id) x y (level - 1)) children
+  in
+  (match root_plan with
+  | Pleaf _ ->
+    (* Degenerate: everything under one tap — wrap in a root driver. *)
+    let id =
+      emit ~parent:None ~children:[] ~kind:Tree.Internal ~x:centre ~y:centre
+        ~wire_len:0.0 ~sink_cap:0.0 ~cell:(Library.buf 16)
+    in
+    emit_plan (Some id) centre centre 0 root_plan
+  | Pnode _ -> emit_plan None centre centre levels root_plan);
+  (* Materialize, wiring children lists. *)
+  let arr = Array.of_list (List.rev !nodes) in
+  let children = Array.make (Array.length arr) [] in
+  Array.iter
+    (fun (id, parent, _, _, _, _, _, _, _) ->
+      match parent with
+      | Some p -> children.(p) <- id :: children.(p)
+      | None -> ())
+    arr;
+  let tree_nodes =
+    Array.map
+      (fun (id, parent, _, kind, x, y, wire_len, sink_cap, cell) ->
+        {
+          Tree.id;
+          parent;
+          children = List.rev children.(id);
+          kind;
+          x;
+          y;
+          wire = Wire.of_length wire_len;
+          sink_cap;
+          default_cell = cell;
+        })
+      arr
+  in
+  (* The fractal is symmetric, but tap loads are not: polish the residual
+     load-imbalance skew with the standard snaking pass. *)
+  Synthesis.equalize_skew (Tree.create tree_nodes)

@@ -1,0 +1,24 @@
+(** H-tree (quad-fractal) clock distribution.
+
+    The textbook regular structure: the root drives four quadrant taps,
+    each tap recursively drives its own four quadrants, [levels] deep.
+    Sinks attach to the leaf tap covering their position (the tap's leaf
+    buffer drives their combined pin load); taps that end up with no
+    sinks are pruned.  The structure is perfectly symmetric, so only tap
+    load imbalance causes skew; a final {!Synthesis.equalize_skew} pass
+    polishes that away. *)
+
+val tap_positions : die_side:float -> levels:int -> (float * float) array
+(** The [4^levels] leaf-tap centres of the fractal over a square die.
+    @raise Invalid_argument if [levels < 0] or the side is
+    non-positive. *)
+
+val synthesize :
+  ?leaf_cell:Repro_cell.Cell.t ->
+  die_side:float ->
+  levels:int ->
+  Placement.sink array ->
+  Repro_clocktree.Tree.t
+(** Build the pruned H-tree over the sinks ([leaf_cell] defaults to
+    BUF_X8; internal buffers are sized per level).
+    @raise Invalid_argument if there are no sinks or [levels < 1]. *)

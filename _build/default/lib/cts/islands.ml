@@ -1,0 +1,41 @@
+module Rng = Repro_util.Rng
+
+type t = { die_side : float; cols : int; rows : int }
+
+let grid ~die_side ~count =
+  if count < 1 then invalid_arg "Islands.grid: count < 1";
+  if die_side <= 0.0 then invalid_arg "Islands.grid: die_side <= 0";
+  (* Most-square factorization cols x rows >= count with cols*rows minimal
+     would leave unused cells; instead pick cols = ceil(sqrt count) and
+     rows = ceil(count / cols), then fold the trailing cells onto the last
+     island so exactly [count] islands tile the die. *)
+  let cols = int_of_float (ceil (sqrt (float_of_int count))) in
+  let rows = (count + cols - 1) / cols in
+  { die_side; cols; rows }
+
+let count t = t.cols * t.rows
+
+let island_of t ~x ~y =
+  let clamp v = Float.max 0.0 (Float.min (t.die_side -. 1e-9) v) in
+  let cx =
+    int_of_float (clamp x /. t.die_side *. float_of_int t.cols)
+  in
+  let cy =
+    int_of_float (clamp y /. t.die_side *. float_of_int t.rows)
+  in
+  (cy * t.cols) + cx
+
+type mode = float array
+
+let uniform_mode t ~vdd = Array.make (count t) vdd
+
+let random_modes rng t ~num_modes ?(levels = [ 0.9; 1.1 ]) () =
+  if num_modes < 1 then invalid_arg "Islands.random_modes: num_modes < 1";
+  Array.init num_modes (fun m ->
+      if m = 0 then uniform_mode t ~vdd:1.1
+      else Array.init (count t) (fun _ -> Rng.pick rng levels))
+
+let vdd_of_node t mode nd =
+  if Array.length mode <> count t then
+    invalid_arg "Islands.vdd_of_node: mode length mismatch";
+  mode.(island_of t ~x:nd.Repro_clocktree.Tree.x ~y:nd.Repro_clocktree.Tree.y)

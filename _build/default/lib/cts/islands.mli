@@ -1,0 +1,35 @@
+(** Voltage islands and power modes (Sec. VI).
+
+    A multi-power-mode design partitions the die into voltage islands; a
+    {e power mode} assigns each island a supply voltage.  The paper's
+    experiments use 4-10 power domains, each switchable between 0.9 V
+    and 1.1 V, and 4 power modes. *)
+
+type t
+(** A partition of a die into rectangular islands (a grid). *)
+
+val grid : die_side:float -> count:int -> t
+(** Partition a square die into [count] islands, laid out on the most
+    square grid that covers it (e.g. 6 islands -> 3 x 2).
+    @raise Invalid_argument if [count < 1] or [die_side <= 0]. *)
+
+val count : t -> int
+
+val island_of : t -> x:float -> y:float -> int
+(** Island index containing a point (points outside the die are clamped
+    onto it). *)
+
+type mode = float array
+(** Supply voltage per island; length must equal [count]. *)
+
+val uniform_mode : t -> vdd:float -> mode
+
+val random_modes :
+  Repro_util.Rng.t -> t -> num_modes:int -> ?levels:float list -> unit -> mode array
+(** [num_modes] modes with island supplies drawn from [levels]
+    (default [\[0.9; 1.1\]]).  The first mode is all-nominal (1.1 V),
+    matching the paper's examples where M1 is the fast mode. *)
+
+val vdd_of_node : t -> mode -> Repro_clocktree.Tree.node -> float
+(** Supply of the island a tree node is placed in — plugs directly into
+    {!Repro_clocktree.Timing.env}. *)

@@ -1,0 +1,45 @@
+module Rng = Repro_util.Rng
+
+type die = { width : float; height : float }
+
+type sink = { x : float; y : float; cap : float }
+
+let square_die side = { width = side; height = side }
+
+let random_cap rng (lo, hi) = Rng.uniform rng ~lo ~hi
+
+let random_sinks rng die ~count ?(cap_range = (10.0, 18.0)) () =
+  if count < 1 then invalid_arg "Placement.random_sinks: count < 1";
+  Array.init count (fun _ ->
+      {
+        x = Rng.float rng ~bound:die.width;
+        y = Rng.float rng ~bound:die.height;
+        cap = random_cap rng cap_range;
+      })
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let clustered_sinks rng die ~count ~clusters ?(cap_range = (10.0, 18.0)) () =
+  if count < 1 then invalid_arg "Placement.clustered_sinks: count < 1";
+  if clusters < 1 then invalid_arg "Placement.clustered_sinks: clusters < 1";
+  let centres =
+    Array.init clusters (fun _ ->
+        (Rng.float rng ~bound:die.width, Rng.float rng ~bound:die.height))
+  in
+  let spread = 0.12 *. Float.min die.width die.height in
+  Array.init count (fun _ ->
+      let cx, cy = centres.(Rng.int rng ~bound:clusters) in
+      {
+        x = clamp 0.0 die.width (Rng.gaussian rng ~mu:cx ~sigma:spread);
+        y = clamp 0.0 die.height (Rng.gaussian rng ~mu:cy ~sigma:spread);
+        cap = random_cap rng cap_range;
+      })
+
+let bounding_box sinks =
+  if Array.length sinks = 0 then
+    invalid_arg "Placement.bounding_box: empty sink set";
+  Array.fold_left
+    (fun (x0, y0, x1, y1) s ->
+      (Float.min x0 s.x, Float.min y0 s.y, Float.max x1 s.x, Float.max y1 s.y))
+    (sinks.(0).x, sinks.(0).y, sinks.(0).x, sinks.(0).y)
+    sinks

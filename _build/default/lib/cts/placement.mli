@@ -1,0 +1,42 @@
+(** Sink placement for synthetic benchmark generation.
+
+    The paper's clock trees come from placed ISCAS'89 / ISPD'09 designs.
+    We substitute a placement generator: each {e sink} is the location of
+    one leaf buffering element together with the lumped clock-pin
+    capacitance of the flip-flop group it drives. *)
+
+type die = { width : float; height : float }
+(** Die dimensions in um. *)
+
+type sink = {
+  x : float;
+  y : float;
+  cap : float;  (** fF: lumped FF clock-pin load of this leaf. *)
+}
+
+val square_die : float -> die
+(** [square_die side] is a [side] x [side] um die. *)
+
+val random_sinks :
+  Repro_util.Rng.t -> die -> count:int -> ?cap_range:float * float -> unit -> sink array
+(** Uniformly placed sinks with loads drawn from [cap_range]
+    (default (10.0, 18.0) fF, i.e. roughly 7-12 FF clock pins — heavy
+    enough that the leaves dominate the peak current, the premise of
+    [24] and the paper).
+    @raise Invalid_argument if [count < 1]. *)
+
+val clustered_sinks :
+  Repro_util.Rng.t ->
+  die ->
+  count:int ->
+  clusters:int ->
+  ?cap_range:float * float ->
+  unit ->
+  sink array
+(** Sinks gathered around [clusters] Gaussian cluster centres — closer to
+    real register banks than a uniform spray.
+    @raise Invalid_argument if [count < 1] or [clusters < 1]. *)
+
+val bounding_box : sink array -> float * float * float * float
+(** [(x0, y0, x1, y1)] of the sink set.
+    @raise Invalid_argument on the empty array. *)

@@ -1,0 +1,1 @@
+lib/mosp/dag.ml: Array Float Layered List Pareto Queue

@@ -1,0 +1,1 @@
+lib/mosp/dag.mli: Layered

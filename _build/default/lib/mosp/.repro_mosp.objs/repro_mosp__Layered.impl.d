@@ -1,0 +1,1 @@
+lib/mosp/layered.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/mosp/layered.mli:

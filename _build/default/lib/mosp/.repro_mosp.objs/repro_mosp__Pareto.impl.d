@@ -1,0 +1,1 @@
+lib/mosp/pareto.ml: Array Buffer Float Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/mosp/warburton.ml: Array Float Layered List Pareto

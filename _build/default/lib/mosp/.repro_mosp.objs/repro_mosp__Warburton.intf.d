@@ -1,0 +1,1 @@
+lib/mosp/warburton.mli: Layered Pareto

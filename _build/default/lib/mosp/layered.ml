@@ -1,0 +1,63 @@
+type weight = float array
+
+type t = {
+  options : weight array array;
+  dest_weight : weight;
+  dim : int;
+}
+
+let create ~options ~dest_weight =
+  let dim = Array.length dest_weight in
+  if Array.exists (fun w -> w < 0.0) dest_weight then
+    invalid_arg "Layered.create: negative weight component";
+  Array.iteri
+    (fun i row ->
+      if Array.length row = 0 then
+        invalid_arg (Printf.sprintf "Layered.create: empty row %d" i);
+      Array.iter
+        (fun w ->
+          if Array.length w <> dim then
+            invalid_arg "Layered.create: weight dimension mismatch";
+          if Array.exists (fun v -> v < 0.0) w then
+            invalid_arg "Layered.create: negative weight component")
+        row)
+    options;
+  { options; dest_weight; dim }
+
+let num_rows t = Array.length t.options
+let dimension t = t.dim
+let options t = t.options
+let dest_weight t = t.dest_weight
+
+let num_vertices t =
+  2 + Array.fold_left (fun acc row -> acc + Array.length row) 0 t.options
+
+let num_arcs t =
+  (* src -> row 1, complete bipartite between consecutive rows, last row
+     -> dest. *)
+  let rows = Array.map Array.length t.options in
+  let n = Array.length rows in
+  if n = 0 then 1
+  else begin
+    let acc = ref rows.(0) in
+    for i = 0 to n - 2 do
+      acc := !acc + (rows.(i) * rows.(i + 1))
+    done;
+    !acc + rows.(n - 1)
+  end
+
+let path_cost t ~choices =
+  if Array.length choices <> num_rows t then
+    invalid_arg "Layered.path_cost: wrong number of choices";
+  let cost = Array.copy t.dest_weight in
+  Array.iteri
+    (fun row choice ->
+      let row_opts = t.options.(row) in
+      if choice < 0 || choice >= Array.length row_opts then
+        invalid_arg "Layered.path_cost: choice out of range";
+      let w = row_opts.(choice) in
+      for k = 0 to t.dim - 1 do
+        cost.(k) <- cost.(k) +. w.(k)
+      done)
+    choices;
+  cost

@@ -1,0 +1,39 @@
+(** Layered multiobjective shortest-path graphs.
+
+    This is exactly the graph family produced by Algorithm 1 of the paper
+    (WaveMin-to-MOSP conversion): rows 1..R each hold the feasible options
+    of one sink, every vertex of row i has an incoming arc from every
+    vertex of row i-1 (and from [src] for i = 1), the weight of any arc
+    into a vertex is that vertex's own r-dimensional noise vector, and
+    the arcs into [dest] all carry the non-leaf noise vector
+    (Observation 1).  A src-dest path therefore selects one option per
+    row, and its cost is the component-wise sum of the selected vectors
+    plus the dest vector. *)
+
+type weight = float array
+(** An r-dimensional cost vector; all graphs of one instance share the
+    dimension. *)
+
+type t
+
+val create : options:weight array array -> dest_weight:weight -> t
+(** [create ~options ~dest_weight] builds the graph whose row [i] has
+    [Array.length options.(i)] vertices.
+    @raise Invalid_argument if any row is empty, or any weight's
+    dimension differs from [dest_weight]'s, or a weight has a negative
+    component. *)
+
+val num_rows : t -> int
+val dimension : t -> int
+val options : t -> weight array array
+val dest_weight : t -> weight
+
+val num_vertices : t -> int
+(** Option vertices plus the two dummies (src, dest). *)
+
+val num_arcs : t -> int
+
+val path_cost : t -> choices:int array -> weight
+(** Cost vector of the path selecting option [choices.(i)] in row [i]
+    (including the dest arc).
+    @raise Invalid_argument on wrong length or out-of-range choices. *)

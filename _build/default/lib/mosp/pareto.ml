@@ -1,0 +1,55 @@
+type label = { cost : float array; choices_rev : int list }
+
+let dominates a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  Array.length b = n && go 0
+
+let insert labels candidate =
+  if List.exists (fun l -> dominates l.cost candidate.cost) labels then labels
+  else
+    candidate :: List.filter (fun l -> not (dominates candidate.cost l.cost)) labels
+
+let non_dominated labels = List.fold_left insert [] labels
+
+let max_component l = Array.fold_left Float.max 0.0 l.cost
+
+let grid_prune ~deltas labels =
+  if Array.for_all (fun d -> d <= 0.0) deltas then labels
+  else begin
+    let table = Hashtbl.create 64 in
+    (* Keys are packed byte strings: strings hash and compare fast,
+       unlike long boxed lists whose polymorphic hash samples only a
+       prefix (catastrophic collisions). *)
+    let bucket l =
+      let buf = Buffer.create (8 * Array.length l.cost) in
+      Array.iteri
+        (fun k c ->
+          let d = deltas.(k) in
+          let v =
+            if d <= 0.0 then Int64.bits_of_float c
+            else Int64.of_float (floor (c /. d))
+          in
+          Buffer.add_int64_le buf v)
+        l.cost;
+      Buffer.contents buf
+    in
+    let table : (string, label * float) Hashtbl.t = table in
+    List.iter
+      (fun l ->
+        let key = bucket l in
+        let mx = max_component l in
+        match Hashtbl.find_opt table key with
+        | Some (_, emx) when emx <= mx -> ()
+        | Some _ | None -> Hashtbl.replace table key (l, mx))
+      labels;
+    Hashtbl.fold (fun _ (l, _) acc -> l :: acc) table []
+  end
+
+let best_min_max labels =
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | None -> Some l
+      | Some b -> if max_component l < max_component b then Some l else acc)
+    None labels

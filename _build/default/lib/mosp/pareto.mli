@@ -1,0 +1,37 @@
+(** Pareto label sets for multiobjective dynamic programming.
+
+    A label couples a cost vector with the (reversed) list of choices
+    that produced it.  Label sets are kept free of dominated entries;
+    the Warburton-style ε-grid pruning additionally keeps at most one
+    label per grid cell, which is the mechanism that turns the
+    exponential Pareto enumeration into a fully polynomial
+    approximation scheme. *)
+
+type label = {
+  cost : float array;
+  choices_rev : int list;  (** Most recent row's choice first. *)
+}
+
+val dominates : float array -> float array -> bool
+(** [dominates a b] iff [a] is component-wise <= [b].  (Every vector
+    dominates itself.) *)
+
+val insert : label list -> label -> label list
+(** Insert a label, dropping it if dominated and evicting the labels it
+    dominates. *)
+
+val non_dominated : label list -> label list
+(** Reduce a list to its non-dominated subset (keeps first occurrences). *)
+
+val grid_prune : deltas:float array -> label list -> label list
+(** Keep one representative per ε-grid cell ([floor (cost_k / deltas.(k))]
+    per component); the representative is the cell's label with the
+    smallest maximum component.  A component with [deltas.(k) <= 0] is
+    kept exact; an all-non-positive [deltas] is the identity. *)
+
+val max_component : label -> float
+(** The min-max objective value of a label ([0.] for dimension 0). *)
+
+val best_min_max : label list -> label option
+(** Label with the smallest maximum component, [None] on the empty
+    list. *)

@@ -1,0 +1,158 @@
+let add_weight cost w =
+  Array.mapi (fun k c -> c +. w.(k)) cost
+
+(* Per-objective lower bound of any path: dest weight plus the row-wise
+   minima. *)
+let lower_bounds graph =
+  let dim = Layered.dimension graph in
+  let lb = Array.copy (Layered.dest_weight graph) in
+  Array.iter
+    (fun row ->
+      for k = 0 to dim - 1 do
+        let m =
+          Array.fold_left (fun acc w -> Float.min acc w.(k)) infinity row
+        in
+        lb.(k) <- lb.(k) +. m
+      done)
+    (Layered.options graph);
+  lb
+
+(* When the label set must be truncated, rank by an admissible
+   projection of the final min-max objective: current cost plus, per
+   component, the sum over the remaining rows of the row-wise minima and
+   the dest weight.  A purely myopic rank (current max component) keeps
+   prefixes that cannot complete well. *)
+let cap_labels max_labels ~project labels =
+  if List.length labels <= max_labels then labels
+  else begin
+    let arr = Array.of_list (List.map (fun l -> (project l, l)) labels) in
+    Array.sort (fun ((a : float), _) (b, _) -> compare a b) arr;
+    Array.to_list (Array.map snd (Array.sub arr 0 max_labels))
+  end
+
+let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
+  if epsilon < 0.0 then invalid_arg "Warburton.pareto_paths: epsilon < 0";
+  if max_labels < 1 then invalid_arg "Warburton.pareto_paths: max_labels < 1";
+  let rows = Layered.options graph in
+  let dim = Layered.dimension graph in
+  let deltas =
+    if epsilon = 0.0 then Array.make dim 0.0
+    else begin
+      let lb = lower_bounds graph in
+      Array.map
+        (fun l -> epsilon *. l /. float_of_int (Array.length rows + 1))
+        lb
+    end
+  in
+  (* suffix_min.(i).(k): sum over rows i.. of the row-wise component
+     minima, plus the dest weight — a lower bound on what any completion
+     adds in component k after the first i rows are fixed. *)
+  let num_rows = Array.length rows in
+  let suffix_min = Array.make (num_rows + 1) (Array.copy (Layered.dest_weight graph)) in
+  for i = num_rows - 1 downto 0 do
+    let next = suffix_min.(i + 1) in
+    suffix_min.(i) <-
+      Array.init dim (fun k ->
+          next.(k)
+          +. Array.fold_left
+               (fun acc w -> Float.min acc w.(k))
+               infinity rows.(i));
+  done;
+  let start = [ { Pareto.cost = Array.make dim 0.0; choices_rev = [] } ] in
+  let row_index = ref 0 in
+  let step labels row =
+    let extended =
+      List.concat_map
+        (fun (l : Pareto.label) ->
+          Array.to_list
+            (Array.mapi
+               (fun choice w ->
+                 {
+                   Pareto.cost = add_weight l.Pareto.cost w;
+                   choices_rev = choice :: l.Pareto.choices_rev;
+                 })
+               row))
+        labels
+    in
+    (* Dominance pruning is quadratic and prunes little in high
+       dimension; apply it only where it pays (small sets, few
+       objectives) and lean on the ε-grid and the cap otherwise. *)
+    let pruned = Pareto.grid_prune ~deltas extended in
+    let pruned =
+      if dim <= 8 && List.length pruned <= 256 then Pareto.non_dominated pruned
+      else pruned
+    in
+    incr row_index;
+    let remaining = suffix_min.(!row_index) in
+    let project (l : Pareto.label) =
+      let m = ref 0.0 in
+      Array.iteri
+        (fun k c ->
+          let v = c +. remaining.(k) in
+          if v > !m then m := v)
+        l.Pareto.cost;
+      !m
+    in
+    cap_labels max_labels ~project pruned
+  in
+  let final = Array.fold_left step start rows in
+  let dest = Layered.dest_weight graph in
+  let with_dest =
+    List.map
+      (fun (l : Pareto.label) -> { l with Pareto.cost = add_weight l.Pareto.cost dest })
+      final
+  in
+  if dim <= 8 && List.length with_dest <= 256 then Pareto.non_dominated with_dest
+  else with_dest
+
+type solution = { choices : int array; cost : float array; objective : float }
+
+let label_to_solution graph (l : Pareto.label) =
+  let choices = Array.of_list (List.rev l.Pareto.choices_rev) in
+  ignore graph;
+  {
+    choices;
+    cost = l.Pareto.cost;
+    objective = Pareto.max_component l;
+  }
+
+let solve_min_max ?epsilon ?max_labels graph =
+  let paths = pareto_paths ?epsilon ?max_labels graph in
+  match Pareto.best_min_max paths with
+  | Some best -> label_to_solution graph best
+  | None ->
+    (* A layered graph always has at least one path (rows are
+       non-empty). *)
+    assert false
+
+let exhaustive_min_max graph =
+  let rows = Layered.options graph in
+  let num_paths =
+    Array.fold_left (fun acc row -> acc * Array.length row) 1 rows
+  in
+  if num_paths > 1_000_000 then
+    invalid_arg "Warburton.exhaustive_min_max: too many paths";
+  let num_rows = Array.length rows in
+  let best = ref None in
+  let choices = Array.make num_rows 0 in
+  let rec go row =
+    if row = num_rows then begin
+      let cost = Layered.path_cost graph ~choices in
+      let objective = Array.fold_left Float.max 0.0 cost in
+      match !best with
+      | Some (_, _, o) when o <= objective -> ()
+      | Some _ | None -> best := Some (Array.copy choices, cost, objective)
+    end
+    else
+      for c = 0 to Array.length rows.(row) - 1 do
+        choices.(row) <- c;
+        go (row + 1)
+      done
+  in
+  go 0;
+  match !best with
+  | Some (choices, cost, objective) -> { choices; cost; objective }
+  | None ->
+    (* num_rows = 0: the single src->dest path. *)
+    let cost = Array.copy (Layered.dest_weight graph) in
+    { choices = [||]; cost; objective = Array.fold_left Float.max 0.0 cost }

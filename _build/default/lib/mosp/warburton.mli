@@ -1,0 +1,36 @@
+(** Warburton's fully-polynomial ε-approximation for multiobjective
+    shortest paths (Oper. Res. 35(1), 1987), specialised to the layered
+    DAGs of Algorithm 1.
+
+    The algorithm is forward dynamic programming over rows with
+    non-dominated label sets; ε > 0 rounds label costs onto a grid whose
+    cell size is ε·LB_k/(R+1) in objective k (LB_k a per-objective path
+    lower bound), so every surviving label's cost is within (1+ε) of an
+    exact Pareto point component-wise, while the label count stays
+    polynomial in (R/ε)^r.  ε = 0 gives the exact Pareto set. *)
+
+val pareto_paths :
+  ?epsilon:float -> ?max_labels:int -> Layered.t -> Pareto.label list
+(** Approximate Pareto-optimal src-dest paths.  [choices_rev] of each
+    returned label lists the selected option per row, last row first;
+    costs include the dest arc.  Defaults: [epsilon = 0.01],
+    [max_labels = 20_000] (a hard safety cap per row; when it trips, the
+    labels with the smallest maximum component are kept, which preserves
+    the min-max use case).
+    @raise Invalid_argument if [epsilon < 0] or [max_labels < 1]. *)
+
+type solution = {
+  choices : int array;  (** Selected option per row, row order. *)
+  cost : float array;  (** Path cost vector including the dest arc. *)
+  objective : float;  (** Max component of [cost] — the peak noise. *)
+}
+
+val solve_min_max :
+  ?epsilon:float -> ?max_labels:int -> Layered.t -> solution
+(** The paper's selection rule: among the (approximate) Pareto paths,
+    take the one with the minimum worst component. *)
+
+val exhaustive_min_max : Layered.t -> solution
+(** Brute-force optimum by enumerating all option combinations — for
+    tests and the tiny worked examples only.
+    @raise Invalid_argument if the instance has more than ~1e6 paths. *)

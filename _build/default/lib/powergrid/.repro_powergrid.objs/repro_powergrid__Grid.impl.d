@@ -1,0 +1,1 @@
+lib/powergrid/grid.ml: Array Float

@@ -1,0 +1,1 @@
+lib/powergrid/noise.ml: Array Float Grid List Repro_waveform

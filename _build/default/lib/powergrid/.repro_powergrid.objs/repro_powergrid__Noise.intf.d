@@ -1,0 +1,1 @@
+lib/powergrid/noise.mli: Grid Repro_waveform

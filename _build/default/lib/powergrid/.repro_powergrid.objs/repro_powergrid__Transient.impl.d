@@ -1,0 +1,1 @@
+lib/powergrid/transient.ml: Array Float Grid List Noise Repro_waveform

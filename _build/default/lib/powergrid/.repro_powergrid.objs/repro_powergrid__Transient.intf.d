@@ -1,0 +1,1 @@
+lib/powergrid/transient.mli: Grid Noise

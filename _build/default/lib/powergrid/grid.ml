@@ -1,0 +1,145 @@
+type t = {
+  nx : int;
+  ny : int;
+  die_side : float;
+  conductance : float; (* 1 / segment_res, in 1/Ohm *)
+  pad : bool array;
+}
+
+let create ~die_side ?(nx = 16) ?(ny = 16) ?(segment_res = 0.5)
+    ?(pad_stride = 8) () =
+  if nx < 2 || ny < 2 then invalid_arg "Grid.create: mesh too small";
+  if die_side <= 0.0 || segment_res <= 0.0 then
+    invalid_arg "Grid.create: non-positive dimension";
+  if pad_stride < 1 then invalid_arg "Grid.create: pad_stride < 1";
+  let pad = Array.make (nx * ny) false in
+  (* Pads sit on the boundary ring, every [pad_stride] nodes, plus the
+     four corners. *)
+  let mark i j = pad.((j * nx) + i) <- true in
+  for i = 0 to nx - 1 do
+    if i mod pad_stride = 0 || i = nx - 1 then begin
+      mark i 0;
+      mark i (ny - 1)
+    end
+  done;
+  for j = 0 to ny - 1 do
+    if j mod pad_stride = 0 || j = ny - 1 then begin
+      mark 0 j;
+      mark (nx - 1) j
+    end
+  done;
+  { nx; ny; die_side; conductance = 1.0 /. segment_res; pad }
+
+let num_nodes t = t.nx * t.ny
+
+let die_side t = t.die_side
+
+let node_at t ~x ~y =
+  let clamp v = Float.max 0.0 (Float.min t.die_side v) in
+  let i =
+    min (t.nx - 1)
+      (int_of_float (clamp x /. t.die_side *. float_of_int t.nx))
+  in
+  let j =
+    min (t.ny - 1)
+      (int_of_float (clamp y /. t.die_side *. float_of_int t.ny))
+  in
+  (j * t.nx) + i
+
+let position t id =
+  let i = id mod t.nx and j = id / t.nx in
+  ( (float_of_int i +. 0.5) /. float_of_int t.nx *. t.die_side,
+    (float_of_int j +. 0.5) /. float_of_int t.ny *. t.die_side )
+
+let is_pad t id = t.pad.(id)
+
+(* y := L x where L is the grounded mesh Laplacian: pads act as Dirichlet
+   nodes (row = identity), free rows are conductance-weighted degrees. *)
+let apply t x y =
+  let nx = t.nx and ny = t.ny and g = t.conductance in
+  for j = 0 to ny - 1 do
+    for i = 0 to nx - 1 do
+      let id = (j * nx) + i in
+      if t.pad.(id) then y.(id) <- x.(id)
+      else begin
+        let acc = ref 0.0 in
+        let couple nid =
+          acc := !acc +. (g *. (x.(id) -. (if t.pad.(nid) then 0.0 else x.(nid))))
+        in
+        if i > 0 then couple (id - 1);
+        if i < nx - 1 then couple (id + 1);
+        if j > 0 then couple (id - nx);
+        if j < ny - 1 then couple (id + nx);
+        y.(id) <- !acc
+      end
+    done
+  done
+
+let solve_operator t ~apply_op ~injection =
+  let n = num_nodes t in
+  (* Conjugate gradient; the grounded Laplacian is SPD on the free nodes
+     as long as at least one pad exists (guaranteed by create). *)
+  let b = Array.mapi (fun i v -> if t.pad.(i) then 0.0 else v) injection in
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let ap = Array.make n 0.0 in
+  let dot a c =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (a.(i) *. c.(i))
+    done;
+    !acc
+  in
+  let rs = ref (dot r r) in
+  let rs0 = !rs in
+  (* Relative tolerance: the mesh is well conditioned, a few hundred
+     iterations at most. *)
+  let eps = Float.max 1e-30 (1e-14 *. rs0) in
+  let max_iter = 4 * n in
+  let rec loop k =
+    if !rs < eps || k >= max_iter then ()
+    else begin
+      apply_op p ap;
+      let alpha = !rs /. Float.max eps (dot p ap) in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i));
+        r.(i) <- r.(i) -. (alpha *. ap.(i))
+      done;
+      let rs' = dot r r in
+      let beta = rs' /. !rs in
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. p.(i))
+      done;
+      rs := rs';
+      loop (k + 1)
+    end
+  in
+  loop 0;
+  Array.mapi (fun i v -> if t.pad.(i) then 0.0 else v) x
+
+let solve t ~injection =
+  if Array.length injection <> num_nodes t then
+    invalid_arg "Grid.solve: injection length mismatch";
+  solve_operator t ~apply_op:(fun x y -> apply t x y) ~injection
+
+let solve_shifted t ~diag ~injection =
+  let n = num_nodes t in
+  if Array.length injection <> n then
+    invalid_arg "Grid.solve_shifted: injection length mismatch";
+  if Array.length diag <> n then
+    invalid_arg "Grid.solve_shifted: diag length mismatch";
+  if Array.exists (fun d -> d < 0.0) diag then
+    invalid_arg "Grid.solve_shifted: negative diagonal entry";
+  let apply_op x y =
+    apply t x y;
+    for i = 0 to n - 1 do
+      if not t.pad.(i) then y.(i) <- y.(i) +. (diag.(i) *. x.(i))
+    done
+  in
+  solve_operator t ~apply_op ~injection
+
+let effective_resistance t id =
+  let injection = Array.make (num_nodes t) 0.0 in
+  injection.(id) <- 1.0;
+  (solve t ~injection).(id)

@@ -1,0 +1,44 @@
+module Pwl = Repro_waveform.Pwl
+
+type injection = { x : float; y : float; waveform : Pwl.t }
+
+let nodal_currents grid injections time =
+  let currents = Array.make (Grid.num_nodes grid) 0.0 in
+  List.iter
+    (fun inj ->
+      let node = Grid.node_at grid ~x:inj.x ~y:inj.y in
+      currents.(node) <- currents.(node) +. Pwl.eval inj.waveform time)
+    injections;
+  currents
+
+let rail_noise_mv grid ~injections ~times =
+  Array.fold_left
+    (fun worst time ->
+      let injection = nodal_currents grid injections time in
+      let drops = Grid.solve grid ~injection in
+      let peak = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 drops in
+      Float.max worst peak)
+    0.0 times
+  /. 1000.0
+
+type report = { vdd_noise_mv : float; gnd_noise_mv : float }
+
+let evaluate grid ~vdd ~gnd ~times =
+  {
+    vdd_noise_mv = rail_noise_mv grid ~injections:vdd ~times;
+    gnd_noise_mv = rail_noise_mv grid ~injections:gnd ~times;
+  }
+
+let default_times injections ~count =
+  let span =
+    List.fold_left
+      (fun acc inj ->
+        match (Pwl.support inj.waveform, acc) with
+        | None, acc -> acc
+        | Some (a, b), None -> Some (a, b)
+        | Some (a, b), Some (lo, hi) -> Some (Float.min a lo, Float.max b hi))
+      None injections
+  in
+  match span with
+  | None -> [||]
+  | Some (lo, hi) -> Repro_waveform.Sampling.uniform ~t0:lo ~t1:hi ~count

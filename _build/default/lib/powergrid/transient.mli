@@ -1,0 +1,40 @@
+(** Transient RC power-grid simulation.
+
+    The resistive solve of {!Noise} treats every instant independently;
+    on a real rail the decoupling capacitance between V_DD and Gnd
+    low-pass-filters the drop.  This module models a uniform decap per
+    mesh node and time-steps the grid with backward Euler:
+
+    {v (L + C/dt) v[k+1] = i(t[k+1]) + (C/dt) v[k] v}
+
+    with pads clamped to zero.  Decap smooths and delays the worst drop;
+    with zero decap the result converges to the per-instant resistive
+    solve. *)
+
+type config = {
+  decap_ff : float;  (** fF of decap per non-pad mesh node (default 2000). *)
+  dt : float;  (** ps time step (default 5). *)
+}
+
+val default_config : config
+
+type result = {
+  times : float array;
+  worst_drop_mv : float;  (** Max drop over nodes and steps, mV. *)
+  worst_node : int;
+  worst_time : float;
+  envelope_mv : float array;  (** Per step: max drop over nodes, mV. *)
+}
+
+val simulate :
+  Grid.t -> ?config:config -> injections:Noise.injection list -> unit -> result
+(** Simulate from just before the first pulse to one time constant after
+    the last.  With no injections the result is all-zero with an empty
+    time axis.
+    @raise Invalid_argument if [config] has non-positive [dt] or
+    negative [decap_ff]. *)
+
+val resistive_reference :
+  Grid.t -> injections:Noise.injection list -> times:float array -> float
+(** The per-instant resistive worst drop (mV) on the same time axis —
+    the zero-decap limit, for comparisons. *)

@@ -1,0 +1,3 @@
+let shortest_string v =
+  let short = Printf.sprintf "%g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v

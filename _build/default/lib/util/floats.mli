@@ -1,0 +1,5 @@
+(** Float formatting helpers. *)
+
+val shortest_string : float -> string
+(** Shortest decimal representation that parses back to exactly the same
+    float — use for serialization formats that must round-trip. *)

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function: one additive step plus two xor-shift
+   multiplies (Steele, Lea & Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's native positive int range. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let float t ~bound =
+  (* 53 uniform bits mapped into [0, bound). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (float_of_int bits /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. float t ~bound:(hi -. lo)
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t ~bound:1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t ~bound:1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | items ->
+    let arr = Array.of_list items in
+    arr.(int t ~bound:(Array.length arr))

@@ -1,0 +1,29 @@
+(** Small descriptive-statistics toolkit used by the Monte-Carlo analysis
+    (Sec. VII-D of the paper) and by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation (divides by [n], matching the paper's
+    normalized sigma-hat / mu-hat reporting).
+    @raise Invalid_argument on an empty array. *)
+
+val normalized_stddev : float array -> float
+(** [stddev xs /. mean xs] — the paper's normalized standard deviation.
+    @raise Invalid_argument if the mean is zero or the array empty. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  @raise Invalid_argument on empty. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] for [p] in [\[0, 100\]], by linear interpolation on
+    the sorted copy.  @raise Invalid_argument on empty or out-of-range p. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples.
+    @raise Invalid_argument on length mismatch, empty input, or a
+    zero-variance sample. *)
+
+val fraction_satisfying : ('a -> bool) -> 'a array -> float
+(** Share of elements satisfying the predicate (the paper's skew yield). *)

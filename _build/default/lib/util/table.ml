@@ -1,0 +1,46 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch with headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen cells =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      cells
+  in
+  List.iter (function Cells cells -> widen cells | Separator -> ()) rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let fill = String.make (w - String.length cell) ' ' in
+    match align with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let line cells =
+    "| " ^ String.concat " | " (List.mapi pad cells) ^ " |"
+  in
+  let rule =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let body =
+    List.map (function Cells cells -> line cells | Separator -> rule) rows
+  in
+  String.concat "\n" ((line t.headers :: rule :: body) @ [ "" ])
+
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_i n = string_of_int n
+let cell_pct x = Printf.sprintf "%.2f%%" x

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable reproduces the paper's tables as aligned ASCII
+    rows; this module does the column sizing and separators. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table; every row must have the same number
+    of cells as there are headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument on arity mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : ?align:align -> t -> string
+(** Render with one space of padding per side.  Numeric-looking tables read
+    best with [~align:Right] (the default). *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell with a fixed number of decimals (default 2). *)
+
+val cell_i : int -> string
+(** Format an integer cell. *)
+
+val cell_pct : float -> string
+(** Format a percentage cell, e.g. [12.34] -> ["12.34%"]. *)

@@ -1,0 +1,1 @@
+lib/waveform/metrics.ml: Float List Pwl

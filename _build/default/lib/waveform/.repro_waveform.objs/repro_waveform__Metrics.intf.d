@@ -1,0 +1,1 @@
+lib/waveform/metrics.mli: Pwl

@@ -1,0 +1,1 @@
+lib/waveform/pwl.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/waveform/pwl.mli: Format

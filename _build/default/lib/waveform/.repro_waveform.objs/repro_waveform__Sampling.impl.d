@@ -1,0 +1,1 @@
+lib/waveform/sampling.ml: Array List Pwl

@@ -1,0 +1,1 @@
+lib/waveform/sampling.mli: Pwl

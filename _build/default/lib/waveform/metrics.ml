@@ -1,0 +1,69 @@
+let energy = Pwl.area
+
+(* Integral of the product of two linear segments a(t), b(t) over
+   [t0, t1] by Simpson's rule, which is exact for quadratics. *)
+let product_segment_integral ~t0 ~t1 ~a0 ~a1 ~b0 ~b1 =
+  let h = t1 -. t0 in
+  let mid = 0.5 *. (a0 +. a1) *. 0.5 *. (b0 +. b1) in
+  h /. 6.0 *. ((a0 *. b0) +. (4.0 *. mid) +. (a1 *. b1))
+
+let merged_times w1 w2 ~window =
+  let bps w = List.map fst (Pwl.breakpoints w) in
+  let all = List.sort_uniq compare (bps w1 @ bps w2) in
+  match window with
+  | None -> all
+  | Some (lo, hi) ->
+    let inner = List.filter (fun t -> t > lo && t < hi) all in
+    (lo :: inner) @ [ hi ]
+
+let integrate_product w1 w2 ~window =
+  let times = merged_times w1 w2 ~window in
+  let rec go acc = function
+    | t0 :: (t1 :: _ as rest) ->
+      let seg =
+        product_segment_integral ~t0 ~t1 ~a0:(Pwl.eval w1 t0) ~a1:(Pwl.eval w1 t1)
+          ~b0:(Pwl.eval w2 t0) ~b1:(Pwl.eval w2 t1)
+      in
+      go (acc +. seg) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 times
+
+let span w ~window =
+  match window with
+  | Some (lo, hi) -> if hi > lo then Some (lo, hi) else None
+  | None -> Pwl.support w
+
+let rms w ?window () =
+  match span w ~window with
+  | None -> 0.0
+  | Some (lo, hi) when hi <= lo -> 0.0
+  | Some (lo, hi) ->
+    let sq = integrate_product w w ~window:(Some (lo, hi)) in
+    sqrt (sq /. (hi -. lo))
+
+let mean_value w ?window () =
+  match span w ~window with
+  | None -> 0.0
+  | Some (lo, hi) when hi <= lo -> 0.0
+  | Some (lo, hi) ->
+    let times = merged_times w w ~window:(Some (lo, hi)) in
+    let rec go acc = function
+      | t0 :: (t1 :: _ as rest) ->
+        go
+          (acc +. (0.5 *. (Pwl.eval w t0 +. Pwl.eval w t1) *. (t1 -. t0)))
+          rest
+      | [ _ ] | [] -> acc
+    in
+    go 0.0 times /. (hi -. lo)
+
+let crest_factor w =
+  let r = rms w () in
+  if r = 0.0 then 0.0 else Pwl.peak w /. r
+
+let overlap w1 w2 =
+  match (Pwl.support w1, Pwl.support w2) with
+  | None, _ | _, None -> 0.0
+  | Some (a0, a1), Some (b0, b1) ->
+    let lo = Float.max a0 b0 and hi = Float.min a1 b1 in
+    if hi <= lo then 0.0 else integrate_product w1 w2 ~window:(Some (lo, hi))

@@ -1,0 +1,27 @@
+(** Scalar metrics of current waveforms.
+
+    Peak current is the paper's headline number; these companions
+    (charge, RMS, overlap) quantify the {e shape} effects polarity
+    assignment has: total charge is invariant under polarity swaps, RMS
+    drops as the waveform flattens, and the overlap integral between two
+    cells' waveforms measures how much their pulses collide. *)
+
+val energy : Pwl.t -> float
+(** Integral of the waveform (uA*ps = aC for currents): the transported
+    charge.  Alias of {!Pwl.area} with the metric-name spelled out. *)
+
+val rms : Pwl.t -> ?window:float * float -> unit -> float
+(** Root-mean-square value over [window] (default: the waveform support;
+    0 for an empty support).  Exact for PWL: the square is piecewise
+    quadratic and integrated in closed form per segment. *)
+
+val mean_value : Pwl.t -> ?window:float * float -> unit -> float
+(** Time-average over the window (0 for an empty support). *)
+
+val crest_factor : Pwl.t -> float
+(** peak / rms — how "peaky" the waveform is (0 when rms = 0).  Polarity
+    assignment lowers the crest factor of the total rail current. *)
+
+val overlap : Pwl.t -> Pwl.t -> float
+(** Integral of the pointwise product — large when two pulses collide in
+    time, ~0 when they are disjoint.  Exact for PWL inputs. *)

@@ -1,0 +1,72 @@
+(** Piecewise-linear (PWL) waveforms.
+
+    A waveform maps time (ps) to a current (uA) or voltage (mV) value.  It
+    is represented by strictly increasing breakpoint times with one value
+    per breakpoint; between breakpoints the value is linearly interpolated
+    and outside the breakpoint span it is zero (all waveforms in this
+    library are transient pulses that settle back to zero).
+
+    PWL waveforms play the role of the HSPICE current traces of the paper:
+    cell characterization produces one I_DD and one I_SS pulse train per
+    switching event ({!Repro_cell}), and the golden evaluator sums the
+    time-shifted pulses of every clock-tree node to obtain the total
+    current waveform whose maximum is the peak current. *)
+
+type t
+(** An immutable PWL waveform. *)
+
+val zero : t
+(** The identically-zero waveform. *)
+
+val create : (float * float) list -> t
+(** [create points] builds a waveform from [(time, value)] breakpoints.
+    The list is sorted internally; duplicate times are rejected.
+    @raise Invalid_argument on duplicate breakpoint times. *)
+
+val triangle : start:float -> peak_time:float -> finish:float -> height:float -> t
+(** [triangle ~start ~peak_time ~finish ~height] is the triangular pulse
+    rising linearly from zero at [start] to [height] at [peak_time] and
+    back to zero at [finish].
+    @raise Invalid_argument unless [start < peak_time < finish]. *)
+
+val eval : t -> float -> float
+(** Value at a time instant (zero outside the support). *)
+
+val shift : t -> float -> t
+(** [shift w dt] delays the waveform by [dt] ps. *)
+
+val scale : t -> float -> t
+(** Pointwise multiplication by a constant. *)
+
+val add : t -> t -> t
+(** Pointwise sum, with the union of both breakpoint sets. *)
+
+val sum : t list -> t
+(** Pointwise sum of many waveforms (balanced reduction). *)
+
+val peak : t -> float
+(** Maximum value over all time.  For a PWL waveform the maximum is
+    attained at a breakpoint.  [peak zero = 0.0]. *)
+
+val peak_time : t -> float
+(** A time at which {!peak} is attained ([0.0] for the zero waveform). *)
+
+val area : t -> float
+(** Integral over all time (trapezoid rule); for a current pulse this is
+    the transported charge in uA*ps = aC. *)
+
+val support : t -> (float * float) option
+(** [Some (t0, t1)] spanning the breakpoints, or [None] for {!zero}. *)
+
+val breakpoints : t -> (float * float) list
+(** The breakpoints in increasing time order. *)
+
+val sample : t -> times:float array -> float array
+(** Evaluate at each of the given times. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Approximate pointwise equality, compared on the union of breakpoints
+    (default [eps = 1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer. *)

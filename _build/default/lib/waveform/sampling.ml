@@ -1,0 +1,58 @@
+let uniform ~t0 ~t1 ~count =
+  if count < 1 then invalid_arg "Sampling.uniform: count < 1";
+  if t1 < t0 then invalid_arg "Sampling.uniform: t1 < t0";
+  if count = 1 then [| 0.5 *. (t0 +. t1) |]
+  else
+    Array.init count (fun i ->
+        t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (count - 1)))
+
+let hot_spots w ~count =
+  match Pwl.support w with
+  | None -> [||]
+  | Some (t0, t1) ->
+    let scan = uniform ~t0 ~t1 ~count:(max 64 (count * 8)) in
+    let indexed = Array.mapi (fun i t -> (Pwl.eval w t, i)) scan in
+    Array.sort (fun (v1, _) (v2, _) -> compare v2 v1) indexed;
+    let keep = min count (Array.length indexed) in
+    let times = Array.init keep (fun i -> scan.(snd indexed.(i))) in
+    Array.sort compare times;
+    times
+
+let split_max_times_in w ~t0 ~t1 ~halves =
+  if halves < 1 then invalid_arg "Sampling.split_max_times_in: halves < 1";
+  if t1 <= t0 then invalid_arg "Sampling.split_max_times_in: empty window";
+  begin
+    let width = (t1 -. t0) /. float_of_int halves in
+    Array.init halves (fun k ->
+        let lo = t0 +. (width *. float_of_int k) in
+        let hi = lo +. width in
+        let scan = uniform ~t0:lo ~t1:hi ~count:64 in
+        let best = ref scan.(0) and best_v = ref (Pwl.eval w scan.(0)) in
+        Array.iter
+          (fun t ->
+            let v = Pwl.eval w t in
+            if v > !best_v then begin
+              best_v := v;
+              best := t
+            end)
+          scan;
+        !best)
+  end
+
+let split_max_times w ~halves =
+  if halves < 1 then invalid_arg "Sampling.split_max_times: halves < 1";
+  match Pwl.support w with
+  | None -> [||]
+  | Some (t0, t1) -> split_max_times_in w ~t0 ~t1 ~halves
+
+let merge grids =
+  let all = Array.concat grids in
+  Array.sort compare all;
+  let out = ref [] in
+  Array.iter
+    (fun t ->
+      match !out with
+      | prev :: _ when prev = t -> ()
+      | _ -> out := t :: !out)
+    all;
+  Array.of_list (List.rev !out)

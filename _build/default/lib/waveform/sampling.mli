@@ -1,0 +1,32 @@
+(** Time-sampling-point selection (Sec. IV-B of the paper).
+
+    WaveMin estimates noise at a finite set S of time sampling points per
+    power rail.  The paper's experiments use |S| = 4 (the maximum of each
+    half of each rail's waveform), |S| = 8, and |S| = 158 (a dense
+    hot-spot sampling).  This module provides the generic selection
+    strategies; {!Repro_core} pairs them with rails to form S. *)
+
+val uniform : t0:float -> t1:float -> count:int -> float array
+(** [count] equally spaced times covering [\[t0, t1\]] inclusive.
+    @raise Invalid_argument if [count < 1] or [t1 < t0]. *)
+
+val hot_spots : Pwl.t -> count:int -> float array
+(** The [count] times of highest waveform value, drawn from a dense
+    uniform scan of the waveform support, returned in increasing time
+    order.  Fewer points are returned when the support is empty. *)
+
+val split_max_times : Pwl.t -> halves:int -> float array
+(** Partition the waveform support into [halves] equal sub-windows and
+    return the time of maximum value inside each — the paper's |S| = 4
+    strategy uses [halves = 2] per rail.
+    @raise Invalid_argument if [halves < 1]. *)
+
+val split_max_times_in :
+  Pwl.t -> t0:float -> t1:float -> halves:int -> float array
+(** Like {!split_max_times} but over an explicit window [\[t0, t1\]]
+    instead of the waveform support — used to sample a background
+    waveform only where the foreground (leaf) events live.
+    @raise Invalid_argument if [halves < 1] or [t1 <= t0]. *)
+
+val merge : float array list -> float array
+(** Sorted union of several sampling grids with duplicates removed. *)

@@ -1,0 +1,1 @@
+test/test_adb.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util

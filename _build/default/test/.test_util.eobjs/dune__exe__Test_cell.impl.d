@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_cell Repro_waveform

@@ -1,0 +1,1 @@
+test/test_clocktree.ml: Alcotest Array Float Repro_cell Repro_clocktree

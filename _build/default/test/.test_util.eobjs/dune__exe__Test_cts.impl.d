@@ -1,0 +1,1 @@
+test/test_cts.ml: Alcotest Array List Printf QCheck QCheck_alcotest Repro_clocktree Repro_core Repro_cts Repro_util

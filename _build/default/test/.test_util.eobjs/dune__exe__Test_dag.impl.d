@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_mosp Repro_util

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Printf Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util

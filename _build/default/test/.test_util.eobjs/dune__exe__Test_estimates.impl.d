@@ -1,0 +1,1 @@
+test/test_estimates.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util Repro_waveform

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Filename Float Format Fun List Printf QCheck QCheck_alcotest Repro_cell Repro_clocktree Repro_cts Repro_util String Sys

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Float Repro_cell Repro_clocktree Repro_core Repro_cts Repro_powergrid Repro_util Repro_waveform

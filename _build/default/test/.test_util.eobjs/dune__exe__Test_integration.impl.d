@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float List Printf Repro_clocktree Repro_core Repro_cts

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Filename Fun List Printf QCheck QCheck_alcotest Repro_cell String Sys

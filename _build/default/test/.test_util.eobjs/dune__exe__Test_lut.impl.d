@@ -1,0 +1,1 @@
+test/test_lut.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Repro_cell Repro_waveform

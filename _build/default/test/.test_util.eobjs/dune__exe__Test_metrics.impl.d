@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List Printf QCheck QCheck_alcotest Repro_waveform

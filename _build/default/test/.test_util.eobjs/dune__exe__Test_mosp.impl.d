@@ -1,0 +1,1 @@
+test/test_mosp.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Repro_mosp Repro_util

@@ -1,0 +1,1 @@
+test/test_multimode.ml: Alcotest Array List Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util

@@ -1,0 +1,1 @@
+test/test_observations.ml: Alcotest List Repro_clocktree Repro_core

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Float Format Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util String

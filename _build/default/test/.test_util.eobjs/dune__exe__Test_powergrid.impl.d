@@ -1,0 +1,1 @@
+test/test_powergrid.ml: Alcotest Array Gen List QCheck QCheck_alcotest Repro_powergrid Repro_waveform

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_mosp Repro_util

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array List Repro_cell Repro_clocktree Repro_core Repro_cts Repro_powergrid Repro_util Repro_waveform String

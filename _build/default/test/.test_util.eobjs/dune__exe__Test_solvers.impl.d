@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array List QCheck QCheck_alcotest Repro_cell Repro_clocktree Repro_core Repro_cts Repro_mosp Repro_util

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_powergrid Repro_waveform

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Repro_util String

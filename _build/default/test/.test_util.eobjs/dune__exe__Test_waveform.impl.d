@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Repro_waveform

@@ -1,0 +1,1 @@
+test/test_zones.ml: Alcotest Array Float Repro_cell Repro_clocktree Repro_core Repro_cts Repro_util Repro_waveform

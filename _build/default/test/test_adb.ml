@@ -1,0 +1,133 @@
+module Adb_embedding = Repro_core.Adb_embedding
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Islands = Repro_cts.Islands
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Rng = Repro_util.Rng
+
+let die_side = 150.0
+
+let tree ?(seed = 1313) ?(leaves = 14) ?(internals = 5) () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die die_side) ~count:leaves ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks ~internals
+
+let two_mode_envs () =
+  let islands = Islands.grid ~die_side ~count:2 in
+  let m0 = Islands.uniform_mode islands ~vdd:1.1 in
+  let m1 = Array.mapi (fun i _ -> if i = 0 then 1.1 else 0.9) m0 in
+  [| { (Timing.nominal ~mode:0 ()) with
+       Timing.vdd_of = (fun nd -> Islands.vdd_of_node islands m0 nd) };
+     { (Timing.nominal ~mode:1 ()) with
+       Timing.vdd_of = (fun nd -> Islands.vdd_of_node islands m1 nd) } |]
+
+let test_skews_per_mode () =
+  let t = tree () in
+  let envs = two_mode_envs () in
+  let base = Assignment.default t ~num_modes:2 in
+  let skews = Adb_embedding.skews t base envs in
+  Alcotest.(check int) "two modes" 2 (Array.length skews);
+  (* Mode 1 has a voltage island boundary cutting the tree: bigger
+     skew. *)
+  Alcotest.(check bool) "mode1 worse" true (skews.(1) > skews.(0))
+
+let test_embed_repairs_skew () =
+  let t = tree () in
+  let envs = two_mode_envs () in
+  let base = Assignment.default t ~num_modes:2 in
+  let before = Adb_embedding.skews t base envs in
+  let kappa = 10.0 in
+  if before.(1) > kappa then begin
+    let r = Adb_embedding.embed t base ~envs ~kappa in
+    Alcotest.(check bool) "skew improved" true
+      (r.Adb_embedding.skews.(1) < before.(1));
+    Alcotest.(check bool) "some ADBs" true (r.Adb_embedding.num_adbs > 0)
+  end
+
+let test_embed_noop_when_feasible () =
+  let t = tree () in
+  let env = [| Timing.nominal () |] in
+  let base = Assignment.default t ~num_modes:1 in
+  let r = Adb_embedding.embed t base ~envs:env ~kappa:50.0 in
+  Alcotest.(check int) "no ADBs needed" 0 r.Adb_embedding.num_adbs;
+  Alcotest.(check bool) "feasible" true r.Adb_embedding.feasible
+
+let test_embed_settings_are_valid_steps () =
+  let t = tree () in
+  let envs = two_mode_envs () in
+  let base = Assignment.default t ~num_modes:2 in
+  let r = Adb_embedding.embed t base ~envs ~kappa:10.0 in
+  let asg = r.Adb_embedding.assignment in
+  Array.iter
+    (fun nd ->
+      let c = Assignment.cell asg nd.Tree.id in
+      for m = 0 to 1 do
+        let extra = Assignment.extra_delay asg ~mode:m nd.Tree.id in
+        if Cell.is_adjustable c then
+          Alcotest.(check bool) "valid step" true
+            (Array.exists (fun s -> Float.abs (s -. extra) < 1e-9) c.Cell.delay_steps)
+        else Alcotest.(check (float 1e-12)) "fixed zero" 0.0 extra
+      done)
+    (Tree.nodes t)
+
+let test_embed_validation () =
+  let t = tree () in
+  let base = Assignment.default t ~num_modes:1 in
+  Alcotest.check_raises "kappa" (Invalid_argument "Adb_embedding.embed: kappa <= 0")
+    (fun () ->
+      ignore (Adb_embedding.embed t base ~envs:[| Timing.nominal () |] ~kappa:0.0));
+  Alcotest.check_raises "modes"
+    (Invalid_argument "Adb_embedding.embed: envs/assignment mode count mismatch")
+    (fun () ->
+      ignore
+        (Adb_embedding.embed t base
+           ~envs:[| Timing.nominal ~mode:0 (); Timing.nominal ~mode:1 () |]
+           ~kappa:10.0))
+
+let test_embed_preserves_tree_cells_kind () =
+  (* Embedding only converts buffers to ADBs; it never introduces
+     inverting cells. *)
+  let t = tree () in
+  let envs = two_mode_envs () in
+  let base = Assignment.default t ~num_modes:2 in
+  let r = Adb_embedding.embed t base ~envs ~kappa:10.0 in
+  Array.iter
+    (fun nd ->
+      let c = Assignment.cell r.Adb_embedding.assignment nd.Tree.id in
+      Alcotest.(check bool) "positive polarity" true
+        (Cell.polarity c = Cell.Positive))
+    (Tree.nodes t)
+
+let prop_embed_never_worsens_much =
+  QCheck.Test.make ~name:"embedding does not blow up skew" ~count:6
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let t = tree ~seed () in
+      let envs = two_mode_envs () in
+      let base = Assignment.default t ~num_modes:2 in
+      let before = Adb_embedding.skews t base envs in
+      let r = Adb_embedding.embed t base ~envs ~kappa:12.0 in
+      Array.for_all2
+        (fun a b -> b <= Float.max 12.0 (a +. 4.0))
+        before r.Adb_embedding.skews)
+
+let () =
+  Alcotest.run "repro_core_adb"
+    [
+      ( "embedding",
+        [
+          Alcotest.test_case "skews per mode" `Quick test_skews_per_mode;
+          Alcotest.test_case "repairs skew" `Quick test_embed_repairs_skew;
+          Alcotest.test_case "noop when feasible" `Quick test_embed_noop_when_feasible;
+          Alcotest.test_case "valid steps" `Quick test_embed_settings_are_valid_steps;
+          Alcotest.test_case "validation" `Quick test_embed_validation;
+          Alcotest.test_case "keeps polarity positive" `Quick
+            test_embed_preserves_tree_cells_kind;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_embed_never_worsens_much ] );
+    ]

@@ -1,0 +1,159 @@
+module Related = Repro_core.Related_baselines
+module Golden = Repro_core.Golden
+module Tree = Repro_clocktree.Tree
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Rng = Repro_util.Rng
+
+let tree ?(seed = 7711) ?(leaves = 20) () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die 160.0) ~count:leaves ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks
+    ~internals:6
+
+let inverters asg t =
+  Assignment.count_leaves asg t ~pred:(fun c -> Cell.polarity c = Cell.Negative)
+
+let test_flip_cell () =
+  Alcotest.(check bool) "buf -> inv" true
+    (Cell.equal (Related.flip_cell (Library.buf 8)) (Library.inv 8));
+  Alcotest.(check bool) "inv -> buf" true
+    (Cell.equal (Related.flip_cell (Library.inv 16)) (Library.buf 16));
+  Alcotest.check_raises "adjustable"
+    (Invalid_argument "Related_baselines.flip_cell: adjustable cell") (fun () ->
+      ignore (Related.flip_cell (Library.adb 8)))
+
+let test_opposite_phase_flips_roughly_half () =
+  let t = tree () in
+  let asg = Related.opposite_phase t (Assignment.default t ~num_modes:1) in
+  let inv = inverters asg t in
+  let total = Tree.num_leaves t in
+  Alcotest.(check bool)
+    (Printf.sprintf "half-ish (%d of %d)" inv total)
+    true
+    (inv >= total / 4 && inv <= 3 * total / 4)
+
+let test_opposite_phase_is_subtree_aligned () =
+  (* Every flipped leaf set is the union of whole root-child subtrees:
+     two leaves under the same deepest tap share polarity. *)
+  let t = tree () in
+  let asg = Related.opposite_phase t (Assignment.default t ~num_modes:1) in
+  Array.iter
+    (fun nd ->
+      match nd.Tree.kind with
+      | Tree.Leaf -> ()
+      | Tree.Internal ->
+        let leaf_children =
+          List.filter
+            (fun c -> (Tree.node t c).Tree.kind = Tree.Leaf)
+            nd.Tree.children
+        in
+        (match leaf_children with
+        | [] -> ()
+        | first :: rest ->
+          let pol c = Cell.polarity (Assignment.cell asg c) in
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "same polarity under tap" true
+                (pol c = pol first))
+            rest))
+    (Tree.nodes t)
+
+let test_placement_balanced_flips_half_per_zone () =
+  let t = tree () in
+  let asg =
+    Related.placement_balanced t (Assignment.default t ~num_modes:1)
+  in
+  let zones = Repro_core.Zones.partition t ~side:50.0 in
+  Array.iter
+    (fun zone ->
+      let n = Array.length zone.Repro_core.Zones.leaf_ids in
+      let inv =
+        Array.fold_left
+          (fun acc leaf ->
+            if Cell.polarity (Assignment.cell asg leaf) = Cell.Negative then
+              acc + 1
+            else acc)
+          0 zone.Repro_core.Zones.leaf_ids
+      in
+      Alcotest.(check int) "floor(n/2) inverters" (n / 2) inv)
+    (Repro_core.Zones.zones zones)
+
+let test_both_reduce_peak () =
+  let t = tree ~leaves:24 () in
+  let env = Timing.nominal () in
+  let base = Assignment.default t ~num_modes:1 in
+  let m0 = Golden.evaluate t base env in
+  List.iter
+    (fun (name, f) ->
+      let m = Golden.evaluate t (f t base) env in
+      Alcotest.(check bool) (name ^ " reduces peak") true
+        (m.Golden.peak_current_ma < m0.Golden.peak_current_ma))
+    [ ("opposite phase", Related.opposite_phase);
+      ("placement balanced", fun t a -> Related.placement_balanced t a) ]
+
+let test_sizes_preserved () =
+  let t = tree () in
+  let base = Assignment.default t ~num_modes:1 in
+  List.iter
+    (fun f ->
+      let asg = f t base in
+      Array.iter
+        (fun nd ->
+          Alcotest.(check int) "drive preserved"
+            (Assignment.cell base nd.Tree.id).Cell.drive
+            (Assignment.cell asg nd.Tree.id).Cell.drive)
+        (Tree.leaves t))
+    [ Related.opposite_phase; (fun t a -> Related.placement_balanced t a) ]
+
+let prop_wavemin_beats_naive_baselines =
+  (* The paper's claim at system level: the fine-grained optimizer never
+     loses to the naive global split on the golden peak (allowing a tiny
+     tolerance for model mismatch). *)
+  QCheck.Test.make ~name:"ClkWaveMin <= opposite-phase on golden peak" ~count:5
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let t = tree ~seed ~leaves:16 () in
+      let env = Timing.nominal () in
+      let base = Assignment.default t ~num_modes:1 in
+      let naive =
+        (Golden.evaluate t (Related.opposite_phase t base) env)
+          .Golden.peak_current_ma
+      in
+      let ctx =
+        Repro_core.Context.create
+          ~params:
+            { Repro_core.Context.default_params with
+              Repro_core.Context.num_slots = 24 }
+          ~env t ~cells:(Repro_core.Flow.leaf_library ())
+      in
+      let wm =
+        (Golden.evaluate t
+           (Repro_core.Clk_wavemin.optimize ctx).Repro_core.Context.assignment
+           env)
+          .Golden.peak_current_ma
+      in
+      wm <= naive *. 1.05)
+
+let () =
+  Alcotest.run "repro_baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "flip cell" `Quick test_flip_cell;
+          Alcotest.test_case "opposite phase half" `Quick
+            test_opposite_phase_flips_roughly_half;
+          Alcotest.test_case "opposite phase subtree aligned" `Quick
+            test_opposite_phase_is_subtree_aligned;
+          Alcotest.test_case "placement balanced per zone" `Quick
+            test_placement_balanced_flips_half_per_zone;
+          Alcotest.test_case "both reduce peak" `Quick test_both_reduce_peak;
+          Alcotest.test_case "sizes preserved" `Quick test_sizes_preserved;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_wavemin_beats_naive_baselines ] );
+    ]

@@ -1,0 +1,302 @@
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Library = Repro_cell.Library
+module Characterize = Repro_cell.Characterize
+module Pwl = Repro_waveform.Pwl
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Cell                                                                *)
+
+let test_polarity () =
+  Alcotest.(check bool) "buf positive" true
+    (Cell.polarity (Library.buf 8) = Cell.Positive);
+  Alcotest.(check bool) "inv negative" true
+    (Cell.polarity (Library.inv 8) = Cell.Negative);
+  Alcotest.(check bool) "adb positive" true
+    (Cell.polarity (Library.adb 8) = Cell.Positive);
+  Alcotest.(check bool) "adi negative" true
+    (Cell.polarity (Library.adi 8) = Cell.Negative)
+
+let test_adjustable () =
+  Alcotest.(check bool) "buf fixed" false (Cell.is_adjustable (Library.buf 4));
+  Alcotest.(check bool) "adb adjustable" true (Cell.is_adjustable (Library.adb 4))
+
+let test_make_validation () =
+  Alcotest.check_raises "bad drive"
+    (Invalid_argument "Cell.make: drive must be positive") (fun () ->
+      ignore
+        (Cell.make ~name:"X" ~kind:Cell.Buffer ~drive:0 ~input_cap:1.0
+           ~output_res:1.0 ~intrinsic_rise:1.0 ~intrinsic_fall:1.0 ~area:1.0 ()));
+  Alcotest.check_raises "adjustable needs steps"
+    (Invalid_argument "Cell.make: adjustable cell needs delay steps") (fun () ->
+      ignore
+        (Cell.make ~name:"X" ~kind:Cell.Adjustable_buffer ~drive:1 ~input_cap:1.0
+           ~output_res:1.0 ~intrinsic_rise:1.0 ~intrinsic_fall:1.0 ~area:1.0 ()));
+  Alcotest.check_raises "fixed cannot have steps"
+    (Invalid_argument "Cell.make: fixed cell cannot have delay steps") (fun () ->
+      ignore
+        (Cell.make ~name:"X" ~kind:Cell.Buffer ~drive:1 ~input_cap:1.0
+           ~output_res:1.0 ~intrinsic_rise:1.0 ~intrinsic_fall:1.0 ~area:1.0
+           ~delay_steps:[| 0.0; 2.0 |] ()))
+
+let test_opposite_rail () =
+  Alcotest.(check bool) "vdd<->gnd" true
+    (Cell.opposite_rail Cell.Vdd_rail = Cell.Gnd_rail
+    && Cell.opposite_rail Cell.Gnd_rail = Cell.Vdd_rail)
+
+(* ------------------------------------------------------------------ *)
+(* Library anchors from the paper                                      *)
+
+let test_anchor_buf16_resistance () =
+  (* Table I: BUF_X16 R_out = 397.6 Ohm. *)
+  check_close 1.0 "R_out (Ohm)" 397.6 ((Library.buf 16).Cell.output_res *. 1000.0)
+
+let test_anchor_input_caps () =
+  (* Table I: BUF_X4 Cin = 1 fF, INV_X8 Cin = 2.2 fF. *)
+  check_close 1e-9 "BUF_X4" 1.0 (Library.buf 4).Cell.input_cap;
+  check_close 1e-9 "INV_X8" 2.2 (Library.inv 8).Cell.input_cap
+
+let test_library_find () =
+  Alcotest.(check bool) "find BUF_X8" true
+    (Cell.equal (Library.find "BUF_X8") (Library.buf 8));
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Library.find "NAND_X1"))
+
+let test_library_unsupported_drive () =
+  Alcotest.check_raises "X3" (Invalid_argument "Library: unsupported drive X3")
+    (fun () -> ignore (Library.buf 3))
+
+let test_experiment_sets () =
+  Alcotest.(check int) "buffers" 2 (List.length Library.experiment_buffers);
+  Alcotest.(check int) "inverters" 2 (List.length Library.experiment_inverters)
+
+let test_adi_slower_than_adb () =
+  (* Sec. VII-E: ADIs have longer propagation delay than ADBs. *)
+  let d cell =
+    Electrical.delay cell ~vdd:1.1 ~load:5.0 ~edge:Electrical.Rising ()
+  in
+  Alcotest.(check bool) "ADI slower" true (d (Library.adi 8) > d (Library.adb 8))
+
+(* ------------------------------------------------------------------ *)
+(* Electrical model                                                    *)
+
+let test_derate () =
+  check_close 1e-9 "nominal" 1.0 (Electrical.derate ~vdd:1.1);
+  let low = Electrical.derate ~vdd:0.9 in
+  (* Table III delays stretch by 12-29 % at 0.9 V. *)
+  Alcotest.(check bool) "0.9V slower" true (low > 1.1 && low < 1.4)
+
+let test_delay_monotone_in_load () =
+  let cell = Library.buf 8 in
+  let d load = Electrical.delay cell ~vdd:1.1 ~load ~edge:Electrical.Rising () in
+  Alcotest.(check bool) "monotone" true (d 2.0 < d 8.0 && d 8.0 < d 20.0)
+
+let test_delay_bigger_drive_faster () =
+  let d cell = Electrical.delay cell ~vdd:1.1 ~load:10.0 ~edge:Electrical.Rising () in
+  Alcotest.(check bool) "X16 < X4" true (d (Library.buf 16) < d (Library.buf 4))
+
+let test_inverter_faster_than_buffer () =
+  (* Table II: INV_X1 (21 ps) < BUF_X1 (24 ps). *)
+  let d cell = Electrical.delay cell ~vdd:1.1 ~load:5.0 ~edge:Electrical.Rising () in
+  Alcotest.(check bool) "inv faster" true (d (Library.inv 8) < d (Library.buf 8))
+
+let test_output_edge () =
+  Alcotest.(check bool) "buffer keeps" true
+    (Electrical.output_edge (Library.buf 1) Electrical.Rising = Electrical.Rising);
+  Alcotest.(check bool) "inverter flips" true
+    (Electrical.output_edge (Library.inv 1) Electrical.Rising = Electrical.Falling)
+
+let test_charge_physical () =
+  (* Q = (load + self) * vdd. *)
+  let q = Electrical.switching_charge (Library.buf 4) ~vdd:1.1 ~load:10.0 in
+  Alcotest.(check bool) "bounded" true (q > 10.0 && q < 20.0)
+
+let test_event_currents_buffer_rising () =
+  (* A buffer's rising input puts the main pulse on V_DD. *)
+  let c =
+    Electrical.event_currents (Library.buf 8) ~vdd:1.1 ~load:5.0
+      ~edge:Electrical.Rising ()
+  in
+  Alcotest.(check bool) "idd dominates" true
+    (Pwl.peak c.Electrical.idd > 2.0 *. Pwl.peak c.Electrical.iss)
+
+let test_event_currents_inverter_rising () =
+  (* An inverter's rising input discharges: main pulse on Gnd. *)
+  let c =
+    Electrical.event_currents (Library.inv 8) ~vdd:1.1 ~load:5.0
+      ~edge:Electrical.Rising ()
+  in
+  Alcotest.(check bool) "iss dominates" true
+    (Pwl.peak c.Electrical.iss > 2.0 *. Pwl.peak c.Electrical.idd)
+
+let test_event_currents_charge_conservation () =
+  (* The main pulse must carry the switching charge (in uA*ps = aC;
+     1 fC = 1000 uA*ps). *)
+  let cell = Library.buf 8 in
+  let load = 6.0 in
+  let c = Electrical.event_currents cell ~vdd:1.1 ~load ~edge:Electrical.Rising () in
+  let q_ac = 1000.0 *. Electrical.switching_charge cell ~vdd:1.1 ~load in
+  check_close (q_ac *. 0.01) "charge" q_ac (Pwl.area c.Electrical.idd)
+
+let test_peak_of_event_matches_waveform () =
+  let cell = Library.inv 16 in
+  let c = Electrical.event_currents cell ~vdd:1.1 ~load:7.0 ~edge:Electrical.Falling () in
+  let p =
+    Electrical.peak_of_event cell ~vdd:1.1 ~load:7.0 ~edge:Electrical.Falling
+      ~rail:Cell.Vdd_rail
+  in
+  check_close 1e-6 "consistent" (Pwl.peak c.Electrical.idd) p
+
+let test_lower_vdd_lower_peak () =
+  let p vdd =
+    Electrical.peak_of_event (Library.buf 8) ~vdd ~load:5.0
+      ~edge:Electrical.Rising ~rail:Cell.Vdd_rail
+  in
+  Alcotest.(check bool) "P(0.9) < P(1.1)" true (p 0.9 < p 1.1)
+
+let test_table2_magnitudes () =
+  (* Table II scale check: X1/X2-class cells peak in the 100-400 uA
+     range at small loads. *)
+  let p = Electrical.peak_of_event (Library.buf 1) ~vdd:1.1 ~load:2.0
+            ~edge:Electrical.Rising ~rail:Cell.Vdd_rail in
+  Alcotest.(check bool) "magnitude" true (p > 50.0 && p < 500.0)
+
+(* ------------------------------------------------------------------ *)
+(* Characterization                                                    *)
+
+let test_profile_structure () =
+  let p = Characterize.profile (Library.buf 8) ~vdd:1.1 ~load:5.0 ~period:2000.0 () in
+  Alcotest.(check bool) "delays positive" true (p.Characterize.t_d_rise > 0.0);
+  (* Both edges over a period: two pulses on each rail. *)
+  Alcotest.(check bool) "idd active near falling edge too" true
+    (Pwl.peak p.Characterize.idd > 0.0 && Pwl.peak p.Characterize.iss > 0.0)
+
+let test_hot_spot_times () =
+  let p = Characterize.profile (Library.buf 8) ~vdd:1.1 ~load:5.0 ~period:2000.0 () in
+  let ts = Characterize.hot_spot_times p ~count:12 in
+  Alcotest.(check bool) "some samples" true (Array.length ts >= 2);
+  let sorted = Array.copy ts in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted unique" true (sorted = ts)
+
+let test_sibling_sweep_shape () =
+  (* Observation 4 / Table I: delay and slew of the observed buffer move
+     mildly; the local rail peak moves strongly. *)
+  let rows = Characterize.sibling_sweep () in
+  Alcotest.(check int) "16 rows" 16 (List.length rows);
+  let first = List.hd rows in
+  let last = List.nth rows 15 in
+  let rel a b = Float.abs (a -. b) /. Float.max a b in
+  Alcotest.(check bool) "delay mild" true
+    (rel first.Characterize.obs_t_d_rise last.Characterize.obs_t_d_rise < 0.5);
+  (* Peaks swing strongly over the sweep (the paper's data is not
+     monotone either — compare the extremes of the whole column). *)
+  let peaks = List.map (fun r -> r.Characterize.peak_idd) rows in
+  let pmin = List.fold_left Float.min infinity peaks in
+  let pmax = List.fold_left Float.max 0.0 peaks in
+  Alcotest.(check bool) "peak strong" true (pmax /. pmin > 1.5);
+  (* Slew degrades monotonically as bigger inverters replace buffers. *)
+  Alcotest.(check bool) "slew grows" true
+    (last.Characterize.obs_slew_rise > first.Characterize.obs_slew_rise)
+
+let test_sibling_sweep_counts () =
+  let rows = Characterize.sibling_sweep ~fanout:8 () in
+  List.iteri
+    (fun k row ->
+      Alcotest.(check int) "invs" k row.Characterize.num_inverters;
+      Alcotest.(check int) "bufs" (8 - k) row.Characterize.num_buffers)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let cell_gen =
+  QCheck.make
+    ~print:(fun c -> c.Cell.name)
+    QCheck.Gen.(
+      let* d = oneofl [ 1; 2; 4; 8; 16; 32 ] in
+      let* mk = oneofl [ Library.buf; Library.inv; Library.adb; Library.adi ] in
+      return (mk d))
+
+let prop_delay_positive =
+  QCheck.Test.make ~name:"delay positive" ~count:200
+    QCheck.(pair cell_gen (float_range 0.5 50.0))
+    (fun (cell, load) ->
+      Electrical.delay cell ~vdd:1.1 ~load ~edge:Electrical.Rising () > 0.0)
+
+let prop_event_charge_scales_with_load =
+  QCheck.Test.make ~name:"more load, more charge" ~count:100
+    QCheck.(pair cell_gen (float_range 1.0 20.0))
+    (fun (cell, load) ->
+      let q1 = Electrical.switching_charge cell ~vdd:1.1 ~load in
+      let q2 = Electrical.switching_charge cell ~vdd:1.1 ~load:(load +. 5.0) in
+      q2 > q1)
+
+let prop_main_rail_polarity =
+  QCheck.Test.make ~name:"main pulse rail follows polarity" ~count:100 cell_gen
+    (fun cell ->
+      let c =
+        Electrical.event_currents cell ~vdd:1.1 ~load:5.0 ~edge:Electrical.Rising ()
+      in
+      match Cell.polarity cell with
+      | Cell.Positive -> Pwl.peak c.Electrical.idd >= Pwl.peak c.Electrical.iss
+      | Cell.Negative -> Pwl.peak c.Electrical.iss >= Pwl.peak c.Electrical.idd)
+
+let () =
+  Alcotest.run "repro_cell"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "polarity" `Quick test_polarity;
+          Alcotest.test_case "adjustable" `Quick test_adjustable;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "opposite rail" `Quick test_opposite_rail;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "BUF_X16 resistance anchor" `Quick
+            test_anchor_buf16_resistance;
+          Alcotest.test_case "input cap anchors" `Quick test_anchor_input_caps;
+          Alcotest.test_case "find" `Quick test_library_find;
+          Alcotest.test_case "unsupported drive" `Quick
+            test_library_unsupported_drive;
+          Alcotest.test_case "experiment sets" `Quick test_experiment_sets;
+          Alcotest.test_case "ADI slower than ADB" `Quick test_adi_slower_than_adb;
+        ] );
+      ( "electrical",
+        [
+          Alcotest.test_case "derate" `Quick test_derate;
+          Alcotest.test_case "delay monotone in load" `Quick
+            test_delay_monotone_in_load;
+          Alcotest.test_case "bigger drive faster" `Quick
+            test_delay_bigger_drive_faster;
+          Alcotest.test_case "inverter faster" `Quick
+            test_inverter_faster_than_buffer;
+          Alcotest.test_case "output edge" `Quick test_output_edge;
+          Alcotest.test_case "charge physical" `Quick test_charge_physical;
+          Alcotest.test_case "buffer rising on VDD" `Quick
+            test_event_currents_buffer_rising;
+          Alcotest.test_case "inverter rising on GND" `Quick
+            test_event_currents_inverter_rising;
+          Alcotest.test_case "charge conservation" `Quick
+            test_event_currents_charge_conservation;
+          Alcotest.test_case "peak accessor consistent" `Quick
+            test_peak_of_event_matches_waveform;
+          Alcotest.test_case "lower vdd lower peak" `Quick test_lower_vdd_lower_peak;
+          Alcotest.test_case "Table II magnitudes" `Quick test_table2_magnitudes;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "profile structure" `Quick test_profile_structure;
+          Alcotest.test_case "hot spot times" `Quick test_hot_spot_times;
+          Alcotest.test_case "sibling sweep shape (Table I)" `Quick
+            test_sibling_sweep_shape;
+          Alcotest.test_case "sibling sweep counts" `Quick test_sibling_sweep_counts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_delay_positive; prop_event_charge_scales_with_load;
+            prop_main_rail_polarity ] );
+    ]

@@ -1,0 +1,323 @@
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* A small hand-built tree: root -> two internals -> four leaves. *)
+let sample_tree () =
+  let node id parent children kind x y wire_len sink_cap cell =
+    { Tree.id; parent; children; kind; x; y;
+      wire = Wire.of_length wire_len; sink_cap; default_cell = cell }
+  in
+  Tree.create
+    [|
+      node 0 None [ 1; 2 ] Tree.Internal 50. 50. 0. 0. (Library.buf 16);
+      node 1 (Some 0) [ 3; 4 ] Tree.Internal 25. 40. 30. 0. (Library.buf 8);
+      node 2 (Some 0) [ 5; 6 ] Tree.Internal 75. 60. 40. 0. (Library.buf 8);
+      node 3 (Some 1) [] Tree.Leaf 15. 30. 20. 5. (Library.buf 8);
+      node 4 (Some 1) [] Tree.Leaf 30. 55. 25. 6. (Library.buf 8);
+      node 5 (Some 2) [] Tree.Leaf 70. 80. 22. 4. (Library.buf 8);
+      node 6 (Some 2) [] Tree.Leaf 95. 60. 28. 7. (Library.buf 8);
+    |]
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let test_wire_of_length () =
+  let w = Wire.of_length 100.0 in
+  check_close 1e-12 "res" (100.0 *. Wire.res_per_um) w.Wire.res;
+  check_close 1e-12 "cap" (100.0 *. Wire.cap_per_um) w.Wire.cap
+
+let test_wire_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Wire.of_length: negative length") (fun () ->
+      ignore (Wire.of_length (-1.0)))
+
+let test_wire_manhattan () =
+  let w = Wire.manhattan ~x0:0.0 ~y0:0.0 ~x1:3.0 ~y1:4.0 in
+  check_close 1e-12 "L1 length" 7.0 w.Wire.length
+
+let test_wire_elmore () =
+  let w = Wire.of_length 100.0 in
+  let expected = w.Wire.res *. ((w.Wire.cap /. 2.0) +. 5.0) in
+  check_close 1e-12 "elmore" expected (Wire.elmore_delay w ~load:5.0)
+
+let test_wire_scaled () =
+  let w = Wire.of_length 10.0 in
+  let s = Wire.scaled w ~r_scale:2.0 ~c_scale:0.5 in
+  check_close 1e-12 "r" (2.0 *. w.Wire.res) s.Wire.res;
+  check_close 1e-12 "c" (0.5 *. w.Wire.cap) s.Wire.cap
+
+(* ------------------------------------------------------------------ *)
+(* Tree construction & invariants                                      *)
+
+let test_tree_basic () =
+  let t = sample_tree () in
+  Alcotest.(check int) "size" 7 (Tree.size t);
+  Alcotest.(check int) "leaves" 4 (Tree.num_leaves t);
+  Alcotest.(check int) "internals" 3 (Array.length (Tree.internals t));
+  Alcotest.(check int) "root id" 0 (Tree.root t).Tree.id
+
+let test_tree_topological () =
+  let t = sample_tree () in
+  let order = Tree.topological_order t in
+  let pos = Array.make 7 0 in
+  Array.iteri (fun i id -> pos.(id) <- i) order;
+  Array.iter
+    (fun nd ->
+      match nd.Tree.parent with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool) "parent first" true (pos.(p) < pos.(nd.Tree.id)))
+    (Tree.nodes t)
+
+let test_tree_depth () =
+  let t = sample_tree () in
+  Alcotest.(check int) "root" 0 (Tree.depth t 0);
+  Alcotest.(check int) "leaf" 2 (Tree.depth t 3)
+
+let bad_node () =
+  { Tree.id = 0; parent = None; children = []; kind = Tree.Internal;
+    x = 0.; y = 0.; wire = Wire.zero; sink_cap = 0.;
+    default_cell = Library.buf 1 }
+
+let test_tree_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tree.create: empty node array")
+    (fun () -> ignore (Tree.create [||]))
+
+let test_tree_rejects_internal_without_children () =
+  Alcotest.check_raises "no children"
+    (Invalid_argument "Tree.create: internal node without children") (fun () ->
+      ignore (Tree.create [| bad_node () |]))
+
+let test_tree_rejects_leaf_with_zero_cap () =
+  let leaf =
+    { (bad_node ()) with Tree.kind = Tree.Leaf; sink_cap = 0.0 }
+  in
+  Alcotest.check_raises "zero cap"
+    (Invalid_argument "Tree.create: leaf needs positive sink capacitance")
+    (fun () -> ignore (Tree.create [| leaf |]))
+
+let test_tree_rejects_two_roots () =
+  let l cap id =
+    { Tree.id; parent = None; children = []; kind = Tree.Leaf; x = 0.; y = 0.;
+      wire = Wire.zero; sink_cap = cap; default_cell = Library.buf 1 }
+  in
+  Alcotest.check_raises "two roots"
+    (Invalid_argument "Tree.create: multiple roots") (fun () ->
+      ignore (Tree.create [| l 1.0 0; l 1.0 1 |]))
+
+let test_tree_rejects_inconsistent_parent () =
+  let n0 =
+    { (bad_node ()) with Tree.children = [ 1 ] }
+  in
+  let n1 =
+    { Tree.id = 1; parent = None; children = []; kind = Tree.Leaf; x = 0.;
+      y = 0.; wire = Wire.zero; sink_cap = 1.0; default_cell = Library.buf 1 }
+  in
+  Alcotest.check_raises "child without parent link"
+    (Invalid_argument "Tree.create: child does not point to parent") (fun () ->
+      ignore (Tree.create [| n0; n1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Assignment                                                          *)
+
+let test_assignment_default () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:2 in
+  Alcotest.(check int) "modes" 2 (Assignment.num_modes a);
+  Alcotest.(check bool) "default cell" true
+    (Cell.equal (Assignment.cell a 3) (Library.buf 8));
+  check_close 1e-12 "extra 0" 0.0 (Assignment.extra_delay a ~mode:1 3)
+
+let test_assignment_set_cell () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let a' = Assignment.set_cell a 3 (Library.inv 16) in
+  Alcotest.(check bool) "updated" true
+    (Cell.equal (Assignment.cell a' 3) (Library.inv 16));
+  Alcotest.(check bool) "original untouched" true
+    (Cell.equal (Assignment.cell a 3) (Library.buf 8))
+
+let test_assignment_extra_delay () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:2 in
+  let a = Assignment.set_cell a 3 (Library.adb 8) in
+  let a = Assignment.set_extra_delay a ~mode:1 3 4.0 in
+  check_close 1e-12 "mode1" 4.0 (Assignment.extra_delay a ~mode:1 3);
+  check_close 1e-12 "mode0 untouched" 0.0 (Assignment.extra_delay a ~mode:0 3)
+
+let test_assignment_extra_delay_validation () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  Alcotest.check_raises "not adjustable"
+    (Invalid_argument "Assignment.set_extra_delay: cell is not adjustable")
+    (fun () -> ignore (Assignment.set_extra_delay a ~mode:0 3 2.0));
+  let a = Assignment.set_cell a 3 (Library.adb 8) in
+  Alcotest.check_raises "bad step"
+    (Invalid_argument "Assignment.set_extra_delay: value not in delay steps")
+    (fun () -> ignore (Assignment.set_extra_delay a ~mode:0 3 3.0))
+
+let test_assignment_set_cell_resets_settings () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let a = Assignment.set_cell a 3 (Library.adb 8) in
+  let a = Assignment.set_extra_delay a ~mode:0 3 6.0 in
+  let a = Assignment.set_cell a 3 (Library.adb 16) in
+  check_close 1e-12 "reset" 0.0 (Assignment.extra_delay a ~mode:0 3)
+
+let test_assignment_count_leaves () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let a = Assignment.set_cell a 3 (Library.inv 8) in
+  let a = Assignment.set_cell a 5 (Library.inv 16) in
+  Alcotest.(check int) "inverters" 2
+    (Assignment.count_leaves a t ~pred:(fun c -> Cell.polarity c = Cell.Negative))
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+
+let test_timing_arrival_order () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let res = Timing.analyze t a (Timing.nominal ()) ~edge:Electrical.Rising in
+  (* Children arrive strictly after parents. *)
+  Array.iter
+    (fun nd ->
+      match nd.Tree.parent with
+      | None -> ()
+      | Some p ->
+        Alcotest.(check bool) "monotone" true
+          (res.Timing.input_arrival.(nd.Tree.id) > res.Timing.input_arrival.(p)))
+    (Tree.nodes t)
+
+let test_timing_sink_arrival_only_leaves () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let res = Timing.analyze t a (Timing.nominal ()) ~edge:Electrical.Rising in
+  Alcotest.(check bool) "internal nan" true
+    (Float.is_nan res.Timing.sink_arrival.(0));
+  Alcotest.(check bool) "leaf finite" true
+    (Float.is_finite res.Timing.sink_arrival.(3))
+
+let test_timing_skew_nonnegative () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let res = Timing.analyze t a (Timing.nominal ()) ~edge:Electrical.Rising in
+  Alcotest.(check bool) "skew >= 0" true (Timing.skew t res >= 0.0)
+
+let test_timing_lower_vdd_slower () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let fast = Timing.analyze t a (Timing.nominal ~vdd:1.1 ()) ~edge:Electrical.Rising in
+  let slow = Timing.analyze t a (Timing.nominal ~vdd:0.9 ()) ~edge:Electrical.Rising in
+  Alcotest.(check bool) "slower at 0.9V" true
+    (slow.Timing.sink_arrival.(3) > fast.Timing.sink_arrival.(3))
+
+let test_timing_edge_flip_through_inverter () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  (* Make internal node 1 an inverter: its subtree sees flipped edges. *)
+  let a = Assignment.set_cell a 1 (Library.inv 8) in
+  let res = Timing.analyze t a (Timing.nominal ()) ~edge:Electrical.Rising in
+  Alcotest.(check bool) "leaf 3 falling" true
+    (res.Timing.input_edge.(3) = Electrical.Falling);
+  Alcotest.(check bool) "leaf 5 rising" true
+    (res.Timing.input_edge.(5) = Electrical.Rising)
+
+let test_timing_extra_delay_applied () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let a = Assignment.set_cell a 3 (Library.adb 8) in
+  let base = Timing.analyze t a (Timing.nominal ()) ~edge:Electrical.Rising in
+  let a' = Assignment.set_extra_delay a ~mode:0 3 8.0 in
+  let res = Timing.analyze t a' (Timing.nominal ()) ~edge:Electrical.Rising in
+  check_close 1e-6 "8 ps later" 8.0
+    (res.Timing.sink_arrival.(3) -. base.Timing.sink_arrival.(3))
+
+let test_timing_mode_out_of_range () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  Alcotest.check_raises "mode" (Invalid_argument "Timing.analyze: mode out of range")
+    (fun () ->
+      ignore (Timing.analyze t a (Timing.nominal ~mode:1 ()) ~edge:Electrical.Rising))
+
+let test_timing_leaf_delay_matches_assignment () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  let res = Timing.analyze t a env ~edge:Electrical.Rising in
+  let d = Timing.leaf_delay t a env res 3 (Library.buf 8) in
+  check_close 1e-6 "consistent with analysis"
+    (res.Timing.sink_arrival.(3) -. res.Timing.input_arrival.(3))
+    d
+
+let test_timing_derate_increases_delay () =
+  let t = sample_tree () in
+  let a = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  let env' = { env with Timing.cell_derate = (fun _ -> 1.2) } in
+  let r1 = Timing.analyze t a env ~edge:Electrical.Rising in
+  let r2 = Timing.analyze t a env' ~edge:Electrical.Rising in
+  Alcotest.(check bool) "slower" true
+    (r2.Timing.sink_arrival.(3) > r1.Timing.sink_arrival.(3))
+
+let () =
+  Alcotest.run "repro_clocktree"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "of_length" `Quick test_wire_of_length;
+          Alcotest.test_case "negative" `Quick test_wire_negative;
+          Alcotest.test_case "manhattan" `Quick test_wire_manhattan;
+          Alcotest.test_case "elmore" `Quick test_wire_elmore;
+          Alcotest.test_case "scaled" `Quick test_wire_scaled;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "basic" `Quick test_tree_basic;
+          Alcotest.test_case "topological" `Quick test_tree_topological;
+          Alcotest.test_case "depth" `Quick test_tree_depth;
+          Alcotest.test_case "rejects empty" `Quick test_tree_rejects_empty;
+          Alcotest.test_case "rejects childless internal" `Quick
+            test_tree_rejects_internal_without_children;
+          Alcotest.test_case "rejects zero-cap leaf" `Quick
+            test_tree_rejects_leaf_with_zero_cap;
+          Alcotest.test_case "rejects two roots" `Quick test_tree_rejects_two_roots;
+          Alcotest.test_case "rejects inconsistent parent" `Quick
+            test_tree_rejects_inconsistent_parent;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "default" `Quick test_assignment_default;
+          Alcotest.test_case "set cell" `Quick test_assignment_set_cell;
+          Alcotest.test_case "extra delay" `Quick test_assignment_extra_delay;
+          Alcotest.test_case "extra delay validation" `Quick
+            test_assignment_extra_delay_validation;
+          Alcotest.test_case "set cell resets settings" `Quick
+            test_assignment_set_cell_resets_settings;
+          Alcotest.test_case "count leaves" `Quick test_assignment_count_leaves;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "arrival order" `Quick test_timing_arrival_order;
+          Alcotest.test_case "sink arrival leaves only" `Quick
+            test_timing_sink_arrival_only_leaves;
+          Alcotest.test_case "skew nonnegative" `Quick test_timing_skew_nonnegative;
+          Alcotest.test_case "lower vdd slower" `Quick test_timing_lower_vdd_slower;
+          Alcotest.test_case "edge flip through inverter" `Quick
+            test_timing_edge_flip_through_inverter;
+          Alcotest.test_case "extra delay applied" `Quick
+            test_timing_extra_delay_applied;
+          Alcotest.test_case "mode out of range" `Quick test_timing_mode_out_of_range;
+          Alcotest.test_case "leaf delay consistent" `Quick
+            test_timing_leaf_delay_matches_assignment;
+          Alcotest.test_case "derate increases delay" `Quick
+            test_timing_derate_increases_delay;
+        ] );
+    ]

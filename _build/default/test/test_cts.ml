@@ -1,0 +1,397 @@
+module Placement = Repro_cts.Placement
+module Topology = Repro_cts.Topology
+module Synthesis = Repro_cts.Synthesis
+module Benchmarks = Repro_cts.Benchmarks
+module Islands = Repro_cts.Islands
+module Tree = Repro_clocktree.Tree
+module Rng = Repro_util.Rng
+
+let rng () = Rng.create ~seed:4242
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+
+let test_random_sinks () =
+  let die = Placement.square_die 200.0 in
+  let sinks = Placement.random_sinks (rng ()) die ~count:50 () in
+  Alcotest.(check int) "count" 50 (Array.length sinks);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "in die" true
+        (s.Placement.x >= 0.0 && s.Placement.x <= 200.0
+        && s.Placement.y >= 0.0 && s.Placement.y <= 200.0);
+      Alcotest.(check bool) "cap range" true
+        (s.Placement.cap >= 10.0 && s.Placement.cap <= 18.0))
+    sinks
+
+let test_clustered_sinks () =
+  let die = Placement.square_die 200.0 in
+  let sinks = Placement.clustered_sinks (rng ()) die ~count:40 ~clusters:3 () in
+  Alcotest.(check int) "count" 40 (Array.length sinks);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "clamped" true
+        (s.Placement.x >= 0.0 && s.Placement.x <= 200.0))
+    sinks
+
+let test_bounding_box () =
+  let sinks =
+    [| { Placement.x = 1.0; y = 5.0; cap = 3.0 };
+       { Placement.x = 4.0; y = 2.0; cap = 3.0 } |]
+  in
+  let x0, y0, x1, y1 = Placement.bounding_box sinks in
+  Alcotest.(check (float 1e-12)) "x0" 1.0 x0;
+  Alcotest.(check (float 1e-12)) "y0" 2.0 y0;
+  Alcotest.(check (float 1e-12)) "x1" 4.0 x1;
+  Alcotest.(check (float 1e-12)) "y1" 5.0 y1
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+
+let sinks_n n =
+  Placement.random_sinks (rng ()) (Placement.square_die 300.0) ~count:n ()
+
+let test_bisect_counts () =
+  let topo = Topology.bisect (sinks_n 16) ~branching:2 in
+  Alcotest.(check int) "leaves" 16 (Topology.leaf_count topo);
+  Alcotest.(check int) "full binary internals" 15 (Topology.internal_count topo)
+
+let test_bisect_invalid () =
+  Alcotest.check_raises "branching" (Invalid_argument "Topology.bisect: branching < 2")
+    (fun () -> ignore (Topology.bisect (sinks_n 4) ~branching:1))
+
+let test_budgeted_exact () =
+  List.iter
+    (fun (n, taps) ->
+      let topo = Topology.budgeted (sinks_n n) ~taps in
+      Alcotest.(check int)
+        (Printf.sprintf "taps n=%d t=%d" n taps)
+        (min taps (max 1 (n - 1)))
+        (Topology.internal_count topo);
+      Alcotest.(check int) "leaves preserved" n (Topology.leaf_count topo))
+    [ (50, 8); (19, 3); (246, 77); (111, 110); (10, 1); (10, 9); (1, 1); (7, 100) ]
+
+let test_add_repeaters () =
+  let topo = Topology.bisect (sinks_n 8) ~branching:2 in
+  let before = Topology.internal_count topo in
+  let topo' = Topology.add_repeaters (rng ()) topo ~extra:5 in
+  Alcotest.(check int) "added" (before + 5) (Topology.internal_count topo');
+  Alcotest.(check int) "leaves same" 8 (Topology.leaf_count topo')
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+
+let test_level_sizes_sum () =
+  List.iter
+    (fun (internals, leaves) ->
+      let sizes = Synthesis.level_sizes ~internals ~leaves in
+      Alcotest.(check int)
+        (Printf.sprintf "sum i=%d l=%d" internals leaves)
+        internals
+        (List.fold_left ( + ) 0 sizes);
+      (match sizes with
+      | root :: _ -> Alcotest.(check int) "root level" 1 root
+      | [] -> Alcotest.fail "empty sizes");
+      (* A level never exceeds the one below. *)
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "monotone" true (a <= b);
+          check rest
+        | [ _ ] | [] -> ()
+      in
+      check sizes)
+    [ (8, 50); (3, 19); (77, 246); (217, 111); (141, 69); (1, 10); (2, 2) ]
+
+let test_build_structure () =
+  let tree = Synthesis.build ~rng:(rng ()) (sinks_n 30) ~internals:10 in
+  Alcotest.(check int) "n" 40 (Tree.size tree);
+  Alcotest.(check int) "leaves" 30 (Tree.num_leaves tree)
+
+let test_build_uniform_leaf_depth () =
+  let tree = Synthesis.build ~rng:(rng ()) (sinks_n 64) ~internals:21 in
+  let depths =
+    Array.map (fun nd -> Tree.depth tree nd.Tree.id) (Tree.leaves tree)
+  in
+  let d0 = depths.(0) in
+  Array.iter (fun d -> Alcotest.(check int) "uniform depth" d0 d) depths
+
+let test_synthesize_low_skew () =
+  let tree = Synthesis.synthesize ~rng:(rng ()) (sinks_n 60) ~internals:15 in
+  Alcotest.(check bool) "skew < 10ps" true (Synthesis.nominal_skew tree < 10.0)
+
+let test_synthesize_rejects_empty () =
+  Alcotest.check_raises "no sinks" (Invalid_argument "Synthesis.build: no sinks")
+    (fun () -> ignore (Synthesis.build ~rng:(rng ()) [||] ~internals:3))
+
+(* ------------------------------------------------------------------ *)
+(* DME                                                                 *)
+
+let test_merge_split_balances () =
+  let la, lb =
+    Repro_cts.Dme.merge_split ~distance:100.0 ~delay_a:20.0 ~cap_a:2.0
+      ~delay_b:24.0 ~cap_b:2.0
+  in
+  Alcotest.(check bool) "covers distance" true (la +. lb >= 100.0 -. 1e-6);
+  (* The slower side gets the shorter stub. *)
+  Alcotest.(check bool) "slower side shorter" true (lb < la)
+
+let test_merge_split_detour () =
+  (* Huge delay difference: the fast side must detour beyond the direct
+     distance. *)
+  let la, lb =
+    Repro_cts.Dme.merge_split ~distance:10.0 ~delay_a:80.0 ~cap_a:2.0
+      ~delay_b:20.0 ~cap_b:2.0
+  in
+  Alcotest.(check (float 1e-9)) "slow side zero" 0.0 la;
+  Alcotest.(check bool) "detour" true (lb > 10.0)
+
+let test_merge_split_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Dme.merge_split: negative input")
+    (fun () ->
+      ignore
+        (Repro_cts.Dme.merge_split ~distance:(-1.0) ~delay_a:1.0 ~cap_a:1.0
+           ~delay_b:1.0 ~cap_b:1.0))
+
+let test_dme_structure () =
+  let sinks = sinks_n 20 in
+  let tree = Repro_cts.Dme.synthesize sinks in
+  Alcotest.(check int) "2n-1 nodes" 39 (Tree.size tree);
+  Alcotest.(check int) "n leaves" 20 (Tree.num_leaves tree);
+  (* Binary: every internal node has exactly 2 children. *)
+  Array.iter
+    (fun nd ->
+      Alcotest.(check int) "binary" 2 (List.length nd.Tree.children))
+    (Tree.internals tree)
+
+let test_dme_low_skew () =
+  let tree = Repro_cts.Dme.synthesize (sinks_n 60) in
+  Alcotest.(check bool) "skew < 6ps" true (Repro_cts.Dme.nominal_skew tree < 6.0)
+
+let test_dme_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dme.synthesize: no sinks")
+    (fun () -> ignore (Repro_cts.Dme.synthesize [||]))
+
+let prop_dme_skew_small =
+  QCheck.Test.make ~name:"DME skew stays small" ~count:15
+    QCheck.(pair (int_range 1 100000) (int_range 2 80))
+    (fun (seed, n) ->
+      let sinks =
+        Placement.random_sinks (Rng.create ~seed) (Placement.square_die 250.0)
+          ~count:n ()
+      in
+      let tree = Repro_cts.Dme.synthesize sinks in
+      (* The balance is first-order Elmore (slew coupling ignored), so a
+         few ps of residual remain — same class as the paper's "<10 ps"
+         zero-skew trees. *)
+      Tree.size tree = (2 * n) - 1 && Repro_cts.Dme.nominal_skew tree < 12.0)
+
+(* ------------------------------------------------------------------ *)
+(* H-tree                                                              *)
+
+let test_htree_tap_count () =
+  Alcotest.(check int) "4^2" 16
+    (Array.length (Repro_cts.Htree.tap_positions ~die_side:100.0 ~levels:2));
+  Alcotest.(check int) "4^0" 1
+    (Array.length (Repro_cts.Htree.tap_positions ~die_side:100.0 ~levels:0))
+
+let test_htree_taps_inside_die () =
+  let taps = Repro_cts.Htree.tap_positions ~die_side:100.0 ~levels:3 in
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "inside" true
+        (x > 0.0 && x < 100.0 && y > 0.0 && y < 100.0))
+    taps
+
+let test_htree_synthesize () =
+  let sinks = sinks_n 40 in
+  let tree = Repro_cts.Htree.synthesize ~die_side:300.0 ~levels:2 sinks in
+  (* All sink capacitance is preserved in the leaf loads. *)
+  let total_sinks = Array.fold_left (fun a s -> a +. s.Placement.cap) 0.0 sinks in
+  let total_leaves =
+    Array.fold_left (fun a nd -> a +. nd.Tree.sink_cap) 0.0 (Tree.leaves tree)
+  in
+  Alcotest.(check (float 1e-6)) "cap preserved" total_sinks total_leaves;
+  Alcotest.(check bool) "at most 16 leaves" true (Tree.num_leaves tree <= 16);
+  Alcotest.(check bool) "low skew" true (Synthesis.nominal_skew tree < 10.0)
+
+let test_htree_prunes_empty_taps () =
+  (* Sinks concentrated in one corner: most taps vanish. *)
+  let sinks =
+    Array.init 6 (fun i ->
+        { Placement.x = 5.0 +. float_of_int i; y = 5.0; cap = 10.0 })
+  in
+  let tree = Repro_cts.Htree.synthesize ~die_side:400.0 ~levels:2 sinks in
+  Alcotest.(check int) "single leaf chain" 1 (Tree.num_leaves tree)
+
+let test_htree_validation () =
+  Alcotest.check_raises "levels" (Invalid_argument "Htree.synthesize: levels < 1")
+    (fun () ->
+      ignore (Repro_cts.Htree.synthesize ~die_side:100.0 ~levels:0 (sinks_n 4)));
+  Alcotest.check_raises "empty" (Invalid_argument "Htree.synthesize: no sinks")
+    (fun () -> ignore (Repro_cts.Htree.synthesize ~die_side:100.0 ~levels:2 [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks                                                          *)
+
+let test_benchmark_suite_statistics () =
+  List.iter
+    (fun spec ->
+      let tree = Benchmarks.synthesize spec in
+      Alcotest.(check int)
+        (spec.Benchmarks.name ^ " n")
+        spec.Benchmarks.num_nodes (Tree.size tree);
+      Alcotest.(check int)
+        (spec.Benchmarks.name ^ " |L|")
+        spec.Benchmarks.num_leaves (Tree.num_leaves tree);
+      Alcotest.(check bool)
+        (spec.Benchmarks.name ^ " zero skew")
+        true
+        (Synthesis.nominal_skew tree < 10.0))
+    Benchmarks.all
+
+let test_benchmark_deterministic () =
+  let spec = Benchmarks.find "s15850" in
+  let t1 = Benchmarks.synthesize spec and t2 = Benchmarks.synthesize spec in
+  Alcotest.(check (float 1e-12)) "same skew" (Synthesis.nominal_skew t1)
+    (Synthesis.nominal_skew t2);
+  Alcotest.(check int) "same size" (Tree.size t1) (Tree.size t2)
+
+let test_benchmark_find_unknown () =
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Benchmarks.find "s99999"))
+
+let test_benchmark_zone_occupancy () =
+  (* Sec. VII-A: ~4.3 leaves per 50x50 zone for ISCAS'89 circuits. *)
+  let spec = Benchmarks.find "s38417" in
+  let tree = Benchmarks.synthesize spec in
+  let zones = Repro_core.Zones.partition tree ~side:Benchmarks.zone_side in
+  let mean = Repro_core.Zones.mean_leaves_per_zone zones in
+  Alcotest.(check bool) "occupancy in range" true (mean > 2.5 && mean < 8.0)
+
+(* ------------------------------------------------------------------ *)
+(* Islands                                                             *)
+
+let test_islands_grid () =
+  let isl = Islands.grid ~die_side:100.0 ~count:6 in
+  Alcotest.(check bool) "count >= asked" true (Islands.count isl >= 6)
+
+let test_islands_lookup () =
+  let isl = Islands.grid ~die_side:100.0 ~count:4 in
+  let a = Islands.island_of isl ~x:10.0 ~y:10.0 in
+  let b = Islands.island_of isl ~x:90.0 ~y:90.0 in
+  Alcotest.(check bool) "different corners" true (a <> b);
+  (* Outside points clamp onto the die. *)
+  let c = Islands.island_of isl ~x:(-5.0) ~y:(-5.0) in
+  Alcotest.(check int) "clamped" a c
+
+let test_islands_modes () =
+  let isl = Islands.grid ~die_side:100.0 ~count:4 in
+  let modes = Islands.random_modes (rng ()) isl ~num_modes:4 () in
+  Alcotest.(check int) "modes" 4 (Array.length modes);
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-12)) "mode 0 nominal" 1.1 v)
+    modes.(0);
+  Array.iter
+    (fun mode ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "levels" true (v = 0.9 || v = 1.1))
+        mode)
+    modes
+
+let test_islands_vdd_of_node () =
+  let isl = Islands.grid ~die_side:100.0 ~count:4 in
+  let mode = Islands.uniform_mode isl ~vdd:0.9 in
+  let tree =
+    Synthesis.build ~rng:(rng ())
+      (Placement.random_sinks (rng ()) (Placement.square_die 100.0) ~count:8 ())
+      ~internals:3
+  in
+  Array.iter
+    (fun nd ->
+      Alcotest.(check (float 1e-12)) "uniform 0.9" 0.9
+        (Islands.vdd_of_node isl mode nd))
+    (Tree.nodes tree)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_budgeted_counts =
+  QCheck.Test.make ~name:"budgeted consumes exact tap budget" ~count:60
+    QCheck.(pair (int_range 2 120) (int_range 1 200))
+    (fun (n, taps) ->
+      let sinks = sinks_n n in
+      let topo = Topology.budgeted sinks ~taps in
+      Topology.internal_count topo = min taps (n - 1)
+      && Topology.leaf_count topo = n)
+
+let prop_level_sizes =
+  QCheck.Test.make ~name:"level sizes sum and shape" ~count:100
+    QCheck.(pair (int_range 1 300) (int_range 1 300))
+    (fun (internals, leaves) ->
+      let sizes = Synthesis.level_sizes ~internals ~leaves in
+      List.fold_left ( + ) 0 sizes = internals
+      && List.hd sizes = 1
+      && List.for_all (fun s -> s >= 1) sizes)
+
+let () =
+  Alcotest.run "repro_cts"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "random sinks" `Quick test_random_sinks;
+          Alcotest.test_case "clustered sinks" `Quick test_clustered_sinks;
+          Alcotest.test_case "bounding box" `Quick test_bounding_box;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "bisect counts" `Quick test_bisect_counts;
+          Alcotest.test_case "bisect invalid" `Quick test_bisect_invalid;
+          Alcotest.test_case "budgeted exact" `Quick test_budgeted_exact;
+          Alcotest.test_case "add repeaters" `Quick test_add_repeaters;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "level sizes sum" `Quick test_level_sizes_sum;
+          Alcotest.test_case "build structure" `Quick test_build_structure;
+          Alcotest.test_case "uniform leaf depth" `Quick
+            test_build_uniform_leaf_depth;
+          Alcotest.test_case "low skew" `Quick test_synthesize_low_skew;
+          Alcotest.test_case "rejects empty" `Quick test_synthesize_rejects_empty;
+        ] );
+      ( "dme",
+        [
+          Alcotest.test_case "merge split balances" `Quick test_merge_split_balances;
+          Alcotest.test_case "merge split detour" `Quick test_merge_split_detour;
+          Alcotest.test_case "merge split validation" `Quick
+            test_merge_split_validation;
+          Alcotest.test_case "structure" `Quick test_dme_structure;
+          Alcotest.test_case "low skew" `Quick test_dme_low_skew;
+          Alcotest.test_case "empty rejected" `Quick test_dme_empty_rejected;
+        ] );
+      ( "htree",
+        [
+          Alcotest.test_case "tap count" `Quick test_htree_tap_count;
+          Alcotest.test_case "taps inside die" `Quick test_htree_taps_inside_die;
+          Alcotest.test_case "synthesize" `Quick test_htree_synthesize;
+          Alcotest.test_case "prunes empty taps" `Quick test_htree_prunes_empty_taps;
+          Alcotest.test_case "validation" `Quick test_htree_validation;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "suite statistics" `Slow test_benchmark_suite_statistics;
+          Alcotest.test_case "deterministic" `Quick test_benchmark_deterministic;
+          Alcotest.test_case "find unknown" `Quick test_benchmark_find_unknown;
+          Alcotest.test_case "zone occupancy" `Quick test_benchmark_zone_occupancy;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "grid" `Quick test_islands_grid;
+          Alcotest.test_case "lookup" `Quick test_islands_lookup;
+          Alcotest.test_case "modes" `Quick test_islands_modes;
+          Alcotest.test_case "vdd of node" `Quick test_islands_vdd_of_node;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_budgeted_counts; prop_level_sizes; prop_dme_skew_small ] );
+    ]

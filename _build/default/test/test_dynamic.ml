@@ -1,0 +1,161 @@
+module Dynamic_polarity = Repro_core.Dynamic_polarity
+module Clk_wavemin_m = Repro_core.Clk_wavemin_m
+module Context = Repro_core.Context
+module Golden = Repro_core.Golden
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Islands = Repro_cts.Islands
+module Rng = Repro_util.Rng
+
+let die_side = 150.0
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:4545)
+      (Repro_cts.Placement.square_die die_side) ~count:12 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:4546) sinks ~internals:4
+
+let envs () =
+  let islands = Islands.grid ~die_side ~count:2 in
+  let m0 = Islands.uniform_mode islands ~vdd:1.1 in
+  let m1 = Array.mapi (fun i _ -> if i = 0 then 1.1 else 0.9) m0 in
+  [| { (Timing.nominal ~mode:0 ()) with
+       Timing.vdd_of = (fun nd -> Islands.vdd_of_node islands m0 nd) };
+     { (Timing.nominal ~mode:1 ()) with
+       Timing.vdd_of = (fun nd -> Islands.vdd_of_node islands m1 nd) } |]
+
+let params =
+  { Context.default_params with Context.num_slots = 16; max_interval_classes = 4 }
+
+let test_twin_properties () =
+  let twin = Dynamic_polarity.inverting_twin (Library.buf 8) in
+  Alcotest.(check bool) "negative" true (Cell.polarity twin = Cell.Negative);
+  Alcotest.(check string) "name" "~BUF_X8" twin.Cell.name;
+  (* Delay-matched by construction. *)
+  let d c = Electrical.delay c ~vdd:1.1 ~load:10.0 ~edge:Electrical.Rising () in
+  Alcotest.(check (float 1e-9)) "same delay" (d (Library.buf 8)) (d twin);
+  Alcotest.(check (float 1e-9)) "area overhead"
+    ((Library.buf 8).Cell.area +. Dynamic_polarity.xor_area_overhead)
+    twin.Cell.area
+
+let test_twin_rejects_non_buffers () =
+  Alcotest.check_raises "inverter"
+    (Invalid_argument "Dynamic_polarity.inverting_twin: driver must be a plain buffer")
+    (fun () -> ignore (Dynamic_polarity.inverting_twin (Library.inv 8)));
+  Alcotest.check_raises "adb"
+    (Invalid_argument "Dynamic_polarity.inverting_twin: driver must be a plain buffer")
+    (fun () -> ignore (Dynamic_polarity.inverting_twin (Library.adb 8)))
+
+let test_optimize_shapes () =
+  let t = tree () in
+  let envs = envs () in
+  let o = Dynamic_polarity.optimize ~params t ~envs in
+  Alcotest.(check int) "modes" 2 (Array.length o.Dynamic_polarity.polarity_bits);
+  Array.iter
+    (fun bits ->
+      Alcotest.(check int) "bits per leaf" (Tree.num_leaves t) (Array.length bits))
+    o.Dynamic_polarity.polarity_bits;
+  Alcotest.(check (float 1e-9)) "xor area"
+    (Dynamic_polarity.xor_area_overhead *. float_of_int (Tree.num_leaves t))
+    o.Dynamic_polarity.area_overhead;
+  Alcotest.(check bool) "positive estimate" true
+    (o.Dynamic_polarity.predicted_peak_ua > 0.0)
+
+let test_polarity_bits_match_assignments () =
+  let t = tree () in
+  let envs = envs () in
+  let o = Dynamic_polarity.optimize ~params t ~envs in
+  Array.iteri
+    (fun m asg ->
+      Array.iteri
+        (fun i nd ->
+          let inverted =
+            Cell.polarity (Repro_clocktree.Assignment.cell asg nd.Tree.id)
+            = Cell.Negative
+          in
+          Alcotest.(check bool) "bit consistent" inverted
+            o.Dynamic_polarity.polarity_bits.(m).(i))
+        (Tree.leaves t))
+    o.Dynamic_polarity.assignments
+
+let test_mixed_polarities_chosen () =
+  let t = tree () in
+  let envs = envs () in
+  let o = Dynamic_polarity.optimize ~params t ~envs in
+  Array.iter
+    (fun bits ->
+      let inv = Array.fold_left (fun a b -> if b then a + 1 else a) 0 bits in
+      Alcotest.(check bool) "some of each" true
+        (inv > 0 && inv < Array.length bits))
+    o.Dynamic_polarity.polarity_bits
+
+let test_skew_neutrality () =
+  (* The twin is delay-matched, so per-mode skew equals the all-buffer
+     skew in that mode. *)
+  let t = tree () in
+  let envs = envs () in
+  let base = Repro_clocktree.Assignment.default t ~num_modes:2 in
+  let base_skews = Repro_core.Adb_embedding.skews t base envs in
+  let o = Dynamic_polarity.optimize ~params t ~envs in
+  Array.iteri
+    (fun m asg ->
+      let env = { envs.(m) with Timing.mode = 0 } in
+      let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+      Alcotest.(check (float 0.5)) "same skew" base_skews.(m)
+        (Timing.skew t timing))
+    o.Dynamic_polarity.assignments
+
+let test_dynamic_beats_static_estimate () =
+  (* Reconfigurability can only help: the dynamic optimum's estimate is
+     no worse than static ClkWaveMin-M's (both fine-grained). *)
+  let t = tree () in
+  let envs = envs () in
+  let dynamic, static = Dynamic_polarity.static_gap ~params t ~envs in
+  Alcotest.(check bool) "dynamic <= static * 1.05" true (dynamic <= static *. 1.05)
+
+let test_golden_improvement_over_all_buffers () =
+  let t = tree () in
+  let envs = envs () in
+  let o = Dynamic_polarity.optimize ~params t ~envs in
+  let base = Repro_clocktree.Assignment.default t ~num_modes:1 in
+  Array.iteri
+    (fun m asg ->
+      let env = { envs.(m) with Timing.mode = 0 } in
+      let before = Golden.evaluate t base env in
+      let after = Golden.evaluate t asg env in
+      Alcotest.(check bool)
+        (Printf.sprintf "mode %d peak reduced" m)
+        true
+        (after.Golden.peak_current_ma < before.Golden.peak_current_ma))
+    o.Dynamic_polarity.assignments
+
+let test_rejects_empty_modes () =
+  let t = tree () in
+  Alcotest.check_raises "no modes"
+    (Invalid_argument "Dynamic_polarity.optimize: no modes") (fun () ->
+      ignore (Dynamic_polarity.optimize ~params t ~envs:[||]))
+
+let () =
+  Alcotest.run "repro_dynamic_polarity"
+    [
+      ( "dynamic",
+        [
+          Alcotest.test_case "twin properties" `Quick test_twin_properties;
+          Alcotest.test_case "twin rejects non-buffers" `Quick
+            test_twin_rejects_non_buffers;
+          Alcotest.test_case "optimize shapes" `Quick test_optimize_shapes;
+          Alcotest.test_case "bits match assignments" `Quick
+            test_polarity_bits_match_assignments;
+          Alcotest.test_case "mixed polarities" `Quick test_mixed_polarities_chosen;
+          Alcotest.test_case "skew neutrality" `Quick test_skew_neutrality;
+          Alcotest.test_case "dynamic vs static estimate" `Quick
+            test_dynamic_beats_static_estimate;
+          Alcotest.test_case "golden improvement" `Quick
+            test_golden_improvement_over_all_buffers;
+          Alcotest.test_case "rejects empty modes" `Quick test_rejects_empty_modes;
+        ] );
+    ]

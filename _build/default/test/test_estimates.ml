@@ -1,0 +1,157 @@
+(* Consistency properties of the noise estimates that drive the
+   optimizers: monotonicity in candidate availability, agreement between
+   the per-zone estimates and the outcome bookkeeping, and slot-window
+   behaviour. *)
+
+module Context = Repro_core.Context
+module Noise_table = Repro_core.Noise_table
+module Intervals = Repro_core.Intervals
+module Slots = Repro_core.Slots
+module Flow = Repro_core.Flow
+module Clk_wavemin = Repro_core.Clk_wavemin
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+module Rng = Repro_util.Rng
+
+let context ?(seed = 2025) () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die 150.0) ~count:14 ()
+  in
+  let tree =
+    Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks
+      ~internals:5
+  in
+  Context.create
+    ~params:{ Context.default_params with Context.num_slots = 16 }
+    tree ~cells:(Flow.leaf_library ())
+
+let full_avail (table : Noise_table.t) =
+  Array.map
+    (fun (s : Intervals.sink) ->
+      Array.map (fun _ -> true) s.Intervals.candidates)
+    table.Noise_table.sinks
+
+let test_outcome_peak_is_max_of_zone_peaks () =
+  let ctx = context () in
+  let o = Clk_wavemin.optimize ctx in
+  let max_zone = Array.fold_left Float.max 0.0 o.Context.zone_peaks in
+  Alcotest.(check (float 1e-9)) "consistent" max_zone o.Context.predicted_peak_ua
+
+let test_more_candidates_never_hurt () =
+  (* Restricting availability can only raise the zone optimum. *)
+  let ctx = context () in
+  let table = ctx.Context.tables.(0) in
+  let avail = full_avail table in
+  let full_choices = Clk_wavemin.zone_solver ctx table ~avail in
+  let full_peak = Noise_table.zone_objective table ~choices:full_choices in
+  (* Restrict every sink to its first two candidates (BUF_X8/BUF_X16). *)
+  let restricted =
+    Array.map (fun row -> Array.mapi (fun i _ -> i < 2) row) avail
+  in
+  let r_choices = Clk_wavemin.zone_solver ctx table ~avail:restricted in
+  let r_peak = Noise_table.zone_objective table ~choices:r_choices in
+  Alcotest.(check bool) "restricted >= full" true (r_peak >= full_peak -. 1e-6)
+
+let test_zone_objective_lower_bounded_by_nonleaf () =
+  let ctx = context () in
+  Array.iter
+    (fun (table : Noise_table.t) ->
+      let n = Array.length table.Noise_table.sinks in
+      let bg = Array.fold_left Float.max 0.0 table.Noise_table.nonleaf in
+      let choices = Clk_wavemin.zone_solver ctx table ~avail:(full_avail table) in
+      ignore choices;
+      Alcotest.(check bool) "objective >= background" true
+        (Noise_table.zone_objective table ~choices:(Array.make n 0) >= bg -. 1e-9))
+    ctx.Context.tables
+
+let test_single_candidate_forced () =
+  let ctx = context () in
+  let table = ctx.Context.tables.(0) in
+  let avail =
+    Array.map (fun row -> Array.mapi (fun i _ -> i = 3) row) (full_avail table)
+  in
+  let choices = Clk_wavemin.zone_solver ctx table ~avail in
+  Array.iter (fun c -> Alcotest.(check int) "forced" 3 c) choices
+
+let test_greedy_matches_exact_on_single_sink_zones () =
+  (* With one sink per zone, greedy and the beam search agree (both
+     enumerate the sink's candidates). *)
+  let ctx = context () in
+  Array.iter
+    (fun (table : Noise_table.t) ->
+      if Array.length table.Noise_table.sinks = 1 then begin
+        let avail = full_avail table in
+        let a = Clk_wavemin.zone_solver ctx table ~avail in
+        let b = Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail in
+        Alcotest.(check (float 1e-9)) "same objective"
+          (Noise_table.zone_objective table ~choices:a)
+          (Noise_table.zone_objective table ~choices:b)
+      end)
+    ctx.Context.tables
+
+let test_slots_window_confines_grid () =
+  let pulse = Pwl.triangle ~start:100.0 ~peak_time:110.0 ~finish:130.0 ~height:50.0 in
+  let currents = { Electrical.idd = pulse; iss = Pwl.shift pulse 500.0 } in
+  let slots = Slots.of_currents currents ~count:8 ~windows:[ (100.0, 130.0) ] () in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "inside window" true
+        (s.Slots.time >= 100.0 && s.Slots.time <= 130.0))
+    slots
+
+let test_slots_extras_have_priority () =
+  let pulse = Pwl.triangle ~start:0.0 ~peak_time:10.0 ~finish:20.0 ~height:50.0 in
+  let currents = { Electrical.idd = pulse; iss = pulse } in
+  let slots =
+    Slots.of_currents currents ~count:4 ~extra_vdd:[ 3.5 ] ~extra_gnd:[ 7.25 ] ()
+  in
+  let times rail =
+    Array.to_list slots
+    |> List.filter (fun s -> s.Slots.rail = rail)
+    |> List.map (fun s -> s.Slots.time)
+  in
+  Alcotest.(check bool) "vdd extra kept" true
+    (List.mem 3.5 (times Cell.Vdd_rail));
+  Alcotest.(check bool) "gnd extra kept" true
+    (List.mem 7.25 (times Cell.Gnd_rail))
+
+let prop_outcome_consistency =
+  QCheck.Test.make ~name:"outcome bookkeeping consistent" ~count:6
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let ctx = context ~seed () in
+      (not (Context.feasible ctx))
+      ||
+      let o = Clk_wavemin.optimize ctx in
+      let recomputed =
+        Array.fold_left Float.max 0.0 o.Context.zone_peaks
+      in
+      Float.abs (recomputed -. o.Context.predicted_peak_ua) < 1e-6)
+
+let () =
+  Alcotest.run "repro_estimates"
+    [
+      ( "estimates",
+        [
+          Alcotest.test_case "outcome peak = max zone peak" `Quick
+            test_outcome_peak_is_max_of_zone_peaks;
+          Alcotest.test_case "more candidates never hurt" `Quick
+            test_more_candidates_never_hurt;
+          Alcotest.test_case "objective >= background" `Quick
+            test_zone_objective_lower_bounded_by_nonleaf;
+          Alcotest.test_case "single candidate forced" `Quick
+            test_single_candidate_forced;
+          Alcotest.test_case "greedy = exact on singleton zones" `Quick
+            test_greedy_matches_exact_on_single_sink_zones;
+          Alcotest.test_case "slot window confines grid" `Quick
+            test_slots_window_confines_grid;
+          Alcotest.test_case "slot extras priority" `Quick
+            test_slots_extras_have_priority;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_outcome_consistency ] );
+    ]

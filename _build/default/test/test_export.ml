@@ -1,0 +1,180 @@
+module Tree = Repro_clocktree.Tree
+module Export = Repro_clocktree.Export
+module Tree_stats = Repro_clocktree.Tree_stats
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Rng = Repro_util.Rng
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:808)
+      (Repro_cts.Placement.square_die 150.0) ~count:15 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:809) sinks ~internals:5
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let trees_equal a b =
+  Tree.size a = Tree.size b
+  && Array.for_all2
+       (fun na nb ->
+         na.Tree.id = nb.Tree.id && na.Tree.parent = nb.Tree.parent
+         && List.sort compare na.Tree.children
+            = List.sort compare nb.Tree.children
+         && na.Tree.kind = nb.Tree.kind
+         && Float.abs (na.Tree.x -. nb.Tree.x) < 1e-6
+         && Float.abs (na.Tree.wire.Repro_clocktree.Wire.length
+                       -. nb.Tree.wire.Repro_clocktree.Wire.length) < 1e-6
+         && Float.abs (na.Tree.sink_cap -. nb.Tree.sink_cap) < 1e-6
+         && Cell.equal na.Tree.default_cell nb.Tree.default_cell)
+       (Tree.nodes a) (Tree.nodes b)
+
+let test_table_roundtrip () =
+  let t = tree () in
+  match Export.of_table (Export.to_table t) with
+  | Ok t' -> Alcotest.(check bool) "roundtrip" true (trees_equal t t')
+  | Error msg -> Alcotest.fail msg
+
+let test_file_roundtrip () =
+  let t = tree () in
+  let path = Filename.temp_file "tree" ".tbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.save_file path t;
+      match Export.load_file path with
+      | Ok t' -> Alcotest.(check bool) "roundtrip" true (trees_equal t t')
+      | Error msg -> Alcotest.fail msg)
+
+let test_table_rejects_garbage () =
+  (match Export.of_table "1 2 3" with
+  | Error msg -> Alcotest.(check bool) "fields" true (contains msg "8 fields")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Export.of_table "0 -1 internal 0 0 0 0 NOT_A_CELL" with
+  | Error msg -> Alcotest.(check bool) "cell" true (contains msg "unknown cell")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_table_rejects_noncontiguous_ids () =
+  let t = tree () in
+  let dump = Export.to_table t in
+  (* Drop one body line: ids are no longer 0..n-1. *)
+  let lines = String.split_on_char '\n' dump in
+  let mangled = String.concat "\n" (List.filteri (fun i _ -> i <> 2) lines) in
+  match Export.of_table mangled with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_dot_output () =
+  let t = tree () in
+  let dot = Export.to_dot t in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph clock_tree");
+  Alcotest.(check bool) "edges" true (contains dot "->");
+  (* One node statement per tree node. *)
+  Array.iter
+    (fun nd ->
+      Alcotest.(check bool) "node present" true
+        (contains dot (Printf.sprintf "n%d [" nd.Tree.id)))
+    (Tree.nodes t)
+
+let test_dot_marks_inverters () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let leaf = (Tree.leaves t).(0) in
+  let asg = Assignment.set_cell asg leaf.Tree.id (Library.inv 8) in
+  let dot = Export.to_dot ~assignment:asg t in
+  Alcotest.(check bool) "shaded" true (contains dot "fillcolor=lightgrey");
+  Alcotest.(check bool) "cell name" true (contains dot "INV_X8")
+
+(* ------------------------------------------------------------------ *)
+(* Tree stats                                                          *)
+
+let test_stats_counts () =
+  let t = tree () in
+  let s = Tree_stats.compute t in
+  Alcotest.(check int) "nodes" (Tree.size t) s.Tree_stats.num_nodes;
+  Alcotest.(check int) "leaves" (Tree.num_leaves t) s.Tree_stats.num_leaves;
+  Alcotest.(check int) "consistency" s.Tree_stats.num_nodes
+    (s.Tree_stats.num_leaves + s.Tree_stats.num_internal)
+
+let test_stats_positive_electricals () =
+  let t = tree () in
+  let s = Tree_stats.compute t in
+  Alcotest.(check bool) "wirelength" true (s.Tree_stats.total_wirelength > 0.0);
+  Alcotest.(check bool) "wire cap" true (s.Tree_stats.total_wire_cap > 0.0);
+  Alcotest.(check bool) "sink cap" true (s.Tree_stats.total_sink_cap > 0.0);
+  Alcotest.(check bool) "area" true (s.Tree_stats.total_cell_area > 0.0);
+  Alcotest.(check bool) "fanout" true (s.Tree_stats.max_fanout >= 1)
+
+let test_stats_follow_assignment () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let s0 = Tree_stats.compute ~assignment:asg t in
+  Alcotest.(check int) "no inverters" 0 s0.Tree_stats.num_inverting_leaves;
+  let leaf = (Tree.leaves t).(0) in
+  let asg = Assignment.set_cell asg leaf.Tree.id (Library.inv 16) in
+  let s1 = Tree_stats.compute ~assignment:asg t in
+  Alcotest.(check int) "one inverter" 1 s1.Tree_stats.num_inverting_leaves;
+  Alcotest.(check bool) "area changed" true
+    (s1.Tree_stats.total_cell_area <> s0.Tree_stats.total_cell_area)
+
+let test_stats_adjustable_counted () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let leaf = (Tree.leaves t).(1) in
+  let asg = Assignment.set_cell asg leaf.Tree.id (Library.adb 8) in
+  let s = Tree_stats.compute ~assignment:asg t in
+  Alcotest.(check int) "adb" 1 s.Tree_stats.num_adjustable
+
+let test_stats_pp () =
+  let t = tree () in
+  let s = Tree_stats.compute t in
+  let out = Format.asprintf "%a" Tree_stats.pp s in
+  Alcotest.(check bool) "mentions nodes" true (contains out "nodes:")
+
+let prop_roundtrip_random_trees =
+  QCheck.Test.make ~name:"table roundtrip random trees" ~count:15
+    QCheck.(pair (int_range 1 5000) (int_range 4 40))
+    (fun (seed, leaves) ->
+      let sinks =
+        Repro_cts.Placement.random_sinks (Rng.create ~seed)
+          (Repro_cts.Placement.square_die 200.0) ~count:leaves ()
+      in
+      let t =
+        Repro_cts.Synthesis.build ~rng:(Rng.create ~seed:(seed + 1)) sinks
+          ~internals:(max 1 (leaves / 4))
+      in
+      match Export.of_table (Export.to_table t) with
+      | Ok t' -> trees_equal t t'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "repro_export"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "table roundtrip" `Quick test_table_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_table_rejects_garbage;
+          Alcotest.test_case "rejects noncontiguous" `Quick
+            test_table_rejects_noncontiguous_ids;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "dot marks inverters" `Quick test_dot_marks_inverters;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counts" `Quick test_stats_counts;
+          Alcotest.test_case "electricals" `Quick test_stats_positive_electricals;
+          Alcotest.test_case "follow assignment" `Quick test_stats_follow_assignment;
+          Alcotest.test_case "adjustable counted" `Quick test_stats_adjustable_counted;
+          Alcotest.test_case "pp" `Quick test_stats_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_random_trees ] );
+    ]

@@ -1,0 +1,184 @@
+module Golden = Repro_core.Golden
+module Waveforms = Repro_core.Waveforms
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+module Rng = Repro_util.Rng
+
+let tree ?(seed = 2121) ?(leaves = 14) ?(internals = 5) () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die 150.0) ~count:leaves ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks ~internals
+
+let setup () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  (t, asg, env)
+
+(* ------------------------------------------------------------------ *)
+(* Waveforms                                                           *)
+
+let test_node_currents_shifted () =
+  let t, asg, env = setup () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  Array.iter
+    (fun nd ->
+      let c = Waveforms.node_currents t asg env timing nd.Tree.id in
+      match Pwl.support c.Electrical.idd with
+      | Some (t0, _) ->
+        Alcotest.(check bool) "after input arrival" true
+          (t0 >= timing.Timing.input_arrival.(nd.Tree.id) -. 1e-9)
+      | None -> Alcotest.fail "buffer must draw current")
+    (Tree.nodes t)
+
+let test_candidate_currents_leaf_only () =
+  let t, asg, env = setup () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  let internal = (Tree.internals t).(0) in
+  Alcotest.check_raises "internal rejected"
+    (Invalid_argument "Waveforms.candidate_currents: not a leaf") (fun () ->
+      ignore
+        (Waveforms.candidate_currents t env timing internal.Tree.id (Library.buf 8)))
+
+let test_candidate_matches_assigned () =
+  (* For the currently assigned cell, candidate currents equal the
+     node currents. *)
+  let t, asg, env = setup () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  let leaf = (Tree.leaves t).(0) in
+  let a = Waveforms.node_currents t asg env timing leaf.Tree.id in
+  let b = Waveforms.candidate_currents t env timing leaf.Tree.id (Library.buf 8) in
+  Alcotest.(check bool) "idd equal" true (Pwl.equal ~eps:1e-6 a.Electrical.idd b.Electrical.idd);
+  Alcotest.(check bool) "iss equal" true (Pwl.equal ~eps:1e-6 a.Electrical.iss b.Electrical.iss)
+
+let test_total_is_sum_of_parts () =
+  let t, asg, env = setup () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  let leaves = Array.map (fun nd -> nd.Tree.id) (Tree.leaves t) in
+  let internals = Array.map (fun nd -> nd.Tree.id) (Tree.internals t) in
+  let all = Waveforms.total_rail_currents t asg env timing () in
+  let l = Waveforms.total_rail_currents t asg env timing ~node_ids:leaves () in
+  let i = Waveforms.total_rail_currents t asg env timing ~node_ids:internals () in
+  let sum = Pwl.add l.Electrical.idd i.Electrical.idd in
+  Alcotest.(check bool) "decomposes" true (Pwl.equal ~eps:1e-6 all.Electrical.idd sum)
+
+let test_period_profile_has_both_edges () =
+  let t, asg, env = setup () in
+  let c = Waveforms.period_rail_currents t asg env ~period:2000.0 () in
+  (* Buffers: IDD spike near the rising event (early) and ISS spike near
+     the falling event (after 1000 ps). *)
+  (match Pwl.support c.Electrical.idd with
+  | Some (t0, _) -> Alcotest.(check bool) "idd early" true (t0 < 500.0)
+  | None -> Alcotest.fail "idd");
+  match Pwl.support c.Electrical.iss with
+  | Some (_, t1) -> Alcotest.(check bool) "iss extends past half period" true (t1 > 1000.0)
+  | None -> Alcotest.fail "iss"
+
+(* ------------------------------------------------------------------ *)
+(* Golden                                                              *)
+
+let test_metrics_positive () =
+  let t, asg, env = setup () in
+  let m = Golden.evaluate t asg env in
+  Alcotest.(check bool) "peak" true (m.Golden.peak_current_ma > 0.0);
+  Alcotest.(check bool) "vdd noise" true (m.Golden.vdd_noise_mv > 0.0);
+  Alcotest.(check bool) "gnd noise" true (m.Golden.gnd_noise_mv > 0.0);
+  Alcotest.(check bool) "skew" true (m.Golden.skew_ps >= 0.0)
+
+let test_peak_bounded_by_sum_of_cell_peaks () =
+  let t, asg, env = setup () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  let m = Golden.evaluate t asg env in
+  let bound =
+    Array.fold_left
+      (fun acc nd ->
+        let c = Waveforms.node_currents t asg env timing nd.Tree.id in
+        acc +. Float.max (Pwl.peak c.Electrical.idd) (Pwl.peak c.Electrical.iss))
+      0.0 (Tree.nodes t)
+  in
+  Alcotest.(check bool) "bounded" true (m.Golden.peak_current_ma <= bound /. 1000.0 +. 1e-6)
+
+let test_all_inverters_swaps_rails () =
+  (* Flipping every leaf to an inverter moves the rising-edge leaf
+     current from VDD to GND; total peak stays in the same ballpark. *)
+  let t, asg, env = setup () in
+  let asg_inv =
+    Array.fold_left
+      (fun a nd -> Assignment.set_cell a nd.Tree.id (Library.inv 8))
+      asg (Tree.leaves t)
+  in
+  let m0 = Golden.evaluate t asg env in
+  let m1 = Golden.evaluate t asg_inv env in
+  Alcotest.(check bool) "same ballpark" true
+    (m1.Golden.peak_current_ma < 2.0 *. m0.Golden.peak_current_ma
+    && m1.Golden.peak_current_ma > 0.5 *. m0.Golden.peak_current_ma)
+
+let test_worst_over_modes () =
+  let t, asg, _ = setup () in
+  let envs = [| Timing.nominal ~vdd:1.1 (); Timing.nominal ~vdd:0.9 () |] in
+  (* Both modes index 0 of a 1-mode assignment is fine: mode defaults 0. *)
+  let w = Golden.worst_over_modes t asg envs in
+  let m0 = Golden.evaluate t asg envs.(0) in
+  let m1 = Golden.evaluate t asg envs.(1) in
+  Alcotest.(check (float 1e-9)) "peak is max"
+    (Float.max m0.Golden.peak_current_ma m1.Golden.peak_current_ma)
+    w.Golden.peak_current_ma
+
+let test_default_grid_covers_tree () =
+  let t, _, _ = setup () in
+  let grid = Golden.default_grid t in
+  Array.iter
+    (fun nd ->
+      let id = Repro_powergrid.Grid.node_at grid ~x:nd.Tree.x ~y:nd.Tree.y in
+      Alcotest.(check bool) "valid node" true
+        (id >= 0 && id < Repro_powergrid.Grid.num_nodes grid))
+    (Tree.nodes t)
+
+let test_balanced_polarity_reduces_peak () =
+  (* Half inverters (alternating) must beat all-buffers on peak. *)
+  let t, asg, env = setup () in
+  let asg_mixed =
+    let leaves = Tree.leaves t in
+    let a = ref asg in
+    Array.iteri
+      (fun i nd ->
+        if i mod 2 = 0 then a := Assignment.set_cell !a nd.Tree.id (Library.inv 8))
+      leaves;
+    !a
+  in
+  let m0 = Golden.evaluate t asg env in
+  let m1 = Golden.evaluate t asg_mixed env in
+  Alcotest.(check bool) "mixed lower peak" true
+    (m1.Golden.peak_current_ma < m0.Golden.peak_current_ma)
+
+let () =
+  Alcotest.run "repro_core_golden"
+    [
+      ( "waveforms",
+        [
+          Alcotest.test_case "node currents shifted" `Quick test_node_currents_shifted;
+          Alcotest.test_case "candidate leaf only" `Quick
+            test_candidate_currents_leaf_only;
+          Alcotest.test_case "candidate matches assigned" `Quick
+            test_candidate_matches_assigned;
+          Alcotest.test_case "total decomposes" `Quick test_total_is_sum_of_parts;
+          Alcotest.test_case "period profile" `Quick test_period_profile_has_both_edges;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "metrics positive" `Quick test_metrics_positive;
+          Alcotest.test_case "peak bounded" `Quick
+            test_peak_bounded_by_sum_of_cell_peaks;
+          Alcotest.test_case "all inverters" `Quick test_all_inverters_swaps_rails;
+          Alcotest.test_case "worst over modes" `Quick test_worst_over_modes;
+          Alcotest.test_case "default grid" `Quick test_default_grid_covers_tree;
+          Alcotest.test_case "balanced polarity helps" `Quick
+            test_balanced_polarity_reduces_peak;
+        ] );
+    ]

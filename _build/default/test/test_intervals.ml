@@ -1,0 +1,215 @@
+module Intervals = Repro_core.Intervals
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Rng = Repro_util.Rng
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:31)
+      (Repro_cts.Placement.square_die 150.0) ~count:12 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:32) sinks ~internals:4
+
+let setup () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  (t, asg, env, timing)
+
+let cells = [ Library.buf 8; Library.buf 16; Library.inv 8; Library.inv 16 ]
+
+let test_collect_shape () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  Alcotest.(check int) "one per leaf" (Tree.num_leaves t) (Array.length sinks);
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "4 fixed candidates" 4
+        (Array.length s.Intervals.candidates);
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "positive arrival" true (c.Intervals.arrival > 0.0);
+          Alcotest.(check (float 1e-12)) "fixed extra" 0.0 c.Intervals.extra)
+        s.Intervals.candidates)
+    sinks
+
+let test_collect_expands_adjustable () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells:[ Library.adb 8 ] in
+  let steps = Array.length Library.adjustable_steps in
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "one per step" steps (Array.length s.Intervals.candidates);
+      (* Arrivals differ exactly by the steps. *)
+      let base = s.Intervals.candidates.(0).Intervals.arrival in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check (float 1e-9)) "step offset"
+            (base +. Library.adjustable_steps.(i))
+            c.Intervals.arrival)
+        s.Intervals.candidates)
+    sinks
+
+let test_collect_per_leaf_library () =
+  let t, asg, env, timing = setup () in
+  let leaves = Tree.leaves t in
+  let special = leaves.(0).Tree.id in
+  let sinks =
+    Intervals.collect_per_leaf t asg env timing ~cells_of:(fun leaf ->
+        if leaf = special then [ Library.buf 8 ] else cells)
+  in
+  Array.iter
+    (fun s ->
+      let expect = if s.Intervals.leaf_id = special then 1 else 4 in
+      Alcotest.(check int) "per-leaf size" expect (Array.length s.Intervals.candidates))
+    sinks
+
+let test_collect_per_leaf_empty_rejected () =
+  let t, asg, env, timing = setup () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Intervals.collect_per_leaf: empty leaf library") (fun () ->
+      ignore (Intervals.collect_per_leaf t asg env timing ~cells_of:(fun _ -> [])))
+
+let test_feasible_intervals_exist () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  let ivs = Intervals.feasible_intervals sinks ~kappa:20.0 in
+  Alcotest.(check bool) "some interval" true (ivs <> []);
+  List.iter
+    (fun iv ->
+      Alcotest.(check (float 1e-9)) "width kappa" 20.0
+        (iv.Intervals.hi -. iv.Intervals.lo);
+      Alcotest.(check bool) "feasible" true (Intervals.feasible sinks iv))
+    ivs
+
+let test_tight_kappa_infeasible () =
+  let t, asg, env, timing = setup () in
+  (* With a single cell type the arrival spread is the tree skew; a
+     kappa far below it leaves no feasible interval. *)
+  let sinks = Intervals.collect t asg env timing ~cells in
+  let spread =
+    let all =
+      Array.to_list sinks
+      |> List.concat_map (fun s ->
+             Array.to_list (Array.map (fun c -> c.Intervals.arrival) s.Intervals.candidates))
+    in
+    let mins =
+      Array.to_list sinks
+      |> List.map (fun s ->
+             Array.fold_left
+               (fun acc c -> Float.min acc c.Intervals.arrival)
+               infinity s.Intervals.candidates)
+    in
+    let maxmin = List.fold_left Float.max neg_infinity mins in
+    let minmax =
+      Array.to_list sinks
+      |> List.map (fun s ->
+             Array.fold_left
+               (fun acc c -> Float.max acc c.Intervals.arrival)
+               neg_infinity s.Intervals.candidates)
+      |> List.fold_left Float.min infinity
+    in
+    ignore all;
+    maxmin -. minmax
+  in
+  if spread > 0.5 then begin
+    let ivs = Intervals.feasible_intervals sinks ~kappa:(spread /. 2.0) in
+    Alcotest.(check bool) "infeasible" true (ivs = [])
+  end
+
+let test_kappa_validation () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  Alcotest.check_raises "kappa"
+    (Invalid_argument "Intervals.feasible_intervals: kappa <= 0") (fun () ->
+      ignore (Intervals.feasible_intervals sinks ~kappa:0.0))
+
+let test_availability_consistent () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  match Intervals.feasible_intervals sinks ~kappa:20.0 with
+  | [] -> Alcotest.fail "expected feasible interval"
+  | iv :: _ ->
+    let avail = Intervals.availability sinks iv in
+    Array.iteri
+      (fun row s ->
+        Array.iteri
+          (fun ci ok ->
+            let a = s.Intervals.candidates.(ci).Intervals.arrival in
+            let inside = a >= iv.Intervals.lo -. 1e-9 && a <= iv.Intervals.hi +. 1e-9 in
+            Alcotest.(check bool) "matches" inside ok)
+          avail.(row))
+      sinks
+
+let test_signature_distinguishes () =
+  let a = [| [| true; false |]; [| true; true |] |] in
+  let b = [| [| true; false |]; [| false; true |] |] in
+  Alcotest.(check bool) "same" true
+    (String.equal (Intervals.signature a) (Intervals.signature a));
+  Alcotest.(check bool) "different" false
+    (String.equal (Intervals.signature a) (Intervals.signature b))
+
+let test_coalesce_reduces_intervals () =
+  let t, asg, env, timing = setup () in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  let fine = Intervals.feasible_intervals ~coalesce:0.01 sinks ~kappa:20.0 in
+  let coarse = Intervals.feasible_intervals ~coalesce:2.0 sinks ~kappa:20.0 in
+  Alcotest.(check bool) "coarse <= fine" true
+    (List.length coarse <= List.length fine)
+
+(* Property: feasibility is monotone — an interval wholly containing a
+   feasible interval's arrivals is itself feasible when kappa grows. *)
+let prop_larger_kappa_keeps_feasible =
+  QCheck.Test.make ~name:"larger kappa keeps intervals feasible" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let sinks_arr =
+        Repro_cts.Placement.random_sinks (Rng.create ~seed)
+          (Repro_cts.Placement.square_die 120.0) ~count:8 ()
+      in
+      let t =
+        Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1))
+          sinks_arr ~internals:3
+      in
+      let asg = Assignment.default t ~num_modes:1 in
+      let env = Timing.nominal () in
+      let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+      let sinks = Intervals.collect t asg env timing ~cells in
+      let small = Intervals.feasible_intervals sinks ~kappa:15.0 in
+      List.for_all
+        (fun iv ->
+          Intervals.feasible sinks
+            { Intervals.lo = iv.Intervals.hi -. 25.0; hi = iv.Intervals.hi })
+        small)
+
+let () =
+  Alcotest.run "repro_core_intervals"
+    [
+      ( "collect",
+        [
+          Alcotest.test_case "shape" `Quick test_collect_shape;
+          Alcotest.test_case "expands adjustable" `Quick
+            test_collect_expands_adjustable;
+          Alcotest.test_case "per leaf library" `Quick test_collect_per_leaf_library;
+          Alcotest.test_case "empty library rejected" `Quick
+            test_collect_per_leaf_empty_rejected;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "feasible exist" `Quick test_feasible_intervals_exist;
+          Alcotest.test_case "tight kappa infeasible" `Quick
+            test_tight_kappa_infeasible;
+          Alcotest.test_case "kappa validation" `Quick test_kappa_validation;
+          Alcotest.test_case "availability consistent" `Quick
+            test_availability_consistent;
+          Alcotest.test_case "signature" `Quick test_signature_distinguishes;
+          Alcotest.test_case "coalesce" `Quick test_coalesce_reduces_intervals;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_larger_kappa_keeps_feasible ] );
+    ]

@@ -1,0 +1,160 @@
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Liberty = Repro_cell.Liberty
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let cells_equal a b =
+  Cell.equal a b
+  && a.Cell.kind = b.Cell.kind
+  && a.Cell.input_cap = b.Cell.input_cap
+  && a.Cell.output_res = b.Cell.output_res
+  && a.Cell.intrinsic_rise = b.Cell.intrinsic_rise
+  && a.Cell.intrinsic_fall = b.Cell.intrinsic_fall
+  && a.Cell.area = b.Cell.area
+  && a.Cell.delay_steps = b.Cell.delay_steps
+
+let test_roundtrip_standard_library () =
+  let cells = Library.all in
+  match Liberty.parse (Liberty.to_string cells) with
+  | Error e -> Alcotest.failf "parse error: %a" Liberty.pp_error e
+  | Ok parsed ->
+    Alcotest.(check int) "count" (List.length cells) (List.length parsed);
+    List.iter2
+      (fun a b -> Alcotest.(check bool) ("roundtrip " ^ a.Cell.name) true (cells_equal a b))
+      cells parsed
+
+let test_print_contains_fields () =
+  let s = Liberty.cell_to_string (Library.buf 8) in
+  Alcotest.(check bool) "name" true (contains s "BUF_X8");
+  Alcotest.(check bool) "kind" true (contains s "kind : buffer");
+  Alcotest.(check bool) "drive" true (contains s "drive : 8")
+
+let test_adjustable_has_steps () =
+  let s = Liberty.cell_to_string (Library.adb 4) in
+  Alcotest.(check bool) "steps" true (contains s "delay_steps : (0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)")
+
+let test_parse_with_comments () =
+  let input =
+    "/* a comment\n spanning lines */\n\
+     cell (FOO_X1) {\n\
+    \  kind : inverter; /* inline */\n\
+    \  drive : 1;\n\
+    \  input_cap : 0.5;\n\
+    \  output_res : 5.0;\n\
+    \  intrinsic_rise : 10;\n\
+    \  intrinsic_fall : 11;\n\
+    \  area : 1.5;\n\
+     }\n"
+  in
+  match Liberty.parse input with
+  | Error e -> Alcotest.failf "parse error: %a" Liberty.pp_error e
+  | Ok [ c ] ->
+    Alcotest.(check string) "name" "FOO_X1" c.Cell.name;
+    Alcotest.(check bool) "kind" true (c.Cell.kind = Cell.Inverter)
+  | Ok l -> Alcotest.failf "expected 1 cell, got %d" (List.length l)
+
+let expect_error input fragment =
+  match Liberty.parse input with
+  | Ok _ -> Alcotest.failf "expected parse failure (%s)" fragment
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message mentions %s (got %s)" fragment e.Liberty.message)
+      true
+      (contains e.Liberty.message fragment)
+
+let minimal_cell body =
+  Printf.sprintf
+    "cell (X) {\n  kind : buffer;\n  drive : 1;\n  input_cap : 1;\n\
+    \  output_res : 1;\n  intrinsic_rise : 1;\n  intrinsic_fall : 1;\n%s}\n"
+    body
+
+let test_parse_errors () =
+  expect_error "cell (X) {" "unexpected end of input";
+  expect_error "notacell (X) {}" "expected 'cell'";
+  expect_error (minimal_cell "") "missing attribute area";
+  expect_error (minimal_cell "  area : 1;\n  bogus : 2;\n") "unknown attribute";
+  expect_error "/* unterminated" "unterminated comment";
+  expect_error "cell (X) { kind : diode; }" "kind must be one of"
+
+let test_error_line_numbers () =
+  let input = "\n\n\nnope" in
+  match Liberty.parse input with
+  | Error e -> Alcotest.(check int) "line" 4 e.Liberty.line
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parse_exn () =
+  Alcotest.(check int) "ok" 2
+    (List.length (Liberty.parse_exn (Liberty.to_string [ Library.buf 1; Library.inv 1 ])));
+  Alcotest.check_raises "raises"
+    (Failure "Liberty.parse: line 1: expected 'cell'") (fun () ->
+      ignore (Liberty.parse_exn "garbage"))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "liberty" ".lib" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Liberty.save_file path Library.experiment_buffers;
+      match Liberty.load_file path with
+      | Ok cells ->
+        Alcotest.(check int) "count" 2 (List.length cells);
+        List.iter2
+          (fun a b -> Alcotest.(check bool) "equal" true (cells_equal a b))
+          Library.experiment_buffers cells
+      | Error e -> Alcotest.failf "load error: %a" Liberty.pp_error e)
+
+let test_parsed_cells_are_usable () =
+  (* A parsed library must drive the electrical models like the
+     original. *)
+  let parsed = Liberty.parse_exn (Liberty.to_string [ Library.buf 8 ]) in
+  match parsed with
+  | [ cell ] ->
+    let d0 =
+      Repro_cell.Electrical.delay (Library.buf 8) ~vdd:1.1 ~load:10.0
+        ~edge:Repro_cell.Electrical.Rising ()
+    in
+    let d1 =
+      Repro_cell.Electrical.delay cell ~vdd:1.1 ~load:10.0
+        ~edge:Repro_cell.Electrical.Rising ()
+    in
+    Alcotest.(check (float 1e-9)) "same delay" d0 d1
+  | _ -> Alcotest.fail "expected one cell"
+
+let prop_roundtrip_random_cells =
+  QCheck.Test.make ~name:"roundtrip random cells" ~count:100
+    QCheck.(quad (int_range 1 40) (float_range 0.1 10.0)
+              (float_range 0.1 10.0) (float_range 1.0 40.0))
+    (fun (drive, cap, res, intrinsic) ->
+      let cell =
+        Cell.make ~name:(Printf.sprintf "RND_X%d" drive) ~kind:Cell.Buffer
+          ~drive ~input_cap:cap ~output_res:res ~intrinsic_rise:intrinsic
+          ~intrinsic_fall:(intrinsic +. 1.0) ~area:(float_of_int drive) ()
+      in
+      match Liberty.parse (Liberty.to_string [ cell ]) with
+      | Ok [ parsed ] -> cells_equal cell parsed
+      | Ok _ | Error _ -> false)
+
+let () =
+  Alcotest.run "repro_liberty"
+    [
+      ( "liberty",
+        [
+          Alcotest.test_case "roundtrip standard library" `Quick
+            test_roundtrip_standard_library;
+          Alcotest.test_case "print fields" `Quick test_print_contains_fields;
+          Alcotest.test_case "adjustable steps" `Quick test_adjustable_has_steps;
+          Alcotest.test_case "comments" `Quick test_parse_with_comments;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+          Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "parsed cells usable" `Quick
+            test_parsed_cells_are_usable;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_random_cells ] );
+    ]

@@ -1,0 +1,140 @@
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Library = Repro_cell.Library
+module Noise_lut = Repro_cell.Noise_lut
+module Pwl = Repro_waveform.Pwl
+
+let check_close eps = Alcotest.(check (float eps))
+
+let lut () = Noise_lut.build (Library.buf 8) ~vdd:1.1 ()
+
+let test_build_validation () =
+  Alcotest.check_raises "small grid"
+    (Invalid_argument "Noise_lut.build: loads too small") (fun () ->
+      ignore (Noise_lut.build (Library.buf 1) ~vdd:1.1 ~loads:[| 1.0 |] ()));
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Noise_lut.build: slews must be strictly increasing")
+    (fun () ->
+      ignore
+        (Noise_lut.build (Library.buf 1) ~vdd:1.1 ~slews:[| 10.0; 10.0 |] ()))
+
+let test_exact_on_grid_points () =
+  let t = lut () in
+  Array.iter
+    (fun load ->
+      Array.iter
+        (fun input_slew ->
+          let exact =
+            Electrical.delay (Library.buf 8) ~vdd:1.1 ~load ~input_slew
+              ~edge:Electrical.Rising ()
+          in
+          check_close 1e-9 "grid exact" exact
+            (Noise_lut.delay t ~load ~input_slew ~edge:Electrical.Rising))
+        (Noise_lut.slews t))
+    (Noise_lut.loads t)
+
+let test_interpolation_accuracy () =
+  (* Off-grid queries stay within a few percent of the analytic model. *)
+  let t = lut () in
+  let err =
+    Noise_lut.max_relative_error t
+      ~probe_loads:[| 2.0; 4.5; 8.0; 12.5; 18.0; 23.0; 30.0; 37.0 |]
+      ~probe_slews:[| 10.0; 20.0; 30.0; 42.0; 55.0 |]
+  in
+  Alcotest.(check bool) (Printf.sprintf "error %.4f < 3%%" err) true (err < 0.03)
+
+let test_clamping_outside_grid () =
+  let t = lut () in
+  let inside = Noise_lut.delay t ~load:40.0 ~input_slew:60.0 ~edge:Electrical.Rising in
+  let outside = Noise_lut.delay t ~load:100.0 ~input_slew:90.0 ~edge:Electrical.Rising in
+  check_close 1e-9 "clamped" inside outside
+
+let test_noise_matches_waveform_on_grid () =
+  let t = lut () in
+  let load = 10.0 and input_slew = 25.0 in
+  let c =
+    Electrical.event_currents (Library.buf 8) ~vdd:1.1 ~load ~input_slew
+      ~edge:Electrical.Rising ()
+  in
+  let time = Pwl.peak_time c.Electrical.idd in
+  check_close 1e-6 "noise = eval"
+    (Pwl.eval c.Electrical.idd time)
+    (Noise_lut.noise t ~load ~input_slew ~edge:Electrical.Rising
+       ~rail:Cell.Vdd_rail ~time)
+
+let test_peak_monotone_in_load () =
+  let t = lut () in
+  let p load =
+    Noise_lut.peak t ~load ~input_slew:20.0 ~edge:Electrical.Rising
+      ~rail:Cell.Vdd_rail
+  in
+  Alcotest.(check bool) "monotone trend" true (p 5.0 <= p 35.0)
+
+let test_rails_follow_polarity () =
+  let t = lut () in
+  let buf_vdd =
+    Noise_lut.peak t ~load:10.0 ~input_slew:20.0 ~edge:Electrical.Rising
+      ~rail:Cell.Vdd_rail
+  in
+  let buf_gnd =
+    Noise_lut.peak t ~load:10.0 ~input_slew:20.0 ~edge:Electrical.Rising
+      ~rail:Cell.Gnd_rail
+  in
+  Alcotest.(check bool) "buffer VDD-heavy on rising" true (buf_vdd > buf_gnd);
+  let inv_lut = Noise_lut.build (Library.inv 8) ~vdd:1.1 () in
+  let inv_vdd =
+    Noise_lut.peak inv_lut ~load:10.0 ~input_slew:20.0 ~edge:Electrical.Rising
+      ~rail:Cell.Vdd_rail
+  in
+  let inv_gnd =
+    Noise_lut.peak inv_lut ~load:10.0 ~input_slew:20.0 ~edge:Electrical.Rising
+      ~rail:Cell.Gnd_rail
+  in
+  Alcotest.(check bool) "inverter GND-heavy on rising" true (inv_gnd > inv_vdd)
+
+let test_accessors () =
+  let t = lut () in
+  Alcotest.(check bool) "cell" true (Cell.equal (Noise_lut.cell t) (Library.buf 8));
+  check_close 1e-12 "vdd" 1.1 (Noise_lut.vdd t)
+
+let prop_interp_between_corner_values =
+  (* Bilinear interpolation is bounded by the surrounding corner values. *)
+  QCheck.Test.make ~name:"interpolation within corner bounds" ~count:100
+    QCheck.(pair (float_range 1.0 40.0) (float_range 8.0 60.0))
+    (fun (load, input_slew) ->
+      let t = lut () in
+      let loads = Noise_lut.loads t and slews = Noise_lut.slews t in
+      let d = Noise_lut.delay t ~load ~input_slew ~edge:Electrical.Rising in
+      (* Corner delays over the whole grid bound any interpolated value. *)
+      let all =
+        Array.to_list loads
+        |> List.concat_map (fun l ->
+               Array.to_list slews
+               |> List.map (fun sl ->
+                      Noise_lut.delay t ~load:l ~input_slew:sl
+                        ~edge:Electrical.Rising))
+      in
+      let lo = List.fold_left Float.min infinity all in
+      let hi = List.fold_left Float.max neg_infinity all in
+      d >= lo -. 1e-9 && d <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "repro_noise_lut"
+    [
+      ( "lut",
+        [
+          Alcotest.test_case "build validation" `Quick test_build_validation;
+          Alcotest.test_case "exact on grid" `Quick test_exact_on_grid_points;
+          Alcotest.test_case "interpolation accuracy" `Quick
+            test_interpolation_accuracy;
+          Alcotest.test_case "clamping" `Quick test_clamping_outside_grid;
+          Alcotest.test_case "noise matches waveform" `Quick
+            test_noise_matches_waveform_on_grid;
+          Alcotest.test_case "peak monotone" `Quick test_peak_monotone_in_load;
+          Alcotest.test_case "rails follow polarity" `Quick
+            test_rails_follow_polarity;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_interp_between_corner_values ] );
+    ]

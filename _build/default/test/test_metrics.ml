@@ -1,0 +1,125 @@
+module Pwl = Repro_waveform.Pwl
+module Metrics = Repro_waveform.Metrics
+
+let check_close eps = Alcotest.(check (float eps))
+
+let tri = Pwl.triangle ~start:0.0 ~peak_time:2.0 ~finish:6.0 ~height:12.0
+
+let test_energy_matches_area () =
+  check_close 1e-9 "energy = area" (Pwl.area tri) (Metrics.energy tri)
+
+let test_rms_constant_segment () =
+  (* A flat segment of value v has rms v. *)
+  let w = Pwl.create [ (0.0, 5.0); (10.0, 5.0) ] in
+  check_close 1e-9 "flat rms" 5.0 (Metrics.rms w ())
+
+let test_rms_triangle_closed_form () =
+  (* Symmetric triangle of height h over [0, w]: rms = h / sqrt 3. *)
+  let h = 9.0 in
+  let w = Pwl.triangle ~start:0.0 ~peak_time:1.0 ~finish:2.0 ~height:h in
+  check_close 1e-6 "triangle rms" (h /. sqrt 3.0) (Metrics.rms w ())
+
+let test_rms_zero () =
+  check_close 1e-12 "zero" 0.0 (Metrics.rms Pwl.zero ())
+
+let test_rms_window () =
+  (* Over a window with only zeros the rms is 0. *)
+  let w = Pwl.triangle ~start:10.0 ~peak_time:11.0 ~finish:12.0 ~height:4.0 in
+  check_close 1e-9 "empty window" 0.0 (Metrics.rms w ~window:(0.0, 5.0) ());
+  (* A window wider than the support dilutes the rms. *)
+  let tight = Metrics.rms w () in
+  let wide = Metrics.rms w ~window:(0.0, 20.0) () in
+  Alcotest.(check bool) "diluted" true (wide < tight)
+
+let test_mean_value () =
+  let w = Pwl.create [ (0.0, 2.0); (4.0, 2.0) ] in
+  check_close 1e-9 "flat mean" 2.0 (Metrics.mean_value w ());
+  (* Triangle mean over its support is area / width = h/2. *)
+  check_close 1e-9 "triangle mean" 6.0 (Metrics.mean_value tri ())
+
+let test_crest_factor () =
+  (* Flat: crest = 1.  Triangle: sqrt 3. *)
+  let flat = Pwl.create [ (0.0, 3.0); (5.0, 3.0) ] in
+  check_close 1e-6 "flat" 1.0 (Metrics.crest_factor flat);
+  let t = Pwl.triangle ~start:0.0 ~peak_time:1.0 ~finish:2.0 ~height:7.0 in
+  check_close 1e-6 "triangle" (sqrt 3.0) (Metrics.crest_factor t);
+  check_close 1e-12 "zero" 0.0 (Metrics.crest_factor Pwl.zero)
+
+let test_overlap_disjoint () =
+  let a = Pwl.triangle ~start:0.0 ~peak_time:1.0 ~finish:2.0 ~height:5.0 in
+  let b = Pwl.triangle ~start:10.0 ~peak_time:11.0 ~finish:12.0 ~height:5.0 in
+  check_close 1e-12 "disjoint" 0.0 (Metrics.overlap a b)
+
+let test_overlap_self () =
+  (* overlap w w = integral of w^2 = rms^2 * width. *)
+  let r = Metrics.rms tri () in
+  check_close 1e-6 "self overlap" (r *. r *. 6.0) (Metrics.overlap tri tri)
+
+let test_overlap_symmetric () =
+  let a = Pwl.triangle ~start:0.0 ~peak_time:2.0 ~finish:5.0 ~height:3.0 in
+  let b = Pwl.triangle ~start:1.0 ~peak_time:3.0 ~finish:4.0 ~height:7.0 in
+  check_close 1e-9 "symmetric" (Metrics.overlap a b) (Metrics.overlap b a)
+
+let test_polarity_assignment_lowers_crest () =
+  (* The system-level motivation: splitting N aligned pulses across two
+     rails halves each rail's peak while keeping per-rail charge
+     proportional — the crest factor of the heavier rail drops. *)
+  let pulse k = Pwl.shift (Pwl.triangle ~start:0.0 ~peak_time:5.0 ~finish:10.0 ~height:100.0) (0.2 *. float_of_int k) in
+  let all = Pwl.sum (List.init 10 pulse) in
+  let half = Pwl.sum (List.init 5 pulse) in
+  Alcotest.(check bool) "peak halves" true
+    (Pwl.peak half < 0.6 *. Pwl.peak all)
+
+let gen_tri =
+  QCheck.make
+    ~print:(fun (s, p, f, h) -> Printf.sprintf "(%g,%g,%g,%g)" s p f h)
+    QCheck.Gen.(
+      let* s = float_range 0.0 20.0 in
+      let* dp = float_range 0.1 5.0 in
+      let* df = float_range 0.1 5.0 in
+      let* h = float_range 0.1 50.0 in
+      return (s, s +. dp, s +. dp +. df, h))
+
+let mk (s, p, f, h) = Pwl.triangle ~start:s ~peak_time:p ~finish:f ~height:h
+
+let prop_rms_bounded_by_peak =
+  QCheck.Test.make ~name:"rms <= peak" ~count:200 gen_tri (fun g ->
+      let w = mk g in
+      Metrics.rms w () <= Pwl.peak w +. 1e-9)
+
+let prop_overlap_cauchy_schwarz =
+  QCheck.Test.make ~name:"overlap Cauchy-Schwarz" ~count:200
+    (QCheck.pair gen_tri gen_tri) (fun (a, b) ->
+      let wa = mk a and wb = mk b in
+      let lhs = Metrics.overlap wa wb in
+      let rhs = sqrt (Metrics.overlap wa wa *. Metrics.overlap wb wb) in
+      lhs <= rhs +. 1e-6)
+
+let prop_overlap_nonneg =
+  QCheck.Test.make ~name:"overlap non-negative" ~count:200
+    (QCheck.pair gen_tri gen_tri) (fun (a, b) ->
+      Metrics.overlap (mk a) (mk b) >= -1e-9)
+
+let () =
+  Alcotest.run "repro_metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "energy" `Quick test_energy_matches_area;
+          Alcotest.test_case "rms flat" `Quick test_rms_constant_segment;
+          Alcotest.test_case "rms triangle" `Quick test_rms_triangle_closed_form;
+          Alcotest.test_case "rms zero" `Quick test_rms_zero;
+          Alcotest.test_case "rms window" `Quick test_rms_window;
+          Alcotest.test_case "mean value" `Quick test_mean_value;
+          Alcotest.test_case "crest factor" `Quick test_crest_factor;
+          Alcotest.test_case "overlap disjoint" `Quick test_overlap_disjoint;
+          Alcotest.test_case "overlap self" `Quick test_overlap_self;
+          Alcotest.test_case "overlap symmetric" `Quick test_overlap_symmetric;
+          Alcotest.test_case "splitting lowers peak" `Quick
+            test_polarity_assignment_lowers_crest;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rms_bounded_by_peak; prop_overlap_cauchy_schwarz;
+            prop_overlap_nonneg ] );
+    ]

@@ -1,0 +1,115 @@
+module Montecarlo = Repro_core.Montecarlo
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Electrical = Repro_cell.Electrical
+module Rng = Repro_util.Rng
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:3131)
+      (Repro_cts.Placement.square_die 150.0) ~count:12 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:3132) sinks ~internals:4
+
+let small_config =
+  { Montecarlo.default_config with
+    Montecarlo.instances = 60;
+    noise_instances = 10;
+    kappa = 100.0 }
+
+let test_perturbed_env_varies_timing () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let rng = Rng.create ~seed:5 in
+  let e1 = Montecarlo.perturbed_env rng ~sigma_ratio:0.05 t in
+  let e2 = Montecarlo.perturbed_env rng ~sigma_ratio:0.05 t in
+  let a1 = (Timing.analyze t asg e1 ~edge:Electrical.Rising).Timing.sink_arrival in
+  let a2 = (Timing.analyze t asg e2 ~edge:Electrical.Rising).Timing.sink_arrival in
+  Alcotest.(check bool) "instances differ" true (a1 <> a2)
+
+let test_zero_sigma_is_nominal () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let rng = Rng.create ~seed:5 in
+  let env = Montecarlo.perturbed_env rng ~sigma_ratio:0.0 t in
+  let nominal = Timing.analyze t asg (Timing.nominal ()) ~edge:Electrical.Rising in
+  let varied = Timing.analyze t asg env ~edge:Electrical.Rising in
+  Array.iteri
+    (fun i v ->
+      if Float.is_finite v then
+        Alcotest.(check (float 1e-6)) "equal" nominal.Timing.sink_arrival.(i) v)
+    varied.Timing.sink_arrival
+
+let test_run_report_ranges () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let r = Montecarlo.run ~config:small_config t asg in
+  Alcotest.(check bool) "yield in [0,1]" true
+    (r.Montecarlo.skew_yield >= 0.0 && r.Montecarlo.skew_yield <= 1.0);
+  Alcotest.(check bool) "mean skew positive" true (r.Montecarlo.mean_skew >= 0.0);
+  Alcotest.(check bool) "norm std small" true
+    (r.Montecarlo.norm_std_peak >= 0.0 && r.Montecarlo.norm_std_peak < 0.5);
+  Alcotest.(check bool) "vdd std" true (r.Montecarlo.norm_std_vdd >= 0.0);
+  Alcotest.(check bool) "gnd std" true (r.Montecarlo.norm_std_gnd >= 0.0)
+
+let test_run_deterministic () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let r1 = Montecarlo.run ~config:small_config t asg in
+  let r2 = Montecarlo.run ~config:small_config t asg in
+  Alcotest.(check (float 1e-12)) "same yield" r1.Montecarlo.skew_yield
+    r2.Montecarlo.skew_yield;
+  Alcotest.(check (float 1e-12)) "same std" r1.Montecarlo.norm_std_peak
+    r2.Montecarlo.norm_std_peak
+
+let test_loose_kappa_full_yield () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let config = { small_config with Montecarlo.kappa = 1000.0 } in
+  let r = Montecarlo.run ~config t asg in
+  Alcotest.(check (float 1e-12)) "yield 1" 1.0 r.Montecarlo.skew_yield
+
+let test_tight_kappa_zero_yield () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let config = { small_config with Montecarlo.kappa = 0.001 } in
+  let r = Montecarlo.run ~config t asg in
+  Alcotest.(check (float 1e-12)) "yield 0" 0.0 r.Montecarlo.skew_yield
+
+let test_more_sigma_more_spread () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let run sigma =
+    Montecarlo.run
+      ~config:{ small_config with Montecarlo.sigma_ratio = sigma }
+      t asg
+  in
+  let lo = run 0.01 and hi = run 0.10 in
+  Alcotest.(check bool) "spread grows" true
+    (hi.Montecarlo.norm_std_peak >= lo.Montecarlo.norm_std_peak)
+
+let test_invalid_instances () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  Alcotest.check_raises "instances"
+    (Invalid_argument "Montecarlo.run: instances < 1") (fun () ->
+      ignore
+        (Montecarlo.run ~config:{ small_config with Montecarlo.instances = 0 } t asg))
+
+let () =
+  Alcotest.run "repro_core_montecarlo"
+    [
+      ( "montecarlo",
+        [
+          Alcotest.test_case "perturbed env varies" `Quick
+            test_perturbed_env_varies_timing;
+          Alcotest.test_case "zero sigma nominal" `Quick test_zero_sigma_is_nominal;
+          Alcotest.test_case "report ranges" `Quick test_run_report_ranges;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "loose kappa" `Quick test_loose_kappa_full_yield;
+          Alcotest.test_case "tight kappa" `Quick test_tight_kappa_zero_yield;
+          Alcotest.test_case "sigma scaling" `Quick test_more_sigma_more_spread;
+          Alcotest.test_case "invalid instances" `Quick test_invalid_instances;
+        ] );
+    ]

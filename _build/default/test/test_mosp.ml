@@ -1,0 +1,267 @@
+module Layered = Repro_mosp.Layered
+module Pareto = Repro_mosp.Pareto
+module Warburton = Repro_mosp.Warburton
+
+let check_close eps = Alcotest.(check (float eps))
+
+let w xs = Array.of_list xs
+
+(* A 2-row, 2-objective instance with a known min-max optimum:
+   row 0: options (10,0) and (0,10); row 1: options (8,1) and (1,8);
+   dest (0,0).  Balanced picks give (11,8) or (8,11) -> objective 11;
+   unbalanced give (18,1)/(1,18).  *)
+let small_graph () =
+  Layered.create
+    ~options:
+      [| [| w [ 10.; 0. ]; w [ 0.; 10. ] |];
+         [| w [ 8.; 1. ]; w [ 1.; 8. ] |] |]
+    ~dest_weight:(w [ 0.; 0. ])
+
+(* ------------------------------------------------------------------ *)
+(* Layered                                                             *)
+
+let test_layered_counts () =
+  let g = small_graph () in
+  Alcotest.(check int) "rows" 2 (Layered.num_rows g);
+  Alcotest.(check int) "dim" 2 (Layered.dimension g);
+  Alcotest.(check int) "vertices" 6 (Layered.num_vertices g);
+  (* src->2 + 2*2 + 2->dest = 8 *)
+  Alcotest.(check int) "arcs" 8 (Layered.num_arcs g)
+
+let test_layered_path_cost () =
+  let g = small_graph () in
+  let c = Layered.path_cost g ~choices:[| 0; 1 |] in
+  check_close 1e-12 "x" 11.0 c.(0);
+  check_close 1e-12 "y" 8.0 c.(1)
+
+let test_layered_validation () =
+  Alcotest.check_raises "empty row"
+    (Invalid_argument "Layered.create: empty row 0") (fun () ->
+      ignore (Layered.create ~options:[| [||] |] ~dest_weight:(w [ 0. ])));
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Layered.create: weight dimension mismatch") (fun () ->
+      ignore
+        (Layered.create ~options:[| [| w [ 1.; 2. ] |] |] ~dest_weight:(w [ 0. ])));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Layered.create: negative weight component") (fun () ->
+      ignore (Layered.create ~options:[| [| w [ -1. ] |] |] ~dest_weight:(w [ 0. ])))
+
+let test_layered_bad_choices () =
+  let g = small_graph () in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Layered.path_cost: wrong number of choices") (fun () ->
+      ignore (Layered.path_cost g ~choices:[| 0 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Layered.path_cost: choice out of range") (fun () ->
+      ignore (Layered.path_cost g ~choices:[| 0; 5 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Pareto                                                              *)
+
+let lbl xs = { Pareto.cost = w xs; choices_rev = [] }
+
+let test_dominates () =
+  Alcotest.(check bool) "dominates" true (Pareto.dominates (w [ 1.; 2. ]) (w [ 2.; 2. ]));
+  Alcotest.(check bool) "self" true (Pareto.dominates (w [ 1.; 2. ]) (w [ 1.; 2. ]));
+  Alcotest.(check bool) "incomparable" false
+    (Pareto.dominates (w [ 1.; 3. ]) (w [ 2.; 2. ]));
+  Alcotest.(check bool) "dim mismatch" false (Pareto.dominates (w [ 1. ]) (w [ 1.; 2. ]))
+
+let test_insert_prunes () =
+  let set = Pareto.insert [ lbl [ 1.; 3. ] ] (lbl [ 3.; 1. ]) in
+  Alcotest.(check int) "both kept" 2 (List.length set);
+  let set = Pareto.insert set (lbl [ 0.5; 0.5 ]) in
+  Alcotest.(check int) "dominator evicts" 1 (List.length set);
+  let set = Pareto.insert set (lbl [ 1.0; 1.0 ]) in
+  Alcotest.(check int) "dominated dropped" 1 (List.length set)
+
+let test_non_dominated () =
+  let set =
+    Pareto.non_dominated [ lbl [ 1.; 5. ]; lbl [ 5.; 1. ]; lbl [ 3.; 3. ]; lbl [ 6.; 6. ] ]
+  in
+  Alcotest.(check int) "frontier" 3 (List.length set)
+
+let test_grid_prune () =
+  let labels = [ lbl [ 1.0; 1.0 ]; lbl [ 1.1; 1.1 ]; lbl [ 5.0; 5.0 ] ] in
+  let pruned = Pareto.grid_prune ~deltas:(w [ 2.0; 2.0 ]) labels in
+  Alcotest.(check int) "two cells" 2 (List.length pruned);
+  (* Zero deltas = identity. *)
+  Alcotest.(check int) "identity" 3
+    (List.length (Pareto.grid_prune ~deltas:(w [ 0.0; 0.0 ]) labels))
+
+let test_grid_prune_keeps_best () =
+  let labels = [ lbl [ 1.9; 0.1 ]; lbl [ 1.0; 1.0 ] ] in
+  (* Same cell under delta 2; representative is the min-max one. *)
+  match Pareto.grid_prune ~deltas:(w [ 2.0; 2.0 ]) labels with
+  | [ kept ] -> check_close 1e-12 "min max kept" 1.0 (Pareto.max_component kept)
+  | l -> Alcotest.failf "expected 1, got %d" (List.length l)
+
+let test_best_min_max () =
+  (match Pareto.best_min_max [ lbl [ 9.; 1. ]; lbl [ 4.; 5. ]; lbl [ 6.; 6. ] ] with
+  | Some best -> check_close 1e-12 "objective" 5.0 (Pareto.max_component best)
+  | None -> Alcotest.fail "expected a label");
+  Alcotest.(check bool) "empty" true (Pareto.best_min_max [] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Warburton                                                           *)
+
+let test_exhaustive_small () =
+  let s = Warburton.exhaustive_min_max (small_graph ()) in
+  check_close 1e-12 "objective" 11.0 s.Warburton.objective
+
+let test_solver_matches_exhaustive_small () =
+  let g = small_graph () in
+  let s = Warburton.solve_min_max ~epsilon:0.0 g in
+  check_close 1e-12 "exact epsilon=0" 11.0 s.Warburton.objective;
+  let c = Layered.path_cost g ~choices:s.Warburton.choices in
+  check_close 1e-12 "cost consistent"
+    (Array.fold_left Float.max 0.0 c)
+    s.Warburton.objective
+
+let test_dest_weight_changes_optimum () =
+  (* Observation 1: a biased dest (non-leaf) vector flips the optimal
+     choice.  One row, options (10,0) vs (0,10); dest (0,9) makes the
+     first option optimal (max 10 vs max 19). *)
+  let g =
+    Layered.create
+      ~options:[| [| w [ 10.; 0. ]; w [ 0.; 10. ] |] |]
+      ~dest_weight:(w [ 0.; 9. ])
+  in
+  let s = Warburton.solve_min_max ~epsilon:0.0 g in
+  Alcotest.(check (array int)) "choice" [| 0 |] s.Warburton.choices;
+  check_close 1e-12 "objective" 10.0 s.Warburton.objective
+
+let test_pareto_paths_nondominated () =
+  let g = small_graph () in
+  let paths = Warburton.pareto_paths ~epsilon:0.0 g in
+  List.iter
+    (fun (a : Pareto.label) ->
+      List.iter
+        (fun (b : Pareto.label) ->
+          if a != b then
+            Alcotest.(check bool) "no strict domination" false
+              (Pareto.dominates a.Pareto.cost b.Pareto.cost
+              && a.Pareto.cost <> b.Pareto.cost))
+        paths)
+    paths
+
+let test_epsilon_within_bound () =
+  (* ε-approximation must stay within (1+ε) of the exact min-max. *)
+  let rng = Repro_util.Rng.create ~seed:8 in
+  for _ = 1 to 20 do
+    let rows = 1 + Repro_util.Rng.int rng ~bound:5 in
+    let dim = 1 + Repro_util.Rng.int rng ~bound:4 in
+    let options =
+      Array.init rows (fun _ ->
+          Array.init
+            (1 + Repro_util.Rng.int rng ~bound:4)
+            (fun _ ->
+              Array.init dim (fun _ -> Repro_util.Rng.float rng ~bound:100.0)))
+    in
+    let dest = Array.init dim (fun _ -> Repro_util.Rng.float rng ~bound:50.0) in
+    let g = Layered.create ~options ~dest_weight:dest in
+    let exact = Warburton.exhaustive_min_max g in
+    let eps = 0.05 in
+    let approx = Warburton.solve_min_max ~epsilon:eps g in
+    Alcotest.(check bool) "within (1+eps)" true
+      (approx.Warburton.objective
+      <= (1.0 +. eps) *. exact.Warburton.objective +. 1e-6);
+    Alcotest.(check bool) "not better than optimal" true
+      (approx.Warburton.objective >= exact.Warburton.objective -. 1e-6)
+  done
+
+let test_max_labels_cap_safe () =
+  (* Even with a tiny cap a valid path must come out. *)
+  let g = small_graph () in
+  let s = Warburton.solve_min_max ~max_labels:1 g in
+  let c = Layered.path_cost g ~choices:s.Warburton.choices in
+  check_close 1e-12 "consistent" (Array.fold_left Float.max 0.0 c) s.Warburton.objective
+
+let test_exhaustive_guard () =
+  let options = Array.make 30 [| w [ 1. ]; w [ 2. ] |] in
+  let g = Layered.create ~options ~dest_weight:(w [ 0. ]) in
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Warburton.exhaustive_min_max: too many paths") (fun () ->
+      ignore (Warburton.exhaustive_min_max g))
+
+let test_invalid_epsilon () =
+  Alcotest.check_raises "epsilon"
+    (Invalid_argument "Warburton.pareto_paths: epsilon < 0") (fun () ->
+      ignore (Warburton.pareto_paths ~epsilon:(-0.1) (small_graph ())))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let instance_gen =
+  QCheck.make
+    ~print:(fun (rows, dim, seed) -> Printf.sprintf "rows=%d dim=%d seed=%d" rows dim seed)
+    QCheck.Gen.(
+      let* rows = int_range 1 4 in
+      let* dim = int_range 1 3 in
+      let* seed = int_range 0 10000 in
+      return (rows, dim, seed))
+
+let build_instance (rows, dim, seed) =
+  let rng = Repro_util.Rng.create ~seed in
+  let options =
+    Array.init rows (fun _ ->
+        Array.init
+          (1 + Repro_util.Rng.int rng ~bound:3)
+          (fun _ -> Array.init dim (fun _ -> Repro_util.Rng.float rng ~bound:50.0)))
+  in
+  let dest = Array.init dim (fun _ -> Repro_util.Rng.float rng ~bound:20.0) in
+  Layered.create ~options ~dest_weight:dest
+
+let prop_exact_matches_exhaustive =
+  QCheck.Test.make ~name:"epsilon=0 matches exhaustive min-max" ~count:100
+    instance_gen (fun params ->
+      let g = build_instance params in
+      let a = Warburton.solve_min_max ~epsilon:0.0 g in
+      let b = Warburton.exhaustive_min_max g in
+      Float.abs (a.Warburton.objective -. b.Warburton.objective) < 1e-6)
+
+let prop_solution_cost_consistent =
+  QCheck.Test.make ~name:"reported cost equals path cost" ~count:100 instance_gen
+    (fun params ->
+      let g = build_instance params in
+      let s = Warburton.solve_min_max g in
+      let c = Layered.path_cost g ~choices:s.Warburton.choices in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) c s.Warburton.cost)
+
+let () =
+  Alcotest.run "repro_mosp"
+    [
+      ( "layered",
+        [
+          Alcotest.test_case "counts" `Quick test_layered_counts;
+          Alcotest.test_case "path cost" `Quick test_layered_path_cost;
+          Alcotest.test_case "validation" `Quick test_layered_validation;
+          Alcotest.test_case "bad choices" `Quick test_layered_bad_choices;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "insert prunes" `Quick test_insert_prunes;
+          Alcotest.test_case "non dominated" `Quick test_non_dominated;
+          Alcotest.test_case "grid prune" `Quick test_grid_prune;
+          Alcotest.test_case "grid prune keeps best" `Quick test_grid_prune_keeps_best;
+          Alcotest.test_case "best min max" `Quick test_best_min_max;
+        ] );
+      ( "warburton",
+        [
+          Alcotest.test_case "exhaustive small" `Quick test_exhaustive_small;
+          Alcotest.test_case "solver matches exhaustive" `Quick
+            test_solver_matches_exhaustive_small;
+          Alcotest.test_case "dest weight (Observation 1)" `Quick
+            test_dest_weight_changes_optimum;
+          Alcotest.test_case "pareto paths nondominated" `Quick
+            test_pareto_paths_nondominated;
+          Alcotest.test_case "epsilon bound" `Quick test_epsilon_within_bound;
+          Alcotest.test_case "label cap safe" `Quick test_max_labels_cap_safe;
+          Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+          Alcotest.test_case "invalid epsilon" `Quick test_invalid_epsilon;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_matches_exhaustive; prop_solution_cost_consistent ] );
+    ]

@@ -1,0 +1,71 @@
+module Observations = Repro_core.Observations
+module Tree = Repro_clocktree.Tree
+
+let test_example_tree_shape () =
+  let t = Observations.example_tree () in
+  Alcotest.(check int) "4 leaves" 4 (Tree.num_leaves t);
+  Alcotest.(check int) "7 nodes" 7 (Tree.size t)
+
+let test_fig2_rows () =
+  let f = Observations.fig2 () in
+  Alcotest.(check int) "16 assignments" 16 (List.length f.Observations.rows);
+  (* Polarity strings are all distinct. *)
+  let names = List.map (fun r -> r.Observations.polarities) f.Observations.rows in
+  Alcotest.(check int) "distinct" 16 (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "leaf <= total + eps" true
+        (r.Observations.leaf_peak_ua
+        <= r.Observations.total_peak_ua +. r.Observations.total_peak_ua);
+      Alcotest.(check bool) "positive" true (r.Observations.leaf_peak_ua > 0.0))
+    f.Observations.rows
+
+let test_fig2_optima_consistent () =
+  let f = Observations.fig2 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "best by leaf minimal" true
+        (f.Observations.best_by_leaf.Observations.leaf_peak_ua
+        <= r.Observations.leaf_peak_ua +. 1e-9);
+      Alcotest.(check bool) "best by total minimal" true
+        (f.Observations.best_by_total.Observations.total_peak_ua
+        <= r.Observations.total_peak_ua +. 1e-9))
+    f.Observations.rows
+
+let test_fig2_divergence () =
+  (* Observation 1: the leaf-only optimum is not the total optimum. *)
+  let f = Observations.fig2 () in
+  Alcotest.(check bool) "non-leaf noise matters" true f.Observations.divergence
+
+let test_fig2_extremes_are_worst () =
+  (* All-P and all-N assignments should be far from leaf-optimal. *)
+  let f = Observations.fig2 () in
+  let find p = List.find (fun r -> r.Observations.polarities = p) f.Observations.rows in
+  let all_p = find "PPPP" and all_n = find "NNNN" in
+  Alcotest.(check bool) "PPPP bad" true
+    (all_p.Observations.leaf_peak_ua
+    > 1.5 *. f.Observations.best_by_leaf.Observations.leaf_peak_ua);
+  Alcotest.(check bool) "NNNN bad" true
+    (all_n.Observations.leaf_peak_ua
+    > 1.5 *. f.Observations.best_by_leaf.Observations.leaf_peak_ua)
+
+let test_fig3_adi_helps () =
+  let f = Observations.fig3 () in
+  Alcotest.(check bool) "adi helps" true f.Observations.adi_helps;
+  Alcotest.(check bool) "strict improvement" true
+    (f.Observations.peak_with_adi < f.Observations.peak_without_adi)
+
+let () =
+  Alcotest.run "repro_observations"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "tree shape" `Quick test_example_tree_shape;
+          Alcotest.test_case "rows" `Quick test_fig2_rows;
+          Alcotest.test_case "optima consistent" `Quick test_fig2_optima_consistent;
+          Alcotest.test_case "divergence (Observation 1)" `Quick test_fig2_divergence;
+          Alcotest.test_case "extremes worst" `Quick test_fig2_extremes_are_worst;
+        ] );
+      ( "fig3",
+        [ Alcotest.test_case "ADI helps (Observation 3)" `Quick test_fig3_adi_helps ] );
+    ]

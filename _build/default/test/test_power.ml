@@ -1,0 +1,99 @@
+module Power = Repro_core.Power
+module Golden = Repro_core.Golden
+module Context = Repro_core.Context
+module Flow = Repro_core.Flow
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Rng = Repro_util.Rng
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:6161)
+      (Repro_cts.Placement.square_die 150.0) ~count:16 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:6162) sinks ~internals:5
+
+let setup () =
+  let t = tree () in
+  (t, Assignment.default t ~num_modes:1, Timing.nominal ())
+
+let test_report_positive () =
+  let t, asg, env = setup () in
+  let r = Power.analyze t asg env in
+  Alcotest.(check bool) "charge" true (r.Power.charge_per_cycle_fc > 0.0);
+  Alcotest.(check bool) "power" true (r.Power.avg_power_uw > 0.0);
+  Alcotest.(check bool) "peak" true (r.Power.peak_current_ma > 0.0);
+  Alcotest.(check bool) "crest > 1" true (r.Power.peak_to_average > 1.0);
+  Alcotest.(check bool) "leaf share sane" true
+    (r.Power.leaf_share > 0.0 && r.Power.leaf_share < 1.0)
+
+let test_peak_consistent_with_golden () =
+  let t, asg, env = setup () in
+  let r = Power.analyze t asg env in
+  let g = Golden.evaluate t asg env in
+  Alcotest.(check (float 0.2)) "same peak" g.Golden.peak_current_ma
+    r.Power.peak_current_ma
+
+let test_charge_roughly_invariant_under_polarity () =
+  (* Polarity assignment moves charge across rails/time but barely
+     changes the total (cells keep similar sizes). *)
+  let t, asg, env = setup () in
+  let before = Power.analyze t asg env in
+  let ctx = Context.create ~env t ~cells:(Flow.leaf_library ()) in
+  let o = Repro_core.Clk_wavemin.optimize ctx in
+  let after = Power.analyze t o.Context.assignment env in
+  let rel =
+    Float.abs (after.Power.charge_per_cycle_fc -. before.Power.charge_per_cycle_fc)
+    /. before.Power.charge_per_cycle_fc
+  in
+  Alcotest.(check bool) "within 30%" true (rel < 0.30);
+  (* ... while the crest improves. *)
+  Alcotest.(check bool) "crest improves" true
+    (after.Power.peak_to_average < before.Power.peak_to_average)
+
+let test_power_scales_with_frequency () =
+  (* Halving the period doubles the average power (same charge per
+     cycle, twice as often). *)
+  let t, asg, env = setup () in
+  let slow = Power.analyze ~period:2000.0 t asg env in
+  let fast = Power.analyze ~period:1000.0 t asg env in
+  Alcotest.(check (float 0.2)) "double power"
+    (2.0 *. slow.Power.avg_power_uw)
+    fast.Power.avg_power_uw
+
+let test_bigger_cells_more_power () =
+  let t, asg, env = setup () in
+  let upsized =
+    Array.fold_left
+      (fun a nd -> Assignment.set_cell a nd.Tree.id (Library.buf 16))
+      asg (Tree.leaves t)
+  in
+  let small = Power.analyze t asg env in
+  let big = Power.analyze t upsized env in
+  Alcotest.(check bool) "more charge" true
+    (big.Power.charge_per_cycle_fc > small.Power.charge_per_cycle_fc)
+
+let test_pp () =
+  let t, asg, env = setup () in
+  let out = Format.asprintf "%a" Power.pp (Power.analyze t asg env) in
+  Alcotest.(check bool) "mentions power" true (String.length out > 20)
+
+let () =
+  Alcotest.run "repro_power"
+    [
+      ( "power",
+        [
+          Alcotest.test_case "report positive" `Quick test_report_positive;
+          Alcotest.test_case "peak consistent" `Quick
+            test_peak_consistent_with_golden;
+          Alcotest.test_case "charge invariant" `Quick
+            test_charge_roughly_invariant_under_polarity;
+          Alcotest.test_case "frequency scaling" `Quick
+            test_power_scales_with_frequency;
+          Alcotest.test_case "bigger cells more power" `Quick
+            test_bigger_cells_more_power;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

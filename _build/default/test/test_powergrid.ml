@@ -1,0 +1,194 @@
+module Grid = Repro_powergrid.Grid
+module Noise = Repro_powergrid.Noise
+module Pwl = Repro_waveform.Pwl
+
+let check_close eps = Alcotest.(check (float eps))
+
+let grid () = Grid.create ~die_side:100.0 ~nx:8 ~ny:8 ~segment_res:0.5 ()
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                *)
+
+let test_create_validation () =
+  Alcotest.check_raises "small" (Invalid_argument "Grid.create: mesh too small")
+    (fun () -> ignore (Grid.create ~die_side:10.0 ~nx:1 ~ny:4 ()));
+  Alcotest.check_raises "die" (Invalid_argument "Grid.create: non-positive dimension")
+    (fun () -> ignore (Grid.create ~die_side:0.0 ()))
+
+let test_num_nodes () = Alcotest.(check int) "8x8" 64 (Grid.num_nodes (grid ()))
+
+let test_node_at_corners () =
+  let g = grid () in
+  Alcotest.(check int) "origin" 0 (Grid.node_at g ~x:0.0 ~y:0.0);
+  Alcotest.(check int) "far corner" 63 (Grid.node_at g ~x:99.9 ~y:99.9);
+  (* Clamping outside the die. *)
+  Alcotest.(check int) "clamped" 0 (Grid.node_at g ~x:(-10.0) ~y:(-10.0))
+
+let test_position_roundtrip () =
+  let g = grid () in
+  for id = 0 to Grid.num_nodes g - 1 do
+    let x, y = Grid.position g id in
+    Alcotest.(check int) "roundtrip" id (Grid.node_at g ~x ~y)
+  done
+
+let test_pads_on_boundary () =
+  let g = grid () in
+  Alcotest.(check bool) "corner is pad" true (Grid.is_pad g 0);
+  (* Center of an 8x8 grid is not a pad. *)
+  let center = Grid.node_at g ~x:50.0 ~y:50.0 in
+  Alcotest.(check bool) "center not pad" false (Grid.is_pad g center)
+
+let test_solve_zero_injection () =
+  let g = grid () in
+  let v = Grid.solve g ~injection:(Array.make (Grid.num_nodes g) 0.0) in
+  Array.iter (fun d -> check_close 1e-9 "zero" 0.0 d) v
+
+let test_solve_positive_drop () =
+  let g = grid () in
+  let inj = Array.make (Grid.num_nodes g) 0.0 in
+  let center = Grid.node_at g ~x:50.0 ~y:50.0 in
+  inj.(center) <- 1000.0;
+  let v = Grid.solve g ~injection:inj in
+  Alcotest.(check bool) "positive at source" true (v.(center) > 0.0);
+  Alcotest.(check bool) "max at source" true
+    (Array.for_all (fun d -> d <= v.(center) +. 1e-6) v);
+  check_close 1e-9 "pads clamped" 0.0 v.(0)
+
+let test_solve_length_mismatch () =
+  let g = grid () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Grid.solve: injection length mismatch") (fun () ->
+      ignore (Grid.solve g ~injection:[| 1.0 |]))
+
+let test_solve_linear () =
+  (* Superposition: solve(2i) = 2 solve(i). *)
+  let g = grid () in
+  let inj = Array.make (Grid.num_nodes g) 0.0 in
+  inj.(27) <- 500.0;
+  inj.(36) <- 250.0;
+  let v1 = Grid.solve g ~injection:inj in
+  let v2 = Grid.solve g ~injection:(Array.map (fun x -> 2.0 *. x) inj) in
+  Array.iteri
+    (fun i d -> check_close 1e-3 "linear" (2.0 *. d) v2.(i))
+    v1
+
+let test_effective_resistance_center_vs_edge () =
+  let g = grid () in
+  let center = Grid.node_at g ~x:50.0 ~y:50.0 in
+  let near_pad = Grid.node_at g ~x:10.0 ~y:0.0 in
+  let rc = Grid.effective_resistance g center in
+  let re = Grid.effective_resistance g near_pad in
+  Alcotest.(check bool) "center worse" true (rc > re);
+  Alcotest.(check bool) "sane magnitude" true (rc > 0.0 && rc < 10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Noise                                                               *)
+
+let pulse t0 h =
+  Pwl.triangle ~start:t0 ~peak_time:(t0 +. 5.0) ~finish:(t0 +. 15.0) ~height:h
+
+let test_rail_noise_zero_without_injection () =
+  let g = grid () in
+  check_close 1e-12 "no injections" 0.0
+    (Noise.rail_noise_mv g ~injections:[] ~times:[| 0.0; 1.0 |])
+
+let test_rail_noise_positive () =
+  let g = grid () in
+  let injections = [ { Noise.x = 50.0; y = 50.0; waveform = pulse 0.0 2000.0 } ] in
+  let times = Noise.default_times injections ~count:32 in
+  let noise = Noise.rail_noise_mv g ~injections ~times in
+  Alcotest.(check bool) "positive" true (noise > 0.0);
+  (* 2000 uA through ~1-2 Ohm effective -> a few mV. *)
+  Alcotest.(check bool) "sane" true (noise < 20.0)
+
+let test_noise_scales_with_current () =
+  let g = grid () in
+  let mk h = [ { Noise.x = 30.0; y = 70.0; waveform = pulse 0.0 h } ] in
+  let times = Noise.default_times (mk 1000.0) ~count:32 in
+  let n1 = Noise.rail_noise_mv g ~injections:(mk 1000.0) ~times in
+  let n2 = Noise.rail_noise_mv g ~injections:(mk 2000.0) ~times in
+  check_close 1e-6 "linear" (2.0 *. n1) n2
+
+let test_disjoint_pulses_do_not_add () =
+  (* Two pulses far apart in time: the peak equals the single-pulse
+     peak, unlike overlapping pulses. *)
+  let g = grid () in
+  let at t = { Noise.x = 50.0; y = 50.0; waveform = pulse t 1000.0 } in
+  let overlapping = [ at 0.0; at 0.0 ] in
+  let disjoint = [ at 0.0; at 500.0 ] in
+  let times l = Noise.default_times l ~count:64 in
+  let n_overlap = Noise.rail_noise_mv g ~injections:overlapping ~times:(times overlapping) in
+  let n_disjoint = Noise.rail_noise_mv g ~injections:disjoint ~times:(times disjoint) in
+  Alcotest.(check bool) "overlap worse" true (n_overlap > n_disjoint *. 1.5)
+
+let test_evaluate_both_rails () =
+  let g = grid () in
+  let vdd = [ { Noise.x = 50.0; y = 50.0; waveform = pulse 0.0 1500.0 } ] in
+  let gnd = [ { Noise.x = 50.0; y = 50.0; waveform = pulse 0.0 750.0 } ] in
+  let times = Noise.default_times (vdd @ gnd) ~count:32 in
+  let r = Noise.evaluate g ~vdd ~gnd ~times in
+  Alcotest.(check bool) "vdd > gnd" true
+    (r.Noise.vdd_noise_mv > r.Noise.gnd_noise_mv)
+
+let test_default_times_cover_support () =
+  let injections =
+    [ { Noise.x = 0.0; y = 0.0; waveform = pulse 10.0 1.0 };
+      { Noise.x = 0.0; y = 0.0; waveform = pulse 100.0 1.0 } ]
+  in
+  let times = Noise.default_times injections ~count:16 in
+  Alcotest.(check int) "count" 16 (Array.length times);
+  Alcotest.(check (float 1e-9)) "start" 10.0 times.(0);
+  Alcotest.(check (float 1e-9)) "end" 115.0 times.(15)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_drop_nonnegative_for_nonneg_injection =
+  QCheck.Test.make ~name:"drops non-negative for draws" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 6)
+              (pair (pair (float_range 0. 100.) (float_range 0. 100.))
+                 (float_range 0. 5000.)))
+    (fun sources ->
+      let g = grid () in
+      let inj = Array.make (Grid.num_nodes g) 0.0 in
+      List.iter
+        (fun ((x, y), i) ->
+          let n = Grid.node_at g ~x ~y in
+          inj.(n) <- inj.(n) +. i)
+        sources;
+      let v = Grid.solve g ~injection:inj in
+      Array.for_all (fun d -> d >= -1e-6) v)
+
+let () =
+  Alcotest.run "repro_powergrid"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "num nodes" `Quick test_num_nodes;
+          Alcotest.test_case "node at corners" `Quick test_node_at_corners;
+          Alcotest.test_case "position roundtrip" `Quick test_position_roundtrip;
+          Alcotest.test_case "pads on boundary" `Quick test_pads_on_boundary;
+          Alcotest.test_case "zero injection" `Quick test_solve_zero_injection;
+          Alcotest.test_case "positive drop" `Quick test_solve_positive_drop;
+          Alcotest.test_case "length mismatch" `Quick test_solve_length_mismatch;
+          Alcotest.test_case "linearity" `Quick test_solve_linear;
+          Alcotest.test_case "effective resistance" `Quick
+            test_effective_resistance_center_vs_edge;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "zero without injection" `Quick
+            test_rail_noise_zero_without_injection;
+          Alcotest.test_case "positive" `Quick test_rail_noise_positive;
+          Alcotest.test_case "scales with current" `Quick
+            test_noise_scales_with_current;
+          Alcotest.test_case "disjoint pulses" `Quick
+            test_disjoint_pulses_do_not_add;
+          Alcotest.test_case "both rails" `Quick test_evaluate_both_rails;
+          Alcotest.test_case "default times" `Quick test_default_times_cover_support;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_drop_nonnegative_for_nonneg_injection ] );
+    ]

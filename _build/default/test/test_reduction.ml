@@ -1,0 +1,124 @@
+(* Theorem 2 (NP-completeness of Decision-WaveMin) rests on the
+   reduction of PeakMin to WaveMin with |S| = 2: the two summation terms
+   of PeakMin's objective become the two time sampling slots.  This
+   suite checks the reduction computationally: on random instances, the
+   exact WaveMin min-max over the 2-slot encoding equals the exact
+   PeakMin optimum. *)
+
+module Layered = Repro_mosp.Layered
+module Warburton = Repro_mosp.Warburton
+module Rng = Repro_util.Rng
+
+type pcand = { positive : bool; peak : float }
+
+let random_instance rng =
+  let sinks = 2 + Rng.int rng ~bound:5 in
+  Array.init sinks (fun _ ->
+      Array.init
+        (1 + Rng.int rng ~bound:3)
+        (fun _ ->
+          { positive = Rng.bool rng; peak = Rng.float rng ~bound:100.0 }))
+
+(* Exact PeakMin: enumerate all assignments, minimize
+   max(sum positive peaks, sum negative peaks). *)
+let peakmin_opt instance =
+  let n = Array.length instance in
+  let best = ref infinity in
+  let rec go i pos neg =
+    if i = n then best := Float.min !best (Float.max pos neg)
+    else
+      Array.iter
+        (fun c ->
+          if c.positive then go (i + 1) (pos +. c.peak) neg
+          else go (i + 1) pos (neg +. c.peak))
+        instance.(i)
+  in
+  go 0 0.0 0.0;
+  !best
+
+(* WaveMin encoding with |S| = 2: slot 0 collects positive-polarity
+   peaks, slot 1 negative-polarity peaks. *)
+let wavemin_encoding instance =
+  let options =
+    Array.map
+      (Array.map (fun c ->
+           if c.positive then [| c.peak; 0.0 |] else [| 0.0; c.peak |]))
+      instance
+  in
+  Layered.create ~options ~dest_weight:[| 0.0; 0.0 |]
+
+let test_reduction_on_seeds () =
+  let rng = Rng.create ~seed:271828 in
+  for _ = 1 to 50 do
+    let instance = random_instance rng in
+    let expected = peakmin_opt instance in
+    let got =
+      (Warburton.exhaustive_min_max (wavemin_encoding instance)).Warburton.objective
+    in
+    Alcotest.(check (float 1e-6)) "objectives equal" expected got
+  done
+
+let test_reduction_with_solver () =
+  (* The epsilon = 0 label solver also matches. *)
+  let rng = Rng.create ~seed:314159 in
+  for _ = 1 to 50 do
+    let instance = random_instance rng in
+    let expected = peakmin_opt instance in
+    let got =
+      (Warburton.solve_min_max ~epsilon:0.0 (wavemin_encoding instance))
+        .Warburton.objective
+    in
+    Alcotest.(check (float 1e-6)) "objectives equal" expected got
+  done
+
+let prop_reduction =
+  QCheck.Test.make ~name:"PeakMin == 2-slot WaveMin" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let instance = random_instance rng in
+      let a = peakmin_opt instance in
+      let b =
+        (Warburton.exhaustive_min_max (wavemin_encoding instance))
+          .Warburton.objective
+      in
+      Float.abs (a -. b) < 1e-6)
+
+let prop_wavemin_generalizes =
+  (* WaveMin with more slots can only do at least as well as the same
+     instance folded onto 2 slots would suggest as a lower bound:
+     splitting a slot cannot raise the optimum above the 2-slot value
+     when the split vectors sum back to the original. *)
+  QCheck.Test.make ~name:"slot refinement never hurts" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let instance = random_instance rng in
+      let coarse =
+        (Warburton.exhaustive_min_max (wavemin_encoding instance))
+          .Warburton.objective
+      in
+      (* Refine: split each positive peak across two sub-slots. *)
+      let options =
+        Array.map
+          (Array.map (fun c ->
+               if c.positive then [| c.peak /. 2.0; c.peak /. 2.0; 0.0 |]
+               else [| 0.0; 0.0; c.peak |]))
+          instance
+      in
+      let g = Layered.create ~options ~dest_weight:[| 0.0; 0.0; 0.0 |] in
+      let fine = (Warburton.exhaustive_min_max g).Warburton.objective in
+      fine <= coarse +. 1e-6)
+
+let () =
+  Alcotest.run "repro_reduction"
+    [
+      ( "theorem 2",
+        [
+          Alcotest.test_case "reduction (exhaustive)" `Quick test_reduction_on_seeds;
+          Alcotest.test_case "reduction (solver)" `Quick test_reduction_with_solver;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_reduction; prop_wavemin_generalizes ] );
+    ]

@@ -1,0 +1,185 @@
+(* Cross-module edge cases and failure injection: minimal trees, extreme
+   parameters, and boundary inputs that the main suites don't reach. *)
+
+module Tree = Repro_clocktree.Tree
+module Wire = Repro_clocktree.Wire
+module Assignment = Repro_clocktree.Assignment
+module Timing = Repro_clocktree.Timing
+module Cell = Repro_cell.Cell
+module Library = Repro_cell.Library
+module Electrical = Repro_cell.Electrical
+module Context = Repro_core.Context
+module Flow = Repro_core.Flow
+module Golden = Repro_core.Golden
+module Rng = Repro_util.Rng
+
+(* The smallest legal optimizable tree: one internal driver, two leaves. *)
+let minimal_tree () =
+  let node id parent children kind x y wire_len sink_cap cell =
+    { Tree.id; parent; children; kind; x; y;
+      wire = Wire.of_length wire_len; sink_cap; default_cell = cell }
+  in
+  Tree.create
+    [|
+      node 0 None [ 1; 2 ] Tree.Internal 10.0 10.0 0.0 0.0 (Library.buf 16);
+      node 1 (Some 0) [] Tree.Leaf 5.0 5.0 8.0 12.0 (Library.buf 8);
+      node 2 (Some 0) [] Tree.Leaf 15.0 15.0 8.0 14.0 (Library.buf 8);
+    |]
+
+let test_minimal_tree_full_flow () =
+  let t = minimal_tree () in
+  List.iter
+    (fun algo ->
+      let r = Flow.run_tree ~name:"minimal" t algo in
+      Alcotest.(check bool)
+        (Flow.algorithm_name algo ^ " works")
+        true
+        (r.Flow.metrics.Golden.peak_current_ma > 0.0))
+    [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ]
+
+let test_single_leaf_tree () =
+  (* A root-only leaf is legal; timing and golden still work. *)
+  let t =
+    Tree.create
+      [|
+        {
+          Tree.id = 0; parent = None; children = []; kind = Tree.Leaf;
+          x = 1.0; y = 1.0; wire = Wire.zero; sink_cap = 10.0;
+          default_cell = Library.buf 8;
+        };
+      |]
+  in
+  let asg = Assignment.default t ~num_modes:1 in
+  let m = Golden.evaluate t asg (Timing.nominal ()) in
+  Alcotest.(check bool) "positive peak" true (m.Golden.peak_current_ma > 0.0);
+  Alcotest.(check (float 1e-9)) "zero skew" 0.0 m.Golden.skew_ps
+
+let test_every_leaf_its_own_zone () =
+  (* Tiny zones: every leaf alone; the solvers degenerate to per-leaf
+     choices and must still respect the skew bound. *)
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:99)
+      (Repro_cts.Placement.square_die 400.0) ~count:10 ()
+  in
+  let t = Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:98) sinks ~internals:3 in
+  let params =
+    { Context.default_params with Context.zone_side = 1.0; num_slots = 8 }
+  in
+  let ctx = Context.create ~params t ~cells:(Flow.leaf_library ()) in
+  Alcotest.(check int) "one leaf per zone" (Tree.num_leaves t)
+    (Repro_core.Zones.num_zones ctx.Context.zones);
+  let o = Repro_core.Clk_wavemin.optimize ctx in
+  let timing =
+    Timing.analyze t o.Context.assignment ctx.Context.env ~edge:Electrical.Rising
+  in
+  Alcotest.(check bool) "skew ok" true
+    (Timing.skew t timing <= params.Context.kappa +. 1e-6)
+
+let test_one_giant_zone () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:97)
+      (Repro_cts.Placement.square_die 100.0) ~count:8 ()
+  in
+  let t = Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:96) sinks ~internals:3 in
+  let params =
+    { Context.default_params with Context.zone_side = 10000.0; num_slots = 8 }
+  in
+  let ctx = Context.create ~params t ~cells:(Flow.leaf_library ()) in
+  Alcotest.(check int) "single zone" 1 (Repro_core.Zones.num_zones ctx.Context.zones);
+  let o = Repro_core.Clk_wavemin.optimize ctx in
+  Alcotest.(check bool) "positive estimate" true (o.Context.predicted_peak_ua > 0.0)
+
+let test_golden_worst_over_modes_empty () =
+  let t = minimal_tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  Alcotest.check_raises "no modes"
+    (Invalid_argument "Golden.worst_over_modes: no modes") (fun () ->
+      ignore (Golden.worst_over_modes t asg [||]))
+
+let test_liberty_empty_input () =
+  match Repro_cell.Liberty.parse "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty library"
+  | Error e -> Alcotest.failf "unexpected error: %a" Repro_cell.Liberty.pp_error e
+
+let test_pwl_extreme_shift () =
+  let module Pwl = Repro_waveform.Pwl in
+  let w = Pwl.triangle ~start:0.0 ~peak_time:1.0 ~finish:2.0 ~height:5.0 in
+  let s = Pwl.shift w 1e9 in
+  Alcotest.(check (float 1e-6)) "peak preserved" 5.0 (Pwl.peak s);
+  Alcotest.(check (float 1e-6)) "old position empty" 0.0 (Pwl.eval s 1.0)
+
+let test_grid_minimal_2x2 () =
+  let module Grid = Repro_powergrid.Grid in
+  let g = Grid.create ~die_side:10.0 ~nx:2 ~ny:2 () in
+  (* With pad_stride 8 on a 2x2 mesh, every node is a boundary pad. *)
+  let v = Grid.solve g ~injection:[| 100.0; 100.0; 100.0; 100.0 |] in
+  Array.iter (fun d -> Alcotest.(check (float 1e-9)) "all pads" 0.0 d) v
+
+let test_montecarlo_single_instance () =
+  let t = minimal_tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let config =
+    { Repro_core.Montecarlo.default_config with
+      Repro_core.Montecarlo.instances = 1;
+      noise_instances = 1 }
+  in
+  let r = Repro_core.Montecarlo.run ~config t asg in
+  Alcotest.(check bool) "yield is 0 or 1" true
+    (r.Repro_core.Montecarlo.skew_yield = 0.0
+    || r.Repro_core.Montecarlo.skew_yield = 1.0)
+
+let test_adjustable_in_single_mode_context () =
+  (* ADBs in the single-mode library: the expanded step candidates must
+     be applied back into the assignment on selection. *)
+  let t = minimal_tree () in
+  let params = { Context.default_params with Context.num_slots = 8; kappa = 40.0 } in
+  let ctx =
+    Context.create ~params t ~cells:[ Library.buf 8; Library.adb 8 ]
+  in
+  let o = Repro_core.Clk_wavemin.optimize ctx in
+  Array.iter
+    (fun nd ->
+      let c = Assignment.cell o.Context.assignment nd.Tree.id in
+      let extra = Assignment.extra_delay o.Context.assignment ~mode:0 nd.Tree.id in
+      if not (Cell.is_adjustable c) then
+        Alcotest.(check (float 1e-12)) "fixed cells have no extra" 0.0 extra)
+    (Tree.leaves t)
+
+let test_report_contains_sections () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let t = minimal_tree () in
+  let report =
+    Repro_core.Report.for_tree ~name:"toy" t
+      ~algorithms:[ Flow.Initial; Flow.Wavemin_fast ]
+  in
+  Alcotest.(check bool) "title" true (contains report "# WaveMin report");
+  Alcotest.(check bool) "tree section" true (contains report "## Clock tree");
+  Alcotest.(check bool) "results" true (contains report "ClkWaveMin-f")
+
+let () =
+  Alcotest.run "repro_robustness"
+    [
+      ( "robustness",
+        [
+          Alcotest.test_case "minimal tree full flow" `Quick
+            test_minimal_tree_full_flow;
+          Alcotest.test_case "single leaf tree" `Quick test_single_leaf_tree;
+          Alcotest.test_case "leaf per zone" `Quick test_every_leaf_its_own_zone;
+          Alcotest.test_case "one giant zone" `Quick test_one_giant_zone;
+          Alcotest.test_case "worst over modes empty" `Quick
+            test_golden_worst_over_modes_empty;
+          Alcotest.test_case "liberty empty" `Quick test_liberty_empty_input;
+          Alcotest.test_case "pwl extreme shift" `Quick test_pwl_extreme_shift;
+          Alcotest.test_case "grid 2x2 all pads" `Quick test_grid_minimal_2x2;
+          Alcotest.test_case "montecarlo single instance" `Quick
+            test_montecarlo_single_instance;
+          Alcotest.test_case "adjustable in single mode" `Quick
+            test_adjustable_in_single_mode_context;
+          Alcotest.test_case "report sections" `Quick test_report_contains_sections;
+        ] );
+    ]

@@ -1,0 +1,280 @@
+module Context = Repro_core.Context
+module Clk_wavemin = Repro_core.Clk_wavemin
+module Clk_wavemin_f = Repro_core.Clk_wavemin_f
+module Clk_peakmin = Repro_core.Clk_peakmin
+module Noise_table = Repro_core.Noise_table
+module Intervals = Repro_core.Intervals
+module Golden = Repro_core.Golden
+module Flow = Repro_core.Flow
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Rng = Repro_util.Rng
+
+let tree ?(seed = 515) ?(leaves = 16) ?(internals = 5) () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die 150.0) ~count:leaves ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks ~internals
+
+let cells = Flow.leaf_library ()
+
+let small_params =
+  { Context.default_params with Context.num_slots = 24; max_interval_classes = 6 }
+
+let context ?(params = small_params) () =
+  Context.create ~params (tree ()) ~cells
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+
+let test_context_feasible () =
+  let ctx = context () in
+  Alcotest.(check bool) "feasible" true (Context.feasible ctx)
+
+let test_context_classes_sorted_by_dof () =
+  let ctx = context () in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "descending DoF" true
+        (a.Context.degree_of_freedom >= b.Context.degree_of_freedom);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check ctx.Context.classes
+
+let test_context_rejects_empty_cells () =
+  Alcotest.check_raises "cells" (Invalid_argument "Context.create: empty cell library")
+    (fun () -> ignore (Context.create (tree ()) ~cells:[]))
+
+let test_context_infeasible_kappa () =
+  let params = { small_params with Context.kappa = 0.01 } in
+  let ctx = Context.create ~params (tree ()) ~cells in
+  Alcotest.(check bool) "infeasible" false (Context.feasible ctx);
+  Alcotest.check_raises "solve fails"
+    (Failure "Context.solve_with: no feasible interval (skew bound too tight)")
+    (fun () -> ignore (Clk_wavemin.optimize ctx))
+
+(* ------------------------------------------------------------------ *)
+(* Skew safety: every algorithm's output must respect kappa            *)
+
+let skew_of ctx asg =
+  let timing =
+    Timing.analyze ctx.Context.tree asg ctx.Context.env
+      ~edge:Repro_cell.Electrical.Rising
+  in
+  Timing.skew ctx.Context.tree timing
+
+let check_skew name optimize =
+  let ctx = context () in
+  let outcome = optimize ctx in
+  let skew = skew_of ctx outcome.Context.assignment in
+  Alcotest.(check bool)
+    (name ^ " respects kappa")
+    true
+    (skew <= ctx.Context.params.Context.kappa +. 1e-6)
+
+let test_wavemin_skew () = check_skew "wavemin" Clk_wavemin.optimize
+let test_wavemin_f_skew () = check_skew "wavemin-f" Clk_wavemin_f.optimize
+let test_peakmin_skew () = check_skew "peakmin" Clk_peakmin.optimize
+
+(* ------------------------------------------------------------------ *)
+(* Quality relations                                                   *)
+
+let test_wavemin_predicts_leq_greedy () =
+  (* The approximation search cannot be worse than the greedy under the
+     same model (both pick from the same classes/zones; wavemin
+     minimizes the zone estimate that greedy also reports). *)
+  let ctx = context () in
+  let a = Clk_wavemin.optimize ctx in
+  let b = Clk_wavemin_f.optimize ctx in
+  Alcotest.(check bool) "estimate ordering" true
+    (a.Context.predicted_peak_ua <= b.Context.predicted_peak_ua +. 1e-6)
+
+let test_optimized_beats_initial_golden () =
+  let t = tree ~leaves:24 ~internals:7 () in
+  let env = Timing.nominal () in
+  let initial = Assignment.default t ~num_modes:1 in
+  let m0 = Golden.evaluate t initial env in
+  let ctx = Context.create ~params:small_params ~env t ~cells in
+  let o = Clk_wavemin.optimize ctx in
+  let m1 = Golden.evaluate t o.Context.assignment env in
+  Alcotest.(check bool) "peak reduced" true
+    (m1.Golden.peak_current_ma < m0.Golden.peak_current_ma)
+
+let test_polarity_mix_produced () =
+  let ctx = context () in
+  let o = Clk_wavemin.optimize ctx in
+  let inv =
+    Assignment.count_leaves o.Context.assignment ctx.Context.tree
+      ~pred:(fun c -> Cell.polarity c = Cell.Negative)
+  in
+  let total = Tree.num_leaves ctx.Context.tree in
+  Alcotest.(check bool) "some inverters" true (inv > 0);
+  Alcotest.(check bool) "some buffers" true (inv < total)
+
+let test_zone_choices_are_available () =
+  let ctx = context () in
+  let cls = List.hd ctx.Context.classes in
+  Array.iter
+    (fun table ->
+      let avail =
+        Array.map
+          (fun row -> cls.Context.avail.(row))
+          table.Noise_table.sink_rows
+      in
+      List.iter
+        (fun (name, solver) ->
+          let choices = solver ctx table ~avail in
+          Array.iteri
+            (fun zi ci ->
+              Alcotest.(check bool) (name ^ " picks available") true avail.(zi).(ci))
+            choices)
+        [ ("wavemin", Clk_wavemin.zone_solver);
+          ("greedy", Clk_wavemin_f.zone_solver);
+          ("peakmin", Clk_peakmin.zone_solver) ])
+    ctx.Context.tables
+
+let test_peakmin_balances_rails () =
+  (* On a uniform zone, PeakMin must split polarities roughly in half. *)
+  let ctx = context () in
+  let o = Clk_peakmin.optimize ctx in
+  let inv =
+    Assignment.count_leaves o.Context.assignment ctx.Context.tree
+      ~pred:(fun c -> Cell.polarity c = Cell.Negative)
+  in
+  let total = Tree.num_leaves ctx.Context.tree in
+  Alcotest.(check bool) "roughly half" true
+    (inv >= total / 4 && inv <= 3 * total / 4)
+
+let test_peakmin_balance_objective () =
+  let ctx = context () in
+  let table = ctx.Context.tables.(0) in
+  let n = Array.length table.Noise_table.sinks in
+  let choices = Array.make n 0 in
+  (* all BUF_X8: everything on the positive rail *)
+  let all_pos = Clk_peakmin.zone_balance_objective table ~choices in
+  let manual =
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun zi _ -> table.Noise_table.cand_peak.(zi).(0)) choices)
+  in
+  Alcotest.(check (float 1e-9)) "sum" manual all_pos
+
+let test_mosp_encoding_rejects_empty_row () =
+  let ctx = context () in
+  let table = ctx.Context.tables.(0) in
+  let n = Array.length table.Noise_table.sinks in
+  let avail = Array.make_matrix n 4 false in
+  Alcotest.check_raises "empty row"
+    (Invalid_argument "Clk_wavemin.to_mosp: sink without available candidate")
+    (fun () -> ignore (Clk_wavemin.to_mosp table ~avail))
+
+let test_mosp_encoding_structure () =
+  let ctx = context () in
+  let table = ctx.Context.tables.(0) in
+  let cls = List.hd ctx.Context.classes in
+  let avail =
+    Array.map (fun row -> cls.Context.avail.(row)) table.Noise_table.sink_rows
+  in
+  let graph, mapping = Clk_wavemin.to_mosp table ~avail in
+  Alcotest.(check int) "rows = sinks"
+    (Array.length table.Noise_table.sinks)
+    (Repro_mosp.Layered.num_rows graph);
+  Alcotest.(check int) "dim = slots"
+    (Array.length table.Noise_table.nonleaf)
+    (Repro_mosp.Layered.dimension graph);
+  Array.iteri
+    (fun row admitted ->
+      Array.iter
+        (fun ci -> Alcotest.(check bool) "mapping valid" true avail.(row).(ci))
+        admitted)
+    mapping
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+
+let test_flow_run_tree () =
+  let t = tree () in
+  let r = Flow.run_tree ~params:small_params ~name:"toy" t Flow.Wavemin_fast in
+  Alcotest.(check string) "name" "toy" r.Flow.benchmark;
+  Alcotest.(check bool) "skew bound" true
+    (r.Flow.metrics.Golden.skew_ps <= small_params.Context.kappa +. 1e-6);
+  Alcotest.(check bool) "positive metrics" true
+    (r.Flow.metrics.Golden.peak_current_ma > 0.0)
+
+let test_flow_improvement_pct () =
+  Alcotest.(check (float 1e-9)) "pos" 50.0
+    (Flow.improvement_pct ~baseline:10.0 ~value:5.0);
+  Alcotest.(check (float 1e-9)) "neg" (-50.0)
+    (Flow.improvement_pct ~baseline:10.0 ~value:15.0);
+  Alcotest.(check (float 1e-9)) "zero baseline" 0.0
+    (Flow.improvement_pct ~baseline:0.0 ~value:5.0)
+
+let test_flow_names () =
+  Alcotest.(check string) "wavemin" "ClkWaveMin" (Flow.algorithm_name Flow.Wavemin);
+  Alcotest.(check string) "fast" "ClkWaveMin-f" (Flow.algorithm_name Flow.Wavemin_fast);
+  Alcotest.(check string) "baseline" "ClkPeakMin" (Flow.algorithm_name Flow.Peakmin);
+  Alcotest.(check string) "initial" "Initial" (Flow.algorithm_name Flow.Initial)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_all_solvers_respect_kappa =
+  QCheck.Test.make ~name:"solver outputs respect kappa" ~count:8
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let t = tree ~seed ~leaves:10 ~internals:3 () in
+      let ctx = Context.create ~params:small_params t ~cells in
+      (not (Context.feasible ctx))
+      || List.for_all
+           (fun optimize ->
+             let o = optimize ctx in
+             skew_of ctx o.Context.assignment
+             <= small_params.Context.kappa +. 1e-6)
+           [ Clk_wavemin.optimize; Clk_wavemin_f.optimize; Clk_peakmin.optimize ])
+
+let () =
+  Alcotest.run "repro_core_solvers"
+    [
+      ( "context",
+        [
+          Alcotest.test_case "feasible" `Quick test_context_feasible;
+          Alcotest.test_case "classes sorted" `Quick
+            test_context_classes_sorted_by_dof;
+          Alcotest.test_case "rejects empty cells" `Quick
+            test_context_rejects_empty_cells;
+          Alcotest.test_case "infeasible kappa" `Quick test_context_infeasible_kappa;
+        ] );
+      ( "skew safety",
+        [
+          Alcotest.test_case "wavemin" `Quick test_wavemin_skew;
+          Alcotest.test_case "wavemin-f" `Quick test_wavemin_f_skew;
+          Alcotest.test_case "peakmin" `Quick test_peakmin_skew;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "wavemin <= greedy estimate" `Quick
+            test_wavemin_predicts_leq_greedy;
+          Alcotest.test_case "beats initial (golden)" `Quick
+            test_optimized_beats_initial_golden;
+          Alcotest.test_case "polarity mix" `Quick test_polarity_mix_produced;
+          Alcotest.test_case "choices available" `Quick test_zone_choices_are_available;
+          Alcotest.test_case "peakmin balances" `Quick test_peakmin_balances_rails;
+          Alcotest.test_case "peakmin objective" `Quick test_peakmin_balance_objective;
+          Alcotest.test_case "mosp rejects empty row" `Quick
+            test_mosp_encoding_rejects_empty_row;
+          Alcotest.test_case "mosp structure (Algorithm 1)" `Quick
+            test_mosp_encoding_structure;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "run tree" `Quick test_flow_run_tree;
+          Alcotest.test_case "improvement pct" `Quick test_flow_improvement_pct;
+          Alcotest.test_case "names" `Quick test_flow_names;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_all_solvers_respect_kappa ] );
+    ]

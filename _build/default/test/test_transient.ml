@@ -1,0 +1,145 @@
+module Grid = Repro_powergrid.Grid
+module Noise = Repro_powergrid.Noise
+module Transient = Repro_powergrid.Transient
+module Pwl = Repro_waveform.Pwl
+
+let grid () = Grid.create ~die_side:100.0 ~nx:8 ~ny:8 ~segment_res:0.5 ()
+
+let pulse t0 h =
+  Pwl.triangle ~start:t0 ~peak_time:(t0 +. 5.0) ~finish:(t0 +. 15.0) ~height:h
+
+let injections h = [ { Noise.x = 50.0; y = 50.0; waveform = pulse 0.0 h } ]
+
+let test_no_injections () =
+  let r = Transient.simulate (grid ()) ~injections:[] () in
+  Alcotest.(check (float 1e-12)) "zero" 0.0 r.Transient.worst_drop_mv;
+  Alcotest.(check int) "no samples" 0 (Array.length r.Transient.times)
+
+let test_positive_drop () =
+  let r = Transient.simulate (grid ()) ~injections:(injections 2000.0) () in
+  Alcotest.(check bool) "positive" true (r.Transient.worst_drop_mv > 0.0);
+  Alcotest.(check bool) "bounded" true (r.Transient.worst_drop_mv < 20.0)
+
+let test_envelope_shape () =
+  let r = Transient.simulate (grid ()) ~injections:(injections 2000.0) () in
+  Alcotest.(check int) "envelope per step" (Array.length r.Transient.times)
+    (Array.length r.Transient.envelope_mv);
+  let max_env = Array.fold_left Float.max 0.0 r.Transient.envelope_mv in
+  Alcotest.(check (float 1e-9)) "worst = max envelope" r.Transient.worst_drop_mv
+    max_env
+
+let test_decap_smooths () =
+  (* More decap, lower worst drop. *)
+  let run decap_ff =
+    (Transient.simulate (grid ())
+       ~config:{ Transient.decap_ff; dt = 2.0 }
+       ~injections:(injections 3000.0) ())
+      .Transient.worst_drop_mv
+  in
+  let none = run 0.0 in
+  let some = run 2000.0 in
+  let lots = run 20000.0 in
+  Alcotest.(check bool) "monotone" true (lots < some && some < none)
+
+let test_zero_decap_matches_resistive () =
+  (* With zero decap every step is an independent resistive solve. *)
+  let g = grid () in
+  let injections = injections 1500.0 in
+  let r =
+    Transient.simulate g ~config:{ Transient.decap_ff = 0.0; dt = 1.0 }
+      ~injections ()
+  in
+  let resistive =
+    Transient.resistive_reference g ~injections ~times:r.Transient.times
+  in
+  Alcotest.(check (float 0.01)) "equal" resistive r.Transient.worst_drop_mv
+
+let test_worst_time_in_span () =
+  let r = Transient.simulate (grid ()) ~injections:(injections 2000.0) () in
+  Alcotest.(check bool) "within simulated span" true
+    (r.Transient.worst_time >= r.Transient.times.(0)
+    && r.Transient.worst_time
+       <= r.Transient.times.(Array.length r.Transient.times - 1))
+
+let test_worst_node_not_pad () =
+  let g = grid () in
+  let r = Transient.simulate g ~injections:(injections 2000.0) () in
+  Alcotest.(check bool) "not a pad" false (Grid.is_pad g r.Transient.worst_node)
+
+let test_config_validation () =
+  Alcotest.check_raises "dt" (Invalid_argument "Transient.simulate: dt <= 0")
+    (fun () ->
+      ignore
+        (Transient.simulate (grid ())
+           ~config:{ Transient.decap_ff = 1.0; dt = 0.0 }
+           ~injections:(injections 1.0) ()));
+  Alcotest.check_raises "decap" (Invalid_argument "Transient.simulate: decap < 0")
+    (fun () ->
+      ignore
+        (Transient.simulate (grid ())
+           ~config:{ Transient.decap_ff = -1.0; dt = 1.0 }
+           ~injections:(injections 1.0) ()))
+
+let test_solve_shifted_reduces_drop () =
+  (* Adding a positive diagonal (leakage to the ideal rail) can only
+     lower the drop. *)
+  let g = grid () in
+  let inj = Array.make (Grid.num_nodes g) 0.0 in
+  inj.(Grid.node_at g ~x:50.0 ~y:50.0) <- 1000.0;
+  let v0 = Grid.solve g ~injection:inj in
+  let v1 =
+    Grid.solve_shifted g ~diag:(Array.make (Grid.num_nodes g) 0.5) ~injection:inj
+  in
+  let m a = Array.fold_left Float.max 0.0 a in
+  Alcotest.(check bool) "shifted lower" true (m v1 < m v0)
+
+let test_solve_shifted_validation () =
+  let g = grid () in
+  let n = Grid.num_nodes g in
+  Alcotest.check_raises "diag length"
+    (Invalid_argument "Grid.solve_shifted: diag length mismatch") (fun () ->
+      ignore (Grid.solve_shifted g ~diag:[| 1.0 |] ~injection:(Array.make n 0.0)));
+  Alcotest.check_raises "negative diag"
+    (Invalid_argument "Grid.solve_shifted: negative diagonal entry") (fun () ->
+      ignore
+        (Grid.solve_shifted g
+           ~diag:(Array.make n (-1.0))
+           ~injection:(Array.make n 0.0)))
+
+let prop_transient_leq_resistive =
+  QCheck.Test.make ~name:"decap never worsens the worst drop" ~count:25
+    QCheck.(pair (float_range 100.0 5000.0) (float_range 100.0 20000.0))
+    (fun (height, decap_ff) ->
+      let g = grid () in
+      let injections = injections height in
+      let r =
+        Transient.simulate g ~config:{ Transient.decap_ff; dt = 2.0 }
+          ~injections ()
+      in
+      let resistive =
+        Transient.resistive_reference g ~injections ~times:r.Transient.times
+      in
+      r.Transient.worst_drop_mv <= resistive +. 1e-6)
+
+let () =
+  Alcotest.run "repro_transient"
+    [
+      ( "transient",
+        [
+          Alcotest.test_case "no injections" `Quick test_no_injections;
+          Alcotest.test_case "positive drop" `Quick test_positive_drop;
+          Alcotest.test_case "envelope shape" `Quick test_envelope_shape;
+          Alcotest.test_case "decap smooths" `Quick test_decap_smooths;
+          Alcotest.test_case "zero decap = resistive" `Quick
+            test_zero_decap_matches_resistive;
+          Alcotest.test_case "worst time in span" `Quick test_worst_time_in_span;
+          Alcotest.test_case "worst node not pad" `Quick test_worst_node_not_pad;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "shifted solve reduces drop" `Quick
+            test_solve_shifted_reduces_drop;
+          Alcotest.test_case "shifted solve validation" `Quick
+            test_solve_shifted_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_transient_leq_resistive ] );
+    ]

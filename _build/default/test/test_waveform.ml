@@ -1,0 +1,229 @@
+module Pwl = Repro_waveform.Pwl
+module Sampling = Repro_waveform.Sampling
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+let tri = Pwl.triangle ~start:0.0 ~peak_time:2.0 ~finish:6.0 ~height:10.0
+
+(* ------------------------------------------------------------------ *)
+(* Pwl basics                                                          *)
+
+let test_zero () =
+  check_float "eval" 0.0 (Pwl.eval Pwl.zero 5.0);
+  check_float "peak" 0.0 (Pwl.peak Pwl.zero);
+  check_float "area" 0.0 (Pwl.area Pwl.zero);
+  Alcotest.(check bool) "support" true (Pwl.support Pwl.zero = None)
+
+let test_triangle_eval () =
+  check_float "before" 0.0 (Pwl.eval tri (-1.0));
+  check_float "start" 0.0 (Pwl.eval tri 0.0);
+  check_float "mid rise" 5.0 (Pwl.eval tri 1.0);
+  check_float "peak" 10.0 (Pwl.eval tri 2.0);
+  check_float "mid fall" 5.0 (Pwl.eval tri 4.0);
+  check_float "finish" 0.0 (Pwl.eval tri 6.0);
+  check_float "after" 0.0 (Pwl.eval tri 7.0)
+
+let test_triangle_invalid () =
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "Pwl.triangle: requires start < peak_time < finish")
+    (fun () -> ignore (Pwl.triangle ~start:2.0 ~peak_time:1.0 ~finish:3.0 ~height:1.0))
+
+let test_create_duplicate () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Pwl.create: duplicate breakpoint time") (fun () ->
+      ignore (Pwl.create [ (1.0, 2.0); (1.0, 3.0) ]))
+
+let test_create_unsorted_ok () =
+  let w = Pwl.create [ (2.0, 1.0); (0.0, 0.0); (1.0, 5.0) ] in
+  check_float "sorted eval" 5.0 (Pwl.eval w 1.0)
+
+let test_shift () =
+  let s = Pwl.shift tri 10.0 in
+  check_float "shifted peak" 10.0 (Pwl.eval s 12.0);
+  check_float "original time empty" 0.0 (Pwl.eval s 2.0);
+  check_float "peak preserved" (Pwl.peak tri) (Pwl.peak s)
+
+let test_scale () =
+  let s = Pwl.scale tri 0.5 in
+  check_float "scaled" 5.0 (Pwl.peak s);
+  check_float "area scaled" (Pwl.area tri /. 2.0) (Pwl.area s)
+
+let test_add_disjoint () =
+  let a = Pwl.triangle ~start:0.0 ~peak_time:1.0 ~finish:2.0 ~height:4.0 in
+  let b = Pwl.triangle ~start:10.0 ~peak_time:11.0 ~finish:12.0 ~height:6.0 in
+  let s = Pwl.add a b in
+  check_float "first" 4.0 (Pwl.eval s 1.0);
+  check_float "second" 6.0 (Pwl.eval s 11.0);
+  check_float "gap" 0.0 (Pwl.eval s 5.0)
+
+let test_add_overlap () =
+  let s = Pwl.add tri tri in
+  check_float "doubled" 20.0 (Pwl.eval s 2.0);
+  check_close 1e-9 "area additive" (2.0 *. Pwl.area tri) (Pwl.area s)
+
+let test_add_zero_identity () =
+  let s = Pwl.add tri Pwl.zero in
+  Alcotest.(check bool) "identity" true (Pwl.equal s tri)
+
+let test_sum_many () =
+  let ws = List.init 10 (fun i -> Pwl.shift tri (float_of_int i)) in
+  let s = Pwl.sum ws in
+  let expected =
+    List.fold_left (fun acc w -> acc +. Pwl.eval w 5.0) 0.0 ws
+  in
+  check_close 1e-9 "pointwise" expected (Pwl.eval s 5.0)
+
+let test_sum_empty () =
+  Alcotest.(check bool) "empty sum" true (Pwl.equal (Pwl.sum []) Pwl.zero)
+
+let test_peak_time () =
+  check_float "argmax" 2.0 (Pwl.peak_time tri)
+
+let test_area () =
+  (* Triangle area = base * height / 2. *)
+  check_close 1e-9 "triangle" 30.0 (Pwl.area tri)
+
+let test_support () =
+  match Pwl.support tri with
+  | Some (a, b) ->
+    check_float "lo" 0.0 a;
+    check_float "hi" 6.0 b
+  | None -> Alcotest.fail "expected support"
+
+let test_sample () =
+  let out = Pwl.sample tri ~times:[| 0.0; 2.0; 4.0 |] in
+  Alcotest.(check int) "len" 3 (Array.length out);
+  check_float "mid" 10.0 out.(1)
+
+let test_breakpoints () =
+  Alcotest.(check int) "count" 3 (List.length (Pwl.breakpoints tri))
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+
+let test_uniform () =
+  let g = Sampling.uniform ~t0:0.0 ~t1:10.0 ~count:5 in
+  Alcotest.(check int) "count" 5 (Array.length g);
+  check_float "first" 0.0 g.(0);
+  check_float "last" 10.0 g.(4);
+  check_float "step" 2.5 (g.(1) -. g.(0))
+
+let test_uniform_one () =
+  let g = Sampling.uniform ~t0:2.0 ~t1:4.0 ~count:1 in
+  check_float "midpoint" 3.0 g.(0)
+
+let test_uniform_invalid () =
+  Alcotest.check_raises "count" (Invalid_argument "Sampling.uniform: count < 1")
+    (fun () -> ignore (Sampling.uniform ~t0:0.0 ~t1:1.0 ~count:0))
+
+let test_hot_spots () =
+  let g = Sampling.hot_spots tri ~count:4 in
+  Alcotest.(check bool) "nonempty" true (Array.length g > 0);
+  (* The hottest samples cluster near the peak. *)
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "hot" true (Pwl.eval tri t >= 0.3 *. Pwl.peak tri))
+    g
+
+let test_hot_spots_zero () =
+  Alcotest.(check int) "empty" 0 (Array.length (Sampling.hot_spots Pwl.zero ~count:4))
+
+let test_split_max () =
+  let g = Sampling.split_max_times tri ~halves:2 in
+  Alcotest.(check int) "count" 2 (Array.length g);
+  (* First half of [0,6] is [0,3]: max at the peak (t = 2). *)
+  check_close 0.1 "first half max" 2.0 g.(0)
+
+let test_merge () =
+  let m = Sampling.merge [ [| 1.0; 3.0 |]; [| 2.0; 3.0 |] ] in
+  Alcotest.(check (array (float 1e-12))) "merged" [| 1.0; 2.0; 3.0 |] m
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let waveform_gen =
+  QCheck.make
+    ~print:(fun (s, p, f, h) -> Printf.sprintf "tri(%g,%g,%g,%g)" s p f h)
+    QCheck.Gen.(
+      let* s = float_range 0.0 50.0 in
+      let* dp = float_range 0.1 10.0 in
+      let* df = float_range 0.1 10.0 in
+      let* h = float_range 0.1 500.0 in
+      return (s, s +. dp, s +. dp +. df, h))
+
+let mk (s, p, f, h) = Pwl.triangle ~start:s ~peak_time:p ~finish:f ~height:h
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:200
+    QCheck.(pair waveform_gen waveform_gen)
+    (fun (a, b) ->
+      let wa = mk a and wb = mk b in
+      Pwl.equal ~eps:1e-6 (Pwl.add wa wb) (Pwl.add wb wa))
+
+let prop_peak_of_sum_bounded =
+  QCheck.Test.make ~name:"peak(a+b) <= peak a + peak b" ~count:200
+    QCheck.(pair waveform_gen waveform_gen)
+    (fun (a, b) ->
+      let wa = mk a and wb = mk b in
+      Pwl.peak (Pwl.add wa wb) <= Pwl.peak wa +. Pwl.peak wb +. 1e-6)
+
+let prop_area_additive =
+  QCheck.Test.make ~name:"area additive" ~count:200
+    QCheck.(pair waveform_gen waveform_gen)
+    (fun (a, b) ->
+      let wa = mk a and wb = mk b in
+      Float.abs (Pwl.area (Pwl.add wa wb) -. (Pwl.area wa +. Pwl.area wb)) < 1e-5)
+
+let prop_shift_preserves_peak =
+  QCheck.Test.make ~name:"shift preserves peak and area" ~count:200
+    QCheck.(pair waveform_gen (float_range (-100.) 100.))
+    (fun (a, dt) ->
+      let w = mk a in
+      let s = Pwl.shift w dt in
+      Float.abs (Pwl.peak s -. Pwl.peak w) < 1e-9
+      && Float.abs (Pwl.area s -. Pwl.area w) < 1e-6)
+
+let prop_eval_nonneg =
+  QCheck.Test.make ~name:"triangle eval non-negative" ~count:200
+    QCheck.(pair waveform_gen (float_range (-10.) 100.))
+    (fun (a, t) -> Pwl.eval (mk a) t >= 0.0)
+
+let () =
+  Alcotest.run "repro_waveform"
+    [
+      ( "pwl",
+        [
+          Alcotest.test_case "zero" `Quick test_zero;
+          Alcotest.test_case "triangle eval" `Quick test_triangle_eval;
+          Alcotest.test_case "triangle invalid" `Quick test_triangle_invalid;
+          Alcotest.test_case "create duplicate" `Quick test_create_duplicate;
+          Alcotest.test_case "create unsorted" `Quick test_create_unsorted_ok;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "add disjoint" `Quick test_add_disjoint;
+          Alcotest.test_case "add overlap" `Quick test_add_overlap;
+          Alcotest.test_case "add zero" `Quick test_add_zero_identity;
+          Alcotest.test_case "sum many" `Quick test_sum_many;
+          Alcotest.test_case "sum empty" `Quick test_sum_empty;
+          Alcotest.test_case "peak time" `Quick test_peak_time;
+          Alcotest.test_case "area" `Quick test_area;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "sample" `Quick test_sample;
+          Alcotest.test_case "breakpoints" `Quick test_breakpoints;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "uniform single" `Quick test_uniform_one;
+          Alcotest.test_case "uniform invalid" `Quick test_uniform_invalid;
+          Alcotest.test_case "hot spots" `Quick test_hot_spots;
+          Alcotest.test_case "hot spots zero" `Quick test_hot_spots_zero;
+          Alcotest.test_case "split max" `Quick test_split_max;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_commutative; prop_peak_of_sum_bounded; prop_area_additive;
+            prop_shift_preserves_peak; prop_eval_nonneg ] );
+    ]

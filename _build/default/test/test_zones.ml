@@ -1,0 +1,291 @@
+module Zones = Repro_core.Zones
+module Slots = Repro_core.Slots
+module Noise_table = Repro_core.Noise_table
+module Intervals = Repro_core.Intervals
+module Tree = Repro_clocktree.Tree
+module Timing = Repro_clocktree.Timing
+module Assignment = Repro_clocktree.Assignment
+module Library = Repro_cell.Library
+module Cell = Repro_cell.Cell
+module Electrical = Repro_cell.Electrical
+module Pwl = Repro_waveform.Pwl
+module Rng = Repro_util.Rng
+
+let tree () =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed:77)
+      (Repro_cts.Placement.square_die 160.0) ~count:20 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:78) sinks ~internals:6
+
+(* ------------------------------------------------------------------ *)
+(* Zones                                                               *)
+
+let test_partition_covers_leaves () =
+  let t = tree () in
+  let z = Zones.partition t ~side:50.0 in
+  let covered =
+    Array.fold_left
+      (fun acc zone -> acc + Array.length zone.Zones.leaf_ids)
+      0 (Zones.zones z)
+  in
+  Alcotest.(check int) "all leaves" (Tree.num_leaves t) covered
+
+let test_partition_no_empty_zones () =
+  let t = tree () in
+  let z = Zones.partition t ~side:50.0 in
+  Array.iter
+    (fun zone ->
+      Alcotest.(check bool) "has leaves" true (Array.length zone.Zones.leaf_ids > 0))
+    (Zones.zones z)
+
+let test_partition_geometry () =
+  let t = tree () in
+  let side = 50.0 in
+  let z = Zones.partition t ~side in
+  Array.iter
+    (fun zone ->
+      Array.iter
+        (fun leaf ->
+          let nd = Tree.node t leaf in
+          Alcotest.(check int) "ix" zone.Zones.ix
+            (int_of_float (nd.Tree.x /. side));
+          Alcotest.(check int) "iy" zone.Zones.iy
+            (int_of_float (nd.Tree.y /. side)))
+        zone.Zones.leaf_ids)
+    (Zones.zones z)
+
+let test_zone_of_leaf () =
+  let t = tree () in
+  let z = Zones.partition t ~side:50.0 in
+  Array.iter
+    (fun nd ->
+      match Zones.zone_of_leaf z nd.Tree.id with
+      | Some zone ->
+        Alcotest.(check bool) "member" true
+          (Array.exists (fun id -> id = nd.Tree.id) zone.Zones.leaf_ids)
+      | None -> Alcotest.fail "leaf without zone")
+    (Tree.leaves t)
+
+let test_zone_of_internal_is_none () =
+  let t = tree () in
+  let z = Zones.partition t ~side:50.0 in
+  (* Internal ids are not in the leaf lookup (unless they share an id,
+     impossible). *)
+  Array.iter
+    (fun nd ->
+      Alcotest.(check bool) "not indexed as leaf" true
+        (Zones.zone_of_leaf z nd.Tree.id = None
+        || Array.exists
+             (fun l -> l.Tree.id = nd.Tree.id)
+             (Tree.leaves t)))
+    (Tree.internals t)
+
+let test_partition_side_validation () =
+  let t = tree () in
+  Alcotest.check_raises "side" (Invalid_argument "Zones.partition: side <= 0")
+    (fun () -> ignore (Zones.partition t ~side:0.0))
+
+let test_mean_leaves () =
+  let t = tree () in
+  let z = Zones.partition t ~side:50.0 in
+  let mean = Zones.mean_leaves_per_zone z in
+  Alcotest.(check bool) "positive" true (mean >= 1.0);
+  Alcotest.(check bool) "bounded" true
+    (mean <= float_of_int (Tree.num_leaves t))
+
+let test_one_big_zone () =
+  let t = tree () in
+  let z = Zones.partition t ~side:10000.0 in
+  Alcotest.(check int) "single zone" 1 (Zones.num_zones z)
+
+(* ------------------------------------------------------------------ *)
+(* Slots                                                               *)
+
+let currents_of_tree () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  Repro_core.Waveforms.total_rail_currents t asg env timing ()
+
+let test_slots_count_split () =
+  let c = currents_of_tree () in
+  let slots = Slots.of_currents c ~count:8 () in
+  Alcotest.(check int) "8 slots" 8 (Array.length slots);
+  let vdd =
+    Array.fold_left
+      (fun acc s -> if s.Slots.rail = Cell.Vdd_rail then acc + 1 else acc)
+      0 slots
+  in
+  Alcotest.(check int) "half per rail" 4 vdd
+
+let test_slots_validation () =
+  let c = currents_of_tree () in
+  Alcotest.check_raises "count" (Invalid_argument "Slots.of_currents: count < 2")
+    (fun () -> ignore (Slots.of_currents c ~count:1 ()))
+
+let test_slots_sample_matches_eval () =
+  let c = currents_of_tree () in
+  let slots = Slots.of_currents c ~count:6 () in
+  let samples = Slots.sample slots c in
+  Array.iteri
+    (fun i s ->
+      let expected =
+        match s.Slots.rail with
+        | Cell.Vdd_rail -> Pwl.eval c.Electrical.idd s.Slots.time
+        | Cell.Gnd_rail -> Pwl.eval c.Electrical.iss s.Slots.time
+      in
+      Alcotest.(check (float 1e-9)) "sample" expected samples.(i))
+    slots
+
+let test_slots_capture_peak () =
+  (* With enough slots the sampled maximum approaches the true peak. *)
+  let c = currents_of_tree () in
+  let slots = Slots.of_currents c ~count:158 () in
+  let samples = Slots.sample slots c in
+  let sampled_max = Array.fold_left Float.max 0.0 samples in
+  let true_peak = Float.max (Pwl.peak c.Electrical.idd) (Pwl.peak c.Electrical.iss) in
+  Alcotest.(check bool) "captures >= 90%" true (sampled_max >= 0.9 *. true_peak)
+
+let test_more_slots_better () =
+  let c = currents_of_tree () in
+  let sampled n =
+    let slots = Slots.of_currents c ~count:n () in
+    Array.fold_left Float.max 0.0 (Slots.sample slots c)
+  in
+  Alcotest.(check bool) "monotone trend" true (sampled 158 >= sampled 4 -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Noise table                                                         *)
+
+let table_setup () =
+  let t = tree () in
+  let asg = Assignment.default t ~num_modes:1 in
+  let env = Timing.nominal () in
+  let timing = Timing.analyze t asg env ~edge:Electrical.Rising in
+  let falling = Timing.analyze t asg env ~edge:Electrical.Falling in
+  let cells = [ Library.buf 8; Library.buf 16; Library.inv 8; Library.inv 16 ] in
+  let sinks = Intervals.collect t asg env timing ~cells in
+  let zones = Zones.partition t ~side:50.0 in
+  let zone = (Zones.zones zones).(0) in
+  (t, asg, env, (timing, falling), sinks, zone)
+
+let test_table_shape () =
+  let t, asg, env, (timing, falling), sinks, zone = table_setup () in
+  let table =
+    Noise_table.build t asg env ~rising:timing ~falling ~sinks ~zone
+      ~num_slots:16 ()
+  in
+  let nz = Array.length zone.Zones.leaf_ids in
+  Alcotest.(check int) "zone sinks" nz (Array.length table.Noise_table.sinks);
+  Alcotest.(check int) "slots" 16 (Array.length table.Noise_table.slots);
+  Array.iter
+    (fun per_sink ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check int) "vector dims" 16 (Array.length v);
+          Array.iter
+            (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.0))
+            v)
+        per_sink)
+    table.Noise_table.noise
+
+let test_table_objective_additive () =
+  let t, asg, env, (timing, falling), sinks, zone = table_setup () in
+  let table =
+    Noise_table.build t asg env ~rising:timing ~falling ~sinks ~zone
+      ~num_slots:16 ()
+  in
+  let n = Array.length table.Noise_table.sinks in
+  let choices = Array.make n 0 in
+  let obj = Noise_table.zone_objective table ~choices in
+  (* Manual recomputation. *)
+  let acc = Array.copy table.Noise_table.nonleaf in
+  Array.iteri
+    (fun zi ci ->
+      Array.iteri (fun si x -> acc.(si) <- acc.(si) +. x) table.Noise_table.noise.(zi).(ci))
+    choices;
+  let manual = Array.fold_left Float.max 0.0 acc in
+  Alcotest.(check (float 1e-9)) "objective" manual obj
+
+let test_table_objective_arity () =
+  let t, asg, env, (timing, falling), sinks, zone = table_setup () in
+  let table =
+    Noise_table.build t asg env ~rising:timing ~falling ~sinks ~zone
+      ~num_slots:8 ()
+  in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Noise_table.zone_objective: arity mismatch") (fun () ->
+      ignore (Noise_table.zone_objective table ~choices:[| 0 |]))
+
+let test_table_polarity_visible () =
+  (* Over one edge a buffer loads VDD and the inverter GND; over the
+     whole period both rails carry one main pulse each, so compare at
+     the rising-edge window only (first half of the period). *)
+  let t, asg, env, (timing, falling), sinks, zone = table_setup () in
+  let table =
+    Noise_table.build t asg env ~rising:timing ~falling ~sinks ~zone
+      ~num_slots:16 ()
+  in
+  let slots = table.Noise_table.slots in
+  let sum_rail v rail =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i s ->
+        if s.Slots.rail = rail && s.Slots.time < 1000.0 then
+          acc := !acc +. v.(i))
+      slots;
+    !acc
+  in
+  (* Candidate order matches the cells list: 0 = BUF_X8, 2 = INV_X8. *)
+  let v_buf = table.Noise_table.noise.(0).(0) in
+  let v_inv = table.Noise_table.noise.(0).(2) in
+  Alcotest.(check bool) "buffer loads VDD" true
+    (sum_rail v_buf Cell.Vdd_rail >= sum_rail v_buf Cell.Gnd_rail);
+  Alcotest.(check bool) "inverter loads GND" true
+    (sum_rail v_inv Cell.Gnd_rail >= sum_rail v_inv Cell.Vdd_rail)
+
+let test_table_cand_peak_positive () =
+  let t, asg, env, (timing, falling), sinks, zone = table_setup () in
+  let table =
+    Noise_table.build t asg env ~rising:timing ~falling ~sinks ~zone
+      ~num_slots:8 ()
+  in
+  Array.iter
+    (Array.iter (fun p -> Alcotest.(check bool) "positive" true (p > 0.0)))
+    table.Noise_table.cand_peak
+
+let () =
+  Alcotest.run "repro_core_zones"
+    [
+      ( "zones",
+        [
+          Alcotest.test_case "covers leaves" `Quick test_partition_covers_leaves;
+          Alcotest.test_case "no empty zones" `Quick test_partition_no_empty_zones;
+          Alcotest.test_case "geometry" `Quick test_partition_geometry;
+          Alcotest.test_case "zone of leaf" `Quick test_zone_of_leaf;
+          Alcotest.test_case "internal not leaf-indexed" `Quick
+            test_zone_of_internal_is_none;
+          Alcotest.test_case "side validation" `Quick test_partition_side_validation;
+          Alcotest.test_case "mean leaves" `Quick test_mean_leaves;
+          Alcotest.test_case "one big zone" `Quick test_one_big_zone;
+        ] );
+      ( "slots",
+        [
+          Alcotest.test_case "count split" `Quick test_slots_count_split;
+          Alcotest.test_case "validation" `Quick test_slots_validation;
+          Alcotest.test_case "sample matches eval" `Quick
+            test_slots_sample_matches_eval;
+          Alcotest.test_case "capture peak" `Quick test_slots_capture_peak;
+          Alcotest.test_case "more slots better" `Quick test_more_slots_better;
+        ] );
+      ( "noise_table",
+        [
+          Alcotest.test_case "shape" `Quick test_table_shape;
+          Alcotest.test_case "objective additive" `Quick test_table_objective_additive;
+          Alcotest.test_case "objective arity" `Quick test_table_objective_arity;
+          Alcotest.test_case "polarity visible" `Quick test_table_polarity_visible;
+          Alcotest.test_case "candidate peaks" `Quick test_table_cand_peak_positive;
+        ] );
+    ]
