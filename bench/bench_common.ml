@@ -1,15 +1,59 @@
 (* Shared helpers for the experiment harness. *)
 
+module Obs_clock = Repro_obs.Clock
+module Obs_trace = Repro_obs.Trace
+module Obs_metrics = Repro_obs.Metrics
+
 let section title =
   let bar = String.make 78 '=' in
   Printf.printf "\n%s\n%s\n%s\n%!" bar title bar
 
 let note fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* Wall-clock timing on the monotonic clock; [Sys.time] would report CPU
+   seconds and hide any blocked/descheduled time. *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Obs_clock.now_s () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Obs_clock.now_s () -. t0)
+
+(* Wall and CPU seconds together, for stages where the distinction
+   matters (e.g. Table VI runtime columns). *)
+let time2 f =
+  let t0 = Obs_clock.now_s () in
+  let c0 = Obs_clock.cpu_s () in
+  let r = f () in
+  (r, Obs_clock.now_s () -. t0, Obs_clock.cpu_s () -. c0)
+
+(* Run [f] as a named pipeline stage: recorded as a trace span (when
+   tracing is on) and reported with its wall time. *)
+let stage name f =
+  Obs_trace.with_span ~name (fun () ->
+      let r, dt = time f in
+      note "  [stage] %-40s %8.2f s" name dt;
+      r)
+
+(* Opt-in observability for every exp_* driver: WAVEMIN_TRACE=<path>
+   enables span tracing and writes a Chrome trace-event file on exit;
+   WAVEMIN_METRICS=1 dumps the metrics registry on exit. *)
+let init_observability () =
+  (match Sys.getenv_opt "WAVEMIN_TRACE" with
+  | None -> ()
+  | Some path ->
+    Obs_trace.set_enabled true;
+    at_exit (fun () ->
+        try
+          Obs_trace.write_chrome_json path;
+          note "wrote Chrome trace to %s (open in chrome://tracing or Perfetto)"
+            path
+        with Sys_error msg ->
+          Printf.eprintf "cannot write trace file: %s\n%!" msg));
+  match Sys.getenv_opt "WAVEMIN_METRICS" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ ->
+    at_exit (fun () ->
+        section "Metrics";
+        print_string (Obs_metrics.dump ()))
 
 (* The benchmarks of Table V in paper order. *)
 let table5_suite = Repro_cts.Benchmarks.all

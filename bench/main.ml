@@ -25,6 +25,7 @@ let experiments =
     ("bechamel", Exp_bechamel.run) ]
 
 let () =
+  Bench_common.init_observability ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
@@ -42,6 +43,10 @@ let () =
   List.iter
     (fun name ->
       let run = List.assoc name experiments in
-      let (), dt = Bench_common.time run in
-      Bench_common.note "[%s completed in %.1f s]" name dt)
+      let (), wall, cpu =
+        Bench_common.time2 (fun () ->
+            Repro_obs.Trace.with_span ~name:("exp." ^ name) run)
+      in
+      Bench_common.note "[%s completed in %.1f s wall, %.1f s cpu]" name wall
+        cpu)
     requested

@@ -3,6 +3,7 @@
    Subcommands:
      list           benchmark suite with clock-tree statistics
      run            optimize one benchmark with one algorithm
+     profile        run one benchmark and print the span tree + metrics
      compare        ClkPeakMin vs ClkWaveMin vs ClkWaveMin-f on a benchmark
      multimode      ClkWaveMin-M with voltage islands and power modes
      montecarlo     process-variation analysis of an optimized design
@@ -19,6 +20,54 @@ module Context = Repro_core.Context
 module Golden = Repro_core.Golden
 module Benchmarks = Repro_cts.Benchmarks
 module Table = Repro_util.Table
+module Obs_trace = Repro_obs.Trace
+module Obs_metrics = Repro_obs.Metrics
+module Obs_log = Repro_obs.Log
+
+(* ---- observability flags (run/profile/compare) ------------------- *)
+
+let log_level_arg =
+  let levels =
+    [ ("quiet", None); ("app", Some Logs.App); ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning); ("warn", Some Logs.Warning);
+      ("info", Some Logs.Info); ("debug", Some Logs.Debug) ]
+  in
+  let doc =
+    "Log verbosity: quiet, app, error, warning, info or debug."
+  in
+  Arg.(value & opt (enum levels) (Some Logs.Warning)
+       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a span trace of the pipeline and write it to $(docv) as \
+     Chrome trace-event JSON (open in chrome://tracing or \
+     https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics registry snapshot after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Install the reporter/level and enable tracing before the workload
+   runs; returns a finalizer that writes/prints whatever was asked. *)
+let setup_obs ?(force_trace = false) level trace_file metrics =
+  Obs_log.setup ~level ();
+  if force_trace || trace_file <> None then Obs_trace.set_enabled true;
+  fun () ->
+    (match trace_file with
+    | None -> ()
+    | Some path -> (
+      try
+        Obs_trace.write_chrome_json path;
+        Format.printf "wrote Chrome trace to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "wavemin: cannot write trace file: %s@." msg));
+    if metrics then begin
+      Format.printf "@.metrics:@.";
+      print_string (Obs_metrics.dump ())
+    end
 
 let bench_arg =
   let doc = "Benchmark circuit name (see `wavemin list')." in
@@ -77,13 +126,18 @@ let print_run (r : Flow.run) =
   Format.printf "  GND noise     %8.2f mV@." r.Flow.metrics.Golden.gnd_noise_mv;
   Format.printf "  clock skew    %8.2f ps@." r.Flow.metrics.Golden.skew_ps;
   Format.printf "  leaf inverters %7d@." r.Flow.num_leaf_inverters;
-  Format.printf "  optimizer time %7.2f s@." r.Flow.elapsed_s
+  Format.printf "  optimizer time %7.2f s wall, %.2f s cpu@." r.Flow.elapsed_s
+    r.Flow.cpu_s;
+  if r.Flow.approximate then
+    Format.printf "  (label cap tripped: result approximate beyond epsilon)@."
 
 let run_cmd =
-  let run name algo kappa slots =
+  let run name algo kappa slots level trace metrics =
+    let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
     | spec ->
       print_run (Flow.run_benchmark ~params:(params_of kappa slots) spec algo);
+      finish ();
       0
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
@@ -91,10 +145,35 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize one benchmark")
-    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg)
+    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
+          $ log_level_arg $ trace_arg $ metrics_arg)
+
+let profile_cmd =
+  let run name algo kappa slots level trace =
+    let finish = setup_obs ~force_trace:true level trace true in
+    match Benchmarks.find name with
+    | spec ->
+      let r = Flow.run_benchmark ~params:(params_of kappa slots) spec algo in
+      print_run r;
+      Format.printf "@.span tree:@.";
+      print_string (Obs_trace.to_text_tree ());
+      finish ();
+      0
+    | exception Not_found ->
+      Format.eprintf "unknown benchmark %s@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Optimize one benchmark with tracing on and print the span tree \
+          and metrics table")
+    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
+          $ log_level_arg $ trace_arg)
 
 let compare_cmd =
-  let run name kappa slots =
+  let run name kappa slots level trace metrics =
+    let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
     | spec ->
       let params = params_of kappa slots in
@@ -117,6 +196,7 @@ let compare_cmd =
               Table.cell_f ~decimals:3 r.Flow.elapsed_s ])
         [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ];
       print_string (Table.render t);
+      finish ();
       0
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
@@ -124,7 +204,8 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the algorithms on one benchmark")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg)
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ log_level_arg
+          $ trace_arg $ metrics_arg)
 
 let montecarlo_cmd =
   let instances_arg =
@@ -329,5 +410,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; compare_cmd; multimode_cmd; montecarlo_cmd;
-            characterize_cmd; export_cmd; stats_cmd; report_cmd; library_cmd ]))
+          [ list_cmd; run_cmd; profile_cmd; compare_cmd; multimode_cmd;
+            montecarlo_cmd; characterize_cmd; export_cmd; stats_cmd;
+            report_cmd; library_cmd ]))

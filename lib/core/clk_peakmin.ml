@@ -99,10 +99,11 @@ let zone_solver (ctx : Context.t) (table : Noise_table.t) ~avail =
     choices.(zi) <- ci;
     b := prev
   done;
-  choices
+  (choices, false)
 
 (* Class selection with the baseline's own (timing-blind) objective. *)
 let optimize (ctx : Context.t) =
+  Repro_obs.Trace.with_span ~name:"peakmin.optimize" @@ fun () ->
   let best = ref None in
   List.iter
     (fun (cls : Context.interval_class) ->
@@ -114,7 +115,7 @@ let optimize (ctx : Context.t) =
                 (fun row -> cls.Context.avail.(row))
                 table.Noise_table.sink_rows
             in
-            let choices = zone_solver ctx table ~avail in
+            let choices, _capped = zone_solver ctx table ~avail in
             (table, choices))
           ctx.Context.tables
       in
@@ -153,4 +154,5 @@ let optimize (ctx : Context.t) =
       interval = cls.Context.interval;
       predicted_peak_ua = Array.fold_left Float.max 0.0 zone_peaks;
       zone_peaks;
+      approximate = false;
     }

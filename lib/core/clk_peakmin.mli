@@ -17,8 +17,10 @@ val buckets : int
 (** Resolution of the DP discretization (512). *)
 
 val zone_solver :
-  Context.t -> Noise_table.t -> avail:bool array array -> int array
-(** Balance one zone: candidate index per zone sink.
+  Context.t -> Noise_table.t -> avail:bool array array -> int array * bool
+(** Balance one zone: candidate index per zone sink.  The second
+    component is always [false] (the DP is exhaustive over its
+    discretization); it exists so all zone solvers share one signature.
     @raise Invalid_argument if some sink has no available candidate. *)
 
 val zone_balance_objective : Noise_table.t -> choices:int array -> float

@@ -31,8 +31,9 @@ let zone_solver (ctx : Context.t) table ~avail =
     Warburton.solve_min_max ~epsilon:ctx.Context.params.Context.epsilon
       ~max_labels:ctx.Context.params.Context.max_labels graph
   in
-  Array.mapi
-    (fun row opt -> mapping.(row).(opt))
-    solution.Warburton.choices
+  ( Array.mapi (fun row opt -> mapping.(row).(opt)) solution.Warburton.choices,
+    solution.Warburton.capped )
 
-let optimize ctx = Context.solve_with ctx ~zone_solver
+let optimize ctx =
+  Repro_obs.Trace.with_span ~name:"wavemin.optimize" (fun () ->
+      Context.solve_with ctx ~zone_solver)

@@ -14,8 +14,10 @@ val to_mosp :
     @raise Invalid_argument if some sink has no available candidate. *)
 
 val zone_solver :
-  Context.t -> Noise_table.t -> avail:bool array array -> int array
-(** Solve one zone: candidate index per zone sink. *)
+  Context.t -> Noise_table.t -> avail:bool array array -> int array * bool
+(** Solve one zone: candidate index per zone sink, and whether the MOSP
+    label cap truncated the search (the solution is then approximate
+    beyond the epsilon guarantee). *)
 
 val optimize : Context.t -> Context.outcome
 (** Full ClkWaveMin over all zones and interval classes.

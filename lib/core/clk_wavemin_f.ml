@@ -44,6 +44,8 @@ let zone_solver (ctx : Context.t) (table : Noise_table.t) ~avail =
         sum.(si) <- sum.(si) +. v.(si)
       done
   done;
-  choices
+  (choices, false)
 
-let optimize ctx = Context.solve_with ctx ~zone_solver
+let optimize ctx =
+  Repro_obs.Trace.with_span ~name:"wavemin_f.optimize" (fun () ->
+      Context.solve_with ctx ~zone_solver)

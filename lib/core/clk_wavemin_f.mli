@@ -7,8 +7,10 @@
     Runs in O(|S| * |L|^2) per zone. *)
 
 val zone_solver :
-  Context.t -> Noise_table.t -> avail:bool array array -> int array
-(** Greedy zone solve: candidate index per zone sink.
+  Context.t -> Noise_table.t -> avail:bool array array -> int array * bool
+(** Greedy zone solve: candidate index per zone sink.  The second
+    component is always [false] (the greedy never truncates a label
+    set); it exists so all zone solvers share one signature.
     @raise Invalid_argument if some sink has no available candidate. *)
 
 val optimize : Context.t -> Context.outcome

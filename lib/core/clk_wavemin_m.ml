@@ -12,6 +12,7 @@ type outcome = {
   used_adb_embedding : bool;
   skews : float array;
   feasible : bool;
+  approximate : bool;
 }
 
 let default_buffers = Library.experiment_buffers
@@ -32,7 +33,7 @@ let count_cells asg tree pred =
 let is_adb (c : Cell.t) = c.Cell.kind = Cell.Adjustable_buffer
 let is_adi (c : Cell.t) = c.Cell.kind = Cell.Adjustable_inverter
 
-let finish tree params envs asg predicted ~used_adb_embedding =
+let finish tree params envs asg predicted ~used_adb_embedding ~approximate =
   {
     assignment = asg;
     predicted_peak_ua = predicted;
@@ -44,6 +45,7 @@ let finish tree params envs asg predicted ~used_adb_embedding =
       Array.for_all
         (fun s -> s <= params.Context.kappa)
         (Adb_embedding.skews tree asg envs);
+    approximate;
   }
 
 (* Solve with verification: the optimizer's intervals use base-timing
@@ -68,13 +70,16 @@ let solve_verified params tree envs ?cells_of ~base ~cells () =
 let optimize ?(params = Context.default_params) ?(buffers = default_buffers)
     ?(inverters = default_inverters) tree ~envs =
   if Array.length envs = 0 then invalid_arg "Clk_wavemin_m.optimize: no modes";
+  Repro_obs.Trace.with_span ~name:"wavemin_m.optimize"
+    ~attrs:[ ("modes", string_of_int (Array.length envs)) ]
+  @@ fun () ->
   let plain = buffers @ inverters in
   let base = Assignment.default tree ~num_modes:(Array.length envs) in
   (* Attempt 1: polarity assignment and sizing alone. *)
   match solve_verified params tree envs ~base ~cells:plain () with
   | Some sol ->
     finish tree params envs sol.Multimode.assignment sol.Multimode.predicted_peak_ua
-      ~used_adb_embedding:false
+      ~used_adb_embedding:false ~approximate:sol.Multimode.approximate
   | None ->
     (* Attempt 2: ADB embedding, then re-optimize; ADB leaves choose
        between the same-drive ADB and ADI, plain leaves keep B u I.
@@ -97,7 +102,9 @@ let optimize ?(params = Context.default_params) ?(buffers = default_buffers)
     | Some sol ->
       finish tree params envs sol.Multimode.assignment
         sol.Multimode.predicted_peak_ua ~used_adb_embedding:true
+        ~approximate:sol.Multimode.approximate
     | None ->
       (* Trivial fallback (guaranteed by construction after embedding):
          keep the embedded design unchanged. *)
-      finish tree params envs base 0.0 ~used_adb_embedding:true)
+      finish tree params envs base 0.0 ~used_adb_embedding:true
+        ~approximate:false)

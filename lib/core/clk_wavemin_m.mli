@@ -23,6 +23,9 @@ type outcome = {
   used_adb_embedding : bool;
   skews : float array;  (** Final per-mode skews. *)
   feasible : bool;  (** All mode skews within kappa. *)
+  approximate : bool;
+      (** The winning solve tripped the MOSP label cap; the epsilon
+          approximation guarantee does not cover this outcome. *)
 }
 
 val adb_embedded_only :

@@ -3,6 +3,15 @@ module Assignment = Repro_clocktree.Assignment
 module Timing = Repro_clocktree.Timing
 module Cell = Repro_cell.Cell
 module Electrical = Repro_cell.Electrical
+module Obs_metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
+
+module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.context"))
+
+let sinks_g = Obs_metrics.gauge "context.sinks"
+let zones_g = Obs_metrics.gauge "context.zones"
+let classes_g = Obs_metrics.gauge "context.interval_classes"
+let feasible_intervals_g = Obs_metrics.gauge "context.feasible_intervals"
 
 type params = {
   kappa : float;
@@ -54,13 +63,22 @@ let degree_of_freedom avail =
 
 let create ?(params = default_params) ?env ?base tree ~cells =
   if cells = [] then invalid_arg "Context.create: empty cell library";
+  Trace.with_span ~name:"context.create"
+    ~attrs:[ ("leaves", string_of_int (Array.length (Tree.leaves tree))) ]
+  @@ fun () ->
   let env = match env with Some e -> e | None -> Timing.nominal () in
   let base =
     match base with Some a -> a | None -> Assignment.default tree ~num_modes:1
   in
-  let timing = Timing.analyze tree base env ~edge:Electrical.Rising in
-  let falling = Timing.analyze tree base env ~edge:Electrical.Falling in
-  let sinks = Intervals.collect tree base env timing ~cells in
+  let timing, falling =
+    Trace.with_span ~name:"context.timing" (fun () ->
+        ( Timing.analyze tree base env ~edge:Electrical.Rising,
+          Timing.analyze tree base env ~edge:Electrical.Falling ))
+  in
+  let sinks =
+    Trace.with_span ~name:"context.sinks" (fun () ->
+        Intervals.collect tree base env timing ~cells)
+  in
   let zones = Zones.partition tree ~side:params.zone_side in
   let num_leaves = Array.length (Tree.leaves tree) in
   let internal_ids = Array.map (fun nd -> nd.Tree.id) (Tree.internals tree) in
@@ -72,6 +90,9 @@ let create ?(params = default_params) ?env ?base tree ~cells =
         ~period:Noise_table.default_period ()
   in
   let tables =
+    Trace.with_span ~name:"context.noise_tables"
+      ~attrs:[ ("zones", string_of_int (Zones.num_zones zones)) ]
+    @@ fun () ->
     Array.map
       (fun zone ->
         (* Each zone accounts for a leaf-proportional share of the
@@ -86,32 +107,43 @@ let create ?(params = default_params) ?env ?base tree ~cells =
           ~background:(global_internal, share) ())
       (Zones.zones zones)
   in
-  let effective_kappa =
-    Float.max 1.0 (params.kappa -. params.sibling_guard)
-  in
-  let feasible =
-    Intervals.feasible_intervals ~coalesce:params.coalesce sinks
-      ~kappa:effective_kappa
-  in
-  let seen = Hashtbl.create 32 in
   let classes =
-    List.filter_map
-      (fun interval ->
-        let avail = Intervals.availability sinks interval in
-        let key = Intervals.signature avail in
-        if Hashtbl.mem seen key then None
-        else begin
-          Hashtbl.add seen key ();
-          Some { interval; avail; degree_of_freedom = degree_of_freedom avail }
-        end)
-      feasible
-  in
-  let classes =
-    List.sort (fun a b -> compare b.degree_of_freedom a.degree_of_freedom) classes
-  in
-  let classes =
+    Trace.with_span ~name:"context.interval_classes" @@ fun () ->
+    let effective_kappa =
+      Float.max 1.0 (params.kappa -. params.sibling_guard)
+    in
+    let feasible =
+      Intervals.feasible_intervals ~coalesce:params.coalesce sinks
+        ~kappa:effective_kappa
+    in
+    Obs_metrics.set feasible_intervals_g (float_of_int (List.length feasible));
+    let seen = Hashtbl.create 32 in
+    let classes =
+      List.filter_map
+        (fun interval ->
+          let avail = Intervals.availability sinks interval in
+          let key = Intervals.signature avail in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some
+              { interval; avail; degree_of_freedom = degree_of_freedom avail }
+          end)
+        feasible
+    in
+    let classes =
+      List.sort
+        (fun a b -> Int.compare b.degree_of_freedom a.degree_of_freedom)
+        classes
+    in
     List.filteri (fun i _ -> i < params.max_interval_classes) classes
   in
+  Obs_metrics.set sinks_g (float_of_int (Array.length sinks));
+  Obs_metrics.set zones_g (float_of_int (Zones.num_zones zones));
+  Obs_metrics.set classes_g (float_of_int (List.length classes));
+  Log.debug (fun m ->
+      m "context: %d sinks, %d zones, %d interval classes"
+        (Array.length sinks) (Zones.num_zones zones) (List.length classes));
   {
     tree;
     base;
@@ -132,6 +164,7 @@ type outcome = {
   interval : Intervals.interval;
   predicted_peak_ua : float;
   zone_peaks : float array;
+  approximate : bool;
 }
 
 let zone_avail t avail (table : Noise_table.t) =
@@ -157,20 +190,31 @@ let apply_choices t per_zone_choices =
   !asg
 
 let solve_with t ~zone_solver =
+  Trace.with_span ~name:"context.solve"
+    ~attrs:[ ("classes", string_of_int (List.length t.classes)) ]
+  @@ fun () ->
   let best = ref None in
-  List.iter
-    (fun cls ->
+  List.iteri
+    (fun cls_idx cls ->
+      Trace.with_span ~name:"context.class"
+        ~attrs:
+          [ ("index", string_of_int cls_idx);
+            ("dof", string_of_int cls.degree_of_freedom) ]
+      @@ fun () ->
       let per_zone =
-        Array.map
-          (fun table ->
+        Array.mapi
+          (fun zi table ->
+            Trace.with_span ~name:"context.zone_solve"
+              ~attrs:[ ("zone", string_of_int zi) ]
+            @@ fun () ->
             let avail = zone_avail t cls.avail table in
-            let choices = zone_solver t table ~avail in
+            let choices, capped = zone_solver t table ~avail in
             let peak = Noise_table.zone_objective table ~choices in
-            (choices, peak))
+            (choices, capped, peak))
           t.tables
       in
       let peak =
-        Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 per_zone
+        Array.fold_left (fun acc (_, _, p) -> Float.max acc p) 0.0 per_zone
       in
       match !best with
       | Some (_, best_peak, _) when best_peak <= peak -> ()
@@ -179,10 +223,21 @@ let solve_with t ~zone_solver =
   match !best with
   | None -> failwith "Context.solve_with: no feasible interval (skew bound too tight)"
   | Some (cls, peak, per_zone) ->
-    let assignment = apply_choices t (Array.map fst per_zone) in
+    let assignment =
+      apply_choices t (Array.map (fun (c, _, _) -> c) per_zone)
+    in
+    let approximate =
+      Array.exists (fun (_, capped, _) -> capped) per_zone
+    in
+    if approximate then
+      Log.info (fun m ->
+          m
+            "winning interval class solved with a truncated label set; \
+             the result is approximate beyond the epsilon guarantee");
     {
       assignment;
       interval = cls.interval;
       predicted_peak_ua = peak;
-      zone_peaks = Array.map snd per_zone;
+      zone_peaks = Array.map (fun (_, _, p) -> p) per_zone;
+      approximate;
     }

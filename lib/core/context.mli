@@ -71,15 +71,22 @@ type outcome = {
   interval : Intervals.interval;
   predicted_peak_ua : float;  (** max over zones of the zone estimate. *)
   zone_peaks : float array;
+  approximate : bool;
+      (** Some zone of the winning class was solved with a truncated
+          label set (the MOSP [max_labels] cap tripped), so the epsilon
+          approximation guarantee does not cover this outcome. *)
 }
 
 val solve_with :
   t ->
-  zone_solver:(t -> Noise_table.t -> avail:bool array array -> int array) ->
+  zone_solver:
+    (t -> Noise_table.t -> avail:bool array array -> int array * bool) ->
   outcome
 (** Run [zone_solver] on every zone for every interval class and return
     the best class's assignment.  The solver receives the zone's table
     and the zone-local availability matrix (rows aligned with
     [table.sinks]) and must return one {e available} candidate index per
-    zone sink.
+    zone sink, plus a flag marking the zone solution as approximate
+    (label-capped); the flags of the winning class are OR-ed into
+    [outcome.approximate].
     @raise Failure when no feasible interval exists (check {!feasible}). *)

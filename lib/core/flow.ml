@@ -20,17 +20,27 @@ type run = {
   predicted_peak_ua : float;
   num_leaf_inverters : int;
   elapsed_s : float;
+  cpu_s : float;
+  approximate : bool;
 }
 
 let leaf_library () =
   [ Library.buf 8; Library.buf 16; Library.inv 8; Library.inv 16 ]
 
+module Clock = Repro_obs.Clock
+module Trace = Repro_obs.Trace
+
 let run_tree ?(params = Context.default_params) ~name tree algorithm =
+  Trace.with_span ~name:"flow.run_tree"
+    ~attrs:
+      [ ("benchmark", name); ("algorithm", algorithm_name algorithm) ]
+  @@ fun () ->
   let env = Timing.nominal () in
-  let t0 = Sys.time () in
-  let assignment, predicted =
+  let t0 = Clock.now_s () in
+  let c0 = Clock.cpu_s () in
+  let assignment, predicted, approximate =
     match algorithm with
-    | Initial -> (Assignment.default tree ~num_modes:1, 0.0)
+    | Initial -> (Assignment.default tree ~num_modes:1, 0.0, false)
     | Peakmin | Wavemin | Wavemin_fast ->
       let ctx = Context.create ~params ~env tree ~cells:(leaf_library ()) in
       let outcome =
@@ -40,10 +50,16 @@ let run_tree ?(params = Context.default_params) ~name tree algorithm =
         | Wavemin_fast -> Clk_wavemin_f.optimize ctx
         | Initial -> assert false
       in
-      (outcome.Context.assignment, outcome.Context.predicted_peak_ua)
+      ( outcome.Context.assignment,
+        outcome.Context.predicted_peak_ua,
+        outcome.Context.approximate )
   in
-  let elapsed_s = Sys.time () -. t0 in
-  let metrics = Golden.evaluate tree assignment env in
+  let elapsed_s = Clock.now_s () -. t0 in
+  let cpu_s = Clock.cpu_s () -. c0 in
+  let metrics =
+    Trace.with_span ~name:"flow.golden_evaluate" (fun () ->
+        Golden.evaluate tree assignment env)
+  in
   let num_leaf_inverters =
     Assignment.count_leaves assignment tree ~pred:(fun c ->
         Cell.polarity c = Cell.Negative)
@@ -56,9 +72,14 @@ let run_tree ?(params = Context.default_params) ~name tree algorithm =
     predicted_peak_ua = predicted;
     num_leaf_inverters;
     elapsed_s;
+    cpu_s;
+    approximate;
   }
 
 let run_benchmark ?params spec algorithm =
+  Trace.with_span ~name:"flow.run_benchmark"
+    ~attrs:[ ("benchmark", spec.Repro_cts.Benchmarks.name) ]
+  @@ fun () ->
   let tree = Repro_cts.Benchmarks.synthesize spec in
   run_tree ?params ~name:spec.Repro_cts.Benchmarks.name tree algorithm
 

@@ -15,7 +15,14 @@ type run = {
   metrics : Golden.metrics;
   predicted_peak_ua : float;  (** The optimizer's own estimate. *)
   num_leaf_inverters : int;
-  elapsed_s : float;  (** CPU seconds spent inside the optimizer. *)
+  elapsed_s : float;
+      (** Wall-clock seconds spent inside the optimizer (monotonic
+          clock, {!Repro_obs.Clock.now_s}). *)
+  cpu_s : float;  (** CPU seconds over the same region ([Sys.time]). *)
+  approximate : bool;
+      (** The optimizer truncated its label sets (see
+          {!Context.outcome.approximate}); always [false] for [Initial],
+          [Peakmin] and [Wavemin_fast]. *)
 }
 
 val leaf_library : unit -> Repro_cell.Cell.t list

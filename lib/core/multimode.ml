@@ -5,6 +5,7 @@ module Cell = Repro_cell.Cell
 module Electrical = Repro_cell.Electrical
 module Layered = Repro_mosp.Layered
 module Warburton = Repro_mosp.Warburton
+module Trace = Repro_obs.Trace
 
 type mode = {
   env : Timing.env;
@@ -172,7 +173,7 @@ let create ?(params = Context.default_params) ?cells_of tree ~base ~envs ~cells 
             ivs
         in
         let described =
-          List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) described
+          List.sort (fun (_, _, _, a) (_, _, _, b) -> Int.compare b a) described
         in
         List.filteri (fun i _ -> i < per_mode_interval_cap) described)
       modes
@@ -266,7 +267,7 @@ let create ?(params = Context.default_params) ?cells_of tree ~base ~envs ~cells 
   in
   let intersections =
     List.sort
-      (fun a b -> compare b.degree_of_freedom a.degree_of_freedom)
+      (fun a b -> Int.compare b.degree_of_freedom a.degree_of_freedom)
       intersections
   in
   let intersections =
@@ -283,6 +284,7 @@ type outcome = {
   intersection : intersection;
   predicted_peak_ua : float;
   zone_peaks : float array;
+  approximate : bool;
 }
 
 (* Solve one zone under one intersection: returns (universe cell index per
@@ -331,7 +333,7 @@ let solve_zone t inter zi =
       (fun zrow opt -> admitted_cells.(zrow).(opt))
       solution.Warburton.choices
   in
-  (cells_chosen, solution.Warburton.objective)
+  (cells_chosen, solution.Warburton.objective, solution.Warburton.capped)
 
 let apply t inter per_zone_cells =
   let asg = ref t.base in
@@ -358,12 +360,20 @@ let apply t inter per_zone_cells =
   !asg
 
 let solve_intersection t inter =
+  Trace.with_span ~name:"multimode.intersection"
+    ~attrs:[ ("dof", string_of_int inter.degree_of_freedom) ]
+  @@ fun () ->
   let num_zones = Zones.num_zones t.zones in
   let per_zone = Array.init num_zones (fun zi -> solve_zone t inter zi) in
-  let peak = Array.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 per_zone in
+  let peak =
+    Array.fold_left (fun acc (_, p, _) -> Float.max acc p) 0.0 per_zone
+  in
   (per_zone, peak)
 
 let solve t =
+  Trace.with_span ~name:"multimode.solve"
+    ~attrs:[ ("intersections", string_of_int (List.length t.intersections)) ]
+  @@ fun () ->
   let best = ref None in
   List.iter
     (fun inter ->
@@ -376,10 +386,11 @@ let solve t =
   | None -> failwith "Multimode.solve: no feasible intersection"
   | Some (inter, per_zone, peak) ->
     {
-      assignment = apply t inter (Array.map fst per_zone);
+      assignment = apply t inter (Array.map (fun (c, _, _) -> c) per_zone);
       intersection = inter;
       predicted_peak_ua = peak;
-      zone_peaks = Array.map snd per_zone;
+      zone_peaks = Array.map (fun (_, p, _) -> p) per_zone;
+      approximate = Array.exists (fun (_, _, capped) -> capped) per_zone;
     }
 
 let degree_of_freedom_table t =

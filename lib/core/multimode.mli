@@ -70,6 +70,9 @@ type outcome = {
   intersection : intersection;
   predicted_peak_ua : float;
   zone_peaks : float array;
+  approximate : bool;
+      (** Some zone's MOSP solve tripped the [max_labels] cap; the
+          epsilon approximation guarantee does not cover this outcome. *)
 }
 
 val solve : t -> outcome

@@ -4,12 +4,18 @@ module Timing = Repro_clocktree.Timing
 module Cell = Repro_cell.Cell
 module Electrical = Repro_cell.Electrical
 module Pwl = Repro_waveform.Pwl
+module Obs_metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
+
+let node_pulses_c = Obs_metrics.counter "waveforms.node_pulses"
+let candidate_pulses_c = Obs_metrics.counter "waveforms.candidate_pulses"
 
 let shift_currents (c : Electrical.currents) dt =
   { Electrical.idd = Pwl.shift c.Electrical.idd dt;
     iss = Pwl.shift c.Electrical.iss dt }
 
 let node_currents tree asg env timing id =
+  Obs_metrics.incr node_pulses_c;
   let nd = Tree.node tree id in
   let cell = Assignment.cell asg id in
   let currents =
@@ -21,6 +27,7 @@ let node_currents tree asg env timing id =
   shift_currents currents timing.Timing.input_arrival.(id)
 
 let candidate_currents tree env timing id cell =
+  Obs_metrics.incr candidate_pulses_c;
   let nd = Tree.node tree id in
   (match nd.Tree.kind with
   | Tree.Leaf -> ()
@@ -50,6 +57,14 @@ let total_rail_currents tree asg env timing ?node_ids () =
 let period_rail_currents tree asg env ?node_ids ~period () =
   if period <= 0.0 then
     invalid_arg "Waveforms.period_rail_currents: period <= 0";
+  let num_nodes =
+    match node_ids with
+    | Some ids -> Array.length ids
+    | None -> Array.length (Tree.nodes tree)
+  in
+  Trace.with_span ~name:"waveforms.period_rail_currents"
+    ~attrs:[ ("nodes", string_of_int num_nodes) ]
+  @@ fun () ->
   let rising = Timing.analyze tree asg env ~edge:Electrical.Rising in
   let falling = Timing.analyze tree asg env ~edge:Electrical.Falling in
   let r = total_rail_currents tree asg env rising ?node_ids () in

@@ -55,9 +55,18 @@ let sinks spec =
     Placement.clustered_sinks rng die ~count:spec.num_leaves
       ~clusters:spec.clusters ()
 
+let trees_synthesized_c = Repro_obs.Metrics.counter "cts.trees_synthesized"
+
 let synthesize ?options spec =
-  let rng = Rng.create ~seed:(spec.seed + 7919) in
   let internals = spec.num_nodes - spec.num_leaves in
   if internals < 1 then
     invalid_arg "Benchmarks.synthesize: spec needs at least one internal node";
+  Repro_obs.Trace.with_span ~name:"cts.synthesize"
+    ~attrs:
+      [ ("benchmark", spec.name);
+        ("leaves", string_of_int spec.num_leaves);
+        ("internals", string_of_int internals) ]
+  @@ fun () ->
+  Repro_obs.Metrics.incr trees_synthesized_c;
+  let rng = Rng.create ~seed:(spec.seed + 7919) in
   Synthesis.synthesize ?options ~rng (sinks spec) ~internals

@@ -1,3 +1,16 @@
+module Metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
+
+module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.warburton"))
+
+(* Registered once at module init so the instruments always appear in a
+   metrics dump, even at zero. *)
+let labels_per_row_h = Metrics.histogram "warburton.labels_per_row"
+let labels_pruned_c = Metrics.counter "warburton.labels_pruned"
+let labels_capped_c = Metrics.counter "warburton.labels_capped"
+let grid_delta_h = Metrics.histogram "warburton.grid_delta"
+let solves_c = Metrics.counter "warburton.solves"
+
 let add_weight cost w =
   Array.mapi (fun k c -> c +. w.(k)) cost
 
@@ -22,19 +35,44 @@ let lower_bounds graph =
    component, the sum over the remaining rows of the row-wise minima and
    the dest weight.  A purely myopic rank (current max component) keeps
    prefixes that cannot complete well. *)
-let cap_labels max_labels ~project labels =
-  if List.length labels <= max_labels then labels
+(* One warning per process: the first truncation anywhere is loud, every
+   later one (often thousands across a sweep) drops to debug. *)
+let cap_warned = ref false
+
+let cap_labels max_labels ~row ~project labels =
+  let n = List.length labels in
+  if n <= max_labels then (labels, false)
   else begin
+    let dropped = n - max_labels in
+    Metrics.incr ~by:dropped labels_capped_c;
+    if not !cap_warned then begin
+      cap_warned := true;
+      Log.warn (fun m ->
+          m
+            "label cap hit at row %d: dropped %d of %d labels \
+             (max_labels = %d); the solution is approximate beyond the \
+             epsilon guarantee"
+            row dropped n max_labels)
+    end
+    else
+      Log.debug (fun m ->
+          m "label cap hit at row %d: dropped %d of %d labels" row dropped n);
     let arr = Array.of_list (List.map (fun l -> (project l, l)) labels) in
-    Array.sort (fun ((a : float), _) (b, _) -> compare a b) arr;
-    Array.to_list (Array.map snd (Array.sub arr 0 max_labels))
+    Array.sort (fun ((a : float), _) (b, _) -> Float.compare a b) arr;
+    (Array.to_list (Array.map snd (Array.sub arr 0 max_labels)), true)
   end
 
-let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
+let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
   if epsilon < 0.0 then invalid_arg "Warburton.pareto_paths: epsilon < 0";
   if max_labels < 1 then invalid_arg "Warburton.pareto_paths: max_labels < 1";
+  Metrics.incr solves_c;
   let rows = Layered.options graph in
   let dim = Layered.dimension graph in
+  Trace.with_span ~name:"warburton.pareto_paths"
+    ~attrs:
+      [ ("rows", string_of_int (Array.length rows));
+        ("dim", string_of_int dim) ]
+  @@ fun () ->
   let deltas =
     if epsilon = 0.0 then Array.make dim 0.0
     else begin
@@ -44,6 +82,7 @@ let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
         lb
     end
   in
+  Array.iter (fun d -> Metrics.observe grid_delta_h d) deltas;
   (* suffix_min.(i).(k): sum over rows i.. of the row-wise component
      minima, plus the dest weight — a lower bound on what any completion
      adds in component k after the first i rows are fixed. *)
@@ -60,6 +99,7 @@ let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
   done;
   let start = [ { Pareto.cost = Array.make dim 0.0; choices_rev = [] } ] in
   let row_index = ref 0 in
+  let any_capped = ref false in
   let step labels row =
     let extended =
       List.concat_map
@@ -82,6 +122,8 @@ let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
       if dim <= 8 && List.length pruned <= 256 then Pareto.non_dominated pruned
       else pruned
     in
+    Metrics.incr ~by:(List.length extended - List.length pruned)
+      labels_pruned_c;
     incr row_index;
     let remaining = suffix_min.(!row_index) in
     let project (l : Pareto.label) =
@@ -93,7 +135,12 @@ let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
         l.Pareto.cost;
       !m
     in
-    cap_labels max_labels ~project pruned
+    let kept, capped =
+      cap_labels max_labels ~row:(!row_index - 1) ~project pruned
+    in
+    if capped then any_capped := true;
+    Metrics.observe labels_per_row_h (float_of_int (List.length kept));
+    kept
   in
   let final = Array.fold_left step start rows in
   let dest = Layered.dest_weight graph in
@@ -102,24 +149,37 @@ let pareto_paths ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
       (fun (l : Pareto.label) -> { l with Pareto.cost = add_weight l.Pareto.cost dest })
       final
   in
-  if dim <= 8 && List.length with_dest <= 256 then Pareto.non_dominated with_dest
-  else with_dest
+  let result =
+    if dim <= 8 && List.length with_dest <= 256 then
+      Pareto.non_dominated with_dest
+    else with_dest
+  in
+  (result, !any_capped)
 
-type solution = { choices : int array; cost : float array; objective : float }
+let pareto_paths ?epsilon ?max_labels graph =
+  fst (pareto_paths_capped ?epsilon ?max_labels graph)
 
-let label_to_solution graph (l : Pareto.label) =
+type solution = {
+  choices : int array;
+  cost : float array;
+  objective : float;
+  capped : bool;
+}
+
+let label_to_solution graph ~capped (l : Pareto.label) =
   let choices = Array.of_list (List.rev l.Pareto.choices_rev) in
   ignore graph;
   {
     choices;
     cost = l.Pareto.cost;
     objective = Pareto.max_component l;
+    capped;
   }
 
 let solve_min_max ?epsilon ?max_labels graph =
-  let paths = pareto_paths ?epsilon ?max_labels graph in
+  let paths, capped = pareto_paths_capped ?epsilon ?max_labels graph in
   match Pareto.best_min_max paths with
-  | Some best -> label_to_solution graph best
+  | Some best -> label_to_solution graph ~capped best
   | None ->
     (* A layered graph always has at least one path (rows are
        non-empty). *)
@@ -151,8 +211,14 @@ let exhaustive_min_max graph =
   in
   go 0;
   match !best with
-  | Some (choices, cost, objective) -> { choices; cost; objective }
+  | Some (choices, cost, objective) ->
+    { choices; cost; objective; capped = false }
   | None ->
     (* num_rows = 0: the single src->dest path. *)
     let cost = Array.copy (Layered.dest_weight graph) in
-    { choices = [||]; cost; objective = Array.fold_left Float.max 0.0 cost }
+    {
+      choices = [||];
+      cost;
+      objective = Array.fold_left Float.max 0.0 cost;
+      capped = false;
+    }

@@ -19,10 +19,22 @@ val pareto_paths :
     the min-max use case).
     @raise Invalid_argument if [epsilon < 0] or [max_labels < 1]. *)
 
+val pareto_paths_capped :
+  ?epsilon:float -> ?max_labels:int -> Layered.t -> Pareto.label list * bool
+(** Like {!pareto_paths}, and additionally reports whether the
+    [max_labels] safety cap truncated any row's label set — in which
+    case the ε-approximation guarantee no longer holds and the result
+    must be treated as heuristic.  The truncation is also counted in the
+    ["warburton.labels_capped"] metric and logged (once per solve) at
+    warning level. *)
+
 type solution = {
   choices : int array;  (** Selected option per row, row order. *)
   cost : float array;  (** Path cost vector including the dest arc. *)
   objective : float;  (** Max component of [cost] — the peak noise. *)
+  capped : bool;
+      (** The per-row label cap dropped labels during the solve; the
+          solution is approximate beyond the epsilon guarantee. *)
 }
 
 val solve_min_max :

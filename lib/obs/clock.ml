@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+let cpu_s () = Sys.time ()

@@ -1,0 +1,15 @@
+(** Monotonic wall-clock and CPU-time sources.
+
+    [Sys.time] measures CPU seconds, which silently under-reports any
+    stage that blocks or is descheduled; the observability layer times
+    spans with the monotonic clock (CLOCK_MONOTONIC via the bechamel
+    stubs) so wall-clock reports survive NTP jumps and suspends. *)
+
+val now_ns : unit -> int64
+(** Monotonic time in nanoseconds.  Only differences are meaningful. *)
+
+val now_s : unit -> float
+(** Monotonic time in seconds ([now_ns] / 1e9). *)
+
+val cpu_s : unit -> float
+(** Processor (CPU) seconds of this process, [Sys.time]. *)

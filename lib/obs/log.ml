@@ -1,0 +1,25 @@
+let srcs : (string, Logs.src) Hashtbl.t = Hashtbl.create 16
+
+let src name =
+  match Hashtbl.find_opt srcs name with
+  | Some s -> s
+  | None ->
+    let s = Logs.Src.create name ~doc:(name ^ " log source") in
+    Hashtbl.add srcs name s;
+    s
+
+let setup ?(level = Some Logs.Warning) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "off" | "none" -> Ok None
+  | "app" -> Ok (Some Logs.App)
+  | "error" -> Ok (Some Logs.Error)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | _ -> Error (Printf.sprintf "unknown log level %S" s)
+
+let level_names = [ "quiet"; "app"; "error"; "warning"; "info"; "debug" ]

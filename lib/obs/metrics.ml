@@ -1,0 +1,181 @@
+module Table = Repro_util.Table
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float; mutable assigned : bool }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable bucket_counts : (int * int) list;
+      (* (power-of-two exponent, count), unordered, short in practice *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name make select =
+  match Hashtbl.find_opt registry name with
+  | Some inst -> (
+    match select inst with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics.%s: %S already registered as a %s"
+           (kind_name (make ())) name (kind_name inst)))
+  | None ->
+    let inst = make () in
+    Hashtbl.add registry name inst;
+    (match select inst with Some h -> h | None -> assert false)
+
+let counter name =
+  register name
+    (fun () -> Counter { count = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> Gauge { value = 0.0; assigned = false })
+    (function Gauge g -> Some g | _ -> None)
+
+let fresh_histogram () =
+  { n = 0; sum = 0.0; lo = infinity; hi = neg_infinity; bucket_counts = [] }
+
+let histogram name =
+  register name
+    (fun () -> Histogram (fresh_histogram ()))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let set g v =
+  g.value <- v;
+  g.assigned <- true
+
+let gauge_value g = g.value
+
+(* Power-of-two (octave) buckets: sample v > 0 falls in the bucket with
+   upper bound 2^ceil(log2 v); v <= 0 falls in the sentinel bucket
+   [min_int] rendered with bound 0. *)
+let bucket_of v =
+  if v <= 0.0 then min_int
+  else
+    let e = int_of_float (Float.ceil (Float.log2 v)) in
+    (* log2 rounding can land one octave low for exact powers of two *)
+    if 2.0 ** float_of_int (e - 1) >= v then e - 1 else e
+
+let observe h v =
+  h.n <- h.n + 1;
+  if Float.is_finite v then begin
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v;
+    let b = bucket_of v in
+    let rec bump = function
+      | [] -> [ (b, 1) ]
+      | (e, c) :: rest when e = b -> (e, c + 1) :: rest
+      | pair :: rest -> pair :: bump rest
+    in
+    h.bucket_counts <- bump h.bucket_counts
+  end
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let bound_of_bucket e =
+  if e = min_int then 0.0 else 2.0 ** float_of_int e
+
+let histogram_stats h =
+  let buckets =
+    List.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b) h.bucket_counts
+    |> List.map (fun (e, c) -> (bound_of_bucket e, c))
+  in
+  {
+    count = h.n;
+    sum = h.sum;
+    mean = (if h.n = 0 then 0.0 else h.sum /. float_of_int h.n);
+    min = h.lo;
+    max = h.hi;
+    buckets;
+  }
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of range";
+  let { count; buckets; _ } = histogram_stats h in
+  if count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int count in
+    let rec walk acc = function
+      | [] -> (match h.hi with hi when Float.is_finite hi -> hi | _ -> 0.0)
+      | (bound, c) :: rest ->
+        let acc = acc +. float_of_int c in
+        if acc >= target then bound else walk acc rest
+    in
+    walk 0.0 buckets
+  end
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+        g.value <- 0.0;
+        g.assigned <- false
+      | Histogram h ->
+        h.n <- 0;
+        h.sum <- 0.0;
+        h.lo <- infinity;
+        h.hi <- neg_infinity;
+        h.bucket_counts <- [])
+    registry
+
+let dump () =
+  let t =
+    Table.create
+      ~headers:[ "metric"; "kind"; "count"; "value/mean"; "min"; "max"; "p90" ]
+  in
+  let blank = "-" in
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c ->
+        Table.add_row t
+          [ name; "counter"; Table.cell_i c.count; Table.cell_i c.count; blank;
+            blank; blank ]
+      | Gauge g ->
+        Table.add_row t
+          [ name; "gauge"; (if g.assigned then "1" else "0");
+            Table.cell_f g.value; blank; blank; blank ]
+      | Histogram h ->
+        let s = histogram_stats h in
+        let f v = if Float.is_finite v then Table.cell_f v else blank in
+        Table.add_row t
+          [ name; "histogram"; Table.cell_i s.count; Table.cell_f s.mean;
+            f s.min; f s.max; Table.cell_f (quantile h 0.9) ])
+    (names ());
+  Table.render t

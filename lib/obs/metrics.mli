@@ -1,0 +1,69 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    histograms.
+
+    Instruments are registered once by name ([counter], [gauge] and
+    [histogram] get-or-create) and are cheap to update from hot paths —
+    a handle is a direct pointer into the registry, so updating never
+    hashes.  [reset] zeroes every instrument but keeps it registered, so
+    handles held at module top level stay valid across runs.
+
+    The registry observes; it never influences.  Nothing in the
+    optimization pipeline may read a metric back to make a decision —
+    that invariant is what makes traced and untraced runs bit-identical
+    (see [test/test_obs.ml]). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the named counter.
+    @raise Invalid_argument if the name exists with another kind. *)
+
+val gauge : string -> gauge
+(** Get or create the named gauge.
+    @raise Invalid_argument if the name exists with another kind. *)
+
+val histogram : string -> histogram
+(** Get or create the named log-scale histogram (power-of-two buckets).
+    @raise Invalid_argument if the name exists with another kind. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to a counter.  Negative [by] is rejected. *)
+
+val value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample.  Non-finite samples are counted but excluded from
+    the bucket/extrema accounting. *)
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  mean : float;  (** 0 when empty. *)
+  min : float;  (** +inf when empty. *)
+  max : float;  (** -inf when empty. *)
+  buckets : (float * int) list;
+      (** (upper bound, samples <= bound in this bucket), power-of-two
+          bounds, ascending; samples <= 0 land in the 0 bucket. *)
+}
+
+val histogram_stats : histogram -> histogram_stats
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0, 1]: the bucket upper bound at which
+    the cumulative count reaches [q * count] — a log-scale
+    approximation, exact to within one power of two.  0 when empty. *)
+
+val names : unit -> string list
+(** All registered instrument names, sorted. *)
+
+val reset : unit -> unit
+(** Zero every instrument; registrations (and handles) survive. *)
+
+val dump : unit -> string
+(** Render a snapshot of every instrument as an aligned text table
+    (via {!Repro_util.Table}), sorted by name. *)

@@ -1,0 +1,108 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* Completed spans in completion order (children complete before their
+   parent); [spans] re-sorts by start time. *)
+let completed : span list ref = ref []
+let open_depth = ref 0
+
+let with_span ?(attrs = []) ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let depth = !open_depth in
+    incr open_depth;
+    let start_ns = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
+        decr open_depth;
+        completed := { name; attrs; start_ns; dur_ns; depth } :: !completed)
+      f
+  end
+
+let reset () = completed := []
+
+let spans () =
+  List.sort
+    (fun a b ->
+      match Int64.compare a.start_ns b.start_ns with
+      | 0 -> Stdlib.compare (a.depth : int) b.depth
+      | c -> c)
+    !completed
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let to_text_tree () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %10.3f ms" (String.make (2 * s.depth) ' ')
+           (max 1 (40 - (2 * s.depth)))
+           s.name (ms_of_ns s.dur_ns));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=%s" k v))
+        s.attrs;
+      Buffer.add_char buf '\n')
+    (spans ());
+  Buffer.contents buf
+
+(* Minimal JSON string escaping: quotes, backslash, control chars. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"wavemin\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+           (json_escape s.name)
+           (Int64.to_float s.start_ns /. 1e3)
+           (Int64.to_float s.dur_ns /. 1e3));
+      (match s.attrs with
+      | [] -> ()
+      | attrs ->
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          attrs;
+        Buffer.add_char buf '}');
+      Buffer.add_char buf '}')
+    (spans ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))

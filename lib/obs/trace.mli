@@ -1,0 +1,45 @@
+(** Span-based execution tracer.
+
+    [with_span ~name f] measures [f] with the monotonic clock and
+    records a nested span into a per-execution buffer; the buffer can be
+    rendered as an indented text tree or exported as Chrome
+    [trace_event] JSON, loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.
+
+    Tracing is {e off} by default: a disabled [with_span] runs [f]
+    directly (no clock read, no allocation), so instrumented hot paths
+    cost nothing in normal runs, and tracing never changes results —
+    only observes them. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;  (** Monotonic, {!Clock.now_ns} domain. *)
+  dur_ns : int64;
+  depth : int;  (** Nesting depth at open; roots are 0. *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span :
+  ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] inside a span.  The span closes (and is recorded) even when
+    [f] raises.  When tracing is disabled this is exactly [f ()]. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans.  Open spans (on the current stack) are
+    unaffected and will still record on close. *)
+
+val spans : unit -> span list
+(** Completed spans, sorted by start time (parents before children). *)
+
+val to_text_tree : unit -> string
+(** Indented tree of span names with wall-clock durations. *)
+
+val to_chrome_json : unit -> string
+(** Chrome [trace_event] JSON (object format, ["X"] complete events,
+    timestamps in microseconds). *)
+
+val write_chrome_json : string -> unit
+(** [write_chrome_json path] writes {!to_chrome_json} to [path]. *)

@@ -26,7 +26,9 @@ let percentile xs ~p =
   require_nonempty "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: total over NaN and an
+     order of magnitude cheaper than the generic comparison. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in

@@ -46,13 +46,13 @@ let test_more_candidates_never_hurt () =
   let ctx = context () in
   let table = ctx.Context.tables.(0) in
   let avail = full_avail table in
-  let full_choices = Clk_wavemin.zone_solver ctx table ~avail in
+  let full_choices, _ = Clk_wavemin.zone_solver ctx table ~avail in
   let full_peak = Noise_table.zone_objective table ~choices:full_choices in
   (* Restrict every sink to its first two candidates (BUF_X8/BUF_X16). *)
   let restricted =
     Array.map (fun row -> Array.mapi (fun i _ -> i < 2) row) avail
   in
-  let r_choices = Clk_wavemin.zone_solver ctx table ~avail:restricted in
+  let r_choices, _ = Clk_wavemin.zone_solver ctx table ~avail:restricted in
   let r_peak = Noise_table.zone_objective table ~choices:r_choices in
   Alcotest.(check bool) "restricted >= full" true (r_peak >= full_peak -. 1e-6)
 
@@ -62,7 +62,7 @@ let test_zone_objective_lower_bounded_by_nonleaf () =
     (fun (table : Noise_table.t) ->
       let n = Array.length table.Noise_table.sinks in
       let bg = Array.fold_left Float.max 0.0 table.Noise_table.nonleaf in
-      let choices = Clk_wavemin.zone_solver ctx table ~avail:(full_avail table) in
+      let choices, _ = Clk_wavemin.zone_solver ctx table ~avail:(full_avail table) in
       ignore choices;
       Alcotest.(check bool) "objective >= background" true
         (Noise_table.zone_objective table ~choices:(Array.make n 0) >= bg -. 1e-9))
@@ -74,7 +74,7 @@ let test_single_candidate_forced () =
   let avail =
     Array.map (fun row -> Array.mapi (fun i _ -> i = 3) row) (full_avail table)
   in
-  let choices = Clk_wavemin.zone_solver ctx table ~avail in
+  let choices, _ = Clk_wavemin.zone_solver ctx table ~avail in
   Array.iter (fun c -> Alcotest.(check int) "forced" 3 c) choices
 
 let test_greedy_matches_exact_on_single_sink_zones () =
@@ -85,8 +85,8 @@ let test_greedy_matches_exact_on_single_sink_zones () =
     (fun (table : Noise_table.t) ->
       if Array.length table.Noise_table.sinks = 1 then begin
         let avail = full_avail table in
-        let a = Clk_wavemin.zone_solver ctx table ~avail in
-        let b = Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail in
+        let a, _ = Clk_wavemin.zone_solver ctx table ~avail in
+        let b, _ = Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail in
         Alcotest.(check (float 1e-9)) "same objective"
           (Noise_table.zone_objective table ~choices:a)
           (Noise_table.zone_objective table ~choices:b)

@@ -128,7 +128,7 @@ let test_zone_choices_are_available () =
       in
       List.iter
         (fun (name, solver) ->
-          let choices = solver ctx table ~avail in
+          let choices, _ = solver ctx table ~avail in
           Array.iteri
             (fun zi ci ->
               Alcotest.(check bool) (name ^ " picks available") true avail.(zi).(ci))
