@@ -3,6 +3,9 @@
 module Obs_clock = Repro_obs.Clock
 module Obs_trace = Repro_obs.Trace
 module Obs_metrics = Repro_obs.Metrics
+module Report = Repro_obs.Report
+module Flow = Repro_core.Flow
+module Golden = Repro_core.Golden
 
 let section title =
   let bar = String.make 78 '=' in
@@ -25,13 +28,85 @@ let time2 f =
   let r = f () in
   (r, Obs_clock.now_s () -. t0, Obs_clock.cpu_s () -. c0)
 
+(* ---- run reports --------------------------------------------------
+   bench/main.ml opens a Report.builder per experiment and installs it
+   here; the exp_* drivers record their headline numbers and stage
+   timings into whichever report is current.  With no current report
+   (e.g. a driver called directly from a test) recording is a no-op. *)
+
+let current_report : Report.builder option ref = ref None
+let set_report b = current_report := b
+
+let record ~benchmark ~algorithm ?quality ?runtime () =
+  match !current_report with
+  | None -> ()
+  | Some b -> Report.add_sample b ~benchmark ~algorithm ?quality ?runtime ()
+
+(* The standard per-algorithm sample of a single-mode flow run: the
+   golden quality metrics plus the optimizer's wall/CPU time. *)
+let record_run ?(algorithm_suffix = "") (r : Flow.run) =
+  record ~benchmark:r.Flow.benchmark
+    ~algorithm:(Flow.algorithm_name r.Flow.algorithm ^ algorithm_suffix)
+    ~quality:
+      [ ("peak_current_ma", r.Flow.metrics.Golden.peak_current_ma);
+        ("vdd_noise_mv", r.Flow.metrics.Golden.vdd_noise_mv);
+        ("gnd_noise_mv", r.Flow.metrics.Golden.gnd_noise_mv);
+        ("skew_ps", r.Flow.metrics.Golden.skew_ps);
+        ("predicted_peak_ua", r.Flow.predicted_peak_ua);
+        ("num_leaf_inverters", float_of_int r.Flow.num_leaf_inverters) ]
+    ~runtime:[ ("wall_s", r.Flow.elapsed_s); ("cpu_s", r.Flow.cpu_s) ]
+    ()
+
 (* Run [f] as a named pipeline stage: recorded as a trace span (when
-   tracing is on) and reported with its wall time. *)
-let stage name f =
+   tracing is on), as a wall/CPU stage entry of the current run report,
+   and reported with its wall time. *)
+let report_stage name f =
   Obs_trace.with_span ~name (fun () ->
-      let r, dt = time f in
-      note "  [stage] %-40s %8.2f s" name dt;
+      let r, wall, cpu = time2 f in
+      note "  [stage] %-40s %8.2f s" name wall;
+      (match !current_report with
+      | None -> ()
+      | Some b -> Report.add_stage b ~stage:name ~wall_s:wall ~cpu_s:cpu);
       r)
+
+(* [git describe] of the producing checkout for the report manifest;
+   None outside a git checkout (or without git on PATH). *)
+let git_describe () =
+  let tmp = Filename.temp_file "wavemin_git" ".txt" in
+  let cmd =
+    Printf.sprintf "git describe --always --dirty --tags > %s 2>/dev/null"
+      (Filename.quote tmp)
+  in
+  let result =
+    if (try Sys.command cmd with Sys_error _ -> 1) = 0 then (
+      let ic = open_in tmp in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      match line with Some "" -> None | r -> r)
+    else None
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  result
+
+(* Manifest ingredients shared by every experiment: the Table V suite
+   with its synthesis seeds, and the default solver configuration. *)
+let manifest_seeds () =
+  List.map
+    (fun spec ->
+      (spec.Repro_cts.Benchmarks.name, spec.Repro_cts.Benchmarks.seed))
+    Repro_cts.Benchmarks.all
+
+let manifest_config () =
+  let p = Repro_core.Context.default_params in
+  [ ("kappa", string_of_float p.Repro_core.Context.kappa);
+    ("epsilon", string_of_float p.Repro_core.Context.epsilon);
+    ("num_slots", string_of_int p.Repro_core.Context.num_slots);
+    ("zone_side", string_of_float p.Repro_core.Context.zone_side);
+    ("max_labels", string_of_int p.Repro_core.Context.max_labels);
+    ("coalesce", string_of_float p.Repro_core.Context.coalesce);
+    ( "max_interval_classes",
+      string_of_int p.Repro_core.Context.max_interval_classes );
+    ("sibling_guard", string_of_float p.Repro_core.Context.sibling_guard) ]
 
 (* Opt-in observability for every exp_* driver: WAVEMIN_TRACE=<path>
    enables span tracing and writes a Chrome trace-event file on exit;

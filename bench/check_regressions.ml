@@ -1,0 +1,65 @@
+(* Regression gate over two run reports:
+
+     dune exec bench/check_regressions.exe -- BASELINE.json CANDIDATE.json
+
+   Compares every quality metric exact-or-epsilon and every runtime with
+   a generous slowdown ratio (see Repro_obs.Report.diff), prints a
+   readable diff table, and exits 0 when clean, 1 on regressions, 2 on
+   usage or I/O errors.  `wavemin bench-diff` is the same gate behind
+   the CLI front end; CI runs this one against bench/baselines/. *)
+
+module Report = Repro_obs.Report
+
+let usage () =
+  prerr_endline
+    "usage: check_regressions [OPTIONS] BASELINE.json CANDIDATE.json\n\
+     \n\
+     options:\n\
+    \  --quality-rtol E    relative quality tolerance (default 1e-6)\n\
+    \  --quality-atol E    absolute quality tolerance (default 1e-9)\n\
+    \  --runtime-ratio R   slowdown factor that fails the gate (default 5.0)\n\
+    \  --runtime-slack S   seconds a runtime may grow regardless (default 0.25)";
+  exit 2
+
+let () =
+  let tol = ref Report.default_tolerances in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quality-rtol" :: v :: rest ->
+      tol := { !tol with Report.quality_rtol = float_of_string v };
+      parse rest
+    | "--quality-atol" :: v :: rest ->
+      tol := { !tol with Report.quality_atol = float_of_string v };
+      parse rest
+    | "--runtime-ratio" :: v :: rest ->
+      tol := { !tol with Report.runtime_ratio = float_of_string v };
+      parse rest
+    | "--runtime-slack" :: v :: rest ->
+      tol := { !tol with Report.runtime_slack_s = float_of_string v };
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      Printf.eprintf "unknown option %s\n" arg;
+      usage ()
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure _ -> usage ());
+  match List.rev !positional with
+  | [ baseline_path; candidate_path ] ->
+    let load path =
+      match Report.read path with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "cannot read report %s: %s\n" path msg;
+        exit 2
+    in
+    let baseline = load baseline_path in
+    let candidate = load candidate_path in
+    let changes = Report.diff ~tol:!tol ~baseline ~candidate () in
+    print_string (Report.render_diff changes);
+    exit (if Report.failures changes = [] then 0 else 1)
+  | _ -> usage ()

@@ -24,7 +24,9 @@ let make_workload () =
 let run () =
   Bench_common.section
     "Bechamel — zone-solver kernels (Table V/VI runtime counterpart, one s13207 zone)";
-  let ctx, table, avail = make_workload () in
+  let ctx, table, avail =
+    Bench_common.report_stage "workload_setup" make_workload
+  in
   let test name f = Test.make ~name (Staged.stage f) in
   let grouped =
     Test.make_grouped ~name:"zone-solvers"
@@ -42,11 +44,18 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
   in
-  let raw = Benchmark.all cfg [ instance ] grouped in
+  let raw =
+    Bench_common.report_stage "measure" (fun () ->
+        Benchmark.all cfg [ instance ] grouped)
+  in
   let results = Analyze.all ols instance raw in
   Hashtbl.iter
     (fun name stats ->
       match Analyze.OLS.estimates stats with
-      | Some (est :: _) -> Bench_common.note "%-48s %14.1f ns/run" name est
+      | Some (est :: _) ->
+        Bench_common.record ~benchmark:"s13207-zone" ~algorithm:name
+          ~runtime:[ ("ns_per_run", est) ]
+          ();
+        Bench_common.note "%-48s %14.1f ns/run" name est
       | Some [] | None -> Bench_common.note "%-48s (no estimate)" name)
     results

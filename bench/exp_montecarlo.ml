@@ -38,8 +38,9 @@ let run () =
   let yields = Hashtbl.create 4 in
   List.iter
     (fun spec ->
-      let tree = Repro_cts.Benchmarks.synthesize spec in
       let name = spec.Repro_cts.Benchmarks.name in
+      Bench_common.report_stage name @@ fun () ->
+      let tree = Repro_cts.Benchmarks.synthesize spec in
       List.iter
         (fun algo ->
           let run = Flow.run_tree ~params ~name tree algo in
@@ -55,6 +56,14 @@ let run () =
           let key = Flow.algorithm_name algo in
           let prev = try Hashtbl.find yields key with Not_found -> [] in
           Hashtbl.replace yields key (rep.Montecarlo.skew_yield :: prev);
+          Bench_common.record ~benchmark:name ~algorithm:key
+            ~quality:
+              [ ("skew_yield", rep.Montecarlo.skew_yield);
+                ("mean_skew_ps", rep.Montecarlo.mean_skew);
+                ("norm_std_peak", rep.Montecarlo.norm_std_peak);
+                ("norm_std_vdd", rep.Montecarlo.norm_std_vdd);
+                ("norm_std_gnd", rep.Montecarlo.norm_std_gnd) ]
+            ();
           Table.add_row t
             [ name; key;
               Table.cell_pct (100.0 *. rep.Montecarlo.skew_yield);
@@ -72,6 +81,9 @@ let run () =
   Hashtbl.iter
     (fun algo ys ->
       let mean = List.fold_left ( +. ) 0.0 ys /. float_of_int (List.length ys) in
+      Bench_common.record ~benchmark:"average" ~algorithm:algo
+        ~quality:[ ("skew_yield", mean) ]
+        ();
       Bench_common.note "average skew yield %s: %.1f%%" algo (100.0 *. mean))
     yields;
   Bench_common.note "(paper: ClkPeakMin 95.5%%, ClkWaveMin 83.9%%; sigma/mu ~0.05-0.09)"

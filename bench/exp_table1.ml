@@ -9,7 +9,9 @@ module Table = Repro_util.Table
 let run () =
   Bench_common.section
     "Table I — sibling polarity/sizing impact (BUF_X16 parent, 16 leaves, BUF_X4 -> INV_X8)";
-  let rows = Characterize.sibling_sweep () in
+  let rows =
+    Bench_common.report_stage "sibling_sweep" Characterize.sibling_sweep
+  in
   let t =
     Table.create
       ~headers:
@@ -18,6 +20,18 @@ let run () =
   in
   List.iter
     (fun r ->
+      Bench_common.record ~benchmark:"sibling_sweep"
+        ~algorithm:
+          (Printf.sprintf "inv%d_buf%d" r.Characterize.num_inverters
+             r.Characterize.num_buffers)
+        ~quality:
+          [ ("t_d_rise_ps", r.Characterize.obs_t_d_rise);
+            ("t_d_fall_ps", r.Characterize.obs_t_d_fall);
+            ("peak_idd_ua", r.Characterize.peak_idd);
+            ("peak_iss_ua", r.Characterize.peak_iss);
+            ("slew_rise_ps", r.Characterize.obs_slew_rise);
+            ("slew_fall_ps", r.Characterize.obs_slew_fall) ]
+        ();
       Table.add_row t
         [ Table.cell_i r.Characterize.num_inverters;
           Table.cell_i r.Characterize.num_buffers;
@@ -30,6 +44,21 @@ let run () =
     rows;
   print_string (Table.render t);
   let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  Bench_common.record ~benchmark:"sibling_sweep" ~algorithm:"shape_check"
+    ~quality:
+      [ ( "delay_moved_ps",
+          Float.abs
+            (last.Characterize.obs_t_d_rise -. first.Characterize.obs_t_d_rise)
+        );
+        ( "slew_moved_ps",
+          Float.abs
+            (last.Characterize.obs_slew_rise
+            -. first.Characterize.obs_slew_rise) );
+        ( "idd_peak_ratio",
+          Float.max
+            (last.Characterize.peak_idd /. first.Characterize.peak_idd)
+            (first.Characterize.peak_idd /. last.Characterize.peak_idd) ) ]
+    ();
   Bench_common.note
     "shape check: delay moved %.1f ps, slew moved %.1f ps, IDD peak moved %.1fx"
     (Float.abs (last.Characterize.obs_t_d_rise -. first.Characterize.obs_t_d_rise))

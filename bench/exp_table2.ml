@@ -41,26 +41,48 @@ let run () =
         [ "cell"; "VDD"; "T_D ours"; "T_D paper"; "P+ ours"; "P+ paper";
           "P- ours"; "P- paper" ]
   in
+  Bench_common.report_stage "characterize" (fun () ->
   List.iter
     (fun (name, at11, at09) ->
       let cell = Library.find name in
       List.iter
         (fun (vdd, (pd, pp, pm)) ->
           let d, p_plus, p_minus = measure cell vdd in
+          Bench_common.record
+            ~benchmark:(Printf.sprintf "%s@%.1fV" name vdd)
+            ~algorithm:"characterize"
+            ~quality:
+              [ ("t_d_ps", d); ("p_plus_ua", p_plus); ("p_minus_ua", p_minus);
+                ("paper_t_d_ps", pd); ("paper_p_plus_ua", pp);
+                ("paper_p_minus_ua", pm) ]
+            ();
           Table.add_row t
             [ name; Table.cell_f ~decimals:1 vdd;
               Table.cell_f ~decimals:1 d; Table.cell_f ~decimals:0 pd;
               Table.cell_f ~decimals:0 p_plus; Table.cell_f ~decimals:0 pp;
               Table.cell_f ~decimals:0 p_minus; Table.cell_f ~decimals:0 pm ])
         [ (1.1, at11); (0.9, at09) ])
-    paper;
+    paper);
   print_string (Table.render t);
   Bench_common.note
     "anchors: P+ within ~15%% of Table II at both supplies; T_D ordering (INV < BUF, X2 < X1) preserved";
 
   Bench_common.section "Fig. 7 — waveform hot-spot sampling of BUF_X8";
-  let p = Characterize.profile (Library.buf 8) ~vdd:1.1 ~load:12.0 ~period:2000.0 () in
-  let samples = Characterize.hot_spot_times p ~count:12 in
+  let p, samples =
+    Bench_common.report_stage "hot_spot_sampling" (fun () ->
+        let p =
+          Characterize.profile (Library.buf 8) ~vdd:1.1 ~load:12.0
+            ~period:2000.0 ()
+        in
+        (p, Characterize.hot_spot_times p ~count:12))
+  in
+  Bench_common.record ~benchmark:"BUF_X8@1.1V" ~algorithm:"hot_spots"
+    ~quality:
+      [ ("num_samples", float_of_int (Array.length samples));
+        ("first_sample_ps", samples.(0));
+        ("last_sample_ps", samples.(Array.length samples - 1));
+        ("peak_idd_ua", Repro_waveform.Pwl.peak p.Characterize.idd) ]
+    ();
   Bench_common.note "12 hot-spot sampling points (ps): %s"
     (String.concat ", "
        (Array.to_list (Array.map (fun t -> Printf.sprintf "%.1f" t) samples)));

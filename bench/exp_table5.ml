@@ -21,10 +21,16 @@ let run () =
   let count = ref 0 in
   List.iter
     (fun spec ->
-      let tree = Repro_cts.Benchmarks.synthesize spec in
       let name = spec.Repro_cts.Benchmarks.name in
-      let pm = Flow.run_tree ~name tree Flow.Peakmin in
-      let wm = Flow.run_tree ~name tree Flow.Wavemin in
+      let pm, wm =
+        Bench_common.report_stage name (fun () ->
+            let tree = Repro_cts.Benchmarks.synthesize spec in
+            let pm = Flow.run_tree ~name tree Flow.Peakmin in
+            let wm = Flow.run_tree ~name tree Flow.Wavemin in
+            (pm, wm))
+      in
+      Bench_common.record_run pm;
+      Bench_common.record_run wm;
       let dv =
         Flow.improvement_pct ~baseline:pm.Flow.metrics.Golden.vdd_noise_mv
           ~value:wm.Flow.metrics.Golden.vdd_noise_mv
@@ -41,6 +47,10 @@ let run () =
       sums.(1) <- sums.(1) +. dg;
       sums.(2) <- sums.(2) +. dp;
       incr count;
+      Bench_common.record ~benchmark:name ~algorithm:"improvement"
+        ~quality:
+          [ ("d_vdd_pct", dv); ("d_gnd_pct", dg); ("d_peak_pct", dp) ]
+        ();
       Table.add_row t
         [ name;
           Table.cell_i spec.Repro_cts.Benchmarks.num_nodes;
@@ -55,6 +65,11 @@ let run () =
     Bench_common.table5_suite;
   print_string (Table.render t);
   let n = float_of_int !count in
+  Bench_common.record ~benchmark:"average" ~algorithm:"improvement"
+    ~quality:
+      [ ("d_vdd_pct", sums.(0) /. n); ("d_gnd_pct", sums.(1) /. n);
+        ("d_peak_pct", sums.(2) /. n) ]
+    ();
   Bench_common.note
     "averages: VDD %.2f%%, GND %.2f%%, peak %.2f%%  (paper: 3.42%%, -11.78%%, 15.62%%)"
     (sums.(0) /. n) (sums.(1) /. n) (sums.(2) /. n)

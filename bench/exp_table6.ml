@@ -24,15 +24,23 @@ let run () =
   in
   List.iter
     (fun spec ->
-      let tree = Repro_cts.Benchmarks.synthesize spec in
       let name = spec.Repro_cts.Benchmarks.name in
-      let cell (r : Flow.run) =
+      Bench_common.report_stage name @@ fun () ->
+      let tree = Repro_cts.Benchmarks.synthesize spec in
+      let cell ?suffix (r : Flow.run) =
+        Bench_common.record_run ?algorithm_suffix:suffix r;
         ( Table.cell_f r.Flow.metrics.Golden.peak_current_ma,
           Table.cell_f ~decimals:3 r.Flow.elapsed_s )
       in
       let pm_p, pm_t = cell (Flow.run_tree ~name tree Flow.Peakmin) in
-      let w4_p, w4_t = cell (Flow.run_tree ~params:(with_slots 4) ~name tree Flow.Wavemin) in
-      let w8_p, w8_t = cell (Flow.run_tree ~params:(with_slots 8) ~name tree Flow.Wavemin) in
+      let w4_p, w4_t =
+        cell ~suffix:"@s4"
+          (Flow.run_tree ~params:(with_slots 4) ~name tree Flow.Wavemin)
+      in
+      let w8_p, w8_t =
+        cell ~suffix:"@s8"
+          (Flow.run_tree ~params:(with_slots 8) ~name tree Flow.Wavemin)
+      in
       let w158_p, w158_t = cell (Flow.run_tree ~name tree Flow.Wavemin) in
       let wf_p, wf_t = cell (Flow.run_tree ~name tree Flow.Wavemin_fast) in
       Table.add_row t

@@ -54,6 +54,8 @@ let run () =
   let sum = ref 0.0 and count = ref 0 in
   List.iter
     (fun spec ->
+      let name = spec.Repro_cts.Benchmarks.name in
+      Bench_common.report_stage name @@ fun () ->
       let tree = Repro_cts.Benchmarks.synthesize spec in
       let envs = envs_for spec tree in
       List.iter
@@ -71,6 +73,25 @@ let run () =
           in
           sum := !sum +. dp;
           incr count;
+          Bench_common.record ~benchmark:name
+            ~algorithm:(Printf.sprintf "adb-embedded@k%.0f" kappa)
+            ~quality:
+              [ ("peak_current_ma", ref_m.Golden.peak_current_ma);
+                ("vdd_noise_mv", ref_m.Golden.vdd_noise_mv);
+                ("gnd_noise_mv", ref_m.Golden.gnd_noise_mv);
+                ( "num_adbs",
+                  float_of_int reference.Adb_embedding.num_adbs ) ]
+            ();
+          Bench_common.record ~benchmark:name
+            ~algorithm:(Printf.sprintf "wavemin-m@k%.0f" kappa)
+            ~quality:
+              [ ("peak_current_ma", opt_m.Golden.peak_current_ma);
+                ("vdd_noise_mv", opt_m.Golden.vdd_noise_mv);
+                ("gnd_noise_mv", opt_m.Golden.gnd_noise_mv);
+                ("num_adbs", float_of_int o.Clk_wavemin_m.num_adbs);
+                ("num_adis", float_of_int o.Clk_wavemin_m.num_adis);
+                ("d_peak_pct", dp) ]
+            ();
           Table.add_row t
             [ spec.Repro_cts.Benchmarks.name;
               Table.cell_f ~decimals:0 kappa;
@@ -87,5 +108,8 @@ let run () =
         skew_bounds)
     Bench_common.table5_suite;
   print_string (Table.render t);
+  Bench_common.record ~benchmark:"average" ~algorithm:"wavemin-m"
+    ~quality:[ ("d_peak_pct", !sum /. float_of_int !count) ]
+    ();
   Bench_common.note "average peak improvement: %.2f%% (paper: 16.38%%)"
     (!sum /. float_of_int !count)

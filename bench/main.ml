@@ -5,7 +5,17 @@
      dune exec bench/main.exe              # run everything
      dune exec bench/main.exe -- table5    # run selected experiments
    Available experiment names: table1 fig2 table2 fig6 fig9 fig11 table5 table6
-   montecarlo table7 fig14 ablation dynamic baselines bechamel *)
+   montecarlo table7 fig14 ablation dynamic baselines bechamel
+
+   Every experiment writes a machine-readable run report to
+   BENCH_<name>.json in the current directory (override with
+   WAVEMIN_BENCH_DIR); compare two reports with
+   `dune exec bench/check_regressions.exe -- A.json B.json` or
+   `wavemin bench-diff`.  A failing experiment is recorded in its report
+   as an error and does not abort the remaining experiments; the harness
+   exits nonzero at the end if anything failed. *)
+
+module Report = Repro_obs.Report
 
 let experiments =
   [ ("table1", Exp_table1.run);
@@ -24,6 +34,13 @@ let experiments =
     ("baselines", Exp_baselines.run);
     ("bechamel", Exp_bechamel.run) ]
 
+let bench_dir () =
+  match Sys.getenv_opt "WAVEMIN_BENCH_DIR" with
+  | Some d when d <> "" ->
+    if not (Sys.file_exists d) then (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+    d
+  | Some _ | None -> "."
+
 let () =
   Bench_common.init_observability ();
   let requested =
@@ -40,13 +57,51 @@ let () =
       (String.concat ", " (List.map fst experiments));
     exit 1
   end;
+  let git = Bench_common.git_describe () in
+  let suite =
+    List.map (fun s -> s.Repro_cts.Benchmarks.name) Repro_cts.Benchmarks.all
+  in
+  let failed = ref [] in
   List.iter
     (fun name ->
       let run = List.assoc name experiments in
+      (* Per-experiment registry snapshot: each report carries only its
+         own experiment's instrument activity. *)
+      Repro_obs.Metrics.reset ();
+      let builder =
+        Report.create ~experiment:name ~suite
+          ~seeds:(Bench_common.manifest_seeds ())
+          ~config:(Bench_common.manifest_config ())
+          ?git ()
+      in
+      Bench_common.set_report (Some builder);
       let (), wall, cpu =
         Bench_common.time2 (fun () ->
-            Repro_obs.Trace.with_span ~name:("exp." ^ name) run)
+            try Repro_obs.Trace.with_span ~name:("exp." ^ name) run
+            with exn ->
+              let msg = Printexc.to_string exn in
+              Printf.eprintf "[%s FAILED: %s]\n%!" name msg;
+              Report.record_error builder msg;
+              failed := name :: !failed)
       in
-      Bench_common.note "[%s completed in %.1f s wall, %.1f s cpu]" name wall
-        cpu)
-    requested
+      Bench_common.set_report None;
+      Report.add_stage builder ~stage:"total" ~wall_s:wall ~cpu_s:cpu;
+      let report = Report.finalize builder in
+      let path = Filename.concat (bench_dir ()) ("BENCH_" ^ name ^ ".json") in
+      (try
+         Report.write path report;
+         Bench_common.note "[%s %s in %.1f s wall, %.1f s cpu] -> %s" name
+           (match report.Report.status with
+           | Report.Completed -> "completed"
+           | Report.Failed _ -> "FAILED")
+           wall cpu path
+       with Sys_error msg ->
+         Printf.eprintf "cannot write %s: %s\n%!" path msg;
+         if not (List.mem name !failed) then failed := name :: !failed))
+    requested;
+  if !failed <> [] then begin
+    Printf.eprintf "%d experiment(s) failed: %s\n%!"
+      (List.length !failed)
+      (String.concat ", " (List.rev !failed));
+    exit 1
+  end

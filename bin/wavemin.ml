@@ -11,6 +11,7 @@
      export         dump a benchmark's clock tree (tabular or DOT)
      stats          structural/electrical statistics of a benchmark tree
      report         write a markdown comparison report
+     bench-diff     regression gate between two BENCH_*.json run reports
      library        dump the cell library in the Liberty-style format *)
 
 open Cmdliner
@@ -20,9 +21,11 @@ module Context = Repro_core.Context
 module Golden = Repro_core.Golden
 module Benchmarks = Repro_cts.Benchmarks
 module Table = Repro_util.Table
+module Json = Repro_util.Json
 module Obs_trace = Repro_obs.Trace
 module Obs_metrics = Repro_obs.Metrics
 module Obs_log = Repro_obs.Log
+module Run_report = Repro_obs.Report
 
 (* ---- observability flags (run/profile/compare) ------------------- *)
 
@@ -148,15 +151,58 @@ let run_cmd =
     Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
           $ log_level_arg $ trace_arg $ metrics_arg)
 
+(* Everything `profile` prints as text, as one machine-readable
+   document: run identity, quality and runtime numbers, the span list
+   and the metrics-registry snapshot. *)
+let profile_json (r : Flow.run) =
+  let num = List.map (fun (k, v) -> (k, Json.Num v)) in
+  Json.Obj
+    [ ("benchmark", Json.Str r.Flow.benchmark);
+      ("algorithm", Json.Str (Flow.algorithm_name r.Flow.algorithm));
+      ( "quality",
+        Json.Obj
+          (num
+             [ ("peak_current_ma", r.Flow.metrics.Golden.peak_current_ma);
+               ("vdd_noise_mv", r.Flow.metrics.Golden.vdd_noise_mv);
+               ("gnd_noise_mv", r.Flow.metrics.Golden.gnd_noise_mv);
+               ("skew_ps", r.Flow.metrics.Golden.skew_ps);
+               ("predicted_peak_ua", r.Flow.predicted_peak_ua);
+               ( "num_leaf_inverters",
+                 float_of_int r.Flow.num_leaf_inverters ) ]) );
+      ( "runtime",
+        Json.Obj (num [ ("wall_s", r.Flow.elapsed_s); ("cpu_s", r.Flow.cpu_s) ]) );
+      ("approximate", Json.Bool r.Flow.approximate);
+      ( "spans",
+        Json.List
+          (List.map
+             (fun (s : Obs_trace.span) ->
+               Json.Obj
+                 [ ("name", Json.Str s.Obs_trace.name);
+                   ("depth", Json.Num (float_of_int s.Obs_trace.depth));
+                   ( "dur_ms",
+                     Json.Num (Int64.to_float s.Obs_trace.dur_ns /. 1e6) ) ])
+             (Obs_trace.spans ())) );
+      ("metrics", Obs_metrics.to_json ()) ]
+
 let profile_cmd =
-  let run name algo kappa slots level trace =
-    let finish = setup_obs ~force_trace:true level trace true in
+  let json_arg =
+    let doc =
+      "Emit the profile as a JSON document (run metrics, spans and the \
+       metrics registry) instead of the text report."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run name algo kappa slots level trace json =
+    let finish = setup_obs ~force_trace:true level trace (not json) in
     match Benchmarks.find name with
     | spec ->
       let r = Flow.run_benchmark ~params:(params_of kappa slots) spec algo in
-      print_run r;
-      Format.printf "@.span tree:@.";
-      print_string (Obs_trace.to_text_tree ());
+      if json then print_endline (Json.to_string_pretty (profile_json r))
+      else begin
+        print_run r;
+        Format.printf "@.span tree:@.";
+        print_string (Obs_trace.to_text_tree ())
+      end;
       finish ();
       0
     | exception Not_found ->
@@ -167,9 +213,9 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Optimize one benchmark with tracing on and print the span tree \
-          and metrics table")
+          and metrics table (or a JSON document with $(b,--json))")
     Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
-          $ log_level_arg $ trace_arg)
+          $ log_level_arg $ trace_arg $ json_arg)
 
 let compare_cmd =
   let run name kappa slots level trace metrics =
@@ -393,6 +439,64 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Markdown comparison report for a benchmark")
     Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ out_arg)
 
+let bench_diff_cmd =
+  let baseline_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE.json"
+           ~doc:"Baseline run report (e.g. a checked-in bench/baselines file)")
+  in
+  let candidate_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE.json"
+           ~doc:"Candidate run report (a freshly emitted BENCH_*.json)")
+  in
+  let d = Run_report.default_tolerances in
+  let quality_rtol_arg =
+    Arg.(value & opt float d.Run_report.quality_rtol
+         & info [ "quality-rtol" ] ~docv:"E"
+             ~doc:"Relative tolerance on quality metrics")
+  in
+  let quality_atol_arg =
+    Arg.(value & opt float d.Run_report.quality_atol
+         & info [ "quality-atol" ] ~docv:"E"
+             ~doc:"Absolute tolerance on quality metrics")
+  in
+  let runtime_ratio_arg =
+    Arg.(value & opt float d.Run_report.runtime_ratio
+         & info [ "runtime-ratio" ] ~docv:"R"
+             ~doc:"Slowdown factor beyond which a runtime fails the gate")
+  in
+  let runtime_slack_arg =
+    Arg.(value & opt float d.Run_report.runtime_slack_s
+         & info [ "runtime-slack" ] ~docv:"S"
+             ~doc:"Seconds a runtime may grow regardless of the ratio")
+  in
+  let run baseline_path candidate_path quality_rtol quality_atol runtime_ratio
+      runtime_slack =
+    let load path =
+      match Run_report.read path with
+      | Ok r -> Some r
+      | Error msg ->
+        Format.eprintf "cannot read report %s: %s@." path msg;
+        None
+    in
+    match (load baseline_path, load candidate_path) with
+    | Some baseline, Some candidate ->
+      let tol =
+        { Run_report.quality_rtol; quality_atol; runtime_ratio;
+          runtime_slack_s = runtime_slack }
+      in
+      let changes = Run_report.diff ~tol ~baseline ~candidate () in
+      print_string (Run_report.render_diff changes);
+      if Run_report.failures changes = [] then 0 else 1
+    | _ -> 2
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_*.json run reports and fail on quality or \
+          runtime regressions")
+    Term.(const run $ baseline_arg $ candidate_arg $ quality_rtol_arg
+          $ quality_atol_arg $ runtime_ratio_arg $ runtime_slack_arg)
+
 let library_cmd =
   let run () =
     print_string (Repro_cell.Liberty.to_string Repro_cell.Library.all);
@@ -412,4 +516,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; compare_cmd; multimode_cmd;
             montecarlo_cmd; characterize_cmd; export_cmd; stats_cmd;
-            report_cmd; library_cmd ]))
+            report_cmd; bench_diff_cmd; library_cmd ]))

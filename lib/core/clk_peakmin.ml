@@ -130,7 +130,17 @@ let optimize (ctx : Context.t) =
       | Some _ | None -> best := Some ((cls, per_zone), own_objective))
     ctx.Context.classes;
   match !best with
-  | None -> failwith "Clk_peakmin.optimize: no feasible interval (skew bound too tight)"
+  | None ->
+    let p = ctx.Context.params in
+    let effective_kappa =
+      Float.max 1.0 (p.Context.kappa -. p.Context.sibling_guard)
+    in
+    failwith
+      (Printf.sprintf "Clk_peakmin.optimize: %s (effective kappa %.2f ps \
+                       = kappa %.2f ps - sibling guard %.2f ps)"
+         (Intervals.infeasibility_message ctx.Context.sinks
+            ~kappa:effective_kappa)
+         effective_kappa p.Context.kappa p.Context.sibling_guard)
   | Some ((cls, per_zone), _) ->
     let assignment = ref ctx.Context.base in
     Array.iter

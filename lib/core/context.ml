@@ -221,7 +221,15 @@ let solve_with t ~zone_solver =
       | Some _ | None -> best := Some (cls, peak, per_zone))
     t.classes;
   match !best with
-  | None -> failwith "Context.solve_with: no feasible interval (skew bound too tight)"
+  | None ->
+    let effective_kappa =
+      Float.max 1.0 (t.params.kappa -. t.params.sibling_guard)
+    in
+    failwith
+      (Printf.sprintf "Context.solve_with: %s (effective kappa %.2f ps = \
+                       kappa %.2f ps - sibling guard %.2f ps)"
+         (Intervals.infeasibility_message t.sinks ~kappa:effective_kappa)
+         effective_kappa t.params.kappa t.params.sibling_guard)
   | Some (cls, peak, per_zone) ->
     let assignment =
       apply_choices t (Array.map (fun (c, _, _) -> c) per_zone)

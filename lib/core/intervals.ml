@@ -84,6 +84,60 @@ let feasible_intervals ?(coalesce = 0.25) sinks ~kappa =
   |> List.map (fun hi -> { lo = hi -. kappa; hi })
   |> List.filter (feasible sinks)
 
+(* A window [A, B] admits a candidate of every sink only if
+   A <= min_i (max_j a_ij) and B >= max_i (min_j a_ij): it cannot start
+   after the sink whose candidates end earliest, nor end before the
+   sink whose candidates start latest.  The gap between those two
+   arrivals is therefore a lower bound on any feasible window's
+   width — i.e. on kappa. *)
+let infeasibility_message sinks ~kappa =
+  let bound = ref None in
+  Array.iter
+    (fun s ->
+      if Array.length s.candidates > 0 then begin
+        let mn = ref s.candidates.(0).arrival
+        and mx = ref s.candidates.(0).arrival in
+        Array.iter
+          (fun c ->
+            if c.arrival < !mn then mn := c.arrival;
+            if c.arrival > !mx then mx := c.arrival)
+          s.candidates;
+        match !bound with
+        | None -> bound := Some (s.leaf_id, !mn, s.leaf_id, !mx)
+        | Some (late_id, late, early_id, early) ->
+          let late_id, late =
+            if !mn > late then (s.leaf_id, !mn) else (late_id, late)
+          and early_id, early =
+            if !mx < early then (s.leaf_id, !mx) else (early_id, early)
+          in
+          bound := Some (late_id, late, early_id, early)
+      end)
+    sinks;
+  match !bound with
+  | None ->
+    Printf.sprintf
+      "no feasible interval: no sink has any candidate arrival (kappa = \
+       %.2f ps)"
+      kappa
+  | Some (late_id, late, early_id, early) when late -. early > kappa ->
+    Printf.sprintf
+      "no feasible interval: skew bound kappa = %.2f ps, but any window \
+       covering every sink spans at least [%.2f, %.2f] ps = %.2f ps wide \
+       (leaf %d's candidates end earliest at %.2f ps, leaf %d's start \
+       latest at %.2f ps); raise kappa by at least %.2f ps"
+      kappa early late (late -. early) early_id early late_id late
+      (late -. early -. kappa)
+  | Some (late_id, late, early_id, early) ->
+    Printf.sprintf
+      "no feasible interval: no window of width kappa = %.2f ps anchored \
+       at a candidate arrival covers every sink, although the binding \
+       sinks only require %.2f ps (leaf %d's candidates end earliest at \
+       %.2f ps, leaf %d's start latest at %.2f ps); the sinks' arrival \
+       sets leave gaps, so raise kappa or loosen coalescing"
+      kappa
+      (Float.max 0.0 (late -. early))
+      early_id early late_id late
+
 let availability sinks iv =
   Array.map
     (fun s -> Array.map (fun c -> inside iv c.arrival) s.candidates)

@@ -62,6 +62,13 @@ val feasible_intervals :
     interval count without affecting feasibility materially.
     @raise Invalid_argument if [kappa <= 0]. *)
 
+val infeasibility_message : sink array -> kappa:float -> string
+(** Human-readable diagnosis for an empty {!feasible_intervals} result:
+    reports the two binding sinks (the one whose candidates end
+    earliest and the one whose candidates start latest), the minimum
+    window width any feasible interval must have, and — when that width
+    exceeds [kappa] — by how much the skew bound must be raised. *)
+
 val availability : sink array -> interval -> bool array array
 (** [availability sinks iv] has one row per sink and one entry per
     candidate: [true] iff the candidate's arrival is inside [iv]. *)

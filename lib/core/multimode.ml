@@ -383,7 +383,38 @@ let solve t =
       | Some _ | None -> best := Some (inter, per_zone, peak))
     t.intersections;
   match !best with
-  | None -> failwith "Multimode.solve: no feasible intersection"
+  | None ->
+    let p = t.params in
+    let effective_kappa =
+      Float.max 1.0 (p.Context.kappa -. p.Context.sibling_guard)
+    in
+    (* Pinpoint whether some mode is infeasible on its own, or every
+       mode is fine alone and only the cross-mode cell admission
+       (Table IV) is empty. *)
+    let per_mode =
+      Array.to_list t.modes
+      |> List.mapi (fun m md ->
+             match
+               Intervals.feasible_intervals ~coalesce:p.Context.coalesce
+                 md.sinks ~kappa:effective_kappa
+             with
+             | [] ->
+               Printf.sprintf "mode %d: %s" m
+                 (Intervals.infeasibility_message md.sinks
+                    ~kappa:effective_kappa)
+             | ivs ->
+               Printf.sprintf
+                 "mode %d: %d feasible interval(s) on its own" m
+                 (List.length ivs))
+      |> String.concat "; "
+    in
+    failwith
+      (Printf.sprintf "Multimode.solve: no feasible intersection across \
+                       %d mode(s): no cell admits every sink in every \
+                       mode (effective kappa %.2f ps = kappa %.2f ps - \
+                       sibling guard %.2f ps); %s"
+         (Array.length t.modes) effective_kappa p.Context.kappa
+         p.Context.sibling_guard per_mode)
   | Some (inter, per_zone, peak) ->
     {
       assignment = apply t inter (Array.map (fun (c, _, _) -> c) per_zone);

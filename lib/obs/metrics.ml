@@ -1,4 +1,5 @@
 module Table = Repro_util.Table
+module Json = Repro_util.Json
 
 type counter = { mutable count : int }
 type gauge = { mutable value : float; mutable assigned : bool }
@@ -153,6 +154,55 @@ let reset () =
         h.hi <- neg_infinity;
         h.bucket_counts <- [])
     registry
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_stats
+
+let snapshot () =
+  List.map
+    (fun name ->
+      let v =
+        match Hashtbl.find registry name with
+        | Counter c -> Counter_value c.count
+        | Gauge g -> Gauge_value g.value
+        | Histogram h -> Histogram_value (histogram_stats h)
+      in
+      (name, v))
+    (names ())
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun (name, v) ->
+         let common kind = [ ("name", Json.Str name); ("kind", Json.Str kind) ] in
+         match v with
+         | Counter_value n -> Json.Obj (common "counter" @ [ ("count", Json.Num (float_of_int n)) ])
+         | Gauge_value x -> Json.Obj (common "gauge" @ [ ("value", Json.Num x) ])
+         | Histogram_value s ->
+           (* min/max are the empty-histogram sentinels (+/-inf) when no
+              finite sample was seen; JSON cannot carry them, so they
+              are omitted and restored on parse (see Report.of_json). *)
+           let extrema =
+             (if Float.is_finite s.min then [ ("min", Json.Num s.min) ] else [])
+             @ if Float.is_finite s.max then [ ("max", Json.Num s.max) ] else []
+           in
+           Json.Obj
+             (common "histogram"
+             @ [ ("count", Json.Num (float_of_int s.count));
+                 ("sum", Json.Num s.sum); ("mean", Json.Num s.mean) ]
+             @ extrema
+             @ [ ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (bound, c) ->
+                          Json.List
+                            [ Json.Num bound; Json.Num (float_of_int c) ])
+                        s.buckets) ) ]))
+       (snapshot ()))
+
+let dump_json () = Json.to_string_pretty (to_json ())
 
 let dump () =
   let t =

@@ -61,6 +61,24 @@ val quantile : histogram -> float -> float
 val names : unit -> string list
 (** All registered instrument names, sorted. *)
 
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_stats
+
+val snapshot : unit -> (string * value) list
+(** Immutable copy of every instrument's current state, sorted by name —
+    the form embedded into run reports ({!Repro_obs.Report}). *)
+
+val to_json : unit -> Repro_util.Json.t
+(** {!snapshot} as a JSON array of
+    [{"name", "kind", ...kind-specific fields}] objects.  Non-finite
+    histogram extrema (the empty-histogram sentinels) are omitted. *)
+
+val dump_json : unit -> string
+(** {!to_json} rendered pretty-printed — the [--json] counterpart of
+    {!dump}. *)
+
 val reset : unit -> unit
 (** Zero every instrument; registrations (and handles) survive. *)
 

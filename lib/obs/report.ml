@@ -1,0 +1,504 @@
+module Json = Repro_util.Json
+module Table = Repro_util.Table
+
+let schema_version = 1
+
+type status = Completed | Failed of string
+
+type manifest = {
+  experiment : string;
+  suite : string list;
+  git : string option;
+  seeds : (string * int) list;
+  config : (string * string) list;
+  ocaml_version : string;
+  word_size : int;
+  os_type : string;
+}
+
+type sample = {
+  benchmark : string;
+  algorithm : string;
+  quality : (string * float) list;
+  runtime : (string * float) list;
+}
+
+type stage = { stage : string; wall_s : float; cpu_s : float }
+
+type t = {
+  version : int;
+  manifest : manifest;
+  status : status;
+  samples : sample list;
+  stages : stage list;
+  registry : (string * Metrics.value) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+type builder = {
+  b_manifest : manifest;
+  mutable b_status : status;
+  mutable b_samples : sample list;  (* reversed *)
+  mutable b_stages : stage list;  (* reversed *)
+}
+
+let create ~experiment ?(suite = []) ?(seeds = []) ?(config = []) ?git () =
+  {
+    b_manifest =
+      {
+        experiment;
+        suite;
+        git;
+        seeds;
+        config;
+        ocaml_version = Sys.ocaml_version;
+        word_size = Sys.word_size;
+        os_type = Sys.os_type;
+      };
+    b_status = Completed;
+    b_samples = [];
+    b_stages = [];
+  }
+
+let add_sample b ~benchmark ~algorithm ?(quality = []) ?(runtime = []) () =
+  b.b_samples <- { benchmark; algorithm; quality; runtime } :: b.b_samples
+
+let add_stage b ~stage ~wall_s ~cpu_s =
+  b.b_stages <- { stage; wall_s; cpu_s } :: b.b_stages
+
+let record_error b msg =
+  match b.b_status with Completed -> b.b_status <- Failed msg | Failed _ -> ()
+
+let finalize ?registry b =
+  let registry =
+    match registry with Some r -> r | None -> Metrics.snapshot ()
+  in
+  {
+    version = schema_version;
+    manifest = b.b_manifest;
+    status = b.b_status;
+    samples = List.rev b.b_samples;
+    stages = List.rev b.b_stages;
+    registry;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let json_of_float_fields fields =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) fields)
+
+let to_json r =
+  let m = r.manifest in
+  let manifest =
+    Json.Obj
+      ([ ("experiment", Json.Str m.experiment);
+         ("suite", Json.List (List.map (fun s -> Json.Str s) m.suite)) ]
+      @ (match m.git with
+        | None -> []
+        | Some g -> [ ("git", Json.Str g) ])
+      @ [ ( "seeds",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) m.seeds)
+          );
+          ("config", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.config));
+          ("ocaml_version", Json.Str m.ocaml_version);
+          ("word_size", Json.Num (float_of_int m.word_size));
+          ("os_type", Json.Str m.os_type) ])
+  in
+  let status =
+    match r.status with
+    | Completed -> Json.Str "ok"
+    | Failed msg -> Json.Obj [ ("error", Json.Str msg) ]
+  in
+  let samples =
+    Json.List
+      (List.map
+         (fun s ->
+           Json.Obj
+             [ ("benchmark", Json.Str s.benchmark);
+               ("algorithm", Json.Str s.algorithm);
+               ("quality", json_of_float_fields s.quality);
+               ("runtime", json_of_float_fields s.runtime) ])
+         r.samples)
+  in
+  let stages =
+    Json.List
+      (List.map
+         (fun st ->
+           Json.Obj
+             [ ("stage", Json.Str st.stage); ("wall_s", Json.Num st.wall_s);
+               ("cpu_s", Json.Num st.cpu_s) ])
+         r.stages)
+  in
+  let registry =
+    Json.List
+      (List.map
+         (fun (name, v) ->
+           let common kind =
+             [ ("name", Json.Str name); ("kind", Json.Str kind) ]
+           in
+           match v with
+           | Metrics.Counter_value n ->
+             Json.Obj (common "counter" @ [ ("count", Json.Num (float_of_int n)) ])
+           | Metrics.Gauge_value x ->
+             Json.Obj (common "gauge" @ [ ("value", Json.Num x) ])
+           | Metrics.Histogram_value s ->
+             (* The empty-histogram extrema sentinels (+/-inf) have no
+                JSON representation; omit them and restore on parse. *)
+             let extrema =
+               (if Float.is_finite s.Metrics.min then
+                  [ ("min", Json.Num s.Metrics.min) ]
+                else [])
+               @
+               if Float.is_finite s.Metrics.max then
+                 [ ("max", Json.Num s.Metrics.max) ]
+               else []
+             in
+             Json.Obj
+               (common "histogram"
+               @ [ ("count", Json.Num (float_of_int s.Metrics.count));
+                   ("sum", Json.Num s.Metrics.sum);
+                   ("mean", Json.Num s.Metrics.mean) ]
+               @ extrema
+               @ [ ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (bound, c) ->
+                            Json.List
+                              [ Json.Num bound; Json.Num (float_of_int c) ])
+                          s.Metrics.buckets) ) ]))
+         r.registry)
+  in
+  Json.Obj
+    [ ("schema_version", Json.Num (float_of_int r.version));
+      ("manifest", manifest); ("status", status); ("samples", samples);
+      ("stages", stages); ("registry", registry) ]
+
+let to_string r = Json.to_string_pretty (to_json r)
+
+exception Shape of string
+
+let shape fmt = Printf.ksprintf (fun msg -> raise (Shape msg)) fmt
+
+let get name extract j =
+  match Json.member name j with
+  | None -> shape "missing field %S" name
+  | Some v -> (
+    match extract v with
+    | Some x -> x
+    | None -> shape "field %S has the wrong type" name)
+
+let get_opt name extract j =
+  match Json.member name j with
+  | None -> None
+  | Some v -> (
+    match extract v with
+    | Some x -> Some x
+    | None -> shape "field %S has the wrong type" name)
+
+let float_fields name j =
+  get name Json.obj_value j
+  |> List.map (fun (k, v) ->
+         match Json.float_value v with
+         | Some x -> (k, x)
+         | None -> shape "%S/%S is not a number" name k)
+
+let of_json j =
+  match
+    let version = get "schema_version" Json.int_value j in
+    if version <> schema_version then
+      shape "unsupported schema_version %d (expected %d)" version
+        schema_version;
+    let mj = match Json.member "manifest" j with
+      | Some m -> m
+      | None -> shape "missing field \"manifest\""
+    in
+    let manifest =
+      {
+        experiment = get "experiment" Json.string_value mj;
+        suite =
+          get "suite" Json.list_value mj
+          |> List.map (fun v ->
+                 match Json.string_value v with
+                 | Some s -> s
+                 | None -> shape "suite entry is not a string");
+        git = get_opt "git" Json.string_value mj;
+        seeds =
+          get "seeds" Json.obj_value mj
+          |> List.map (fun (k, v) ->
+                 match Json.int_value v with
+                 | Some n -> (k, n)
+                 | None -> shape "seed %S is not an integer" k);
+        config =
+          get "config" Json.obj_value mj
+          |> List.map (fun (k, v) ->
+                 match Json.string_value v with
+                 | Some s -> (k, s)
+                 | None -> shape "config %S is not a string" k);
+        ocaml_version = get "ocaml_version" Json.string_value mj;
+        word_size = get "word_size" Json.int_value mj;
+        os_type = get "os_type" Json.string_value mj;
+      }
+    in
+    let status =
+      match Json.member "status" j with
+      | Some (Json.Str "ok") -> Completed
+      | Some (Json.Obj _ as o) -> Failed (get "error" Json.string_value o)
+      | Some _ | None -> shape "bad \"status\""
+    in
+    let samples =
+      get "samples" Json.list_value j
+      |> List.map (fun sj ->
+             {
+               benchmark = get "benchmark" Json.string_value sj;
+               algorithm = get "algorithm" Json.string_value sj;
+               quality = float_fields "quality" sj;
+               runtime = float_fields "runtime" sj;
+             })
+    in
+    let stages =
+      get "stages" Json.list_value j
+      |> List.map (fun sj ->
+             {
+               stage = get "stage" Json.string_value sj;
+               wall_s = get "wall_s" Json.float_value sj;
+               cpu_s = get "cpu_s" Json.float_value sj;
+             })
+    in
+    let registry =
+      get "registry" Json.list_value j
+      |> List.map (fun ij ->
+             let name = get "name" Json.string_value ij in
+             let v =
+               match get "kind" Json.string_value ij with
+               | "counter" -> Metrics.Counter_value (get "count" Json.int_value ij)
+               | "gauge" -> Metrics.Gauge_value (get "value" Json.float_value ij)
+               | "histogram" ->
+                 Metrics.Histogram_value
+                   {
+                     Metrics.count = get "count" Json.int_value ij;
+                     sum = get "sum" Json.float_value ij;
+                     mean = get "mean" Json.float_value ij;
+                     min =
+                       Option.value ~default:infinity
+                         (get_opt "min" Json.float_value ij);
+                     max =
+                       Option.value ~default:neg_infinity
+                         (get_opt "max" Json.float_value ij);
+                     buckets =
+                       get "buckets" Json.list_value ij
+                       |> List.map (function
+                            | Json.List [ Json.Num bound; Json.Num c ] ->
+                              (bound, int_of_float c)
+                            | _ -> shape "bad histogram bucket in %S" name);
+                   }
+               | k -> shape "unknown instrument kind %S" k
+             in
+             (name, v))
+    in
+    { version; manifest; status; samples; stages; registry }
+  with
+  | r -> Ok r
+  | exception Shape msg -> Error msg
+
+let of_string s =
+  match Json.of_string s with
+  | Error msg -> Error ("JSON syntax: " ^ msg)
+  | Ok j -> of_json j
+
+let write path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string r);
+      output_char oc '\n')
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+(* Stdlib.compare: structural, and treats NaN as equal to itself — the
+   right notion for "parses back to the same report". *)
+let equal a b = Stdlib.compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+
+type tolerances = {
+  quality_rtol : float;
+  quality_atol : float;
+  runtime_ratio : float;
+  runtime_slack_s : float;
+}
+
+let default_tolerances =
+  {
+    quality_rtol = 1e-6;
+    quality_atol = 1e-9;
+    runtime_ratio = 5.0;
+    runtime_slack_s = 0.25;
+  }
+
+type verdict =
+  | Unchanged
+  | Quality_regression
+  | Runtime_regression
+  | Missing_in_new
+  | Only_in_new
+  | Errored
+
+type change = {
+  path : string;
+  baseline : float option;
+  candidate : float option;
+  verdict : verdict;
+}
+
+type kind = Quality | Runtime
+
+(* Flatten a report into path -> (kind, value), insertion-ordered. *)
+let flatten r =
+  List.concat_map
+    (fun s ->
+      let prefix = s.benchmark ^ "/" ^ s.algorithm in
+      List.map
+        (fun (k, v) -> (prefix ^ "/quality/" ^ k, (Quality, v)))
+        s.quality
+      @ List.map
+          (fun (k, v) -> (prefix ^ "/runtime/" ^ k, (Runtime, v)))
+          s.runtime)
+    r.samples
+  @ List.concat_map
+      (fun st ->
+        [ ("stages/" ^ st.stage ^ "/wall_s", (Runtime, st.wall_s));
+          ("stages/" ^ st.stage ^ "/cpu_s", (Runtime, st.cpu_s)) ])
+      r.stages
+
+let diff ?(tol = default_tolerances) ~baseline ~candidate () =
+  if baseline.manifest.experiment <> candidate.manifest.experiment then
+    [ {
+        path = "manifest/experiment";
+        baseline = None;
+        candidate = None;
+        verdict = Errored;
+      } ]
+  else begin
+    let status_changes =
+      match candidate.status with
+      | Completed -> []
+      | Failed _ ->
+        [ { path = "status"; baseline = None; candidate = None;
+            verdict = Errored } ]
+    in
+    let base = flatten baseline in
+    let cand = flatten candidate in
+    let cand_tbl = Hashtbl.create 64 in
+    List.iter (fun (path, kv) -> Hashtbl.replace cand_tbl path kv) cand;
+    let base_paths = Hashtbl.create 64 in
+    List.iter (fun (path, _) -> Hashtbl.replace base_paths path ()) base;
+    let compared =
+      List.map
+        (fun (path, (kind, b)) ->
+          match Hashtbl.find_opt cand_tbl path with
+          | None ->
+            { path; baseline = Some b; candidate = None;
+              verdict = Missing_in_new }
+          | Some (_, c) ->
+            let verdict =
+              match kind with
+              | Quality ->
+                if
+                  Float.abs (c -. b)
+                  <= tol.quality_atol +. (tol.quality_rtol *. Float.abs b)
+                  || (Float.is_nan b && Float.is_nan c)
+                then Unchanged
+                else Quality_regression
+              | Runtime ->
+                (* Only slowdowns regress, and only when they are both a
+                   large ratio and a nontrivial absolute amount. *)
+                if
+                  c > b *. tol.runtime_ratio
+                  && c -. b > tol.runtime_slack_s
+                then Runtime_regression
+                else Unchanged
+            in
+            { path; baseline = Some b; candidate = Some c; verdict })
+        base
+    in
+    let additions =
+      List.filter_map
+        (fun (path, (_, c)) ->
+          if Hashtbl.mem base_paths path then None
+          else
+            Some
+              { path; baseline = None; candidate = Some c;
+                verdict = Only_in_new })
+        cand
+    in
+    status_changes @ compared @ additions
+  end
+
+let failures changes =
+  List.filter
+    (fun c ->
+      match c.verdict with
+      | Unchanged | Only_in_new -> false
+      | Quality_regression | Runtime_regression | Missing_in_new | Errored ->
+        true)
+    changes
+
+let verdict_name = function
+  | Unchanged -> "ok"
+  | Quality_regression -> "QUALITY REGRESSION"
+  | Runtime_regression -> "RUNTIME REGRESSION"
+  | Missing_in_new -> "MISSING"
+  | Only_in_new -> "new"
+  | Errored -> "RUN FAILED"
+
+let render_diff changes =
+  let bad = failures changes in
+  let additions =
+    List.filter (fun c -> c.verdict = Only_in_new) changes
+  in
+  let compared =
+    List.length (List.filter (fun c -> c.baseline <> None) changes)
+  in
+  let buf = Buffer.create 512 in
+  let listed = bad @ additions in
+  if listed <> [] then begin
+    let t =
+      Table.create ~headers:[ "metric"; "baseline"; "candidate"; "delta"; "verdict" ]
+    in
+    List.iter
+      (fun c ->
+        let cell = function
+          | None -> "-"
+          | Some v -> Json.float_to_string v
+        in
+        let delta =
+          match (c.baseline, c.candidate) with
+          | Some b, Some c' when b <> 0.0 ->
+            Printf.sprintf "%+.2f%%" (100.0 *. (c' -. b) /. Float.abs b)
+          | _ -> "-"
+        in
+        Table.add_row t
+          [ c.path; cell c.baseline; cell c.candidate; delta;
+            verdict_name c.verdict ])
+      listed;
+    Buffer.add_string buf (Table.render t)
+  end;
+  Buffer.add_string buf
+    (if bad = [] then
+       Printf.sprintf "OK: %d metrics compared, no regressions%s\n" compared
+         (match additions with
+         | [] -> ""
+         | l -> Printf.sprintf " (%d new metrics)" (List.length l))
+     else
+       Printf.sprintf "FAIL: %d regression(s) out of %d compared metrics\n"
+         (List.length bad) compared);
+  Buffer.contents buf

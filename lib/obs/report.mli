@@ -1,0 +1,158 @@
+(** Machine-readable experiment run reports ([BENCH_*.json]).
+
+    A report captures one experiment run end to end: a manifest (what
+    ran, against which benchmark suite, with which seeds and solver
+    configuration, in which — hostname-free — environment), the headline
+    quality numbers per benchmark and algorithm, wall/CPU time per
+    pipeline stage, and a snapshot of the {!Metrics} registry.  Reports
+    serialize to a versioned JSON schema and parse back losslessly
+    ([of_string (to_string r) = Ok r], floats bit-for-bit), so the
+    repo's perf/quality trajectory can be compared across commits.
+
+    {!diff} is the regression gate: it compares a candidate report
+    against a baseline with per-metric tolerances — quality metrics must
+    match exactly-or-within-epsilon (the pipeline is deterministic for
+    fixed seeds; any drift is a behaviour change), runtimes only fail on
+    a generous slowdown ratio (machines differ; only blow-ups are
+    regressions). *)
+
+val schema_version : int
+(** Current schema version (1).  Parsing rejects other versions. *)
+
+(** {1 Schema} *)
+
+type status = Completed | Failed of string
+
+type manifest = {
+  experiment : string;  (** e.g. ["table5"]. *)
+  suite : string list;  (** Benchmark names, paper order. *)
+  git : string option;  (** [git describe] of the producing tree. *)
+  seeds : (string * int) list;  (** RNG seeds, e.g. per benchmark. *)
+  config : (string * string) list;
+      (** Solver configuration (kappa, epsilon, max_labels, ...). *)
+  ocaml_version : string;
+  word_size : int;
+  os_type : string;
+}
+
+type sample = {
+  benchmark : string;
+  algorithm : string;
+  quality : (string * float) list;
+      (** Result metrics (peak current, noise, skew, improvement %...):
+          gated exact-or-epsilon. *)
+  runtime : (string * float) list;
+      (** Time metrics (wall/CPU seconds, ns/run): gated by ratio. *)
+}
+
+type stage = { stage : string; wall_s : float; cpu_s : float }
+
+type t = {
+  version : int;
+  manifest : manifest;
+  status : status;
+  samples : sample list;
+  stages : stage list;
+  registry : (string * Metrics.value) list;
+}
+
+(** {1 Building}
+
+    A [builder] accumulates samples and stages imperatively while an
+    experiment runs; {!finalize} seals it together with a registry
+    snapshot.  This is what [bench/bench_common.ml] threads through the
+    experiment drivers. *)
+
+type builder
+
+val create :
+  experiment:string ->
+  ?suite:string list ->
+  ?seeds:(string * int) list ->
+  ?config:(string * string) list ->
+  ?git:string ->
+  unit ->
+  builder
+(** Environment fields are filled in from [Sys] (OCaml version, word
+    size, OS type) — nothing host-identifying. *)
+
+val add_sample :
+  builder ->
+  benchmark:string ->
+  algorithm:string ->
+  ?quality:(string * float) list ->
+  ?runtime:(string * float) list ->
+  unit ->
+  unit
+(** Append one (benchmark, algorithm) result row.  Rows are kept in
+    insertion order; (benchmark, algorithm) pairs should be unique —
+    disambiguate variants in the algorithm label (e.g. ["wavemin@s8"]). *)
+
+val add_stage : builder -> stage:string -> wall_s:float -> cpu_s:float -> unit
+
+val record_error : builder -> string -> unit
+(** Mark the run [Failed].  The first recorded error wins. *)
+
+val finalize : ?registry:(string * Metrics.value) list -> builder -> t
+(** Seal the report.  [registry] defaults to {!Metrics.snapshot}[ ()]. *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Repro_util.Json.t
+val to_string : t -> string
+(** Pretty-printed, diff-friendly. *)
+
+val of_json : Repro_util.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val write : string -> t -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val read : string -> (t, string) result
+(** File-not-found/unreadable is reported as [Error], not an exception. *)
+
+val equal : t -> t -> bool
+(** Structural equality; float fields compare bit-for-bit (NaN equals
+    NaN), which is what the round-trip guarantee is stated in. *)
+
+(** {1 Regression gate} *)
+
+type tolerances = {
+  quality_rtol : float;  (** Relative quality tolerance (default 1e-6). *)
+  quality_atol : float;  (** Absolute quality tolerance (default 1e-9). *)
+  runtime_ratio : float;
+      (** Slowdown factor that fails the gate (default 5.0). *)
+  runtime_slack_s : float;
+      (** Absolute seconds a runtime may grow regardless of ratio
+          (default 0.25) — keeps micro-stages out of the gate. *)
+}
+
+val default_tolerances : tolerances
+
+type verdict =
+  | Unchanged  (** Within tolerance. *)
+  | Quality_regression  (** Quality value moved beyond epsilon. *)
+  | Runtime_regression  (** Runtime blew past the slowdown ratio. *)
+  | Missing_in_new  (** Baseline metric absent from the candidate. *)
+  | Only_in_new  (** New metric — informational, never fails the gate. *)
+  | Errored  (** Candidate run failed, or manifests are incomparable. *)
+
+type change = {
+  path : string;  (** e.g. ["s13207/wavemin/quality/peak_current_ma"]. *)
+  baseline : float option;
+  candidate : float option;
+  verdict : verdict;
+}
+
+val diff : ?tol:tolerances -> baseline:t -> candidate:t -> unit -> change list
+(** Every comparable metric of both reports, in baseline order then
+    candidate-only additions.  Comparing reports of different
+    experiments yields a single [Errored] change. *)
+
+val failures : change list -> change list
+(** The gate-failing subset: everything except [Unchanged] and
+    [Only_in_new]. *)
+
+val render_diff : change list -> string
+(** Human-readable verdict: a table of failing/new metrics (via
+    {!Repro_util.Table}) plus a one-line summary. *)

@@ -1,0 +1,50 @@
+(** Minimal JSON tree, writer and parser.
+
+    The run-report subsystem ({!Repro_obs.Report}, the [BENCH_*.json]
+    files) and the CLI's [--json] outputs need machine-readable
+    documents that round-trip exactly: [of_string (to_string v)] must
+    reconstruct [v], including float values bit-for-bit, without pulling
+    in an external JSON dependency.
+
+    Restrictions compared to full JSON: numbers are OCaml floats
+    (integers survive up to 2^53), strings are byte strings escaped with
+    [\uXXXX] for control characters (the parser only decodes ASCII
+    escapes — all this writer emits), and non-finite floats are written
+    as [null] (JSON has no representation for them; keep them out of
+    documents that must round-trip). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** Key order is preserved. *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read and
+    diffed by humans ([BENCH_*.json]). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete document; the error carries a byte offset. *)
+
+val float_to_string : float -> string
+(** Shortest decimal rendering that parses back to the same float
+    (integral values print without a fractional part). *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or not an object. *)
+
+val string_value : t -> string option
+val float_value : t -> float option
+val int_value : t -> int option
+(** [Num] with an integral value in [int] range. *)
+
+val bool_value : t -> bool option
+val list_value : t -> t list option
+val obj_value : t -> (string * t) list option

@@ -1,0 +1,336 @@
+(* Run reports (Repro_obs.Report): schema round-trip through the JSON
+   writer/parser pair, the shape of an emitted BENCH_*.json document,
+   and the regression-gate verdicts of Report.diff. *)
+
+module Report = Repro_obs.Report
+module Metrics = Repro_obs.Metrics
+module Json = Repro_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+let mk ?(experiment = "exp") ?(quality = [ ("peak_ma", 10.5) ])
+    ?(runtime = [ ("wall_s", 1.0); ("cpu_s", 0.9) ]) ?error () =
+  let b =
+    Report.create ~experiment ~suite:[ "b1"; "b2" ]
+      ~seeds:[ ("b1", 1001); ("b2", 1002) ]
+      ~config:[ ("kappa", "20."); ("epsilon", "0.01") ]
+      ~git:"abc1234" ()
+  in
+  Report.add_sample b ~benchmark:"b1" ~algorithm:"wavemin" ~quality ~runtime ();
+  Report.add_stage b ~stage:"total" ~wall_s:1.5 ~cpu_s:1.4;
+  (match error with None -> () | Some e -> Report.record_error b e);
+  Report.finalize ~registry:[] b
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip                                                          *)
+
+let test_roundtrip_full () =
+  (* Exercise every instrument kind in the registry snapshot, awkward
+     float values in the samples, and a populated manifest. *)
+  Metrics.reset ();
+  let c = Metrics.counter "report_test.count" in
+  let g = Metrics.gauge "report_test.gauge" in
+  let h = Metrics.histogram "report_test.hist" in
+  Metrics.incr ~by:7 c;
+  Metrics.set g (-3.25);
+  List.iter (Metrics.observe h) [ 0.1; 1.0; 17.0; 4096.0 ];
+  let empty_h = Metrics.histogram "report_test.empty_hist" in
+  ignore empty_h;
+  let b =
+    Report.create ~experiment:"roundtrip" ~suite:[ "s13207" ]
+      ~seeds:[ ("s13207", 1001) ]
+      ~config:[ ("kappa", "20.") ]
+      ~git:"deadbee-dirty" ()
+  in
+  Report.add_sample b ~benchmark:"s13207" ~algorithm:"wavemin"
+    ~quality:
+      [ ("peak_current_ma", 28.742132509254162); ("tiny", 1e-300);
+        ("third", 1.0 /. 3.0); ("neg", -0.0) ]
+    ~runtime:[ ("wall_s", 0.5768006929997682) ]
+    ();
+  Report.add_sample b ~benchmark:"s13207" ~algorithm:"peakmin" ();
+  Report.add_stage b ~stage:"synthesize" ~wall_s:0.001 ~cpu_s:0.001;
+  Report.add_stage b ~stage:"total" ~wall_s:0.6 ~cpu_s:0.58;
+  let r = Report.finalize b in
+  let r' =
+    match Report.of_string (Report.to_string r) with
+    | Ok r' -> r'
+    | Error msg -> Alcotest.failf "parse back failed: %s" msg
+  in
+  Alcotest.(check bool) "round-trips bit-for-bit" true (Report.equal r r');
+  Alcotest.(check int) "schema version" Report.schema_version r'.Report.version
+
+let test_roundtrip_failed_status () =
+  let r = mk ~error:"zone solver exploded" () in
+  (match r.Report.status with
+  | Report.Failed msg ->
+    Alcotest.(check string) "first error wins" "zone solver exploded" msg
+  | Report.Completed -> Alcotest.fail "expected Failed status");
+  match Report.of_string (Report.to_string r) with
+  | Ok r' ->
+    Alcotest.(check bool) "failed report round-trips" true (Report.equal r r')
+  | Error msg -> Alcotest.failf "parse back failed: %s" msg
+
+let test_roundtrip_file () =
+  let path = Filename.temp_file "wavemin_report" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r = mk () in
+  Report.write path r;
+  match Report.read path with
+  | Ok r' -> Alcotest.(check bool) "file round-trip" true (Report.equal r r')
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+
+let test_rejects_other_versions () =
+  let r = mk () in
+  let json = Report.to_json r in
+  let bumped =
+    match json with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | ("schema_version", _) -> ("schema_version", Json.Num 99.0)
+             | kv -> kv)
+           fields)
+    | _ -> Alcotest.fail "report JSON is not an object"
+  in
+  match Report.of_json bumped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema_version 99 must be rejected"
+
+let test_read_missing_file () =
+  match Report.read "/nonexistent/BENCH_nope.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an Error, not a report"
+
+(* ------------------------------------------------------------------ *)
+(* Golden shape of an emitted BENCH_*.json                             *)
+
+(* Abridged but structurally faithful copy of a real BENCH_table5.json
+   emission; the fields asserted here are the ones EXPERIMENTS.md
+   documents and CI's gate relies on. *)
+let golden_table5 =
+  {|{
+  "schema_version": 1,
+  "manifest": {
+    "experiment": "table5",
+    "suite": ["s13207", "s15850"],
+    "git": "d7731cf-dirty",
+    "seeds": {"s13207": 1001, "s15850": 1002},
+    "config": {"kappa": "20.", "epsilon": "0.01"},
+    "ocaml_version": "5.1.1",
+    "word_size": 64,
+    "os_type": "Unix"
+  },
+  "status": "ok",
+  "samples": [
+    {
+      "benchmark": "s13207",
+      "algorithm": "ClkPeakMin",
+      "quality": {
+        "peak_current_ma": 30.1,
+        "vdd_noise_mv": 2.4,
+        "gnd_noise_mv": 2.3,
+        "skew_ps": 9.5,
+        "predicted_peak_ua": 5661.0,
+        "num_leaf_inverters": 30
+      },
+      "runtime": {"wall_s": 0.55, "cpu_s": 0.54}
+    },
+    {
+      "benchmark": "s13207",
+      "algorithm": "improvement",
+      "quality": {"d_vdd_pct": 12.0, "d_gnd_pct": 11.0, "d_peak_pct": 9.0},
+      "runtime": {}
+    }
+  ],
+  "stages": [
+    {"stage": "s13207", "wall_s": 1.1, "cpu_s": 1.0},
+    {"stage": "total", "wall_s": 1.2, "cpu_s": 1.1}
+  ],
+  "registry": [
+    {"name": "context.sinks", "kind": "gauge", "value": 30},
+    {"name": "warburton.solves", "kind": "counter", "count": 4},
+    {
+      "name": "warburton.labels_per_row",
+      "kind": "histogram",
+      "count": 2,
+      "sum": 24,
+      "mean": 12,
+      "min": 8,
+      "max": 16,
+      "buckets": [[8, 1], [16, 1]]
+    }
+  ]
+}|}
+
+let test_golden_shape () =
+  let r =
+    match Report.of_string golden_table5 with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "golden BENCH_table5 must parse: %s" msg
+  in
+  Alcotest.(check string) "experiment" "table5" r.Report.manifest.Report.experiment;
+  Alcotest.(check (list string))
+    "suite" [ "s13207"; "s15850" ] r.Report.manifest.Report.suite;
+  Alcotest.(check bool) "completed" true (r.Report.status = Report.Completed);
+  let sample = List.hd r.Report.samples in
+  Alcotest.(check string) "benchmark" "s13207" sample.Report.benchmark;
+  Alcotest.(check string) "algorithm" "ClkPeakMin" sample.Report.algorithm;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (key ^ " present") true
+        (List.mem_assoc key sample.Report.quality))
+    [ "peak_current_ma"; "vdd_noise_mv"; "gnd_noise_mv"; "skew_ps";
+      "predicted_peak_ua"; "num_leaf_inverters" ];
+  Alcotest.(check (option (float 0.0)))
+    "wall time" (Some 0.55)
+    (List.assoc_opt "wall_s" sample.Report.runtime);
+  Alcotest.(check int) "stages" 2 (List.length r.Report.stages);
+  (* Registry entries parse back into typed values. *)
+  (match List.assoc "warburton.labels_per_row" r.Report.registry with
+  | Metrics.Histogram_value st ->
+    Alcotest.(check int) "histogram count" 2 st.Metrics.count
+  | _ -> Alcotest.fail "expected a histogram registry entry");
+  (* And the parsed report survives its own round trip. *)
+  match Report.of_string (Report.to_string r) with
+  | Ok r' -> Alcotest.(check bool) "golden round-trip" true (Report.equal r r')
+  | Error msg -> Alcotest.failf "golden re-parse failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+
+let verdicts changes = List.map (fun c -> c.Report.verdict) changes
+
+let test_diff_identical_passes () =
+  let r = mk () in
+  let changes = Report.diff ~baseline:r ~candidate:r () in
+  Alcotest.(check bool) "no failures" true (Report.failures changes = []);
+  Alcotest.(check bool)
+    "all unchanged" true
+    (List.for_all (fun c -> c.Report.verdict = Report.Unchanged) changes)
+
+let test_diff_quality_regression () =
+  let baseline = mk () in
+  let candidate = mk ~quality:[ ("peak_ma", 10.6) ] () in
+  let failures = Report.failures (Report.diff ~baseline ~candidate ()) in
+  Alcotest.(check (list string))
+    "the drifted metric fails"
+    [ "b1/wavemin/quality/peak_ma" ]
+    (List.map (fun c -> c.Report.path) failures);
+  Alcotest.(check bool)
+    "verdict is quality regression" true
+    (verdicts failures = [ Report.Quality_regression ])
+
+let test_diff_quality_within_epsilon () =
+  let baseline = mk () in
+  let candidate = mk ~quality:[ ("peak_ma", 10.5 *. (1.0 +. 1e-9)) ] () in
+  Alcotest.(check bool)
+    "sub-epsilon drift passes" true
+    (Report.failures (Report.diff ~baseline ~candidate ()) = [])
+
+let test_diff_runtime_regression () =
+  let baseline = mk () in
+  let candidate = mk ~runtime:[ ("wall_s", 10.0); ("cpu_s", 0.9) ] () in
+  (* 10x on a 1 s baseline trips both the 5x ratio and the 0.25 s
+     slack of the default tolerances. *)
+  let failures = Report.failures (Report.diff ~baseline ~candidate ()) in
+  Alcotest.(check bool)
+    "runtime regression" true
+    (verdicts failures = [ Report.Runtime_regression ]);
+  (* A faster candidate never fails: runtimes gate slowdowns only. *)
+  let faster = mk ~runtime:[ ("wall_s", 0.01); ("cpu_s", 0.01) ] () in
+  Alcotest.(check bool)
+    "speed-ups pass" true
+    (Report.failures (Report.diff ~baseline ~candidate:faster ()) = [])
+
+let test_diff_runtime_slack_absorbs_micro_stages () =
+  (* A 1 ms stage blowing up 20x is still within the absolute slack. *)
+  let baseline = mk ~runtime:[ ("wall_s", 0.001) ] () in
+  let candidate = mk ~runtime:[ ("wall_s", 0.02) ] () in
+  Alcotest.(check bool)
+    "micro-stage noise passes" true
+    (Report.failures (Report.diff ~baseline ~candidate ()) = [])
+
+let test_diff_missing_and_new_metrics () =
+  let baseline = mk ~quality:[ ("peak_ma", 10.5); ("skew_ps", 9.0) ] () in
+  let candidate = mk ~quality:[ ("peak_ma", 10.5); ("fresh", 1.0) ] () in
+  let changes = Report.diff ~baseline ~candidate () in
+  let verdict_of path =
+    (List.find (fun c -> c.Report.path = path) changes).Report.verdict
+  in
+  Alcotest.(check bool)
+    "dropped metric fails the gate" true
+    (verdict_of "b1/wavemin/quality/skew_ps" = Report.Missing_in_new);
+  Alcotest.(check bool)
+    "new metric is informational" true
+    (verdict_of "b1/wavemin/quality/fresh" = Report.Only_in_new);
+  Alcotest.(check (list string))
+    "only the dropped metric fails"
+    [ "b1/wavemin/quality/skew_ps" ]
+    (List.map (fun c -> c.Report.path) (Report.failures changes))
+
+let test_diff_failed_candidate_errors () =
+  let baseline = mk () in
+  let candidate = mk ~error:"boom" () in
+  let failures = Report.failures (Report.diff ~baseline ~candidate ()) in
+  Alcotest.(check bool)
+    "failed run is an Errored change" true
+    (List.exists (fun c -> c.Report.verdict = Report.Errored) failures)
+
+let test_diff_experiment_mismatch_errors () =
+  let baseline = mk ~experiment:"table1" () in
+  let candidate = mk ~experiment:"table5" () in
+  let changes = Report.diff ~baseline ~candidate () in
+  Alcotest.(check bool)
+    "incomparable manifests" true
+    (verdicts changes = [ Report.Errored ])
+
+let test_render_diff_mentions_failures () =
+  let baseline = mk () in
+  let candidate = mk ~quality:[ ("peak_ma", 11.0) ] () in
+  let text = Report.render_diff (Report.diff ~baseline ~candidate ()) in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the metric" true (contains "peak_ma" text);
+  Alcotest.(check bool) "says FAIL" true (contains "FAIL" text);
+  let ok = Report.render_diff (Report.diff ~baseline ~candidate:baseline ()) in
+  Alcotest.(check bool) "clean diff says OK" true (contains "OK" ok)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "report"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "full report" `Quick test_roundtrip_full;
+          Alcotest.test_case "failed status" `Quick test_roundtrip_failed_status;
+          Alcotest.test_case "via file" `Quick test_roundtrip_file;
+          Alcotest.test_case "rejects other schema versions" `Quick
+            test_rejects_other_versions;
+          Alcotest.test_case "missing file is an Error" `Quick
+            test_read_missing_file ] );
+      ( "golden",
+        [ Alcotest.test_case "BENCH_table5 shape" `Quick test_golden_shape ] );
+      ( "gate",
+        [ Alcotest.test_case "identical passes" `Quick test_diff_identical_passes;
+          Alcotest.test_case "quality regression" `Quick
+            test_diff_quality_regression;
+          Alcotest.test_case "quality within epsilon" `Quick
+            test_diff_quality_within_epsilon;
+          Alcotest.test_case "runtime regression" `Quick
+            test_diff_runtime_regression;
+          Alcotest.test_case "runtime slack" `Quick
+            test_diff_runtime_slack_absorbs_micro_stages;
+          Alcotest.test_case "missing and new metrics" `Quick
+            test_diff_missing_and_new_metrics;
+          Alcotest.test_case "failed candidate" `Quick
+            test_diff_failed_candidate_errors;
+          Alcotest.test_case "experiment mismatch" `Quick
+            test_diff_experiment_mismatch_errors;
+          Alcotest.test_case "render_diff" `Quick
+            test_render_diff_mentions_failures ] ) ]
