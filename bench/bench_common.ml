@@ -42,6 +42,15 @@ let record ~benchmark ~algorithm ?quality ?runtime () =
   | None -> ()
   | Some b -> Report.add_sample b ~benchmark ~algorithm ?quality ?runtime ()
 
+(* Record execution-environment facts (job count, measured speedups)
+   into the current report's manifest.  Environment entries are never
+   gated by the regression diff, so they are the right home for numbers
+   that vary with the machine. *)
+let annotate_environment kvs =
+  match !current_report with
+  | None -> ()
+  | Some b -> Report.add_environment b kvs
+
 (* The standard per-algorithm sample of a single-mode flow run: the
    golden quality metrics plus the optimizer's wall/CPU time. *)
 let record_run ?(algorithm_suffix = "") (r : Flow.run) =
@@ -57,16 +66,22 @@ let record_run ?(algorithm_suffix = "") (r : Flow.run) =
     ~runtime:[ ("wall_s", r.Flow.elapsed_s); ("cpu_s", r.Flow.cpu_s) ]
     ()
 
+(* Stage entry for work that was timed elsewhere — e.g. inside a
+   parallel worker, where recording must wait for the sequential
+   reporting phase to keep report order stable. *)
+let record_stage name ~wall_s ~cpu_s =
+  note "  [stage] %-40s %8.2f s" name wall_s;
+  match !current_report with
+  | None -> ()
+  | Some b -> Report.add_stage b ~stage:name ~wall_s ~cpu_s
+
 (* Run [f] as a named pipeline stage: recorded as a trace span (when
    tracing is on), as a wall/CPU stage entry of the current run report,
    and reported with its wall time. *)
 let report_stage name f =
   Obs_trace.with_span ~name (fun () ->
       let r, wall, cpu = time2 f in
-      note "  [stage] %-40s %8.2f s" name wall;
-      (match !current_report with
-      | None -> ()
-      | Some b -> Report.add_stage b ~stage:name ~wall_s:wall ~cpu_s:cpu);
+      record_stage name ~wall_s:wall ~cpu_s:cpu;
       r)
 
 (* [git describe] of the producing checkout for the report manifest;

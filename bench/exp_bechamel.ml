@@ -7,7 +7,10 @@ open Toolkit
 
 module Context = Repro_core.Context
 module Noise_table = Repro_core.Noise_table
+module Waveforms = Repro_core.Waveforms
 module Flow = Repro_core.Flow
+module Pareto = Repro_mosp.Pareto
+module Pwl = Repro_waveform.Pwl
 
 let make_workload () =
   let spec = Repro_cts.Benchmarks.find "s13207" in
@@ -21,6 +24,57 @@ let make_workload () =
   in
   (ctx, table, avail)
 
+(* Micro-kernels introduced by the flat-array rewrite: the dominance
+   filter, in-place PWL sampling, and the candidate-waveform memo. *)
+let kernel_tests ctx =
+  let test name f = Test.make ~name (Staged.stage f) in
+  (* Synthetic Pareto frontier: 256 six-dimensional labels, the size
+     regime where the solver still runs the exact dominance filter. *)
+  let rng = Repro_util.Rng.create ~seed:7 in
+  let labels =
+    List.init 256 (fun _ ->
+        { Pareto.cost =
+            Array.init 6 (fun _ -> Repro_util.Rng.float rng ~bound:100.0);
+          choices_rev = [] })
+  in
+  let rise =
+    Pwl.triangle ~start:0.0 ~peak_time:40.0 ~finish:120.0 ~height:900.0
+  in
+  let fall =
+    Pwl.triangle ~start:10.0 ~peak_time:70.0 ~finish:200.0 ~height:650.0
+  in
+  let times = Array.init 64 (fun i -> float_of_int i *. 3.5) in
+  let buf = Array.make 64 0.0 in
+  let tree = ctx.Context.tree in
+  let base = ctx.Context.base in
+  let env = ctx.Context.env in
+  let rising = ctx.Context.timing in
+  let falling =
+    Repro_clocktree.Timing.analyze tree base env
+      ~edge:Repro_cell.Electrical.Falling
+  in
+  let sinks = ctx.Context.sinks in
+  let zone = (Repro_core.Zones.zones ctx.Context.zones).(0) in
+  let num_slots = ctx.Context.params.Context.num_slots in
+  let build cache =
+    Noise_table.build tree base env ~rising ~falling ~sinks ~zone ~num_slots
+      ~cache ()
+  in
+  let warm_cache = Waveforms.create_cache () in
+  ignore (build warm_cache);
+  Test.make_grouped ~name:"kernels"
+    [ test "Pareto.non_dominated (256x6)" (fun () ->
+          Pareto.non_dominated labels);
+      test "Pwl.add + eval (allocating)" (fun () ->
+          let w = Pwl.add rise fall in
+          Array.iteri (fun i t -> buf.(i) <- Pwl.eval w t) times);
+      test "Pwl.sample_into + add_into (in place)" (fun () ->
+          Pwl.sample_into rise ~times ~into:buf;
+          Pwl.add_into fall ~times ~into:buf);
+      test "Noise_table.build (cold cache)" (fun () ->
+          build (Waveforms.create_cache ()));
+      test "Noise_table.build (warm cache)" (fun () -> build warm_cache) ]
+
 let run () =
   Bench_common.section
     "Bechamel — zone-solver kernels (Table V/VI runtime counterpart, one s13207 zone)";
@@ -29,13 +83,15 @@ let run () =
   in
   let test name f = Test.make ~name (Staged.stage f) in
   let grouped =
-    Test.make_grouped ~name:"zone-solvers"
-      [ test "ClkWaveMin (Warburton)" (fun () ->
-            Repro_core.Clk_wavemin.zone_solver ctx table ~avail);
-        test "ClkWaveMin-f (greedy)" (fun () ->
-            Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail);
-        test "ClkPeakMin (knapsack DP)" (fun () ->
-            Repro_core.Clk_peakmin.zone_solver ctx table ~avail) ]
+    Test.make_grouped ~name:"wavemin"
+      [ Test.make_grouped ~name:"zone-solvers"
+          [ test "ClkWaveMin (Warburton)" (fun () ->
+                Repro_core.Clk_wavemin.zone_solver ctx table ~avail);
+            test "ClkWaveMin-f (greedy)" (fun () ->
+                Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail);
+            test "ClkPeakMin (knapsack DP)" (fun () ->
+                Repro_core.Clk_peakmin.zone_solver ctx table ~avail) ];
+        kernel_tests ctx ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]

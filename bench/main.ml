@@ -72,6 +72,8 @@ let () =
         Report.create ~experiment:name ~suite
           ~seeds:(Bench_common.manifest_seeds ())
           ~config:(Bench_common.manifest_config ())
+          ~environment:
+            [ ("jobs", string_of_int (Repro_par.Par.jobs ())) ]
           ?git ()
       in
       Bench_common.set_report (Some builder);

@@ -84,6 +84,18 @@ let slots_arg =
   let doc = "Number of time sampling points |S|." in
   Arg.(value & opt int 158 & info [ "slots"; "s" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel regions (default: $(b,WAVEMIN_JOBS), \
+     else the machine's core count).  $(docv) = 1 is fully sequential; \
+     every job count produces bit-identical results."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some j -> Repro_par.Par.set_jobs j
+
 let params_of kappa slots =
   { Context.default_params with Context.kappa; num_slots = slots }
 
@@ -135,7 +147,8 @@ let print_run (r : Flow.run) =
     Format.printf "  (label cap tripped: result approximate beyond epsilon)@."
 
 let run_cmd =
-  let run name algo kappa slots level trace metrics =
+  let run name algo kappa slots jobs level trace metrics =
+    apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
     | spec ->
@@ -148,7 +161,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize one benchmark")
-    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
+    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg $ jobs_arg
           $ log_level_arg $ trace_arg $ metrics_arg)
 
 (* Everything `profile` prints as text, as one machine-readable
@@ -192,7 +205,8 @@ let profile_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run name algo kappa slots level trace json =
+  let run name algo kappa slots jobs level trace json =
+    apply_jobs jobs;
     let finish = setup_obs ~force_trace:true level trace (not json) in
     match Benchmarks.find name with
     | spec ->
@@ -214,11 +228,12 @@ let profile_cmd =
        ~doc:
          "Optimize one benchmark with tracing on and print the span tree \
           and metrics table (or a JSON document with $(b,--json))")
-    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg
+    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg $ jobs_arg
           $ log_level_arg $ trace_arg $ json_arg)
 
 let compare_cmd =
-  let run name kappa slots level trace metrics =
+  let run name kappa slots jobs level trace metrics =
+    apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
     | spec ->
@@ -250,14 +265,15 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the algorithms on one benchmark")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ log_level_arg
-          $ trace_arg $ metrics_arg)
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg
+          $ log_level_arg $ trace_arg $ metrics_arg)
 
 let montecarlo_cmd =
   let instances_arg =
     Arg.(value & opt int 200 & info [ "instances"; "n" ] ~doc:"Monte-Carlo instances")
   in
-  let run name kappa slots instances =
+  let run name kappa slots jobs instances =
+    apply_jobs jobs;
     match Benchmarks.find name with
     | spec ->
       let params = params_of kappa slots in
@@ -286,7 +302,8 @@ let montecarlo_cmd =
   in
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Process-variation analysis (Sec. VII-D)")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ instances_arg)
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg
+          $ instances_arg)
 
 let characterize_cmd =
   let cell_arg =
@@ -327,7 +344,8 @@ let multimode_cmd =
   let islands_arg =
     Arg.(value & opt int 4 & info [ "islands"; "i" ] ~doc:"Number of voltage islands")
   in
-  let run name kappa slots modes islands_n =
+  let run name kappa slots jobs modes islands_n =
+    apply_jobs jobs;
     match Benchmarks.find name with
     | spec ->
       let tree = Benchmarks.synthesize spec in
@@ -373,7 +391,8 @@ let multimode_cmd =
   in
   Cmd.v
     (Cmd.info "multimode" ~doc:"ClkWaveMin-M on a benchmark (Sec. VI)")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ modes_arg $ islands_arg)
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg $ modes_arg
+          $ islands_arg)
 
 let export_cmd =
   let dot_arg =
@@ -416,7 +435,8 @@ let report_cmd =
     Arg.(value & opt (some string) None & info [ "output"; "o" ]
            ~doc:"Write the report to a file instead of stdout")
   in
-  let run name kappa slots out =
+  let run name kappa slots jobs out =
+    apply_jobs jobs;
     match Benchmarks.find name with
     | spec ->
       let report =
@@ -437,7 +457,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Markdown comparison report for a benchmark")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ out_arg)
+    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg $ out_arg)
 
 let bench_diff_cmd =
   let baseline_arg =

@@ -5,6 +5,7 @@ module Cell = Repro_cell.Cell
 module Electrical = Repro_cell.Electrical
 module Obs_metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Par = Repro_par.Par
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.context"))
 
@@ -93,7 +94,11 @@ let create ?(params = default_params) ?env ?base tree ~cells =
     Trace.with_span ~name:"context.noise_tables"
       ~attrs:[ ("zones", string_of_int (Zones.num_zones zones)) ]
     @@ fun () ->
-    Array.map
+    (* One candidate-waveform memo for all zones: a leaf lives in
+       exactly one zone, so cross-zone traffic is nil, but within a zone
+       every delay step of an adjustable cell shares its pulse pair. *)
+    let cache = Waveforms.create_cache () in
+    Par.parallel_map ~label:"context.noise_tables"
       (fun zone ->
         (* Each zone accounts for a leaf-proportional share of the
            chip-global non-leaf background; shares sum to 1, so the
@@ -104,7 +109,7 @@ let create ?(params = default_params) ?env ?base tree ~cells =
         in
         Noise_table.build tree base env ~rising:timing ~falling ~sinks ~zone
           ~num_slots:params.num_slots
-          ~background:(global_internal, share) ())
+          ~background:(global_internal, share) ~cache ())
       (Zones.zones zones)
   in
   let classes =
@@ -201,9 +206,13 @@ let solve_with t ~zone_solver =
           [ ("index", string_of_int cls_idx);
             ("dof", string_of_int cls.degree_of_freedom) ]
       @@ fun () ->
+      (* Zones are independent once the class's availability is fixed;
+         results are index-addressed, so the fan-out is deterministic. *)
       let per_zone =
-        Array.mapi
-          (fun zi table ->
+        Par.parallel_init ~label:"context.zone_solve"
+          (Array.length t.tables)
+          (fun zi ->
+            let table = t.tables.(zi) in
             Trace.with_span ~name:"context.zone_solve"
               ~attrs:[ ("zone", string_of_int zi) ]
             @@ fun () ->
@@ -211,7 +220,6 @@ let solve_with t ~zone_solver =
             let choices, capped = zone_solver t table ~avail in
             let peak = Noise_table.zone_objective table ~choices in
             (choices, capped, peak))
-          t.tables
       in
       let peak =
         Array.fold_left (fun acc (_, _, p) -> Float.max acc p) 0.0 per_zone

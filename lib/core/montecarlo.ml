@@ -45,14 +45,17 @@ let perturbed_env rng ~sigma_ratio tree =
 
 let run ?(config = default_config) tree asg =
   if config.instances < 1 then invalid_arg "Montecarlo.run: instances < 1";
-  let rng = Rng.create ~seed:config.seed in
   let grid = Golden.default_grid tree in
   let skews = Array.make config.instances 0.0 in
   let noise_n = min config.noise_instances config.instances in
   let peaks = Array.make noise_n 0.0 in
   let vdds = Array.make noise_n 0.0 in
   let gnds = Array.make noise_n 0.0 in
-  for i = 0 to config.instances - 1 do
+  (* Each instance draws from its own RNG stream, a pure function of
+     (seed, i), and writes only its own index — so the sweep is
+     bit-identical for any job count or chunking. *)
+  let eval_instance i =
+    let rng = Rng.of_instance ~seed:config.seed i in
     let env = perturbed_env rng ~sigma_ratio:config.sigma_ratio tree in
     if i < noise_n then begin
       let m = Golden.evaluate ~grid tree asg env in
@@ -65,7 +68,9 @@ let run ?(config = default_config) tree asg =
       let timing = Timing.analyze tree asg env ~edge:Electrical.Rising in
       skews.(i) <- Timing.skew tree timing
     end
-  done;
+  in
+  Repro_par.Par.parallel_for ~label:"montecarlo" ~n:config.instances
+    eval_instance;
   {
     skew_yield = Stats.fraction_satisfying (fun s -> s <= config.kappa) skews;
     mean_skew = Stats.mean skews;

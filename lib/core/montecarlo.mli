@@ -33,7 +33,10 @@ type report = {
 }
 
 val run : ?config:config -> Tree.t -> Assignment.t -> report
-(** Analyse one (optimized) assignment under variation. *)
+(** Analyse one (optimized) assignment under variation.  The instance
+    loop fans out across the {!Repro_par.Par} pool; every instance draws
+    from its own [Rng.of_instance (seed, i)] stream and owns its result
+    slot, so the report is bit-identical for any job count. *)
 
 val perturbed_env :
   Repro_util.Rng.t -> sigma_ratio:float -> Tree.t -> Repro_clocktree.Timing.env

@@ -6,6 +6,7 @@ module Electrical = Repro_cell.Electrical
 module Layered = Repro_mosp.Layered
 module Warburton = Repro_mosp.Warburton
 module Trace = Repro_obs.Trace
+module Par = Repro_par.Par
 
 type mode = {
   env : Timing.env;
@@ -111,9 +112,12 @@ let create ?(params = Context.default_params) ?cells_of tree ~base ~envs ~cells 
       leaves
   in
   let zones = Zones.partition tree ~side:params.Context.zone_side in
+  (* Power modes are independent until intersection time, so their
+     timing analyses and noise tables build concurrently; results are
+     index-addressed per mode. *)
   let modes =
-    Array.mapi
-      (fun m env ->
+    Par.parallel_map ~label:"multimode.modes"
+      (fun (m, env) ->
         if env.Timing.mode <> m then
           invalid_arg "Multimode.create: env.mode must equal its index";
         let timing = Timing.analyze tree base env ~edge:Electrical.Rising in
@@ -131,6 +135,7 @@ let create ?(params = Context.default_params) ?cells_of tree ~base ~envs ~cells 
             Waveforms.period_rail_currents tree base env ~node_ids:internal_ids
               ~period:Noise_table.default_period ()
         in
+        let cache = Waveforms.create_cache () in
         let tables =
           Array.map
             (fun zone ->
@@ -140,11 +145,11 @@ let create ?(params = Context.default_params) ?cells_of tree ~base ~envs ~cells 
               in
               Noise_table.build tree base env ~rising:timing ~falling ~sinks
                 ~zone ~num_slots:params.Context.num_slots
-                ~background:(global_internal, share) ())
+                ~background:(global_internal, share) ~cache ())
             (Zones.zones zones)
         in
         { env; timing; sinks; tables })
-      envs
+      (Array.mapi (fun m env -> (m, env)) envs)
   in
   (* Per-mode feasible intervals, deduplicated at the cell level and
      capped by DoF. *)
@@ -364,7 +369,10 @@ let solve_intersection t inter =
     ~attrs:[ ("dof", string_of_int inter.degree_of_freedom) ]
   @@ fun () ->
   let num_zones = Zones.num_zones t.zones in
-  let per_zone = Array.init num_zones (fun zi -> solve_zone t inter zi) in
+  let per_zone =
+    Par.parallel_init ~label:"multimode.zone_solve" num_zones (fun zi ->
+        solve_zone t inter zi)
+  in
   let peak =
     Array.fold_left (fun acc (_, p, _) -> Float.max acc p) 0.0 per_zone
   in

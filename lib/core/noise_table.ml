@@ -22,14 +22,8 @@ let add_currents (a : Electrical.currents) (b : Electrical.currents) =
     iss = Pwl.add a.Electrical.iss b.Electrical.iss;
   }
 
-let support_union acc w =
-  match (Pwl.support w, acc) with
-  | None, acc -> acc
-  | Some (a, b), None -> Some (a, b)
-  | Some (a, b), Some (lo, hi) -> Some (Float.min a lo, Float.max b hi)
-
 let build tree asg env ~rising ~falling ?(period = default_period) ~sinks
-    ~zone ~num_slots ?background () =
+    ~zone ~num_slots ?background ?cache () =
   let row_of_leaf = Hashtbl.create 16 in
   Array.iteri
     (fun row (s : Intervals.sink) ->
@@ -44,51 +38,70 @@ let build tree asg env ~rising ~falling ?(period = default_period) ~sinks
       zone.Zones.leaf_ids
   in
   let zone_sinks = Array.map (fun row -> sinks.(row)) sink_rows in
-  (* Per candidate: the rising-edge and (already period/2-shifted)
-     falling-edge pulse pairs, both also shifted by the candidate's
-     adjustable delay step. *)
-  let cand_pairs =
+  (* Per candidate: the unshifted rising-edge and (already
+     period/2-shifted) falling-edge pulse pairs.  The candidate's
+     adjustable delay step is applied later as a sampling-time offset —
+     no shifted or merged waveform is ever materialized, and candidates
+     of one cell that differ only in delay step share the pair through
+     the memo. *)
+  let cand_base =
     Array.map
       (fun (s : Intervals.sink) ->
         Array.map
           (fun (c : Intervals.candidate) ->
-            let r, f =
-              Waveforms.candidate_period_currents tree env ~rising ~falling
-                s.Intervals.leaf_id c.Intervals.cell ~period
-            in
-            let shift (x : Electrical.currents) =
-              {
-                Electrical.idd = Pwl.shift x.Electrical.idd c.Intervals.extra;
-                iss = Pwl.shift x.Electrical.iss c.Intervals.extra;
-              }
-            in
-            (shift r, shift f))
+            Waveforms.candidate_period_currents ?cache tree env ~rising
+              ~falling s.Intervals.leaf_id c.Intervals.cell ~period)
           s.Intervals.candidates)
       zone_sinks
-  in
-  let cand_currents =
-    Array.map (Array.map (fun (r, f) -> add_currents r f)) cand_pairs
   in
   (* Slot selection: the paper samples both rails at both clock edges
      (Sec. III); every candidate pulse peak is a priority instant and
      the remaining budget is spread over the two per-edge leaf switching
-     windows (Fig. 7). *)
+     windows (Fig. 7).  A delayed pulse peaks at base peak + extra. *)
   let peak_times rail_of =
-    Array.to_list cand_pairs
-    |> List.concat_map (fun per_sink ->
-           Array.to_list per_sink
-           |> List.concat_map (fun (r, f) ->
-                  [ Pwl.peak_time (rail_of r); Pwl.peak_time (rail_of f) ]))
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun si per_cand ->
+              let s = zone_sinks.(si) in
+              List.concat
+                (Array.to_list
+                   (Array.mapi
+                      (fun ci (r, f) ->
+                        let extra =
+                          s.Intervals.candidates.(ci).Intervals.extra
+                        in
+                        [ Pwl.peak_time (rail_of r) +. extra;
+                          Pwl.peak_time (rail_of f) +. extra ])
+                      per_cand)))
+            cand_base))
   in
   let window part =
-    Array.fold_left
-      (fun acc per_sink ->
-        Array.fold_left
-          (fun acc pair ->
+    let acc = ref None in
+    Array.iteri
+      (fun si per_cand ->
+        let s = zone_sinks.(si) in
+        Array.iteri
+          (fun ci pair ->
+            let extra = s.Intervals.candidates.(ci).Intervals.extra in
             let (c : Electrical.currents) = part pair in
-            support_union (support_union acc c.Electrical.idd) c.Electrical.iss)
-          acc per_sink)
-      None cand_pairs
+            let shifted w =
+              match Pwl.support w with
+              | None -> None
+              | Some (a, b) -> Some (a +. extra, b +. extra)
+            in
+            let union bounds =
+              match (bounds, !acc) with
+              | None, _ -> ()
+              | Some (a, b), None -> acc := Some (a, b)
+              | Some (a, b), Some (lo, hi) ->
+                acc := Some (Float.min a lo, Float.max b hi)
+            in
+            union (shifted c.Electrical.idd);
+            union (shifted c.Electrical.iss))
+          per_cand)
+      cand_base;
+    !acc
   in
   let windows = List.filter_map (fun w -> w) [ window fst; window snd ] in
   (* Reference waveform for the grid: the zone's default leaf cells over
@@ -145,14 +158,63 @@ let build tree asg env ~rising ~falling ?(period = default_period) ~sinks
   in
   let clamp = Array.map (fun v -> Float.max 0.0 v) in
   let nonleaf = clamp (Slots.sample slots nonleaf_currents) in
-  let noise =
-    Array.map (Array.map (fun c -> clamp (Slots.sample slots c))) cand_currents
+  (* Sample every candidate straight from its unshifted pulse pair onto
+     reused per-rail scratch buffers: two in-place accumulation passes
+     per rail (rising + falling pulse) with the delay step folded into
+     the sampling times, then a clamped scatter into the row. *)
+  let num_slots_total = Array.length slots in
+  let rail_indices rail =
+    Array.of_list
+      (List.filter_map (fun x -> x)
+         (Array.to_list
+            (Array.mapi
+               (fun si (slot : Slots.t) ->
+                 if slot.Slots.rail = rail then Some si else None)
+               slots)))
   in
+  let vdd_idx = rail_indices Repro_cell.Cell.Vdd_rail in
+  let gnd_idx = rail_indices Repro_cell.Cell.Gnd_rail in
+  let vdd_times = Array.map (fun si -> slots.(si).Slots.time) vdd_idx in
+  let gnd_times = Array.map (fun si -> slots.(si).Slots.time) gnd_idx in
+  let vdd_buf = Array.make (Array.length vdd_idx) 0.0 in
+  let gnd_buf = Array.make (Array.length gnd_idx) 0.0 in
+  let sample_candidate (r : Electrical.currents) (f : Electrical.currents)
+      ~extra =
+    let out = Array.make num_slots_total 0.0 in
+    Pwl.sample_into ~shift:extra r.Electrical.idd ~times:vdd_times
+      ~into:vdd_buf;
+    Pwl.add_into ~shift:extra f.Electrical.idd ~times:vdd_times ~into:vdd_buf;
+    Array.iteri
+      (fun k si -> out.(si) <- Float.max 0.0 vdd_buf.(k))
+      vdd_idx;
+    Pwl.sample_into ~shift:extra r.Electrical.iss ~times:gnd_times
+      ~into:gnd_buf;
+    Pwl.add_into ~shift:extra f.Electrical.iss ~times:gnd_times ~into:gnd_buf;
+    Array.iteri
+      (fun k si -> out.(si) <- Float.max 0.0 gnd_buf.(k))
+      gnd_idx;
+    out
+  in
+  let noise =
+    Array.mapi
+      (fun si per_cand ->
+        let s = zone_sinks.(si) in
+        Array.mapi
+          (fun ci (r, f) ->
+            sample_candidate r f
+              ~extra:s.Intervals.candidates.(ci).Intervals.extra)
+          per_cand)
+      cand_base
+  in
+  (* The characterized peak is shift-invariant, so it is computed on the
+     unshifted pair without building the summed waveform. *)
   let cand_peak =
     Array.map
-      (Array.map (fun (c : Electrical.currents) ->
-           Float.max (Pwl.peak c.Electrical.idd) (Pwl.peak c.Electrical.iss)))
-      cand_currents
+      (Array.map (fun ((r : Electrical.currents), (f : Electrical.currents)) ->
+           Float.max
+             (Pwl.peak2 r.Electrical.idd f.Electrical.idd)
+             (Pwl.peak2 r.Electrical.iss f.Electrical.iss)))
+      cand_base
   in
   { zone; slots; sinks = zone_sinks; sink_rows; noise; nonleaf; cand_peak }
 

@@ -40,6 +40,7 @@ val build :
   zone:Zones.zone ->
   num_slots:int ->
   ?background:Repro_cell.Electrical.currents * float ->
+  ?cache:Waveforms.cache ->
   unit ->
   t
 (** Build the table for one zone.  [sinks] is the global candidate array
@@ -50,7 +51,12 @@ val build :
     out-of-zone non-leaf current and the fraction of it this zone
     accounts for; per-zone shares sum to the full chip background, so
     optimizing zones independently still balances the global waveform
-    (Observation 1 at chip scale). *)
+    (Observation 1 at chip scale).  [cache] shares candidate pulse pairs
+    across delay steps (and across zones when the caller passes one
+    cache to every build — see {!Waveforms.create_cache}); candidates
+    are sampled straight from the unshifted pair onto reused scratch
+    buffers, so no per-candidate shifted or merged waveform is
+    allocated. *)
 
 val zone_objective : t -> choices:int array -> float
 (** Estimated zone peak (uA) when zone sink [zi] uses candidate

@@ -9,6 +9,8 @@ module Trace = Repro_obs.Trace
 
 let node_pulses_c = Obs_metrics.counter "waveforms.node_pulses"
 let candidate_pulses_c = Obs_metrics.counter "waveforms.candidate_pulses"
+let cache_hits_c = Obs_metrics.counter "waveforms.cache_hits"
+let cache_misses_c = Obs_metrics.counter "waveforms.cache_misses"
 
 let shift_currents (c : Electrical.currents) dt =
   { Electrical.idd = Pwl.shift c.Electrical.idd dt;
@@ -75,9 +77,54 @@ let period_rail_currents tree asg env ?node_ids ~period () =
     iss = Pwl.add r.Electrical.iss (Pwl.shift f.Electrical.iss (period /. 2.0));
   }
 
-let candidate_period_currents tree env ~rising ~falling id cell ~period =
+(* Memo of sampled candidate pulse pairs, keyed by (leaf, cell).  A
+   leaf's adjustable-cell candidates differ only in their delay step, so
+   the unshifted pulse pair is shared by every step; callers that never
+   materialize the shifted pulses (see Noise_table.build) then pay the
+   characterization cost once per (sink, polarity, size).  Entries pin
+   the physical cell so that two distinct cells sharing a name can never
+   alias; the compute path is pure, so a racing double-compute stores a
+   bit-identical value either way. *)
+type cache = {
+  cache_mutex : Mutex.t;
+  table :
+    ( int * string,
+      (Cell.t * (Electrical.currents * Electrical.currents)) list )
+    Hashtbl.t;
+}
+
+let create_cache () = { cache_mutex = Mutex.create (); table = Hashtbl.create 256 }
+
+let candidate_period_currents ?cache tree env ~rising ~falling id cell ~period =
   if period <= 0.0 then
     invalid_arg "Waveforms.candidate_period_currents: period <= 0";
-  let r = candidate_currents tree env rising id cell in
-  let f = candidate_currents tree env falling id cell in
-  (r, shift_currents f (period /. 2.0))
+  let compute () =
+    let r = candidate_currents tree env rising id cell in
+    let f = candidate_currents tree env falling id cell in
+    (r, shift_currents f (period /. 2.0))
+  in
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+    let key = (id, cell.Cell.name) in
+    Mutex.lock c.cache_mutex;
+    let hit =
+      match Hashtbl.find_opt c.table key with
+      | Some entries -> List.find_opt (fun (cl, _) -> cl == cell) entries
+      | None -> None
+    in
+    Mutex.unlock c.cache_mutex;
+    match hit with
+    | Some (_, pair) ->
+      Obs_metrics.incr cache_hits_c;
+      pair
+    | None ->
+      Obs_metrics.incr cache_misses_c;
+      let pair = compute () in
+      Mutex.lock c.cache_mutex;
+      let entries =
+        Option.value ~default:[] (Hashtbl.find_opt c.table key)
+      in
+      Hashtbl.replace c.table key ((cell, pair) :: entries);
+      Mutex.unlock c.cache_mutex;
+      pair)

@@ -56,7 +56,16 @@ val period_rail_currents :
     over all (or the given) nodes.
     @raise Invalid_argument if [period <= 0]. *)
 
+type cache
+(** Memo of candidate pulse pairs keyed by (leaf, cell): one entry per
+    (sink, polarity, size), shared across an adjustable cell's delay
+    steps.  Domain-safe; hits/misses are counted in the
+    [waveforms.cache_hits]/[waveforms.cache_misses] metrics. *)
+
+val create_cache : unit -> cache
+
 val candidate_period_currents :
+  ?cache:cache ->
   Tree.t ->
   Timing.env ->
   rising:Timing.result ->
@@ -68,4 +77,5 @@ val candidate_period_currents :
 (** The candidate's pulses for the rising-edge event (absolute time) and
     for the falling-edge event already shifted to the second half of the
     period — the pair the per-edge sampling slots are computed from.
+    With [?cache] the pair is computed once per (leaf, cell) and reused.
     @raise Invalid_argument if the node is not a leaf or [period <= 0]. *)

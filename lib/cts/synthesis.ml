@@ -100,7 +100,7 @@ let partition points indices count =
         else fun i -> snd points.(i)
       in
       let sorted = Array.copy indices in
-      Array.sort (fun a b -> compare (key a) (key b)) sorted;
+      Array.sort (fun a b -> Float.compare (key a) (key b)) sorted;
       let c1 = count / 2 in
       let c2 = count - c1 in
       let n = Array.length sorted in

@@ -51,7 +51,7 @@ let bisect sinks ~branching =
         else fun i -> sinks.(i).Placement.y
       in
       let sorted = Array.copy indices in
-      Array.sort (fun a b -> compare (key a) (key b)) sorted;
+      Array.sort (fun a b -> Float.compare (key a) (key b)) sorted;
       let groups = min branching n in
       let children = List.map build (chunk sorted groups) in
       let x, y = centroid children in
@@ -174,7 +174,7 @@ let budgeted sinks ~taps =
       else fun i -> sinks.(i).Placement.y
     in
     let sorted = Array.copy indices in
-    Array.sort (fun a b -> compare (key a) (key b)) sorted;
+    Array.sort (fun a b -> Float.compare (key a) (key b)) sorted;
     let h = Array.length sorted / 2 in
     (Array.sub sorted 0 h, Array.sub sorted h (Array.length sorted - h))
   in

@@ -11,9 +11,6 @@ let labels_capped_c = Metrics.counter "warburton.labels_capped"
 let grid_delta_h = Metrics.histogram "warburton.grid_delta"
 let solves_c = Metrics.counter "warburton.solves"
 
-let add_weight cost w =
-  Array.mapi (fun k c -> c +. w.(k)) cost
-
 (* Per-objective lower bound of any path: dest weight plus the row-wise
    minima. *)
 let lower_bounds graph =
@@ -39,28 +36,20 @@ let lower_bounds graph =
    later one (often thousands across a sweep) drops to debug. *)
 let cap_warned = ref false
 
-let cap_labels max_labels ~row ~project labels =
-  let n = List.length labels in
-  if n <= max_labels then (labels, false)
-  else begin
-    let dropped = n - max_labels in
-    Metrics.incr ~by:dropped labels_capped_c;
-    if not !cap_warned then begin
-      cap_warned := true;
-      Log.warn (fun m ->
-          m
-            "label cap hit at row %d: dropped %d of %d labels \
-             (max_labels = %d); the solution is approximate beyond the \
-             epsilon guarantee"
-            row dropped n max_labels)
-    end
-    else
-      Log.debug (fun m ->
-          m "label cap hit at row %d: dropped %d of %d labels" row dropped n);
-    let arr = Array.of_list (List.map (fun l -> (project l, l)) labels) in
-    Array.sort (fun ((a : float), _) (b, _) -> Float.compare a b) arr;
-    (Array.to_list (Array.map snd (Array.sub arr 0 max_labels)), true)
+let warn_cap ~row ~dropped ~total ~max_labels =
+  Metrics.incr ~by:dropped labels_capped_c;
+  if not !cap_warned then begin
+    cap_warned := true;
+    Log.warn (fun m ->
+        m
+          "label cap hit at row %d: dropped %d of %d labels \
+           (max_labels = %d); the solution is approximate beyond the \
+           epsilon guarantee"
+          row dropped total max_labels)
   end
+  else
+    Log.debug (fun m ->
+        m "label cap hit at row %d: dropped %d of %d labels" row dropped total)
 
 let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
   if epsilon < 0.0 then invalid_arg "Warburton.pareto_paths: epsilon < 0";
@@ -97,57 +86,199 @@ let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
                (fun acc w -> Float.min acc w.(k))
                infinity rows.(i));
   done;
-  let start = [ { Pareto.cost = Array.make dim 0.0; choices_rev = [] } ] in
-  let row_index = ref 0 in
+  (* The frontier lives in flat scratch buffers for the whole solve:
+     costs are a [count * dim] float array (one row-major block per
+     label) with the per-label max component cached alongside, and
+     choice prefixes are persistent lists shared parent-to-child.  Each
+     row extends the frontier into a second set of flat buffers, prunes
+     in place, and copies the survivors back — no per-label cost arrays
+     or label records are allocated until the final materialization. *)
+  let all_zero_deltas = Array.for_all (fun d -> d <= 0.0) deltas in
+  let cur_costs = ref (Array.make (max 1 dim) 0.0) in
+  let cur_choices = ref [| [] |] in
+  let cur_n = ref 1 in
+  let ext_costs = ref [||] in
+  let ext_max = ref [||] in
+  let ext_choice = ref [||] in
+  let ext_parent = ref [||] in
+  let ensure_ext n =
+    if Array.length !ext_max < n then begin
+      let cap = max n (2 * Array.length !ext_max) in
+      ext_costs := Array.make (cap * dim) 0.0;
+      ext_max := Array.make cap 0.0;
+      ext_choice := Array.make cap 0;
+      ext_parent := Array.make cap 0
+    end
+  in
   let any_capped = ref false in
-  let step labels row =
-    let extended =
-      List.concat_map
-        (fun (l : Pareto.label) ->
-          Array.to_list
-            (Array.mapi
-               (fun choice w ->
-                 {
-                   Pareto.cost = add_weight l.Pareto.cost w;
-                   choices_rev = choice :: l.Pareto.choices_rev;
-                 })
-               row))
-        labels
+  let key_buf = Buffer.create (8 * dim) in
+  let step row_index row =
+    let k_row = Array.length row in
+    let n_ext = !cur_n * k_row in
+    ensure_ext n_ext;
+    let costs = !ext_costs
+    and maxes = !ext_max
+    and choice = !ext_choice
+    and parent = !ext_parent
+    and cc = !cur_costs in
+    (* Extension: label-major, choice-minor — the same enumeration order
+       as the old list-based concat_map, with the max component
+       accumulated on the fly into the reused [maxes] array. *)
+    let pos = ref 0 in
+    for li = 0 to !cur_n - 1 do
+      let base = li * dim in
+      for c = 0 to k_row - 1 do
+        let w = row.(c) in
+        let o = !pos * dim in
+        let m = ref 0.0 in
+        for d = 0 to dim - 1 do
+          let v = cc.(base + d) +. w.(d) in
+          costs.(o + d) <- v;
+          if v > !m then m := v
+        done;
+        maxes.(!pos) <- !m;
+        choice.(!pos) <- c;
+        parent.(!pos) <- li;
+        incr pos
+      done
+    done;
+    (* ε-grid prune on packed byte-string keys; per cell the label with
+       the smallest cached max survives, first-seen winning ties, and
+       survivors keep first-seen order (deterministic, unlike a
+       Hashtbl.fold). *)
+    let survivors =
+      if all_zero_deltas then Array.init n_ext (fun i -> i)
+      else begin
+        let table : (string, int) Hashtbl.t = Hashtbl.create (2 * n_ext) in
+        let order = ref [] in
+        for i = 0 to n_ext - 1 do
+          Buffer.clear key_buf;
+          let o = i * dim in
+          for d = 0 to dim - 1 do
+            let c = costs.(o + d) in
+            let dlt = deltas.(d) in
+            let v =
+              if dlt <= 0.0 then Int64.bits_of_float c
+              else Int64.of_float (floor (c /. dlt))
+            in
+            Buffer.add_int64_le key_buf v
+          done;
+          let key = Buffer.contents key_buf in
+          match Hashtbl.find_opt table key with
+          | Some j when maxes.(j) <= maxes.(i) -> ()
+          | Some _ -> Hashtbl.replace table key i
+          | None ->
+            Hashtbl.add table key i;
+            order := key :: !order
+        done;
+        let keys = List.rev !order in
+        Array.of_list (List.map (fun key -> Hashtbl.find table key) keys)
+      end
     in
     (* Dominance pruning is quadratic and prunes little in high
        dimension; apply it only where it pays (small sets, few
-       objectives) and lean on the ε-grid and the cap otherwise. *)
-    let pruned = Pareto.grid_prune ~deltas extended in
-    let pruned =
-      if dim <= 8 && List.length pruned <= 256 then Pareto.non_dominated pruned
-      else pruned
+       objectives) and lean on the ε-grid and the cap otherwise.  The
+       cached max gives an O(1) early reject: a label can only dominate
+       one whose max is no smaller. *)
+    let survivors =
+      let n = Array.length survivors in
+      if not (dim <= 8 && n <= 256) then survivors
+      else begin
+        let dominates i j =
+          let oi = i * dim and oj = j * dim in
+          let rec go d =
+            d >= dim || (costs.(oi + d) <= costs.(oj + d) && go (d + 1))
+          in
+          go 0
+        in
+        let kept = Array.make n 0 in
+        let kept_n = ref 0 in
+        Array.iter
+          (fun i ->
+            let dominated = ref false in
+            let r = ref 0 in
+            while (not !dominated) && !r < !kept_n do
+              let kl = kept.(!r) in
+              if maxes.(kl) <= maxes.(i) && dominates kl i then
+                dominated := true;
+              incr r
+            done;
+            if not !dominated then begin
+              let w = ref 0 in
+              for r = 0 to !kept_n - 1 do
+                let kl = kept.(r) in
+                if not (maxes.(i) <= maxes.(kl) && dominates i kl) then begin
+                  kept.(!w) <- kl;
+                  incr w
+                end
+              done;
+              kept_n := !w;
+              kept.(!kept_n) <- i;
+              incr kept_n
+            end)
+          survivors;
+        Array.sub kept 0 !kept_n
+      end
     in
-    Metrics.incr ~by:(List.length extended - List.length pruned)
-      labels_pruned_c;
-    incr row_index;
-    let remaining = suffix_min.(!row_index) in
-    let project (l : Pareto.label) =
-      let m = ref 0.0 in
-      Array.iteri
-        (fun k c ->
-          let v = c +. remaining.(k) in
-          if v > !m then m := v)
-        l.Pareto.cost;
-      !m
+    Metrics.incr ~by:(n_ext - Array.length survivors) labels_pruned_c;
+    (* Admissible-projection cap, ranked by current cost plus the
+       suffix lower bound; equal projections break by extension index so
+       the truncation is deterministic. *)
+    let remaining = suffix_min.(row_index + 1) in
+    let survivors =
+      let n = Array.length survivors in
+      if n <= max_labels then survivors
+      else begin
+        warn_cap ~row:row_index ~dropped:(n - max_labels) ~total:n
+          ~max_labels;
+        any_capped := true;
+        let proj =
+          Array.map
+            (fun i ->
+              let o = i * dim in
+              let m = ref 0.0 in
+              for d = 0 to dim - 1 do
+                let v = costs.(o + d) +. remaining.(d) in
+                if v > !m then m := v
+              done;
+              (!m, i))
+            survivors
+        in
+        Array.sort
+          (fun ((a : float), ia) (b, ib) ->
+            match Float.compare a b with
+            | 0 -> Int.compare ia ib
+            | c -> c)
+          proj;
+        Array.init max_labels (fun r -> snd proj.(r))
+      end
     in
-    let kept, capped =
-      cap_labels max_labels ~row:(!row_index - 1) ~project pruned
-    in
-    if capped then any_capped := true;
-    Metrics.observe labels_per_row_h (float_of_int (List.length kept));
-    kept
+    Metrics.observe labels_per_row_h (float_of_int (Array.length survivors));
+    (* Commit survivors to the current-frontier buffers. *)
+    let n_new = Array.length survivors in
+    let old_choices = !cur_choices in
+    if Array.length !cur_costs < n_new * dim then
+      cur_costs :=
+        Array.make (max (n_new * dim) (2 * Array.length !cur_costs)) 0.0;
+    let ncc = !cur_costs in
+    let nch = Array.make (max 1 n_new) [] in
+    Array.iteri
+      (fun r i ->
+        Array.blit costs (i * dim) ncc (r * dim) dim;
+        nch.(r) <- choice.(i) :: old_choices.(parent.(i)))
+      survivors;
+    cur_choices := nch;
+    cur_n := n_new
   in
-  let final = Array.fold_left step start rows in
+  Array.iteri step rows;
   let dest = Layered.dest_weight graph in
   let with_dest =
-    List.map
-      (fun (l : Pareto.label) -> { l with Pareto.cost = add_weight l.Pareto.cost dest })
-      final
+    List.init !cur_n (fun i ->
+        {
+          Pareto.cost =
+            Array.init dim (fun d -> (!cur_costs).((i * dim) + d) +. dest.(d));
+          choices_rev = (!cur_choices).(i);
+        })
   in
   let result =
     if dim <= 8 && List.length with_dest <= 256 then

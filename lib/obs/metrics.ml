@@ -1,10 +1,14 @@
 module Table = Repro_util.Table
 module Json = Repro_util.Json
 
-type counter = { mutable count : int }
-type gauge = { mutable value : float; mutable assigned : bool }
+(* Counters are atomic ints (hot-path updates from worker domains are
+   lock-free); gauges and histograms carry their own mutex — their
+   update paths are orders of magnitude colder than counter bumps. *)
+type counter = int Atomic.t
+type gauge = { g_mutex : Mutex.t; mutable value : float; mutable assigned : bool }
 
 type histogram = {
+  h_mutex : Mutex.t;
   mutable n : int;
   mutable sum : float;
   mutable lo : float;
@@ -19,6 +23,7 @@ type instrument =
   | Histogram of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -26,31 +31,38 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register name make select =
-  match Hashtbl.find_opt registry name with
-  | Some inst -> (
-    match select inst with
-    | Some h -> h
+  Mutex.lock registry_mutex;
+  let found = Hashtbl.find_opt registry name in
+  let result =
+    match found with
+    | Some inst -> (
+      match select inst with
+      | Some h -> Ok h
+      | None ->
+        Error
+          (Printf.sprintf "Metrics.%s: %S already registered as a %s"
+             (kind_name (make ())) name (kind_name inst)))
     | None ->
-      invalid_arg
-        (Printf.sprintf "Metrics.%s: %S already registered as a %s"
-           (kind_name (make ())) name (kind_name inst)))
-  | None ->
-    let inst = make () in
-    Hashtbl.add registry name inst;
-    (match select inst with Some h -> h | None -> assert false)
+      let inst = make () in
+      Hashtbl.add registry name inst;
+      (match select inst with Some h -> Ok h | None -> assert false)
+  in
+  Mutex.unlock registry_mutex;
+  match result with Ok h -> h | Error msg -> invalid_arg msg
 
 let counter name =
   register name
-    (fun () -> Counter { count = 0 })
+    (fun () -> Counter (Atomic.make 0))
     (function Counter c -> Some c | _ -> None)
 
 let gauge name =
   register name
-    (fun () -> Gauge { value = 0.0; assigned = false })
+    (fun () -> Gauge { g_mutex = Mutex.create (); value = 0.0; assigned = false })
     (function Gauge g -> Some g | _ -> None)
 
 let fresh_histogram () =
-  { n = 0; sum = 0.0; lo = infinity; hi = neg_infinity; bucket_counts = [] }
+  { h_mutex = Mutex.create (); n = 0; sum = 0.0; lo = infinity;
+    hi = neg_infinity; bucket_counts = [] }
 
 let histogram name =
   register name
@@ -59,13 +71,15 @@ let histogram name =
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c by)
 
-let value c = c.count
+let value c = Atomic.get c
 
 let set g v =
+  Mutex.lock g.g_mutex;
   g.value <- v;
-  g.assigned <- true
+  g.assigned <- true;
+  Mutex.unlock g.g_mutex
 
 let gauge_value g = g.value
 
@@ -80,6 +94,7 @@ let bucket_of v =
     if 2.0 ** float_of_int (e - 1) >= v then e - 1 else e
 
 let observe h v =
+  Mutex.lock h.h_mutex;
   h.n <- h.n + 1;
   if Float.is_finite v then begin
     h.sum <- h.sum +. v;
@@ -92,7 +107,8 @@ let observe h v =
       | pair :: rest -> pair :: bump rest
     in
     h.bucket_counts <- bump h.bucket_counts
-  end
+  end;
+  Mutex.unlock h.h_mutex
 
 type histogram_stats = {
   count : int;
@@ -107,27 +123,31 @@ let bound_of_bucket e =
   if e = min_int then 0.0 else 2.0 ** float_of_int e
 
 let histogram_stats h =
+  Mutex.lock h.h_mutex;
+  let n = h.n and sum = h.sum and lo = h.lo and hi = h.hi in
+  let bucket_counts = h.bucket_counts in
+  Mutex.unlock h.h_mutex;
   let buckets =
-    List.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b) h.bucket_counts
+    List.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b) bucket_counts
     |> List.map (fun (e, c) -> (bound_of_bucket e, c))
   in
   {
-    count = h.n;
-    sum = h.sum;
-    mean = (if h.n = 0 then 0.0 else h.sum /. float_of_int h.n);
-    min = h.lo;
-    max = h.hi;
+    count = n;
+    sum;
+    mean = (if n = 0 then 0.0 else sum /. float_of_int n);
+    min = lo;
+    max = hi;
     buckets;
   }
 
 let quantile h q =
   if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of range";
-  let { count; buckets; _ } = histogram_stats h in
+  let { count; buckets; max = hi; _ } = histogram_stats h in
   if count = 0 then 0.0
   else begin
     let target = q *. float_of_int count in
     let rec walk acc = function
-      | [] -> (match h.hi with hi when Float.is_finite hi -> hi | _ -> 0.0)
+      | [] -> (match hi with hi when Float.is_finite hi -> hi | _ -> 0.0)
       | (bound, c) :: rest ->
         let acc = acc +. float_of_int c in
         if acc >= target then bound else walk acc rest
@@ -136,36 +156,50 @@ let quantile h q =
   end
 
 let names () =
-  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
-  |> List.sort String.compare
+  Mutex.lock registry_mutex;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort String.compare names
 
 let reset () =
+  Mutex.lock registry_mutex;
   Hashtbl.iter
     (fun _ inst ->
       match inst with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c 0
       | Gauge g ->
+        Mutex.lock g.g_mutex;
         g.value <- 0.0;
-        g.assigned <- false
+        g.assigned <- false;
+        Mutex.unlock g.g_mutex
       | Histogram h ->
+        Mutex.lock h.h_mutex;
         h.n <- 0;
         h.sum <- 0.0;
         h.lo <- infinity;
         h.hi <- neg_infinity;
-        h.bucket_counts <- [])
-    registry
+        h.bucket_counts <- [];
+        Mutex.unlock h.h_mutex)
+    registry;
+  Mutex.unlock registry_mutex
 
 type value =
   | Counter_value of int
   | Gauge_value of float
   | Histogram_value of histogram_stats
 
+let find_instrument name =
+  Mutex.lock registry_mutex;
+  let inst = Hashtbl.find registry name in
+  Mutex.unlock registry_mutex;
+  inst
+
 let snapshot () =
   List.map
     (fun name ->
       let v =
-        match Hashtbl.find registry name with
-        | Counter c -> Counter_value c.count
+        match find_instrument name with
+        | Counter c -> Counter_value (Atomic.get c)
         | Gauge g -> Gauge_value g.value
         | Histogram h -> Histogram_value (histogram_stats h)
       in
@@ -212,10 +246,11 @@ let dump () =
   let blank = "-" in
   List.iter
     (fun name ->
-      match Hashtbl.find registry name with
+      match find_instrument name with
       | Counter c ->
+        let n = Atomic.get c in
         Table.add_row t
-          [ name; "counter"; Table.cell_i c.count; Table.cell_i c.count; blank;
+          [ name; "counter"; Table.cell_i n; Table.cell_i n; blank;
             blank; blank ]
       | Gauge g ->
         Table.add_row t

@@ -7,6 +7,10 @@
     hashes.  [reset] zeroes every instrument but keeps it registered, so
     handles held at module top level stay valid across runs.
 
+    Instruments are domain-safe: counters are atomic, gauges and
+    histograms update under a per-instrument mutex, so hot kernels may
+    bump them from pool workers ({!Repro_par}) without corruption.
+
     The registry observes; it never influences.  Nothing in the
     optimization pipeline may read a metric back to make a decision —
     that invariant is what makes traced and untraced runs bit-identical

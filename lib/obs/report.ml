@@ -11,6 +11,7 @@ type manifest = {
   git : string option;
   seeds : (string * int) list;
   config : (string * string) list;
+  environment : (string * string) list;
   ocaml_version : string;
   word_size : int;
   os_type : string;
@@ -38,13 +39,14 @@ type t = {
 (* Builder                                                             *)
 
 type builder = {
-  b_manifest : manifest;
+  mutable b_manifest : manifest;
   mutable b_status : status;
   mutable b_samples : sample list;  (* reversed *)
   mutable b_stages : stage list;  (* reversed *)
 }
 
-let create ~experiment ?(suite = []) ?(seeds = []) ?(config = []) ?git () =
+let create ~experiment ?(suite = []) ?(seeds = []) ?(config = [])
+    ?(environment = []) ?git () =
   {
     b_manifest =
       {
@@ -53,6 +55,7 @@ let create ~experiment ?(suite = []) ?(seeds = []) ?(config = []) ?git () =
         git;
         seeds;
         config;
+        environment;
         ocaml_version = Sys.ocaml_version;
         word_size = Sys.word_size;
         os_type = Sys.os_type;
@@ -61,6 +64,13 @@ let create ~experiment ?(suite = []) ?(seeds = []) ?(config = []) ?git () =
     b_samples = [];
     b_stages = [];
   }
+
+let add_environment b kvs =
+  let m = b.b_manifest in
+  let dropped =
+    List.filter (fun (k, _) -> not (List.mem_assoc k kvs)) m.environment
+  in
+  b.b_manifest <- { m with environment = dropped @ kvs }
 
 let add_sample b ~benchmark ~algorithm ?(quality = []) ?(runtime = []) () =
   b.b_samples <- { benchmark; algorithm; quality; runtime } :: b.b_samples
@@ -104,6 +114,8 @@ let to_json r =
               (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) m.seeds)
           );
           ("config", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.config));
+          ( "environment",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.environment) );
           ("ocaml_version", Json.Str m.ocaml_version);
           ("word_size", Json.Num (float_of_int m.word_size));
           ("os_type", Json.Str m.os_type) ])
@@ -238,6 +250,17 @@ let of_json j =
                  match Json.string_value v with
                  | Some s -> (k, s)
                  | None -> shape "config %S is not a string" k);
+        environment =
+          (* Absent in reports written before the block existed. *)
+          (match get_opt "environment" Json.obj_value mj with
+          | None -> []
+          | Some kvs ->
+            List.map
+              (fun (k, v) ->
+                match Json.string_value v with
+                | Some s -> (k, s)
+                | None -> shape "environment %S is not a string" k)
+              kvs);
         ocaml_version = get "ocaml_version" Json.string_value mj;
         word_size = get "word_size" Json.int_value mj;
         os_type = get "os_type" Json.string_value mj;

@@ -30,6 +30,10 @@ type manifest = {
   seeds : (string * int) list;  (** RNG seeds, e.g. per benchmark. *)
   config : (string * string) list;
       (** Solver configuration (kappa, epsilon, max_labels, ...). *)
+  environment : (string * string) list;
+      (** Execution-environment facts that explain runtimes without
+          affecting quality (e.g. [("jobs", "4")], measured speedups).
+          Never gated by {!diff}. *)
   ocaml_version : string;
   word_size : int;
   os_type : string;
@@ -70,11 +74,17 @@ val create :
   ?suite:string list ->
   ?seeds:(string * int) list ->
   ?config:(string * string) list ->
+  ?environment:(string * string) list ->
   ?git:string ->
   unit ->
   builder
 (** Environment fields are filled in from [Sys] (OCaml version, word
-    size, OS type) — nothing host-identifying. *)
+    size, OS type) — nothing host-identifying.  [environment] seeds the
+    free-form manifest block; extend it later with {!add_environment}. *)
+
+val add_environment : builder -> (string * string) list -> unit
+(** Merge entries into the manifest's [environment] block; a repeated
+    key replaces the earlier value. *)
 
 val add_sample :
   builder ->

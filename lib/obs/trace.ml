@@ -4,6 +4,7 @@ type span = {
   start_ns : int64;
   dur_ns : int64;
   depth : int;
+  domain : int;
 }
 
 let enabled_flag = ref false
@@ -11,33 +12,53 @@ let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
 (* Completed spans in completion order (children complete before their
-   parent); [spans] re-sorts by start time. *)
+   parent); [spans] re-sorts by start time.  Worker domains record into
+   the same buffer, so pushes are serialized by [mutex]; span nesting
+   depth is tracked per domain (each domain has its own call stack). *)
+let mutex = Mutex.create ()
 let completed : span list ref = ref []
-let open_depth = ref 0
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let with_span ?(attrs = []) ~name f =
   if not !enabled_flag then f ()
   else begin
+    let open_depth = Domain.DLS.get depth_key in
     let depth = !open_depth in
     incr open_depth;
+    let domain = (Domain.self () :> int) in
     let start_ns = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
         decr open_depth;
-        completed := { name; attrs; start_ns; dur_ns; depth } :: !completed)
+        let s = { name; attrs; start_ns; dur_ns; depth; domain } in
+        Mutex.lock mutex;
+        completed := s :: !completed;
+        Mutex.unlock mutex)
       f
   end
 
-let reset () = completed := []
+let reset () =
+  Mutex.lock mutex;
+  completed := [];
+  Mutex.unlock mutex
 
 let spans () =
+  let snapshot =
+    Mutex.lock mutex;
+    let s = !completed in
+    Mutex.unlock mutex;
+    s
+  in
   List.sort
     (fun a b ->
       match Int64.compare a.start_ns b.start_ns with
-      | 0 -> Stdlib.compare (a.depth : int) b.depth
+      | 0 -> (
+        match Int.compare a.domain b.domain with
+        | 0 -> Int.compare a.depth b.depth
+        | c -> c)
       | c -> c)
-    !completed
+    snapshot
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
@@ -81,10 +102,11 @@ let to_chrome_json () =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"wavemin\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1"
+           "{\"name\":\"%s\",\"cat\":\"wavemin\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
            (json_escape s.name)
            (Int64.to_float s.start_ns /. 1e3)
-           (Int64.to_float s.dur_ns /. 1e3));
+           (Int64.to_float s.dur_ns /. 1e3)
+           s.domain);
       (match s.attrs with
       | [] -> ()
       | attrs ->

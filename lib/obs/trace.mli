@@ -16,7 +16,8 @@ type span = {
   attrs : (string * string) list;
   start_ns : int64;  (** Monotonic, {!Clock.now_ns} domain. *)
   dur_ns : int64;
-  depth : int;  (** Nesting depth at open; roots are 0. *)
+  depth : int;  (** Nesting depth at open; roots are 0, per domain. *)
+  domain : int;  (** The OCaml domain the span ran on (Chrome [tid]). *)
 }
 
 val set_enabled : bool -> unit
@@ -25,7 +26,10 @@ val enabled : unit -> bool
 val with_span :
   ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 (** Run [f] inside a span.  The span closes (and is recorded) even when
-    [f] raises.  When tracing is disabled this is exactly [f ()]. *)
+    [f] raises.  When tracing is disabled this is exactly [f ()].
+    Safe to call from any domain: depth is tracked per domain and the
+    completed-span buffer is mutex-protected, so parallel regions show
+    up as separate [tid] lanes in the Chrome export. *)
 
 val reset : unit -> unit
 (** Drop all recorded spans.  Open spans (on the current stack) are

@@ -1,0 +1,155 @@
+module Clock = Repro_obs.Clock
+
+(* A from-scratch OCaml 5 domain pool.  [create ~jobs] spawns [jobs - 1]
+   worker domains that pull thunks from a shared queue under a
+   mutex/condition pair; the domain that submits a batch participates in
+   draining it, so [jobs = 1] spawns nothing and runs the exact
+   sequential path.  Batches are serialized: one [run_batch] owns the
+   queue until its last task completes, which keeps completion
+   accounting trivial (a single remaining-counter per batch). *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* task queued, or shutdown requested *)
+  queue : task Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+  tasks_run : int Atomic.t;
+  busy_ns : int Atomic.t array;
+      (* per participant: workers at 0 .. jobs-2, the caller at jobs-1 *)
+}
+
+(* Worker domains flip this flag so parallel combinators invoked from
+   inside a task (nested parallelism) fall back to the sequential path
+   instead of deadlocking on the busy pool. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let jobs t = t.jobs
+
+let timed_run t slot task =
+  let t0 = Clock.now_ns () in
+  task ();
+  let dt = Int64.to_int (Int64.sub (Clock.now_ns ()) t0) in
+  ignore (Atomic.fetch_and_add t.busy_ns.(slot) dt);
+  Atomic.incr t.tasks_run
+
+let rec worker_loop t slot =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.shutting_down then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        timed_run t slot task;
+        (* tasks are wrapped by [run_batch] and never raise *)
+        worker_loop t slot
+      | None ->
+        Condition.wait t.work t.mutex;
+        next ()
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [||];
+      tasks_run = Atomic.make 0;
+      busy_ns = Array.init jobs (fun _ -> Atomic.make 0);
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      Array.init (jobs - 1) (fun slot ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker_key true;
+              worker_loop t slot));
+  t
+
+(* Only call between batches (the pool idle); in-flight tasks finish,
+   queued-but-unstarted ones would be abandoned. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let run_batch t (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else if t.jobs = 1 || n = 1 || in_worker () then
+    (* Exact sequential path: no queueing, no wrapping, exceptions
+       propagate from the first failing thunk — which is also the
+       lowest-index failure the parallel path would re-raise. *)
+    Array.iter (fun f -> f ()) thunks
+  else begin
+    let remaining = Atomic.make n in
+    let batch_done = Condition.create () in
+    let errors : exn option array = Array.make n None in
+    let wrap i () =
+      (try thunks.(i) ()
+       with exn -> errors.(i) <- Some exn);
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* Last task: wake the caller if it is blocked in [drain]. *)
+        Mutex.lock t.mutex;
+        Condition.broadcast batch_done;
+        Mutex.unlock t.mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (wrap i) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* The caller drains too (participant slot [jobs - 1]). *)
+    let rec drain () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        timed_run t (t.jobs - 1) task;
+        Mutex.lock t.mutex;
+        drain ()
+      | None ->
+        if Atomic.get remaining > 0 then begin
+          Condition.wait batch_done t.mutex;
+          drain ()
+        end
+        else Mutex.unlock t.mutex
+    in
+    drain ();
+    (* Deterministic error surface: the lowest-index failure wins,
+       independent of execution interleaving. *)
+    Array.iter (function Some exn -> raise exn | None -> ()) errors
+  end
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_batch t (Array.init n (fun i () -> results.(i) <- Some (f arr.(i))));
+    Array.map
+      (function Some v -> v | None -> assert false (* run_batch raised *))
+      results
+  end
+
+type stats = { jobs : int; tasks_run : int; busy_ns : int array }
+
+let stats (t : t) =
+  {
+    jobs = t.jobs;
+    tasks_run = Atomic.get t.tasks_run;
+    busy_ns = Array.map Atomic.get t.busy_ns;
+  }

@@ -1,0 +1,48 @@
+(** A from-scratch OCaml 5 domain pool (Domain + Mutex/Condition task
+    queue, no dependencies beyond the stdlib).
+
+    [create ~jobs] spawns [jobs - 1] worker domains; the submitting
+    domain participates in draining each batch, so a pool of [jobs = 1]
+    spawns nothing and executes batches on the exact sequential path.
+    Batches are serialized — one {!run_batch} (or {!map}) owns the queue
+    until its last task completes — and must be submitted from outside
+    the pool's workers.  Combinators that may be reached from inside a
+    task should consult {!in_worker} and fall back to sequential
+    execution (see {!Par}). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool with [jobs] execution slots ([jobs - 1] domains).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Only call with the pool idle
+    (between batches); idempotent. *)
+
+val in_worker : unit -> bool
+(** True when the calling domain is one of a pool's workers. *)
+
+val run_batch : t -> (unit -> unit) array -> unit
+(** Execute every thunk, in parallel across the pool, and return when
+    all have finished.  If thunks raise, every task still runs to
+    completion and the {e lowest-index} exception is re-raised — the
+    same exception the sequential path would surface first — so error
+    behavior is deterministic under any interleaving. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f arr] applies [f] to every element in parallel; results are
+    index-addressed, so ordering is exactly that of [Array.map].
+    Exceptions behave as in {!run_batch}. *)
+
+type stats = {
+  jobs : int;
+  tasks_run : int;  (** Tasks executed since {!create}. *)
+  busy_ns : int array;
+      (** Per-participant busy time: workers at indices [0 .. jobs-2],
+          the submitting domain at [jobs-1]. *)
+}
+
+val stats : t -> stats

@@ -4,18 +4,33 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = Int64.of_int seed }
 
-(* SplitMix64 output function: one additive step plus two xor-shift
-   multiplies (Steele, Lea & Flood 2014). *)
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+(* SplitMix64 output function: two xor-shift multiplies
+   (Steele, Lea & Flood 2014). *)
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
 let split t =
   let s = next_int64 t in
   { state = s }
+
+let of_instance ~seed i =
+  if i < 0 then invalid_arg "Rng.of_instance: negative instance index";
+  (* Draw number [i] of [create ~seed] has pre-mix state
+     seed + (i+1)*gamma, so seeding a child with its mixed output is
+     exactly [split] of the parent stream at position [i] — but in O(1)
+     instead of O(i), which is what lets parallel workers jump straight
+     to their own instance's stream. *)
+  let pre =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul golden_gamma (Int64.of_int (i + 1)))
+  in
+  { state = mix64 pre }
 
 let int t ~bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -19,6 +19,14 @@ val split : t -> t
     Use one split per subsystem so that adding draws to one subsystem does
     not perturb another. *)
 
+val of_instance : seed:int -> int -> t
+(** [of_instance ~seed i] is the generator [split] would produce after
+    [i] draws from [create ~seed], computed in O(1).  The resulting
+    family of streams is a pure function of [(seed, i)], so per-instance
+    work (e.g. one Monte-Carlo trial) gets bit-identical randomness no
+    matter how instances are chunked across domains.
+    @raise Invalid_argument if [i < 0]. *)
+
 val int : t -> bound:int -> int
 (** [int t ~bound] returns a uniform integer in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)

@@ -9,7 +9,7 @@ let product_segment_integral ~t0 ~t1 ~a0 ~a1 ~b0 ~b1 =
 
 let merged_times w1 w2 ~window =
   let bps w = List.map fst (Pwl.breakpoints w) in
-  let all = List.sort_uniq compare (bps w1 @ bps w2) in
+  let all = List.sort_uniq Float.compare (bps w1 @ bps w2) in
   match window with
   | None -> all
   | Some (lo, hi) ->

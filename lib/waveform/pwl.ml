@@ -3,7 +3,7 @@ type t = { times : float array; values : float array }
 let zero = { times = [||]; values = [||] }
 
 let create points =
-  let sorted = List.sort (fun (t1, _) (t2, _) -> compare t1 t2) points in
+  let sorted = List.sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) points in
   let rec check = function
     | (t1, _) :: ((t2, _) :: _ as rest) ->
       if t1 = t2 then invalid_arg "Pwl.create: duplicate breakpoint time";
@@ -122,6 +122,45 @@ let breakpoints w =
   Array.to_list (Array.mapi (fun i t -> (t, w.values.(i))) w.times)
 
 let sample w ~times = Array.map (eval w) times
+
+let sample_into ?(shift = 0.0) w ~times ~into =
+  let n = Array.length times in
+  if Array.length into <> n then
+    invalid_arg "Pwl.sample_into: length mismatch";
+  for i = 0 to n - 1 do
+    into.(i) <- eval w (times.(i) -. shift)
+  done
+
+let add_into ?(shift = 0.0) w ~times ~into =
+  let n = Array.length times in
+  if Array.length into <> n then invalid_arg "Pwl.add_into: length mismatch";
+  for i = 0 to n - 1 do
+    into.(i) <- into.(i) +. eval w (times.(i) -. shift)
+  done
+
+let peak2 a b =
+  (* Peak of the pointwise sum without materializing [add a b]: walk the
+     union of breakpoints with two cursors (the maximum of a PWL sum is
+     attained at a breakpoint of either operand). *)
+  let na = Array.length a.times and nb = Array.length b.times in
+  if na = 0 then peak b
+  else if nb = 0 then peak a
+  else begin
+    let best = ref 0.0 in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      let t =
+        if !j >= nb then a.times.(!i)
+        else if !i >= na then b.times.(!j)
+        else Float.min a.times.(!i) b.times.(!j)
+      in
+      let v = eval a t +. eval b t in
+      if v > !best then best := v;
+      while !i < na && a.times.(!i) <= t do incr i done;
+      while !j < nb && b.times.(!j) <= t do incr j done
+    done;
+    !best
+  end
 
 let equal ?(eps = 1e-9) w1 w2 =
   let times = merge_times w1.times w2.times in

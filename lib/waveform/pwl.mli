@@ -64,6 +64,27 @@ val breakpoints : t -> (float * float) list
 val sample : t -> times:float array -> float array
 (** Evaluate at each of the given times. *)
 
+val sample_into : ?shift:float -> t -> times:float array -> into:float array -> unit
+(** [sample_into ~shift w ~times ~into] writes
+    [eval (Pwl.shift w shift) times.(i)] into [into.(i)] — i.e.
+    [eval w (times.(i) -. shift)] — without allocating.  [shift]
+    defaults to 0.
+    @raise Invalid_argument when lengths differ. *)
+
+val add_into : ?shift:float -> t -> times:float array -> into:float array -> unit
+(** Like {!sample_into} but accumulates:
+    [into.(i) <- into.(i) +. eval w (times.(i) -. shift)].  Together the
+    two let a caller sum many shifted waveforms onto a reused buffer
+    with zero intermediate waveform allocation.
+    @raise Invalid_argument when lengths differ. *)
+
+val peak2 : t -> t -> float
+(** [peak2 a b = peak (add a b)] up to float associativity, computed by
+    a two-cursor walk over the union of breakpoints — no merged waveform
+    is built.  Shifting both operands by the same amount leaves the
+    result unchanged, so callers holding unshifted pulses can use it
+    directly. *)
+
 val equal : ?eps:float -> t -> t -> bool
 (** Approximate pointwise equality, compared on the union of breakpoints
     (default [eps = 1e-9]). *)

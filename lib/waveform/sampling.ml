@@ -12,10 +12,10 @@ let hot_spots w ~count =
   | Some (t0, t1) ->
     let scan = uniform ~t0 ~t1 ~count:(max 64 (count * 8)) in
     let indexed = Array.mapi (fun i t -> (Pwl.eval w t, i)) scan in
-    Array.sort (fun (v1, _) (v2, _) -> compare v2 v1) indexed;
+    Array.sort (fun (v1, _) (v2, _) -> Float.compare v2 v1) indexed;
     let keep = min count (Array.length indexed) in
     let times = Array.init keep (fun i -> scan.(snd indexed.(i))) in
-    Array.sort compare times;
+    Array.sort Float.compare times;
     times
 
 let split_max_times_in w ~t0 ~t1 ~halves =
@@ -47,7 +47,7 @@ let split_max_times w ~halves =
 
 let merge grids =
   let all = Array.concat grids in
-  Array.sort compare all;
+  Array.sort Float.compare all;
   let out = ref [] in
   Array.iter
     (fun t ->

@@ -1,0 +1,200 @@
+(* The deterministic domain pool: unit tests for Pool, plus QCheck
+   properties asserting the headline guarantee — every combinator (and
+   everything built on top: Monte-Carlo, the multi-mode solver) returns
+   bit-identical results for any job count. *)
+
+module Pool = Repro_par.Pool
+module Par = Repro_par.Par
+module Montecarlo = Repro_core.Montecarlo
+module Assignment = Repro_clocktree.Assignment
+module Rng = Repro_util.Rng
+
+let job_counts = [ 1; 2; 3; 8 ]
+
+(* ---- Pool ---------------------------------------------------------- *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      let input = Array.init 97 (fun i -> i) in
+      let out = Pool.map pool (fun i -> i * i) input in
+      Pool.shutdown pool;
+      Alcotest.(check (array int))
+        (Printf.sprintf "squares at jobs=%d" jobs)
+        (Array.map (fun i -> i * i) input)
+        out)
+    job_counts
+
+exception Boom of int
+
+let test_pool_lowest_index_exception () =
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      let thunks =
+        Array.init 64 (fun i ->
+            fun () -> if i mod 7 = 3 then raise (Boom i))
+      in
+      let raised =
+        try
+          Pool.run_batch pool thunks;
+          None
+        with Boom i -> Some i
+      in
+      Pool.shutdown pool;
+      Alcotest.(check (option int))
+        (Printf.sprintf "first failing index at jobs=%d" jobs)
+        (Some 3) raised)
+    job_counts
+
+let test_pool_stats_grow () =
+  let pool = Pool.create ~jobs:2 in
+  let before = (Pool.stats pool).Pool.tasks_run in
+  ignore (Pool.map pool (fun i -> i + 1) (Array.init 10 Fun.id));
+  let after = (Pool.stats pool).Pool.tasks_run in
+  Pool.shutdown pool;
+  Alcotest.(check bool) "tasks_run grew" true (after >= before + 10);
+  Alcotest.(check int) "jobs recorded" 2 (Pool.stats pool).Pool.jobs
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs < 1"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+(* ---- Par ----------------------------------------------------------- *)
+
+let test_with_jobs_restores () =
+  let outer = Par.jobs () in
+  (try Par.with_jobs 3 (fun () ->
+       Alcotest.(check int) "inner" 3 (Par.jobs ());
+       Par.with_jobs 2 (fun () ->
+           Alcotest.(check int) "nested" 2 (Par.jobs ()));
+       Alcotest.(check int) "inner restored" 3 (Par.jobs ());
+       failwith "escape")
+   with Failure _ -> ());
+  Alcotest.(check int) "outer restored" outer (Par.jobs ())
+
+let test_nested_region_runs_sequentially () =
+  Par.with_jobs 3 @@ fun () ->
+  let out =
+    Par.parallel_map
+      (fun i ->
+        (* Inner region from inside a task: must fall back to the
+           sequential path rather than deadlock on the shared queue. *)
+        let inner = Par.parallel_init 5 (fun j -> (10 * i) + j) in
+        Array.fold_left ( + ) 0 inner)
+      (Array.init 8 Fun.id)
+  in
+  let expected =
+    Array.init 8 (fun i ->
+        Array.fold_left ( + ) 0 (Array.init 5 (fun j -> (10 * i) + j)))
+  in
+  Alcotest.(check (array int)) "nested results" expected out
+
+(* ---- Properties: bit-identical for any job count ------------------- *)
+
+(* Chaotic but deterministic per-element floats: any reordering of the
+   reduction would shift the result by more than one ulp. *)
+let prop_map_reduce_matches_sequential =
+  QCheck.Test.make ~name:"parallel_map_reduce = sequential fold" ~count:30
+    QCheck.(pair (int_range 0 200) (int_range 1 1000))
+    (fun (n, salt) ->
+      let input =
+        Array.init n (fun i -> float_of_int ((i * salt) mod 997) /. 9.7)
+      in
+      let f x = sin x *. 1e6 in
+      let reduce acc y = (acc /. 3.0) +. y in
+      let seq =
+        Array.fold_left reduce 0.0 (Array.map f input)
+      in
+      List.for_all
+        (fun jobs ->
+          Par.with_jobs jobs (fun () ->
+              let par =
+                Par.parallel_map_reduce ~f ~reduce ~init:0.0 input
+              in
+              Int64.bits_of_float par = Int64.bits_of_float seq))
+        job_counts)
+
+let small_tree ~seed =
+  let sinks =
+    Repro_cts.Placement.random_sinks (Rng.create ~seed)
+      (Repro_cts.Placement.square_die 150.0) ~count:10 ()
+  in
+  Repro_cts.Synthesis.synthesize ~rng:(Rng.create ~seed:(seed + 1)) sinks
+    ~internals:4
+
+let prop_montecarlo_jobs_invariant =
+  QCheck.Test.make ~name:"Montecarlo.run bit-identical across jobs" ~count:4
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let t = small_tree ~seed in
+      let asg = Assignment.default t ~num_modes:1 in
+      let config =
+        { Montecarlo.default_config with
+          Montecarlo.instances = 40;
+          noise_instances = 8;
+          kappa = 100.0;
+          seed }
+      in
+      let reference =
+        Par.with_jobs 1 (fun () -> Montecarlo.run ~config t asg)
+      in
+      List.for_all
+        (fun jobs ->
+          Par.with_jobs jobs (fun () ->
+              Stdlib.compare (Montecarlo.run ~config t asg) reference = 0))
+        job_counts)
+
+let two_mode_envs tree =
+  ignore tree;
+  Array.init 2 (fun mode ->
+      let f = if mode = 0 then 1.0 else 0.94 in
+      { (Repro_clocktree.Timing.nominal ~mode ()) with
+        Repro_clocktree.Timing.vdd_of = (fun _ -> 1.1 *. f) })
+
+let prop_multimode_jobs_invariant =
+  QCheck.Test.make ~name:"Clk_wavemin_m bit-identical across jobs" ~count:2
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let t = small_tree ~seed in
+      let envs = two_mode_envs t in
+      let params =
+        { Repro_core.Context.default_params with
+          Repro_core.Context.num_slots = 16;
+          max_interval_classes = 4 }
+      in
+      let solve () = Repro_core.Clk_wavemin_m.optimize ~params t ~envs in
+      let reference = Par.with_jobs 1 solve in
+      List.for_all
+        (fun jobs ->
+          Par.with_jobs jobs (fun () ->
+              Stdlib.compare (solve ()) reference = 0))
+        [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "repro_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_pool_lowest_index_exception;
+          Alcotest.test_case "stats grow" `Quick test_pool_stats_grow;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "with_jobs restores" `Quick test_with_jobs_restores;
+          Alcotest.test_case "nested region sequential" `Quick
+            test_nested_region_runs_sequentially;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_map_reduce_matches_sequential;
+            prop_montecarlo_jobs_invariant;
+            prop_multimode_jobs_invariant;
+          ] );
+    ]
