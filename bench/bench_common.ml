@@ -52,10 +52,12 @@ let annotate_environment kvs =
   | Some b -> Report.add_environment b kvs
 
 (* The standard per-algorithm sample of a single-mode flow run: the
-   golden quality metrics plus the optimizer's wall/CPU time. *)
+   golden quality metrics plus the optimizer's wall/CPU time.  Fallback
+   links of a robust run land in the report's (non-gated) degradations
+   block; plain runs have none. *)
 let record_run ?(algorithm_suffix = "") (r : Flow.run) =
-  record ~benchmark:r.Flow.benchmark
-    ~algorithm:(Flow.algorithm_name r.Flow.algorithm ^ algorithm_suffix)
+  let algorithm = Flow.algorithm_name r.Flow.algorithm ^ algorithm_suffix in
+  record ~benchmark:r.Flow.benchmark ~algorithm
     ~quality:
       [ ("peak_current_ma", r.Flow.metrics.Golden.peak_current_ma);
         ("vdd_noise_mv", r.Flow.metrics.Golden.vdd_noise_mv);
@@ -64,7 +66,20 @@ let record_run ?(algorithm_suffix = "") (r : Flow.run) =
         ("predicted_peak_ua", r.Flow.predicted_peak_ua);
         ("num_leaf_inverters", float_of_int r.Flow.num_leaf_inverters) ]
     ~runtime:[ ("wall_s", r.Flow.elapsed_s); ("cpu_s", r.Flow.cpu_s) ]
-    ()
+    ();
+  match !current_report with
+  | None -> ()
+  | Some b ->
+    List.iter
+      (fun (d : Flow.degradation) ->
+        Report.add_degradation b
+          { Report.benchmark = r.Flow.benchmark;
+            algorithm;
+            from_alg = Flow.algorithm_name d.Flow.from_alg;
+            to_alg = Option.map Flow.algorithm_name d.Flow.to_alg;
+            code = Repro_util.Verrors.code_name d.Flow.error.Repro_util.Verrors.code;
+            detail = d.Flow.error.Repro_util.Verrors.message })
+      r.Flow.degradations
 
 (* Stage entry for work that was timed elsewhere — e.g. inside a
    parallel worker, where recording must wait for the sequential

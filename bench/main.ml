@@ -97,8 +97,14 @@ let () =
            | Report.Completed -> "completed"
            | Report.Failed _ -> "FAILED")
            wall cpu path
-       with Sys_error msg ->
+       with
+       | Sys_error msg ->
          Printf.eprintf "cannot write %s: %s\n%!" path msg;
+         if not (List.mem name !failed) then failed := name :: !failed
+       | Repro_util.Verrors.Error e ->
+         (* e.g. the report-writer fault seam (WAVEMIN_FAULTS). *)
+         Printf.eprintf "cannot write %s: %s\n%!" path
+           (Repro_util.Verrors.to_string e);
          if not (List.mem name !failed) then failed := name :: !failed))
     requested;
   if !failed <> [] then begin

@@ -3,6 +3,7 @@
    Subcommands:
      list           benchmark suite with clock-tree statistics
      run            optimize one benchmark with one algorithm
+     validate       preflight-validate benchmark inputs without solving
      profile        run one benchmark and print the span tree + metrics
      compare        ClkPeakMin vs ClkWaveMin vs ClkWaveMin-f on a benchmark
      multimode      ClkWaveMin-M with voltage islands and power modes
@@ -12,16 +13,24 @@
      stats          structural/electrical statistics of a benchmark tree
      report         write a markdown comparison report
      bench-diff     regression gate between two BENCH_*.json run reports
-     library        dump the cell library in the Liberty-style format *)
+     library        dump the cell library in the Liberty-style format
+
+   Exit codes: 0 success; 1 usage error (unknown benchmark/cell);
+   2 diagnosed failure (validation, solver error, --strict violation);
+   3 success after graceful degradation (solver fell back down the
+   chain — details on stdout). *)
 
 open Cmdliner
 
 module Flow = Repro_core.Flow
 module Context = Repro_core.Context
 module Golden = Repro_core.Golden
+module Preflight = Repro_core.Preflight
 module Benchmarks = Repro_cts.Benchmarks
 module Table = Repro_util.Table
 module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Budget = Repro_obs.Budget
 module Obs_trace = Repro_obs.Trace
 module Obs_metrics = Repro_obs.Metrics
 module Obs_log = Repro_obs.Log
@@ -107,6 +116,48 @@ let algo_arg =
   let doc = "Algorithm: initial, peakmin, wavemin or wavemin-f." in
   Arg.(value & opt (enum algos) Flow.Wavemin & info [ "algo"; "a" ] ~doc)
 
+(* ---- robustness flags (run/compare/montecarlo) -------------------- *)
+
+let strict_arg =
+  let doc =
+    "Treat degraded results as failures: exit 2 when the run fell back \
+     to a cheaper algorithm or the label cap made the result \
+     approximate, instead of exit 3 (degraded) or 0."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let budget_arg =
+  let doc =
+    "Wall-clock budget for the optimizer in milliseconds.  On \
+     exhaustion the run is cancelled cooperatively and falls back down \
+     the algorithm chain (recorded as a degradation) instead of \
+     running to completion."
+  in
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let budget_of = Option.map (fun ms -> Budget.create ~wall_ms:ms ())
+
+let print_verror e = Format.eprintf "wavemin: %s@." (Verrors.to_string e)
+
+let print_degradations (degs : Flow.degradation list) =
+  List.iter
+    (fun (d : Flow.degradation) ->
+      Format.printf "  degraded: %s -> %s  [%s] %s@."
+        (Flow.algorithm_name d.Flow.from_alg)
+        (match d.Flow.to_alg with
+        | Some a -> Flow.algorithm_name a
+        | None -> "(chain exhausted)")
+        (Verrors.code_name d.Flow.error.Verrors.code)
+        d.Flow.error.Verrors.message)
+    degs
+
+(* 0 clean, 3 degraded-but-successful, 2 when --strict rejects a
+   degraded or approximate result. *)
+let exit_of ~strict ~approximate (degs : Flow.degradation list) =
+  if strict && (degs <> [] || approximate) then 2
+  else if degs <> [] then 3
+  else 0
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -147,14 +198,25 @@ let print_run (r : Flow.run) =
     Format.printf "  (label cap tripped: result approximate beyond epsilon)@."
 
 let run_cmd =
-  let run name algo kappa slots jobs level trace metrics =
+  let run name algo kappa slots jobs strict budget_ms level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
-    | spec ->
-      print_run (Flow.run_benchmark ~params:(params_of kappa slots) spec algo);
-      finish ();
-      0
+    | spec -> (
+      match
+        Flow.run_benchmark_robust ~params:(params_of kappa slots)
+          ?budget:(budget_of budget_ms) spec algo
+      with
+      | Ok r ->
+        print_run r;
+        print_degradations r.Flow.degradations;
+        finish ();
+        exit_of ~strict ~approximate:r.Flow.approximate r.Flow.degradations
+      | Error (e, degs) ->
+        print_degradations degs;
+        finish ();
+        print_verror e;
+        2)
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
       1
@@ -162,7 +224,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize one benchmark")
     Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg $ jobs_arg
-          $ log_level_arg $ trace_arg $ metrics_arg)
+          $ strict_arg $ budget_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 (* Everything `profile` prints as text, as one machine-readable
    document: run identity, quality and runtime numbers, the span list
@@ -232,7 +294,7 @@ let profile_cmd =
           $ log_level_arg $ trace_arg $ json_arg)
 
 let compare_cmd =
-  let run name kappa slots jobs level trace metrics =
+  let run name kappa slots jobs strict budget_ms level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match Benchmarks.find name with
@@ -244,21 +306,38 @@ let compare_cmd =
             [ "algorithm"; "peak (mA)"; "VDD (mV)"; "GND (mV)"; "skew (ps)";
               "#inv"; "time (s)" ]
       in
+      let code = ref 0 in
+      let bump c = if c > !code then code := c in
+      let degradations = ref [] in
       List.iter
         (fun algo ->
-          let r = Flow.run_benchmark ~params spec algo in
-          Table.add_row t
-            [ Flow.algorithm_name algo;
-              Table.cell_f r.Flow.metrics.Golden.peak_current_ma;
-              Table.cell_f r.Flow.metrics.Golden.vdd_noise_mv;
-              Table.cell_f r.Flow.metrics.Golden.gnd_noise_mv;
-              Table.cell_f r.Flow.metrics.Golden.skew_ps;
-              Table.cell_i r.Flow.num_leaf_inverters;
-              Table.cell_f ~decimals:3 r.Flow.elapsed_s ])
+          match
+            Flow.run_benchmark_robust ~params ?budget:(budget_of budget_ms)
+              spec algo
+          with
+          | Ok r ->
+            degradations := !degradations @ r.Flow.degradations;
+            bump (exit_of ~strict ~approximate:r.Flow.approximate
+                    r.Flow.degradations);
+            Table.add_row t
+              [ Flow.algorithm_name r.Flow.algorithm;
+                Table.cell_f r.Flow.metrics.Golden.peak_current_ma;
+                Table.cell_f r.Flow.metrics.Golden.vdd_noise_mv;
+                Table.cell_f r.Flow.metrics.Golden.gnd_noise_mv;
+                Table.cell_f r.Flow.metrics.Golden.skew_ps;
+                Table.cell_i r.Flow.num_leaf_inverters;
+                Table.cell_f ~decimals:3 r.Flow.elapsed_s ]
+          | Error (e, degs) ->
+            degradations := !degradations @ degs;
+            bump 2;
+            print_verror e;
+            Table.add_row t
+              [ Flow.algorithm_name algo; "failed"; "-"; "-"; "-"; "-"; "-" ])
         [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ];
       print_string (Table.render t);
+      print_degradations !degradations;
       finish ();
-      0
+      !code
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
       1
@@ -266,36 +345,64 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the algorithms on one benchmark")
     Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg
-          $ log_level_arg $ trace_arg $ metrics_arg)
+          $ strict_arg $ budget_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 let montecarlo_cmd =
   let instances_arg =
     Arg.(value & opt int 200 & info [ "instances"; "n" ] ~doc:"Monte-Carlo instances")
   in
-  let run name kappa slots jobs instances =
+  let run name kappa slots jobs strict budget_ms instances =
     apply_jobs jobs;
     match Benchmarks.find name with
-    | spec ->
+    | spec -> (
       let params = params_of kappa slots in
-      let tree = Benchmarks.synthesize spec in
-      let ctx = Context.create ~params tree ~cells:(Flow.leaf_library ()) in
-      let o = Repro_core.Clk_wavemin.optimize ctx in
-      let config =
-        { Repro_core.Montecarlo.default_config with
-          Repro_core.Montecarlo.instances;
-          kappa = Float.max kappa 100.0 }
-      in
-      let rep = Repro_core.Montecarlo.run ~config tree o.Context.assignment in
-      Format.printf "Monte-Carlo (%d instances, sigma/mu = %.0f%%):@." instances
-        (100.0 *. config.Repro_core.Montecarlo.sigma_ratio);
-      Format.printf "  skew yield     %6.1f%% (kappa = %.0f ps)@."
-        (100.0 *. rep.Repro_core.Montecarlo.skew_yield)
-        config.Repro_core.Montecarlo.kappa;
-      Format.printf "  mean skew      %6.2f ps@." rep.Repro_core.Montecarlo.mean_skew;
-      Format.printf "  sigma/mu peak  %6.3f@." rep.Repro_core.Montecarlo.norm_std_peak;
-      Format.printf "  sigma/mu VDD   %6.3f@." rep.Repro_core.Montecarlo.norm_std_vdd;
-      Format.printf "  sigma/mu GND   %6.3f@." rep.Repro_core.Montecarlo.norm_std_gnd;
-      0
+      match
+        Verrors.guard ~stage:"flow.synthesize" (fun () ->
+            Benchmarks.synthesize spec)
+      with
+      | Error e ->
+        print_verror e;
+        2
+      | Ok tree -> (
+        match
+          Flow.run_tree_robust ~params ?budget:(budget_of budget_ms) ~name
+            tree Flow.Wavemin
+        with
+        | Error (e, degs) ->
+          print_degradations degs;
+          print_verror e;
+          2
+        | Ok r -> (
+          print_degradations r.Flow.degradations;
+          let config =
+            { Repro_core.Montecarlo.default_config with
+              Repro_core.Montecarlo.instances;
+              kappa = Float.max kappa 100.0 }
+          in
+          match
+            Verrors.guard ~stage:"montecarlo" (fun () ->
+                Repro_core.Montecarlo.run ~config tree r.Flow.assignment)
+          with
+          | Error e ->
+            print_verror e;
+            2
+          | Ok rep ->
+            Format.printf "Monte-Carlo (%d instances, sigma/mu = %.0f%%):@."
+              instances
+              (100.0 *. config.Repro_core.Montecarlo.sigma_ratio);
+            Format.printf "  skew yield     %6.1f%% (kappa = %.0f ps)@."
+              (100.0 *. rep.Repro_core.Montecarlo.skew_yield)
+              config.Repro_core.Montecarlo.kappa;
+            Format.printf "  mean skew      %6.2f ps@."
+              rep.Repro_core.Montecarlo.mean_skew;
+            Format.printf "  sigma/mu peak  %6.3f@."
+              rep.Repro_core.Montecarlo.norm_std_peak;
+            Format.printf "  sigma/mu VDD   %6.3f@."
+              rep.Repro_core.Montecarlo.norm_std_vdd;
+            Format.printf "  sigma/mu GND   %6.3f@."
+              rep.Repro_core.Montecarlo.norm_std_gnd;
+            exit_of ~strict ~approximate:r.Flow.approximate
+              r.Flow.degradations)))
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
       1
@@ -303,7 +410,7 @@ let montecarlo_cmd =
   Cmd.v
     (Cmd.info "montecarlo" ~doc:"Process-variation analysis (Sec. VII-D)")
     Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg
-          $ instances_arg)
+          $ strict_arg $ budget_arg $ instances_arg)
 
 let characterize_cmd =
   let cell_arg =
@@ -347,7 +454,9 @@ let multimode_cmd =
   let run name kappa slots jobs modes islands_n =
     apply_jobs jobs;
     match Benchmarks.find name with
-    | spec ->
+    | spec -> (
+      match
+        Verrors.guard ~stage:"multimode" @@ fun () ->
       let tree = Benchmarks.synthesize spec in
       let islands =
         Repro_cts.Islands.grid ~die_side:spec.Benchmarks.die_side
@@ -383,8 +492,12 @@ let multimode_cmd =
         o.Repro_core.Clk_wavemin_m.feasible;
       Format.printf "  per-mode skews:";
       Array.iter (fun s -> Format.printf " %.1f" s) o.Repro_core.Clk_wavemin_m.skews;
-      Format.printf " ps@.";
-      0
+      Format.printf " ps@."
+      with
+      | Ok () -> 0
+      | Error e ->
+        print_verror e;
+        2)
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
       1
@@ -526,14 +639,74 @@ let library_cmd =
     (Cmd.info "library" ~doc:"Dump the standard cell library (Liberty-style)")
     Term.(const run $ const ())
 
+let validate_cmd =
+  let bench_opt_arg =
+    let doc = "Benchmark to validate (default: the whole suite)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let run name kappa slots =
+    let params = params_of kappa slots in
+    let specs =
+      match name with
+      | None -> Ok Benchmarks.all
+      | Some n -> (
+        match Benchmarks.find n with
+        | spec -> Ok [ spec ]
+        | exception Not_found -> Error n)
+    in
+    match specs with
+    | Error n ->
+      Format.eprintf "unknown benchmark %s@." n;
+      1
+    | Ok specs ->
+      let bad = ref 0 in
+      List.iter
+        (fun spec ->
+          let name = spec.Benchmarks.name in
+          let ds =
+            match
+              Verrors.guard ~stage:"validate" (fun () ->
+                  let tree = Benchmarks.synthesize spec in
+                  Preflight.check ~params tree ~cells:(Flow.leaf_library ()))
+            with
+            | Ok ds -> ds
+            | Error e -> [ e ]
+          in
+          match ds with
+          | [] -> Format.printf "%-10s preflight: ok@." name
+          | ds ->
+            incr bad;
+            Format.printf "%-10s %d issue(s):@." name (List.length ds);
+            List.iter
+              (fun d -> Format.printf "  %s@." (Verrors.to_string d))
+              ds)
+        specs;
+      if !bad = 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Preflight-validate benchmark inputs (tree structure, cell \
+          library, solver parameters and skew-window feasibility), \
+          reporting every violation instead of stopping at the first")
+    Term.(const run $ bench_opt_arg $ kappa_arg $ slots_arg)
+
 let () =
   let info =
     Cmd.info "wavemin" ~version:"1.0.0"
       ~doc:"Clock buffer polarity assignment with buffer sizing (WaveMin)"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ list_cmd; run_cmd; profile_cmd; compare_cmd; multimode_cmd;
-            montecarlo_cmd; characterize_cmd; export_cmd; stats_cmd;
-            report_cmd; bench_diff_cmd; library_cmd ]))
+  let group =
+    Cmd.group info
+      [ list_cmd; run_cmd; validate_cmd; profile_cmd; compare_cmd;
+        multimode_cmd; montecarlo_cmd; characterize_cmd; export_cmd;
+        stats_cmd; report_cmd; bench_diff_cmd; library_cmd ]
+  in
+  (* Safety net: no subcommand may escape with an uncaught structured
+     error (injected faults can fire in paths without a local handler —
+     profile, report, library). *)
+  let code = try Cmd.eval' group with Verrors.Error e ->
+    print_verror e;
+    2
+  in
+  exit code

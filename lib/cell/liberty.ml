@@ -1,6 +1,15 @@
-type error = { line : int; message : string }
+module Verrors = Repro_util.Verrors
+module Fault = Repro_obs.Fault
 
-let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+type error = { line : int; col : int; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "line %d, column %d: %s" e.line e.col e.message
+
+let to_verror e =
+  Verrors.make ~code:Verrors.Parse_error ~stage:"liberty.parse"
+    ~subject:(Printf.sprintf "line %d, column %d" e.line e.col)
+    e.message
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
@@ -50,8 +59,8 @@ let to_string cells =
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 
-(* A tiny hand-rolled tokenizer over the whole input, tracking line
-   numbers for error reporting. *)
+(* A tiny hand-rolled tokenizer over the whole input, tracking line and
+   column numbers for error reporting. *)
 type token =
   | Ident of string
   | Number of float
@@ -63,18 +72,26 @@ type token =
   | Semicolon
   | Comma
 
-type lexed = { token : token; at : int }
+(* A source position: [at] is the 1-based line, [col] the 1-based
+   column of the token's first character. *)
+type lexed = { token : token; at : int; col : int }
 
 exception Parse_error of error
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail line col fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; col; message })) fmt
 
+(* Tokenize, also returning the end-of-input position so that
+   unexpected-EOF errors point at the actual end of the file instead of
+   a sentinel. *)
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
   let line = ref 1 in
-  let push token = tokens := { token; at = !line } :: !tokens in
+  (* Offset of the current line's first character; column = i - bol + 1. *)
+  let bol = ref 0 in
+  let col_of i = i - !bol + 1 in
+  let push i token = tokens := { token; at = !line; col = col_of i } :: !tokens in
   let is_ident_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
     || c = '_'
@@ -88,39 +105,43 @@ let tokenize input =
       match input.[i] with
       | '\n' ->
         incr line;
+        bol := i + 1;
         go (i + 1)
       | ' ' | '\t' | '\r' -> go (i + 1)
       | '/' when i + 1 < n && input.[i + 1] = '*' ->
         (* Comment: skip to the closing marker, counting newlines. *)
         let rec skip j =
-          if j + 1 >= n then fail !line "unterminated comment"
+          if j + 1 >= n then fail !line (col_of i) "unterminated comment"
           else if input.[j] = '*' && input.[j + 1] = '/' then j + 2
           else begin
-            if input.[j] = '\n' then incr line;
+            if input.[j] = '\n' then begin
+              incr line;
+              bol := j + 1
+            end;
             skip (j + 1)
           end
         in
         go (skip (i + 2))
       | '(' ->
-        push Lparen;
+        push i Lparen;
         go (i + 1)
       | ')' ->
-        push Rparen;
+        push i Rparen;
         go (i + 1)
       | '{' ->
-        push Lbrace;
+        push i Lbrace;
         go (i + 1)
       | '}' ->
-        push Rbrace;
+        push i Rbrace;
         go (i + 1)
       | ':' ->
-        push Colon;
+        push i Colon;
         go (i + 1)
       | ';' ->
-        push Semicolon;
+        push i Semicolon;
         go (i + 1)
       | ',' ->
-        push Comma;
+        push i Comma;
         go (i + 1)
       | c when (c >= '0' && c <= '9') || c = '-' || c = '+' ->
         let j = ref i in
@@ -129,31 +150,34 @@ let tokenize input =
         done;
         let text = String.sub input i (!j - i) in
         (match float_of_string_opt text with
-        | Some v -> push (Number v)
-        | None -> fail !line "malformed number %S" text);
+        | Some v -> push i (Number v)
+        | None -> fail !line (col_of i) "malformed number %S" text);
         go !j
       | c when is_ident_char c ->
         let j = ref i in
         while !j < n && is_ident_char input.[!j] do
           incr j
         done;
-        push (Ident (String.sub input i (!j - i)));
+        push i (Ident (String.sub input i (!j - i)));
         go !j
-      | c -> fail !line "unexpected character %C" c
+      | c -> fail !line (col_of i) "unexpected character %C" c
   in
   go 0;
-  List.rev !tokens
+  (List.rev !tokens, (!line, col_of n))
 
 (* Recursive-descent parser over the token list. *)
 type attr_value = Num of float | Name of string | Tuple of float list
 
-let parse_tokens tokens =
+let parse_tokens (tokens, (eof_line, eof_col)) =
+  (* Every failure path carries a position: a token's own (line, col),
+     or the end-of-input position when the token stream ran out. *)
+  let fail_eof fmt = fail eof_line eof_col fmt in
   let expect what pred = function
-    | [] -> fail 0 "unexpected end of input, expected %s" what
+    | [] -> fail_eof "unexpected end of input, expected %s" what
     | t :: rest -> (
       match pred t.token with
       | Some v -> (v, rest)
-      | None -> fail t.at "expected %s" what)
+      | None -> fail t.at t.col "expected %s" what)
   in
   let ident = expect "identifier" (function Ident s -> Some s | _ -> None) in
   let punct name p =
@@ -166,8 +190,8 @@ let parse_tokens tokens =
     match tokens with
     | { token = Comma; _ } :: rest -> attr_tuple (v :: acc) rest
     | { token = Rparen; _ } :: rest -> (List.rev (v :: acc), rest)
-    | { at; _ } :: _ -> fail at "expected ',' or ')' in tuple"
-    | [] -> fail 0 "unexpected end of input in tuple"
+    | { at; col; _ } :: _ -> fail at col "expected ',' or ')' in tuple"
+    | [] -> fail_eof "unexpected end of input in tuple"
   in
   let attr_value tokens =
     match tokens with
@@ -176,29 +200,31 @@ let parse_tokens tokens =
     | { token = Lparen; _ } :: rest ->
       let vs, rest = attr_tuple [] rest in
       (Tuple vs, rest)
-    | { at; _ } :: _ -> fail at "expected attribute value"
-    | [] -> fail 0 "unexpected end of input, expected attribute value"
+    | { at; col; _ } :: _ -> fail at col "expected attribute value"
+    | [] -> fail_eof "unexpected end of input, expected attribute value"
   in
   let rec attrs acc tokens =
     match tokens with
     | { token = Rbrace; _ } :: rest -> (List.rev acc, rest)
-    | { token = Ident name; at } :: rest ->
+    | { token = Ident name; at; col } :: rest ->
       let (), rest = punct "':'" Colon rest in
       let value, rest = attr_value rest in
       let (), rest = punct "';'" Semicolon rest in
-      attrs ((name, value, at) :: acc) rest
-    | { at; _ } :: _ -> fail at "expected attribute or '}'"
-    | [] -> fail 0 "unexpected end of input inside cell block"
+      attrs ((name, value, (at, col)) :: acc) rest
+    | { at; col; _ } :: _ -> fail at col "expected attribute or '}'"
+    | [] -> fail_eof "unexpected end of input inside cell block"
   in
-  let build_cell name at attributes =
+  let build_cell name (at, col) attributes =
+    let fail_cell (at, col) fmt = fail at col fmt in
     let find key =
       List.find_opt (fun (k, _, _) -> String.equal k key) attributes
     in
     let number key =
       match find key with
       | Some (_, Num v, _) -> v
-      | Some (_, (Name _ | Tuple _), at) -> fail at "%s must be a number" key
-      | None -> fail at "cell %s is missing attribute %s" name key
+      | Some (_, (Name _ | Tuple _), pos) ->
+        fail_cell pos "%s must be a number" key
+      | None -> fail at col "cell %s is missing attribute %s" name key
     in
     let kind =
       match find "kind" with
@@ -206,15 +232,16 @@ let parse_tokens tokens =
       | Some (_, Name "inverter", _) -> Cell.Inverter
       | Some (_, Name "adjustable_buffer", _) -> Cell.Adjustable_buffer
       | Some (_, Name "adjustable_inverter", _) -> Cell.Adjustable_inverter
-      | Some (_, _, at) ->
-        fail at
+      | Some (_, _, pos) ->
+        fail_cell pos
           "kind must be one of buffer, inverter, adjustable_buffer, adjustable_inverter"
-      | None -> fail at "cell %s is missing attribute kind" name
+      | None -> fail at col "cell %s is missing attribute kind" name
     in
     let delay_steps =
       match find "delay_steps" with
       | Some (_, Tuple vs, _) -> Array.of_list vs
-      | Some (_, (Num _ | Name _), at) -> fail at "delay_steps must be a tuple"
+      | Some (_, (Num _ | Name _), pos) ->
+        fail_cell pos "delay_steps must be a tuple"
       | None -> [||]
     in
     let allowed =
@@ -222,8 +249,8 @@ let parse_tokens tokens =
         "intrinsic_fall"; "area"; "delay_steps" ]
     in
     List.iter
-      (fun (k, _, at) ->
-        if not (List.mem k allowed) then fail at "unknown attribute %s" k)
+      (fun (k, _, pos) ->
+        if not (List.mem k allowed) then fail_cell pos "unknown attribute %s" k)
       attributes;
     match
       Cell.make ~name ~kind
@@ -235,23 +262,26 @@ let parse_tokens tokens =
         ~area:(number "area") ~delay_steps ()
     with
     | cell -> cell
-    | exception Invalid_argument msg -> fail at "invalid cell %s: %s" name msg
+    | exception Invalid_argument msg ->
+      (* Point at the cell header so the rejected block is locatable. *)
+      fail at col "invalid cell %s: %s" name msg
   in
   let rec cells acc tokens =
     match tokens with
     | [] -> List.rev acc
-    | { token = Ident "cell"; at } :: rest ->
+    | { token = Ident "cell"; at; col } :: rest ->
       let (), rest = punct "'('" Lparen rest in
       let name, rest = ident rest in
       let (), rest = punct "')'" Rparen rest in
       let (), rest = punct "'{'" Lbrace rest in
       let attributes, rest = attrs [] rest in
-      cells (build_cell name at attributes :: acc) rest
-    | { at; _ } :: _ -> fail at "expected 'cell'"
+      cells (build_cell name (at, col) attributes :: acc) rest
+    | { at; col; _ } :: _ -> fail at col "expected 'cell'"
   in
   cells [] tokens
 
 let parse input =
+  Fault.trip Fault.Parser ~site:"liberty.parse";
   match parse_tokens (tokenize input) with
   | cells -> Ok cells
   | exception Parse_error e -> Error e
@@ -259,7 +289,7 @@ let parse input =
 let parse_exn input =
   match parse input with
   | Ok cells -> cells
-  | Error e -> failwith (Format.asprintf "Liberty.parse: %a" pp_error e)
+  | Error e -> raise (Verrors.Error (to_verror e))
 
 let load_file path =
   let ic = open_in path in

@@ -26,20 +26,32 @@ val to_string : Cell.t list -> string
 val cell_to_string : Cell.t -> string
 (** Serialize one cell block. *)
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
+(** A parse diagnostic with a full source position: 1-based line and
+    column.  Every error path carries one — including unexpected
+    end-of-input (positioned at the end of the file) and semantic cell
+    validation (positioned at the offending cell's header). *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val to_verror : error -> Repro_util.Verrors.t
+(** The same diagnostic as a structured {!Repro_util.Verrors.t}
+    ([Parse_error], stage ["liberty.parse"], position in [subject]). *)
 
 val parse : string -> (Cell.t list, error) result
 (** Parse a library.  Comments ([/* ... */]) and blank lines are
     ignored; unknown attributes are rejected (typo safety); every cell
-    must define all electrical attributes. *)
+    must define all electrical attributes.
+    @raise Repro_util.Verrors.Error when the [parser] fault seam is
+    armed ({!Repro_obs.Fault}). *)
 
 val parse_exn : string -> Cell.t list
-(** @raise Failure with a rendered {!error} on malformed input. *)
+(** @raise Repro_util.Verrors.Error with {!to_verror} of the diagnostic
+    on malformed input. *)
 
 val load_file : string -> (Cell.t list, error) result
-(** Read and parse a file ({!error} line numbers refer to the file). *)
+(** Read and parse a file ({!error} positions refer to the file).
+    @raise Sys_error if the file cannot be read. *)
 
 val save_file : string -> Cell.t list -> unit
 (** Write a library to a file. *)

@@ -1,3 +1,4 @@
+module Verrors = Repro_util.Verrors
 module Cell = Repro_cell.Cell
 
 let buckets = 512
@@ -135,9 +136,13 @@ let optimize (ctx : Context.t) =
     let effective_kappa =
       Float.max 1.0 (p.Context.kappa -. p.Context.sibling_guard)
     in
-    failwith
-      (Printf.sprintf "Clk_peakmin.optimize: %s (effective kappa %.2f ps \
-                       = kappa %.2f ps - sibling guard %.2f ps)"
+    Verrors.fail ~code:Verrors.Infeasible_window ~stage:"clk_peakmin.optimize"
+      ~hints:
+        [ "widen the skew window (larger kappa) or reduce sibling_guard";
+          "run `wavemin validate` for a per-sink feasibility breakdown" ]
+      (Printf.sprintf
+         "%s (effective kappa %.2f ps = kappa %.2f ps - sibling guard %.2f \
+          ps)"
          (Intervals.infeasibility_message ctx.Context.sinks
             ~kappa:effective_kappa)
          effective_kappa p.Context.kappa p.Context.sibling_guard)

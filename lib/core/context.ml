@@ -1,3 +1,4 @@
+module Verrors = Repro_util.Verrors
 module Tree = Repro_clocktree.Tree
 module Assignment = Repro_clocktree.Assignment
 module Timing = Repro_clocktree.Timing
@@ -233,9 +234,13 @@ let solve_with t ~zone_solver =
     let effective_kappa =
       Float.max 1.0 (t.params.kappa -. t.params.sibling_guard)
     in
-    failwith
-      (Printf.sprintf "Context.solve_with: %s (effective kappa %.2f ps = \
-                       kappa %.2f ps - sibling guard %.2f ps)"
+    Verrors.fail ~code:Verrors.Infeasible_window ~stage:"context.solve"
+      ~hints:
+        [ "widen the skew window (larger kappa) or reduce sibling_guard";
+          "run `wavemin validate` for a per-sink feasibility breakdown" ]
+      (Printf.sprintf
+         "%s (effective kappa %.2f ps = kappa %.2f ps - sibling guard %.2f \
+          ps)"
          (Intervals.infeasibility_message t.sinks ~kappa:effective_kappa)
          effective_kappa t.params.kappa t.params.sibling_guard)
   | Some (cls, peak, per_zone) ->

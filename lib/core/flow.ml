@@ -3,6 +3,9 @@ module Library = Repro_cell.Library
 module Tree = Repro_clocktree.Tree
 module Assignment = Repro_clocktree.Assignment
 module Timing = Repro_clocktree.Timing
+module Verrors = Repro_util.Verrors
+module Budget = Repro_obs.Budget
+module Obs_metrics = Repro_obs.Metrics
 
 type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
 
@@ -12,16 +15,24 @@ let algorithm_name = function
   | Wavemin -> "ClkWaveMin"
   | Wavemin_fast -> "ClkWaveMin-f"
 
+type degradation = {
+  from_alg : algorithm;
+  to_alg : algorithm option;
+  error : Verrors.t;
+}
+
 type run = {
   benchmark : string;
   algorithm : algorithm;
   params : Context.params;
+  assignment : Assignment.t;
   metrics : Golden.metrics;
   predicted_peak_ua : float;
   num_leaf_inverters : int;
   elapsed_s : float;
   cpu_s : float;
   approximate : bool;
+  degradations : degradation list;
 }
 
 let leaf_library () =
@@ -68,12 +79,14 @@ let run_tree ?(params = Context.default_params) ~name tree algorithm =
     benchmark = name;
     algorithm;
     params;
+    assignment;
     metrics;
     predicted_peak_ua = predicted;
     num_leaf_inverters;
     elapsed_s;
     cpu_s;
     approximate;
+    degradations = [];
   }
 
 let run_benchmark ?params spec algorithm =
@@ -82,6 +95,62 @@ let run_benchmark ?params spec algorithm =
   @@ fun () ->
   let tree = Repro_cts.Benchmarks.synthesize spec in
   run_tree ?params ~name:spec.Repro_cts.Benchmarks.name tree algorithm
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                 *)
+
+let degradations_c = Obs_metrics.counter "flow.degradations"
+
+let fallback_chain = function
+  | Wavemin -> [ Wavemin; Wavemin_fast; Peakmin; Initial ]
+  | Wavemin_fast -> [ Wavemin_fast; Peakmin; Initial ]
+  | Peakmin -> [ Peakmin; Initial ]
+  | Initial -> [ Initial ]
+
+module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.flow"))
+
+let run_tree_robust ?params ?budget ~name tree algorithm =
+  let rec attempt budget degs = function
+    | [] -> assert false (* fallback_chain is never empty *)
+    | alg :: rest -> (
+      let res =
+        Verrors.guard ~stage:"flow.run" (fun () ->
+            match budget with
+            | Some b ->
+              Budget.with_current b (fun () -> run_tree ?params ~name tree alg)
+            | None -> run_tree ?params ~name tree alg)
+      in
+      match res with
+      | Ok run -> Ok { run with degradations = List.rev degs }
+      | Error e -> (
+        Obs_metrics.incr degradations_c;
+        match rest with
+        | [] -> Error (e, List.rev ({ from_alg = alg; to_alg = None; error = e } :: degs))
+        | next :: _ ->
+          Log.warn (fun m ->
+              m "%s: %s failed (%s); falling back to %s" name
+                (algorithm_name alg)
+                (Verrors.code_name e.Verrors.code)
+                (algorithm_name next));
+          (* A tripped budget is sticky; give the cheaper fallback a
+             chance by running it unbudgeted instead of re-tripping
+             immediately. *)
+          let budget =
+            if e.Verrors.code = Verrors.Budget_exhausted then None else budget
+          in
+          attempt budget ({ from_alg = alg; to_alg = Some next; error = e } :: degs) rest))
+  in
+  attempt budget [] (fallback_chain algorithm)
+
+let run_benchmark_robust ?params ?budget spec algorithm =
+  match
+    Verrors.guard ~stage:"flow.synthesize" (fun () ->
+        Repro_cts.Benchmarks.synthesize spec)
+  with
+  | Error e -> Error (e, [])
+  | Ok tree ->
+    run_tree_robust ?params ?budget ~name:spec.Repro_cts.Benchmarks.name tree
+      algorithm
 
 let improvement_pct ~baseline ~value =
   if baseline = 0.0 then 0.0 else (baseline -. value) /. baseline *. 100.0

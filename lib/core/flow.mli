@@ -8,10 +8,22 @@ type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
 
 val algorithm_name : algorithm -> string
 
+type degradation = {
+  from_alg : algorithm;  (** The attempt that failed. *)
+  to_alg : algorithm option;
+      (** The fallback tried next; [None] when the chain was exhausted. *)
+  error : Repro_util.Verrors.t;  (** Why the attempt failed. *)
+}
+(** One link of the fallback chain ClkWaveMin → ClkWaveMin-f →
+    ClkPeakMin → Initial taken by {!run_tree_robust}. *)
+
 type run = {
   benchmark : string;
   algorithm : algorithm;
   params : Context.params;
+  assignment : Repro_clocktree.Assignment.t;
+      (** The optimized assignment (the default one for [Initial]) —
+          input for downstream analyses such as {!Montecarlo}. *)
   metrics : Golden.metrics;
   predicted_peak_ua : float;  (** The optimizer's own estimate. *)
   num_leaf_inverters : int;
@@ -23,6 +35,11 @@ type run = {
       (** The optimizer truncated its label sets (see
           {!Context.outcome.approximate}); always [false] for [Initial],
           [Peakmin] and [Wavemin_fast]. *)
+  degradations : degradation list;
+      (** Fallback links taken before this run succeeded, oldest first.
+          Empty for {!run_tree}/{!run_benchmark} and for robust runs
+          whose first attempt succeeded; when non-empty, [algorithm] is
+          the member of the chain that actually produced the result. *)
 }
 
 val leaf_library : unit -> Repro_cell.Cell.t list
@@ -40,6 +57,43 @@ val run_tree :
 val run_benchmark :
   ?params:Context.params -> Repro_cts.Benchmarks.spec -> algorithm -> run
 (** Synthesize the benchmark tree, then {!run_tree}. *)
+
+(** {1 Graceful degradation}
+
+    The robust runners never raise (asynchronous exceptions aside).
+    Each attempt runs under the optional {!Repro_obs.Budget}; on a
+    structured failure — infeasible window, exhausted budget, injected
+    fault, or any exception captured by {!Repro_util.Verrors.guard} —
+    the next algorithm of {!fallback_chain} is tried and the downgrade
+    is recorded (also counted in the [flow.degradations] metric and
+    logged at warning level).  A budget that tripped is dropped for the
+    remaining attempts: the cheaper fallback gets its chance instead of
+    re-tripping instantly.  [Initial] cannot hit a solver failure, so
+    the chain only exhausts on inputs that are broken end-to-end. *)
+
+val fallback_chain : algorithm -> algorithm list
+(** The algorithm itself followed by its cheaper fallbacks, ending in
+    [Initial]. *)
+
+val run_tree_robust :
+  ?params:Context.params ->
+  ?budget:Repro_obs.Budget.t ->
+  name:string ->
+  Repro_clocktree.Tree.t ->
+  algorithm ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** Like {!run_tree} with the fallback chain.  [Ok run] carries the
+    downgrades in [run.degradations]; [Error (e, degradations)] is the
+    final failure after the whole chain (the last degradation has
+    [to_alg = None]). *)
+
+val run_benchmark_robust :
+  ?params:Context.params ->
+  ?budget:Repro_obs.Budget.t ->
+  Repro_cts.Benchmarks.spec ->
+  algorithm ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** Synthesize (failures captured as [Error]) then {!run_tree_robust}. *)
 
 val improvement_pct : baseline:float -> value:float -> float
 (** [(baseline - value) / baseline * 100] — the paper's improvement

@@ -1,3 +1,4 @@
+module Verrors = Repro_util.Verrors
 module Tree = Repro_clocktree.Tree
 module Assignment = Repro_clocktree.Assignment
 module Timing = Repro_clocktree.Timing
@@ -416,11 +417,14 @@ let solve t =
                  (List.length ivs))
       |> String.concat "; "
     in
-    failwith
-      (Printf.sprintf "Multimode.solve: no feasible intersection across \
-                       %d mode(s): no cell admits every sink in every \
-                       mode (effective kappa %.2f ps = kappa %.2f ps - \
-                       sibling guard %.2f ps); %s"
+    Verrors.fail ~code:Verrors.Infeasible_window ~stage:"multimode.solve"
+      ~hints:
+        [ "widen the skew window (larger kappa) or reduce sibling_guard";
+          "drop or relax the mode that is infeasible on its own" ]
+      (Printf.sprintf
+         "no feasible intersection across %d mode(s): no cell admits every \
+          sink in every mode (effective kappa %.2f ps = kappa %.2f ps - \
+          sibling guard %.2f ps); %s"
          (Array.length t.modes) effective_kappa p.Context.kappa
          p.Context.sibling_guard per_mode)
   | Some (inter, per_zone, peak) ->

@@ -24,6 +24,7 @@ let add_currents (a : Electrical.currents) (b : Electrical.currents) =
 
 let build tree asg env ~rising ~falling ?(period = default_period) ~sinks
     ~zone ~num_slots ?background ?cache () =
+  Repro_obs.Fault.trip Repro_obs.Fault.Noise_table ~site:"noise_table.build";
   let row_of_leaf = Hashtbl.create 16 in
   Array.iteri
     (fun row (s : Intervals.sink) ->

@@ -1,0 +1,76 @@
+(** End-to-end input validation with exhaustive diagnostics.
+
+    Every checker walks its whole input and returns {e all} violations
+    as structured {!Repro_util.Verrors.t} values instead of stopping at
+    the first — unlike the constructors ({!Repro_clocktree.Tree.create},
+    {!Repro_cell.Cell.make}), which raise on the first invariant they
+    see.  A run that preflights cleanly cannot fail on malformed input
+    later; the remaining failure modes (infeasible windows under a
+    too-narrow kappa, label caps, budgets) are diagnosed here too, so
+    `wavemin validate` can tell a user {e why} a run would degrade
+    before spending solver time.
+
+    The checkers never raise: internal errors are captured via
+    {!Repro_util.Verrors.guard} and reported as diagnostics. *)
+
+module Tree := Repro_clocktree.Tree
+module Timing := Repro_clocktree.Timing
+module Cell := Repro_cell.Cell
+
+val check_nodes : Tree.node array -> Repro_util.Verrors.t list
+(** Structural validation of a {e raw} node array, before
+    {!Tree.create}: id/index agreement, dangling or self-referential
+    parents, parent/children consistency, exactly one root, every node
+    reachable from it, leaves childless with positive sink capacitance,
+    internals with children and zero sink capacitance, finite
+    coordinates and non-negative wire RC.  Code [Invalid_tree]. *)
+
+val check_tree : Tree.t -> Repro_util.Verrors.t list
+(** Physical sanity of an already-validated tree (the structural
+    invariants being guaranteed by {!Tree.create}): finite coordinates,
+    non-negative wire RC.  Code [Invalid_tree]. *)
+
+val check_library : Cell.t list -> Repro_util.Verrors.t list
+(** Cell-library validation: non-empty, no two distinct cells sharing a
+    name, and both polarities present (polarity assignment is vacuous
+    otherwise).  Code [Invalid_library]. *)
+
+val check_params : Context.params -> Repro_util.Verrors.t list
+(** Solver-parameter validation: positive kappa, zone side and slot
+    count, non-negative epsilon, coalescing and sibling guard, label and
+    interval-class caps of at least 1, and a sibling guard strictly
+    below kappa (the effective window clamps to 1 ps otherwise).  Code
+    [Invalid_params]. *)
+
+val check_modes : Timing.env array -> Repro_util.Verrors.t list
+(** Power-mode validation for multi-mode runs: at least one mode, every
+    [env.mode] equal to its array index (which also rules out duplicate
+    mode ids), positive source slews.  Code [Invalid_modes]. *)
+
+val check_feasibility :
+  ?params:Context.params -> Tree.t -> cells:Cell.t list ->
+  Repro_util.Verrors.t list
+(** The expensive end: zone partitioning must yield at least one zone
+    ([Empty_zones]) and the skew window must admit at least one feasible
+    interval — reported with {!Intervals.infeasibility_message}'s
+    binding-sink diagnosis ([Infeasible_window]).  Runs a nominal timing
+    analysis; a few ms on the paper's benchmarks. *)
+
+val check :
+  ?params:Context.params ->
+  ?envs:Timing.env array ->
+  Tree.t ->
+  cells:Cell.t list ->
+  Repro_util.Verrors.t list
+(** Everything: {!check_tree}, {!check_library}, {!check_params},
+    {!check_modes} (when [envs] is given), then — only when those are
+    all clean, since it evaluates the inputs — {!check_feasibility}.
+    An empty result means the run cannot fail on input validation. *)
+
+val result : Repro_util.Verrors.t list -> (unit, Repro_util.Verrors.t list) result
+(** [Ok ()] on no diagnostics, [Error ds] otherwise — for callers that
+    want to chain validation monadically. *)
+
+val to_string : Repro_util.Verrors.t list -> string
+(** All diagnostics rendered one per line (with hints), or
+    ["preflight: ok"] for the empty list. *)

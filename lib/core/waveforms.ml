@@ -98,6 +98,8 @@ let create_cache () = { cache_mutex = Mutex.create (); table = Hashtbl.create 25
 let candidate_period_currents ?cache tree env ~rising ~falling id cell ~period =
   if period <= 0.0 then
     invalid_arg "Waveforms.candidate_period_currents: period <= 0";
+  Repro_obs.Fault.trip Repro_obs.Fault.Waveform_cache
+    ~site:"waveforms.candidate_period_currents";
   let compute () =
     let r = candidate_currents tree env rising id cell in
     let f = candidate_currents tree env falling id cell in

@@ -1,5 +1,6 @@
 module Metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Budget = Repro_obs.Budget
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.warburton"))
 
@@ -113,9 +114,15 @@ let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
   let any_capped = ref false in
   let key_buf = Buffer.create (8 * dim) in
   let step row_index row =
+    (* Cooperative cancellation: a no-op atomic load unless an ambient
+       budget is installed, in which case exhaustion raises
+       [Budget_exhausted] here — between rows — so partial extension
+       state never escapes. *)
+    Budget.check_current ();
     let k_row = Array.length row in
     let n_ext = !cur_n * k_row in
     ensure_ext n_ext;
+    Budget.charge_labels_current n_ext;
     let costs = !ext_costs
     and maxes = !ext_max
     and choice = !ext_choice

@@ -7,7 +7,13 @@
     cell size is ε·LB_k/(R+1) in objective k (LB_k a per-objective path
     lower bound), so every surviving label's cost is within (1+ε) of an
     exact Pareto point component-wise, while the label count stays
-    polynomial in (R/ε)^r.  ε = 0 gives the exact Pareto set. *)
+    polynomial in (R/ε)^r.  ε = 0 gives the exact Pareto set.
+
+    All solvers here honor the ambient {!Repro_obs.Budget}: each DP row
+    checks the budget and charges the labels it extends, so an exhausted
+    wall-clock or label budget raises {!Repro_util.Verrors.Error}
+    ([Budget_exhausted]) between rows.  With no ambient budget installed
+    the checks are single atomic loads and results are unchanged. *)
 
 val pareto_paths :
   ?epsilon:float -> ?max_labels:int -> Layered.t -> Pareto.label list

@@ -1,0 +1,88 @@
+module Verrors = Repro_util.Verrors
+
+type t = {
+  wall_ms : float option;
+  deadline_ns : int64 option;  (* absolute, Clock.now_ns scale *)
+  max_labels : int option;
+  labels : int Atomic.t;
+  (* Sticky trip reason: set once by the first failing check; later
+     checks re-raise without re-deriving, so a tripped budget cancels
+     cooperating workers promptly. *)
+  tripped : string option Atomic.t;
+}
+
+let create ?wall_ms ?max_labels () =
+  (match wall_ms with
+  | Some ms when ms <= 0.0 -> invalid_arg "Budget.create: wall_ms <= 0"
+  | _ -> ());
+  (match max_labels with
+  | Some n when n < 1 -> invalid_arg "Budget.create: max_labels < 1"
+  | _ -> ());
+  {
+    wall_ms;
+    deadline_ns =
+      Option.map
+        (fun ms -> Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+        wall_ms;
+    max_labels;
+    labels = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let labels_used t = Atomic.get t.labels
+
+let exceeded t =
+  match Atomic.get t.tripped with
+  | Some _ as r -> r
+  | None ->
+    let reason =
+      match t.deadline_ns with
+      | Some d when Clock.now_ns () > d ->
+        Some
+          (Printf.sprintf "wall-clock budget of %.0f ms exhausted"
+             (Option.value ~default:0.0 t.wall_ms))
+      | _ -> (
+        match t.max_labels with
+        | Some cap when Atomic.get t.labels > cap ->
+          Some
+            (Printf.sprintf
+               "label budget of %d exhausted (%d labels extended)" cap
+               (Atomic.get t.labels))
+        | _ -> None)
+    in
+    (match reason with
+    | Some r -> Atomic.set t.tripped (Some r)
+    | None -> ());
+    reason
+
+let check t =
+  match exceeded t with
+  | None -> ()
+  | Some reason ->
+    Verrors.fail ~code:Verrors.Budget_exhausted ~stage:"budget"
+      ~hints:
+        [ "raise --budget-ms / the label budget, or accept the recorded \
+           degradation" ]
+      reason
+
+let charge_labels t n =
+  if n > 0 then ignore (Atomic.fetch_and_add t.labels n);
+  check t
+
+(* ------------------------------------------------------------------ *)
+(* Ambient budget                                                      *)
+
+let ambient : t option Atomic.t = Atomic.make None
+
+let current () = Atomic.get ambient
+
+let with_current t f =
+  let saved = Atomic.get ambient in
+  Atomic.set ambient (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set ambient saved) f
+
+let check_current () =
+  match Atomic.get ambient with None -> () | Some t -> check t
+
+let charge_labels_current n =
+  match Atomic.get ambient with None -> () | Some t -> charge_labels t n

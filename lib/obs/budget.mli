@@ -1,0 +1,55 @@
+(** Wall-clock / label budgets with cooperative cancellation.
+
+    A budget bounds the effort one optimization run may spend: an
+    optional wall-clock deadline and an optional cap on the total number
+    of MOSP labels extended ({!Repro_mosp.Warburton} charges per row).
+    Checks are cooperative: hot loops call {!check} (or the ambient
+    {!check_current}) at natural yield points — every Warburton row,
+    every {!Repro_par.Par} task — and the first check past the limit
+    raises {!Repro_util.Verrors.Error} with code [Budget_exhausted].
+    Once tripped, the budget is sticky: every later check raises too, so
+    in-flight parallel batches drain quickly instead of finishing their
+    full work.
+
+    Exceeding a budget is deterministic for label limits (label counts
+    do not depend on the job count) and inherently timing-dependent for
+    wall-clock deadlines; either way the flow records the downgrade as a
+    [degradation] instead of failing the run.
+
+    The {e ambient} budget is a process-wide slot ({!with_current}) read
+    by the solver stack; with no budget installed every ambient check is
+    a single atomic load and a compare — the default path stays
+    bit-identical. *)
+
+type t
+
+val create : ?wall_ms:float -> ?max_labels:int -> unit -> t
+(** A budget with the given limits; omitted limits are unlimited.
+    The wall-clock deadline starts at creation time.
+    @raise Invalid_argument on non-positive limits. *)
+
+val check : t -> unit
+(** Raise [Verrors.Error { code = Budget_exhausted; _ }] if a limit has
+    been reached (or the budget already tripped); otherwise return. *)
+
+val charge_labels : t -> int -> unit
+(** Add extended-label work to the tally, then {!check}. *)
+
+val exceeded : t -> string option
+(** The trip reason, without raising; [None] while within budget. *)
+
+val labels_used : t -> int
+
+(** {1 Ambient budget} *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Install a budget as the process-wide ambient budget for the
+    duration of the thunk (restoring the previous one afterwards, also
+    on exceptions).  Worker domains observe the installed budget. *)
+
+val current : unit -> t option
+
+val check_current : unit -> unit
+(** {!check} on the ambient budget; no-op when none is installed. *)
+
+val charge_labels_current : int -> unit

@@ -1,0 +1,158 @@
+module Verrors = Repro_util.Verrors
+module Rng = Repro_util.Rng
+
+type seam = Parser | Waveform_cache | Noise_table | Pool_task | Report_writer
+
+let seam_name = function
+  | Parser -> "parser"
+  | Waveform_cache -> "waveform-cache"
+  | Noise_table -> "noise-table"
+  | Pool_task -> "pool-task"
+  | Report_writer -> "report-writer"
+
+let all_seams = [ Parser; Waveform_cache; Noise_table; Pool_task; Report_writer ]
+
+let seam_of_name name =
+  List.find_opt (fun s -> String.equal (seam_name s) name) all_seams
+
+let seam_index = function
+  | Parser -> 0
+  | Waveform_cache -> 1
+  | Noise_table -> 2
+  | Pool_task -> 3
+  | Report_writer -> 4
+
+type site_config = { prob : float; rng : Rng.t; rng_mutex : Mutex.t }
+
+type config = { sites : site_config option array }
+
+(* [None] = injection disabled; the single-atomic-load fast path. *)
+let state : config option Atomic.t = Atomic.make None
+
+let injected_c = Metrics.counter "fault.injected"
+let trip_count = Atomic.make 0
+
+let parse_spec spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let seed = ref 0 in
+  let seams = ref [] in
+  let rec go = function
+    | [] -> Ok ()
+    | entry :: rest -> (
+      let name, value =
+        match String.index_opt entry ':' with
+        | None -> (entry, None)
+        | Some i ->
+          ( String.sub entry 0 i,
+            Some (String.sub entry (i + 1) (String.length entry - i - 1)) )
+      in
+      match (name, value) with
+      | "seed", Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some s ->
+          seed := s;
+          go rest
+        | None -> Error (Printf.sprintf "bad seed %S" (String.trim v)))
+      | "seed", None -> Error "seed needs a value (seed:<int>)"
+      | name, value -> (
+        match seam_of_name name with
+        | None ->
+          Error
+            (Printf.sprintf "unknown seam %S (expected %s or seed:<int>)" name
+               (String.concat ", " (List.map seam_name all_seams)))
+        | Some seam -> (
+          match value with
+          | None ->
+            seams := (seam, 1.0) :: !seams;
+            go rest
+          | Some v -> (
+            match float_of_string_opt (String.trim v) with
+            | Some p when p >= 0.0 && p <= 1.0 ->
+              seams := (seam, p) :: !seams;
+              go rest
+            | Some _ | None ->
+              Error
+                (Printf.sprintf "bad probability %S for seam %s (want [0,1])"
+                   (String.trim v) name)))))
+  in
+  match go entries with
+  | Error _ as e -> e
+  | Ok () ->
+    if !seams = [] then Ok None
+    else begin
+      let sites = Array.make (List.length all_seams) None in
+      List.iter
+        (fun (seam, prob) ->
+          sites.(seam_index seam) <-
+            Some
+              {
+                prob;
+                (* Independent stream per seam: stream index = seam. *)
+                rng = Rng.of_instance ~seed:!seed (seam_index seam);
+                rng_mutex = Mutex.create ();
+              })
+        !seams;
+      Ok (Some { sites })
+    end
+
+let set_spec spec =
+  match parse_spec spec with
+  | Ok cfg ->
+    Atomic.set state cfg;
+    Atomic.set trip_count 0;
+    Ok ()
+  | Error _ as e -> e
+
+let clear () = Atomic.set state None
+
+(* Read WAVEMIN_FAULTS once; a malformed value warns and disables. *)
+let env_loaded = ref false
+
+let ensure_env_loaded () =
+  if not !env_loaded then begin
+    env_loaded := true;
+    match Sys.getenv_opt "WAVEMIN_FAULTS" with
+    | None | Some "" -> ()
+    | Some spec -> (
+      match set_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf
+          "wavemin: ignoring malformed WAVEMIN_FAULTS=%S: %s\n%!" spec msg)
+  end
+
+let active () =
+  ensure_env_loaded ();
+  Atomic.get state <> None
+
+let trips () = Atomic.get trip_count
+
+let trip seam ~site =
+  ensure_env_loaded ();
+  match Atomic.get state with
+  | None -> ()
+  | Some cfg -> (
+    match cfg.sites.(seam_index seam) with
+    | None -> ()
+    | Some sc ->
+      let fire =
+        if sc.prob >= 1.0 then true
+        else begin
+          Mutex.lock sc.rng_mutex;
+          let draw = Rng.float sc.rng ~bound:1.0 in
+          Mutex.unlock sc.rng_mutex;
+          draw < sc.prob
+        end
+      in
+      if fire then begin
+        Metrics.incr injected_c;
+        Atomic.incr trip_count;
+        Verrors.fail ~code:Verrors.Fault_injected ~stage:site
+          ~subject:("seam " ^ seam_name seam)
+          ~hints:[ "fault injected by WAVEMIN_FAULTS; unset it for real runs" ]
+          (Printf.sprintf "injected fault at %s" site)
+      end)

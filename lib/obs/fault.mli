@@ -1,0 +1,52 @@
+(** Deterministic fault injection at the pipeline's fragile seams.
+
+    Activated by the [WAVEMIN_FAULTS] environment variable (or
+    programmatically via {!set_spec}); completely inert — a single
+    atomic load per {!trip} call — when unconfigured.  A configured seam
+    raises {!Repro_util.Verrors.Error} with code [Fault_injected] from
+    {!trip} with the given probability, drawn from a per-seam
+    {!Repro_util.Rng} stream seeded by the spec, so a fixed spec and
+    seed reproduce the same injection pattern at [jobs = 1].
+
+    Spec syntax (comma-separated):
+    {[WAVEMIN_FAULTS="parser:1,noise-table:0.25,seed:42"]}
+    Each entry is [seam\[:probability\]] (probability defaults to 1) or
+    [seed:<int>] (defaults to 0).  Seams: [parser], [waveform-cache],
+    [noise-table], [pool-task], [report-writer].
+
+    The harness exists so tests and CI can assert the robustness
+    contract: under any injected fault the flow never crashes with an
+    uncaught exception — it returns a solution, a diagnosed
+    degradation, or a structured error. *)
+
+type seam =
+  | Parser  (** {!Repro_cell.Liberty.parse} input parsing. *)
+  | Waveform_cache  (** Candidate waveform memo lookups. *)
+  | Noise_table  (** Per-zone noise-table construction. *)
+  | Pool_task  (** Every {!Repro_par.Par} task. *)
+  | Report_writer  (** {!Report.write}. *)
+
+val seam_name : seam -> string
+val seam_of_name : string -> seam option
+val all_seams : seam list
+
+val set_spec : string -> (unit, string) result
+(** Parse and install a spec; [""] disables injection.  [Error] on a
+    malformed spec, leaving the previous configuration in place. *)
+
+val clear : unit -> unit
+(** Disable injection (tests). *)
+
+val active : unit -> bool
+(** True when any seam is configured.  Reads [WAVEMIN_FAULTS] once,
+    lazily, on first use; a malformed variable prints one warning to
+    stderr and disables injection. *)
+
+val trip : seam -> site:string -> unit
+(** Raise a [Fault_injected] error at the given site if the seam is
+    configured and its probability fires; otherwise (and always when
+    inactive) return.  [site] becomes the error's [stage]. *)
+
+val trips : unit -> int
+(** Number of faults injected since configuration (also the
+    [fault.injected] metrics counter). *)

@@ -26,12 +26,22 @@ type sample = {
 
 type stage = { stage : string; wall_s : float; cpu_s : float }
 
+type degradation = {
+  benchmark : string;
+  algorithm : string;
+  from_alg : string;
+  to_alg : string option;
+  code : string;
+  detail : string;
+}
+
 type t = {
   version : int;
   manifest : manifest;
   status : status;
   samples : sample list;
   stages : stage list;
+  degradations : degradation list;
   registry : (string * Metrics.value) list;
 }
 
@@ -43,6 +53,7 @@ type builder = {
   mutable b_status : status;
   mutable b_samples : sample list;  (* reversed *)
   mutable b_stages : stage list;  (* reversed *)
+  mutable b_degradations : degradation list;  (* reversed *)
 }
 
 let create ~experiment ?(suite = []) ?(seeds = []) ?(config = [])
@@ -63,6 +74,7 @@ let create ~experiment ?(suite = []) ?(seeds = []) ?(config = [])
     b_status = Completed;
     b_samples = [];
     b_stages = [];
+    b_degradations = [];
   }
 
 let add_environment b kvs =
@@ -78,6 +90,8 @@ let add_sample b ~benchmark ~algorithm ?(quality = []) ?(runtime = []) () =
 let add_stage b ~stage ~wall_s ~cpu_s =
   b.b_stages <- { stage; wall_s; cpu_s } :: b.b_stages
 
+let add_degradation b d = b.b_degradations <- d :: b.b_degradations
+
 let record_error b msg =
   match b.b_status with Completed -> b.b_status <- Failed msg | Failed _ -> ()
 
@@ -91,6 +105,7 @@ let finalize ?registry b =
     status = b.b_status;
     samples = List.rev b.b_samples;
     stages = List.rev b.b_stages;
+    degradations = List.rev b.b_degradations;
     registry;
   }
 
@@ -128,7 +143,7 @@ let to_json r =
   let samples =
     Json.List
       (List.map
-         (fun s ->
+         (fun (s : sample) ->
            Json.Obj
              [ ("benchmark", Json.Str s.benchmark);
                ("algorithm", Json.Str s.algorithm);
@@ -184,10 +199,33 @@ let to_json r =
                           s.Metrics.buckets) ) ]))
          r.registry)
   in
+  (* Omitted when empty so unaffected reports stay byte-identical to
+     files written before the block existed. *)
+  let degradations =
+    match r.degradations with
+    | [] -> []
+    | ds ->
+      [ ( "degradations",
+          Json.List
+            (List.map
+               (fun d ->
+                 Json.Obj
+                   ([ ("benchmark", Json.Str d.benchmark);
+                      ("algorithm", Json.Str d.algorithm);
+                      ("from", Json.Str d.from_alg) ]
+                   @ (match d.to_alg with
+                     | None -> []
+                     | Some a -> [ ("to", Json.Str a) ])
+                   @ [ ("code", Json.Str d.code);
+                       ("detail", Json.Str d.detail) ]))
+               ds) ) ]
+  in
   Json.Obj
-    [ ("schema_version", Json.Num (float_of_int r.version));
-      ("manifest", manifest); ("status", status); ("samples", samples);
-      ("stages", stages); ("registry", registry) ]
+    ([ ("schema_version", Json.Num (float_of_int r.version));
+       ("manifest", manifest); ("status", status); ("samples", samples);
+       ("stages", stages) ]
+    @ degradations
+    @ [ ("registry", registry) ])
 
 let to_string r = Json.to_string_pretty (to_json r)
 
@@ -291,6 +329,23 @@ let of_json j =
                cpu_s = get "cpu_s" Json.float_value sj;
              })
     in
+    let degradations =
+      (* Absent in reports written before the block existed. *)
+      match get_opt "degradations" Json.list_value j with
+      | None -> []
+      | Some ds ->
+        List.map
+          (fun dj ->
+            {
+              benchmark = get "benchmark" Json.string_value dj;
+              algorithm = get "algorithm" Json.string_value dj;
+              from_alg = get "from" Json.string_value dj;
+              to_alg = get_opt "to" Json.string_value dj;
+              code = get "code" Json.string_value dj;
+              detail = get "detail" Json.string_value dj;
+            })
+          ds
+    in
     let registry =
       get "registry" Json.list_value j
       |> List.map (fun ij ->
@@ -322,7 +377,7 @@ let of_json j =
              in
              (name, v))
     in
-    { version; manifest; status; samples; stages; registry }
+    { version; manifest; status; samples; stages; degradations; registry }
   with
   | r -> Ok r
   | exception Shape msg -> Error msg
@@ -333,6 +388,7 @@ let of_string s =
   | Ok j -> of_json j
 
 let write path r =
+  Fault.trip Fault.Report_writer ~site:"report.write";
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -387,7 +443,7 @@ type kind = Quality | Runtime
 (* Flatten a report into path -> (kind, value), insertion-ordered. *)
 let flatten r =
   List.concat_map
-    (fun s ->
+    (fun (s : sample) ->
       let prefix = s.benchmark ^ "/" ^ s.algorithm in
       List.map
         (fun (k, v) -> (prefix ^ "/quality/" ^ k, (Quality, v)))

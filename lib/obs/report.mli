@@ -51,12 +51,29 @@ type sample = {
 
 type stage = { stage : string; wall_s : float; cpu_s : float }
 
+type degradation = {
+  benchmark : string;
+  algorithm : string;  (** The algorithm the run asked for. *)
+  from_alg : string;  (** The attempt that failed. *)
+  to_alg : string option;
+      (** The fallback tried next; [None] when the chain was exhausted
+          and the run failed. *)
+  code : string;  (** {!Repro_util.Verrors.code} name, kebab-case. *)
+  detail : string;
+}
+(** One link of a fallback chain taken during the run.  Degradations are
+    informational — {!diff} never gates on them (like [environment]),
+    and the block is omitted from the JSON when empty, so unaffected
+    reports stay byte-identical to schema-v1 files written before the
+    block existed. *)
+
 type t = {
   version : int;
   manifest : manifest;
   status : status;
   samples : sample list;
   stages : stage list;
+  degradations : degradation list;
   registry : (string * Metrics.value) list;
 }
 
@@ -100,6 +117,9 @@ val add_sample :
 
 val add_stage : builder -> stage:string -> wall_s:float -> cpu_s:float -> unit
 
+val add_degradation : builder -> degradation -> unit
+(** Append one fallback-chain link, in occurrence order. *)
+
 val record_error : builder -> string -> unit
 (** Mark the run [Failed].  The first recorded error wins. *)
 
@@ -116,7 +136,9 @@ val of_json : Repro_util.Json.t -> (t, string) result
 val of_string : string -> (t, string) result
 
 val write : string -> t -> unit
-(** @raise Sys_error on I/O failure. *)
+(** @raise Sys_error on I/O failure.
+    @raise Repro_util.Verrors.Error when the [report-writer] fault seam
+    is armed ({!Fault}). *)
 
 val read : string -> (t, string) result
 (** File-not-found/unreadable is reported as [Error], not an exception. *)

@@ -1,5 +1,7 @@
 module Metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Budget = Repro_obs.Budget
+module Fault = Repro_obs.Fault
 
 let regions_c = Metrics.counter "par.regions"
 let tasks_c = Metrics.counter "par.tasks"
@@ -77,7 +79,18 @@ let with_region label items f =
     before.Pool.busy_ns;
   result
 
+(* Budget checks and the pool-task fault seam wrap every task, on the
+   sequential and pooled paths alike, but only when one of them is
+   armed — the default path applies [f] untouched. *)
+let instrument label f =
+  if Fault.active () || Budget.current () <> None then (fun x ->
+    Budget.check_current ();
+    Fault.trip Fault.Pool_task ~site:("par." ^ label);
+    f x)
+  else f
+
 let parallel_map ?(label = "map") f arr =
+  let f = instrument label f in
   if Array.length arr = 0 then [||]
   else if sequential () then Array.map f arr
   else with_region label (Array.length arr) (fun p -> Pool.map p f arr)
@@ -94,10 +107,15 @@ let parallel_map_reduce ?(label = "map_reduce") ~f ~reduce ~init arr =
 let parallel_for ?(label = "for") ?chunk ~n body =
   if n < 0 then invalid_arg "Par.parallel_for: negative length"
   else if n = 0 then ()
-  else if sequential () then
+  else if sequential () then begin
+    if Fault.active () || Budget.current () <> None then begin
+      Budget.check_current ();
+      Fault.trip Fault.Pool_task ~site:("par." ^ label)
+    end;
     for i = 0 to n - 1 do
       body i
     done
+  end
   else begin
     let j = jobs () in
     let chunk =

@@ -18,6 +18,14 @@
     task) silently run sequentially on the calling worker — parallelism
     comes from the outermost region only, and nesting never deadlocks.
 
+    When an ambient {!Repro_obs.Budget} is installed or the
+    [pool-task] fault seam ({!Repro_obs.Fault}) is armed, every task is
+    wrapped with a budget check and a fault trip — on the sequential and
+    pooled paths alike — so an exhausted budget or injected fault
+    surfaces as a deterministic lowest-index
+    {!Repro_util.Verrors.Error}.  With neither armed the combinators
+    apply the supplied function untouched.
+
     Each region records a [par.<label>] span ({!Repro_obs.Trace}) whose
     Chrome export shows the per-domain fan-out, and updates the
     [par.regions] / [par.tasks] counters, the [par.jobs] gauge and the

@@ -54,6 +54,21 @@ let rec worker_loop t slot =
   in
   next ()
 
+(* Only call between batches (the pool idle); in-flight tasks finish,
+   queued-but-unstarted ones would be abandoned.  Idempotent, and safe
+   to race: the workers array is claimed under the mutex, so exactly one
+   caller joins each domain. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [||];
+  if not t.shutting_down then begin
+    t.shutting_down <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
@@ -68,23 +83,18 @@ let create ~jobs =
       busy_ns = Array.init jobs (fun _ -> Atomic.make 0);
     }
   in
-  if jobs > 1 then
+  if jobs > 1 then begin
     t.workers <-
       Array.init (jobs - 1) (fun slot ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker_key true;
               worker_loop t slot));
+    (* A pool abandoned without [shutdown] (e.g. its owner raised) would
+       leave unjoined domains blocking process exit; joining here makes
+       exit robust and is a no-op for already-shut-down pools. *)
+    at_exit (fun () -> shutdown t)
+  end;
   t
-
-(* Only call between batches (the pool idle); in-flight tasks finish,
-   queued-but-unstarted ones would be abandoned. *)
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.shutting_down <- true;
-  Condition.broadcast t.work;
-  Mutex.unlock t.mutex;
-  Array.iter Domain.join t.workers;
-  t.workers <- [||]
 
 let run_batch t (thunks : (unit -> unit) array) =
   let n = Array.length thunks in

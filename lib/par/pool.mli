@@ -14,13 +14,17 @@ type t
 
 val create : jobs:int -> t
 (** Spawn a pool with [jobs] execution slots ([jobs - 1] domains).
+    Pools with workers register an [at_exit] {!shutdown}, so a pool
+    abandoned on an exception path cannot leave unjoined domains
+    blocking process exit.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Only call with the pool idle
-    (between batches); idempotent. *)
+    (between batches).  Idempotent and safe to call from multiple
+    threads: each worker is joined exactly once. *)
 
 val in_worker : unit -> bool
 (** True when the calling domain is one of a pool's workers. *)

@@ -89,9 +89,15 @@ let test_error_line_numbers () =
 let test_parse_exn () =
   Alcotest.(check int) "ok" 2
     (List.length (Liberty.parse_exn (Liberty.to_string [ Library.buf 1; Library.inv 1 ])));
-  Alcotest.check_raises "raises"
-    (Failure "Liberty.parse: line 1: expected 'cell'") (fun () ->
-      ignore (Liberty.parse_exn "garbage"))
+  (* Failures surface as a structured parse error carrying position. *)
+  match Liberty.parse_exn "garbage" with
+  | _ -> Alcotest.fail "parse_exn must raise on garbage"
+  | exception Repro_util.Verrors.Error e ->
+    Alcotest.(check string)
+      "code" "parse-error"
+      (Repro_util.Verrors.code_name e.Repro_util.Verrors.code);
+    Alcotest.(check (option string))
+      "subject" (Some "line 1, column 1") e.Repro_util.Verrors.subject
 
 let test_file_roundtrip () =
   let path = Filename.temp_file "liberty" ".lib" in

@@ -62,6 +62,28 @@ let test_pool_invalid_jobs () =
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
       ignore (Pool.create ~jobs:0))
 
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 in
+  ignore (Pool.map pool (fun i -> i + 1) (Array.init 10 Fun.id));
+  Pool.shutdown pool;
+  (* Second (and third) shutdown must be a no-op, not a hang or a join
+     of already-joined domains. *)
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let test_pool_shutdown_after_raising_batch () =
+  (* A batch that raises must leave the pool shutdownable: workers idle,
+     queue drained, domains joinable.  This is the exception path that
+     used to leak unjoined domains before shutdown became at_exit'd. *)
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs in
+      (try Pool.run_batch pool (Array.init 16 (fun i -> fun () -> raise (Boom i)))
+       with Boom _ -> ());
+      Pool.shutdown pool;
+      Pool.shutdown pool)
+    job_counts
+
 (* ---- Par ----------------------------------------------------------- *)
 
 let test_with_jobs_restores () =
@@ -183,6 +205,10 @@ let () =
             test_pool_lowest_index_exception;
           Alcotest.test_case "stats grow" `Quick test_pool_stats_grow;
           Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "shutdown after raising batch" `Quick
+            test_pool_shutdown_after_raising_batch;
         ] );
       ( "par",
         [

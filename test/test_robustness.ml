@@ -146,6 +146,145 @@ let test_adjustable_in_single_mode_context () =
         Alcotest.(check (float 1e-12)) "fixed cells have no extra" 0.0 extra)
     (Tree.leaves t)
 
+(* ------------------------------------------------------------------ *)
+(* Preflight validation: degenerate inputs must be diagnosed, with the
+   right error code, instead of crashing (or worse, solving).           *)
+
+module Preflight = Repro_core.Preflight
+module Verrors = Repro_util.Verrors
+
+let raw_node id parent children kind x y wire sink_cap =
+  { Tree.id; parent; children; kind; x; y; wire; sink_cap;
+    default_cell = Library.buf 8 }
+
+(* The minimal tree as a raw node array, for corruption before
+   Tree.create's own validation would reject it. *)
+let valid_nodes () =
+  [|
+    raw_node 0 None [ 1; 2 ] Tree.Internal 10.0 10.0 Wire.zero 0.0;
+    raw_node 1 (Some 0) [] Tree.Leaf 5.0 5.0 (Wire.of_length 8.0) 12.0;
+    raw_node 2 (Some 0) [] Tree.Leaf 15.0 15.0 (Wire.of_length 8.0) 14.0;
+  |]
+
+let codes ds = List.map (fun d -> Verrors.code_name d.Verrors.code) ds
+
+let check_all_code name code ds =
+  Alcotest.(check bool) (name ^ " diagnosed") true (ds <> []);
+  List.iter
+    (fun c -> Alcotest.(check string) (name ^ " code") code c)
+    (codes ds)
+
+let test_preflight_clean () =
+  let ds =
+    Preflight.check ~params:Context.default_params (minimal_tree ())
+      ~cells:(Flow.leaf_library ())
+  in
+  Alcotest.(check int) "no diagnostics" 0 (List.length ds);
+  Alcotest.(check string) "to_string" "preflight: ok" (Preflight.to_string ds)
+
+let test_preflight_dangling_parent () =
+  let nodes = valid_nodes () in
+  nodes.(1) <- { nodes.(1) with Tree.parent = Some 99 };
+  check_all_code "dangling parent" "invalid-tree" (Preflight.check_nodes nodes)
+
+let test_preflight_zero_leaf_tree () =
+  let nodes =
+    [| raw_node 0 None [] Tree.Internal 0.0 0.0 Wire.zero 0.0 |]
+  in
+  check_all_code "internal without children" "invalid-tree"
+    (Preflight.check_nodes nodes)
+
+let test_preflight_negative_wire () =
+  let nodes = valid_nodes () in
+  nodes.(2) <-
+    { nodes.(2) with Tree.wire = { Wire.length = -8.0; res = 0.1; cap = 0.2 } };
+  check_all_code "negative wire" "invalid-tree" (Preflight.check_nodes nodes)
+
+let test_preflight_nonpositive_sink_cap () =
+  let nodes = valid_nodes () in
+  nodes.(1) <- { nodes.(1) with Tree.sink_cap = -3.0 };
+  check_all_code "negative sink cap" "invalid-tree"
+    (Preflight.check_nodes nodes)
+
+let test_preflight_bad_params () =
+  let ds =
+    Preflight.check_params
+      { Context.default_params with Context.kappa = 0.0; max_labels = 0 }
+  in
+  check_all_code "bad params" "invalid-params" ds;
+  Alcotest.(check bool) "both reported" true (List.length ds >= 2)
+
+let test_preflight_bad_library () =
+  check_all_code "empty library" "invalid-library" (Preflight.check_library []);
+  (* Buffers only: polarity assignment is vacuous without an inverter. *)
+  check_all_code "one polarity" "invalid-library"
+    (Preflight.check_library [ Library.buf 8; Library.buf 16 ])
+
+let test_preflight_bad_modes () =
+  let dup = Timing.nominal ~mode:0 () in
+  check_all_code "duplicate mode ids" "invalid-modes"
+    (Preflight.check_modes [| dup; dup |]);
+  check_all_code "no modes" "invalid-modes" (Preflight.check_modes [||])
+
+let test_preflight_narrow_window () =
+  (* One leaf behind a 500 um wire: its arrival lags the near leaf by
+     far more than the window under every cell candidate, so a 5 ps
+     kappa (structurally valid — the params check passes) cannot be
+     met.  Preflight must say so, and why, before any solver runs. *)
+  let node id parent children kind x y wire_len sink_cap cell =
+    { Tree.id; parent; children; kind; x; y;
+      wire = Wire.of_length wire_len; sink_cap; default_cell = cell }
+  in
+  let tree =
+    Tree.create
+      [|
+        node 0 None [ 1; 2 ] Tree.Internal 10.0 10.0 0.0 0.0 (Library.buf 16);
+        node 1 (Some 0) [] Tree.Leaf 5.0 5.0 1.0 5.0 (Library.buf 8);
+        node 2 (Some 0) [] Tree.Leaf 15.0 15.0 500.0 80.0 (Library.buf 8);
+      |]
+  in
+  let params = { Context.default_params with Context.kappa = 5.0 } in
+  let ds = Preflight.check ~params tree ~cells:(Flow.leaf_library ()) in
+  check_all_code "narrow window" "infeasible-window" ds
+
+let test_preflight_too_narrow_params () =
+  (* A kappa below the sibling guard is flagged by the params check
+     itself (the effective window would clamp), before feasibility. *)
+  let ds =
+    Preflight.check
+      ~params:{ Context.default_params with Context.kappa = 0.01 }
+      (minimal_tree ()) ~cells:(Flow.leaf_library ())
+  in
+  check_all_code "clamped window" "invalid-params" ds
+
+(* Property: whatever single corruption we apply to a valid node array,
+   check_nodes never raises and pins the damage on Invalid_tree. *)
+let prop_preflight_catches_corruption =
+  let corruptions =
+    [ (fun n i -> n.(i) <- { n.(i) with Tree.parent = Some 1000 });
+      (fun n i -> n.(i) <- { n.(i) with Tree.parent = Some i });
+      (fun n i -> n.(i) <- { n.(i) with Tree.children = [ 77 ] });
+      (fun n i -> n.(i) <- { n.(i) with Tree.x = Float.nan });
+      (fun n i ->
+        n.(i) <-
+          { n.(i) with
+            Tree.wire = { Wire.length = -1.0; res = -1.0; cap = -1.0 } });
+      (fun n i ->
+        n.(i) <-
+          (match n.(i).Tree.kind with
+          | Tree.Leaf -> { n.(i) with Tree.sink_cap = -.n.(i).Tree.sink_cap }
+          | Tree.Internal -> { n.(i) with Tree.sink_cap = 5.0 }));
+    ]
+  in
+  QCheck.Test.make ~count:100 ~name:"preflight catches corrupted nodes"
+    QCheck.(pair (int_bound (List.length corruptions - 1)) (int_bound 2))
+    (fun (which, at) ->
+      let nodes = valid_nodes () in
+      (List.nth corruptions which) nodes at;
+      match Preflight.check_nodes nodes with
+      | [] -> QCheck.Test.fail_report "corruption not diagnosed"
+      | ds -> List.for_all (fun c -> c = "invalid-tree") (codes ds))
+
 let test_report_contains_sections () =
   let contains s sub =
     let n = String.length s and m = String.length sub in
@@ -181,5 +320,22 @@ let () =
           Alcotest.test_case "adjustable in single mode" `Quick
             test_adjustable_in_single_mode_context;
           Alcotest.test_case "report sections" `Quick test_report_contains_sections;
+        ] );
+      ( "preflight",
+        [
+          Alcotest.test_case "clean input" `Quick test_preflight_clean;
+          Alcotest.test_case "dangling parent" `Quick
+            test_preflight_dangling_parent;
+          Alcotest.test_case "zero-leaf tree" `Quick test_preflight_zero_leaf_tree;
+          Alcotest.test_case "negative wire" `Quick test_preflight_negative_wire;
+          Alcotest.test_case "non-positive sink cap" `Quick
+            test_preflight_nonpositive_sink_cap;
+          Alcotest.test_case "bad params" `Quick test_preflight_bad_params;
+          Alcotest.test_case "bad library" `Quick test_preflight_bad_library;
+          Alcotest.test_case "bad modes" `Quick test_preflight_bad_modes;
+          Alcotest.test_case "narrow window" `Quick test_preflight_narrow_window;
+          Alcotest.test_case "clamped window params" `Quick
+            test_preflight_too_narrow_params;
+          QCheck_alcotest.to_alcotest prop_preflight_catches_corruption;
         ] );
     ]

@@ -54,12 +54,17 @@ let test_context_infeasible_kappa () =
   let params = { small_params with Context.kappa = 0.01 } in
   let ctx = Context.create ~params (tree ()) ~cells in
   Alcotest.(check bool) "infeasible" false (Context.feasible ctx);
-  (* The failure message now carries a diagnosis (binding sinks, the
-     minimum feasible window width, the effective kappa); assert its
-     load-bearing pieces rather than the exact prose. *)
+  (* The failure is now a structured error: code [Infeasible_window],
+     with a diagnosis (binding sinks, the minimum feasible window width,
+     the effective kappa) in the message; assert its load-bearing pieces
+     rather than the exact prose. *)
   match Clk_wavemin.optimize ctx with
   | _ -> Alcotest.fail "solve must fail on an infeasible kappa"
-  | exception Failure msg ->
+  | exception Repro_util.Verrors.Error e ->
+    Alcotest.(check string)
+      "code" "infeasible-window"
+      (Repro_util.Verrors.code_name e.Repro_util.Verrors.code);
+    let msg = e.Repro_util.Verrors.message in
     let contains needle =
       let n = String.length needle and h = String.length msg in
       let rec go i =
@@ -67,7 +72,6 @@ let test_context_infeasible_kappa () =
       in
       Alcotest.(check bool) ("message mentions " ^ needle) true (go 0)
     in
-    contains "Context.solve_with";
     contains "no feasible interval";
     contains "kappa";
     contains "leaf "
