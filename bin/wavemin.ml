@@ -14,6 +14,8 @@
      report         write a markdown comparison report
      bench-diff     regression gate between two BENCH_*.json run reports
      library        dump the cell library in the Liberty-style format
+     serve          resident optimization service (ndjson over a socket)
+     client         send one request to a running `wavemin serve'
 
    Exit codes: 0 success; 1 usage error (unknown benchmark/cell);
    2 diagnosed failure (validation, solver error, --strict violation);
@@ -34,7 +36,11 @@ module Budget = Repro_obs.Budget
 module Obs_trace = Repro_obs.Trace
 module Obs_metrics = Repro_obs.Metrics
 module Obs_log = Repro_obs.Log
+module Obs_clock = Repro_obs.Clock
 module Run_report = Repro_obs.Report
+module Server = Repro_server.Server
+module Client = Repro_server.Client
+module Proto = Repro_server.Protocol
 
 (* ---- observability flags (run/profile/compare) ------------------- *)
 
@@ -644,10 +650,17 @@ let validate_cmd =
     let doc = "Benchmark to validate (default: the whole suite)." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
-  let run name kappa slots =
+  let all_arg =
+    let doc =
+      "Validate every built-in benchmark (explicit spelling of the \
+       no-argument default; wins over a $(i,BENCHMARK) argument)."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let run name all kappa slots =
     let params = params_of kappa slots in
     let specs =
-      match name with
+      match (if all then None else name) with
       | None -> Ok Benchmarks.all
       | Some n -> (
         match Benchmarks.find n with
@@ -689,7 +702,200 @@ let validate_cmd =
          "Preflight-validate benchmark inputs (tree structure, cell \
           library, solver parameters and skew-window feasibility), \
           reporting every violation instead of stopping at the first")
-    Term.(const run $ bench_opt_arg $ kappa_arg $ slots_arg)
+    Term.(const run $ bench_opt_arg $ all_arg $ kappa_arg $ slots_arg)
+
+(* ---- service mode ------------------------------------------------- *)
+
+let address_arg =
+  let doc =
+    "Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), $(b,tcp:PORT) \
+     (localhost) or a bare Unix-socket path."
+  in
+  Arg.(value & opt string "unix:wavemin.sock"
+       & info [ "address"; "A" ] ~docv:"ADDR" ~doc)
+
+let parse_address s =
+  match Server.address_of_string s with
+  | Ok a -> Ok a
+  | Error msg ->
+    Format.eprintf "wavemin: bad address %S: %s@." s msg;
+    Error 1
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Bounded request-queue depth.  When $(docv) requests are already \
+       waiting, further data-plane requests are rejected immediately \
+       with a structured $(b,overloaded) error (explicit backpressure) \
+       instead of buffering without bound."
+    in
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "LRU session-cache capacity: prepared benchmarks (parsed library, \
+       synthesized tree, timing context, noise tables, waveform memo) \
+       kept warm, keyed by a content hash of benchmark + parameters + \
+       library text."
+    in
+    Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Where the final drain report (BENCH schema) is written." in
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let no_report_arg =
+    Arg.(value & flag
+         & info [ "no-report" ] ~doc:"Do not write a final drain report.")
+  in
+  let run address_s queue cache report no_report jobs level trace metrics =
+    apply_jobs jobs;
+    let finish = setup_obs level trace metrics in
+    match parse_address address_s with
+    | Error code -> code
+    | Ok address -> (
+      let cfg =
+        { Server.address; queue_capacity = max 1 queue;
+          cache_capacity = max 1 cache;
+          report_path = (if no_report then None else Some report);
+          handle_signals = true; readiness = Some stdout }
+      in
+      match Verrors.guard ~stage:"server.serve" (fun () -> Server.serve cfg) with
+      | Ok () ->
+        finish ();
+        0
+      | Error e ->
+        finish ();
+        print_verror e;
+        2)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident optimization service: newline-delimited JSON \
+          requests (run/compare/validate/montecarlo/stats/health/shutdown) \
+          over a Unix-domain or TCP socket, with a warm session cache, \
+          bounded-queue backpressure and graceful drain on SIGTERM or a \
+          $(b,shutdown) request")
+    Term.(const run $ address_arg $ queue_arg $ cache_arg $ report_arg
+          $ no_report_arg $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
+
+let client_cmd =
+  let request_arg =
+    let doc =
+      "Request type: run, compare, validate, montecarlo, stats, health \
+       or shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let bench_opt_arg =
+    let doc = "Benchmark name (required for run/compare/montecarlo)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let algo_name_arg =
+    let doc = "Algorithm for $(b,run): initial, peakmin, wavemin or wavemin-f." in
+    Arg.(value & opt string "wavemin" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let instances_arg =
+    Arg.(value & opt int 200
+         & info [ "instances"; "n" ] ~doc:"Monte-Carlo instances")
+  in
+  let max_labels_arg =
+    let doc = "Per-request MOSP label budget." in
+    Arg.(value & opt (some int) None & info [ "max-labels" ] ~docv:"N" ~doc)
+  in
+  let library_arg =
+    let doc =
+      "Liberty-style cell library file sent with the request, overriding \
+       the server's built-in leaf library."
+    in
+    Arg.(value & opt (some file) None & info [ "library" ] ~docv:"FILE" ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"For $(b,validate): the whole suite.")
+  in
+  let time_arg =
+    let doc =
+      "Print the request round-trip time as `elapsed_ms NNN.N' on stderr \
+       (responses themselves are deterministic and carry no timings)."
+    in
+    Arg.(value & flag & info [ "time" ] ~doc)
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let run address_s request_s bench algo_s kappa slots budget_ms max_labels
+      instances library_file all time =
+    match parse_address address_s with
+    | Error code -> code
+    | Ok address -> (
+      let opts_of () =
+        match bench with
+        | None when not (all && request_s = "validate") ->
+          Format.eprintf "wavemin: %s needs a BENCHMARK argument@." request_s;
+          Error 1
+        | _ ->
+          let library = Option.map read_file library_file in
+          Ok
+            { Proto.benchmark = Option.value bench ~default:"";
+              kappa; slots; budget_ms; max_labels; library }
+      in
+      let req =
+        match request_s with
+        | "stats" -> Ok Proto.Stats
+        | "health" -> Ok Proto.Health
+        | "shutdown" -> Ok Proto.Shutdown
+        | "run" -> (
+          match Proto.algorithm_of_name algo_s with
+          | None ->
+            Format.eprintf "wavemin: unknown algorithm %s@." algo_s;
+            Error 1
+          | Some algorithm ->
+            Result.map
+              (fun opts -> Proto.Run { opts; algorithm })
+              (opts_of ()))
+        | "compare" -> Result.map (fun o -> Proto.Compare o) (opts_of ())
+        | "validate" ->
+          Result.map (fun opts -> Proto.Validate { opts; all }) (opts_of ())
+        | "montecarlo" ->
+          Result.map (fun opts -> Proto.Montecarlo { opts; instances })
+            (opts_of ())
+        | other ->
+          Format.eprintf "wavemin: unknown request type %s@." other;
+          Error 1
+      in
+      match req with
+      | Error code -> code
+      | Ok req -> (
+        let outcome =
+          Client.with_connection address (fun c ->
+              let t0 = Obs_clock.now_s () in
+              match Client.request c req with
+              | Error e -> Error e
+              | Ok resp -> Ok (resp, (Obs_clock.now_s () -. t0) *. 1000.0))
+        in
+        match outcome with
+        | Error e ->
+          print_verror e;
+          2
+        | Ok (resp, elapsed_ms) ->
+          if time then Format.eprintf "elapsed_ms %.1f@." elapsed_ms;
+          print_endline (Json.to_string_pretty resp.Proto.body);
+          if resp.Proto.ok then 0 else 2))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running `wavemin serve' and print the \
+          JSON response (exit 0 on an ok response, 2 on a structured \
+          error or transport failure)")
+    Term.(const run $ address_arg $ request_arg $ bench_opt_arg
+          $ algo_name_arg $ kappa_arg $ slots_arg $ budget_arg
+          $ max_labels_arg $ instances_arg $ library_arg $ all_arg $ time_arg)
 
 let () =
   let info =
@@ -700,7 +906,8 @@ let () =
     Cmd.group info
       [ list_cmd; run_cmd; validate_cmd; profile_cmd; compare_cmd;
         multimode_cmd; montecarlo_cmd; characterize_cmd; export_cmd;
-        stats_cmd; report_cmd; bench_diff_cmd; library_cmd ]
+        stats_cmd; report_cmd; bench_diff_cmd; library_cmd; serve_cmd;
+        client_cmd ]
   in
   (* Safety net: no subcommand may escape with an uncaught structured
      error (injected faults can fire in paths without a local handler —

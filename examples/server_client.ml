@@ -1,0 +1,104 @@
+(* Service mode round trip: start an in-process `wavemin serve' on a
+   temporary Unix socket, drive it through the client — health probe,
+   a cold run, the identical warm run (served from the session cache),
+   a compare, the cache statistics — then shut it down gracefully.
+
+   The same conversation works against an external daemon:
+
+     wavemin serve -A unix:/tmp/wavemin.sock &
+     wavemin client -A unix:/tmp/wavemin.sock run s13207 -a wavemin
+
+   Run with: dune exec examples/server_client.exe *)
+
+module Server = Repro_server.Server
+module Client = Repro_server.Client
+module Protocol = Repro_server.Protocol
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Flow = Repro_core.Flow
+module Clock = Repro_obs.Clock
+
+let field name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let num name json =
+  match field name json with Some (Json.Num v) -> v | _ -> nan
+
+let () =
+  (* 1. Serve on a throwaway socket.  [serve_background] returns once
+     the socket is bound and accepting. *)
+  let path = Filename.temp_file "wavemin" ".sock" in
+  Sys.remove path;
+  let cfg =
+    { (Server.default_config (Server.Unix_path path)) with
+      Server.report_path = None }
+  in
+  let server, server_thread = Server.serve_background cfg in
+  Format.printf "serving on unix:%s@." path;
+
+  let outcome =
+    Client.with_connection (Server.Unix_path path) (fun c ->
+        let ( let* ) = Result.bind in
+
+        (* 2. Health probe — answered inline, never queued. *)
+        let* health = Client.request c Protocol.Health in
+        Format.printf "health: %s@." (Json.to_string health.Protocol.body);
+
+        (* 3. A cold run: the server parses the library, synthesizes the
+           tree and builds the timing context, then optimizes. *)
+        let run =
+          Protocol.Run
+            { opts = Protocol.default_opts ~benchmark:"s13207";
+              algorithm = Flow.Wavemin }
+        in
+        let time req =
+          let t0 = Clock.now_s () in
+          let* resp = Client.request c req in
+          Ok (resp, (Clock.now_s () -. t0) *. 1000.0)
+        in
+        let* cold, cold_ms = time run in
+        let quality = Option.get (field "quality" cold.Protocol.body) in
+        Format.printf "cold run:  %.1f ms  (peak %.2f mA, skew %.2f ps)@."
+          cold_ms (num "peak_current_ma" quality) (num "skew_ps" quality);
+
+        (* 4. The identical request again: everything up to the solver
+           is warm in the session cache, and the response bytes are
+           identical — responses carry results, never timings. *)
+        let* warm, warm_ms = time run in
+        Format.printf "warm run:  %.1f ms  (same bytes: %b)@." warm_ms
+          (warm.Protocol.body = cold.Protocol.body);
+
+        (* 5. All four algorithms on the warm context. *)
+        let* cmp =
+          Client.request c
+            (Protocol.Compare (Protocol.default_opts ~benchmark:"s13207"))
+        in
+        (match field "algorithms" cmp.Protocol.body with
+        | Some (Json.List rows) ->
+          List.iter
+            (fun row ->
+              match (field "algorithm" row, field "quality" row) with
+              | Some (Json.Str name), Some q ->
+                Format.printf "  %-10s peak %6.2f mA@." name
+                  (num "peak_current_ma" q)
+              | _ -> ())
+            rows
+        | _ -> ());
+
+        (* 6. Cache statistics, then a graceful shutdown. *)
+        let* stats = Client.request c Protocol.Stats in
+        (match field "cache" stats.Protocol.body with
+        | Some cache ->
+          Format.printf "cache: %.0f hit(s), %.0f miss(es)@." (num "hits" cache)
+            (num "misses" cache)
+        | None -> ());
+        let* _ = Client.request c Protocol.Shutdown in
+        Ok ())
+  in
+  (match outcome with
+  | Ok () -> ()
+  | Error e -> Format.printf "client error: %s@." (Verrors.to_string e));
+
+  Thread.join server_thread;
+  Format.printf "server drained (draining = %b)@." (Server.draining server)

@@ -41,19 +41,60 @@ let leaf_library () =
 module Clock = Repro_obs.Clock
 module Trace = Repro_obs.Trace
 
-let run_tree ?(params = Context.default_params) ~name tree algorithm =
+(* A benchmark prepared for (repeated) optimization: the synthesized
+   tree plus a context built at most once and reused by every later
+   solver run — the warm-cache path of the server's session cache.  The
+   context is rebuilt on the next use if its construction raised (an
+   injected fault or infeasible input must not be memoized). *)
+type prepared = {
+  prep_name : string;
+  prep_tree : Tree.t;
+  prep_params : Context.params;
+  prep_env : Timing.env;
+  prep_cells : Cell.t list;
+  mutable prep_ctx : Context.t option;
+}
+
+let prepare ?(params = Context.default_params) ?cells ~name tree =
+  {
+    prep_name = name;
+    prep_tree = tree;
+    prep_params = params;
+    prep_env = Timing.nominal ();
+    prep_cells = (match cells with Some cs -> cs | None -> leaf_library ());
+    prep_ctx = None;
+  }
+
+let prepared_name p = p.prep_name
+let prepared_tree p = p.prep_tree
+let prepared_params p = p.prep_params
+let prepared_cells p = p.prep_cells
+let context_warm p = p.prep_ctx <> None
+
+let prepared_context p =
+  match p.prep_ctx with
+  | Some ctx -> ctx
+  | None ->
+    let ctx =
+      Context.create ~params:p.prep_params ~env:p.prep_env p.prep_tree
+        ~cells:p.prep_cells
+    in
+    p.prep_ctx <- Some ctx;
+    ctx
+
+let run_prepared p algorithm =
   Trace.with_span ~name:"flow.run_tree"
     ~attrs:
-      [ ("benchmark", name); ("algorithm", algorithm_name algorithm) ]
+      [ ("benchmark", p.prep_name); ("algorithm", algorithm_name algorithm) ]
   @@ fun () ->
-  let env = Timing.nominal () in
+  let tree = p.prep_tree and env = p.prep_env in
   let t0 = Clock.now_s () in
   let c0 = Clock.cpu_s () in
   let assignment, predicted, approximate =
     match algorithm with
     | Initial -> (Assignment.default tree ~num_modes:1, 0.0, false)
     | Peakmin | Wavemin | Wavemin_fast ->
-      let ctx = Context.create ~params ~env tree ~cells:(leaf_library ()) in
+      let ctx = prepared_context p in
       let outcome =
         match algorithm with
         | Peakmin -> Clk_peakmin.optimize ctx
@@ -76,9 +117,9 @@ let run_tree ?(params = Context.default_params) ~name tree algorithm =
         Cell.polarity c = Cell.Negative)
   in
   {
-    benchmark = name;
+    benchmark = p.prep_name;
     algorithm;
-    params;
+    params = p.prep_params;
     assignment;
     metrics;
     predicted_peak_ua = predicted;
@@ -88,6 +129,9 @@ let run_tree ?(params = Context.default_params) ~name tree algorithm =
     approximate;
     degradations = [];
   }
+
+let run_tree ?params ~name tree algorithm =
+  run_prepared (prepare ?params ~name tree) algorithm
 
 let run_benchmark ?params spec algorithm =
   Trace.with_span ~name:"flow.run_benchmark"
@@ -109,16 +153,18 @@ let fallback_chain = function
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.flow"))
 
-let run_tree_robust ?params ?budget ~name tree algorithm =
+(* The shared fallback loop: [runner alg] is one attempt (a fresh
+   [run_tree] for the plain robust runners, a warm [run_prepared] for
+   the server's session-cached path). *)
+let robust ?budget ~name ~runner algorithm =
   let rec attempt budget degs = function
     | [] -> assert false (* fallback_chain is never empty *)
     | alg :: rest -> (
       let res =
         Verrors.guard ~stage:"flow.run" (fun () ->
             match budget with
-            | Some b ->
-              Budget.with_current b (fun () -> run_tree ?params ~name tree alg)
-            | None -> run_tree ?params ~name tree alg)
+            | Some b -> Budget.with_current b (fun () -> runner alg)
+            | None -> runner alg)
       in
       match res with
       | Ok run -> Ok { run with degradations = List.rev degs }
@@ -141,6 +187,16 @@ let run_tree_robust ?params ?budget ~name tree algorithm =
           attempt budget ({ from_alg = alg; to_alg = Some next; error = e } :: degs) rest))
   in
   attempt budget [] (fallback_chain algorithm)
+
+let run_tree_robust ?params ?budget ~name tree algorithm =
+  robust ?budget ~name
+    ~runner:(fun alg -> run_tree ?params ~name tree alg)
+    algorithm
+
+let run_prepared_robust ?budget p algorithm =
+  robust ?budget ~name:p.prep_name
+    ~runner:(fun alg -> run_prepared p alg)
+    algorithm
 
 let run_benchmark_robust ?params ?budget spec algorithm =
   match

@@ -58,6 +58,44 @@ val run_benchmark :
   ?params:Context.params -> Repro_cts.Benchmarks.spec -> algorithm -> run
 (** Synthesize the benchmark tree, then {!run_tree}. *)
 
+(** {1 Prepared (warm-cache) runs}
+
+    A {!prepared} bundles a synthesized tree with its optimization
+    context, built at most once and reused by every subsequent
+    {!run_prepared} — the unit the server's session cache
+    ({!Repro_server.Session}) keeps warm.  Context construction (timing
+    analysis, zone partitioning, noise tables, the candidate-waveform
+    memo) dominates a single run's cost, so a warm [prepared] makes
+    repeat requests measurably cheaper.  Reuse is safe: the context is
+    immutable once built, so warm and cold runs return bit-identical
+    results.  If construction raises (injected fault, infeasible input)
+    nothing is memoized and the next run retries. *)
+
+type prepared
+
+val prepare :
+  ?params:Context.params ->
+  ?cells:Repro_cell.Cell.t list ->
+  name:string ->
+  Repro_clocktree.Tree.t ->
+  prepared
+(** Wrap a tree for repeated runs.  [cells] defaults to
+    {!leaf_library}; the context itself is built lazily on the first
+    solver run (never for [Initial]). *)
+
+val prepared_name : prepared -> string
+val prepared_tree : prepared -> Repro_clocktree.Tree.t
+val prepared_params : prepared -> Context.params
+val prepared_cells : prepared -> Repro_cell.Cell.t list
+
+val context_warm : prepared -> bool
+(** Whether the context has already been built (and memoized). *)
+
+val run_prepared : prepared -> algorithm -> run
+(** {!run_tree} against the prepared tree, reusing the memoized
+    context.  [elapsed_s]/[cpu_s] cover only this call, so warm runs
+    report the residual solver time. *)
+
 (** {1 Graceful degradation}
 
     The robust runners never raise (asynchronous exceptions aside).
@@ -86,6 +124,14 @@ val run_tree_robust :
     downgrades in [run.degradations]; [Error (e, degradations)] is the
     final failure after the whole chain (the last degradation has
     [to_alg = None]). *)
+
+val run_prepared_robust :
+  ?budget:Repro_obs.Budget.t ->
+  prepared ->
+  algorithm ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** {!run_tree_robust} over a {!prepared}: the fallback chain shares
+    the memoized context instead of rebuilding it per attempt. *)
 
 val run_benchmark_robust :
   ?params:Context.params ->

@@ -1,0 +1,50 @@
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { capacity; items = Queue.create (); mutex = Mutex.create ();
+    nonempty = Condition.create (); is_closed = false }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+let closed t = with_lock t (fun () -> t.is_closed)
+
+let push t x =
+  with_lock t (fun () ->
+      if t.is_closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      if not t.is_closed then begin
+        t.is_closed <- true;
+        Condition.broadcast t.nonempty
+      end)

@@ -1,0 +1,31 @@
+(** A bounded multi-producer single-consumer queue with explicit
+    backpressure and drain semantics.
+
+    Producers (connection threads) never block: {!push} returns [`Full]
+    when the bound is reached — the caller turns that into a structured
+    [Overloaded] rejection — and [`Closed] once draining has begun.  The
+    consumer (the executor) blocks in {!pop} until an item arrives;
+    after {!close} it continues to receive the items already accepted
+    (graceful drain finishes in-flight work) and then gets [None].
+    Thread- and domain-safe. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current depth (racy snapshot, for metrics/health). *)
+
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Non-blocking enqueue. *)
+
+val pop : 'a t -> 'a option
+(** Blocking dequeue; [None] once the queue is closed {e and} empty. *)
+
+val close : 'a t -> unit
+(** Stop accepting; wake blocked consumers.  Idempotent. *)
+
+val closed : 'a t -> bool

@@ -1,0 +1,94 @@
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable next_id : int;
+  mutable open_ : bool;
+}
+
+let io_error msg =
+  Verrors.make ~code:Verrors.Io_error ~stage:"client" msg
+
+let connect address =
+  let attempt () =
+    match (address : Server.address) with
+    | Server.Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_UNIX path);
+         fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e)
+    | Server.Tcp { host; port } ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            failwith (Printf.sprintf "cannot resolve host %s" host)
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_INET (addr, port));
+         fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e)
+  in
+  match attempt () with
+  | fd ->
+    Ok { fd; ic = Unix.in_channel_of_descr fd; next_id = 0; open_ = true }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (io_error
+         (Printf.sprintf "cannot connect to %s: %s"
+            (Server.address_to_string address)
+            (Unix.error_message err)))
+  | exception Failure msg -> Error (io_error msg)
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let request t req =
+  let id = Json.Num (float_of_int t.next_id) in
+  t.next_id <- t.next_id + 1;
+  match write_all t.fd (P.line (P.request_to_json ~id req)) with
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    Error (io_error "connection lost while sending request")
+  | () ->
+    let rec await () =
+      match input_line t.ic with
+      | exception (End_of_file | Sys_error _) ->
+        Error (io_error "connection closed before the response arrived")
+      | line when String.trim line = "" -> await ()
+      | line -> (
+        match P.parse_response line with
+        | Error msg ->
+          Error
+            (Verrors.make ~code:Verrors.Parse_error ~stage:"client"
+               (Printf.sprintf "malformed response line: %s" msg))
+        | Ok resp -> if resp.P.rid = id then Ok resp else await ())
+    in
+    await ()
+
+let with_connection address f =
+  match connect address with
+  | Error e -> Error e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,29 @@
+(** Synchronous client for the [wavemin serve] protocol.
+
+    One connection, one outstanding request at a time: {!request} sends
+    a {!Protocol.request} tagged with a fresh id and blocks until the
+    response with that id arrives (responses for other ids — which a
+    well-behaved synchronous client never sees — are skipped).  Used by
+    [wavemin client], the examples and the smoke tests. *)
+
+module Json := Repro_util.Json
+module Verrors := Repro_util.Verrors
+
+type t
+
+val connect : Server.address -> (t, Verrors.t) result
+(** Open a connection.  Fails with an [Io_error] when the server is not
+    (yet) listening — poll this for readiness. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Protocol.request -> (Protocol.response, Verrors.t) result
+(** Send one request and wait for its response.  [Error] means a
+    transport or framing failure; a structured rejection from the
+    server (e.g. [overloaded]) is an [Ok] response with
+    [response.ok = false]. *)
+
+val with_connection :
+  Server.address -> (t -> ('a, Verrors.t) result) -> ('a, Verrors.t) result
+(** [connect], run, [close] (also on exceptions). *)

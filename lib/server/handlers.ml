@@ -1,0 +1,176 @@
+module Flow = Repro_core.Flow
+module Context = Repro_core.Context
+module Golden = Repro_core.Golden
+module Preflight = Repro_core.Preflight
+module Montecarlo = Repro_core.Montecarlo
+module Benchmarks = Repro_cts.Benchmarks
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Budget = Repro_obs.Budget
+module P = Protocol
+
+let params_of (o : P.solve_opts) =
+  { Context.default_params with Context.kappa = o.kappa; num_slots = o.slots }
+
+let budget_of (o : P.solve_opts) =
+  match (o.budget_ms, o.max_labels) with
+  | None, None -> None
+  | wall_ms, max_labels -> Some (Budget.create ?wall_ms ?max_labels ())
+
+let find_spec ~stage name =
+  match Benchmarks.find name with
+  | spec -> Ok spec
+  | exception Not_found ->
+    Verrors.error ~code:Verrors.Invalid_params ~stage ~subject:name
+      ~hints:[ "`wavemin list' names the benchmark suite" ]
+      "unknown benchmark"
+
+let degradation_json (d : Flow.degradation) =
+  Json.Obj
+    [ ("from", Json.Str (Flow.algorithm_name d.Flow.from_alg));
+      ( "to",
+        match d.Flow.to_alg with
+        | Some a -> Json.Str (Flow.algorithm_name a)
+        | None -> Json.Null );
+      ("code", Json.Str (Verrors.code_name d.Flow.error.Verrors.code));
+      ("message", Json.Str d.Flow.error.Verrors.message) ]
+
+(* Only deterministic fields: no wall/CPU time, no cache provenance —
+   the same request must serialize to the same bytes on every path. *)
+let run_json (r : Flow.run) =
+  Json.Obj
+    [ ("benchmark", Json.Str r.Flow.benchmark);
+      ("algorithm", Json.Str (Flow.algorithm_name r.Flow.algorithm));
+      ( "quality",
+        Json.Obj
+          [ ("peak_current_ma", Json.Num r.Flow.metrics.Golden.peak_current_ma);
+            ("vdd_noise_mv", Json.Num r.Flow.metrics.Golden.vdd_noise_mv);
+            ("gnd_noise_mv", Json.Num r.Flow.metrics.Golden.gnd_noise_mv);
+            ("skew_ps", Json.Num r.Flow.metrics.Golden.skew_ps);
+            ("predicted_peak_ua", Json.Num r.Flow.predicted_peak_ua);
+            ( "num_leaf_inverters",
+              Json.Num (float_of_int r.Flow.num_leaf_inverters) ) ] );
+      ("approximate", Json.Bool r.Flow.approximate);
+      ( "degradations",
+        Json.List (List.map degradation_json r.Flow.degradations) ) ]
+
+let prepared session (o : P.solve_opts) ~stage =
+  match find_spec ~stage o.P.benchmark with
+  | Error e -> Error e
+  | Ok spec ->
+    Session.prepared session ~spec ~params:(params_of o) ?library:o.P.library ()
+
+let handle_run session (o : P.solve_opts) algorithm =
+  match prepared session o ~stage:"server.run" with
+  | Error e -> Error (e, [])
+  | Ok (prep, _) -> (
+    match Flow.run_prepared_robust ?budget:(budget_of o) prep algorithm with
+    | Ok r -> Ok (run_json r)
+    | Error (e, degs) -> Error (e, degs))
+
+let handle_compare session (o : P.solve_opts) =
+  match prepared session o ~stage:"server.compare" with
+  | Error e -> Error (e, [])
+  | Ok (prep, _) ->
+    let rows =
+      List.map
+        (fun algorithm ->
+          match
+            Flow.run_prepared_robust ?budget:(budget_of o) prep algorithm
+          with
+          | Ok r -> run_json r
+          | Error (e, degs) ->
+            Json.Obj
+              [ ("algorithm", Json.Str (Flow.algorithm_name algorithm));
+                ("error", Verrors.to_json e);
+                ("degradations", Json.List (List.map degradation_json degs)) ])
+        [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ]
+    in
+    Ok (Json.Obj [ ("benchmark", Json.Str o.P.benchmark);
+                   ("algorithms", Json.List rows) ])
+
+let handle_validate session (o : P.solve_opts) ~all =
+  let specs =
+    if all then Ok Benchmarks.all
+    else
+      match find_spec ~stage:"server.validate" o.P.benchmark with
+      | Ok spec -> Ok [ spec ]
+      | Error e -> Error e
+  in
+  match specs with
+  | Error e -> Error (e, [])
+  | Ok specs ->
+    let params = params_of o in
+    let rows =
+      List.map
+        (fun spec ->
+          let issues =
+            match
+              Session.prepared session ~spec ~params ?library:o.P.library ()
+            with
+            | Error e -> [ e ]
+            | Ok (prep, _) -> (
+              match
+                Verrors.guard ~stage:"server.validate" (fun () ->
+                    Preflight.check ~params (Flow.prepared_tree prep)
+                      ~cells:(Flow.prepared_cells prep))
+              with
+              | Ok ds -> ds
+              | Error e -> [ e ])
+          in
+          Json.Obj
+            [ ("benchmark", Json.Str spec.Benchmarks.name);
+              ("ok", Json.Bool (issues = []));
+              ("issues", Json.List (List.map Verrors.to_json issues)) ])
+        specs
+    in
+    let clean =
+      List.for_all
+        (function
+          | Json.Obj fields -> List.assoc_opt "ok" fields = Some (Json.Bool true)
+          | _ -> false)
+        rows
+    in
+    Ok (Json.Obj [ ("ok", Json.Bool clean); ("benchmarks", Json.List rows) ])
+
+let handle_montecarlo session (o : P.solve_opts) ~instances =
+  match prepared session o ~stage:"server.montecarlo" with
+  | Error e -> Error (e, [])
+  | Ok (prep, _) -> (
+    match Flow.run_prepared_robust ?budget:(budget_of o) prep Flow.Wavemin with
+    | Error (e, degs) -> Error (e, degs)
+    | Ok r -> (
+      let config =
+        { Montecarlo.default_config with
+          Montecarlo.instances;
+          kappa = Float.max o.P.kappa 100.0 }
+      in
+      match
+        Verrors.guard ~stage:"server.montecarlo" (fun () ->
+            Montecarlo.run ~config (Flow.prepared_tree prep) r.Flow.assignment)
+      with
+      | Error e -> Error (e, r.Flow.degradations)
+      | Ok rep ->
+        Ok
+          (Json.Obj
+             [ ("benchmark", Json.Str o.P.benchmark);
+               ("instances", Json.Num (float_of_int instances));
+               ("skew_yield", Json.Num rep.Montecarlo.skew_yield);
+               ("mean_skew", Json.Num rep.Montecarlo.mean_skew);
+               ("norm_std_peak", Json.Num rep.Montecarlo.norm_std_peak);
+               ("norm_std_vdd", Json.Num rep.Montecarlo.norm_std_vdd);
+               ("norm_std_gnd", Json.Num rep.Montecarlo.norm_std_gnd);
+               ( "degradations",
+                 Json.List (List.map degradation_json r.Flow.degradations) ) ])))
+
+let execute session = function
+  | P.Run { opts; algorithm } -> handle_run session opts algorithm
+  | P.Compare opts -> handle_compare session opts
+  | P.Validate { opts; all } -> handle_validate session opts ~all
+  | P.Montecarlo { opts; instances } -> handle_montecarlo session opts ~instances
+  | (P.Stats | P.Health | P.Shutdown) as req ->
+    Error
+      ( Verrors.make ~code:Verrors.Invalid_params ~stage:"server.execute"
+          ~subject:(P.request_kind req)
+          "control-plane request reached the executor",
+        [] )

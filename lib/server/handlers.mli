@@ -1,0 +1,22 @@
+(** Data-plane request execution.
+
+    Pure request → response-body logic, shared by the server's executor
+    and by in-process tests: given a session cache and a request,
+    produce the deterministic JSON result or a structured error (with
+    the fallback-chain degradations when a robust run failed outright).
+    Never raises — every failure mode, including injected faults at any
+    seam, comes back as [Error]. *)
+
+module Json := Repro_util.Json
+module Verrors := Repro_util.Verrors
+module Flow := Repro_core.Flow
+
+val degradation_json : Flow.degradation -> Json.t
+
+val execute :
+  Session.t ->
+  Protocol.request ->
+  (Json.t, Verrors.t * Flow.degradation list) result
+(** Execute a [Run]/[Compare]/[Validate]/[Montecarlo] request.
+    Control-plane requests ([Stats]/[Health]/[Shutdown]) are the
+    server's responsibility and yield an [Error] here. *)

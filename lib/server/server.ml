@@ -1,0 +1,525 @@
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Clock = Repro_obs.Clock
+module Trace = Repro_obs.Trace
+module Metrics = Repro_obs.Metrics
+module Report = Repro_obs.Report
+module Par = Repro_par.Par
+module P = Protocol
+module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.server"))
+
+(* ---- metrics ------------------------------------------------------ *)
+
+let requests_c = Metrics.counter "server.requests"
+let rejected_c = Metrics.counter "server.rejected"
+let errors_c = Metrics.counter "server.errors"
+let queue_depth_g = Metrics.gauge "server.queue_depth"
+let in_flight_g = Metrics.gauge "server.in_flight"
+let latency_h = Metrics.histogram "server.latency_ms"
+let queue_wait_h = Metrics.histogram "server.queue_wait_ms"
+
+(* ---- addresses ---------------------------------------------------- *)
+
+type address = Unix_path of string | Tcp of { host : string; port : int }
+
+let address_of_string s =
+  let tcp spec =
+    let of_port p host =
+      match int_of_string_opt p with
+      | Some port when port > 0 && port < 65536 -> Ok (Tcp { host; port })
+      | _ -> Error (Printf.sprintf "invalid TCP port %S" p)
+    in
+    match String.rindex_opt spec ':' with
+    | None -> of_port spec "127.0.0.1"
+    | Some i ->
+      of_port
+        (String.sub spec (i + 1) (String.length spec - i - 1))
+        (String.sub spec 0 i)
+  in
+  if String.length s = 0 then Error "empty address"
+  else if String.starts_with ~prefix:"unix:" s then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.starts_with ~prefix:"tcp:" s then
+    tcp (String.sub s 4 (String.length s - 4))
+  else Ok (Unix_path s)
+
+let address_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- configuration ------------------------------------------------ *)
+
+type config = {
+  address : address;
+  queue_capacity : int;
+  cache_capacity : int;
+  report_path : string option;
+  handle_signals : bool;
+  readiness : out_channel option;
+}
+
+let default_config address =
+  { address; queue_capacity = 16; cache_capacity = 8;
+    report_path = Some "BENCH_serve.json"; handle_signals = false;
+    readiness = None }
+
+(* ---- state -------------------------------------------------------- *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable open_ : bool;  (* guarded by [wmutex] *)
+}
+
+type item = {
+  item_conn : conn;
+  item_id : Json.t;
+  item_req : P.request;
+  enqueued_s : float;
+}
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  queue : item Bqueue.t;
+  session : Session.t;
+  accepting : bool Atomic.t;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  next_cid : int Atomic.t;
+  started_s : float;
+  started_cpu_s : float;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  failed : int Atomic.t;
+  in_flight : int Atomic.t;
+  mutable acceptor : Thread.t option;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let draining t = not (Atomic.get t.accepting)
+
+let initiate_drain t =
+  if Atomic.compare_and_set t.accepting true false then begin
+    Log.info (fun m -> m "drain initiated: finishing %d queued request(s)"
+                 (Bqueue.length t.queue));
+    Bqueue.close t.queue
+  end
+
+(* ---- connection writes -------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(* One whole line per lock hold, so responses from the executor and
+   control-plane responses from the reader thread never interleave
+   mid-line.  A failed write marks the connection dead and shuts it
+   down, waking the reader. *)
+let write_json t conn json =
+  ignore t;
+  with_lock conn.wmutex (fun () ->
+      if conn.open_ then
+        try write_all conn.fd (P.line json)
+        with Unix.Unix_error _ | Sys_error _ ->
+          conn.open_ <- false;
+          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ()))
+
+let overloaded_error ~stage ?subject message ~hints =
+  Verrors.make ~code:Verrors.Overloaded ~stage ?subject message ~hints
+
+(* ---- control plane ------------------------------------------------ *)
+
+let health_json t =
+  Json.Obj
+    [ ("status", Json.Str (if draining t then "draining" else "serving"));
+      ("queue_depth", Json.Num (float_of_int (Bqueue.length t.queue)));
+      ("queue_capacity", Json.Num (float_of_int (Bqueue.capacity t.queue)));
+      ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
+      ("jobs", Json.Num (float_of_int (Par.jobs ()))) ]
+
+let histogram_json h =
+  let s = Metrics.histogram_stats h in
+  Json.Obj
+    ([ ("count", Json.Num (float_of_int s.Metrics.count));
+       ("mean", Json.Num s.Metrics.mean) ]
+    @
+    if s.Metrics.count = 0 then []
+    else
+      [ ("min", Json.Num s.Metrics.min);
+        ("max", Json.Num s.Metrics.max);
+        ("p50", Json.Num (Metrics.quantile h 0.5));
+        ("p90", Json.Num (Metrics.quantile h 0.9)) ])
+
+let stats_json t =
+  let cache = Session.stats t.session in
+  Json.Obj
+    [ ("status", Json.Str (if draining t then "draining" else "serving"));
+      ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
+      ("served", Json.Num (float_of_int (Atomic.get t.served)));
+      ("rejected", Json.Num (float_of_int (Atomic.get t.rejected)));
+      ("errors", Json.Num (float_of_int (Atomic.get t.failed)));
+      ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
+      ("jobs", Json.Num (float_of_int (Par.jobs ())));
+      ( "queue",
+        Json.Obj
+          [ ("depth", Json.Num (float_of_int (Bqueue.length t.queue)));
+            ("capacity", Json.Num (float_of_int (Bqueue.capacity t.queue))) ] );
+      ( "cache",
+        Json.Obj
+          [ ("entries", Json.Num (float_of_int (List.length cache.Session.entries)));
+            ("capacity", Json.Num (float_of_int cache.Session.capacity));
+            ("hits", Json.Num (float_of_int cache.Session.hits));
+            ("misses", Json.Num (float_of_int cache.Session.misses));
+            ("evictions", Json.Num (float_of_int cache.Session.evictions));
+            ( "keys",
+              Json.List (List.map (fun k -> Json.Str k) cache.Session.entries) ) ] );
+      ("latency_ms", histogram_json latency_h) ]
+
+let handle_control t conn id = function
+  | P.Health -> write_json t conn (P.ok_response ~id (health_json t))
+  | P.Stats -> write_json t conn (P.ok_response ~id (stats_json t))
+  | P.Shutdown ->
+    (* Drain first, ack second: once the client reads the ack,
+       [draining] is observably true. *)
+    initiate_drain t;
+    write_json t conn
+      (P.ok_response ~id (Json.Obj [ ("draining", Json.Bool true) ]))
+  | P.Run _ | P.Compare _ | P.Validate _ | P.Montecarlo _ -> assert false
+
+(* ---- data plane: admission ---------------------------------------- *)
+
+let reject t conn id err =
+  Atomic.incr t.rejected;
+  Metrics.incr rejected_c;
+  write_json t conn (P.error_response ~id err)
+
+let admit t conn id req =
+  let item =
+    { item_conn = conn; item_id = id; item_req = req;
+      enqueued_s = Clock.now_s () }
+  in
+  match Bqueue.push t.queue item with
+  | `Ok ->
+    Metrics.incr requests_c;
+    Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue))
+  | `Full ->
+    reject t conn id
+      (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
+         (Printf.sprintf "request queue full (%d/%d): request rejected"
+            (Bqueue.capacity t.queue) (Bqueue.capacity t.queue))
+         ~hints:
+           [ "retry with backoff";
+             "raise the bound with `wavemin serve --queue N'" ])
+  | `Closed ->
+    reject t conn id
+      (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
+         "server is draining: no new work is accepted" ~hints:[])
+
+let handle_line t conn line =
+  let { P.id; payload } = P.parse_request line in
+  match payload with
+  | Error e ->
+    Atomic.incr t.failed;
+    Metrics.incr errors_c;
+    write_json t conn (P.error_response ~id e)
+  | Ok req ->
+    if P.is_control req then handle_control t conn id req
+    else if draining t then
+      reject t conn id
+        (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
+           "server is draining: no new work is accepted" ~hints:[])
+    else admit t conn id req
+
+(* ---- connections -------------------------------------------------- *)
+
+let unregister t cid = with_lock t.conns_mutex (fun () -> Hashtbl.remove t.conns cid)
+
+let conn_loop t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+      if String.trim line <> "" then handle_line t conn line;
+      loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  with_lock conn.wmutex (fun () ->
+      if conn.open_ then begin
+        conn.open_ <- false;
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+      end);
+  (* The reader is the only closer, so the descriptor is closed exactly
+     once and never while another thread could still write to it (writes
+     check [open_] under [wmutex]). *)
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  unregister t conn.cid
+
+let spawn_conn t fd =
+  let cid = Atomic.fetch_and_add t.next_cid 1 in
+  let conn = { cid; fd; wmutex = Mutex.create (); open_ = true } in
+  with_lock t.conns_mutex (fun () ->
+      let thread = Thread.create (fun () -> conn_loop t conn) () in
+      Hashtbl.replace t.conns cid (conn, thread))
+
+(* Poll-based accept so drain needs no blocked-syscall tricks: the loop
+   re-checks [accepting] at least every 250 ms. *)
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.accepting then begin
+      (match Unix.select [ t.listener ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listener with
+        | fd, _ ->
+          if Atomic.get t.accepting then spawn_conn t fd
+          else ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+          -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        Atomic.set t.accepting false);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- executor ----------------------------------------------------- *)
+
+let process t item =
+  let kind = P.request_kind item.item_req in
+  let benchmark =
+    match item.item_req with
+    | P.Run { opts; _ } | P.Compare opts | P.Montecarlo { opts; _ } ->
+      opts.P.benchmark
+    | P.Validate { opts; all } -> if all then "*" else opts.P.benchmark
+    | P.Stats | P.Health | P.Shutdown -> ""
+  in
+  Atomic.incr t.in_flight;
+  Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight));
+  Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue));
+  let started_s = Clock.now_s () in
+  Metrics.observe queue_wait_h ((started_s -. item.enqueued_s) *. 1000.0);
+  let outcome =
+    Trace.with_span ~name:"server.request"
+      ~attrs:[ ("type", kind); ("benchmark", benchmark) ]
+      (fun () ->
+        (* Handlers never raise by contract; the guard is the last-ditch
+           net that keeps the daemon alive if one does. *)
+        match
+          Verrors.guard ~stage:"server.request" (fun () ->
+              Handlers.execute t.session item.item_req)
+        with
+        | Ok outcome -> outcome
+        | Error e -> Error (e, []))
+  in
+  (match outcome with
+  | Ok result ->
+    Atomic.incr t.served;
+    write_json t item.item_conn (P.ok_response ~id:item.item_id result)
+  | Error (e, degs) ->
+    Atomic.incr t.failed;
+    Metrics.incr errors_c;
+    Log.warn (fun m ->
+        m "%s %s failed: %s" kind benchmark (Verrors.code_name e.Verrors.code));
+    write_json t item.item_conn
+      (P.error_response ~id:item.item_id
+         ~degradations:(List.map Handlers.degradation_json degs)
+         e));
+  Metrics.observe latency_h ((Clock.now_s () -. item.enqueued_s) *. 1000.0);
+  Atomic.decr t.in_flight;
+  Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight))
+
+(* ---- lifecycle ---------------------------------------------------- *)
+
+let io_fail stage msg =
+  Verrors.fail ~code:Verrors.Io_error ~stage msg
+
+let bind_listener = function
+  | Unix_path path ->
+    if String.length path >= 104 then
+      io_fail "server.bind"
+        (Printf.sprintf "socket path too long (%d chars): %s"
+           (String.length path) path);
+    if Sys.file_exists path then
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64;
+       fd
+     with Unix.Unix_error (err, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       io_fail "server.bind"
+         (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message err)))
+  | Tcp { host; port } ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          io_fail "server.bind" (Printf.sprintf "cannot resolve host %s" host)
+        | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 64;
+       fd
+     with Unix.Unix_error (err, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       io_fail "server.bind"
+         (Printf.sprintf "cannot bind %s:%d: %s" host port
+            (Unix.error_message err)))
+
+(* SIGTERM/SIGINT → one byte down a self-pipe → a watcher thread runs
+   the drain.  The handler itself takes no locks (it may interrupt code
+   holding any of them). *)
+let install_signal_handlers t =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 1 in
+        (match Unix.read r buf 0 1 with
+        | _ -> ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> ());
+        Log.info (fun m -> m "signal received: draining");
+        initiate_drain t)
+      ()
+  in
+  let byte = Bytes.make 1 '!' in
+  let handler =
+    Sys.Signal_handle
+      (fun _ ->
+        try ignore (Unix.write w byte 0 1) with Unix.Unix_error _ -> ())
+  in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
+let flush_report t =
+  match t.cfg.report_path with
+  | None -> ()
+  | Some path -> (
+    let cache = Session.stats t.session in
+    let builder =
+      Report.create ~experiment:"serve"
+        ~config:
+          [ ("queue_capacity", string_of_int t.cfg.queue_capacity);
+            ("cache_capacity", string_of_int t.cfg.cache_capacity) ]
+        ~environment:
+          [ ("jobs", string_of_int (Par.jobs ()));
+            ("address", address_to_string t.cfg.address);
+            ("uptime_s", Json.float_to_string (Clock.now_s () -. t.started_s));
+            ("requests_served", string_of_int (Atomic.get t.served));
+            ("requests_rejected", string_of_int (Atomic.get t.rejected));
+            ("request_errors", string_of_int (Atomic.get t.failed));
+            ("cache_hits", string_of_int cache.Session.hits);
+            ("cache_misses", string_of_int cache.Session.misses);
+            ("cache_evictions", string_of_int cache.Session.evictions) ]
+        ()
+    in
+    Report.add_stage builder ~stage:"serve"
+      ~wall_s:(Clock.now_s () -. t.started_s)
+      ~cpu_s:(Clock.cpu_s () -. t.started_cpu_s);
+    let report = Report.finalize builder in
+    match
+      Verrors.guard ~stage:"server.report" (fun () -> Report.write path report)
+    with
+    | Ok () -> Log.info (fun m -> m "wrote final run report to %s" path)
+    | Error e ->
+      (* Survive the report-writer fault seam: drain completed, the
+         report is best-effort. *)
+      Log.warn (fun m -> m "cannot write final report: %s" (Verrors.to_string e)))
+
+let setup cfg =
+  (* A dead client mid-write must be an EPIPE error, not a fatal signal. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listener = bind_listener cfg.address in
+  let t =
+    { cfg;
+      listener;
+      queue = Bqueue.create ~capacity:cfg.queue_capacity;
+      session = Session.create ~capacity:cfg.cache_capacity ();
+      accepting = Atomic.make true;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      next_cid = Atomic.make 0;
+      started_s = Clock.now_s ();
+      started_cpu_s = Clock.cpu_s ();
+      served = Atomic.make 0;
+      rejected = Atomic.make 0;
+      failed = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      acceptor = None }
+  in
+  if cfg.handle_signals then install_signal_handlers t;
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match cfg.readiness with
+  | None -> ()
+  | Some oc ->
+    Printf.fprintf oc "wavemin serve: listening on %s (jobs=%d, queue=%d, cache=%d)\n"
+      (address_to_string cfg.address) (Par.jobs ()) cfg.queue_capacity
+      cfg.cache_capacity;
+    flush oc);
+  Log.info (fun m -> m "listening on %s" (address_to_string cfg.address));
+  t
+
+let run t =
+  (* The executor: one request at a time off the bounded queue; solver
+     internals spread each request across the Repro_par pool. *)
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | Some item ->
+      process t item;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  (* Drained: stop the acceptor, wake and join the readers, release the
+     socket, flush the final report. *)
+  Atomic.set t.accepting false;
+  (match t.acceptor with None -> () | Some th -> Thread.join th);
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+  | Unix_path path ->
+    (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  let conns =
+    with_lock t.conns_mutex (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  in
+  List.iter
+    (fun (conn, _) ->
+      with_lock conn.wmutex (fun () ->
+          if conn.open_ then begin
+            conn.open_ <- false;
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()
+          end))
+    conns;
+  List.iter (fun (_, thread) -> Thread.join thread) conns;
+  Log.info (fun m ->
+      m "drained: %d served, %d rejected, %d failed" (Atomic.get t.served)
+        (Atomic.get t.rejected) (Atomic.get t.failed));
+  flush_report t
+
+let serve cfg = run (setup cfg)
+
+let serve_background cfg =
+  let t = setup cfg in
+  (t, Thread.create (fun () -> run t) ())

@@ -1,0 +1,78 @@
+(** The resident optimization service behind [wavemin serve].
+
+    One process serves newline-delimited JSON requests ({!Protocol})
+    over a Unix-domain or TCP socket.  Architecture:
+
+    - an {e acceptor} thread admits connections (poll-based, so drain
+      is prompt) and spawns one reader thread per connection;
+    - reader threads parse request lines.  Control-plane requests
+      ([health]/[stats]/[shutdown]) are answered immediately — probes
+      work even under full load.  Data-plane requests go through a
+      {e bounded} queue ({!Bqueue}); when it is full the request is
+      rejected {e immediately} with a structured [overloaded] error
+      (explicit backpressure, never unbounded buffering);
+    - the {e executor} (the calling thread) pops requests one at a time
+      and runs them via {!Handlers} on the warm {!Session} cache;
+      solver internals fan out across the {!Repro_par} pool, so
+      [-j]/[WAVEMIN_JOBS] governs per-request parallelism.
+
+    Graceful drain — a [shutdown] request, {!initiate_drain}, or
+    SIGTERM/SIGINT (when [handle_signals], via a self-pipe so no locks
+    are taken in the signal handler) — stops accepting, rejects new
+    work, finishes everything already queued, then flushes a final
+    BENCH-style run report ({!Repro_obs.Report}, experiment ["serve"])
+    with the metrics-registry snapshot.
+
+    Every request runs under a [server.request] span; queue depth,
+    in-flight count, served/rejected totals and request latency are
+    recorded in [server.*] metrics ([server.latency_ms] and
+    [server.queue_wait_ms] are log-histograms). *)
+
+type address =
+  | Unix_path of string  (** Unix-domain socket path. *)
+  | Tcp of { host : string; port : int }
+
+val address_of_string : string -> (address, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], ["tcp:PORT"] (localhost), or a
+    bare path (Unix-domain). *)
+
+val address_to_string : address -> string
+
+type config = {
+  address : address;
+  queue_capacity : int;  (** Bounded-queue depth (default 16). *)
+  cache_capacity : int;  (** Session-cache entries (default 8). *)
+  report_path : string option;
+      (** Where the final drain report goes; [None] disables it. *)
+  handle_signals : bool;
+      (** Install SIGTERM/SIGINT drain handlers (the CLI does; embedded
+          servers — tests, examples — must not). *)
+  readiness : out_channel option;
+      (** Print a one-line ["listening on ..."] banner here once the
+          socket is bound (the smoke tests' readiness signal). *)
+}
+
+val default_config : address -> config
+(** Queue 16, cache 8, report ["BENCH_serve.json"], no signal handlers,
+    no banner. *)
+
+type t
+(** A handle onto a serving instance, usable from other threads. *)
+
+val initiate_drain : t -> unit
+(** Begin graceful drain: stop accepting connections and new work,
+    finish what is queued.  Idempotent; thread-safe. *)
+
+val draining : t -> bool
+
+val serve : config -> unit
+(** Bind, serve until drained, flush the final report, release the
+    socket.  Blocks the calling thread (which becomes the executor).
+    @raise Repro_util.Verrors.Error ([Io_error]) when the socket cannot
+    be bound. *)
+
+val serve_background : config -> t * Thread.t
+(** {!serve} on a fresh thread, returning once the socket is bound and
+    accepting — for tests and embedded use.  Join the thread after
+    {!initiate_drain} (or a [shutdown] request) to complete drain.
+    @raise Repro_util.Verrors.Error as {!serve}. *)

@@ -1,0 +1,125 @@
+module Flow = Repro_core.Flow
+module Context = Repro_core.Context
+module Benchmarks = Repro_cts.Benchmarks
+module Liberty = Repro_cell.Liberty
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Metrics = Repro_obs.Metrics
+
+let hits_c = Metrics.counter "server.cache_hits"
+let misses_c = Metrics.counter "server.cache_misses"
+let evictions_c = Metrics.counter "server.cache_evictions"
+
+type t = {
+  mutex : Mutex.t;
+  entries : Flow.prepared Lru.t;
+  libraries : Repro_cell.Cell.t list Lru.t;  (* parsed, by text digest *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 8) () =
+  { mutex = Mutex.create ();
+    entries = Lru.create ~capacity;
+    libraries = Lru.create ~capacity:(max 4 capacity);
+    hits = 0;
+    misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* The default library's serialized form participates in the hash so a
+   rebuilt binary with different built-in cells cannot alias an entry. *)
+let builtin_library_text =
+  lazy (Liberty.to_string (Flow.leaf_library ()))
+
+let fl = Json.float_to_string
+
+let key ~spec ~params ~library =
+  let b = Buffer.create 256 in
+  Buffer.add_string b spec.Benchmarks.name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b
+    (match spec.Benchmarks.family with
+    | Benchmarks.Iscas89 -> "iscas89"
+    | Benchmarks.Ispd09 -> "ispd09");
+  List.iter
+    (fun s ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b s)
+    [ string_of_int spec.Benchmarks.num_nodes;
+      string_of_int spec.Benchmarks.num_leaves;
+      fl spec.Benchmarks.die_side;
+      string_of_int spec.Benchmarks.clusters;
+      string_of_int spec.Benchmarks.seed;
+      fl params.Context.kappa;
+      fl params.Context.epsilon;
+      string_of_int params.Context.num_slots;
+      fl params.Context.zone_side;
+      string_of_int params.Context.max_labels;
+      fl params.Context.coalesce;
+      string_of_int params.Context.max_interval_classes;
+      fl params.Context.sibling_guard;
+      (match library with
+      | Some text -> text
+      | None -> Lazy.force builtin_library_text) ];
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let cells_of t = function
+  | None -> Ok (Flow.leaf_library ())
+  | Some text -> (
+    let lib_key = Digest.to_hex (Digest.string text) in
+    match with_lock t (fun () -> Lru.find t.libraries lib_key) with
+    | Some cells -> Ok cells
+    | None -> (
+      match Verrors.guard ~stage:"server.session" (fun () -> Liberty.parse text) with
+      | Error e -> Error e  (* the parser fault seam trips through here *)
+      | Ok (Error perr) -> Error (Liberty.to_verror perr)
+      | Ok (Ok cells) ->
+        with_lock t (fun () -> ignore (Lru.add t.libraries lib_key cells));
+        Ok cells))
+
+let prepared t ~spec ~params ?library () =
+  let k = key ~spec ~params ~library in
+  match with_lock t (fun () -> Lru.find t.entries k) with
+  | Some prep ->
+    t.hits <- t.hits + 1;
+    Metrics.incr hits_c;
+    Ok (prep, `Hit)
+  | None -> (
+    (* Build outside the lock: the executor is the only builder, and
+       control-plane stats must stay responsive during synthesis. *)
+    match cells_of t library with
+    | Error e -> Error e
+    | Ok cells -> (
+      match
+        Verrors.guard ~stage:"server.session" (fun () ->
+            let tree = Benchmarks.synthesize spec in
+            Flow.prepare ~params ~cells ~name:spec.Benchmarks.name tree)
+      with
+      | Error e -> Error e
+      | Ok prep ->
+        t.misses <- t.misses + 1;
+        Metrics.incr misses_c;
+        with_lock t (fun () ->
+            match Lru.add t.entries k prep with
+            | None -> ()
+            | Some _evicted -> Metrics.incr evictions_c);
+        Ok (prep, `Miss)))
+
+type stats = {
+  entries : string list;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      { entries = Lru.keys t.entries;
+        capacity = Lru.capacity t.entries;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = Lru.evictions t.entries })

@@ -1,0 +1,54 @@
+(** The server's warm session cache.
+
+    Maps a {e content hash} — benchmark spec, solver parameters, and
+    the (inline or built-in) cell library text — to a
+    {!Repro_core.Flow.prepared}: the synthesized tree plus the
+    memoized optimization context (timing, zones, noise tables, the
+    candidate-waveform memo).  A repeat request for the same content
+    skips all of that work; modifying the library (or any parameter)
+    changes the hash, so stale entries can never be served.  Parsed
+    custom libraries are additionally cached by their own text hash, so
+    two benchmarks sharing a library parse it once.
+
+    Entries are evicted least-recently-used ({!Lru}).  Thread-safe:
+    lookups/inserts serialize on an internal mutex while the expensive
+    build work runs outside it.  Hits and misses are counted in the
+    [server.cache_hits] / [server.cache_misses] metrics. *)
+
+module Flow := Repro_core.Flow
+module Verrors := Repro_util.Verrors
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 8) bounds the prepared-benchmark entries. *)
+
+val key :
+  spec:Repro_cts.Benchmarks.spec ->
+  params:Repro_core.Context.params ->
+  library:string option ->
+  string
+(** The content hash (hex digest).  [library = None] hashes the
+    built-in leaf library's serialized form, so swapping the default
+    library in a future build also invalidates. *)
+
+val prepared :
+  t ->
+  spec:Repro_cts.Benchmarks.spec ->
+  params:Repro_core.Context.params ->
+  ?library:string ->
+  unit ->
+  (Flow.prepared * [ `Hit | `Miss ], Verrors.t) result
+(** Fetch or build the prepared benchmark.  Failures (library parse
+    errors, synthesis faults) are returned structurally and never
+    cached, so a transient injected fault does not poison the entry. *)
+
+type stats = {
+  entries : string list;  (** Cache keys, most-recently-used first. *)
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats

@@ -9,6 +9,7 @@ type code =
   | Label_cap
   | Budget_exhausted
   | Fault_injected
+  | Overloaded
   | Io_error
   | Internal
 
@@ -23,13 +24,14 @@ let code_name = function
   | Label_cap -> "label-cap"
   | Budget_exhausted -> "budget-exhausted"
   | Fault_injected -> "fault-injected"
+  | Overloaded -> "overloaded"
   | Io_error -> "io-error"
   | Internal -> "internal"
 
 let all_codes =
   [ Parse_error; Invalid_tree; Invalid_library; Invalid_params; Invalid_modes;
     Empty_zones; Infeasible_window; Label_cap; Budget_exhausted;
-    Fault_injected; Io_error; Internal ]
+    Fault_injected; Overloaded; Io_error; Internal ]
 
 let code_of_name name =
   List.find_opt (fun c -> String.equal (code_name c) name) all_codes

@@ -23,6 +23,9 @@ type code =
   | Label_cap  (** MOSP label sets truncated beyond epsilon. *)
   | Budget_exhausted  (** Wall-clock or label budget ran out. *)
   | Fault_injected  (** A {!Repro_obs.Fault} seam tripped. *)
+  | Overloaded
+      (** A service refused new work: bounded queue full or draining
+          ({!Repro_server.Server}).  Back off and retry. *)
   | Io_error  (** File-system failure. *)
   | Internal  (** Uncategorized failure (wrapped exception). *)
 

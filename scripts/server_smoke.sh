@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Smoke test for the service mode (`wavemin serve` + `wavemin client`).
+#
+# Drives a real daemon over a Unix socket and asserts the service
+# contract end to end:
+#   - readiness: the health probe answers once the banner socket is up;
+#   - session cache: the warm repetition of a request is faster than the
+#     cold one and the cache hit shows up in `stats`;
+#   - backpressure: flooding a queue bound of 1 yields structured
+#     `overloaded` rejections, never hangs or crashes;
+#   - graceful drain: both a `shutdown` request and SIGTERM finish
+#     in-flight work, write the final BENCH-style report and exit 0;
+#   - fault seams: with every WAVEMIN_FAULTS seam armed the daemon
+#     answers with structured errors (or degraded results) and stays up.
+#
+# Usage: scripts/server_smoke.sh [JOBS]        (from the repo root)
+# Env:   WAVEMIN_BIN  path to wavemin.exe (default _build/default/bin/...)
+
+set -euo pipefail
+
+JOBS="${1:-1}"
+W="${WAVEMIN_BIN:-_build/default/bin/wavemin.exe}"
+TMP="$(mktemp -d /tmp/wavemin-smoke.XXXXXX)"
+SOCK="unix:$TMP/serve.sock"
+SERVER=""
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if "$W" client -A "$SOCK" health >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "server never became ready on $SOCK"
+}
+
+wait_exit() { # pid -> exit code (fails if still alive after ~20 s)
+  local pid="$1"
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || { wait "$pid"; return $?; }
+    sleep 0.2
+  done
+  fail "server $pid did not exit"
+}
+
+echo "== wavemin serve smoke, jobs=$JOBS =="
+
+# ---- cache warmth, stats, backpressure, shutdown drain ---------------
+REPORT="$TMP/BENCH_serve.json"
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --queue 1 --report "$REPORT" \
+  >"$TMP/serve.log" 2>&1 &
+SERVER=$!
+wait_ready
+
+COLD=$("$W" client -A "$SOCK" run s38417 -a peakmin --time 2>&1 >/dev/null | awk '{print $2}')
+WARM=$("$W" client -A "$SOCK" run s38417 -a peakmin --time 2>&1 >/dev/null | awk '{print $2}')
+echo "cold ${COLD} ms -> warm ${WARM} ms"
+awk -v c="$COLD" -v w="$WARM" 'BEGIN { exit !(w < c) }' \
+  || fail "warm request (${WARM} ms) not faster than cold (${COLD} ms)"
+
+HITS=$("$W" client -A "$SOCK" stats | sed -n 's/.*"hits": \([0-9]*\).*/\1/p' | head -1)
+[ "${HITS:-0}" -ge 1 ] || fail "no cache hit in stats (hits=${HITS:-unset})"
+echo "cache hits: $HITS"
+
+# Flood the bound: a slow request occupies the executor, a second one
+# the single queue slot; the rest of the burst must be rejected with a
+# structured `overloaded` error while the daemon keeps serving.
+"$W" client -A "$SOCK" montecarlo s13207 -n 4000 >"$TMP/slow.json" 2>&1 &
+SLOW=$!
+sleep 0.3
+BURST=""
+for i in 1 2 3 4 5 6; do
+  "$W" client -A "$SOCK" run s15850 -a initial >"$TMP/burst.$i" 2>&1 &
+  BURST="$BURST $!"
+done
+wait $SLOW || true
+for pid in $BURST; do wait "$pid" || true; done
+OVERLOADED=$(grep -l '"overloaded"' "$TMP"/burst.* | wc -l)
+echo "overloaded rejections: $OVERLOADED/6"
+[ "$OVERLOADED" -ge 1 ] || { cat "$TMP"/burst.*; fail "queue bound never rejected"; }
+"$W" client -A "$SOCK" health >/dev/null || fail "daemon unhealthy after flood"
+
+"$W" client -A "$SOCK" shutdown >/dev/null
+CODE=0; wait_exit "$SERVER" || CODE=$?
+SERVER=""
+[ "$CODE" -eq 0 ] || fail "shutdown drain exited $CODE"
+[ -f "$REPORT" ] || fail "no drain report at $REPORT"
+grep -q '"experiment": "serve"' "$REPORT" || fail "malformed drain report"
+grep -q '"requests_served"' "$REPORT" || fail "drain report lacks counters"
+echo "shutdown drain ok, report written"
+
+# ---- SIGTERM drain ----------------------------------------------------
+REPORT2="$TMP/BENCH_serve_sigterm.json"
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --report "$REPORT2" \
+  >"$TMP/serve2.log" 2>&1 &
+SERVER=$!
+wait_ready
+"$W" client -A "$SOCK" run s15850 -a initial >/dev/null
+kill -TERM "$SERVER"
+CODE=0; wait_exit "$SERVER" || CODE=$?
+SERVER=""
+[ "$CODE" -eq 0 ] || fail "SIGTERM drain exited $CODE"
+[ -f "$REPORT2" ] || fail "no drain report after SIGTERM"
+echo "SIGTERM drain ok"
+
+# ---- every fault seam: structured errors, never a dead daemon --------
+"$W" library >"$TMP/leaf.lib"
+for SEAM in parser waveform-cache noise-table pool-task report-writer; do
+  WAVEMIN_JOBS="$JOBS" WAVEMIN_FAULTS="$SEAM:1" \
+    "$W" serve -A "$SOCK" --no-report >"$TMP/serve-$SEAM.log" 2>&1 &
+  SERVER=$!
+  wait_ready
+  # The parser seam only fires on a library parse, so ship one along.
+  CODE=0
+  "$W" client -A "$SOCK" run s15850 -a wavemin --library "$TMP/leaf.lib" \
+    >"$TMP/fault-$SEAM.json" 2>&1 || CODE=$?
+  case "$CODE" in 0|2) ;; *) fail "seam $SEAM: client exited $CODE" ;; esac
+  "$W" client -A "$SOCK" health >/dev/null \
+    || fail "seam $SEAM: daemon died under injected fault"
+  "$W" client -A "$SOCK" shutdown >/dev/null
+  CODE=0; wait_exit "$SERVER" || CODE=$?
+  SERVER=""
+  [ "$CODE" -eq 0 ] || fail "seam $SEAM: drain exited $CODE"
+  echo "seam $SEAM survived (client exit ok, daemon drained cleanly)"
+done
+
+echo "== smoke ok =="

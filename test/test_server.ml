@@ -1,0 +1,549 @@
+(* The service layer: LRU + bounded queue unit tests, protocol
+   round-trips, session-cache behavior (hits, content-hash
+   invalidation, eviction), end-to-end socket tests against an
+   in-process server, backpressure, fault-seam survival, and the
+   bit-identity property: concurrent clients at any job count receive
+   byte-identical responses to sequential in-process execution. *)
+
+module Lru = Repro_server.Lru
+module Bqueue = Repro_server.Bqueue
+module Protocol = Repro_server.Protocol
+module Session = Repro_server.Session
+module Handlers = Repro_server.Handlers
+module Server = Repro_server.Server
+module Client = Repro_server.Client
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+module Flow = Repro_core.Flow
+module Benchmarks = Repro_cts.Benchmarks
+module Liberty = Repro_cell.Liberty
+module Fault = Repro_obs.Fault
+module Par = Repro_par.Par
+
+(* ---- Lru ---------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check (option string)) "no eviction" None (Lru.add l "a" 1);
+  Alcotest.(check (option string)) "no eviction" None (Lru.add l "b" 2);
+  Alcotest.(check (option string)) "a is LRU" (Some "a") (Lru.add l "c" 3);
+  Alcotest.(check (list string)) "MRU first" [ "c"; "b" ] (Lru.keys l);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions l)
+
+let test_lru_find_bumps () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  Alcotest.(check (option int)) "hit" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option string)) "b evicted, not a" (Some "b")
+    (Lru.add l "c" 3);
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find l "a")
+
+let test_lru_mem_does_not_bump () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  Alcotest.(check bool) "mem" true (Lru.mem l "a");
+  Alcotest.(check (option string)) "a still LRU" (Some "a") (Lru.add l "c" 3)
+
+let test_lru_replace_and_remove () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  Alcotest.(check (option string)) "replace evicts nothing" None
+    (Lru.add l "a" 10);
+  Alcotest.(check (option int)) "replaced" (Some 10) (Lru.find l "a");
+  Lru.remove l "a";
+  Alcotest.(check bool) "removed" false (Lru.mem l "a");
+  Alcotest.(check int) "length" 1 (Lru.length l);
+  Alcotest.(check int) "removal is not eviction" 0 (Lru.evictions l);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* ---- Bqueue ------------------------------------------------------- *)
+
+let push_result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with `Ok -> "Ok" | `Full -> "Full" | `Closed -> "Closed"))
+    ( = )
+
+let test_bqueue_backpressure () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.check push_result "1st" `Ok (Bqueue.push q 1);
+  Alcotest.check push_result "2nd" `Ok (Bqueue.push q 2);
+  Alcotest.check push_result "full" `Full (Bqueue.push q 3);
+  Alcotest.(check int) "depth" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Bqueue.pop q);
+  Alcotest.check push_result "room again" `Ok (Bqueue.push q 3)
+
+let test_bqueue_drain () =
+  let q = Bqueue.create ~capacity:4 in
+  ignore (Bqueue.push q 1);
+  ignore (Bqueue.push q 2);
+  Bqueue.close q;
+  Bqueue.close q (* idempotent *);
+  Alcotest.check push_result "closed" `Closed (Bqueue.push q 3);
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then None" None (Bqueue.pop q);
+  Alcotest.(check bool) "closed" true (Bqueue.closed q)
+
+let test_bqueue_blocking_pop () =
+  let q = Bqueue.create ~capacity:1 in
+  let producer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        ignore (Bqueue.push q 42))
+      ()
+  in
+  Alcotest.(check (option int)) "wakes on push" (Some 42) (Bqueue.pop q);
+  Thread.join producer;
+  let consumer = Thread.create (fun () -> Bqueue.pop q) () in
+  Thread.delay 0.05;
+  Bqueue.close q;
+  Thread.join consumer
+
+(* ---- Protocol ----------------------------------------------------- *)
+
+let roundtrip req =
+  let id = Json.Num 7.0 in
+  let line = Protocol.line (Protocol.request_to_json ~id req) in
+  let env = Protocol.parse_request line in
+  Alcotest.(check bool) "id echoed" true (env.Protocol.id = id);
+  match env.Protocol.payload with
+  | Ok req' ->
+    Alcotest.(check string)
+      ("round-trip " ^ Protocol.request_kind req)
+      (Json.to_string (Protocol.request_to_json ~id req))
+      (Json.to_string (Protocol.request_to_json ~id req'))
+  | Error e -> Alcotest.failf "round-trip failed: %s" (Verrors.to_string e)
+
+let test_protocol_roundtrip () =
+  let opts = Protocol.default_opts ~benchmark:"s15850" in
+  List.iter roundtrip
+    [ Protocol.Run { opts; algorithm = Flow.Wavemin };
+      Protocol.Run
+        { opts =
+            { opts with
+              Protocol.kappa = 35.5;
+              budget_ms = Some 120.0;
+              max_labels = Some 9;
+              library = Some "cell INV_X1 { }" };
+          algorithm = Flow.Initial };
+      Protocol.Compare opts;
+      Protocol.Validate { opts; all = false };
+      Protocol.Validate { opts; all = true };
+      Protocol.Montecarlo { opts; instances = 33 };
+      Protocol.Stats; Protocol.Health; Protocol.Shutdown ]
+
+let test_protocol_malformed () =
+  let check_error line =
+    match (Protocol.parse_request line).Protocol.payload with
+    | Ok _ -> Alcotest.failf "accepted malformed line %S" line
+    | Error e ->
+      Alcotest.(check string) "parse-error code" "parse-error"
+        (Verrors.code_name e.Verrors.code)
+  in
+  List.iter check_error
+    [ "not json"; "[1,2]"; "{}"; {|{"id":1,"type":"frobnicate"}|};
+      {|{"id":1,"type":"run"}|};
+      {|{"id":1,"type":"run","benchmark":"s15850","algo":"quantum"}|} ]
+
+let test_protocol_response () =
+  let ok = Protocol.ok_response ~id:(Json.Num 3.0) (Json.Bool true) in
+  (match Protocol.parse_response (Json.to_string ok) with
+  | Ok r ->
+    Alcotest.(check bool) "ok" true r.Protocol.ok;
+    Alcotest.(check bool) "body" true (r.Protocol.body = Json.Bool true)
+  | Error msg -> Alcotest.fail msg);
+  let err =
+    Protocol.error_response ~id:(Json.Num 4.0)
+      (Verrors.make ~code:Verrors.Overloaded ~stage:"server.queue" "full")
+  in
+  match Protocol.parse_response (Json.to_string err) with
+  | Ok r ->
+    Alcotest.(check bool) "not ok" false r.Protocol.ok;
+    let code =
+      match r.Protocol.body with
+      | Json.Obj fields -> List.assoc_opt "code" fields
+      | _ -> None
+    in
+    Alcotest.(check bool) "overloaded code" true
+      (code = Some (Json.Str "overloaded"))
+  | Error msg -> Alcotest.fail msg
+
+(* ---- Session ------------------------------------------------------ *)
+
+let spec name = Benchmarks.find name
+let params = Repro_core.Context.default_params
+
+let test_session_hit_miss () =
+  let s = Session.create ~capacity:4 () in
+  (match Session.prepared s ~spec:(spec "s15850") ~params () with
+  | Ok (_, `Miss) -> ()
+  | Ok (_, `Hit) -> Alcotest.fail "cold lookup reported a hit"
+  | Error e -> Alcotest.fail (Verrors.to_string e));
+  (match Session.prepared s ~spec:(spec "s15850") ~params () with
+  | Ok (_, `Hit) -> ()
+  | Ok (_, `Miss) -> Alcotest.fail "warm lookup missed"
+  | Error e -> Alcotest.fail (Verrors.to_string e));
+  let st = Session.stats s in
+  Alcotest.(check int) "hits" 1 st.Session.hits;
+  Alcotest.(check int) "misses" 1 st.Session.misses
+
+let test_session_content_hash () =
+  (* Different parameters and a modified library text must key
+     different entries; repeating either combination hits. *)
+  let s = Session.create ~capacity:8 () in
+  let lib = Liberty.to_string (Flow.leaf_library ()) in
+  let lib' = lib ^ "\n" in
+  let lookup ?library params =
+    match Session.prepared s ~spec:(spec "s15850") ~params ?library () with
+    | Ok (_, kind) -> kind
+    | Error e -> Alcotest.fail (Verrors.to_string e)
+  in
+  Alcotest.(check bool) "cold" true (lookup params = `Miss);
+  Alcotest.(check bool) "kappa changes the key" true
+    (lookup { params with Repro_core.Context.kappa = 30.0 } = `Miss);
+  Alcotest.(check bool) "explicit built-in text aliases the default" true
+    (lookup ~library:lib params = `Hit);
+  Alcotest.(check bool) "modified library invalidates" true
+    (lookup ~library:lib' params = `Miss);
+  Alcotest.(check bool) "modified library cached" true
+    (lookup ~library:lib' params = `Hit)
+
+let test_session_eviction () =
+  let s = Session.create ~capacity:1 () in
+  let miss name =
+    match Session.prepared s ~spec:(spec name) ~params () with
+    | Ok (_, kind) -> kind = `Miss
+    | Error e -> Alcotest.fail (Verrors.to_string e)
+  in
+  Alcotest.(check bool) "cold s15850" true (miss "s15850");
+  Alcotest.(check bool) "cold s13207" true (miss "s13207");
+  Alcotest.(check bool) "s15850 was evicted" true (miss "s15850");
+  Alcotest.(check int) "evictions" 2 (Session.stats s).Session.evictions
+
+(* ---- end-to-end over a socket ------------------------------------- *)
+
+let next_sock = Atomic.make 0
+
+let temp_address () =
+  Server.Unix_path
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "wm-%d-%d.sock" (Unix.getpid ())
+          (Atomic.fetch_and_add next_sock 1)))
+
+let with_server ?(queue_capacity = 16) f =
+  let address = temp_address () in
+  let cfg =
+    { (Server.default_config address) with
+      Server.queue_capacity; report_path = None }
+  in
+  let t, thread = Server.serve_background cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_drain t;
+      Thread.join thread)
+    (fun () -> f address t)
+
+let request_exn c req =
+  match Client.request c req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail (Verrors.to_string e)
+
+let with_client address f =
+  match Client.connect address with
+  | Error e -> Alcotest.fail (Verrors.to_string e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let test_server_roundtrip () =
+  with_server (fun address t ->
+      with_client address (fun c ->
+          let health = request_exn c Protocol.Health in
+          Alcotest.(check bool) "health ok" true health.Protocol.ok;
+          let run =
+            Protocol.Run
+              { opts = Protocol.default_opts ~benchmark:"s15850";
+                algorithm = Flow.Initial }
+          in
+          let cold = request_exn c run in
+          Alcotest.(check bool) "run ok" true cold.Protocol.ok;
+          let warm = request_exn c run in
+          Alcotest.(check string) "cold and warm responses identical"
+            (Json.to_string cold.Protocol.body)
+            (Json.to_string warm.Protocol.body);
+          let bad =
+            request_exn c
+              (Protocol.Run
+                 { opts = Protocol.default_opts ~benchmark:"nonesuch";
+                   algorithm = Flow.Initial })
+          in
+          Alcotest.(check bool) "unknown benchmark is an error" false
+            bad.Protocol.ok;
+          let stats = request_exn c Protocol.Stats in
+          (match stats.Protocol.body with
+          | Json.Obj fields -> (
+            match List.assoc_opt "cache" fields with
+            | Some (Json.Obj cache) ->
+              Alcotest.(check bool) "cache hit recorded" true
+                (match List.assoc_opt "hits" cache with
+                | Some (Json.Num h) -> h >= 1.0
+                | _ -> false)
+            | _ -> Alcotest.fail "stats carry no cache block")
+          | _ -> Alcotest.fail "stats body not an object");
+          let bye = request_exn c Protocol.Shutdown in
+          Alcotest.(check bool) "shutdown acknowledged" true bye.Protocol.ok);
+      (* rejected, not crashed, once draining *)
+      Alcotest.(check bool) "draining" true (Server.draining t))
+
+let send_raw c fd req ~id =
+  ignore c;
+  let line = Protocol.line (Protocol.request_to_json ~id:(Json.Num id) req) in
+  ignore (Unix.write_substring fd line 0 (String.length line))
+
+let test_server_rejects_while_draining () =
+  (* Keep the executor busy with a slow request so the drain stays
+     in-flight, then ask for more work: the reader must answer with a
+     structured overloaded rejection while the slow request still
+     completes (graceful drain finishes accepted work). *)
+  with_server (fun address t ->
+      let path =
+        match address with Server.Unix_path p -> p | _ -> assert false
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          send_raw () fd
+            (Protocol.Montecarlo
+               { opts = Protocol.default_opts ~benchmark:"s13207";
+                 instances = 2000 })
+            ~id:0.0;
+          Thread.delay 0.2;
+          Server.initiate_drain t;
+          send_raw () fd
+            (Protocol.Run
+               { opts = Protocol.default_opts ~benchmark:"s15850";
+                 algorithm = Flow.Initial })
+            ~id:1.0;
+          (* The rejection is written inline by the reader and overtakes
+             the queued montecarlo response. *)
+          (match Protocol.parse_response (input_line ic) with
+          | Error msg -> Alcotest.fail msg
+          | Ok r ->
+            Alcotest.(check bool) "rejection id" true
+              (r.Protocol.rid = Json.Num 1.0);
+            Alcotest.(check bool) "rejected" false r.Protocol.ok;
+            let code =
+              match r.Protocol.body with
+              | Json.Obj fields -> List.assoc_opt "code" fields
+              | _ -> None
+            in
+            Alcotest.(check bool) "overloaded code" true
+              (code = Some (Json.Str "overloaded")));
+          match Protocol.parse_response (input_line ic) with
+          | Error msg -> Alcotest.fail msg
+          | Ok r ->
+            Alcotest.(check bool) "slow request finished" true
+              (r.Protocol.rid = Json.Num 0.0 && r.Protocol.ok)))
+
+let test_server_backpressure () =
+  (* Pipeline one slow request plus a burst on a capacity-1 queue
+     without waiting for responses: the burst must overflow the bound
+     and come back as structured overloaded rejections. *)
+  with_server ~queue_capacity:1 (fun address _t ->
+      let path =
+        match address with Server.Unix_path p -> p | _ -> assert false
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let slow =
+            Protocol.Montecarlo
+              { opts = Protocol.default_opts ~benchmark:"s13207";
+                instances = 2000 }
+          in
+          let quick =
+            Protocol.Run
+              { opts = Protocol.default_opts ~benchmark:"s15850";
+                algorithm = Flow.Initial }
+          in
+          let burst = 8 in
+          send_raw () fd slow ~id:0.0;
+          for i = 1 to burst do
+            send_raw () fd quick ~id:(float_of_int i)
+          done;
+          let overloaded = ref 0 and ok = ref 0 in
+          for _ = 0 to burst do
+            match Protocol.parse_response (input_line ic) with
+            | Error msg -> Alcotest.fail msg
+            | Ok r ->
+              if r.Protocol.ok then incr ok
+              else (
+                match r.Protocol.body with
+                | Json.Obj fields
+                  when List.assoc_opt "code" fields
+                       = Some (Json.Str "overloaded") ->
+                  incr overloaded
+                | _ -> Alcotest.fail "non-overloaded error during burst")
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "burst rejected (%d overloaded, %d ok)"
+               !overloaded !ok)
+            true (!overloaded >= 1);
+          Alcotest.(check bool) "slow request still served" true (!ok >= 1)))
+
+(* ---- fault seams -------------------------------------------------- *)
+
+let test_server_survives_faults () =
+  (* With every seam armed at probability 1 the daemon must keep
+     answering: a structured error (or a degraded-but-ok result), then
+     recover to a clean response once the fault clears. *)
+  let broken_lib = Liberty.to_string (Flow.leaf_library ()) ^ "\n# tweak\n" in
+  with_server (fun address _t ->
+      with_client address (fun c ->
+          List.iter
+            (fun seam ->
+              let name = Fault.seam_name seam in
+              (match Fault.set_spec (name ^ ":1") with
+              | Ok () -> ()
+              | Error msg -> Alcotest.fail msg);
+              Fun.protect ~finally:Fault.clear (fun () ->
+                  let opts =
+                    { (Protocol.default_opts ~benchmark:"s15850") with
+                      Protocol.library =
+                        (* force a parse so the parser seam can fire *)
+                        (if seam = Fault.Parser then Some broken_lib else None)
+                    }
+                  in
+                  let resp =
+                    request_exn c
+                      (Protocol.Run { opts; algorithm = Flow.Wavemin })
+                  in
+                  (* Fallback chains may absorb the fault (ok response
+                     with degradations); what is forbidden is a dead
+                     server or a torn response. *)
+                  ignore resp.Protocol.ok;
+                  let health = request_exn c Protocol.Health in
+                  Alcotest.(check bool)
+                    (name ^ ": server alive under fault")
+                    true health.Protocol.ok);
+              let clean =
+                request_exn c
+                  (Protocol.Run
+                     { opts = Protocol.default_opts ~benchmark:"s15850";
+                       algorithm = Flow.Initial })
+              in
+              Alcotest.(check bool)
+                (name ^ ": clean after clearing")
+                true clean.Protocol.ok)
+            Fault.all_seams))
+
+(* ---- bit-identity: concurrent == sequential ----------------------- *)
+
+let identity_requests =
+  [ Protocol.Run
+      { opts = Protocol.default_opts ~benchmark:"s15850";
+        algorithm = Flow.Initial };
+    Protocol.Run
+      { opts = Protocol.default_opts ~benchmark:"s15850";
+        algorithm = Flow.Peakmin };
+    Protocol.Run
+      { opts = Protocol.default_opts ~benchmark:"s13207";
+        algorithm = Flow.Initial };
+    Protocol.Validate
+      { opts = Protocol.default_opts ~benchmark:"s15850"; all = false };
+    Protocol.Run
+      { opts =
+          { (Protocol.default_opts ~benchmark:"s15850") with
+            Protocol.kappa = 30.0 };
+        algorithm = Flow.Peakmin } ]
+
+let render_outcome = function
+  | Ok body -> "ok:" ^ Json.to_string body
+  | Error (e, _) -> "err:" ^ Json.to_string (Verrors.to_json e)
+
+let sequential_outcomes reqs =
+  let session = Session.create () in
+  List.map (fun req -> render_outcome (Handlers.execute session req)) reqs
+
+let concurrent_outcomes ~jobs reqs =
+  Par.with_jobs jobs (fun () ->
+      with_server (fun address _t ->
+          let results = Array.make (List.length reqs) "" in
+          let clients =
+            List.mapi
+              (fun i req ->
+                Thread.create
+                  (fun () ->
+                    with_client address (fun c ->
+                        let resp = request_exn c req in
+                        results.(i) <-
+                          (if resp.Protocol.ok then
+                             "ok:" ^ Json.to_string resp.Protocol.body
+                           else "err:" ^ Json.to_string resp.Protocol.body)))
+                  ())
+              reqs
+          in
+          List.iter Thread.join clients;
+          Array.to_list results))
+
+let bit_identity =
+  QCheck.Test.make ~count:4 ~name:"concurrent clients == sequential execution"
+    QCheck.(pair (int_bound 2) small_nat)
+    (fun (drop, salt) ->
+      (* a random sublist in a random rotation, served at jobs 1 and 4 *)
+      let reqs =
+        List.filteri (fun i _ -> i <> drop) identity_requests
+      in
+      let n = List.length reqs in
+      let rot = salt mod n in
+      let reqs =
+        List.mapi (fun i _ -> List.nth reqs ((i + rot) mod n)) reqs
+      in
+      let expected = sequential_outcomes reqs in
+      List.for_all
+        (fun jobs -> concurrent_outcomes ~jobs reqs = expected)
+        [ 1; 4 ])
+
+let () =
+  Repro_obs.Log.setup ~level:None ();
+  Alcotest.run "server"
+    [ ( "lru",
+        [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "find bumps recency" `Quick test_lru_find_bumps;
+          Alcotest.test_case "mem keeps recency" `Quick
+            test_lru_mem_does_not_bump;
+          Alcotest.test_case "replace/remove" `Quick
+            test_lru_replace_and_remove ] );
+      ( "bqueue",
+        [ Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+          Alcotest.test_case "drain" `Quick test_bqueue_drain;
+          Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop ] );
+      ( "protocol",
+        [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_protocol_malformed;
+          Alcotest.test_case "responses" `Quick test_protocol_response ] );
+      ( "session",
+        [ Alcotest.test_case "hit/miss" `Quick test_session_hit_miss;
+          Alcotest.test_case "content hash" `Quick test_session_content_hash;
+          Alcotest.test_case "eviction" `Quick test_session_eviction ] );
+      ( "socket",
+        [ Alcotest.test_case "round-trip" `Quick test_server_roundtrip;
+          Alcotest.test_case "draining rejects" `Quick
+            test_server_rejects_while_draining;
+          Alcotest.test_case "backpressure" `Slow test_server_backpressure;
+          Alcotest.test_case "fault seams" `Slow test_server_survives_faults ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ bit_identity ] ) ]
