@@ -16,6 +16,8 @@
      library        dump the cell library in the Liberty-style format
      serve          resident optimization service (ndjson over a socket)
      client         send one request to a running `wavemin serve'
+     bench-serve    load-generate against a running service (BENCH report)
+     top            live stats view of a running service
 
    Exit codes: 0 success; 1 usage error (unknown benchmark/cell);
    2 diagnosed failure (validation, solver error, --strict violation);
@@ -41,6 +43,7 @@ module Run_report = Repro_obs.Report
 module Server = Repro_server.Server
 module Client = Repro_server.Client
 module Proto = Repro_server.Protocol
+module Loadgen = Repro_server.Loadgen
 
 (* ---- observability flags (run/profile/compare) ------------------- *)
 
@@ -742,14 +745,33 @@ let serve_cmd =
   in
   let report_arg =
     let doc = "Where the final drain report (BENCH schema) is written." in
-    Arg.(value & opt string "BENCH_serve.json"
+    Arg.(value & opt string "BENCH_serve_drain.json"
          & info [ "report" ] ~docv:"FILE" ~doc)
   in
   let no_report_arg =
     Arg.(value & flag
          & info [ "no-report" ] ~doc:"Do not write a final drain report.")
   in
-  let run address_s queue cache report no_report jobs level trace metrics =
+  let access_log_arg =
+    let doc =
+      "Append a JSONL access log to $(docv): one line per data-plane \
+       request (request id, type, content hash, cache outcome, \
+       degradations, queue-wait and wall time, status) — including \
+       rejections and parse failures.  Strictly out-of-band: responses \
+       are byte-identical with or without it."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Rolling-window width in seconds for the live latency/queue-wait \
+       percentiles served under $(b,stats.rolling)."
+    in
+    Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
+  in
+  let run address_s queue cache report no_report access_log window jobs level
+      trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match parse_address address_s with
@@ -759,6 +781,9 @@ let serve_cmd =
         { Server.address; queue_capacity = max 1 queue;
           cache_capacity = max 1 cache;
           report_path = (if no_report then None else Some report);
+          access_log_path = access_log;
+          rolling_window_s = (if window > 0.0 then window else 60.0);
+          sample_period_s = Some 1.0;
           handle_signals = true; readiness = Some stdout }
       in
       match Verrors.guard ~stage:"server.serve" (fun () -> Server.serve cfg) with
@@ -777,17 +802,29 @@ let serve_cmd =
           requests (run/compare/validate/montecarlo/stats/health/shutdown) \
           over a Unix-domain or TCP socket, with a warm session cache, \
           bounded-queue backpressure and graceful drain on SIGTERM or a \
-          $(b,shutdown) request")
+          $(b,shutdown) request.  Live telemetry: per-request spans and \
+          access log, rolling latency windows in $(b,stats), Prometheus \
+          exposition via the $(b,metrics) request")
     Term.(const run $ address_arg $ queue_arg $ cache_arg $ report_arg
-          $ no_report_arg $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
+          $ no_report_arg $ access_log_arg $ window_arg $ jobs_arg
+          $ log_level_arg $ trace_arg $ metrics_arg)
 
 let client_cmd =
   let request_arg =
     let doc =
-      "Request type: run, compare, validate, montecarlo, stats, health \
-       or shutdown."
+      "Request type: run, compare, validate, montecarlo, stats, metrics, \
+       health or shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let metrics_format_arg =
+    let doc =
+      "For $(b,metrics): $(b,text) (Prometheus exposition) or $(b,json) \
+       (registry snapshot)."
+    in
+    Arg.(value & opt (enum [ ("text", Proto.Text); ("json", Proto.Json_snapshot) ])
+           Proto.Text
+         & info [ "format" ] ~docv:"FMT" ~doc)
   in
   let bench_opt_arg =
     let doc = "Benchmark name (required for run/compare/montecarlo)." in
@@ -818,8 +855,11 @@ let client_cmd =
   in
   let time_arg =
     let doc =
-      "Print the request round-trip time as `elapsed_ms NNN.N' on stderr \
-       (responses themselves are deterministic and carry no timings)."
+      "Print the request round-trip time as `elapsed_ms NNN.N' on stderr, \
+       and for data-plane requests also the server-side breakdown \
+       (`server_ms'/`queue_wait_ms', correlated by request id via the \
+       server's $(b,stats) `last' block).  Responses themselves are \
+       deterministic and carry no timings."
     in
     Arg.(value & flag & info [ "time" ] ~doc)
   in
@@ -829,7 +869,7 @@ let client_cmd =
         really_input_string ic (in_channel_length ic))
   in
   let run address_s request_s bench algo_s kappa slots budget_ms max_labels
-      instances library_file all time =
+      instances library_file all time metrics_format =
     match parse_address address_s with
     | Error code -> code
     | Ok address -> (
@@ -847,6 +887,7 @@ let client_cmd =
       let req =
         match request_s with
         | "stats" -> Ok Proto.Stats
+        | "metrics" -> Ok (Proto.Metrics metrics_format)
         | "health" -> Ok Proto.Health
         | "shutdown" -> Ok Proto.Shutdown
         | "run" -> (
@@ -874,16 +915,45 @@ let client_cmd =
         let outcome =
           Client.with_connection address (fun c ->
               let t0 = Obs_clock.now_s () in
-              match Client.request c req with
+              match Client.request_with_id c req with
               | Error e -> Error e
-              | Ok resp -> Ok (resp, (Obs_clock.now_s () -. t0) *. 1000.0))
+              | Ok (id, resp) ->
+                let elapsed_ms = (Obs_clock.now_s () -. t0) *. 1000.0 in
+                (* Server-side breakdown: the stats `last' block is
+                   published before the response bytes are written, so a
+                   synchronous client's follow-up stats on the same
+                   connection always sees its own request. *)
+                let server_side =
+                  if time && resp.Proto.ok && not (Proto.is_control req) then
+                    match Client.request c Proto.Stats with
+                    | Ok stats when stats.Proto.ok -> (
+                      match Json.member "last" stats.Proto.body with
+                      | Some last when Json.member "id" last = Some id ->
+                        let f name =
+                          Option.bind (Json.member name last) Json.float_value
+                        in
+                        (match (f "wall_ms", f "queue_wait_ms") with
+                        | Some w, Some q -> Some (w, q)
+                        | _ -> None)
+                      | _ -> None)
+                    | _ -> None
+                  else None
+                in
+                Ok (resp, elapsed_ms, server_side))
         in
         match outcome with
         | Error e ->
           print_verror e;
           2
-        | Ok (resp, elapsed_ms) ->
-          if time then Format.eprintf "elapsed_ms %.1f@." elapsed_ms;
+        | Ok (resp, elapsed_ms, server_side) ->
+          if time then begin
+            Format.eprintf "elapsed_ms %.1f@." elapsed_ms;
+            Option.iter
+              (fun (wall_ms, queue_wait_ms) ->
+                Format.eprintf "server_ms %.1f queue_wait_ms %.1f@." wall_ms
+                  queue_wait_ms)
+              server_side
+          end;
           print_endline (Json.to_string_pretty resp.Proto.body);
           if resp.Proto.ok then 0 else 2))
   in
@@ -895,7 +965,211 @@ let client_cmd =
           error or transport failure)")
     Term.(const run $ address_arg $ request_arg $ bench_opt_arg
           $ algo_name_arg $ kappa_arg $ slots_arg $ budget_arg
-          $ max_labels_arg $ instances_arg $ library_arg $ all_arg $ time_arg)
+          $ max_labels_arg $ instances_arg $ library_arg $ all_arg $ time_arg
+          $ metrics_format_arg)
+
+let bench_serve_cmd =
+  let connections_arg =
+    let doc = "Concurrent client connections (worker threads)." in
+    Arg.(value & opt int 4 & info [ "connections"; "c" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc =
+      "Request-count budget.  Default 64 when no $(b,--duration) is \
+       given; with both, whichever budget is spent first stops."
+    in
+    Arg.(value & opt (some int) None & info [ "count"; "n" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Wall-duration budget in seconds." in
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let benchmark_arg =
+    let doc = "Benchmark circuit driven by the run/validate classes." in
+    Arg.(value & opt string "s15850"
+         & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc)
+  in
+  let window_arg =
+    let doc = "Rolling-window width for the reported rolling p50/95/99." in
+    Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
+  in
+  let output_arg =
+    let doc = "Where the BENCH-schema load report is written." in
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let cell = Table.cell_f ~decimals:1 in
+  let run address_s connections count duration benchmark window output =
+    match parse_address address_s with
+    | Error code -> code
+    | Ok address -> (
+      let total =
+        match (count, duration) with None, None -> Some 64 | c, _ -> c
+      in
+      let cfg =
+        { Loadgen.address; connections = max 1 connections; total;
+          duration_s = duration;
+          profile = Loadgen.default_profile ~benchmark;
+          window_s = (if window > 0.0 then window else 60.0) }
+      in
+      match Loadgen.run cfg with
+      | Error e ->
+        print_verror e;
+        2
+      | Ok r ->
+        let tbl =
+          Table.create
+            ~headers:
+              [ "class"; "requests"; "errors"; "mean ms"; "p50 ms";
+                "p95 ms"; "p99 ms"; "max ms" ]
+        in
+        let row (c : Loadgen.class_stats) =
+          Table.add_row tbl
+            [ c.name; Table.cell_i c.count; Table.cell_i c.errors;
+              cell c.mean_ms; cell c.p50_ms; cell c.p95_ms; cell c.p99_ms;
+              cell c.max_ms ]
+        in
+        List.iter row r.classes;
+        Table.add_separator tbl;
+        row r.overall;
+        print_string (Table.render ~align:Table.Right tbl);
+        Format.printf
+          "@.wall_s %.2f  requests %d  errors %d  throughput %.1f req/s@."
+          r.wall_s r.total_requests r.total_errors r.throughput_rps;
+        Format.printf "rolling(%gs) p50 %.1f  p95 %.1f  p99 %.1f ms@."
+          cfg.Loadgen.window_s r.rolling.Repro_obs.Rolling.p50
+          r.rolling.Repro_obs.Rolling.p95 r.rolling.Repro_obs.Rolling.p99;
+        Run_report.write output (Loadgen.to_report cfg r);
+        Format.printf "wrote %s@." output;
+        if r.total_errors > 0 then 3 else 0)
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Drive a running `wavemin serve' with a mixed request-class \
+          load (N connections, round-robin class schedule) and write a \
+          BENCH-schema report — throughput plus exact and \
+          rolling-window latency percentiles — gated in CI by \
+          $(b,bench-diff)")
+    Term.(const run $ address_arg $ connections_arg $ count_arg
+          $ duration_arg $ benchmark_arg $ window_arg $ output_arg)
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one snapshot and exit (no clearing).")
+  in
+  let str path json =
+    let rec get path j =
+      match path with
+      | [] -> Json.string_value j
+      | k :: rest -> Option.bind (Json.member k j) (get rest)
+    in
+    Option.value (get path json) ~default:"-"
+  in
+  let num path json =
+    let rec get path j =
+      match path with
+      | [] -> Json.float_value j
+      | k :: rest -> Option.bind (Json.member k j) (get rest)
+    in
+    get path json
+  in
+  let fmt ?(decimals = 1) path json =
+    match num path json with
+    | None -> "-"
+    | Some v ->
+      if Float.is_integer v && abs_float v < 1e9 then
+        string_of_int (int_of_float v)
+      else Printf.sprintf "%.*f" decimals v
+  in
+  let render body =
+    let b = Format.sprintf in
+    let lines =
+      [ b "wavemin top — %s  up %ss  jobs %s" (str [ "status" ] body)
+          (fmt ~decimals:0 [ "uptime_s" ] body)
+          (fmt [ "jobs" ] body);
+        b "served %s  rejected %s  errors %s  in-flight %s"
+          (fmt [ "served" ] body) (fmt [ "rejected" ] body)
+          (fmt [ "errors" ] body)
+          (fmt [ "in_flight" ] body);
+        b "queue %s/%s  cache %s/%s (hits %s misses %s evictions %s)"
+          (fmt [ "queue"; "depth" ] body)
+          (fmt [ "queue"; "capacity" ] body)
+          (fmt [ "cache"; "entries" ] body)
+          (fmt [ "cache"; "capacity" ] body)
+          (fmt [ "cache"; "hits" ] body)
+          (fmt [ "cache"; "misses" ] body)
+          (fmt [ "cache"; "evictions" ] body);
+        b "rolling(%ss) latency p50 %s  p95 %s  p99 %s ms  rate %s/s"
+          (fmt ~decimals:0 [ "rolling"; "window_s" ] body)
+          (fmt [ "rolling"; "latency_ms"; "p50" ] body)
+          (fmt [ "rolling"; "latency_ms"; "p95" ] body)
+          (fmt [ "rolling"; "latency_ms"; "p99" ] body)
+          (fmt [ "rolling"; "latency_ms"; "rate_per_s" ] body);
+        b "        queue-wait p50 %s  p95 %s  p99 %s ms"
+          (fmt [ "rolling"; "queue_wait_ms"; "p50" ] body)
+          (fmt [ "rolling"; "queue_wait_ms"; "p95" ] body)
+          (fmt [ "rolling"; "queue_wait_ms"; "p99" ] body);
+        b "last %s %s %s %s cache=%s wall %s ms (queue %s ms)"
+          (str [ "last"; "rid" ] body)
+          (str [ "last"; "type" ] body)
+          (str [ "last"; "benchmark" ] body)
+          (str [ "last"; "status" ] body)
+          (str [ "last"; "cache" ] body)
+          (fmt [ "last"; "wall_ms" ] body)
+          (fmt [ "last"; "queue_wait_ms" ] body) ]
+    in
+    String.concat "\n" lines
+  in
+  let run address_s interval once =
+    match parse_address address_s with
+    | Error code -> code
+    | Ok address -> (
+      let poll c = Client.request c Proto.Stats in
+      let outcome =
+        Client.with_connection address (fun c ->
+            let rec loop first =
+              match poll c with
+              | Error e -> Error e
+              | Ok resp when not resp.Proto.ok ->
+                print_endline (Json.to_string_pretty resp.Proto.body);
+                Ok 2
+              | Ok resp ->
+                if once then begin
+                  print_endline (render resp.Proto.body);
+                  Ok 0
+                end
+                else begin
+                  (* \027[H\027[2J = home + clear, plain ANSI. *)
+                  if first then print_string "\027[2J";
+                  print_string "\027[H";
+                  print_endline (render resp.Proto.body);
+                  flush stdout;
+                  Thread.delay (Float.max 0.1 interval);
+                  loop false
+                end
+            in
+            loop true)
+      in
+      match outcome with
+      | Error e ->
+        print_verror e;
+        2
+      | Ok code -> code)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running `wavemin serve': queue and cache state, \
+          rolling latency/queue-wait percentiles and the last completed \
+          request, polled over the $(b,stats) request")
+    Term.(const run $ address_arg $ interval_arg $ once_arg)
 
 let () =
   let info =
@@ -907,7 +1181,7 @@ let () =
       [ list_cmd; run_cmd; validate_cmd; profile_cmd; compare_cmd;
         multimode_cmd; montecarlo_cmd; characterize_cmd; export_cmd;
         stats_cmd; report_cmd; bench_diff_cmd; library_cmd; serve_cmd;
-        client_cmd ]
+        client_cmd; bench_serve_cmd; top_cmd ]
   in
   (* Safety net: no subcommand may escape with an uncaught structured
      error (injected faults can fire in paths without a local handler —

@@ -206,6 +206,30 @@ let snapshot () =
       (name, v))
     (names ())
 
+(* The single histogram JSON serializer — shared with Report and the
+   server's stats responses so every emitter agrees on the shape.  The
+   extrema sentinels (+/-inf when no finite sample was seen, e.g. an
+   empty histogram or one fed only NaN/inf) have no JSON representation;
+   they are omitted and restored on parse (see Report.of_json).  sum and
+   mean are clamped to 0.0 in the same degenerate case so the document
+   always round-trips through the lossless JSON writer. *)
+let histogram_stats_fields s =
+  let finite v = if Float.is_finite v then v else 0.0 in
+  let extrema =
+    (if Float.is_finite s.min then [ ("min", Json.Num s.min) ] else [])
+    @ if Float.is_finite s.max then [ ("max", Json.Num s.max) ] else []
+  in
+  [ ("count", Json.Num (float_of_int s.count));
+    ("sum", Json.Num (finite s.sum));
+    ("mean", Json.Num (finite s.mean)) ]
+  @ extrema
+  @ [ ( "buckets",
+        Json.List
+          (List.map
+             (fun (bound, c) ->
+               Json.List [ Json.Num bound; Json.Num (float_of_int c) ])
+             s.buckets) ) ]
+
 let to_json () =
   Json.List
     (List.map
@@ -214,26 +238,7 @@ let to_json () =
          match v with
          | Counter_value n -> Json.Obj (common "counter" @ [ ("count", Json.Num (float_of_int n)) ])
          | Gauge_value x -> Json.Obj (common "gauge" @ [ ("value", Json.Num x) ])
-         | Histogram_value s ->
-           (* min/max are the empty-histogram sentinels (+/-inf) when no
-              finite sample was seen; JSON cannot carry them, so they
-              are omitted and restored on parse (see Report.of_json). *)
-           let extrema =
-             (if Float.is_finite s.min then [ ("min", Json.Num s.min) ] else [])
-             @ if Float.is_finite s.max then [ ("max", Json.Num s.max) ] else []
-           in
-           Json.Obj
-             (common "histogram"
-             @ [ ("count", Json.Num (float_of_int s.count));
-                 ("sum", Json.Num s.sum); ("mean", Json.Num s.mean) ]
-             @ extrema
-             @ [ ( "buckets",
-                   Json.List
-                     (List.map
-                        (fun (bound, c) ->
-                          Json.List
-                            [ Json.Num bound; Json.Num (float_of_int c) ])
-                        s.buckets) ) ]))
+         | Histogram_value s -> Json.Obj (common "histogram" @ histogram_stats_fields s))
        (snapshot ()))
 
 let dump_json () = Json.to_string_pretty (to_json ())

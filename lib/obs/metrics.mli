@@ -74,6 +74,15 @@ val snapshot : unit -> (string * value) list
 (** Immutable copy of every instrument's current state, sorted by name —
     the form embedded into run reports ({!Repro_obs.Report}). *)
 
+val histogram_stats_fields :
+  histogram_stats -> (string * Repro_util.Json.t) list
+(** The canonical JSON fields for a histogram snapshot
+    ([count]/[sum]/[mean]/[min]/[max]/[buckets]), shared by {!to_json},
+    {!Repro_obs.Report} and the server's stats responses.  Non-finite
+    extrema (the no-finite-sample sentinels) are omitted and sum/mean
+    clamped to 0 in that case, so the result always serializes to
+    finite, round-trippable JSON. *)
+
 val to_json : unit -> Repro_util.Json.t
 (** {!snapshot} as a JSON array of
     [{"name", "kind", ...kind-specific fields}] objects.  Non-finite

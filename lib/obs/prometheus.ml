@@ -1,0 +1,66 @@
+(* Prometheus text-format exposition (version 0.0.4) of the metrics
+   registry.
+
+   The registry's dotted names ("server.latency_ms") are mapped onto the
+   Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* by replacing every
+   illegal character with '_' and prefixing "wavemin_", which also
+   namespaces the series when several exporters share a scrape target.
+   Counters additionally get the conventional "_total" suffix.
+
+   Log-scale histograms are rendered as the native histogram triplet:
+   cumulative "_bucket{le=...}" series per power-of-two bound, the
+   mandatory le="+Inf" bucket, and "_sum"/"_count".  Samples the
+   registry saw as non-finite are counted but never summed, so the
+   emitted sum is always finite (scrapers reject NaN/inf in practice
+   even though the grammar allows them). *)
+
+let is_legal first c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | '0' .. '9' -> not first
+  | _ -> false
+
+let metric_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "wavemin_";
+  String.iter
+    (fun c -> Buffer.add_char buf (if is_legal false c then c else '_'))
+    name;
+  Buffer.contents buf
+
+let num v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Repro_util.Json.float_to_string v
+
+let expose ?snapshot () =
+  let snapshot =
+    match snapshot with Some s -> s | None -> Metrics.snapshot ()
+  in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let pname = metric_name name in
+      match v with
+      | Metrics.Counter_value n ->
+        line "# TYPE %s_total counter" pname;
+        line "%s_total %d" pname n
+      | Metrics.Gauge_value x ->
+        line "# TYPE %s gauge" pname;
+        line "%s %s" pname (num x)
+      | Metrics.Histogram_value s ->
+        line "# TYPE %s histogram" pname;
+        let cumulative = ref 0 in
+        List.iter
+          (fun (bound, c) ->
+            cumulative := !cumulative + c;
+            line "%s_bucket{le=\"%s\"} %d" pname (num bound) !cumulative)
+          s.Metrics.buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" pname s.Metrics.count;
+        line "%s_sum %s" pname
+          (num (if Float.is_finite s.Metrics.sum then s.Metrics.sum else 0.0));
+        line "%s_count %d" pname s.Metrics.count)
+    snapshot;
+  Buffer.contents buf

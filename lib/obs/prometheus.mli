@@ -1,0 +1,18 @@
+(** Prometheus text-format (0.0.4) exposition of the metrics registry.
+
+    Dotted registry names map onto the Prometheus grammar by replacing
+    illegal characters with ['_'] and prefixing ["wavemin_"]; counters
+    get the conventional ["_total"] suffix, and log-scale histograms
+    render as cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count].  Served by the daemon's [metrics] control-plane request
+    (see {!Repro_server.Protocol}). *)
+
+val metric_name : string -> string
+(** The exposed name for a registry name (sanitized, ["wavemin_"]
+    prefix, no kind suffix). *)
+
+val expose : ?snapshot:(string * Metrics.value) list -> unit -> string
+(** Render a snapshot (default: {!Metrics.snapshot}[ ()]) as exposition
+    text, one [# TYPE] line per metric.  Histogram sums degraded by
+    non-finite samples are clamped to 0 so the output never carries
+    [NaN]. *)

@@ -173,30 +173,7 @@ let to_json r =
            | Metrics.Gauge_value x ->
              Json.Obj (common "gauge" @ [ ("value", Json.Num x) ])
            | Metrics.Histogram_value s ->
-             (* The empty-histogram extrema sentinels (+/-inf) have no
-                JSON representation; omit them and restore on parse. *)
-             let extrema =
-               (if Float.is_finite s.Metrics.min then
-                  [ ("min", Json.Num s.Metrics.min) ]
-                else [])
-               @
-               if Float.is_finite s.Metrics.max then
-                 [ ("max", Json.Num s.Metrics.max) ]
-               else []
-             in
-             Json.Obj
-               (common "histogram"
-               @ [ ("count", Json.Num (float_of_int s.Metrics.count));
-                   ("sum", Json.Num s.Metrics.sum);
-                   ("mean", Json.Num s.Metrics.mean) ]
-               @ extrema
-               @ [ ( "buckets",
-                     Json.List
-                       (List.map
-                          (fun (bound, c) ->
-                            Json.List
-                              [ Json.Num bound; Json.Num (float_of_int c) ])
-                          s.Metrics.buckets) ) ]))
+             Json.Obj (common "histogram" @ Metrics.histogram_stats_fields s))
          r.registry)
   in
   (* Omitted when empty so unaffected reports stay byte-identical to

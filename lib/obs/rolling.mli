@@ -1,0 +1,54 @@
+(** Rolling-window histogram: percentiles over the last N seconds.
+
+    A ring of time-sliced sub-histograms; each observation lands in the
+    slice owning its timestamp and stale slices are cleared lazily on
+    reuse, so both {!observe} and {!stats} are O(ring).  {!stats}
+    aggregates only slices inside the window, so p50/p95/p99 describe
+    recent behaviour — the live-telemetry complement to the cumulative
+    {!Metrics.histogram}.
+
+    Values are bucketed on a quarter-octave log2 grid (four buckets per
+    doubling): reported percentiles are exact to within ~19%, tightened
+    by clamping to the observed min/max.  Thread-safe; like the metrics
+    registry it only ever observes, never influences, results.
+
+    Every entry point takes [?now] (seconds, {!Clock.now_s} domain,
+    defaulting to the real clock) so window rotation is testable with a
+    synthetic clock. *)
+
+type t
+
+val create : ?window_s:float -> ?slots:int -> unit -> t
+(** A window of [window_s] seconds (default 60) split into [slots]
+    ring slices (default 12, i.e. 5-second slices).
+    @raise Invalid_argument on a non-positive window or slot count. *)
+
+val window_seconds : t -> float
+
+val observe : ?now:float -> t -> float -> unit
+(** Record one sample at time [now].  Non-finite and non-positive
+    samples count toward [count]/[rate] but land in the underflow bucket
+    and are excluded from sum/extrema, mirroring {!Metrics.observe}. *)
+
+type stats = {
+  count : int;  (** Samples inside the window. *)
+  total : int;  (** Lifetime samples, window-independent. *)
+  rate : float;  (** Samples per second over the covered window. *)
+  mean : float;
+  min : float;  (** 0 when the window is empty. *)
+  max : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val stats : ?now:float -> t -> stats
+(** Aggregate of the slices within [window_s] of [now].  All fields are
+    finite; an empty window yields zeros (never ±inf sentinels). *)
+
+val reset : t -> unit
+
+val stats_json : stats -> Repro_util.Json.t
+(** Stats as a flat JSON object (all values finite) — embedded in the
+    server's [stats] response. *)

@@ -1,0 +1,99 @@
+(* Periodic process-runtime sampler: GC accounting, resident-set size
+   and caller-supplied gauges (queue depth, pool busy fractions)
+   recorded into the metrics registry, so a scrape of the live daemon
+   sees the process health next to the request telemetry.
+
+   RSS comes from /proc/self/statm (resident pages) and the peak from
+   the VmHWM line of /proc/self/status; on systems without procfs both
+   gauges are simply skipped.  Pages are converted with the 4 KiB page
+   size universal on the platforms this repo targets. *)
+
+let page_bytes = 4096.0
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (input_line ic))
+  with Sys_error _ | End_of_file -> None
+
+let rss_bytes () =
+  match read_first_line "/proc/self/statm" with
+  | None -> None
+  | Some line -> (
+    match String.split_on_char ' ' (String.trim line) with
+    | _size :: resident :: _ -> (
+      match int_of_string_opt resident with
+      | Some pages -> Some (float_of_int pages *. page_bytes)
+      | None -> None)
+    | _ -> None)
+
+(* "VmHWM:    12345 kB" somewhere in /proc/self/status. *)
+let peak_rss_bytes () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            let rest = String.trim (String.sub line 6 (String.length line - 6)) in
+            match String.split_on_char ' ' rest with
+            | kb :: _ -> (
+              match float_of_string_opt kb with
+              | Some kb -> Some (kb *. 1024.0)
+              | None -> None)
+            | [] -> None
+          else scan ()
+        in
+        try scan () with End_of_file -> None)
+  with Sys_error _ -> None
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+let sample ?probe () =
+  let g = Gc.quick_stat () in
+  let set name v = Metrics.set (Metrics.gauge name) v in
+  set "runtime.gc_minor_collections" (float_of_int g.Gc.minor_collections);
+  set "runtime.gc_major_collections" (float_of_int g.Gc.major_collections);
+  set "runtime.gc_compactions" (float_of_int g.Gc.compactions);
+  set "runtime.gc_heap_bytes" (float_of_int g.Gc.heap_words *. word_bytes);
+  set "runtime.gc_top_heap_bytes" (float_of_int g.Gc.top_heap_words *. word_bytes);
+  set "runtime.gc_minor_words" g.Gc.minor_words;
+  set "runtime.gc_promoted_words" g.Gc.promoted_words;
+  (match rss_bytes () with Some v -> set "runtime.rss_bytes" v | None -> ());
+  (match peak_rss_bytes () with
+  | Some v -> set "runtime.rss_peak_bytes" v
+  | None -> ());
+  match probe with
+  | None -> ()
+  | Some f -> List.iter (fun (name, v) -> set name v) (f ())
+
+type sampler = { stop_flag : bool Atomic.t; thread : Thread.t }
+
+let start ?(period_s = 1.0) ?probe () =
+  if period_s <= 0.0 then invalid_arg "Runtime.start: period_s <= 0";
+  let stop_flag = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        (* Sample immediately so short-lived processes still report, then
+           sleep in small slices so [stop] returns promptly. *)
+        while not (Atomic.get stop_flag) do
+          (try sample ?probe () with _ -> ());
+          let slept = ref 0.0 in
+          while (not (Atomic.get stop_flag)) && !slept < period_s do
+            let slice = Stdlib.min 0.05 (period_s -. !slept) in
+            Thread.delay slice;
+            slept := !slept +. slice
+          done
+        done)
+      ()
+  in
+  { stop_flag; thread }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Thread.join t.thread

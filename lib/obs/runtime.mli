@@ -1,0 +1,25 @@
+(** Process-runtime sampler: GC statistics, resident-set size and
+    caller-supplied gauges recorded into the metrics registry.
+
+    {!sample} takes one snapshot ([Gc.quick_stat], RSS from
+    [/proc/self/statm], peak RSS from [VmHWM] in [/proc/self/status] —
+    both skipped gracefully without procfs) into [runtime.*] gauges.
+    {!start} runs it on a dedicated thread at a fixed period; the
+    daemon supplies a [probe] for its own gauges (queue depth, rolling
+    percentiles, domain-pool busy fraction).  Pure observation — the
+    sampler never feeds back into request handling. *)
+
+val sample : ?probe:(unit -> (string * float) list) -> unit -> unit
+(** Record one snapshot.  [probe] returns extra [(gauge name, value)]
+    pairs recorded alongside the [runtime.*] gauges. *)
+
+type sampler
+
+val start : ?period_s:float -> ?probe:(unit -> (string * float) list) -> unit -> sampler
+(** Spawn the sampling thread (default period 1 s; first sample is
+    immediate).  Probe exceptions are swallowed — telemetry must never
+    take the process down.
+    @raise Invalid_argument on a non-positive period. *)
+
+val stop : sampler -> unit
+(** Signal and join the sampling thread (returns within ~50 ms). *)

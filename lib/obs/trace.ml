@@ -19,13 +19,31 @@ let mutex = Mutex.create ()
 let completed : span list ref = ref []
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let with_span ?(attrs = []) ~name f =
+(* Human-readable lane labels for the Chrome export.  Registrations
+   survive [reset] — they describe the process layout (worker domains,
+   the server executor), not a particular trace. *)
+let process_name_ref = ref "wavemin"
+let thread_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_process_name name =
+  Mutex.lock mutex;
+  process_name_ref := name;
+  Mutex.unlock mutex
+
+let set_thread_name ~tid name =
+  Mutex.lock mutex;
+  Hashtbl.replace thread_names tid name;
+  Mutex.unlock mutex
+
+let with_span ?(attrs = []) ?tid ~name f =
   if not !enabled_flag then f ()
   else begin
     let open_depth = Domain.DLS.get depth_key in
     let depth = !open_depth in
     incr open_depth;
-    let domain = (Domain.self () :> int) in
+    let domain =
+      match tid with Some t -> t | None -> (Domain.self () :> int)
+    in
     let start_ns = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
@@ -36,6 +54,17 @@ let with_span ?(attrs = []) ~name f =
         completed := s :: !completed;
         Mutex.unlock mutex)
       f
+  end
+
+let record ?(attrs = []) ?tid ~name ~start_ns ~dur_ns () =
+  if !enabled_flag then begin
+    let domain =
+      match tid with Some t -> t | None -> (Domain.self () :> int)
+    in
+    let s = { name; attrs; start_ns; dur_ns; depth = 0; domain } in
+    Mutex.lock mutex;
+    completed := s :: !completed;
+    Mutex.unlock mutex
   end
 
 let reset () =
@@ -94,12 +123,41 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let thread_label tid =
+  match Hashtbl.find_opt thread_names tid with
+  | Some n -> n
+  | None -> if tid = 0 then "main" else Printf.sprintf "domain-%d" tid
+
 let to_chrome_json () =
+  let spans = spans () in
+  (* Every lane that appears — spans plus explicit registrations — gets a
+     thread_name metadata event so Perfetto shows labels, not bare tids. *)
+  let tids = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tids s.domain ()) spans;
+  Mutex.lock mutex;
+  Hashtbl.iter (fun tid _ -> Hashtbl.replace tids tid ()) thread_names;
+  let process_name = !process_name_ref in
+  let tid_list =
+    List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tids [])
+  in
+  let labelled = List.map (fun tid -> (tid, thread_label tid)) tid_list in
+  Mutex.unlock mutex;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"%s\"}}"
+       (json_escape process_name));
+  List.iter
+    (fun (tid, label) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape label)))
+    labelled;
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"wavemin\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
@@ -119,7 +177,7 @@ let to_chrome_json () =
           attrs;
         Buffer.add_char buf '}');
       Buffer.add_char buf '}')
-    (spans ());
+    spans;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 

@@ -24,12 +24,41 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val with_span :
-  ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  ?attrs:(string * string) list ->
+  ?tid:int ->
+  name:string ->
+  (unit -> 'a) ->
+  'a
 (** Run [f] inside a span.  The span closes (and is recorded) even when
     [f] raises.  When tracing is disabled this is exactly [f ()].
     Safe to call from any domain: depth is tracked per domain and the
     completed-span buffer is mutex-protected, so parallel regions show
-    up as separate [tid] lanes in the Chrome export. *)
+    up as separate [tid] lanes in the Chrome export.  [?tid] overrides
+    the lane (default: the current domain id) — the server uses a
+    synthetic lane for its executor so request spans group together
+    regardless of which system thread ran them. *)
+
+val record :
+  ?attrs:(string * string) list ->
+  ?tid:int ->
+  name:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  unit ->
+  unit
+(** Record an already-measured interval as a root span — for phases
+    whose start was observed before their duration was known (e.g. the
+    time a request spent queued).  No-op when tracing is disabled. *)
+
+val set_process_name : string -> unit
+(** Label for the Chrome [process_name] metadata event
+    (default ["wavemin"]). *)
+
+val set_thread_name : tid:int -> string -> unit
+(** Register a human-readable lane label emitted as a Chrome
+    [thread_name] metadata event.  Unregistered lanes fall back to
+    ["main"] (tid 0) or ["domain-N"].  Registrations survive {!reset}:
+    they describe the process layout, not one trace. *)
 
 val reset : unit -> unit
 (** Drop all recorded spans.  Open spans (on the current stack) are
@@ -43,7 +72,8 @@ val to_text_tree : unit -> string
 
 val to_chrome_json : unit -> string
 (** Chrome [trace_event] JSON (object format, ["X"] complete events,
-    timestamps in microseconds). *)
+    timestamps in microseconds).  The event stream opens with ["M"]
+    metadata events naming the process and every thread lane. *)
 
 val write_chrome_json : string -> unit
 (** [write_chrome_json path] writes {!to_chrome_json} to [path]. *)

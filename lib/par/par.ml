@@ -56,6 +56,12 @@ let get_pool () =
 
 let sequential () = jobs () = 1 || Pool.in_worker ()
 
+(* Cumulative stats of the live pool, if any — the runtime sampler turns
+   deltas of these into a busy-fraction gauge.  Does not force pool
+   creation: a server that has not run a parallel region yet reports
+   nothing rather than spawning domains for telemetry's sake. *)
+let pool_stats () = Option.map Pool.stats !pool
+
 (* Record the pool-stat delta of one parallel region into the metrics
    registry (observes only; never influences results). *)
 let with_region label items f =

@@ -46,6 +46,11 @@ val shutdown : unit -> unit
 (** Join any live pool domains.  Registered [at_exit]; safe to call
     manually between regions; idempotent. *)
 
+val pool_stats : unit -> Pool.stats option
+(** Cumulative stats of the live pool ([None] before the first parallel
+    region — reading never forces pool creation).  The server's runtime
+    sampler turns deltas of [busy_ns] into a busy-fraction gauge. *)
+
 val parallel_map : ?label:string -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] = [Array.map f arr], fanned across the pool. *)
 

@@ -88,6 +88,10 @@ let create ~jobs =
       Array.init (jobs - 1) (fun slot ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker_key true;
+              (* Label the lane in Chrome trace exports. *)
+              Repro_obs.Trace.set_thread_name
+                ~tid:(Domain.self () :> int)
+                (Printf.sprintf "pool-worker-%d" slot);
               worker_loop t slot));
     (* A pool abandoned without [shutdown] (e.g. its owner raised) would
        leave unjoined domains blocking process exit; joining here makes

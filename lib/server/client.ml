@@ -66,7 +66,7 @@ let write_all fd s =
   in
   go 0
 
-let request t req =
+let request_with_id t req =
   let id = Json.Num (float_of_int t.next_id) in
   t.next_id <- t.next_id + 1;
   match write_all t.fd (P.line (P.request_to_json ~id req)) with
@@ -84,9 +84,11 @@ let request t req =
           Error
             (Verrors.make ~code:Verrors.Parse_error ~stage:"client"
                (Printf.sprintf "malformed response line: %s" msg))
-        | Ok resp -> if resp.P.rid = id then Ok resp else await ())
+        | Ok resp -> if resp.P.rid = id then Ok (id, resp) else await ())
     in
     await ()
+
+let request t req = Result.map snd (request_with_id t req)
 
 let with_connection address f =
   match connect address with

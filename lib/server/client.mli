@@ -24,6 +24,12 @@ val request : t -> Protocol.request -> (Protocol.response, Verrors.t) result
     server (e.g. [overloaded]) is an [Ok] response with
     [response.ok = false]. *)
 
+val request_with_id :
+  t -> Protocol.request -> (Json.t * Protocol.response, Verrors.t) result
+(** {!request}, additionally returning the id the request was tagged
+    with — for correlating against the server's [stats] ["last"] block
+    (the [client --time] server-side wall-time report). *)
+
 val with_connection :
   Server.address -> (t -> ('a, Verrors.t) result) -> ('a, Verrors.t) result
 (** [connect], run, [close] (also on exceptions). *)

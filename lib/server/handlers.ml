@@ -54,22 +54,52 @@ let run_json (r : Flow.run) =
       ( "degradations",
         Json.List (List.map degradation_json r.Flow.degradations) ) ]
 
-let prepared session (o : P.solve_opts) ~stage =
+(* Out-of-band execution facts for the access log: cache outcome and
+   content hash.  Threaded as a mutable record precisely so nothing
+   about it can leak into the response body — responses stay
+   byte-identical with or without a [meta] attached. *)
+type cache_outcome = Cache_hit | Cache_miss | Cache_none
+
+type meta = {
+  mutable cache : cache_outcome;
+  mutable content_key : string option;
+}
+
+let create_meta () = { cache = Cache_none; content_key = None }
+
+let cache_outcome_name = function
+  | Cache_hit -> "hit"
+  | Cache_miss -> "miss"
+  | Cache_none -> "none"
+
+let prepared ?meta session (o : P.solve_opts) ~stage =
   match find_spec ~stage o.P.benchmark with
   | Error e -> Error e
   | Ok spec ->
-    Session.prepared session ~spec ~params:(params_of o) ?library:o.P.library ()
+    let params = params_of o in
+    let result =
+      Session.prepared session ~spec ~params ?library:o.P.library ()
+    in
+    (match meta with
+    | None -> ()
+    | Some m ->
+      m.content_key <- Some (Session.key ~spec ~params ~library:o.P.library);
+      (match result with
+      | Ok (_, `Hit) -> m.cache <- Cache_hit
+      | Ok (_, `Miss) -> m.cache <- Cache_miss
+      | Error _ -> ()));
+    result
 
-let handle_run session (o : P.solve_opts) algorithm =
-  match prepared session o ~stage:"server.run" with
+let handle_run ?meta session (o : P.solve_opts) algorithm =
+  match prepared ?meta session o ~stage:"server.run" with
   | Error e -> Error (e, [])
   | Ok (prep, _) -> (
     match Flow.run_prepared_robust ?budget:(budget_of o) prep algorithm with
     | Ok r -> Ok (run_json r)
     | Error (e, degs) -> Error (e, degs))
 
-let handle_compare session (o : P.solve_opts) =
-  match prepared session o ~stage:"server.compare" with
+let handle_compare ?meta session (o : P.solve_opts) =
+  match prepared ?meta session o ~stage:"server.compare" with
   | Error e -> Error (e, [])
   | Ok (prep, _) ->
     let rows =
@@ -133,8 +163,8 @@ let handle_validate session (o : P.solve_opts) ~all =
     in
     Ok (Json.Obj [ ("ok", Json.Bool clean); ("benchmarks", Json.List rows) ])
 
-let handle_montecarlo session (o : P.solve_opts) ~instances =
-  match prepared session o ~stage:"server.montecarlo" with
+let handle_montecarlo ?meta session (o : P.solve_opts) ~instances =
+  match prepared ?meta session o ~stage:"server.montecarlo" with
   | Error e -> Error (e, [])
   | Ok (prep, _) -> (
     match Flow.run_prepared_robust ?budget:(budget_of o) prep Flow.Wavemin with
@@ -163,12 +193,13 @@ let handle_montecarlo session (o : P.solve_opts) ~instances =
                ( "degradations",
                  Json.List (List.map degradation_json r.Flow.degradations) ) ])))
 
-let execute session = function
-  | P.Run { opts; algorithm } -> handle_run session opts algorithm
-  | P.Compare opts -> handle_compare session opts
+let execute ?meta session = function
+  | P.Run { opts; algorithm } -> handle_run ?meta session opts algorithm
+  | P.Compare opts -> handle_compare ?meta session opts
   | P.Validate { opts; all } -> handle_validate session opts ~all
-  | P.Montecarlo { opts; instances } -> handle_montecarlo session opts ~instances
-  | (P.Stats | P.Health | P.Shutdown) as req ->
+  | P.Montecarlo { opts; instances } ->
+    handle_montecarlo ?meta session opts ~instances
+  | (P.Stats | P.Metrics _ | P.Health | P.Shutdown) as req ->
     Error
       ( Verrors.make ~code:Verrors.Invalid_params ~stage:"server.execute"
           ~subject:(P.request_kind req)

@@ -13,10 +13,28 @@ module Flow := Repro_core.Flow
 
 val degradation_json : Flow.degradation -> Json.t
 
+type cache_outcome =
+  | Cache_hit
+  | Cache_miss
+  | Cache_none  (** No session-cache lookup happened (e.g. [validate]). *)
+
+type meta = {
+  mutable cache : cache_outcome;
+  mutable content_key : string option;  (** {!Session.key} hex digest. *)
+}
+(** Out-of-band execution facts recorded for the access log.  Strictly
+    write-only from the handlers' perspective: nothing read from a
+    [meta] may influence a response, so responses stay byte-identical
+    with or without one attached. *)
+
+val create_meta : unit -> meta
+val cache_outcome_name : cache_outcome -> string
+
 val execute :
+  ?meta:meta ->
   Session.t ->
   Protocol.request ->
   (Json.t, Verrors.t * Flow.degradation list) result
 (** Execute a [Run]/[Compare]/[Validate]/[Montecarlo] request.
-    Control-plane requests ([Stats]/[Health]/[Shutdown]) are the
-    server's responsibility and yield an [Error] here. *)
+    Control-plane requests ([Stats]/[Metrics]/[Health]/[Shutdown]) are
+    the server's responsibility and yield an [Error] here. *)

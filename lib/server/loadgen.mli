@@ -1,0 +1,68 @@
+(** The [wavemin bench-serve] load generator.
+
+    Drives a live daemon with [connections] concurrent client threads
+    over a mixed request-class profile until a request-count or
+    wall-duration budget is spent, then reports throughput plus exact
+    and rolling-window latency percentiles.  {!to_report} renders the
+    result as a [BENCH_serve.json] ({!Repro_obs.Report}, experiment
+    ["serve"]) whose numbers all ride in the ratio+slack-gated [runtime]
+    section — the regression gate can fail on latency blow-ups but never
+    on machine-to-machine speed differences — while error counts go to
+    the ungated [environment] block.
+
+    The schedule is a deterministic round-robin expansion of the class
+    weights claimed through a shared atomic counter: under a count
+    budget the per-class request counts are independent of connection
+    count and interleaving, so every class always appears in the report
+    (keeping the gate's [Missing_in_new] rule safe). *)
+
+module Verrors := Repro_util.Verrors
+module Rolling := Repro_obs.Rolling
+module Report := Repro_obs.Report
+
+type klass = { k_name : string; k_request : Protocol.request }
+
+type config = {
+  address : Server.address;
+  connections : int;
+  total : int option;  (** Request-count budget. *)
+  duration_s : float option;
+      (** Wall budget; with both set, whichever is spent first stops. *)
+  profile : (klass * int) list;  (** (class, weight), weights >= 1. *)
+  window_s : float;  (** Rolling window for the reported p50/95/99. *)
+}
+
+val default_profile : benchmark:string -> (klass * int) list
+(** 3x [run] (initial), 1x [run] (wavemin), 1x [validate], 1x [stats] —
+    a cache-friendly mix with one heavy class and one control probe. *)
+
+val default_config : Server.address -> benchmark:string -> config
+(** 4 connections, 64 requests, default profile, 60 s window. *)
+
+type class_stats = {
+  name : string;
+  count : int;  (** Successful requests. *)
+  errors : int;  (** Failed or rejected requests. *)
+  mean_ms : float;
+  p50_ms : float;  (** Exact (sorted-sample) percentiles. *)
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type result = {
+  wall_s : float;
+  total_requests : int;
+  total_errors : int;
+  throughput_rps : float;  (** Successful requests per wall second. *)
+  rolling : Rolling.stats;  (** The rolling-window view (ms). *)
+  overall : class_stats;
+  classes : class_stats list;  (** Profile order. *)
+}
+
+val run : config -> (result, Verrors.t) Stdlib.result
+(** Execute the load.  [Error] on invalid configuration or when no
+    connection could be established at all; partial transport failures
+    mid-run are recorded as class errors instead. *)
+
+val to_report : config -> result -> Report.t

@@ -15,12 +15,15 @@ let default_opts ~benchmark =
   { benchmark; kappa = 20.0; slots = 158; budget_ms = None; max_labels = None;
     library = None }
 
+type metrics_format = Text | Json_snapshot
+
 type request =
   | Run of { opts : solve_opts; algorithm : Flow.algorithm }
   | Compare of solve_opts
   | Validate of { opts : solve_opts; all : bool }
   | Montecarlo of { opts : solve_opts; instances : int }
   | Stats
+  | Metrics of metrics_format
   | Health
   | Shutdown
 
@@ -30,11 +33,12 @@ let request_kind = function
   | Validate _ -> "validate"
   | Montecarlo _ -> "montecarlo"
   | Stats -> "stats"
+  | Metrics _ -> "metrics"
   | Health -> "health"
   | Shutdown -> "shutdown"
 
 let is_control = function
-  | Stats | Health | Shutdown -> true
+  | Stats | Metrics _ | Health | Shutdown -> true
   | Run _ | Compare _ | Validate _ | Montecarlo _ -> false
 
 let algorithms =
@@ -123,12 +127,20 @@ let request_of_json doc =
       perr ~subject:"instances" "field \"instances\" must be >= 1"
     else Ok (Montecarlo { opts; instances })
   | "stats" -> Ok Stats
+  | "metrics" -> (
+    let* format = field doc "format" Json.string_value ~default:"text" in
+    match format with
+    | "text" | "prometheus" -> Ok (Metrics Text)
+    | "json" -> Ok (Metrics Json_snapshot)
+    | f ->
+      perr ~subject:"format"
+        "unknown metrics format %S (expected \"text\" or \"json\")" f)
   | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | k ->
     perr ~subject:"type"
       "unknown request type %S (expected run, compare, validate, montecarlo, \
-       stats, health or shutdown)"
+       stats, metrics, health or shutdown)"
       k
 
 let parse_request line =
@@ -164,6 +176,8 @@ let request_to_json ~id req =
       (if all then [ ("all", Json.Bool true) ] else []) @ opts_fields opts
     | Montecarlo { opts; instances } ->
       opts_fields opts @ [ ("instances", Json.Num (float_of_int instances)) ]
+    | Metrics Text -> [ ("format", Json.Str "text") ]
+    | Metrics Json_snapshot -> [ ("format", Json.Str "json") ]
     | Stats | Health | Shutdown -> []
   in
   Json.Obj

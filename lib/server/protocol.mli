@@ -33,6 +33,10 @@ type solve_opts = {
 
 val default_opts : benchmark:string -> solve_opts
 
+type metrics_format =
+  | Text  (** Prometheus text exposition ({!Repro_obs.Prometheus}). *)
+  | Json_snapshot  (** {!Repro_obs.Metrics.to_json} snapshot. *)
+
 type request =
   | Run of { opts : solve_opts; algorithm : Flow.algorithm }
   | Compare of solve_opts  (** All four algorithms on one benchmark. *)
@@ -40,6 +44,11 @@ type request =
       (** Preflight one benchmark, or the whole suite with [all]. *)
   | Montecarlo of { opts : solve_opts; instances : int }
   | Stats  (** Server statistics (control plane, never queued). *)
+  | Metrics of metrics_format
+      (** Live metrics-registry exposition (control plane).  Wire form:
+          [{"type": "metrics", "format": "text" | "json"}] — ["text"]
+          (alias ["prometheus"], the default) answers with
+          [{"format": "prometheus", "body": <exposition text>}]. *)
   | Health  (** Readiness/liveness probe (control plane). *)
   | Shutdown  (** Graceful drain (control plane). *)
 

@@ -3,10 +3,18 @@ module Verrors = Repro_util.Verrors
 module Clock = Repro_obs.Clock
 module Trace = Repro_obs.Trace
 module Metrics = Repro_obs.Metrics
+module Prometheus = Repro_obs.Prometheus
+module Rolling = Repro_obs.Rolling
+module Runtime = Repro_obs.Runtime
 module Report = Repro_obs.Report
 module Par = Repro_par.Par
+module Pool = Repro_par.Pool
 module P = Protocol
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.server"))
+
+(* The executor's synthetic Chrome-trace lane: request spans group under
+   one labeled row regardless of which system thread runs them. *)
+let executor_tid = 1000
 
 (* ---- metrics ------------------------------------------------------ *)
 
@@ -54,14 +62,18 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   report_path : string option;
+  access_log_path : string option;
+  rolling_window_s : float;
+  sample_period_s : float option;
   handle_signals : bool;
   readiness : out_channel option;
 }
 
 let default_config address =
   { address; queue_capacity = 16; cache_capacity = 8;
-    report_path = Some "BENCH_serve.json"; handle_signals = false;
-    readiness = None }
+    report_path = Some "BENCH_serve_drain.json"; access_log_path = None;
+    rolling_window_s = 60.0; sample_period_s = Some 1.0;
+    handle_signals = false; readiness = None }
 
 (* ---- state -------------------------------------------------------- *)
 
@@ -75,9 +87,13 @@ type conn = {
 type item = {
   item_conn : conn;
   item_id : Json.t;
+  item_rid : string;  (* server-assigned request/trace id *)
   item_req : P.request;
   enqueued_s : float;
+  enqueued_ns : int64;
 }
+
+type access_log = { a_mutex : Mutex.t; a_oc : out_channel }
 
 type t = {
   cfg : config;
@@ -88,12 +104,20 @@ type t = {
   conns : (int, conn * Thread.t) Hashtbl.t;
   conns_mutex : Mutex.t;
   next_cid : int Atomic.t;
+  next_rid : int Atomic.t;
   started_s : float;
   started_cpu_s : float;
   served : int Atomic.t;
   rejected : int Atomic.t;
   failed : int Atomic.t;
   in_flight : int Atomic.t;
+  rolling_latency : Rolling.t;  (* total ms, enqueue to response written *)
+  rolling_queue_wait : Rolling.t;  (* ms *)
+  access : access_log option;
+  last_mutex : Mutex.t;
+  mutable last : Json.t;  (* last completed data-plane request, or Null *)
+  mutable sampler : Runtime.sampler option;
+  mutable pool_prev : (float * int) option;  (* sampler-thread only *)
   mutable acceptor : Thread.t option;
 }
 
@@ -148,17 +172,22 @@ let health_json t =
       ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
       ("jobs", Json.Num (float_of_int (Par.jobs ()))) ]
 
+(* Extrema are guarded per-field, not by [count <> 0]: a histogram fed
+   only non-finite samples has count > 0 but sentinel extrema, and
+   [Json.Num infinity] would render as [null] — unparseable stats. *)
 let histogram_json h =
   let s = Metrics.histogram_stats h in
+  let finite name v = if Float.is_finite v then [ (name, Json.Num v) ] else [] in
   Json.Obj
     ([ ("count", Json.Num (float_of_int s.Metrics.count));
-       ("mean", Json.Num s.Metrics.mean) ]
+       ("mean",
+        Json.Num (if Float.is_finite s.Metrics.mean then s.Metrics.mean else 0.0)) ]
+    @ finite "min" s.Metrics.min
+    @ finite "max" s.Metrics.max
     @
     if s.Metrics.count = 0 then []
     else
-      [ ("min", Json.Num s.Metrics.min);
-        ("max", Json.Num s.Metrics.max);
-        ("p50", Json.Num (Metrics.quantile h 0.5));
+      [ ("p50", Json.Num (Metrics.quantile h 0.5));
         ("p90", Json.Num (Metrics.quantile h 0.9)) ])
 
 let stats_json t =
@@ -184,11 +213,29 @@ let stats_json t =
             ("evictions", Json.Num (float_of_int cache.Session.evictions));
             ( "keys",
               Json.List (List.map (fun k -> Json.Str k) cache.Session.entries) ) ] );
-      ("latency_ms", histogram_json latency_h) ]
+      ("latency_ms", histogram_json latency_h);
+      ( "rolling",
+        Json.Obj
+          [ ( "window_s",
+              Json.Num (Rolling.window_seconds t.rolling_latency) );
+            ("latency_ms", Rolling.stats_json (Rolling.stats t.rolling_latency));
+            ( "queue_wait_ms",
+              Rolling.stats_json (Rolling.stats t.rolling_queue_wait) ) ] );
+      ("last", with_lock t.last_mutex (fun () -> t.last)) ]
+
+let metrics_json fmt =
+  match fmt with
+  | P.Text ->
+    Json.Obj
+      [ ("format", Json.Str "prometheus");
+        ("body", Json.Str (Prometheus.expose ())) ]
+  | P.Json_snapshot ->
+    Json.Obj [ ("format", Json.Str "json"); ("metrics", Metrics.to_json ()) ]
 
 let handle_control t conn id = function
   | P.Health -> write_json t conn (P.ok_response ~id (health_json t))
   | P.Stats -> write_json t conn (P.ok_response ~id (stats_json t))
+  | P.Metrics fmt -> write_json t conn (P.ok_response ~id (metrics_json fmt))
   | P.Shutdown ->
     (* Drain first, ack second: once the client reads the ack,
        [draining] is observably true. *)
@@ -197,24 +244,74 @@ let handle_control t conn id = function
       (P.ok_response ~id (Json.Obj [ ("draining", Json.Bool true) ]))
   | P.Run _ | P.Compare _ | P.Validate _ | P.Montecarlo _ -> assert false
 
+(* ---- access log ---------------------------------------------------- *)
+
+(* One JSONL line per data-plane request (rejections and parse failures
+   included) — the replayable record of a request's journey.  Strictly
+   out-of-band: written after the response bytes are determined, never
+   read back by anything on the request path. *)
+let access_entry ~rid ~id ~cid ~kind ~benchmark ~status ?code
+    ?(cache = Handlers.Cache_none) ?content_key ?(degradations = [])
+    ?(queue_wait_ms = 0.0) ?(wall_ms = 0.0) () =
+  Json.Obj
+    ([ ("ts", Json.Num (Unix.gettimeofday ()));
+       ("rid", Json.Str rid);
+       ("id", id);
+       ("conn", Json.Num (float_of_int cid));
+       ("type", Json.Str kind);
+       ("benchmark", Json.Str benchmark);
+       ("status", Json.Str status) ]
+    @ (match code with None -> [] | Some c -> [ ("code", Json.Str c) ])
+    @ [ ("cache", Json.Str (Handlers.cache_outcome_name cache));
+        ( "content_hash",
+          match content_key with None -> Json.Null | Some k -> Json.Str k );
+        ( "degradations",
+          Json.List (List.map (fun c -> Json.Str c) degradations) );
+        ("queue_wait_ms", Json.Num queue_wait_ms);
+        ("wall_ms", Json.Num wall_ms);
+        ("total_ms", Json.Num (queue_wait_ms +. wall_ms)) ])
+
+let log_access t entry =
+  match t.access with
+  | None -> ()
+  | Some a ->
+    with_lock a.a_mutex (fun () ->
+        try
+          output_string a.a_oc (Json.to_string entry);
+          output_char a.a_oc '\n';
+          flush a.a_oc
+        with Sys_error _ -> ())
+
+let benchmark_of = function
+  | P.Run { opts; _ } | P.Compare opts | P.Montecarlo { opts; _ } ->
+    opts.P.benchmark
+  | P.Validate { opts; all } -> if all then "*" else opts.P.benchmark
+  | P.Stats | P.Metrics _ | P.Health | P.Shutdown -> ""
+
+let fresh_rid t = Printf.sprintf "r%06d" (Atomic.fetch_and_add t.next_rid 1)
+
 (* ---- data plane: admission ---------------------------------------- *)
 
-let reject t conn id err =
+let reject t conn ~rid id req err =
   Atomic.incr t.rejected;
   Metrics.incr rejected_c;
-  write_json t conn (P.error_response ~id err)
+  write_json t conn (P.error_response ~id err);
+  log_access t
+    (access_entry ~rid ~id ~cid:conn.cid ~kind:(P.request_kind req)
+       ~benchmark:(benchmark_of req) ~status:"rejected"
+       ~code:(Verrors.code_name err.Verrors.code) ())
 
-let admit t conn id req =
+let admit t conn ~rid id req =
   let item =
-    { item_conn = conn; item_id = id; item_req = req;
-      enqueued_s = Clock.now_s () }
+    { item_conn = conn; item_id = id; item_rid = rid; item_req = req;
+      enqueued_s = Clock.now_s (); enqueued_ns = Clock.now_ns () }
   in
   match Bqueue.push t.queue item with
   | `Ok ->
     Metrics.incr requests_c;
     Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue))
   | `Full ->
-    reject t conn id
+    reject t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          (Printf.sprintf "request queue full (%d/%d): request rejected"
             (Bqueue.capacity t.queue) (Bqueue.capacity t.queue))
@@ -222,7 +319,7 @@ let admit t conn id req =
            [ "retry with backoff";
              "raise the bound with `wavemin serve --queue N'" ])
   | `Closed ->
-    reject t conn id
+    reject t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          "server is draining: no new work is accepted" ~hints:[])
 
@@ -232,14 +329,20 @@ let handle_line t conn line =
   | Error e ->
     Atomic.incr t.failed;
     Metrics.incr errors_c;
-    write_json t conn (P.error_response ~id e)
+    write_json t conn (P.error_response ~id e);
+    log_access t
+      (access_entry ~rid:(fresh_rid t) ~id ~cid:conn.cid ~kind:"invalid"
+         ~benchmark:"" ~status:"error" ~code:(Verrors.code_name e.Verrors.code)
+         ())
   | Ok req ->
     if P.is_control req then handle_control t conn id req
-    else if draining t then
-      reject t conn id
-        (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
-           "server is draining: no new work is accepted" ~hints:[])
-    else admit t conn id req
+    else
+      let rid = fresh_rid t in
+      if draining t then
+        reject t conn ~rid id req
+          (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
+             "server is draining: no new work is accepted" ~hints:[])
+      else admit t conn ~rid id req
 
 (* ---- connections -------------------------------------------------- *)
 
@@ -301,45 +404,90 @@ let accept_loop t =
 
 let process t item =
   let kind = P.request_kind item.item_req in
-  let benchmark =
-    match item.item_req with
-    | P.Run { opts; _ } | P.Compare opts | P.Montecarlo { opts; _ } ->
-      opts.P.benchmark
-    | P.Validate { opts; all } -> if all then "*" else opts.P.benchmark
-    | P.Stats | P.Health | P.Shutdown -> ""
-  in
+  let benchmark = benchmark_of item.item_req in
+  let rid = item.item_rid in
+  let attrs = [ ("request_id", rid); ("type", kind); ("benchmark", benchmark) ] in
   Atomic.incr t.in_flight;
   Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight));
   Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue));
   let started_s = Clock.now_s () in
-  Metrics.observe queue_wait_h ((started_s -. item.enqueued_s) *. 1000.0);
-  let outcome =
-    Trace.with_span ~name:"server.request"
-      ~attrs:[ ("type", kind); ("benchmark", benchmark) ]
-      (fun () ->
-        (* Handlers never raise by contract; the guard is the last-ditch
-           net that keeps the daemon alive if one does. *)
-        match
-          Verrors.guard ~stage:"server.request" (fun () ->
-              Handlers.execute t.session item.item_req)
-        with
-        | Ok outcome -> outcome
-        | Error e -> Error (e, []))
+  let queue_wait_ms = (started_s -. item.enqueued_s) *. 1000.0 in
+  Metrics.observe queue_wait_h queue_wait_ms;
+  Rolling.observe t.rolling_queue_wait queue_wait_ms;
+  (* Retroactive queue-wait span: enqueue was its start, pop its end. *)
+  Trace.record ~name:"server.queue" ~attrs ~tid:executor_tid
+    ~start_ns:item.enqueued_ns
+    ~dur_ns:(Int64.sub (Clock.now_ns ()) item.enqueued_ns)
+    ();
+  let meta = Handlers.create_meta () in
+  let outcome, wall_ms =
+    Trace.with_span ~name:"server.request" ~attrs ~tid:executor_tid (fun () ->
+        let outcome =
+          Trace.with_span ~name:"server.execute" ~attrs:[ ("request_id", rid) ]
+            ~tid:executor_tid (fun () ->
+              (* Handlers never raise by contract; the guard is the
+                 last-ditch net that keeps the daemon alive if one
+                 does. *)
+              match
+                Verrors.guard ~stage:"server.request" (fun () ->
+                    Handlers.execute ~meta t.session item.item_req)
+              with
+              | Ok outcome -> outcome
+              | Error e -> Error (e, []))
+        in
+        let wall_ms = (Clock.now_s () -. started_s) *. 1000.0 in
+        let status, code, degradations =
+          match outcome with
+          | Ok _ -> ("ok", None, [])
+          | Error (e, degs) ->
+            ( "error",
+              Some (Verrors.code_name e.Verrors.code),
+              List.map
+                (fun d -> Verrors.code_name d.Repro_core.Flow.error.Verrors.code)
+                degs )
+        in
+        (* Publish [last] before the response bytes leave, so a client
+           that got its answer can immediately correlate via [stats]. *)
+        let last =
+          Json.Obj
+            [ ("id", item.item_id);
+              ("rid", Json.Str rid);
+              ("type", Json.Str kind);
+              ("benchmark", Json.Str benchmark);
+              ("status", Json.Str status);
+              ( "cache",
+                Json.Str (Handlers.cache_outcome_name meta.Handlers.cache) );
+              ("queue_wait_ms", Json.Num queue_wait_ms);
+              ("wall_ms", Json.Num wall_ms) ]
+        in
+        with_lock t.last_mutex (fun () -> t.last <- last);
+        log_access t
+          (access_entry ~rid ~id:item.item_id ~cid:item.item_conn.cid ~kind
+             ~benchmark ~status ?code ~cache:meta.Handlers.cache
+             ?content_key:meta.Handlers.content_key ~degradations
+             ~queue_wait_ms ~wall_ms ());
+        Trace.with_span ~name:"server.respond" ~attrs:[ ("request_id", rid) ]
+          ~tid:executor_tid (fun () ->
+            match outcome with
+            | Ok result ->
+              Atomic.incr t.served;
+              write_json t item.item_conn (P.ok_response ~id:item.item_id result)
+            | Error (e, degs) ->
+              Atomic.incr t.failed;
+              Metrics.incr errors_c;
+              Log.warn (fun m ->
+                  m "%s %s failed: %s" kind benchmark
+                    (Verrors.code_name e.Verrors.code));
+              write_json t item.item_conn
+                (P.error_response ~id:item.item_id
+                   ~degradations:(List.map Handlers.degradation_json degs)
+                   e));
+        (outcome, wall_ms))
   in
-  (match outcome with
-  | Ok result ->
-    Atomic.incr t.served;
-    write_json t item.item_conn (P.ok_response ~id:item.item_id result)
-  | Error (e, degs) ->
-    Atomic.incr t.failed;
-    Metrics.incr errors_c;
-    Log.warn (fun m ->
-        m "%s %s failed: %s" kind benchmark (Verrors.code_name e.Verrors.code));
-    write_json t item.item_conn
-      (P.error_response ~id:item.item_id
-         ~degradations:(List.map Handlers.degradation_json degs)
-         e));
-  Metrics.observe latency_h ((Clock.now_s () -. item.enqueued_s) *. 1000.0);
+  ignore outcome;
+  let total_ms = queue_wait_ms +. wall_ms in
+  Metrics.observe latency_h total_ms;
+  Rolling.observe t.rolling_latency total_ms;
   Atomic.decr t.in_flight;
   Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight))
 
@@ -411,13 +559,47 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler
 
+(* ---- runtime sampler ---------------------------------------------- *)
+
+(* Extra gauges recorded by the periodic [Obs.Runtime] sampler: queue
+   and executor state, the rolling percentiles (mirrored as gauges so a
+   Prometheus scrape sees them), and the domain-pool busy fraction over
+   the last sampling interval.  Runs on the sampler thread only. *)
+let sampler_probe t () =
+  let lat = Rolling.stats t.rolling_latency in
+  let pool =
+    match Par.pool_stats () with
+    | None -> []
+    | Some s ->
+      let now = Clock.now_s () in
+      let busy = Array.fold_left ( + ) 0 s.Pool.busy_ns in
+      let frac =
+        match t.pool_prev with
+        | Some (t0, b0) when now > t0 ->
+          let dt_ns = (now -. t0) *. 1e9 in
+          Float.max 0.0
+            (Float.min 1.0
+               (float_of_int (busy - b0) /. (dt_ns *. float_of_int s.Pool.jobs)))
+        | _ -> 0.0
+      in
+      t.pool_prev <- Some (now, busy);
+      [ ("par.pool_busy_frac", frac) ]
+  in
+  [ ("server.queue_depth", float_of_int (Bqueue.length t.queue));
+    ("server.in_flight", float_of_int (Atomic.get t.in_flight));
+    ("server.rolling_latency_p50_ms", lat.Rolling.p50);
+    ("server.rolling_latency_p95_ms", lat.Rolling.p95);
+    ("server.rolling_latency_p99_ms", lat.Rolling.p99);
+    ("server.rolling_throughput_rps", lat.Rolling.rate) ]
+  @ pool
+
 let flush_report t =
   match t.cfg.report_path with
   | None -> ()
   | Some path -> (
     let cache = Session.stats t.session in
     let builder =
-      Report.create ~experiment:"serve"
+      Report.create ~experiment:"serve-drain"
         ~config:
           [ ("queue_capacity", string_of_int t.cfg.queue_capacity);
             ("cache_capacity", string_of_int t.cfg.cache_capacity) ]
@@ -446,6 +628,15 @@ let flush_report t =
          report is best-effort. *)
       Log.warn (fun m -> m "cannot write final report: %s" (Verrors.to_string e)))
 
+let open_access_log = function
+  | None -> None
+  | Some path -> (
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | oc -> Some { a_mutex = Mutex.create (); a_oc = oc }
+    | exception Sys_error msg ->
+      io_fail "server.access_log"
+        (Printf.sprintf "cannot open access log: %s" msg))
+
 let setup cfg =
   (* A dead client mid-write must be an EPIPE error, not a fatal signal. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -459,14 +650,28 @@ let setup cfg =
       conns = Hashtbl.create 16;
       conns_mutex = Mutex.create ();
       next_cid = Atomic.make 0;
+      next_rid = Atomic.make 0;
       started_s = Clock.now_s ();
       started_cpu_s = Clock.cpu_s ();
       served = Atomic.make 0;
       rejected = Atomic.make 0;
       failed = Atomic.make 0;
       in_flight = Atomic.make 0;
+      rolling_latency = Rolling.create ~window_s:cfg.rolling_window_s ();
+      rolling_queue_wait = Rolling.create ~window_s:cfg.rolling_window_s ();
+      access = open_access_log cfg.access_log_path;
+      last_mutex = Mutex.create ();
+      last = Json.Null;
+      sampler = None;
+      pool_prev = None;
       acceptor = None }
   in
+  Trace.set_process_name "wavemin-serve";
+  Trace.set_thread_name ~tid:executor_tid "server-executor";
+  (match cfg.sample_period_s with
+  | None -> ()
+  | Some period_s ->
+    t.sampler <- Some (Runtime.start ~period_s ~probe:(sampler_probe t) ()));
   if cfg.handle_signals then install_signal_handlers t;
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   (match cfg.readiness with
@@ -513,6 +718,17 @@ let run t =
           end))
     conns;
   List.iter (fun (_, thread) -> Thread.join thread) conns;
+  (* Stop the sampler, then take one final snapshot so the drain report
+     captures end-of-life gauges. *)
+  (match t.sampler with
+  | None -> ()
+  | Some s ->
+    t.sampler <- None;
+    Runtime.stop s;
+    try Runtime.sample ~probe:(sampler_probe t) () with _ -> ());
+  (match t.access with
+  | None -> ()
+  | Some a -> with_lock a.a_mutex (fun () -> close_out_noerr a.a_oc));
   Log.info (fun m ->
       m "drained: %d served, %d rejected, %d failed" (Atomic.get t.served)
         (Atomic.get t.rejected) (Atomic.get t.failed));

@@ -20,13 +20,25 @@
     SIGTERM/SIGINT (when [handle_signals], via a self-pipe so no locks
     are taken in the signal handler) — stops accepting, rejects new
     work, finishes everything already queued, then flushes a final
-    BENCH-style run report ({!Repro_obs.Report}, experiment ["serve"])
-    with the metrics-registry snapshot.
+    BENCH-style run report ({!Repro_obs.Report}, experiment
+    ["serve-drain"]) with the metrics-registry snapshot.
 
-    Every request runs under a [server.request] span; queue depth,
-    in-flight count, served/rejected totals and request latency are
-    recorded in [server.*] metrics ([server.latency_ms] and
-    [server.queue_wait_ms] are log-histograms). *)
+    {b Telemetry.}  Every data-plane request gets a server-assigned
+    request id ([r000042]) carried through queue → execute → respond:
+    a retroactive [server.queue] span plus
+    [server.request]/[server.execute]/[server.respond] spans — all on a
+    dedicated ["server-executor"] Chrome-trace lane — an optional JSONL
+    access-log line (timestamp, ids, type, content hash, cache outcome,
+    degradations, queue-wait/wall time, status), and observations into
+    both the cumulative [server.latency_ms]/[server.queue_wait_ms]
+    histograms and rolling windows whose p50/p95/p99 are served live in
+    [stats] (under ["rolling"], plus a ["last"] completed-request block
+    that [wavemin client --time] correlates by request id).  A periodic
+    {!Repro_obs.Runtime} sampler records GC/RSS gauges, queue depth and
+    the domain-pool busy fraction; the [metrics] control request
+    exposes the whole registry as Prometheus text or JSON.  All of it
+    is strictly out-of-band: response bytes carry none of these fields,
+    preserving the byte-identity determinism property. *)
 
 type address =
   | Unix_path of string  (** Unix-domain socket path. *)
@@ -44,6 +56,16 @@ type config = {
   cache_capacity : int;  (** Session-cache entries (default 8). *)
   report_path : string option;
       (** Where the final drain report goes; [None] disables it. *)
+  access_log_path : string option;
+      (** JSONL access log, one line per data-plane request (appended;
+          [None] disables).  Opening failures raise [Io_error] at
+          {!setup} time. *)
+  rolling_window_s : float;
+      (** Width of the rolling latency/queue-wait windows surfaced in
+          [stats] (default 60 s). *)
+  sample_period_s : float option;
+      (** Period of the {!Repro_obs.Runtime} sampler thread recording
+          GC/RSS/queue/pool gauges; [None] disables it. *)
   handle_signals : bool;
       (** Install SIGTERM/SIGINT drain handlers (the CLI does; embedded
           servers — tests, examples — must not). *)
@@ -53,8 +75,9 @@ type config = {
 }
 
 val default_config : address -> config
-(** Queue 16, cache 8, report ["BENCH_serve.json"], no signal handlers,
-    no banner. *)
+(** Queue 16, cache 8, report ["BENCH_serve_drain.json"], no access
+    log, 60 s rolling window, 1 s sampler, no signal handlers, no
+    banner. *)
 
 type t
 (** A handle onto a serving instance, usable from other threads. *)

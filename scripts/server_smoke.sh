@@ -8,19 +8,36 @@
 #     cold one and the cache hit shows up in `stats`;
 #   - backpressure: flooding a queue bound of 1 yields structured
 #     `overloaded` rejections, never hangs or crashes;
+#   - telemetry: `--time` reports the server-side wall time, `stats`
+#     carries rolling percentiles, the `metrics` request serves
+#     Prometheus text and a JSON snapshot, `top --once` renders, and the
+#     JSONL access log records every data-plane request (rejections
+#     included);
+#   - bench-serve: the load generator produces a schema-valid
+#     BENCH_serve.json, gated against bench/baselines/ when present;
 #   - graceful drain: both a `shutdown` request and SIGTERM finish
 #     in-flight work, write the final BENCH-style report and exit 0;
 #   - fault seams: with every WAVEMIN_FAULTS seam armed the daemon
 #     answers with structured errors (or degraded results) and stays up.
 #
 # Usage: scripts/server_smoke.sh [JOBS]        (from the repo root)
-# Env:   WAVEMIN_BIN  path to wavemin.exe (default _build/default/bin/...)
+# Env:   WAVEMIN_BIN        path to wavemin.exe (default _build/default/bin/...)
+#        WAVEMIN_SMOKE_DIR  keep artifacts (logs, traces, reports) here
+#                           instead of a throwaway mktemp dir — CI uploads
+#                           this directory when the smoke fails.
 
 set -euo pipefail
 
 JOBS="${1:-1}"
 W="${WAVEMIN_BIN:-_build/default/bin/wavemin.exe}"
-TMP="$(mktemp -d /tmp/wavemin-smoke.XXXXXX)"
+if [ -n "${WAVEMIN_SMOKE_DIR:-}" ]; then
+  TMP="$WAVEMIN_SMOKE_DIR"
+  mkdir -p "$TMP"
+  KEEP_TMP=1
+else
+  TMP="$(mktemp -d /tmp/wavemin-smoke.XXXXXX)"
+  KEEP_TMP=0
+fi
 SOCK="unix:$TMP/serve.sock"
 SERVER=""
 
@@ -28,7 +45,7 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 
 cleanup() {
   [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
-  rm -rf "$TMP"
+  [ "$KEEP_TMP" -eq 1 ] || rm -rf "$TMP"
 }
 trap cleanup EXIT
 
@@ -51,22 +68,40 @@ wait_exit() { # pid -> exit code (fails if still alive after ~20 s)
 
 echo "== wavemin serve smoke, jobs=$JOBS =="
 
-# ---- cache warmth, stats, backpressure, shutdown drain ---------------
-REPORT="$TMP/BENCH_serve.json"
+# ---- cache warmth, stats, telemetry, backpressure, shutdown drain ----
+REPORT="$TMP/BENCH_serve_drain.json"
+ACCESS="$TMP/access.jsonl"
 WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --queue 1 --report "$REPORT" \
-  >"$TMP/serve.log" 2>&1 &
+  --access-log "$ACCESS" >"$TMP/serve.log" 2>&1 &
 SERVER=$!
 wait_ready
 
-COLD=$("$W" client -A "$SOCK" run s38417 -a peakmin --time 2>&1 >/dev/null | awk '{print $2}')
-WARM=$("$W" client -A "$SOCK" run s38417 -a peakmin --time 2>&1 >/dev/null | awk '{print $2}')
+COLD=$("$W" client -A "$SOCK" run s38417 -a peakmin --time 2>&1 >/dev/null | awk '/^elapsed_ms/{print $2}')
+WARM_TIMES="$TMP/warm.time"
+"$W" client -A "$SOCK" run s38417 -a peakmin --time 2>"$WARM_TIMES" >/dev/null
+WARM=$(awk '/^elapsed_ms/{print $2}' "$WARM_TIMES")
 echo "cold ${COLD} ms -> warm ${WARM} ms"
 awk -v c="$COLD" -v w="$WARM" 'BEGIN { exit !(w < c) }' \
   || fail "warm request (${WARM} ms) not faster than cold (${COLD} ms)"
+# --time also reports the server-side breakdown, correlated by request id.
+grep -q '^server_ms ' "$WARM_TIMES" \
+  || fail "client --time reported no server-side wall time"
+echo "server-side: $(grep '^server_ms' "$WARM_TIMES")"
 
 HITS=$("$W" client -A "$SOCK" stats | sed -n 's/.*"hits": \([0-9]*\).*/\1/p' | head -1)
 [ "${HITS:-0}" -ge 1 ] || fail "no cache hit in stats (hits=${HITS:-unset})"
 echo "cache hits: $HITS"
+
+# Rolling percentiles are live in stats; the metrics request exposes the
+# registry as Prometheus text; top renders one snapshot.
+"$W" client -A "$SOCK" stats | grep -q '"rolling"' \
+  || fail "stats carry no rolling block"
+"$W" client -A "$SOCK" metrics | grep -q 'wavemin_server_requests_total' \
+  || fail "Prometheus exposition lacks the request counter"
+"$W" client -A "$SOCK" metrics --format json | grep -q '"metrics"' \
+  || fail "JSON metrics snapshot missing"
+"$W" top -A "$SOCK" --once | grep -q 'rolling' || fail "top rendered nothing"
+echo "telemetry endpoints ok (stats rolling, metrics text+json, top)"
 
 # Flood the bound: a slow request occupies the executor, a second one
 # the single queue slot; the rest of the burst must be rejected with a
@@ -91,9 +126,43 @@ CODE=0; wait_exit "$SERVER" || CODE=$?
 SERVER=""
 [ "$CODE" -eq 0 ] || fail "shutdown drain exited $CODE"
 [ -f "$REPORT" ] || fail "no drain report at $REPORT"
-grep -q '"experiment": "serve"' "$REPORT" || fail "malformed drain report"
+grep -q '"experiment": "serve-drain"' "$REPORT" || fail "malformed drain report"
 grep -q '"requests_served"' "$REPORT" || fail "drain report lacks counters"
 echo "shutdown drain ok, report written"
+
+# One JSONL access line per data-plane request — including the rejected
+# burst — each with a request id and timings.
+[ -s "$ACCESS" ] || fail "no access log at $ACCESS"
+grep -q '"rid":"r' "$ACCESS" || fail "access log lines carry no request id"
+grep -q '"cache":"hit"' "$ACCESS" || fail "access log never saw a cache hit"
+grep -q '"status":"rejected"' "$ACCESS" \
+  || fail "access log missed the overloaded rejections"
+echo "access log ok ($(wc -l <"$ACCESS") lines)"
+
+# ---- bench-serve: load-generate and gate the BENCH_serve.json --------
+BENCH="$TMP/BENCH_serve.json"
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --no-report \
+  >"$TMP/serve-bench.log" 2>&1 &
+SERVER=$!
+wait_ready
+"$W" bench-serve -A "$SOCK" -c 2 -n 24 -b s15850 -o "$BENCH" \
+  >"$TMP/bench-serve.out" 2>&1 || fail "bench-serve failed: $(cat "$TMP/bench-serve.out")"
+grep -q '"experiment": "serve"' "$BENCH" || fail "malformed bench-serve report"
+grep -q '"latency_p95_ms"' "$BENCH" || fail "bench-serve report lacks percentiles"
+if [ -f bench/baselines/BENCH_serve.json ]; then
+  # Latency numbers are machine-dependent: the gate only guards the shape
+  # and catastrophic slowdowns (both ratio AND slack must trip, in ms).
+  "$W" bench-diff bench/baselines/BENCH_serve.json "$BENCH" \
+    --runtime-ratio 50 --runtime-slack 5000 \
+    || fail "bench-serve report failed the regression gate"
+  echo "bench-serve gate ok against bench/baselines/BENCH_serve.json"
+else
+  echo "bench-serve ok (no baseline to gate against)"
+fi
+"$W" client -A "$SOCK" shutdown >/dev/null
+CODE=0; wait_exit "$SERVER" || CODE=$?
+SERVER=""
+[ "$CODE" -eq 0 ] || fail "bench daemon drain exited $CODE"
 
 # ---- SIGTERM drain ----------------------------------------------------
 REPORT2="$TMP/BENCH_serve_sigterm.json"

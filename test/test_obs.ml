@@ -244,12 +244,33 @@ let test_chrome_json_parses_back () =
   let json = Trace.to_chrome_json () in
   match parse_json json with
   | Obj fields ->
-    let events =
+    let all_events =
       match List.assoc "traceEvents" fields with
       | Arr evs -> evs
       | _ -> Alcotest.fail "traceEvents not an array"
     in
-    Alcotest.(check int) "two events" 2 (List.length events);
+    let phase ev =
+      match ev with
+      | Obj f -> (match List.assoc "ph" f with Str p -> p | _ -> "?")
+      | _ -> "?"
+    in
+    (* metadata events label the process and each thread lane *)
+    let meta = List.filter (fun ev -> phase ev = "M") all_events in
+    Alcotest.(check bool) "has metadata events" true (List.length meta >= 2);
+    let meta_names =
+      List.map
+        (fun ev ->
+          match ev with
+          | Obj f -> (match List.assoc "name" f with Str n -> n | _ -> "?")
+          | _ -> "?")
+        meta
+    in
+    Alcotest.(check bool) "process_name present" true
+      (List.mem "process_name" meta_names);
+    Alcotest.(check bool) "thread_name present" true
+      (List.mem "thread_name" meta_names);
+    let events = List.filter (fun ev -> phase ev = "X") all_events in
+    Alcotest.(check int) "two span events" 2 (List.length events);
     List.iter
       (fun ev ->
         match ev with

@@ -138,7 +138,9 @@ let test_protocol_roundtrip () =
       Protocol.Validate { opts; all = false };
       Protocol.Validate { opts; all = true };
       Protocol.Montecarlo { opts; instances = 33 };
-      Protocol.Stats; Protocol.Health; Protocol.Shutdown ]
+      Protocol.Stats; Protocol.Metrics Protocol.Text;
+      Protocol.Metrics Protocol.Json_snapshot; Protocol.Health;
+      Protocol.Shutdown ]
 
 let test_protocol_malformed () =
   let check_error line =
@@ -239,11 +241,11 @@ let temp_address () =
        (Printf.sprintf "wm-%d-%d.sock" (Unix.getpid ())
           (Atomic.fetch_and_add next_sock 1)))
 
-let with_server ?(queue_capacity = 16) f =
+let with_server ?(queue_capacity = 16) ?access_log_path f =
   let address = temp_address () in
   let cfg =
     { (Server.default_config address) with
-      Server.queue_capacity; report_path = None }
+      Server.queue_capacity; report_path = None; access_log_path }
   in
   let t, thread = Server.serve_background cfg in
   Fun.protect
@@ -404,6 +406,185 @@ let test_server_backpressure () =
             true (!overloaded >= 1);
           Alcotest.(check bool) "slow request still served" true (!ok >= 1)))
 
+(* ---- telemetry: metrics request, stats rolling/last, access log --- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let get path json =
+  let rec go path j =
+    match path with [] -> Some j | k :: rest -> Option.bind (Json.member k j) (go rest)
+  in
+  go path json
+
+let test_server_telemetry () =
+  let log_path = Filename.temp_file "wm-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      with_server ~access_log_path:log_path (fun address _t ->
+          with_client address (fun c ->
+              let run =
+                Protocol.Run
+                  { opts = Protocol.default_opts ~benchmark:"s15850";
+                    algorithm = Flow.Initial }
+              in
+              let cold = request_exn c run in
+              let warm = request_exn c run in
+              (* Telemetry must stay strictly out-of-band. *)
+              Alcotest.(check string)
+                "responses byte-identical with telemetry enabled"
+                (Json.to_string cold.Protocol.body)
+                (Json.to_string warm.Protocol.body);
+              let m = request_exn c (Protocol.Metrics Protocol.Text) in
+              Alcotest.(check bool) "metrics ok" true m.Protocol.ok;
+              (match get [ "format" ] m.Protocol.body with
+              | Some (Json.Str "prometheus") -> ()
+              | _ -> Alcotest.fail "metrics format not prometheus");
+              (match
+                 Option.bind (get [ "body" ] m.Protocol.body) Json.string_value
+               with
+              | Some text ->
+                Alcotest.(check bool) "request counter exposed" true
+                  (contains_sub text "wavemin_server_requests_total");
+                Alcotest.(check bool) "latency histogram exposed" true
+                  (contains_sub text "wavemin_server_latency_ms_bucket")
+              | None -> Alcotest.fail "metrics text body missing");
+              let mj = request_exn c (Protocol.Metrics Protocol.Json_snapshot) in
+              (match get [ "metrics" ] mj.Protocol.body with
+              | Some (Json.List (_ :: _)) -> ()
+              | _ -> Alcotest.fail "json metrics snapshot empty");
+              let stats = request_exn c Protocol.Stats in
+              (match
+                 Option.bind
+                   (get [ "rolling"; "latency_ms"; "count" ] stats.Protocol.body)
+                   Json.float_value
+               with
+              | Some n ->
+                Alcotest.(check bool) "rolling latency sees the runs" true
+                  (n >= 2.0)
+              | None -> Alcotest.fail "stats carry no rolling latency");
+              (match get [ "last" ] stats.Protocol.body with
+              | Some last ->
+                Alcotest.(check (option string)) "last type"
+                  (Some "run")
+                  (Option.bind (Json.member "type" last) Json.string_value);
+                Alcotest.(check (option string)) "last cache outcome"
+                  (Some "hit")
+                  (Option.bind (Json.member "cache" last) Json.string_value);
+                (match
+                   Option.bind (Json.member "rid" last) Json.string_value
+                 with
+                | Some rid -> Alcotest.(check bool) "rid shape" true
+                    (String.length rid > 1 && rid.[0] = 'r')
+                | None -> Alcotest.fail "last has no rid")
+              | None -> Alcotest.fail "stats carry no last block")));
+      (* Drained: the access log is complete.  One line per data-plane
+         request, parseable, carrying the cache outcomes. *)
+      let ic = open_in log_path in
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      in
+      Alcotest.(check int) "one line per data-plane request" 2
+        (List.length lines);
+      let outcomes =
+        List.map
+          (fun line ->
+            match Json.of_string line with
+            | Error msg -> Alcotest.failf "unparseable access line: %s" msg
+            | Ok j ->
+              (match Option.bind (Json.member "rid" j) Json.string_value with
+              | Some _ -> ()
+              | None -> Alcotest.fail "access line has no rid");
+              (match
+                 Option.bind (Json.member "wall_ms" j) Json.float_value
+               with
+              | Some w -> Alcotest.(check bool) "wall_ms sane" true (w >= 0.0)
+              | None -> Alcotest.fail "access line has no wall_ms");
+              Option.bind (Json.member "cache" j) Json.string_value)
+          lines
+      in
+      Alcotest.(check (list (option string)))
+        "cold miss then warm hit"
+        [ Some "miss"; Some "hit" ] outcomes)
+
+(* ---- the bench-serve load generator ------------------------------- *)
+
+module Loadgen = Repro_server.Loadgen
+module Report = Repro_obs.Report
+
+let test_loadgen_deterministic_counts () =
+  with_server (fun address _t ->
+      let cfg =
+        { (Loadgen.default_config address ~benchmark:"s15850") with
+          Loadgen.connections = 3; total = Some 12 }
+      in
+      match Loadgen.run cfg with
+      | Error e -> Alcotest.fail (Verrors.to_string e)
+      | Ok r ->
+        Alcotest.(check int) "exact budget" 12 r.Loadgen.total_requests;
+        Alcotest.(check int) "no errors" 0 r.Loadgen.total_errors;
+        (* 12 requests over the 6-slot weighted schedule = two full
+           rounds: class counts are independent of thread timing. *)
+        let count name =
+          (List.find (fun c -> c.Loadgen.name = name) r.Loadgen.classes)
+            .Loadgen.count
+        in
+        Alcotest.(check int) "run-initial" 6 (count "run-initial");
+        Alcotest.(check int) "run-wavemin" 2 (count "run-wavemin");
+        Alcotest.(check int) "validate" 2 (count "validate");
+        Alcotest.(check int) "stats" 2 (count "stats");
+        Alcotest.(check bool) "throughput positive" true
+          (r.Loadgen.throughput_rps > 0.0);
+        Alcotest.(check bool) "rolling saw everything" true
+          (r.Loadgen.rolling.Repro_obs.Rolling.count = 12))
+
+let test_loadgen_report_roundtrip_and_gate () =
+  with_server (fun address _t ->
+      let cfg =
+        { (Loadgen.default_config address ~benchmark:"s15850") with
+          Loadgen.connections = 2; total = Some 6 }
+      in
+      match Loadgen.run cfg with
+      | Error e -> Alcotest.fail (Verrors.to_string e)
+      | Ok r ->
+        let report = Loadgen.to_report cfg r in
+        let path = Filename.temp_file "wm-bench-serve" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            Report.write path report;
+            match Report.read path with
+            | Error msg -> Alcotest.failf "report unreadable: %s" msg
+            | Ok back ->
+              Alcotest.(check bool) "round-trips" true
+                (Report.equal report back);
+              (* The gate a CI baseline would apply: a report must pass
+                 against itself. *)
+              let d = Report.diff ~baseline:back ~candidate:report () in
+              Alcotest.(check int) "self-diff passes the gate" 0
+                (List.length (Report.failures d))))
+
+let test_loadgen_dead_daemon () =
+  let cfg =
+    Loadgen.default_config (temp_address ()) ~benchmark:"s15850"
+  in
+  match Loadgen.run cfg with
+  | Ok _ -> Alcotest.fail "load against a dead daemon reported success"
+  | Error e ->
+    Alcotest.(check string) "io error" "io-error"
+      (Verrors.code_name e.Verrors.code)
+
 (* ---- fault seams -------------------------------------------------- *)
 
 let test_server_survives_faults () =
@@ -544,6 +725,13 @@ let () =
           Alcotest.test_case "draining rejects" `Quick
             test_server_rejects_while_draining;
           Alcotest.test_case "backpressure" `Slow test_server_backpressure;
+          Alcotest.test_case "telemetry" `Quick test_server_telemetry;
           Alcotest.test_case "fault seams" `Slow test_server_survives_faults ] );
+      ( "loadgen",
+        [ Alcotest.test_case "deterministic class counts" `Quick
+            test_loadgen_deterministic_counts;
+          Alcotest.test_case "report round-trip + self-gate" `Quick
+            test_loadgen_report_roundtrip_and_gate;
+          Alcotest.test_case "dead daemon" `Quick test_loadgen_dead_daemon ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ bit_identity ] ) ]

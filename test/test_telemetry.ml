@@ -1,0 +1,296 @@
+(* The live-telemetry layer: rolling-window histogram rotation and
+   percentiles (with injected clocks), Prometheus text exposition
+   parsed back line by line (cumulative buckets, +Inf == count), the
+   finite-JSON guarantee for empty/degenerate histogram snapshots, and
+   the process-runtime sampler. *)
+
+module Json = Repro_util.Json
+module Metrics = Repro_obs.Metrics
+module Rolling = Repro_obs.Rolling
+module Prometheus = Repro_obs.Prometheus
+module Runtime = Repro_obs.Runtime
+
+(* ---- rolling windows ---------------------------------------------- *)
+
+let test_rolling_empty () =
+  let r = Rolling.create ~window_s:60.0 () in
+  let s = Rolling.stats ~now:123.0 r in
+  Alcotest.(check int) "count" 0 s.Rolling.count;
+  Alcotest.(check int) "total" 0 s.Rolling.total;
+  Alcotest.(check (float 0.0)) "p50" 0.0 s.Rolling.p50;
+  Alcotest.(check (float 0.0)) "p99" 0.0 s.Rolling.p99;
+  Alcotest.(check (float 0.0)) "rate" 0.0 s.Rolling.rate;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.Rolling.mean;
+  Alcotest.(check (float 0.0)) "min" 0.0 s.Rolling.min;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.Rolling.max
+
+let test_rolling_percentile_accuracy () =
+  (* Quarter-octave buckets: a quantile comes back as a bucket upper
+     bound, at most 2**0.25 (~19%) above the exact value. *)
+  let r = Rolling.create ~window_s:60.0 () in
+  let now = 1000.0 in
+  for v = 1 to 1000 do
+    Rolling.observe ~now r (float_of_int v)
+  done;
+  let s = Rolling.stats ~now r in
+  Alcotest.(check int) "count" 1000 s.Rolling.count;
+  let within name exact got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1f within quarter-octave of %.1f" name got exact)
+      true
+      (got >= exact *. 0.999 && got <= exact *. 1.2)
+  in
+  within "p50" 500.0 s.Rolling.p50;
+  within "p90" 900.0 s.Rolling.p90;
+  within "p99" 990.0 s.Rolling.p99;
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 s.Rolling.min;
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 s.Rolling.max;
+  Alcotest.(check (float 1e-6)) "mean" 500.5 s.Rolling.mean
+
+let test_rolling_rotation () =
+  (* 60 s window in 5 s slots: a sample is visible until the window
+     has fully passed it, then ages out without any explicit tick. *)
+  let r = Rolling.create ~window_s:60.0 ~slots:12 () in
+  Rolling.observe ~now:0.0 r 100.0;
+  Alcotest.(check int) "visible at once" 1
+    (Rolling.stats ~now:0.0 r).Rolling.count;
+  Alcotest.(check int) "visible at 59.9" 1
+    (Rolling.stats ~now:59.9 r).Rolling.count;
+  Alcotest.(check int) "expired at 60" 0
+    (Rolling.stats ~now:60.0 r).Rolling.count;
+  Rolling.observe ~now:30.0 r 200.0;
+  Alcotest.(check int) "mixed ages" 1
+    (Rolling.stats ~now:65.0 r).Rolling.count;
+  Alcotest.(check (float 1e-9)) "only the young sample"
+    200.0
+    (Rolling.stats ~now:65.0 r).Rolling.max;
+  Alcotest.(check int) "all expired far out" 0
+    (Rolling.stats ~now:500.0 r).Rolling.count;
+  Alcotest.(check int) "total is lifetime" 2
+    (Rolling.stats ~now:500.0 r).Rolling.total
+
+let test_rolling_slot_reuse () =
+  (* A sample one full window later lands in the same ring slot; the
+     stale contents must be dropped, not merged. *)
+  let r = Rolling.create ~window_s:60.0 ~slots:12 () in
+  Rolling.observe ~now:1.0 r 100.0;
+  Rolling.observe ~now:61.0 r 7.0;
+  let s = Rolling.stats ~now:61.0 r in
+  Alcotest.(check int) "old slot contents dropped" 1 s.Rolling.count;
+  Alcotest.(check (float 1e-9)) "only the new sample" 7.0 s.Rolling.max;
+  Alcotest.(check int) "lifetime total keeps both" 2 s.Rolling.total
+
+let test_rolling_rate () =
+  let r = Rolling.create ~window_s:60.0 ~slots:12 () in
+  for i = 0 to 29 do
+    Rolling.observe ~now:(float_of_int i) r 1.0
+  done;
+  let s = Rolling.stats ~now:30.0 r in
+  (* 30 samples over a ~30 s covered span: about 1/s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.2f near 1.0" s.Rolling.rate)
+    true
+    (s.Rolling.rate > 0.5 && s.Rolling.rate < 2.0)
+
+let test_rolling_reset_and_nonfinite () =
+  let r = Rolling.create ~window_s:60.0 () in
+  Rolling.observe ~now:0.0 r 5.0;
+  Rolling.observe ~now:0.0 r Float.infinity;
+  Rolling.observe ~now:0.0 r Float.nan;
+  let s = Rolling.stats ~now:0.0 r in
+  Alcotest.(check (float 1e-9)) "extrema ignore non-finite" 5.0 s.Rolling.max;
+  (match Rolling.stats_json s with
+  | Json.Obj fields ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Json.Num x ->
+          Alcotest.(check bool) (k ^ " finite") true (Float.is_finite x)
+        | _ -> Alcotest.failf "%s not a number" k)
+      fields
+  | _ -> Alcotest.fail "stats_json not an object");
+  Rolling.reset r;
+  Alcotest.(check int) "reset clears" 0 (Rolling.stats ~now:0.0 r).Rolling.count;
+  Alcotest.(check int) "reset clears total" 0
+    (Rolling.stats ~now:0.0 r).Rolling.total
+
+(* ---- Prometheus exposition ---------------------------------------- *)
+
+let lines_of s = String.split_on_char '\n' s
+
+let find_value lines name =
+  (* "name 42" -> Some 42. *)
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+        float_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> None)
+    lines
+
+let test_prometheus_names () =
+  Alcotest.(check string) "sanitized" "wavemin_server_latency_ms"
+    (Prometheus.metric_name "server.latency_ms");
+  Alcotest.(check string) "dashes too" "wavemin_a_b_c"
+    (Prometheus.metric_name "a.b-c")
+
+let test_prometheus_parse_back () =
+  let snapshot =
+    [ ("test.requests", Metrics.Counter_value 5);
+      ("test.depth", Metrics.Gauge_value 2.5);
+      ( "test.latency",
+        Metrics.Histogram_value
+          { Metrics.count = 3; sum = 4.5; mean = 1.5; min = 0.5; max = 2.0;
+            buckets = [ (1.0, 2); (2.0, 1) ] } ) ]
+  in
+  let text = Prometheus.expose ~snapshot () in
+  let lines = lines_of text in
+  Alcotest.(check bool) "counter TYPE line" true
+    (List.mem "# TYPE wavemin_test_requests_total counter" lines);
+  Alcotest.(check (option (float 0.0))) "counter value" (Some 5.0)
+    (find_value lines "wavemin_test_requests_total");
+  Alcotest.(check bool) "gauge TYPE line" true
+    (List.mem "# TYPE wavemin_test_depth gauge" lines);
+  Alcotest.(check (option (float 0.0))) "gauge value" (Some 2.5)
+    (find_value lines "wavemin_test_depth");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (List.mem "# TYPE wavemin_test_latency histogram" lines);
+  let bucket le =
+    find_value lines (Printf.sprintf "wavemin_test_latency_bucket{le=\"%s\"}" le)
+  in
+  (* Buckets must be cumulative and +Inf must equal _count. *)
+  Alcotest.(check (option (float 0.0))) "le=1" (Some 2.0) (bucket "1");
+  Alcotest.(check (option (float 0.0))) "le=2 cumulative" (Some 3.0)
+    (bucket "2");
+  Alcotest.(check (option (float 0.0))) "+Inf" (Some 3.0) (bucket "+Inf");
+  Alcotest.(check (option (float 0.0))) "count" (Some 3.0)
+    (find_value lines "wavemin_test_latency_count");
+  Alcotest.(check (option (float 1e-9))) "sum" (Some 4.5)
+    (find_value lines "wavemin_test_latency_sum")
+
+let test_prometheus_empty_histogram_finite () =
+  (* The empty-histogram sentinels (min=+inf, max=-inf) must never
+     reach the exposition or the JSON snapshot. *)
+  let empty =
+    { Metrics.count = 0; sum = 0.0; mean = 0.0; min = Float.infinity;
+      max = Float.neg_infinity; buckets = [] }
+  in
+  let text =
+    Prometheus.expose ~snapshot:[ ("test.empty", Metrics.Histogram_value empty) ] ()
+  in
+  let lines = lines_of text in
+  Alcotest.(check (option (float 0.0))) "+Inf bucket present" (Some 0.0)
+    (find_value lines "wavemin_test_empty_bucket{le=\"+Inf\"}");
+  Alcotest.(check (option (float 0.0))) "count 0" (Some 0.0)
+    (find_value lines "wavemin_test_empty_count");
+  Alcotest.(check (option (float 0.0))) "sum 0" (Some 0.0)
+    (find_value lines "wavemin_test_empty_sum");
+  (* The one legitimate "Inf" is the +Inf bucket label; every other
+     line must be finite. *)
+  let contains_inf l =
+    let low = String.lowercase_ascii l in
+    let n = String.length low in
+    let rec scan i =
+      i + 3 <= n && (String.sub low i 3 = "inf" || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun l ->
+      if not (String.contains l '{') then
+        Alcotest.(check bool) ("finite line: " ^ l) false (contains_inf l))
+    lines;
+  let fields = Metrics.histogram_stats_fields empty in
+  Alcotest.(check bool) "min omitted" true
+    (not (List.mem_assoc "min" fields));
+  Alcotest.(check bool) "max omitted" true
+    (not (List.mem_assoc "max" fields));
+  let rendered = Json.to_string (Json.Obj fields) in
+  (match Json.of_string rendered with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "snapshot JSON not round-trippable: %s" msg)
+
+let test_metrics_degenerate_histogram_json () =
+  (* A histogram fed only non-finite samples has count > 0 with the
+     sentinel extrema — exactly the shape that used to serialize as
+     null min/max.  The canonical fields must stay finite JSON. *)
+  let h = Metrics.histogram "telemetry.test.nonfinite" in
+  Metrics.observe h Float.infinity;
+  Metrics.observe h Float.nan;
+  let s = Metrics.histogram_stats h in
+  Alcotest.(check bool) "degenerate shape" true
+    (s.Metrics.count > 0 && not (Float.is_finite s.Metrics.min));
+  let fields = Metrics.histogram_stats_fields s in
+  Alcotest.(check bool) "min omitted" true
+    (not (List.mem_assoc "min" fields));
+  Alcotest.(check bool) "max omitted" true
+    (not (List.mem_assoc "max" fields));
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Json.Num x ->
+        Alcotest.(check bool) (k ^ " finite") true (Float.is_finite x)
+      | _ -> ())
+    fields;
+  match Json.of_string (Json.to_string (Json.Obj fields)) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "degenerate snapshot not parseable: %s" msg
+
+(* ---- runtime sampler ---------------------------------------------- *)
+
+let test_runtime_sample () =
+  Runtime.sample ~probe:(fun () -> [ ("test.probe_gauge", 7.5) ]) ();
+  Alcotest.(check bool) "gc heap gauge set" true
+    (Metrics.gauge_value (Metrics.gauge "runtime.gc_heap_bytes") > 0.0);
+  Alcotest.(check bool) "minor collections monotone" true
+    (Metrics.gauge_value (Metrics.gauge "runtime.gc_minor_collections") >= 0.0);
+  Alcotest.(check (float 1e-9)) "probe gauge recorded" 7.5
+    (Metrics.gauge_value (Metrics.gauge "test.probe_gauge"));
+  (match Sys.file_exists "/proc/self/statm" with
+  | true ->
+    Alcotest.(check bool) "rss sampled" true
+      (Metrics.gauge_value (Metrics.gauge "runtime.rss_bytes") > 0.0)
+  | false -> ())
+
+let test_runtime_sampler_thread () =
+  let hits = Atomic.make 0 in
+  let s =
+    Runtime.start ~period_s:0.02
+      ~probe:(fun () ->
+        Atomic.incr hits;
+        if Atomic.get hits = 2 then failwith "probe hiccup" (* swallowed *)
+        else [ ("test.sampler_gauge", float_of_int (Atomic.get hits)) ])
+      ()
+  in
+  Thread.delay 0.15;
+  Runtime.stop s;
+  let n = Atomic.get hits in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled repeatedly (%d)" n)
+    true (n >= 3);
+  Alcotest.check_raises "positive period enforced"
+    (Invalid_argument "Runtime.start: period_s <= 0") (fun () ->
+      ignore (Runtime.start ~period_s:0.0 ()))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "rolling",
+        [ Alcotest.test_case "empty window" `Quick test_rolling_empty;
+          Alcotest.test_case "percentile accuracy" `Quick
+            test_rolling_percentile_accuracy;
+          Alcotest.test_case "rotation" `Quick test_rolling_rotation;
+          Alcotest.test_case "slot reuse" `Quick test_rolling_slot_reuse;
+          Alcotest.test_case "rate" `Quick test_rolling_rate;
+          Alcotest.test_case "reset + non-finite" `Quick
+            test_rolling_reset_and_nonfinite ] );
+      ( "prometheus",
+        [ Alcotest.test_case "name mapping" `Quick test_prometheus_names;
+          Alcotest.test_case "parse-back" `Quick test_prometheus_parse_back;
+          Alcotest.test_case "empty histogram stays finite" `Quick
+            test_prometheus_empty_histogram_finite;
+          Alcotest.test_case "degenerate histogram JSON" `Quick
+            test_metrics_degenerate_histogram_json ] );
+      ( "runtime",
+        [ Alcotest.test_case "one sample" `Quick test_runtime_sample;
+          Alcotest.test_case "sampler thread" `Quick
+            test_runtime_sampler_thread ] ) ]
