@@ -18,6 +18,7 @@
      client         send one request to a running `wavemin serve'
      bench-serve    load-generate against a running service (BENCH report)
      top            live stats view of a running service
+     explain        render a flight-recorder dump (or record one live)
 
    Exit codes: 0 success; 1 usage error (unknown benchmark/cell);
    2 diagnosed failure (validation, solver error, --strict violation);
@@ -39,6 +40,8 @@ module Obs_trace = Repro_obs.Trace
 module Obs_metrics = Repro_obs.Metrics
 module Obs_log = Repro_obs.Log
 module Obs_clock = Repro_obs.Clock
+module Obs_flight = Repro_obs.Flight
+module Obs_explain = Repro_obs.Explain
 module Run_report = Repro_obs.Report
 module Server = Repro_server.Server
 module Client = Repro_server.Client
@@ -763,6 +766,40 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "access-log" ] ~docv:"FILE" ~doc)
   in
+  let access_log_max_bytes_arg =
+    let doc =
+      "Rotate the access log when appending would push it past $(docv) \
+       bytes: the live file becomes $(i,FILE.1), existing generations \
+       shift up, and a fresh file is opened.  Omitted or <= 0 grows \
+       the file without bound."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "access-log-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let access_log_keep_arg =
+    let doc =
+      "Rotated access-log generations retained ($(i,FILE.1) .. \
+       $(i,FILE.N)); older ones are deleted at rotation."
+    in
+    Arg.(value & opt int 3 & info [ "access-log-keep" ] ~docv:"N" ~doc)
+  in
+  let flight_dir_arg =
+    let doc =
+      "Directory for black-box flight-recorder dumps: on a faulted or \
+       degraded request, and once per overload episode, the in-memory \
+       event ring is written to $(docv)/$(i,RID).flight.json for \
+       $(b,wavemin explain)."
+    in
+    Arg.(value & opt string "." & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_flight_arg =
+    Arg.(value & flag
+         & info [ "no-flight-dump" ]
+             ~doc:
+               "Never write flight dumps to disk (the in-memory \
+                recorder stays on and is still served by the \
+                $(b,flight) control request).")
+  in
   let window_arg =
     let doc =
       "Rolling-window width in seconds for the live latency/queue-wait \
@@ -770,8 +807,8 @@ let serve_cmd =
     in
     Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
   in
-  let run address_s queue cache report no_report access_log window jobs level
-      trace metrics =
+  let run address_s queue cache report no_report access_log access_log_max_bytes
+      access_log_keep flight_dir no_flight window jobs level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match parse_address address_s with
@@ -782,6 +819,9 @@ let serve_cmd =
           cache_capacity = max 1 cache;
           report_path = (if no_report then None else Some report);
           access_log_path = access_log;
+          access_log_max_bytes;
+          access_log_keep = max 1 access_log_keep;
+          flight_dir = (if no_flight then None else Some flight_dir);
           rolling_window_s = (if window > 0.0 then window else 60.0);
           sample_period_s = Some 1.0;
           handle_signals = true; readiness = Some stdout }
@@ -799,21 +839,22 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the resident optimization service: newline-delimited JSON \
-          requests (run/compare/validate/montecarlo/stats/health/shutdown) \
-          over a Unix-domain or TCP socket, with a warm session cache, \
+          requests (run/compare/validate/montecarlo/stats/health/flight/\
+          shutdown) over a Unix-domain or TCP socket, with a warm session cache, \
           bounded-queue backpressure and graceful drain on SIGTERM or a \
           $(b,shutdown) request.  Live telemetry: per-request spans and \
           access log, rolling latency windows in $(b,stats), Prometheus \
           exposition via the $(b,metrics) request")
     Term.(const run $ address_arg $ queue_arg $ cache_arg $ report_arg
-          $ no_report_arg $ access_log_arg $ window_arg $ jobs_arg
-          $ log_level_arg $ trace_arg $ metrics_arg)
+          $ no_report_arg $ access_log_arg $ access_log_max_bytes_arg
+          $ access_log_keep_arg $ flight_dir_arg $ no_flight_arg
+          $ window_arg $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 let client_cmd =
   let request_arg =
     let doc =
       "Request type: run, compare, validate, montecarlo, stats, metrics, \
-       health or shutdown."
+       health, flight or shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
   in
@@ -889,6 +930,7 @@ let client_cmd =
         | "stats" -> Ok Proto.Stats
         | "metrics" -> Ok (Proto.Metrics metrics_format)
         | "health" -> Ok Proto.Health
+        | "flight" -> Ok Proto.Flight
         | "shutdown" -> Ok Proto.Shutdown
         | "run" -> (
           match Proto.algorithm_of_name algo_s with
@@ -1130,38 +1172,54 @@ let top_cmd =
   let run address_s interval once =
     match parse_address address_s with
     | Error code -> code
-    | Ok address -> (
+    | Ok address ->
+      let delay () = Thread.delay (Float.max 0.1 interval) in
       let poll c = Client.request c Proto.Stats in
-      let outcome =
-        Client.with_connection address (fun c ->
-            let rec loop first =
-              match poll c with
-              | Error e -> Error e
-              | Ok resp when not resp.Proto.ok ->
-                print_endline (Json.to_string_pretty resp.Proto.body);
-                Ok 2
-              | Ok resp ->
-                if once then begin
-                  print_endline (render resp.Proto.body);
-                  Ok 0
-                end
-                else begin
-                  (* \027[H\027[2J = home + clear, plain ANSI. *)
-                  if first then print_string "\027[2J";
-                  print_string "\027[H";
-                  print_endline (render resp.Proto.body);
-                  flush stdout;
-                  Thread.delay (Float.max 0.1 interval);
-                  loop false
-                end
-            in
-            loop true)
+      (* One connection per attempt.  A daemon restart mid-poll surfaces
+         as a transport error from [poll] (or a failed connect on the
+         next attempt): never a stack trace — print a one-liner and keep
+         retrying on the same cadence until the daemon is back. *)
+      let rec attempt first =
+        let outcome =
+          Client.with_connection address (fun c ->
+              let rec loop first =
+                match poll c with
+                | Error e -> Error e
+                | Ok resp when not resp.Proto.ok ->
+                  print_endline (Json.to_string_pretty resp.Proto.body);
+                  Ok 2
+                | Ok resp ->
+                  if once then begin
+                    print_endline (render resp.Proto.body);
+                    Ok 0
+                  end
+                  else begin
+                    (* \027[H\027[2J = home + clear, plain ANSI. *)
+                    if first then print_string "\027[2J";
+                    print_string "\027[H";
+                    print_endline (render resp.Proto.body);
+                    flush stdout;
+                    delay ();
+                    loop false
+                  end
+              in
+              loop first)
+        in
+        match outcome with
+        | Error e ->
+          if once then begin
+            print_verror e;
+            2
+          end
+          else begin
+            print_endline "daemon unavailable";
+            flush stdout;
+            delay ();
+            attempt true
+          end
+        | Ok code -> code
       in
-      match outcome with
-      | Error e ->
-        print_verror e;
-        2
-      | Ok code -> code)
+      attempt true
   in
   Cmd.v
     (Cmd.info "top"
@@ -1170,6 +1228,126 @@ let top_cmd =
           rolling latency/queue-wait percentiles and the last completed \
           request, polled over the $(b,stats) request")
     Term.(const run $ address_arg $ interval_arg $ once_arg)
+
+(* ---- degradation forensics ---------------------------------------- *)
+
+let explain_cmd =
+  let target_arg =
+    let doc =
+      "A flight-recorder dump file ($(i,*.flight.json), as written by \
+       the server or $(b,--output)), or a benchmark name to solve live \
+       with the recorder on."
+    in
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DUMP_OR_BENCHMARK" ~doc)
+  in
+  let output_arg =
+    let doc =
+      "After a live benchmark run, also write the raw flight dump to \
+       $(docv) (re-renderable later with `wavemin explain $(docv)')."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let max_labels_arg =
+    let doc =
+      "MOSP label budget for a live run — small values force the \
+       cap/fallback machinery, which is exactly what the report \
+       dissects."
+    in
+    Arg.(value & opt (some int) None & info [ "max-labels" ] ~docv:"N" ~doc)
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let render_dump dump =
+    match Obs_explain.render dump with
+    | Ok report ->
+      print_string report;
+      0
+    | Error msg ->
+      Format.eprintf "wavemin: cannot explain dump: %s@." msg;
+      2
+  in
+  let explain_file path =
+    match read_file path with
+    | exception Sys_error msg ->
+      Format.eprintf "wavemin: cannot read %s: %s@." path msg;
+      1
+    | text -> (
+      match Json.of_string text with
+      | Error msg ->
+        Format.eprintf "wavemin: %s is not JSON: %s@." path msg;
+        2
+      | Ok dump -> render_dump dump)
+  in
+  let explain_live spec algo kappa slots budget_ms max_labels output =
+    Obs_flight.set_enabled true;
+    Obs_flight.clear ();
+    let budget =
+      match (budget_ms, max_labels) with
+      | None, None -> None
+      | wall_ms, max_labels -> Some (Budget.create ?wall_ms ?max_labels ())
+    in
+    let outcome =
+      Flow.run_benchmark_robust ~params:(params_of kappa slots) ?budget spec
+        algo
+    in
+    let dump = Obs_flight.to_json () in
+    (match output with
+    | None -> ()
+    | Some path -> (
+      match Obs_flight.write path with
+      | Ok () -> Format.printf "wrote flight dump to %s@." path
+      | Error msg ->
+        Format.eprintf "wavemin: cannot write flight dump: %s@." msg));
+    let render_code = render_dump dump in
+    match outcome with
+    | Error (e, _) ->
+      print_verror e;
+      2
+    | Ok r ->
+      if render_code <> 0 then render_code
+      else if r.Flow.degradations <> [] then 3
+      else 0
+  in
+  let run target algo kappa slots budget_ms max_labels output jobs level trace
+      metrics =
+    apply_jobs jobs;
+    let finish = setup_obs level trace metrics in
+    let code =
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        explain_file target
+      else
+        match Benchmarks.find target with
+        | spec -> explain_live spec algo kappa slots budget_ms max_labels output
+        | exception Not_found ->
+          Format.eprintf
+            "wavemin: %s is neither a readable dump file nor a known \
+             benchmark@."
+            target;
+          1
+    in
+    finish ();
+    code
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Degradation forensics from the solver flight recorder: render \
+          a dump ($(i,RID.flight.json) written by `wavemin serve', or a \
+          $(b,flight) control-request snapshot) as a human report — \
+          solve timeline with every fallback and its triggering error, \
+          binding sinks of the skew window, per-zone label-count \
+          evolution and wall-time breakdown.  Given a benchmark name \
+          instead, solve it live with the recorder on (use \
+          $(b,--max-labels)/$(b,--budget-ms) to force the degradation \
+          under study) and render the resulting ring")
+    Term.(const run $ target_arg $ algo_arg $ kappa_arg $ slots_arg
+          $ budget_arg $ max_labels_arg $ output_arg $ jobs_arg
+          $ log_level_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =
@@ -1181,7 +1359,7 @@ let () =
       [ list_cmd; run_cmd; validate_cmd; profile_cmd; compare_cmd;
         multimode_cmd; montecarlo_cmd; characterize_cmd; export_cmd;
         stats_cmd; report_cmd; bench_diff_cmd; library_cmd; serve_cmd;
-        client_cmd; bench_serve_cmd; top_cmd ]
+        client_cmd; bench_serve_cmd; top_cmd; explain_cmd ]
   in
   (* Safety net: no subcommand may escape with an uncaught structured
      error (injected faults can fire in paths without a local handler —

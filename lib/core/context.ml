@@ -6,6 +6,8 @@ module Cell = Repro_cell.Cell
 module Electrical = Repro_cell.Electrical
 module Obs_metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
+module Flight = Repro_obs.Flight
+module Obs_clock = Repro_obs.Clock
 module Par = Repro_par.Par
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.context"))
@@ -123,6 +125,22 @@ let create ?(params = default_params) ?env ?base tree ~cells =
         ~kappa:effective_kappa
     in
     Obs_metrics.set feasible_intervals_g (float_of_int (List.length feasible));
+    (* Flight-record which sinks bound the window: the forensic answer
+       to "why is this kappa (in)feasible" in a post-mortem dump. *)
+    if Flight.enabled () then begin
+      match Intervals.binding_sinks sinks with
+      | None -> ()
+      | Some b ->
+        Flight.record
+          (Flight.Window
+             { kappa_ps = effective_kappa;
+               feasible = List.length feasible;
+               min_width_ps = Intervals.min_window_width b;
+               earliest_leaf = b.Intervals.earliest_leaf;
+               earliest_ps = b.Intervals.earliest_ps;
+               latest_leaf = b.Intervals.latest_leaf;
+               latest_ps = b.Intervals.latest_ps })
+    end;
     let seen = Hashtbl.create 32 in
     let classes =
       List.filter_map
@@ -217,9 +235,29 @@ let solve_with t ~zone_solver =
             Trace.with_span ~name:"context.zone_solve"
               ~attrs:[ ("zone", string_of_int zi) ]
             @@ fun () ->
+            (* Zone_start/Zone_end bracket the solver's Label_row events
+               on this domain — how `explain` attributes rows to zones. *)
+            let flight = Flight.enabled () in
+            let t0 = if flight then Obs_clock.now_ns () else 0L in
+            if flight then
+              Flight.record
+                (Flight.Zone_start
+                   { cls = cls_idx;
+                     zone = zi;
+                     sinks = Array.length table.Noise_table.sinks });
             let avail = zone_avail t cls.avail table in
             let choices, capped = zone_solver t table ~avail in
             let peak = Noise_table.zone_objective table ~choices in
+            if flight then
+              Flight.record
+                (Flight.Zone_end
+                   { cls = cls_idx;
+                     zone = zi;
+                     peak_ua = peak;
+                     capped;
+                     wall_ms =
+                       Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0)
+                       /. 1e6 });
             (choices, capped, peak))
       in
       let peak =

@@ -6,6 +6,7 @@ module Timing = Repro_clocktree.Timing
 module Verrors = Repro_util.Verrors
 module Budget = Repro_obs.Budget
 module Obs_metrics = Repro_obs.Metrics
+module Flight = Repro_obs.Flight
 
 type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
 
@@ -88,6 +89,9 @@ let run_prepared p algorithm =
       [ ("benchmark", p.prep_name); ("algorithm", algorithm_name algorithm) ]
   @@ fun () ->
   let tree = p.prep_tree and env = p.prep_env in
+  Flight.record
+    (Flight.Solve_start
+       { benchmark = p.prep_name; algorithm = algorithm_name algorithm });
   let t0 = Clock.now_s () in
   let c0 = Clock.cpu_s () in
   let assignment, predicted, approximate =
@@ -116,6 +120,12 @@ let run_prepared p algorithm =
     Assignment.count_leaves assignment tree ~pred:(fun c ->
         Cell.polarity c = Cell.Negative)
   in
+  Flight.record
+    (Flight.Solve_end
+       { benchmark = p.prep_name;
+         algorithm = algorithm_name algorithm;
+         ok = true;
+         wall_ms = elapsed_s *. 1000.0 });
   {
     benchmark = p.prep_name;
     algorithm;
@@ -160,6 +170,7 @@ let robust ?budget ~name ~runner algorithm =
   let rec attempt budget degs = function
     | [] -> assert false (* fallback_chain is never empty *)
     | alg :: rest -> (
+      let t0 = Clock.now_s () in
       let res =
         Verrors.guard ~stage:"flow.run" (fun () ->
             match budget with
@@ -170,6 +181,26 @@ let robust ?budget ~name ~runner algorithm =
       | Ok run -> Ok { run with degradations = List.rev degs }
       | Error e -> (
         Obs_metrics.incr degradations_c;
+        (* The failed attempt never reached run_prepared's Solve_end:
+           close its timeline entry, then record the transition with
+           the triggering error so a dump explains why it fired. *)
+        if Flight.enabled () then begin
+          Flight.record
+            (Flight.Solve_end
+               { benchmark = name;
+                 algorithm = algorithm_name alg;
+                 ok = false;
+                 wall_ms = (Clock.now_s () -. t0) *. 1000.0 });
+          Flight.record
+            (Flight.Fallback
+               { from_alg = algorithm_name alg;
+                 to_alg =
+                   (match rest with
+                   | [] -> None
+                   | next :: _ -> Some (algorithm_name next));
+                 code = Verrors.code_name e.Verrors.code;
+                 message = e.Verrors.message })
+        end;
         match rest with
         | [] -> Error (e, List.rev ({ from_alg = alg; to_alg = None; error = e } :: degs))
         | next :: _ ->

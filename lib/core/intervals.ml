@@ -90,7 +90,14 @@ let feasible_intervals ?(coalesce = 0.25) sinks ~kappa =
    sink whose candidates start latest.  The gap between those two
    arrivals is therefore a lower bound on any feasible window's
    width — i.e. on kappa. *)
-let infeasibility_message sinks ~kappa =
+type binding = {
+  earliest_leaf : Repro_clocktree.Tree.node_id;
+  earliest_ps : float;
+  latest_leaf : Repro_clocktree.Tree.node_id;
+  latest_ps : float;
+}
+
+let binding_sinks sinks =
   let bound = ref None in
   Array.iter
     (fun s ->
@@ -103,17 +110,33 @@ let infeasibility_message sinks ~kappa =
             if c.arrival > !mx then mx := c.arrival)
           s.candidates;
         match !bound with
-        | None -> bound := Some (s.leaf_id, !mn, s.leaf_id, !mx)
-        | Some (late_id, late, early_id, early) ->
-          let late_id, late =
-            if !mn > late then (s.leaf_id, !mn) else (late_id, late)
-          and early_id, early =
-            if !mx < early then (s.leaf_id, !mx) else (early_id, early)
+        | None ->
+          bound :=
+            Some
+              { latest_leaf = s.leaf_id; latest_ps = !mn;
+                earliest_leaf = s.leaf_id; earliest_ps = !mx }
+        | Some b ->
+          let latest_leaf, latest_ps =
+            if !mn > b.latest_ps then (s.leaf_id, !mn)
+            else (b.latest_leaf, b.latest_ps)
+          and earliest_leaf, earliest_ps =
+            if !mx < b.earliest_ps then (s.leaf_id, !mx)
+            else (b.earliest_leaf, b.earliest_ps)
           in
-          bound := Some (late_id, late, early_id, early)
+          bound := Some { latest_leaf; latest_ps; earliest_leaf; earliest_ps }
       end)
     sinks;
-  match !bound with
+  !bound
+
+let min_window_width b = b.latest_ps -. b.earliest_ps
+
+let infeasibility_message sinks ~kappa =
+  match
+    Option.map
+      (fun b ->
+        (b.latest_leaf, b.latest_ps, b.earliest_leaf, b.earliest_ps))
+      (binding_sinks sinks)
+  with
   | None ->
     Printf.sprintf
       "no feasible interval: no sink has any candidate arrival (kappa = \

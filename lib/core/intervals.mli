@@ -62,6 +62,25 @@ val feasible_intervals :
     interval count without affecting feasibility materially.
     @raise Invalid_argument if [kappa <= 0]. *)
 
+type binding = {
+  earliest_leaf : Tree.node_id;
+      (** The sink whose candidates end earliest... *)
+  earliest_ps : float;  (** ...its largest candidate arrival. *)
+  latest_leaf : Tree.node_id;
+      (** The sink whose candidates start latest... *)
+  latest_ps : float;  (** ...its smallest candidate arrival. *)
+}
+(** The two sinks that bound any feasible window from both sides: no
+    window may start after [earliest_ps] nor end before [latest_ps]. *)
+
+val binding_sinks : sink array -> binding option
+(** [None] when no sink has any candidate arrival. *)
+
+val min_window_width : binding -> float
+(** [latest_ps -. earliest_ps] — a lower bound on the width of any
+    window covering every sink, hence on kappa.  May be negative when a
+    zero-width window would already suffice. *)
+
 val infeasibility_message : sink array -> kappa:float -> string
 (** Human-readable diagnosis for an empty {!feasible_intervals} result:
     reports the two binding sinks (the one whose candidates end

@@ -1,6 +1,7 @@
 module Metrics = Repro_obs.Metrics
 module Trace = Repro_obs.Trace
 module Budget = Repro_obs.Budget
+module Flight = Repro_obs.Flight
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.warburton"))
 
@@ -227,17 +228,20 @@ let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
         Array.sub kept 0 !kept_n
       end
     in
-    Metrics.incr ~by:(n_ext - Array.length survivors) labels_pruned_c;
+    let pruned_row = n_ext - Array.length survivors in
+    Metrics.incr ~by:pruned_row labels_pruned_c;
     (* Admissible-projection cap, ranked by current cost plus the
        suffix lower bound; equal projections break by extension index so
        the truncation is deterministic. *)
     let remaining = suffix_min.(row_index + 1) in
+    let capped_row = ref 0 in
     let survivors =
       let n = Array.length survivors in
       if n <= max_labels then survivors
       else begin
         warn_cap ~row:row_index ~dropped:(n - max_labels) ~total:n
           ~max_labels;
+        capped_row := n - max_labels;
         any_capped := true;
         let proj =
           Array.map
@@ -261,6 +265,14 @@ let pareto_paths_capped ?(epsilon = 0.01) ?(max_labels = 20_000) graph =
       end
     in
     Metrics.observe labels_per_row_h (float_of_int (Array.length survivors));
+    if Flight.enabled () then
+      Flight.record
+        (Flight.Label_row
+           { row = row_index;
+             extended = n_ext;
+             kept = Array.length survivors;
+             pruned = pruned_row;
+             capped = !capped_row });
     (* Commit survivors to the current-frontier buffers. *)
     let n_new = Array.length survivors in
     let old_choices = !cur_choices in

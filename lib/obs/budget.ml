@@ -51,7 +51,13 @@ let exceeded t =
         | _ -> None)
     in
     (match reason with
-    | Some r -> Atomic.set t.tripped (Some r)
+    | Some r ->
+      (* Flight-record the transition only (CAS: one event per trip even
+         when racing domains notice simultaneously) — sticky re-raises
+         during cooperative cancellation would flood the ring. *)
+      if Atomic.compare_and_set t.tripped None (Some r) then
+        Flight.record
+          (Flight.Budget_trip { reason = r; labels_used = Atomic.get t.labels })
     | None -> ());
     reason
 

@@ -1,0 +1,14 @@
+(** Human rendering of {!Flight} dumps — the [wavemin explain] report.
+
+    Consumes the versioned JSON produced by {!Flight.to_json} (a live
+    ring snapshot or a dump file read back from disk) and renders the
+    forensic narrative: the solve/fallback timeline with the triggering
+    error codes, which sinks bind the skew window, per-zone label-count
+    evolution, and where wall time went. *)
+
+module Json := Repro_util.Json
+
+val render : Json.t -> (string, string) result
+(** [Error] on a schema mismatch (wrong ["schema"]/["version"] or a
+    shapeless document); unknown event kinds inside a well-formed dump
+    are listed, not fatal, so newer dumps degrade gracefully. *)

@@ -81,7 +81,12 @@ let slot_for t now =
   let period = int_of_float (Float.floor (now /. t.slot_s)) in
   let s = t.ring.(((period mod Array.length t.ring) + Array.length t.ring)
                   mod Array.length t.ring) in
-  if s.period <> period then clear_slot s period;
+  (* Clock skew: a timestamp older than what the slot already holds
+     (period < s.period) must not resurrect the stale period — clearing
+     here would silently wipe newer samples sharing the ring index.
+     Fold the late sample into the newer slot instead; it is clamped
+     forward in time, never lost, and window stats stay consistent. *)
+  if period > s.period then clear_slot s period;
   s
 
 let observe ?now t v =

@@ -28,7 +28,12 @@ val window_seconds : t -> float
 val observe : ?now:float -> t -> float -> unit
 (** Record one sample at time [now].  Non-finite and non-positive
     samples count toward [count]/[rate] but land in the underflow bucket
-    and are excluded from sum/extrema, mirroring {!Metrics.observe}. *)
+    and are excluded from sum/extrema, mirroring {!Metrics.observe}.
+
+    Clock skew: a [now] older than the slice its timestamp maps to is
+    folded into that newer slice (clamped forward in time) rather than
+    resurrecting the stale period — late samples are never lost and
+    never wipe newer window data. *)
 
 type stats = {
   count : int;  (** Samples inside the window. *)

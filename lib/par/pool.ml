@@ -127,7 +127,10 @@ let run_batch t (thunks : (unit -> unit) array) =
       Queue.add (wrap i) t.queue
     done;
     Condition.broadcast t.work;
-    (* The caller drains too (participant slot [jobs - 1]). *)
+    (* The caller drains too (participant slot [jobs - 1]); time it
+       spends blocked on stragglers — the batch's tail latency — is
+       flight-recorded as pool contention. *)
+    let wait_ns = ref 0L in
     let rec drain () =
       match Queue.take_opt t.queue with
       | Some task ->
@@ -137,12 +140,19 @@ let run_batch t (thunks : (unit -> unit) array) =
         drain ()
       | None ->
         if Atomic.get remaining > 0 then begin
+          let t0 = Clock.now_ns () in
           Condition.wait batch_done t.mutex;
+          wait_ns := Int64.add !wait_ns (Int64.sub (Clock.now_ns ()) t0);
           drain ()
         end
         else Mutex.unlock t.mutex
     in
     drain ();
+    if Int64.compare !wait_ns 0L > 0 && Repro_obs.Flight.enabled () then
+      Repro_obs.Flight.record
+        (Repro_obs.Flight.Contention
+           { resource = "pool.batch-tail";
+             wait_ms = Int64.to_float !wait_ns /. 1e6 });
     (* Deterministic error surface: the lowest-index failure wins,
        independent of execution interleaving. *)
     Array.iter (function Some exn -> raise exn | None -> ()) errors

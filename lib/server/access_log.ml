@@ -1,0 +1,90 @@
+module Json = Repro_util.Json
+module Verrors = Repro_util.Verrors
+
+type t = {
+  a_path : string;
+  max_bytes : int;  (* <= 0: rotation disabled *)
+  keep : int;
+  mutex : Mutex.t;
+  mutable oc : out_channel option;
+  mutable size : int;  (* bytes in the live file, tracked incrementally *)
+}
+
+let open_channel path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc -> oc
+  | exception Sys_error msg ->
+    Verrors.fail ~code:Verrors.Io_error ~stage:"server.access_log"
+      (Printf.sprintf "cannot open access log: %s" msg)
+
+let create ?(max_bytes = 0) ?(keep = 3) path =
+  let oc = open_channel path in
+  let size = try (Unix.fstat (Unix.descr_of_out_channel oc)).Unix.st_size with
+    | Unix.Unix_error _ -> 0
+  in
+  { a_path = path; max_bytes; keep = Stdlib.max 1 keep;
+    mutex = Mutex.create (); oc = Some oc; size }
+
+let path t = t.a_path
+
+let rotated t n = Printf.sprintf "%s.%d" t.a_path n
+
+(* Shift path.(keep-1) -> path.keep, ..., path -> path.1 and reopen.
+   Any rename/open failure leaves the log closed until the next write
+   reopens it; entries are best-effort by contract. *)
+let rotate t =
+  (match t.oc with
+  | Some oc ->
+    close_out_noerr oc;
+    t.oc <- None
+  | None -> ());
+  (try Sys.remove (rotated t t.keep) with Sys_error _ -> ());
+  for n = t.keep - 1 downto 1 do
+    try Sys.rename (rotated t n) (rotated t (n + 1)) with Sys_error _ -> ()
+  done;
+  (try Sys.rename t.a_path (rotated t 1) with Sys_error _ -> ());
+  (match open_channel t.a_path with
+  | oc -> t.oc <- Some oc
+  | exception Verrors.Error _ -> ());
+  t.size <- 0
+
+let write t entry =
+  let line = Json.to_string entry ^ "\n" in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if
+        t.max_bytes > 0
+        && t.size > 0
+        && t.size + String.length line > t.max_bytes
+      then rotate t;
+      (* A log closed by a failed rotation gets one reopen attempt per
+         write, so a transient FS error does not silence the log. *)
+      (match t.oc with
+      | Some _ -> ()
+      | None -> (
+        match open_channel t.a_path with
+        | oc ->
+          t.oc <- oc |> Option.some;
+          t.size <- 0
+        | exception Verrors.Error _ -> ()));
+      match t.oc with
+      | None -> ()
+      | Some oc -> (
+        try
+          output_string oc line;
+          flush oc;
+          t.size <- t.size + String.length line
+        with Sys_error _ -> ()))
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.oc with
+      | Some oc ->
+        close_out_noerr oc;
+        t.oc <- None
+      | None -> ())

@@ -1,0 +1,28 @@
+(** JSONL access log with size-based rotation.
+
+    One JSON line per entry, flushed per write so a crash loses at most
+    the line being written.  When [max_bytes] is set and appending the
+    next line would exceed it, the file is rotated first:
+    [path.keep-1 -> path.keep], ..., [path.1 -> path.2],
+    [path -> path.1], and a fresh [path] is opened — so at most
+    [keep] rotated generations are retained and the live file never
+    materially exceeds [max_bytes].  Thread-safe; write failures are
+    swallowed (the access log is strictly out-of-band and must never
+    take a request down with it). *)
+
+type t
+
+val create : ?max_bytes:int -> ?keep:int -> string -> t
+(** Open [path] for appending (created if missing).  [max_bytes]
+    omitted or [<= 0] disables rotation; [keep] (default 3) is the
+    number of rotated generations retained.
+    @raise Repro_util.Verrors.Error
+      ([Io_error]) when the file cannot be opened. *)
+
+val write : t -> Repro_util.Json.t -> unit
+(** Append one line (rotating first if needed) and flush. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val path : t -> string

@@ -199,7 +199,7 @@ let execute ?meta session = function
   | P.Validate { opts; all } -> handle_validate session opts ~all
   | P.Montecarlo { opts; instances } ->
     handle_montecarlo ?meta session opts ~instances
-  | (P.Stats | P.Metrics _ | P.Health | P.Shutdown) as req ->
+  | (P.Stats | P.Metrics _ | P.Health | P.Flight | P.Shutdown) as req ->
     Error
       ( Verrors.make ~code:Verrors.Invalid_params ~stage:"server.execute"
           ~subject:(P.request_kind req)

@@ -25,6 +25,7 @@ type request =
   | Stats
   | Metrics of metrics_format
   | Health
+  | Flight
   | Shutdown
 
 let request_kind = function
@@ -35,10 +36,11 @@ let request_kind = function
   | Stats -> "stats"
   | Metrics _ -> "metrics"
   | Health -> "health"
+  | Flight -> "flight"
   | Shutdown -> "shutdown"
 
 let is_control = function
-  | Stats | Metrics _ | Health | Shutdown -> true
+  | Stats | Metrics _ | Health | Flight | Shutdown -> true
   | Run _ | Compare _ | Validate _ | Montecarlo _ -> false
 
 let algorithms =
@@ -136,11 +138,12 @@ let request_of_json doc =
       perr ~subject:"format"
         "unknown metrics format %S (expected \"text\" or \"json\")" f)
   | "health" -> Ok Health
+  | "flight" -> Ok Flight
   | "shutdown" -> Ok Shutdown
   | k ->
     perr ~subject:"type"
       "unknown request type %S (expected run, compare, validate, montecarlo, \
-       stats, metrics, health or shutdown)"
+       stats, metrics, health, flight or shutdown)"
       k
 
 let parse_request line =
@@ -178,7 +181,7 @@ let request_to_json ~id req =
       opts_fields opts @ [ ("instances", Json.Num (float_of_int instances)) ]
     | Metrics Text -> [ ("format", Json.Str "text") ]
     | Metrics Json_snapshot -> [ ("format", Json.Str "json") ]
-    | Stats | Health | Shutdown -> []
+    | Stats | Health | Flight | Shutdown -> []
   in
   Json.Obj
     (("id", id) :: ("type", Json.Str (request_kind req)) :: body)

@@ -50,6 +50,10 @@ type request =
           (alias ["prometheus"], the default) answers with
           [{"format": "prometheus", "body": <exposition text>}]. *)
   | Health  (** Readiness/liveness probe (control plane). *)
+  | Flight
+      (** Live snapshot of the {!Repro_obs.Flight} ring (control plane);
+          answers with the versioned dump JSON, renderable by
+          [wavemin explain]. *)
   | Shutdown  (** Graceful drain (control plane). *)
 
 val request_kind : request -> string

@@ -63,17 +63,21 @@ type config = {
   cache_capacity : int;
   report_path : string option;
   access_log_path : string option;
+  access_log_max_bytes : int option;
+  access_log_keep : int;
   rolling_window_s : float;
   sample_period_s : float option;
   handle_signals : bool;
   readiness : out_channel option;
+  flight_dir : string option;
 }
 
 let default_config address =
   { address; queue_capacity = 16; cache_capacity = 8;
     report_path = Some "BENCH_serve_drain.json"; access_log_path = None;
+    access_log_max_bytes = None; access_log_keep = 3;
     rolling_window_s = 60.0; sample_period_s = Some 1.0;
-    handle_signals = false; readiness = None }
+    handle_signals = false; readiness = None; flight_dir = Some "." }
 
 (* ---- state -------------------------------------------------------- *)
 
@@ -93,8 +97,6 @@ type item = {
   enqueued_ns : int64;
 }
 
-type access_log = { a_mutex : Mutex.t; a_oc : out_channel }
-
 type t = {
   cfg : config;
   listener : Unix.file_descr;
@@ -113,7 +115,8 @@ type t = {
   in_flight : int Atomic.t;
   rolling_latency : Rolling.t;  (* total ms, enqueue to response written *)
   rolling_queue_wait : Rolling.t;  (* ms *)
-  access : access_log option;
+  access : Access_log.t option;
+  overload_dumped : bool Atomic.t;  (* one black-box dump per overload episode *)
   last_mutex : Mutex.t;
   mutable last : Json.t;  (* last completed data-plane request, or Null *)
   mutable sampler : Runtime.sampler option;
@@ -236,6 +239,10 @@ let handle_control t conn id = function
   | P.Health -> write_json t conn (P.ok_response ~id (health_json t))
   | P.Stats -> write_json t conn (P.ok_response ~id (stats_json t))
   | P.Metrics fmt -> write_json t conn (P.ok_response ~id (metrics_json fmt))
+  | P.Flight ->
+    (* Live snapshot of the flight ring — same document the black-box
+       dump files carry, so `wavemin explain` renders both. *)
+    write_json t conn (P.ok_response ~id (Repro_obs.Flight.to_json ()))
   | P.Shutdown ->
     (* Drain first, ack second: once the client reads the ack,
        [draining] is observably true. *)
@@ -272,34 +279,47 @@ let access_entry ~rid ~id ~cid ~kind ~benchmark ~status ?code
         ("total_ms", Json.Num (queue_wait_ms +. wall_ms)) ])
 
 let log_access t entry =
-  match t.access with
-  | None -> ()
-  | Some a ->
-    with_lock a.a_mutex (fun () ->
-        try
-          output_string a.a_oc (Json.to_string entry);
-          output_char a.a_oc '\n';
-          flush a.a_oc
-        with Sys_error _ -> ())
+  match t.access with None -> () | Some a -> Access_log.write a entry
 
 let benchmark_of = function
   | P.Run { opts; _ } | P.Compare opts | P.Montecarlo { opts; _ } ->
     opts.P.benchmark
   | P.Validate { opts; all } -> if all then "*" else opts.P.benchmark
-  | P.Stats | P.Metrics _ | P.Health | P.Shutdown -> ""
+  | P.Stats | P.Metrics _ | P.Health | P.Flight | P.Shutdown -> ""
+
+(* ---- flight dumps -------------------------------------------------- *)
+
+(* Black-box style: when a request degrades, errors or is shed under
+   overload, the flight ring is serialized to [<dir>/<rid>.flight.json]
+   — the post-mortem `wavemin explain` consumes.  Best-effort by
+   contract (a full disk must not take the request path down). *)
+let dump_flight t ~rid ~why =
+  match t.cfg.flight_dir with
+  | None -> ()
+  | Some dir -> (
+    let path = Filename.concat dir (rid ^ ".flight.json") in
+    match Repro_obs.Flight.write path with
+    | Ok () ->
+      Log.info (fun m -> m "flight dump (%s) written to %s" why path)
+    | Error msg ->
+      Log.warn (fun m -> m "cannot write flight dump %s: %s" path msg))
 
 let fresh_rid t = Printf.sprintf "r%06d" (Atomic.fetch_and_add t.next_rid 1)
 
 (* ---- data plane: admission ---------------------------------------- *)
 
-let reject t conn ~rid id req err =
+let reject ?(overload = false) t conn ~rid id req err =
   Atomic.incr t.rejected;
   Metrics.incr rejected_c;
   write_json t conn (P.error_response ~id err);
   log_access t
     (access_entry ~rid ~id ~cid:conn.cid ~kind:(P.request_kind req)
        ~benchmark:(benchmark_of req) ~status:"rejected"
-       ~code:(Verrors.code_name err.Verrors.code) ())
+       ~code:(Verrors.code_name err.Verrors.code) ());
+  (* One dump per overload episode: a flood would otherwise write one
+     file per shed request; the flag re-arms when admission succeeds. *)
+  if overload && Atomic.compare_and_set t.overload_dumped false true then
+    dump_flight t ~rid ~why:"overloaded"
 
 let admit t conn ~rid id req =
   let item =
@@ -308,10 +328,11 @@ let admit t conn ~rid id req =
   in
   match Bqueue.push t.queue item with
   | `Ok ->
+    Atomic.set t.overload_dumped false;
     Metrics.incr requests_c;
     Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue))
   | `Full ->
-    reject t conn ~rid id req
+    reject ~overload:true t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          (Printf.sprintf "request queue full (%d/%d): request rejected"
             (Bqueue.capacity t.queue) (Bqueue.capacity t.queue))
@@ -466,6 +487,17 @@ let process t item =
              ~benchmark ~status ?code ~cache:meta.Handlers.cache
              ?content_key:meta.Handlers.content_key ~degradations
              ~queue_wait_ms ~wall_ms ());
+        (* Black-box dump: anything that failed or degraded leaves a
+           forensic trail named after the request id.  A successful run
+           carries its degradations inside the (deterministic) result
+           body, so peek there for the degraded-but-ok case. *)
+        (match outcome with
+        | Error _ -> dump_flight t ~rid ~why:"faulted request"
+        | Ok result -> (
+          match Json.member "degradations" result with
+          | Some (Json.List (_ :: _)) ->
+            dump_flight t ~rid ~why:"degraded request"
+          | _ -> ()));
         Trace.with_span ~name:"server.respond" ~attrs:[ ("request_id", rid) ]
           ~tid:executor_tid (fun () ->
             match outcome with
@@ -628,18 +660,21 @@ let flush_report t =
          report is best-effort. *)
       Log.warn (fun m -> m "cannot write final report: %s" (Verrors.to_string e)))
 
-let open_access_log = function
+let open_access_log cfg =
+  match cfg.access_log_path with
   | None -> None
-  | Some path -> (
-    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
-    | oc -> Some { a_mutex = Mutex.create (); a_oc = oc }
-    | exception Sys_error msg ->
-      io_fail "server.access_log"
-        (Printf.sprintf "cannot open access log: %s" msg))
+  | Some path ->
+    Some
+      (Access_log.create ?max_bytes:cfg.access_log_max_bytes
+         ~keep:cfg.access_log_keep path)
 
 let setup cfg =
   (* A dead client mid-write must be an EPIPE error, not a fatal signal. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* The daemon records always: the ring is the black box whose dump
+     explains the next degraded request.  Recording never influences
+     responses (the bit-identity property runs with it enabled). *)
+  Repro_obs.Flight.set_enabled true;
   let listener = bind_listener cfg.address in
   let t =
     { cfg;
@@ -659,7 +694,8 @@ let setup cfg =
       in_flight = Atomic.make 0;
       rolling_latency = Rolling.create ~window_s:cfg.rolling_window_s ();
       rolling_queue_wait = Rolling.create ~window_s:cfg.rolling_window_s ();
-      access = open_access_log cfg.access_log_path;
+      access = open_access_log cfg;
+      overload_dumped = Atomic.make false;
       last_mutex = Mutex.create ();
       last = Json.Null;
       sampler = None;
@@ -726,9 +762,7 @@ let run t =
     t.sampler <- None;
     Runtime.stop s;
     try Runtime.sample ~probe:(sampler_probe t) () with _ -> ());
-  (match t.access with
-  | None -> ()
-  | Some a -> with_lock a.a_mutex (fun () -> close_out_noerr a.a_oc));
+  (match t.access with None -> () | Some a -> Access_log.close a);
   Log.info (fun m ->
       m "drained: %d served, %d rejected, %d failed" (Atomic.get t.served)
         (Atomic.get t.rejected) (Atomic.get t.failed));

@@ -60,6 +60,12 @@ type config = {
       (** JSONL access log, one line per data-plane request (appended;
           [None] disables).  Opening failures raise [Io_error] at
           {!setup} time. *)
+  access_log_max_bytes : int option;
+      (** Size-based rotation threshold for the access log ({!Access_log});
+          [None] (or [<= 0]) grows the file without bound. *)
+  access_log_keep : int;
+      (** Rotated access-log generations retained ([path.1] ..
+          [path.N], default 3). *)
   rolling_window_s : float;
       (** Width of the rolling latency/queue-wait windows surfaced in
           [stats] (default 60 s). *)
@@ -72,12 +78,18 @@ type config = {
   readiness : out_channel option;
       (** Print a one-line ["listening on ..."] banner here once the
           socket is bound (the smoke tests' readiness signal). *)
+  flight_dir : string option;
+      (** Where black-box {!Repro_obs.Flight} dumps go: on a faulted or
+          degraded request, and once per overload episode, the ring is
+          written to [<dir>/<rid>.flight.json] (request-id-named, for
+          [wavemin explain]).  [None] disables dumping; the in-memory
+          recorder stays on either way ([flight] control request). *)
 }
 
 val default_config : address -> config
 (** Queue 16, cache 8, report ["BENCH_serve_drain.json"], no access
-    log, 60 s rolling window, 1 s sampler, no signal handlers, no
-    banner. *)
+    log (rotation off, keep 3), 60 s rolling window, 1 s sampler, no
+    signal handlers, no banner, flight dumps in ["."]. *)
 
 type t
 (** A handle onto a serving instance, usable from other threads. *)

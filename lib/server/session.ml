@@ -5,6 +5,8 @@ module Liberty = Repro_cell.Liberty
 module Json = Repro_util.Json
 module Verrors = Repro_util.Verrors
 module Metrics = Repro_obs.Metrics
+module Flight = Repro_obs.Flight
+module Obs_clock = Repro_obs.Clock
 
 let hits_c = Metrics.counter "server.cache_hits"
 let misses_c = Metrics.counter "server.cache_misses"
@@ -25,8 +27,21 @@ let create ?(capacity = 8) () =
     hits = 0;
     misses = 0 }
 
+(* Reader threads (control plane) and the executor share this mutex;
+   when the flight recorder is on, a measurable wait to acquire it is
+   recorded as a contention event. *)
 let with_lock t f =
-  Mutex.lock t.mutex;
+  if Flight.enabled () then begin
+    let t0 = Obs_clock.now_ns () in
+    Mutex.lock t.mutex;
+    let wait_ms =
+      Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0) /. 1e6
+    in
+    if wait_ms > 0.05 then
+      Flight.record
+        (Flight.Contention { resource = "session.lock"; wait_ms })
+  end
+  else Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 (* The default library's serialized form participates in the hash so a
@@ -71,7 +86,10 @@ let cells_of t = function
   | Some text -> (
     let lib_key = Digest.to_hex (Digest.string text) in
     match with_lock t (fun () -> Lru.find t.libraries lib_key) with
-    | Some cells -> Ok cells
+    | Some cells ->
+      Flight.record
+        (Flight.Cache { cache = "library"; outcome = "hit"; key = lib_key });
+      Ok cells
     | None -> (
       match Verrors.guard ~stage:"server.session" (fun () -> Liberty.parse text) with
       | Error e -> Error e  (* the parser fault seam trips through here *)
@@ -86,6 +104,7 @@ let prepared t ~spec ~params ?library () =
   | Some prep ->
     t.hits <- t.hits + 1;
     Metrics.incr hits_c;
+    Flight.record (Flight.Cache { cache = "session"; outcome = "hit"; key = k });
     Ok (prep, `Hit)
   | None -> (
     (* Build outside the lock: the executor is the only builder, and
@@ -102,10 +121,16 @@ let prepared t ~spec ~params ?library () =
       | Ok prep ->
         t.misses <- t.misses + 1;
         Metrics.incr misses_c;
+        Flight.record
+          (Flight.Cache { cache = "session"; outcome = "miss"; key = k });
         with_lock t (fun () ->
             match Lru.add t.entries k prep with
             | None -> ()
-            | Some _evicted -> Metrics.incr evictions_c);
+            | Some _evicted ->
+              Metrics.incr evictions_c;
+              Flight.record
+                (Flight.Cache
+                   { cache = "session"; outcome = "evict"; key = k }));
         Ok (prep, `Miss)))
 
 type stats = {

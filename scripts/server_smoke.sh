@@ -13,6 +13,14 @@
 #     Prometheus text and a JSON snapshot, `top --once` renders, and the
 #     JSONL access log records every data-plane request (rejections
 #     included);
+#   - flight recorder: the `flight` control request snapshots the event
+#     ring, the overload episode leaves a request-id-named black-box
+#     dump, and `wavemin explain` renders dumps into a human report;
+#   - access-log rotation: with --access-log-max-bytes the log rotates
+#     into at most --access-log-keep generations;
+#   - top resilience: against a dead daemon, `top --once` exits 2 with
+#     a structured error and the live view prints `daemon unavailable`
+#     and keeps retrying instead of stack-tracing;
 #   - bench-serve: the load generator produces a schema-valid
 #     BENCH_serve.json, gated against bench/baselines/ when present;
 #   - graceful drain: both a `shutdown` request and SIGTERM finish
@@ -71,8 +79,10 @@ echo "== wavemin serve smoke, jobs=$JOBS =="
 # ---- cache warmth, stats, telemetry, backpressure, shutdown drain ----
 REPORT="$TMP/BENCH_serve_drain.json"
 ACCESS="$TMP/access.jsonl"
+FLIGHT_DIR="$TMP/flight"
+mkdir -p "$FLIGHT_DIR"
 WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --queue 1 --report "$REPORT" \
-  --access-log "$ACCESS" >"$TMP/serve.log" 2>&1 &
+  --access-log "$ACCESS" --flight-dir "$FLIGHT_DIR" >"$TMP/serve.log" 2>&1 &
 SERVER=$!
 wait_ready
 
@@ -102,6 +112,17 @@ echo "cache hits: $HITS"
   || fail "JSON metrics snapshot missing"
 "$W" top -A "$SOCK" --once | grep -q 'rolling' || fail "top rendered nothing"
 echo "telemetry endpoints ok (stats rolling, metrics text+json, top)"
+
+# Live flight-ring snapshot over the control plane, renderable offline.
+"$W" client -A "$SOCK" flight >"$TMP/flight-snap.json" \
+  || fail "flight control request failed"
+grep -q 'wavemin-flight' "$TMP/flight-snap.json" \
+  || fail "flight snapshot lacks the schema tag"
+"$W" explain "$TMP/flight-snap.json" >"$TMP/flight-snap.report" \
+  || fail "wavemin explain rejected the live snapshot"
+grep -q 'solve timeline' "$TMP/flight-snap.report" \
+  || fail "explain report carries no solve timeline"
+echo "flight snapshot ok ($(grep -c 'wavemin-flight' "$TMP/flight-snap.json") schema tag)"
 
 # Flood the bound: a slow request occupies the executor, a second one
 # the single queue slot; the rest of the burst must be rejected with a
@@ -139,9 +160,35 @@ grep -q '"status":"rejected"' "$ACCESS" \
   || fail "access log missed the overloaded rejections"
 echo "access log ok ($(wc -l <"$ACCESS") lines)"
 
+# The overload episode left exactly the black-box dump the flight
+# recorder promises: request-id-named, versioned, explainable.
+ls "$FLIGHT_DIR"/r*.flight.json >/dev/null 2>&1 \
+  || fail "overload episode produced no flight dump in $FLIGHT_DIR"
+DUMP=$(ls "$FLIGHT_DIR"/r*.flight.json | head -1)
+grep -q '"schema":"wavemin-flight"' "$DUMP" || fail "dump $DUMP lacks the schema"
+"$W" explain "$DUMP" | grep -q 'flight recorder:' \
+  || fail "wavemin explain could not render $DUMP"
+echo "flight dump ok ($(basename "$DUMP"))"
+
+# top against the now-dead daemon: --once reports the failure and exits
+# 2; the live view prints `daemon unavailable` and keeps retrying on
+# the polling cadence until killed — never a stack trace.
+CODE=0; "$W" top -A "$SOCK" --once >"$TMP/top-dead.out" 2>&1 || CODE=$?
+[ "$CODE" -eq 2 ] || fail "top --once against a dead daemon exited $CODE"
+CODE=0; timeout 2 "$W" top -A "$SOCK" -i 0.3 >"$TMP/top-retry.out" 2>&1 || CODE=$?
+[ "$CODE" -eq 124 ] || fail "top stopped retrying a dead daemon (exit $CODE)"
+grep -q 'daemon unavailable' "$TMP/top-retry.out" \
+  || fail "top retry loop printed no daemon-unavailable notice"
+if grep -qiE 'backtrace|exception|fatal' "$TMP/top-retry.out"; then
+  fail "top stack-traced on a dead daemon"
+fi
+echo "top survives a dead daemon (retries with notice)"
+
 # ---- bench-serve: load-generate and gate the BENCH_serve.json --------
 BENCH="$TMP/BENCH_serve.json"
+ROTLOG="$TMP/access-bench.jsonl"
 WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --no-report \
+  --access-log "$ROTLOG" --access-log-max-bytes 600 --access-log-keep 2 \
   >"$TMP/serve-bench.log" 2>&1 &
 SERVER=$!
 wait_ready
@@ -164,6 +211,17 @@ CODE=0; wait_exit "$SERVER" || CODE=$?
 SERVER=""
 [ "$CODE" -eq 0 ] || fail "bench daemon drain exited $CODE"
 
+# 24 bench-serve requests at ~200 bytes/line against a 600-byte cap:
+# the log must have rotated, kept at most 2 generations, and every
+# surviving line must still be one parseable JSON object.
+[ -f "$ROTLOG.1" ] || fail "access log never rotated under --access-log-max-bytes"
+[ ! -f "$ROTLOG.3" ] || fail "access log kept more than --access-log-keep generations"
+for f in "$ROTLOG" "$ROTLOG".*; do
+  [ -s "$f" ] || continue
+  grep -q '"rid":"r' "$f" || fail "rotated access file $f carries no request ids"
+done
+echo "access-log rotation ok ($(ls "$ROTLOG".* | wc -l) generations)"
+
 # ---- SIGTERM drain ----------------------------------------------------
 REPORT2="$TMP/BENCH_serve_sigterm.json"
 WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --report "$REPORT2" \
@@ -181,8 +239,11 @@ echo "SIGTERM drain ok"
 # ---- every fault seam: structured errors, never a dead daemon --------
 "$W" library >"$TMP/leaf.lib"
 for SEAM in parser waveform-cache noise-table pool-task report-writer; do
+  SEAM_FLIGHT="$TMP/flight-$SEAM"
+  mkdir -p "$SEAM_FLIGHT"
   WAVEMIN_JOBS="$JOBS" WAVEMIN_FAULTS="$SEAM:1" \
-    "$W" serve -A "$SOCK" --no-report >"$TMP/serve-$SEAM.log" 2>&1 &
+    "$W" serve -A "$SOCK" --no-report --flight-dir "$SEAM_FLIGHT" \
+    >"$TMP/serve-$SEAM.log" 2>&1 &
   SERVER=$!
   wait_ready
   # The parser seam only fires on a library parse, so ship one along.
@@ -196,6 +257,16 @@ for SEAM in parser waveform-cache noise-table pool-task report-writer; do
   CODE=0; wait_exit "$SERVER" || CODE=$?
   SERVER=""
   [ "$CODE" -eq 0 ] || fail "seam $SEAM: drain exited $CODE"
+  # A request the seam faulted (or degraded) must leave a black-box
+  # dump.  The parser seam deterministically faults the library parse;
+  # other seams may be absorbed cleanly by fallbacks, so only assert
+  # where the failure is guaranteed.
+  if [ "$SEAM" = parser ]; then
+    ls "$SEAM_FLIGHT"/r*.flight.json >/dev/null 2>&1 \
+      || fail "seam $SEAM: faulted request left no flight dump"
+    "$W" explain "$(ls "$SEAM_FLIGHT"/r*.flight.json | head -1)" \
+      >/dev/null || fail "seam $SEAM: flight dump unrenderable"
+  fi
   echo "seam $SEAM survived (client exit ok, daemon drained cleanly)"
 done
 

@@ -7,6 +7,7 @@
 
 module Lru = Repro_server.Lru
 module Bqueue = Repro_server.Bqueue
+module Access_log = Repro_server.Access_log
 module Protocol = Repro_server.Protocol
 module Session = Repro_server.Session
 module Handlers = Repro_server.Handlers
@@ -107,6 +108,80 @@ let test_bqueue_blocking_pop () =
   Bqueue.close q;
   Thread.join consumer
 
+(* ---- Access_log rotation ------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_access_log_rotation () =
+  let path = Filename.temp_file "wm-alog" ".jsonl" in
+  let gen n = path ^ "." ^ string_of_int n in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; gen 1; gen 2; gen 3 ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Sys.remove path;
+      let entry i =
+        Json.Obj [ ("n", Json.Num (float_of_int i));
+                   ("pad", Json.Str (String.make 40 'x')) ]
+      in
+      let line_len = String.length (Json.to_string (entry 0)) + 1 in
+      (* Room for exactly two lines per generation. *)
+      let a = Access_log.create ~max_bytes:(2 * line_len) ~keep:2 path in
+      Fun.protect
+        ~finally:(fun () -> Access_log.close a)
+        (fun () ->
+          Alcotest.(check string) "path accessor" path (Access_log.path a);
+          for i = 1 to 7 do
+            Access_log.write a (entry i)
+          done);
+      (* 7 entries, 2 per file: live holds #7, .1 holds #5-6, .2 holds
+         #3-4, #1-2 aged out entirely (keep 2). *)
+      let nums p =
+        List.map
+          (fun l ->
+            match Json.of_string l with
+            | Ok j -> Option.bind (Json.member "n" j) Json.float_value
+            | Error msg -> Alcotest.failf "unparseable rotated line: %s" msg)
+          (read_lines p)
+      in
+      Alcotest.(check (list (option (float 0.0)))) "live file" [ Some 7.0 ]
+        (nums path);
+      Alcotest.(check (list (option (float 0.0)))) "first generation"
+        [ Some 5.0; Some 6.0 ] (nums (gen 1));
+      Alcotest.(check (list (option (float 0.0)))) "second generation"
+        [ Some 3.0; Some 4.0 ] (nums (gen 2));
+      Alcotest.(check bool) "keep bound enforced" false
+        (Sys.file_exists (gen 3)))
+
+let test_access_log_no_rotation_by_default () =
+  let path = Filename.temp_file "wm-alog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let a = Access_log.create path in
+      Fun.protect
+        ~finally:(fun () -> Access_log.close a)
+        (fun () ->
+          for i = 1 to 50 do
+            Access_log.write a (Json.Obj [ ("n", Json.Num (float_of_int i)) ])
+          done);
+      Alcotest.(check int) "everything in one file" 50
+        (List.length (read_lines path));
+      Alcotest.(check bool) "no rotation" false
+        (Sys.file_exists (path ^ ".1")))
+
 (* ---- Protocol ----------------------------------------------------- *)
 
 let roundtrip req =
@@ -140,7 +215,7 @@ let test_protocol_roundtrip () =
       Protocol.Montecarlo { opts; instances = 33 };
       Protocol.Stats; Protocol.Metrics Protocol.Text;
       Protocol.Metrics Protocol.Json_snapshot; Protocol.Health;
-      Protocol.Shutdown ]
+      Protocol.Flight; Protocol.Shutdown ]
 
 let test_protocol_malformed () =
   let check_error line =
@@ -241,11 +316,11 @@ let temp_address () =
        (Printf.sprintf "wm-%d-%d.sock" (Unix.getpid ())
           (Atomic.fetch_and_add next_sock 1)))
 
-let with_server ?(queue_capacity = 16) ?access_log_path f =
+let with_server ?(queue_capacity = 16) ?access_log_path ?flight_dir f =
   let address = temp_address () in
   let cfg =
     { (Server.default_config address) with
-      Server.queue_capacity; report_path = None; access_log_path }
+      Server.queue_capacity; report_path = None; access_log_path; flight_dir }
   in
   let t, thread = Server.serve_background cfg in
   Fun.protect
@@ -631,6 +706,111 @@ let test_server_survives_faults () =
                 true clean.Protocol.ok)
             Fault.all_seams))
 
+(* ---- flight recorder forensics ------------------------------------ *)
+
+module Flight = Repro_obs.Flight
+module Explain = Repro_obs.Explain
+
+let degraded_run_opts =
+  (* A label budget this small trips inside ClkWaveMin and forces the
+     fallback chain — the canonical degradation the flight recorder is
+     there to dissect.  Large enough that whole label rows complete
+     before the trip, so the report carries per-row evolution too. *)
+  { (Protocol.default_opts ~benchmark:"s15850") with
+    Protocol.max_labels = Some 64 }
+
+let test_server_flight_forensics () =
+  let dir =
+    let d = Filename.temp_file "wm-flight" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let cleanup () =
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      with_server ~flight_dir:dir (fun address _t ->
+          with_client address (fun c ->
+              let resp =
+                request_exn c
+                  (Protocol.Run
+                     { opts = degraded_run_opts; algorithm = Flow.Wavemin })
+              in
+              Alcotest.(check bool) "degraded run still ok" true
+                resp.Protocol.ok;
+              (match Json.member "degradations" resp.Protocol.body with
+              | Some (Json.List (_ :: _)) -> ()
+              | _ -> Alcotest.fail "run did not degrade as arranged");
+              (* Live snapshot over the control plane. *)
+              let fl = request_exn c Protocol.Flight in
+              Alcotest.(check bool) "flight request ok" true fl.Protocol.ok;
+              Alcotest.(check (option string)) "versioned dump"
+                (Some "wavemin-flight")
+                (Option.bind (Json.member "schema" fl.Protocol.body)
+                   Json.string_value);
+              match Explain.render fl.Protocol.body with
+              | Error msg -> Alcotest.failf "snapshot unrenderable: %s" msg
+              | Ok report ->
+                List.iter
+                  (fun needle ->
+                    Alcotest.(check bool) ("report mentions " ^ needle) true
+                      (contains_sub report needle))
+                  [ "solve timeline"; "budget-exhausted"; "fallback";
+                    "binding sinks"; "labels/row" ]));
+      (* The degraded request also left a black-box dump on disk, named
+         by its request id and renderable offline. *)
+      let dumps =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".flight.json")
+      in
+      (match dumps with
+      | [] -> Alcotest.fail "no flight dump written for the degraded request"
+      | name :: _ ->
+        Alcotest.(check bool) "request-id-named" true
+          (String.length name > 0 && name.[0] = 'r');
+        let ic = open_in_bin (Filename.concat dir name) in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Json.of_string text with
+        | Error msg -> Alcotest.failf "dump file unparseable: %s" msg
+        | Ok dump -> (
+          match Explain.render dump with
+          | Error msg -> Alcotest.failf "dump file unrenderable: %s" msg
+          | Ok report ->
+            Alcotest.(check bool) "offline report has the fallback" true
+              (contains_sub report "fallback"))))
+
+let test_flight_recorder_never_influences () =
+  (* The byte-identity contract with the recorder specifically: the
+     same degraded request executes identically with recording off and
+     on, while the enabled run actually fills the ring. *)
+  let req = Protocol.Run { opts = degraded_run_opts; algorithm = Flow.Wavemin } in
+  let render = function
+    | Ok body -> "ok:" ^ Json.to_string body
+    | Error (e, _) -> "err:" ^ Json.to_string (Verrors.to_json e)
+  in
+  let was_enabled = Flight.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Flight.set_enabled was_enabled)
+    (fun () ->
+      Flight.set_enabled false;
+      let off = render (Handlers.execute (Session.create ()) req) in
+      Flight.set_enabled true;
+      Flight.clear ();
+      let on = render (Handlers.execute (Session.create ()) req) in
+      let recorded = Flight.recorded () in
+      Alcotest.(check string) "byte-identical with recorder on" off on;
+      Alcotest.(check bool) "recorder saw the solve" true (recorded > 0))
+
 (* ---- bit-identity: concurrent == sequential ----------------------- *)
 
 let identity_requests =
@@ -712,6 +892,11 @@ let () =
         [ Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
           Alcotest.test_case "drain" `Quick test_bqueue_drain;
           Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop ] );
+      ( "access-log",
+        [ Alcotest.test_case "size-based rotation" `Quick
+            test_access_log_rotation;
+          Alcotest.test_case "unbounded by default" `Quick
+            test_access_log_no_rotation_by_default ] );
       ( "protocol",
         [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "malformed" `Quick test_protocol_malformed;
@@ -727,6 +912,11 @@ let () =
           Alcotest.test_case "backpressure" `Slow test_server_backpressure;
           Alcotest.test_case "telemetry" `Quick test_server_telemetry;
           Alcotest.test_case "fault seams" `Slow test_server_survives_faults ] );
+      ( "flight",
+        [ Alcotest.test_case "degradation forensics" `Quick
+            test_server_flight_forensics;
+          Alcotest.test_case "recorder never influences" `Quick
+            test_flight_recorder_never_influences ] );
       ( "loadgen",
         [ Alcotest.test_case "deterministic class counts" `Quick
             test_loadgen_deterministic_counts;

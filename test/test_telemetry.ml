@@ -1,14 +1,17 @@
 (* The live-telemetry layer: rolling-window histogram rotation and
-   percentiles (with injected clocks), Prometheus text exposition
-   parsed back line by line (cumulative buckets, +Inf == count), the
-   finite-JSON guarantee for empty/degenerate histogram snapshots, and
-   the process-runtime sampler. *)
+   percentiles (with injected clocks, including skewed ones), Prometheus
+   text exposition parsed back line by line (cumulative buckets,
+   +Inf == count), the finite-JSON guarantee for empty/degenerate
+   histogram snapshots, the process-runtime sampler, and the flight
+   recorder (ring semantics, versioned dump, explain rendering). *)
 
 module Json = Repro_util.Json
 module Metrics = Repro_obs.Metrics
 module Rolling = Repro_obs.Rolling
 module Prometheus = Repro_obs.Prometheus
 module Runtime = Repro_obs.Runtime
+module Flight = Repro_obs.Flight
+module Explain = Repro_obs.Explain
 
 (* ---- rolling windows ---------------------------------------------- *)
 
@@ -79,6 +82,57 @@ let test_rolling_slot_reuse () =
   Alcotest.(check int) "old slot contents dropped" 1 s.Rolling.count;
   Alcotest.(check (float 1e-9)) "only the new sample" 7.0 s.Rolling.max;
   Alcotest.(check int) "lifetime total keeps both" 2 s.Rolling.total
+
+let test_rolling_clock_skew () =
+  (* A timestamp older than what its ring slot already holds (an NTP
+     step back, or a cross-thread `now` sampled before a rotation) must
+     not resurrect the stale period: that used to clear the slot,
+     silently wiping newer samples sharing the ring index.  The late
+     sample folds forward into the newer slot instead. *)
+  let r = Rolling.create ~window_s:60.0 ~slots:12 () in
+  Rolling.observe ~now:300.0 r 100.0;
+  (* period 0 and period 60 share ring index 0 *)
+  Rolling.observe ~now:1.0 r 7.0;
+  let s = Rolling.stats ~now:300.0 r in
+  Alcotest.(check int) "newer sample survives, late one folds in" 2
+    s.Rolling.count;
+  Alcotest.(check (float 1e-9)) "max kept" 100.0 s.Rolling.max;
+  Alcotest.(check (float 1e-9)) "late sample visible" 7.0 s.Rolling.min;
+  Alcotest.(check int) "lifetime total" 2 s.Rolling.total;
+  (* Querying with a stale clock is merely empty, never corrupt. *)
+  let back = Rolling.stats ~now:1.0 r in
+  Alcotest.(check int) "stale query sees nothing" 0 back.Rolling.count;
+  Alcotest.(check int) "stale query keeps total" 2 back.Rolling.total;
+  (* ...and the window still ages out normally afterwards. *)
+  Alcotest.(check int) "expires on schedule" 0
+    (Rolling.stats ~now:400.0 r).Rolling.count
+
+let rolling_clock_skew_prop =
+  (* Arbitrary interleavings of forward and backward timestamps: stats
+     at the latest observed time must stay finite and bounded — at
+     least every sample that is in-window by its own timestamp (skew
+     only ever folds samples forward), at most the lifetime total. *)
+  QCheck.Test.make ~count:300 ~name:"rolling stats sane under clock skew"
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_bound 1000) (int_bound 99)))
+    (fun ops ->
+      let r = Rolling.create ~window_s:60.0 ~slots:12 () in
+      List.iter
+        (fun (now, v) ->
+          Rolling.observe ~now:(float_of_int now) r (float_of_int (v + 1)))
+        ops;
+      let q = List.fold_left (fun acc (now, _) -> Stdlib.max acc now) 0 ops in
+      let s = Rolling.stats ~now:(float_of_int q) r in
+      let period x = int_of_float (Float.floor (float_of_int x /. 5.0)) in
+      let in_window =
+        List.length (List.filter (fun (now, _) -> period now > period q - 12) ops)
+      in
+      s.Rolling.count >= in_window
+      && s.Rolling.count <= List.length ops
+      && s.Rolling.total = List.length ops
+      && List.for_all Float.is_finite
+           [ s.Rolling.mean; s.Rolling.min; s.Rolling.max; s.Rolling.p50;
+             s.Rolling.p95; s.Rolling.p99; s.Rolling.rate ]
+      && (s.Rolling.count = 0 || s.Rolling.min <= s.Rolling.max))
 
 let test_rolling_rate () =
   let r = Rolling.create ~window_s:60.0 ~slots:12 () in
@@ -272,6 +326,179 @@ let test_runtime_sampler_thread () =
     (Invalid_argument "Runtime.start: period_s <= 0") (fun () ->
       ignore (Runtime.start ~period_s:0.0 ()))
 
+(* ---- flight recorder ---------------------------------------------- *)
+
+let with_flight ?(capacity = 64) f =
+  (* The recorder is a process-wide singleton: isolate each test and
+     restore the disabled default so nothing leaks across cases. *)
+  Flight.set_capacity capacity;
+  Flight.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_enabled false;
+      Flight.set_capacity 4096)
+    f
+
+let note name = Flight.Note { name; attrs = [] }
+
+let test_flight_disabled_is_noop () =
+  Flight.set_enabled false;
+  Flight.clear ();
+  Flight.record (note "dropped");
+  Alcotest.(check int) "nothing recorded" 0 (Flight.recorded ());
+  Alcotest.(check int) "ring empty" 0 (List.length (Flight.events ()))
+
+let test_flight_ring_wrap () =
+  with_flight ~capacity:8 (fun () ->
+      for i = 0 to 19 do
+        Flight.record (note (string_of_int i))
+      done;
+      Alcotest.(check int) "all recorded" 20 (Flight.recorded ());
+      let events = Flight.events () in
+      Alcotest.(check int) "ring holds capacity" 8 (List.length events);
+      let seqs = List.map (fun e -> e.Flight.seq) events in
+      Alcotest.(check (list int)) "oldest overwritten, order kept"
+        [ 12; 13; 14; 15; 16; 17; 18; 19 ] seqs;
+      match Flight.to_json () with
+      | Json.Obj fields ->
+        Alcotest.(check (option string)) "schema"
+          (Some "wavemin-flight")
+          (Option.bind (List.assoc_opt "schema" fields) Json.string_value);
+        Alcotest.(check bool) "version" true
+          (List.assoc_opt "version" fields
+          = Some (Json.Num (float_of_int Flight.schema_version)));
+        Alcotest.(check bool) "dropped counted" true
+          (List.assoc_opt "dropped" fields = Some (Json.Num 12.0));
+        (match List.assoc_opt "events" fields with
+        | Some (Json.List l) ->
+          Alcotest.(check int) "events serialized" 8 (List.length l)
+        | _ -> Alcotest.fail "no events list");
+        (* The dump must round-trip through the JSON printer/parser. *)
+        (match Json.of_string (Json.to_string (Flight.to_json ())) with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "dump does not round-trip: %s" msg)
+      | _ -> Alcotest.fail "dump not an object")
+
+let test_flight_write_and_clear () =
+  with_flight (fun () ->
+      Flight.record (note "persisted");
+      let path = Filename.temp_file "wm-flight" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          (match Flight.write path with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "write failed: %s" msg);
+          let ic = open_in_bin path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Json.of_string text with
+          | Error msg -> Alcotest.failf "written dump unparseable: %s" msg
+          | Ok dump ->
+            Alcotest.(check (option string)) "file carries the schema"
+              (Some "wavemin-flight")
+              (Option.bind (Json.member "schema" dump) Json.string_value));
+      (match Flight.write "/nonexistent-dir/x/y.json" with
+      | Ok () -> Alcotest.fail "write into a missing directory succeeded"
+      | Error _ -> ());
+      Flight.clear ();
+      Alcotest.(check int) "clear resets recorded" 0 (Flight.recorded ());
+      Alcotest.(check bool) "enable flag survives clear" true
+        (Flight.enabled ()))
+
+(* ---- explain rendering -------------------------------------------- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_explain_synthetic_dump () =
+  with_flight (fun () ->
+      Flight.record
+        (Flight.Solve_start { benchmark = "s99"; algorithm = "ClkWaveMin" });
+      Flight.record
+        (Flight.Window
+           { kappa_ps = 16.0; feasible = 3; min_width_ps = 2.5;
+             earliest_leaf = 4; earliest_ps = 140.0; latest_leaf = 9;
+             latest_ps = 142.5 });
+      Flight.record (Flight.Zone_start { cls = 0; zone = 1; sinks = 5 });
+      Flight.record
+        (Flight.Label_row { row = 0; extended = 8; kept = 4; pruned = 3;
+                            capped = 1 });
+      Flight.record
+        (Flight.Zone_end
+           { cls = 0; zone = 1; peak_ua = 1234.5; capped = true;
+             wall_ms = 3.25 });
+      Flight.record
+        (Flight.Budget_trip { reason = "label budget of 4 exhausted";
+                              labels_used = 8 });
+      Flight.record
+        (Flight.Solve_end
+           { benchmark = "s99"; algorithm = "ClkWaveMin"; ok = false;
+             wall_ms = 9.0 });
+      Flight.record
+        (Flight.Fallback
+           { from_alg = "ClkWaveMin"; to_alg = Some "ClkPeakMin";
+             code = "budget-exhausted"; message = "label budget exhausted" });
+      Flight.record
+        (Flight.Cache { cache = "session"; outcome = "hit"; key = "k" });
+      Flight.record
+        (Flight.Contention { resource = "session.lock"; wait_ms = 0.4 });
+      match Explain.render (Flight.to_json ()) with
+      | Error msg -> Alcotest.failf "render failed: %s" msg
+      | Ok report ->
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("report mentions " ^ needle) true
+              (contains_sub report needle))
+          [ "solve timeline"; "ClkWaveMin"; "FAILED";
+            "falling back to ClkPeakMin"; "budget-exhausted"; "skew window";
+            "binding sinks"; "leaf 4"; "leaf 9"; "zones by wall time";
+            "class 0 zone 1"; "label-capped"; "labels/row: 4*";
+            "budget trips"; "caches"; "session"; "contention";
+            "session.lock" ])
+
+let test_explain_rejects_non_dumps () =
+  let expect_error name dump =
+    match Explain.render dump with
+    | Ok _ -> Alcotest.failf "%s accepted" name
+    | Error _ -> ()
+  in
+  expect_error "bare object" (Json.Obj []);
+  expect_error "wrong schema"
+    (Json.Obj [ ("schema", Json.Str "bogus"); ("version", Json.Num 1.0) ]);
+  expect_error "future version"
+    (Json.Obj
+       [ ("schema", Json.Str "wavemin-flight");
+         ("version", Json.Num (float_of_int (Flight.schema_version + 1)));
+         ("events", Json.List []) ]);
+  expect_error "not an object" (Json.Str "nope");
+  (* Unknown event kinds are skipped, not fatal: dumps from a newer
+     minor revision still render. *)
+  match
+    Explain.render
+      (Json.Obj
+         [ ("schema", Json.Str "wavemin-flight");
+           ("version", Json.Num (float_of_int Flight.schema_version));
+           ("recorded", Json.Num 1.0); ("dropped", Json.Num 0.0);
+           ( "events",
+             Json.List
+               [ Json.Obj
+                   [ ("seq", Json.Num 0.0); ("t_ms", Json.Num 0.0);
+                     ("domain", Json.Num 0.0);
+                     ("kind", Json.Str "from-the-future") ] ] ) ])
+  with
+  | Ok report ->
+    Alcotest.(check bool) "unknown kind surfaced" true
+      (contains_sub report "from-the-future")
+  | Error msg -> Alcotest.failf "unknown kind was fatal: %s" msg
+
 let () =
   Alcotest.run "telemetry"
     [ ( "rolling",
@@ -280,9 +507,23 @@ let () =
             test_rolling_percentile_accuracy;
           Alcotest.test_case "rotation" `Quick test_rolling_rotation;
           Alcotest.test_case "slot reuse" `Quick test_rolling_slot_reuse;
+          Alcotest.test_case "clock skew" `Quick test_rolling_clock_skew;
           Alcotest.test_case "rate" `Quick test_rolling_rate;
           Alcotest.test_case "reset + non-finite" `Quick
-            test_rolling_reset_and_nonfinite ] );
+            test_rolling_reset_and_nonfinite;
+          QCheck_alcotest.to_alcotest rolling_clock_skew_prop ] );
+      ( "flight",
+        [ Alcotest.test_case "disabled is a no-op" `Quick
+            test_flight_disabled_is_noop;
+          Alcotest.test_case "ring wrap + versioned dump" `Quick
+            test_flight_ring_wrap;
+          Alcotest.test_case "write + clear" `Quick
+            test_flight_write_and_clear ] );
+      ( "explain",
+        [ Alcotest.test_case "synthetic dump renders" `Quick
+            test_explain_synthetic_dump;
+          Alcotest.test_case "rejects non-dumps" `Quick
+            test_explain_rejects_non_dumps ] );
       ( "prometheus",
         [ Alcotest.test_case "name mapping" `Quick test_prometheus_names;
           Alcotest.test_case "parse-back" `Quick test_prometheus_parse_back;
