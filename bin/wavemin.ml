@@ -746,6 +746,23 @@ let serve_cmd =
     in
     Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N" ~doc)
   in
+  let cache_shards_arg =
+    let doc =
+      "Lock stripes for the session cache: the capacity is split across \
+       $(docv) independently locked LRU shards (clamped to a power of \
+       two no larger than the capacity), so concurrent executors' warm \
+       lookups only contend on same-shard keys."
+    in
+    Arg.(value & opt int 4 & info [ "cache-shards" ] ~docv:"N" ~doc)
+  in
+  let executors_arg =
+    let doc =
+      "Executor workers pulling from the request queue — cross-request \
+       parallelism, on top of the per-request $(b,--jobs) pool.  0 (the \
+       default) means one executor per job."
+    in
+    Arg.(value & opt int 0 & info [ "executors" ] ~docv:"N" ~doc)
+  in
   let report_arg =
     let doc = "Where the final drain report (BENCH schema) is written." in
     Arg.(value & opt string "BENCH_serve_drain.json"
@@ -807,8 +824,9 @@ let serve_cmd =
     in
     Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
   in
-  let run address_s queue cache report no_report access_log access_log_max_bytes
-      access_log_keep flight_dir no_flight window jobs level trace metrics =
+  let run address_s queue cache cache_shards executors report no_report
+      access_log access_log_max_bytes access_log_keep flight_dir no_flight
+      window jobs level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match parse_address address_s with
@@ -817,6 +835,8 @@ let serve_cmd =
       let cfg =
         { Server.address; queue_capacity = max 1 queue;
           cache_capacity = max 1 cache;
+          cache_shards = max 1 cache_shards;
+          executors;
           report_path = (if no_report then None else Some report);
           access_log_path = access_log;
           access_log_max_bytes;
@@ -845,7 +865,8 @@ let serve_cmd =
           $(b,shutdown) request.  Live telemetry: per-request spans and \
           access log, rolling latency windows in $(b,stats), Prometheus \
           exposition via the $(b,metrics) request")
-    Term.(const run $ address_arg $ queue_arg $ cache_arg $ report_arg
+    Term.(const run $ address_arg $ queue_arg $ cache_arg $ cache_shards_arg
+          $ executors_arg $ report_arg
           $ no_report_arg $ access_log_arg $ access_log_max_bytes_arg
           $ access_log_keep_arg $ flight_dir_arg $ no_flight_arg
           $ window_arg $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
@@ -1041,18 +1062,33 @@ let bench_serve_cmd =
     Arg.(value & opt string "BENCH_serve.json"
          & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
+  let dup_fraction_arg =
+    let doc =
+      "Add a duplicate-heavy class ($(b,dup-wavemin): content-identical \
+       heavy requests) weighted to be roughly $(docv) of the schedule \
+       (0 < $(docv) <= 0.9) — concurrent duplicates exercise the \
+       server's single-flight coalescing, reported as $(b,coalesced) in \
+       the run summary and the report's environment block."
+    in
+    Arg.(value & opt float 0.0 & info [ "dup-fraction" ] ~docv:"FRACTION" ~doc)
+  in
   let cell = Table.cell_f ~decimals:1 in
-  let run address_s connections count duration benchmark window output =
+  let run address_s connections count duration benchmark window dup_fraction
+      output =
     match parse_address address_s with
     | Error code -> code
     | Ok address -> (
       let total =
         match (count, duration) with None, None -> Some 64 | c, _ -> c
       in
+      let profile =
+        if dup_fraction > 0.0 then
+          Loadgen.dup_profile ~benchmark ~fraction:dup_fraction
+        else Loadgen.default_profile ~benchmark
+      in
       let cfg =
         { Loadgen.address; connections = max 1 connections; total;
-          duration_s = duration;
-          profile = Loadgen.default_profile ~benchmark;
+          duration_s = duration; profile;
           window_s = (if window > 0.0 then window else 60.0) }
       in
       match Loadgen.run cfg with
@@ -1079,6 +1115,9 @@ let bench_serve_cmd =
         Format.printf
           "@.wall_s %.2f  requests %d  errors %d  throughput %.1f req/s@."
           r.wall_s r.total_requests r.total_errors r.throughput_rps;
+        (match r.coalesced with
+        | Some n -> Format.printf "coalesced %d@." n
+        | None -> ());
         Format.printf "rolling(%gs) p50 %.1f  p95 %.1f  p99 %.1f ms@."
           cfg.Loadgen.window_s r.rolling.Repro_obs.Rolling.p50
           r.rolling.Repro_obs.Rolling.p95 r.rolling.Repro_obs.Rolling.p99;
@@ -1095,7 +1134,8 @@ let bench_serve_cmd =
           rolling-window latency percentiles — gated in CI by \
           $(b,bench-diff)")
     Term.(const run $ address_arg $ connections_arg $ count_arg
-          $ duration_arg $ benchmark_arg $ window_arg $ output_arg)
+          $ duration_arg $ benchmark_arg $ window_arg $ dup_fraction_arg
+          $ output_arg)
 
 let top_cmd =
   let interval_arg =
@@ -1132,14 +1172,38 @@ let top_cmd =
   in
   let render body =
     let b = Format.sprintf in
+    (* One segment per executor: busy fraction, responses written, and
+       the request id in flight ("idle" when blocked in pop). *)
+    let executors_line =
+      match Json.member "executors" body with
+      | Some (Json.List (_ :: _ as items)) ->
+        let one item =
+          let pct =
+            match num [ "busy_frac" ] item with
+            | Some v -> Printf.sprintf "%.0f%%" (100.0 *. v)
+            | None -> "-"
+          in
+          let rid =
+            match str [ "rid" ] item with "-" -> "idle" | r -> r
+          in
+          b "e%s %s busy, %s req (%s)" (fmt [ "id" ] item) pct
+            (fmt [ "requests" ] item)
+            rid
+        in
+        [ "executors " ^ String.concat " | " (List.map one items) ]
+      | _ -> []
+    in
     let lines =
       [ b "wavemin top — %s  up %ss  jobs %s" (str [ "status" ] body)
           (fmt ~decimals:0 [ "uptime_s" ] body)
           (fmt [ "jobs" ] body);
-        b "served %s  rejected %s  errors %s  in-flight %s"
+        b "served %s  rejected %s  errors %s  coalesced %s  in-flight %s"
           (fmt [ "served" ] body) (fmt [ "rejected" ] body)
           (fmt [ "errors" ] body)
-          (fmt [ "in_flight" ] body);
+          (fmt [ "coalesced" ] body)
+          (fmt [ "in_flight" ] body) ]
+      @ executors_line
+      @ [
         b "queue %s/%s  cache %s/%s (hits %s misses %s evictions %s)"
           (fmt [ "queue"; "depth" ] body)
           (fmt [ "queue"; "capacity" ] body)

@@ -78,17 +78,49 @@ let charge_labels t n =
 (* ------------------------------------------------------------------ *)
 (* Ambient budget                                                      *)
 
-let ambient : t option Atomic.t = Atomic.make None
+(* Thread-scoped, not process-wide: the daemon runs several executor
+   threads concurrently, and a global slot would leak one request's
+   budget into another request's solver checks.  The slot is keyed by
+   (domain, thread); {!Repro_par.Par} captures the submitting thread's
+   budget at region setup and re-installs it around each pool task, so
+   worker domains still observe it.  [installed] counts live
+   installations so that with no budget anywhere the ambient check
+   stays a single atomic load. *)
 
-let current () = Atomic.get ambient
+let installed = Atomic.make 0
+let tls : (int * int, t) Hashtbl.t = Hashtbl.create 16
+let tls_mutex = Mutex.create ()
+let tls_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let current () =
+  if Atomic.get installed = 0 then None
+  else begin
+    let k = tls_key () in
+    Mutex.lock tls_mutex;
+    let r = Hashtbl.find_opt tls k in
+    Mutex.unlock tls_mutex;
+    r
+  end
 
 let with_current t f =
-  let saved = Atomic.get ambient in
-  Atomic.set ambient (Some t);
-  Fun.protect ~finally:(fun () -> Atomic.set ambient saved) f
+  let k = tls_key () in
+  Mutex.lock tls_mutex;
+  let saved = Hashtbl.find_opt tls k in
+  Hashtbl.replace tls k t;
+  Mutex.unlock tls_mutex;
+  Atomic.incr installed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr installed;
+      Mutex.lock tls_mutex;
+      (match saved with
+      | Some prev -> Hashtbl.replace tls k prev
+      | None -> Hashtbl.remove tls k);
+      Mutex.unlock tls_mutex)
+    f
 
 let check_current () =
-  match Atomic.get ambient with None -> () | Some t -> check t
+  match current () with None -> () | Some t -> check t
 
 let charge_labels_current n =
-  match Atomic.get ambient with None -> () | Some t -> charge_labels t n
+  match current () with None -> () | Some t -> charge_labels t n

@@ -16,10 +16,12 @@
     wall-clock deadlines; either way the flow records the downgrade as a
     [degradation] instead of failing the run.
 
-    The {e ambient} budget is a process-wide slot ({!with_current}) read
-    by the solver stack; with no budget installed every ambient check is
-    a single atomic load and a compare — the default path stays
-    bit-identical. *)
+    The {e ambient} budget is a thread-scoped slot ({!with_current})
+    read by the solver stack; {!Repro_par.Par} propagates the submitting
+    thread's budget into every pool task, so concurrent server executors
+    never observe each other's budgets.  With no budget installed
+    anywhere, every ambient check is a single atomic load and a compare
+    — the default path stays bit-identical. *)
 
 type t
 
@@ -43,9 +45,11 @@ val labels_used : t -> int
 (** {1 Ambient budget} *)
 
 val with_current : t -> (unit -> 'a) -> 'a
-(** Install a budget as the process-wide ambient budget for the
+(** Install a budget as the calling thread's ambient budget for the
     duration of the thunk (restoring the previous one afterwards, also
-    on exceptions).  Worker domains observe the installed budget. *)
+    on exceptions).  Pool tasks submitted from inside the thunk observe
+    the installed budget ({!Repro_par.Par} re-installs it around each
+    task); unrelated threads never do. *)
 
 val current : unit -> t option
 

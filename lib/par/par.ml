@@ -87,12 +87,23 @@ let with_region label items f =
 
 (* Budget checks and the pool-task fault seam wrap every task, on the
    sequential and pooled paths alike, but only when one of them is
-   armed — the default path applies [f] untouched. *)
+   armed — the default path applies [f] untouched.  The ambient budget
+   is thread-scoped, so it is captured here on the submitting thread
+   and re-installed around each task: worker domains (and a caller
+   participating in the batch) check the submitter's budget, never a
+   budget installed by a concurrent executor thread. *)
 let instrument label f =
-  if Fault.active () || Budget.current () <> None then (fun x ->
-    Budget.check_current ();
-    Fault.trip Fault.Pool_task ~site:("par." ^ label);
-    f x)
+  let budget = Budget.current () in
+  if Fault.active () || budget <> None then (fun x ->
+    match budget with
+    | Some b ->
+      Budget.with_current b (fun () ->
+          Budget.check b;
+          Fault.trip Fault.Pool_task ~site:("par." ^ label);
+          f x)
+    | None ->
+      Fault.trip Fault.Pool_task ~site:("par." ^ label);
+      f x)
   else f
 
 let parallel_map ?(label = "map") f arr =

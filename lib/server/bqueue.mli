@@ -1,12 +1,13 @@
-(** A bounded multi-producer single-consumer queue with explicit
+(** A bounded multi-producer multi-consumer queue with explicit
     backpressure and drain semantics.
 
     Producers (connection threads) never block: {!push} returns [`Full]
     when the bound is reached — the caller turns that into a structured
-    [Overloaded] rejection — and [`Closed] once draining has begun.  The
-    consumer (the executor) blocks in {!pop} until an item arrives;
-    after {!close} it continues to receive the items already accepted
-    (graceful drain finishes in-flight work) and then gets [None].
+    [Overloaded] rejection — and [`Closed] once draining has begun.
+    Consumers (the executor workers) block in {!pop} until an item
+    arrives; each item is delivered to exactly one consumer.  After
+    {!close} they continue to receive the items already accepted
+    (graceful drain finishes in-flight work) and then get [None].
     Thread- and domain-safe. *)
 
 type 'a t

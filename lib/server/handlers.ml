@@ -58,7 +58,7 @@ let run_json (r : Flow.run) =
    content hash.  Threaded as a mutable record precisely so nothing
    about it can leak into the response body — responses stay
    byte-identical with or without a [meta] attached. *)
-type cache_outcome = Cache_hit | Cache_miss | Cache_none
+type cache_outcome = Cache_hit | Cache_miss | Cache_coalesced | Cache_none
 
 type meta = {
   mutable cache : cache_outcome;
@@ -70,6 +70,7 @@ let create_meta () = { cache = Cache_none; content_key = None }
 let cache_outcome_name = function
   | Cache_hit -> "hit"
   | Cache_miss -> "miss"
+  | Cache_coalesced -> "coalesced"
   | Cache_none -> "none"
 
 let prepared ?meta session (o : P.solve_opts) ~stage =

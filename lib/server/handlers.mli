@@ -16,6 +16,9 @@ val degradation_json : Flow.degradation -> Json.t
 type cache_outcome =
   | Cache_hit
   | Cache_miss
+  | Cache_coalesced
+      (** Answered from another request's in-flight solve (single-flight
+          follower); set by the server, never by {!execute}. *)
   | Cache_none  (** No session-cache lookup happened (e.g. [validate]). *)
 
 type meta = {

@@ -46,6 +46,38 @@ let default_config address ~benchmark =
   { address; connections = 4; total = Some 64; duration_s = None;
     profile = default_profile ~benchmark; window_s = 60.0 }
 
+(* Duplicate-heavy profile: the default mix plus one heavy class whose
+   every request is content-identical (same benchmark, same kappa), so
+   concurrent connections hit the server's single-flight layer.  The
+   weight is chosen so the duplicate class is ~[fraction] of the
+   schedule: w / (6 + w) = fraction. *)
+let dup_profile ~benchmark ~fraction =
+  let fraction = Float.max 0.0 (Float.min 0.9 fraction) in
+  let weight =
+    max 1 (int_of_float (Float.round (6.0 *. fraction /. (1.0 -. fraction))))
+  in
+  let opts = { (P.default_opts ~benchmark) with P.kappa = 25.0 } in
+  default_profile ~benchmark
+  @ [ ({ k_name = "dup-wavemin";
+         k_request = P.Run { opts; algorithm = Repro_core.Flow.Wavemin } },
+       weight) ]
+
+(* The server's lifetime coalesce counter, via one extra stats probe —
+   sampled before and after the load so the result can report the
+   delta.  Best-effort: a daemon predating the counter yields [None]. *)
+let coalesced_count address =
+  match Client.connect address with
+  | Error _ -> None
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        match Client.request c P.Stats with
+        | Ok resp when resp.P.ok ->
+          Option.map int_of_float
+            (Option.bind (Json.member "coalesced" resp.P.body) Json.float_value)
+        | Ok _ | Error _ -> None)
+
 (* Growable per-class latency sample buffer (mutex-guarded). *)
 type samples = {
   s_mutex : Mutex.t;
@@ -88,6 +120,7 @@ type result = {
   wall_s : float;
   total_requests : int;
   total_errors : int;
+  coalesced : int option;  (* server-side coalesce delta over the run *)
   throughput_rps : float;
   rolling : Rolling.stats;  (* the rolling-window view, ms *)
   overall : class_stats;  (* exact percentiles over every sample *)
@@ -179,6 +212,7 @@ let run cfg =
             in
             loop ())
     in
+    let coalesced_before = coalesced_count cfg.address in
     let results = Array.make cfg.connections (Ok ()) in
     let threads =
       Array.init cfg.connections (fun i ->
@@ -186,6 +220,11 @@ let run cfg =
     in
     Array.iter Thread.join threads;
     let wall_s = Clock.now_s () -. started_s in
+    let coalesced =
+      match (coalesced_before, coalesced_count cfg.address) with
+      | Some before, Some after -> Some (after - before)
+      | _ -> None
+    in
     (* Connecting to a dead daemon should fail loudly, not report an
        all-error run: surface the first connect failure if nothing at
        all was measured. *)
@@ -208,6 +247,7 @@ let run cfg =
         { wall_s;
           total_requests = overall.count + total_errors;
           total_errors;
+          coalesced;
           throughput_rps =
             (if wall_s > 0.0 then float_of_int overall.count /. wall_s
              else 0.0);
@@ -239,8 +279,12 @@ let to_report cfg r =
         | Some d -> [ ("duration_s", Json.float_to_string d) ]
         | None -> [])
       ~environment:
-        [ ("address", Server.address_to_string cfg.address);
-          ("errors", string_of_int r.total_errors) ]
+        ([ ("address", Server.address_to_string cfg.address);
+           ("errors", string_of_int r.total_errors) ]
+        @
+        match r.coalesced with
+        | Some n -> [ ("coalesced", string_of_int n) ]
+        | None -> [])
       ()
   in
   let add_class (c : class_stats) =

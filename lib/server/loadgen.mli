@@ -36,6 +36,12 @@ val default_profile : benchmark:string -> (klass * int) list
 (** 3x [run] (initial), 1x [run] (wavemin), 1x [validate], 1x [stats] —
     a cache-friendly mix with one heavy class and one control probe. *)
 
+val dup_profile : benchmark:string -> fraction:float -> (klass * int) list
+(** The default profile plus a [dup-wavemin] class of content-identical
+    heavy requests weighted to be ~[fraction] of the schedule (clamped
+    to [0, 0.9]) — concurrent connections sending them exercise the
+    server's single-flight coalescing. *)
+
 val default_config : Server.address -> benchmark:string -> config
 (** 4 connections, 64 requests, default profile, 60 s window. *)
 
@@ -54,6 +60,10 @@ type result = {
   wall_s : float;
   total_requests : int;
   total_errors : int;
+  coalesced : int option;
+      (** Delta of the server's [coalesced] stats counter over the run
+          (sampled via an extra stats probe before and after);
+          [None] when the probe failed. *)
   throughput_rps : float;  (** Successful requests per wall second. *)
   rolling : Rolling.stats;  (** The rolling-window view (ms). *)
   overall : class_stats;

@@ -198,6 +198,13 @@ let error_response ~id ?(degradations = []) err =
     if degradations = [] then []
     else [ ("degradations", Json.List degradations) ])
 
+(* The single-flight content key: the canonical wire rendering with the
+   id nulled out, so two requests differing only in their ids coalesce
+   and any semantic difference (benchmark, kappa, budget, library text)
+   keeps them apart. *)
+let canonical_key req =
+  Digest.to_hex (Digest.string (Json.to_string (request_to_json ~id:Json.Null req)))
+
 let line json = Json.to_string json ^ "\n"
 
 type response = { rid : Json.t; ok : bool; body : Json.t }

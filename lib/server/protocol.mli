@@ -80,6 +80,12 @@ val parse_request : string -> envelope
 
 val request_to_json : id:Json.t -> request -> Json.t
 
+val canonical_key : request -> string
+(** Hex digest of the canonical wire rendering with the id nulled out —
+    the single-flight coalescing key.  Two requests coalesce iff every
+    semantic field (benchmark, parameters, budgets, inline library)
+    matches; the request id never participates. *)
+
 val ok_response : id:Json.t -> Json.t -> Json.t
 val error_response : id:Json.t -> ?degradations:Json.t list -> Verrors.t -> Json.t
 

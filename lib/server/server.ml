@@ -10,17 +10,20 @@ module Report = Repro_obs.Report
 module Par = Repro_par.Par
 module Pool = Repro_par.Pool
 module P = Protocol
+module Flight = Repro_obs.Flight
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.server"))
 
-(* The executor's synthetic Chrome-trace lane: request spans group under
-   one labeled row regardless of which system thread runs them. *)
-let executor_tid = 1000
+(* Executor lanes: executor K's request spans group under the synthetic
+   Chrome-trace tid [1000 + K] regardless of which system thread runs
+   them. *)
+let executor_tid_base = 1000
 
 (* ---- metrics ------------------------------------------------------ *)
 
 let requests_c = Metrics.counter "server.requests"
 let rejected_c = Metrics.counter "server.rejected"
 let errors_c = Metrics.counter "server.errors"
+let coalesced_c = Metrics.counter "server.coalesced"
 let queue_depth_g = Metrics.gauge "server.queue_depth"
 let in_flight_g = Metrics.gauge "server.in_flight"
 let latency_h = Metrics.histogram "server.latency_ms"
@@ -61,6 +64,8 @@ type config = {
   address : address;
   queue_capacity : int;
   cache_capacity : int;
+  cache_shards : int;
+  executors : int;
   report_path : string option;
   access_log_path : string option;
   access_log_max_bytes : int option;
@@ -73,7 +78,8 @@ type config = {
 }
 
 let default_config address =
-  { address; queue_capacity = 16; cache_capacity = 8;
+  { address; queue_capacity = 16; cache_capacity = 8; cache_shards = 4;
+    executors = 0;
     report_path = Some "BENCH_serve_drain.json"; access_log_path = None;
     access_log_max_bytes = None; access_log_keep = 3;
     rolling_window_s = 60.0; sample_period_s = Some 1.0;
@@ -93,8 +99,21 @@ type item = {
   item_id : Json.t;
   item_rid : string;  (* server-assigned request/trace id *)
   item_req : P.request;
+  item_key : string;  (* single-flight content key ({!P.canonical_key}) *)
   enqueued_s : float;
   enqueued_ns : int64;
+}
+
+(* One executor worker: a thread popping the shared bounded queue, with
+   its own Chrome-trace lane and per-worker counters.  [ex_busy_ns] has
+   a single writer (the worker itself); [ex_rid] is the request id being
+   executed, [""] when the worker is idle blocking in pop. *)
+type executor = {
+  ex_id : int;
+  ex_tid : int;  (* executor_tid_base + ex_id *)
+  ex_requests : int Atomic.t;  (* responses written, followers included *)
+  ex_busy_ns : int Atomic.t;
+  ex_rid : string Atomic.t;
 }
 
 type t = {
@@ -102,6 +121,9 @@ type t = {
   listener : Unix.file_descr;
   queue : item Bqueue.t;
   session : Session.t;
+  executors : executor array;
+  sflight : item Sflight.t;
+  coalesced : int Atomic.t;
   accepting : bool Atomic.t;
   conns : (int, conn * Thread.t) Hashtbl.t;
   conns_mutex : Mutex.t;
@@ -173,6 +195,7 @@ let health_json t =
       ("queue_depth", Json.Num (float_of_int (Bqueue.length t.queue)));
       ("queue_capacity", Json.Num (float_of_int (Bqueue.capacity t.queue)));
       ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
+      ("executors", Json.Num (float_of_int (Array.length t.executors)));
       ("jobs", Json.Num (float_of_int (Par.jobs ()))) ]
 
 (* Extrema are guarded per-field, not by [count <> 0]: a histogram fed
@@ -193,16 +216,39 @@ let histogram_json h =
       [ ("p50", Json.Num (Metrics.quantile h 0.5));
         ("p90", Json.Num (Metrics.quantile h 0.9)) ])
 
+(* Per-executor state for [stats] / `wavemin top`: lifetime busy
+   fraction, responses written (followers included), and the request id
+   currently executing (null when idle). *)
+let executor_json ~uptime_s ex =
+  let busy_frac =
+    if uptime_s <= 0.0 then 0.0
+    else
+      Float.max 0.0
+        (Float.min 1.0
+           (float_of_int (Atomic.get ex.ex_busy_ns) /. (uptime_s *. 1e9)))
+  in
+  Json.Obj
+    [ ("id", Json.Num (float_of_int ex.ex_id));
+      ("requests", Json.Num (float_of_int (Atomic.get ex.ex_requests)));
+      ("busy_frac", Json.Num busy_frac);
+      ( "rid",
+        match Atomic.get ex.ex_rid with "" -> Json.Null | r -> Json.Str r ) ]
+
 let stats_json t =
   let cache = Session.stats t.session in
+  let uptime_s = Clock.now_s () -. t.started_s in
   Json.Obj
     [ ("status", Json.Str (if draining t then "draining" else "serving"));
-      ("uptime_s", Json.Num (Clock.now_s () -. t.started_s));
+      ("uptime_s", Json.Num uptime_s);
       ("served", Json.Num (float_of_int (Atomic.get t.served)));
       ("rejected", Json.Num (float_of_int (Atomic.get t.rejected)));
       ("errors", Json.Num (float_of_int (Atomic.get t.failed)));
+      ("coalesced", Json.Num (float_of_int (Atomic.get t.coalesced)));
       ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
       ("jobs", Json.Num (float_of_int (Par.jobs ())));
+      ( "executors",
+        Json.List
+          (Array.to_list (Array.map (executor_json ~uptime_s) t.executors)) );
       ( "queue",
         Json.Obj
           [ ("depth", Json.Num (float_of_int (Bqueue.length t.queue)));
@@ -211,6 +257,7 @@ let stats_json t =
         Json.Obj
           [ ("entries", Json.Num (float_of_int (List.length cache.Session.entries)));
             ("capacity", Json.Num (float_of_int cache.Session.capacity));
+            ("shards", Json.Num (float_of_int cache.Session.shards));
             ("hits", Json.Num (float_of_int cache.Session.hits));
             ("misses", Json.Num (float_of_int cache.Session.misses));
             ("evictions", Json.Num (float_of_int cache.Session.evictions));
@@ -321,17 +368,38 @@ let reject ?(overload = false) t conn ~rid id req err =
   if overload && Atomic.compare_and_set t.overload_dumped false true then
     dump_flight t ~rid ~why:"overloaded"
 
+(* Single-flight admission, decided on the reader thread: the first
+   arrival for a content key takes a queue slot and becomes the leader;
+   duplicates arriving while that flight is open attach as followers —
+   no queue slot, no recomputation — and are answered by the leader's
+   executor with their own request ids.  Works at any executor count
+   (including 1) because joining happens before the queue, not at pop
+   time. *)
 let admit t conn ~rid id req =
+  let key = P.canonical_key req in
   let item =
     { item_conn = conn; item_id = id; item_rid = rid; item_req = req;
-      enqueued_s = Clock.now_s (); enqueued_ns = Clock.now_ns () }
+      item_key = key; enqueued_s = Clock.now_s ();
+      enqueued_ns = Clock.now_ns () }
   in
-  match Bqueue.push t.queue item with
-  | `Ok ->
+  let enqueue () =
+    match Bqueue.push t.queue item with
+    | `Ok -> Ok ()
+    | (`Full | `Closed) as refusal -> Error refusal
+  in
+  match Sflight.admit t.sflight ~key item ~enqueue with
+  | `Led () ->
     Atomic.set t.overload_dumped false;
     Metrics.incr requests_c;
     Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue))
-  | `Full ->
+  | `Joined ->
+    Atomic.set t.overload_dumped false;
+    Metrics.incr requests_c;
+    Atomic.incr t.coalesced;
+    Metrics.incr coalesced_c;
+    Flight.record
+      (Flight.Cache { cache = "single-flight"; outcome = "coalesced"; key })
+  | `Refused `Full ->
     reject ~overload:true t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          (Printf.sprintf "request queue full (%d/%d): request rejected"
@@ -339,7 +407,7 @@ let admit t conn ~rid id req =
          ~hints:
            [ "retry with backoff";
              "raise the bound with `wavemin serve --queue N'" ])
-  | `Closed ->
+  | `Refused `Closed ->
     reject t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          "server is draining: no new work is accepted" ~hints:[])
@@ -421,9 +489,83 @@ let accept_loop t =
   in
   loop ()
 
-(* ---- executor ----------------------------------------------------- *)
+(* ---- executors ---------------------------------------------------- *)
 
-let process t item =
+let outcome_row = function
+  | Ok _ -> ("ok", None, [])
+  | Error (e, degs) ->
+    ( "error",
+      Some (Verrors.code_name e.Verrors.code),
+      List.map
+        (fun d -> Verrors.code_name d.Repro_core.Flow.error.Verrors.code)
+        degs )
+
+(* The [last] correlation block published before a response's bytes
+   leave, so a client that got its answer can immediately look itself
+   up via [stats] (`wavemin client --time`). *)
+let publish_last t ~id ~rid ~kind ~benchmark ~status ~cache ~queue_wait_ms
+    ~wall_ms =
+  let last =
+    Json.Obj
+      [ ("id", id);
+        ("rid", Json.Str rid);
+        ("type", Json.Str kind);
+        ("benchmark", Json.Str benchmark);
+        ("status", Json.Str status);
+        ("cache", Json.Str (Handlers.cache_outcome_name cache));
+        ("queue_wait_ms", Json.Num queue_wait_ms);
+        ("wall_ms", Json.Num wall_ms) ]
+  in
+  with_lock t.last_mutex (fun () -> t.last <- last)
+
+(* Answer one coalesced follower with the leader's (deterministic)
+   outcome under the follower's own request id.  Telemetry mirrors a
+   normal request: an access-log line with [cache = "coalesced"] and
+   the shared content hash, latency observations, and a retroactive
+   [server.coalesced] span covering the follower's whole wait on the
+   leader's executor lane. *)
+let respond_follower t ex ~leader_rid ~outcome ~(meta : Handlers.meta)
+    ~exec_started_s f =
+  let kind = P.request_kind f.item_req in
+  let benchmark = benchmark_of f.item_req in
+  let rid = f.item_rid in
+  let queue_wait_ms =
+    Float.max 0.0 ((exec_started_s -. f.enqueued_s) *. 1000.0)
+  in
+  let total_ms = Float.max 0.0 ((Clock.now_s () -. f.enqueued_s) *. 1000.0) in
+  let wall_ms = Float.max 0.0 (total_ms -. queue_wait_ms) in
+  let status, code, degradations = outcome_row outcome in
+  Trace.record ~name:"server.coalesced"
+    ~attrs:
+      [ ("request_id", rid); ("leader_rid", leader_rid); ("type", kind);
+        ("benchmark", benchmark) ]
+    ~tid:ex.ex_tid ~start_ns:f.enqueued_ns
+    ~dur_ns:(Int64.sub (Clock.now_ns ()) f.enqueued_ns)
+    ();
+  publish_last t ~id:f.item_id ~rid ~kind ~benchmark ~status
+    ~cache:Handlers.Cache_coalesced ~queue_wait_ms ~wall_ms;
+  log_access t
+    (access_entry ~rid ~id:f.item_id ~cid:f.item_conn.cid ~kind ~benchmark
+       ~status ?code ~cache:Handlers.Cache_coalesced
+       ?content_key:meta.Handlers.content_key ~degradations ~queue_wait_ms
+       ~wall_ms ());
+  (match outcome with
+  | Ok result ->
+    Atomic.incr t.served;
+    write_json t f.item_conn (P.ok_response ~id:f.item_id result)
+  | Error (e, degs) ->
+    Atomic.incr t.failed;
+    Metrics.incr errors_c;
+    write_json t f.item_conn
+      (P.error_response ~id:f.item_id
+         ~degradations:(List.map Handlers.degradation_json degs)
+         e));
+  Metrics.observe latency_h total_ms;
+  Rolling.observe t.rolling_latency total_ms;
+  Metrics.observe queue_wait_h queue_wait_ms;
+  Rolling.observe t.rolling_queue_wait queue_wait_ms
+
+let process t ex item =
   let kind = P.request_kind item.item_req in
   let benchmark = benchmark_of item.item_req in
   let rid = item.item_rid in
@@ -436,16 +578,16 @@ let process t item =
   Metrics.observe queue_wait_h queue_wait_ms;
   Rolling.observe t.rolling_queue_wait queue_wait_ms;
   (* Retroactive queue-wait span: enqueue was its start, pop its end. *)
-  Trace.record ~name:"server.queue" ~attrs ~tid:executor_tid
+  Trace.record ~name:"server.queue" ~attrs ~tid:ex.ex_tid
     ~start_ns:item.enqueued_ns
     ~dur_ns:(Int64.sub (Clock.now_ns ()) item.enqueued_ns)
     ();
   let meta = Handlers.create_meta () in
   let outcome, wall_ms =
-    Trace.with_span ~name:"server.request" ~attrs ~tid:executor_tid (fun () ->
+    Trace.with_span ~name:"server.request" ~attrs ~tid:ex.ex_tid (fun () ->
         let outcome =
           Trace.with_span ~name:"server.execute" ~attrs:[ ("request_id", rid) ]
-            ~tid:executor_tid (fun () ->
+            ~tid:ex.ex_tid (fun () ->
               (* Handlers never raise by contract; the guard is the
                  last-ditch net that keeps the daemon alive if one
                  does. *)
@@ -457,31 +599,14 @@ let process t item =
               | Error e -> Error (e, []))
         in
         let wall_ms = (Clock.now_s () -. started_s) *. 1000.0 in
-        let status, code, degradations =
-          match outcome with
-          | Ok _ -> ("ok", None, [])
-          | Error (e, degs) ->
-            ( "error",
-              Some (Verrors.code_name e.Verrors.code),
-              List.map
-                (fun d -> Verrors.code_name d.Repro_core.Flow.error.Verrors.code)
-                degs )
-        in
-        (* Publish [last] before the response bytes leave, so a client
-           that got its answer can immediately correlate via [stats]. *)
-        let last =
-          Json.Obj
-            [ ("id", item.item_id);
-              ("rid", Json.Str rid);
-              ("type", Json.Str kind);
-              ("benchmark", Json.Str benchmark);
-              ("status", Json.Str status);
-              ( "cache",
-                Json.Str (Handlers.cache_outcome_name meta.Handlers.cache) );
-              ("queue_wait_ms", Json.Num queue_wait_ms);
-              ("wall_ms", Json.Num wall_ms) ]
-        in
-        with_lock t.last_mutex (fun () -> t.last <- last);
+        (* Close the flight before any response is written: a duplicate
+           arriving after this point opens a fresh flight (so a failure
+           is never memoized), and none can attach to a flight whose
+           responses are already on the wire. *)
+        let followers = Sflight.complete t.sflight ~key:item.item_key in
+        let status, code, degradations = outcome_row outcome in
+        publish_last t ~id:item.item_id ~rid ~kind ~benchmark ~status
+          ~cache:meta.Handlers.cache ~queue_wait_ms ~wall_ms;
         log_access t
           (access_entry ~rid ~id:item.item_id ~cid:item.item_conn.cid ~kind
              ~benchmark ~status ?code ~cache:meta.Handlers.cache
@@ -490,7 +615,8 @@ let process t item =
         (* Black-box dump: anything that failed or degraded leaves a
            forensic trail named after the request id.  A successful run
            carries its degradations inside the (deterministic) result
-           body, so peek there for the degraded-but-ok case. *)
+           body, so peek there for the degraded-but-ok case.  Leader
+           only — followers share the exact same solve. *)
         (match outcome with
         | Error _ -> dump_flight t ~rid ~why:"faulted request"
         | Ok result -> (
@@ -499,7 +625,7 @@ let process t item =
             dump_flight t ~rid ~why:"degraded request"
           | _ -> ()));
         Trace.with_span ~name:"server.respond" ~attrs:[ ("request_id", rid) ]
-          ~tid:executor_tid (fun () ->
+          ~tid:ex.ex_tid (fun () ->
             match outcome with
             | Ok result ->
               Atomic.incr t.served;
@@ -514,6 +640,12 @@ let process t item =
                 (P.error_response ~id:item.item_id
                    ~degradations:(List.map Handlers.degradation_json degs)
                    e));
+        List.iter
+          (respond_follower t ex ~leader_rid:rid ~outcome ~meta
+             ~exec_started_s:started_s)
+          followers;
+        ignore
+          (Atomic.fetch_and_add ex.ex_requests (1 + List.length followers));
         (outcome, wall_ms))
   in
   ignore outcome;
@@ -617,13 +749,29 @@ let sampler_probe t () =
       t.pool_prev <- Some (now, busy);
       [ ("par.pool_busy_frac", frac) ]
   in
+  let uptime_s = Clock.now_s () -. t.started_s in
+  let per_executor =
+    Array.to_list t.executors
+    |> List.concat_map (fun ex ->
+           let busy_frac =
+             if uptime_s <= 0.0 then 0.0
+             else
+               Float.min 1.0
+                 (float_of_int (Atomic.get ex.ex_busy_ns) /. (uptime_s *. 1e9))
+           in
+           [ ( Printf.sprintf "server.executor%d_busy_frac" ex.ex_id,
+               busy_frac );
+             ( Printf.sprintf "server.executor%d_requests" ex.ex_id,
+               float_of_int (Atomic.get ex.ex_requests) ) ])
+  in
   [ ("server.queue_depth", float_of_int (Bqueue.length t.queue));
     ("server.in_flight", float_of_int (Atomic.get t.in_flight));
+    ("server.coalesced", float_of_int (Atomic.get t.coalesced));
     ("server.rolling_latency_p50_ms", lat.Rolling.p50);
     ("server.rolling_latency_p95_ms", lat.Rolling.p95);
     ("server.rolling_latency_p99_ms", lat.Rolling.p99);
     ("server.rolling_throughput_rps", lat.Rolling.rate) ]
-  @ pool
+  @ per_executor @ pool
 
 let flush_report t =
   match t.cfg.report_path with
@@ -634,7 +782,9 @@ let flush_report t =
       Report.create ~experiment:"serve-drain"
         ~config:
           [ ("queue_capacity", string_of_int t.cfg.queue_capacity);
-            ("cache_capacity", string_of_int t.cfg.cache_capacity) ]
+            ("cache_capacity", string_of_int t.cfg.cache_capacity);
+            ("cache_shards", string_of_int cache.Session.shards);
+            ("executors", string_of_int (Array.length t.executors)) ]
         ~environment:
           [ ("jobs", string_of_int (Par.jobs ()));
             ("address", address_to_string t.cfg.address);
@@ -642,6 +792,7 @@ let flush_report t =
             ("requests_served", string_of_int (Atomic.get t.served));
             ("requests_rejected", string_of_int (Atomic.get t.rejected));
             ("request_errors", string_of_int (Atomic.get t.failed));
+            ("requests_coalesced", string_of_int (Atomic.get t.coalesced));
             ("cache_hits", string_of_int cache.Session.hits);
             ("cache_misses", string_of_int cache.Session.misses);
             ("cache_evictions", string_of_int cache.Session.evictions) ]
@@ -676,11 +827,22 @@ let setup cfg =
      responses (the bit-identity property runs with it enabled). *)
   Repro_obs.Flight.set_enabled true;
   let listener = bind_listener cfg.address in
+  let n_executors = if cfg.executors <= 0 then Par.jobs () else cfg.executors in
   let t =
     { cfg;
       listener;
       queue = Bqueue.create ~capacity:cfg.queue_capacity;
-      session = Session.create ~capacity:cfg.cache_capacity ();
+      session =
+        Session.create ~capacity:cfg.cache_capacity ~shards:cfg.cache_shards ();
+      executors =
+        Array.init n_executors (fun k ->
+            { ex_id = k;
+              ex_tid = executor_tid_base + k;
+              ex_requests = Atomic.make 0;
+              ex_busy_ns = Atomic.make 0;
+              ex_rid = Atomic.make "" });
+      sflight = Sflight.create ();
+      coalesced = Atomic.make 0;
       accepting = Atomic.make true;
       conns = Hashtbl.create 16;
       conns_mutex = Mutex.create ();
@@ -703,7 +865,11 @@ let setup cfg =
       acceptor = None }
   in
   Trace.set_process_name "wavemin-serve";
-  Trace.set_thread_name ~tid:executor_tid "server-executor";
+  Array.iter
+    (fun ex ->
+      Trace.set_thread_name ~tid:ex.ex_tid
+        (Printf.sprintf "server-executor-%d" ex.ex_id))
+    t.executors;
   (match cfg.sample_period_s with
   | None -> ()
   | Some period_s ->
@@ -713,24 +879,44 @@ let setup cfg =
   (match cfg.readiness with
   | None -> ()
   | Some oc ->
-    Printf.fprintf oc "wavemin serve: listening on %s (jobs=%d, queue=%d, cache=%d)\n"
-      (address_to_string cfg.address) (Par.jobs ()) cfg.queue_capacity
-      cfg.cache_capacity;
+    Printf.fprintf oc
+      "wavemin serve: listening on %s (jobs=%d, executors=%d, queue=%d, cache=%d)\n"
+      (address_to_string cfg.address) (Par.jobs ())
+      (Array.length t.executors) cfg.queue_capacity cfg.cache_capacity;
     flush oc);
   Log.info (fun m -> m "listening on %s" (address_to_string cfg.address));
   t
 
-let run t =
-  (* The executor: one request at a time off the bounded queue; solver
-     internals spread each request across the Repro_par pool. *)
+(* One executor worker: pop until the queue is closed and empty,
+   tracking busy time and the request id in flight for [stats]. *)
+let executor_loop t ex =
   let rec loop () =
     match Bqueue.pop t.queue with
     | Some item ->
-      process t item;
+      let t0 = Clock.now_ns () in
+      Atomic.set ex.ex_rid item.item_rid;
+      process t ex item;
+      Atomic.set ex.ex_rid "";
+      ignore
+        (Atomic.fetch_and_add ex.ex_busy_ns
+           (Int64.to_int (Int64.sub (Clock.now_ns ()) t0)));
       loop ()
     | None -> ()
   in
-  loop ();
+  loop ()
+
+let run t =
+  (* The data plane: N executor workers pulling from the shared bounded
+     queue; each request's solver internals still fan out across the
+     Repro_par pool, so total parallelism is executors × per-request
+     pool use.  Drain joins every worker before the (single) cleanup
+     and final report below. *)
+  let workers =
+    Array.map
+      (fun ex -> Thread.create (fun () -> executor_loop t ex) ())
+      t.executors
+  in
+  Array.iter Thread.join workers;
   (* Drained: stop the acceptor, wake and join the readers, release the
      socket, flush the final report. *)
   Atomic.set t.accepting false;

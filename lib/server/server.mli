@@ -11,10 +11,20 @@
       {e bounded} queue ({!Bqueue}); when it is full the request is
       rejected {e immediately} with a structured [overloaded] error
       (explicit backpressure, never unbounded buffering);
-    - the {e executor} (the calling thread) pops requests one at a time
-      and runs them via {!Handlers} on the warm {!Session} cache;
-      solver internals fan out across the {!Repro_par} pool, so
-      [-j]/[WAVEMIN_JOBS] governs per-request parallelism.
+    - N {e executor} workers ([executors] in {!config}, default = the
+      job count) pop requests concurrently from the shared queue and
+      run them via {!Handlers} on the warm {!Session} cache (itself
+      lock-striped across shards); solver internals fan out across the
+      {!Repro_par} pool, so [-j]/[WAVEMIN_JOBS] governs per-request
+      parallelism and [executors] governs cross-request parallelism;
+    - {e single-flight coalescing} ({!Sflight}): data-plane requests
+      whose canonical content ({!Protocol.canonical_key}) matches an
+      already queued-or-executing request attach to that flight instead
+      of taking a queue slot; the leader's executor answers every
+      follower with the same (deterministic) outcome under the
+      follower's own request id.  Counted in [server.coalesced], logged
+      with [cache = "coalesced"], visible as a [server.coalesced]
+      retroactive trace span.
 
     Graceful drain — a [shutdown] request, {!initiate_drain}, or
     SIGTERM/SIGINT (when [handle_signals], via a self-pipe so no locks
@@ -26,8 +36,9 @@
     {b Telemetry.}  Every data-plane request gets a server-assigned
     request id ([r000042]) carried through queue → execute → respond:
     a retroactive [server.queue] span plus
-    [server.request]/[server.execute]/[server.respond] spans — all on a
-    dedicated ["server-executor"] Chrome-trace lane — an optional JSONL
+    [server.request]/[server.execute]/[server.respond] spans — on the
+    executing worker's own ["server-executor-K"] Chrome-trace lane
+    (synthetic tid [1000 + K]) — an optional JSONL
     access-log line (timestamp, ids, type, content hash, cache outcome,
     degradations, queue-wait/wall time, status), and observations into
     both the cumulative [server.latency_ms]/[server.queue_wait_ms]
@@ -54,6 +65,13 @@ type config = {
   address : address;
   queue_capacity : int;  (** Bounded-queue depth (default 16). *)
   cache_capacity : int;  (** Session-cache entries (default 8). *)
+  cache_shards : int;
+      (** Session-cache lock stripes (default 4); clamped by
+          {!Session.create} to a power of two no larger than the
+          capacity. *)
+  executors : int;
+      (** Executor workers popping the queue; [<= 0] (the default)
+          means one per job ({!Repro_par.Par.jobs}). *)
   report_path : string option;
       (** Where the final drain report goes; [None] disables it. *)
   access_log_path : string option;
@@ -87,9 +105,10 @@ type config = {
 }
 
 val default_config : address -> config
-(** Queue 16, cache 8, report ["BENCH_serve_drain.json"], no access
-    log (rotation off, keep 3), 60 s rolling window, 1 s sampler, no
-    signal handlers, no banner, flight dumps in ["."]. *)
+(** Queue 16, cache 8 across 4 shards, executors = jobs, report
+    ["BENCH_serve_drain.json"], no access log (rotation off, keep 3),
+    60 s rolling window, 1 s sampler, no signal handlers, no banner,
+    flight dumps in ["."]. *)
 
 type t
 (** A handle onto a serving instance, usable from other threads. *)
@@ -102,7 +121,8 @@ val draining : t -> bool
 
 val serve : config -> unit
 (** Bind, serve until drained, flush the final report, release the
-    socket.  Blocks the calling thread (which becomes the executor).
+    socket.  Blocks the calling thread until every executor worker has
+    joined.
     @raise Repro_util.Verrors.Error ([Io_error]) when the socket cannot
     be bound. *)
 

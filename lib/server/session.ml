@@ -12,37 +12,74 @@ let hits_c = Metrics.counter "server.cache_hits"
 let misses_c = Metrics.counter "server.cache_misses"
 let evictions_c = Metrics.counter "server.cache_evictions"
 
+(* One lock-striped shard of the prepared-benchmark cache.  Hot keys on
+   different shards no longer serialize on a single mutex when several
+   executors perform warm lookups concurrently. *)
+type shard = { s_mutex : Mutex.t; s_entries : Flow.prepared Lru.t }
+
 type t = {
-  mutex : Mutex.t;
-  entries : Flow.prepared Lru.t;
+  shards : shard array;  (* power-of-two length *)
+  mask : int;
+  lib_mutex : Mutex.t;
   libraries : Repro_cell.Cell.t list Lru.t;  (* parsed, by text digest *)
-  mutable hits : int;
-  mutable misses : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
-let create ?(capacity = 8) () =
-  { mutex = Mutex.create ();
-    entries = Lru.create ~capacity;
-    libraries = Lru.create ~capacity:(max 4 capacity);
-    hits = 0;
-    misses = 0 }
+(* Largest power of two that still gives every shard at least one
+   entry: a capacity-1 cache must keep its single-entry eviction
+   semantics no matter how many shards were requested. *)
+let clamp_shards ~capacity requested =
+  let bound = max 1 (min requested capacity) in
+  let rec pow2 p = if p * 2 <= bound then pow2 (p * 2) else p in
+  pow2 1
 
-(* Reader threads (control plane) and the executor share this mutex;
-   when the flight recorder is on, a measurable wait to acquire it is
-   recorded as a contention event. *)
-let with_lock t f =
+let create ?(capacity = 8) ?(shards = 4) () =
+  if capacity < 1 then invalid_arg "Session.create: capacity < 1";
+  if shards < 1 then invalid_arg "Session.create: shards < 1";
+  let n = clamp_shards ~capacity shards in
+  let per_shard = max 1 (capacity / n) in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { s_mutex = Mutex.create ();
+            s_entries = Lru.create ~capacity:per_shard });
+    mask = n - 1;
+    lib_mutex = Mutex.create ();
+    libraries = Lru.create ~capacity:(max 4 capacity);
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Keys are MD5 hex digests, so any stable hash spreads them; the mask
+   keeps the index in range for the power-of-two shard count. *)
+let shard_index t k = Hashtbl.hash k land t.mask
+
+(* Reader threads (control plane) and the executors share these
+   mutexes; when the flight recorder is on, a measurable wait to
+   acquire one is recorded as a contention event against the specific
+   shard (or the library cache). *)
+let with_lock ~resource mutex f =
   if Flight.enabled () then begin
     let t0 = Obs_clock.now_ns () in
-    Mutex.lock t.mutex;
+    Mutex.lock mutex;
     let wait_ms =
       Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0) /. 1e6
     in
-    if wait_ms > 0.05 then
-      Flight.record
-        (Flight.Contention { resource = "session.lock"; wait_ms })
+    if wait_ms > 0.05 then Flight.record (Flight.Contention { resource; wait_ms })
   end
-  else Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  else Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let with_shard t k f =
+  let i = shard_index t k in
+  let s = t.shards.(i) in
+  with_lock
+    ~resource:(Printf.sprintf "session.shard%d" i)
+    s.s_mutex
+    (fun () -> f s)
 
 (* The default library's serialized form participates in the hash so a
    rebuilt binary with different built-in cells cannot alias an entry. *)
@@ -85,7 +122,10 @@ let cells_of t = function
   | None -> Ok (Flow.leaf_library ())
   | Some text -> (
     let lib_key = Digest.to_hex (Digest.string text) in
-    match with_lock t (fun () -> Lru.find t.libraries lib_key) with
+    match
+      with_lock ~resource:"session.libraries" t.lib_mutex (fun () ->
+          Lru.find t.libraries lib_key)
+    with
     | Some cells ->
       Flight.record
         (Flight.Cache { cache = "library"; outcome = "hit"; key = lib_key });
@@ -95,20 +135,24 @@ let cells_of t = function
       | Error e -> Error e  (* the parser fault seam trips through here *)
       | Ok (Error perr) -> Error (Liberty.to_verror perr)
       | Ok (Ok cells) ->
-        with_lock t (fun () -> ignore (Lru.add t.libraries lib_key cells));
+        with_lock ~resource:"session.libraries" t.lib_mutex (fun () ->
+            ignore (Lru.add t.libraries lib_key cells));
         Ok cells))
 
 let prepared t ~spec ~params ?library () =
   let k = key ~spec ~params ~library in
-  match with_lock t (fun () -> Lru.find t.entries k) with
+  match with_shard t k (fun s -> Lru.find s.s_entries k) with
   | Some prep ->
-    t.hits <- t.hits + 1;
+    Atomic.incr t.hits;
     Metrics.incr hits_c;
     Flight.record (Flight.Cache { cache = "session"; outcome = "hit"; key = k });
     Ok (prep, `Hit)
   | None -> (
-    (* Build outside the lock: the executor is the only builder, and
-       control-plane stats must stay responsive during synthesis. *)
+    (* Build outside the lock so warm lookups on this shard (and the
+       control plane) stay responsive during synthesis.  Two executors
+       missing on the same key concurrently both build — deterministic
+       duplicate work; [Lru.add] makes the second insert a no-op-sized
+       replace.  The single-flight layer upstream makes this rare. *)
     match cells_of t library with
     | Error e -> Error e
     | Ok cells -> (
@@ -119,12 +163,12 @@ let prepared t ~spec ~params ?library () =
       with
       | Error e -> Error e
       | Ok prep ->
-        t.misses <- t.misses + 1;
+        Atomic.incr t.misses;
         Metrics.incr misses_c;
         Flight.record
           (Flight.Cache { cache = "session"; outcome = "miss"; key = k });
-        with_lock t (fun () ->
-            match Lru.add t.entries k prep with
+        with_shard t k (fun s ->
+            match Lru.add s.s_entries k prep with
             | None -> ()
             | Some _evicted ->
               Metrics.incr evictions_c;
@@ -136,15 +180,30 @@ let prepared t ~spec ~params ?library () =
 type stats = {
   entries : string list;
   capacity : int;
+  shards : int;
   hits : int;
   misses : int;
   evictions : int;
 }
 
-let stats t =
-  with_lock t (fun () ->
-      { entries = Lru.keys t.entries;
-        capacity = Lru.capacity t.entries;
-        hits = t.hits;
-        misses = t.misses;
-        evictions = Lru.evictions t.entries })
+let stats (t : t) =
+  (* Snapshot shard by shard: entries are MRU-first within a shard,
+     concatenated in shard order.  Global counters are atomics, so no
+     whole-cache lock is ever taken. *)
+  let per =
+    Array.map
+      (fun s ->
+        with_lock ~resource:"session.stats" s.s_mutex (fun () ->
+            ( Lru.keys s.s_entries,
+              Lru.capacity s.s_entries,
+              Lru.evictions s.s_entries )))
+      t.shards
+  in
+  {
+    entries = Array.to_list per |> List.concat_map (fun (ks, _, _) -> ks);
+    capacity = Array.fold_left (fun acc (_, c, _) -> acc + c) 0 per;
+    shards = Array.length t.shards;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 per;
+  }

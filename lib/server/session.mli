@@ -10,18 +10,34 @@
     custom libraries are additionally cached by their own text hash, so
     two benchmarks sharing a library parse it once.
 
-    Entries are evicted least-recently-used ({!Lru}).  Thread-safe:
-    lookups/inserts serialize on an internal mutex while the expensive
-    build work runs outside it.  Hits and misses are counted in the
-    [server.cache_hits] / [server.cache_misses] metrics. *)
+    The prepared-entry store is {e lock-striped}: the capacity is split
+    across a power-of-two number of shards, each with its own mutex and
+    LRU, indexed by a hash of the content key.  Concurrent executors
+    performing warm lookups only contend when their keys land on the
+    same shard; eviction is least-recently-used within each shard.
+    Hits and misses are counted in the [server.cache_hits] /
+    [server.cache_misses] metrics (global atomics, coherent across
+    shards). *)
 
 module Flow := Repro_core.Flow
 module Verrors := Repro_util.Verrors
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] (default 8) bounds the prepared-benchmark entries. *)
+val create : ?capacity:int -> ?shards:int -> unit -> t
+(** [capacity] (default 8) bounds the prepared-benchmark entries across
+    all shards.  [shards] (default 4) is clamped to the largest power
+    of two no greater than [min shards capacity], so every shard holds
+    at least one entry and a capacity-1 cache keeps single-entry
+    eviction semantics.
+    @raise Invalid_argument when either is < 1. *)
+
+val shard_count : t -> int
+(** The effective (clamped) number of shards. *)
+
+val shard_index : t -> string -> int
+(** The shard a content key maps to — exposed for tests that need
+    same-shard or cross-shard key pairs. *)
 
 val key :
   spec:Repro_cts.Benchmarks.spec ->
@@ -41,14 +57,21 @@ val prepared :
   (Flow.prepared * [ `Hit | `Miss ], Verrors.t) result
 (** Fetch or build the prepared benchmark.  Failures (library parse
     errors, synthesis faults) are returned structurally and never
-    cached, so a transient injected fault does not poison the entry. *)
+    cached, so a transient injected fault does not poison the entry.
+    The expensive build runs outside any shard lock; two executors
+    missing concurrently on the same key both build (deterministic
+    duplicate work — the server's single-flight layer makes this
+    rare). *)
 
 type stats = {
-  entries : string list;  (** Cache keys, most-recently-used first. *)
-  capacity : int;
+  entries : string list;
+      (** Cache keys, most-recently-used first within each shard,
+          concatenated in shard order. *)
+  capacity : int;  (** Total across shards. *)
+  shards : int;
   hits : int;
   misses : int;
-  evictions : int;
+  evictions : int;  (** Summed across shards. *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,35 @@
+type 'a entry = { mutable followers_rev : 'a list }
+
+type 'a t = { mutex : Mutex.t; flights : (string, 'a entry) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); flights = Hashtbl.create 64 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let admit t ~key follower ~enqueue =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.flights key with
+  | Some e ->
+    e.followers_rev <- follower :: e.followers_rev;
+    `Joined
+  | None -> (
+    (* Enqueue under the lock: entry creation must be atomic with the
+       queue push, or a concurrent duplicate could join a flight whose
+       leader was refused by backpressure and never runs. *)
+    match enqueue () with
+    | Ok v ->
+      Hashtbl.replace t.flights key { followers_rev = [] };
+      `Led v
+    | Error e -> `Refused e)
+
+let complete t ~key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.flights key with
+  | None -> []
+  | Some e ->
+    Hashtbl.remove t.flights key;
+    List.rev e.followers_rev
+
+let in_flight t = with_lock t @@ fun () -> Hashtbl.length t.flights

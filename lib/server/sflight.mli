@@ -1,0 +1,42 @@
+(** Single-flight registry: coalesce concurrent identical requests.
+
+    A registry tracks, per content key, the one request currently
+    queued-or-executing for that key (the {e leader}) and the requests
+    that arrived while it was in flight (the {e followers}).  Admission
+    is decided under the registry lock: the first arrival for a key
+    runs the [enqueue] thunk and becomes leader; later arrivals attach
+    as followers without consuming a queue slot.  When the leader's
+    execution finishes, the executor calls {!complete} to detach the
+    followers and answer each of them with the leader's result — a
+    request arriving after that point starts a fresh flight, so a
+    failed solve is never memoized.
+
+    The invariant: an entry exists for a key if and only if a leader
+    item for that key is queued or executing.  [enqueue] runs {e under}
+    the registry lock precisely to keep admission and entry creation
+    atomic — if the queue refuses the item (backpressure), no entry is
+    created and no follower can strand. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val admit :
+  'a t ->
+  key:string ->
+  'a ->
+  enqueue:(unit -> ('ok, 'err) result) ->
+  [ `Led of 'ok | `Joined | `Refused of 'err ]
+(** [admit t ~key follower ~enqueue] — if a flight for [key] is already
+    open, attach [follower] to it and return [`Joined].  Otherwise run
+    [enqueue ()]: on [Ok v] open a flight for [key] and return
+    [`Led v]; on [Error e] return [`Refused e] with no entry created. *)
+
+val complete : 'a t -> key:string -> 'a list
+(** Close the flight for [key] and return its followers in arrival
+    order ([] when the key has no open flight — e.g. a request that was
+    never admitted through {!admit}).  Executors call this exactly once
+    per leader item, after the solve, before responding. *)
+
+val in_flight : 'a t -> int
+(** Number of open flights (distinct keys queued or executing). *)

@@ -6,7 +6,10 @@
 #   - readiness: the health probe answers once the banner socket is up;
 #   - session cache: the warm repetition of a request is faster than the
 #     cold one and the cache hit shows up in `stats`;
-#   - backpressure: flooding a queue bound of 1 yields structured
+#   - executors: the daemon runs the requested executor count and
+#     reports per-executor busy/request lines in `stats` and `top`;
+#   - backpressure: flooding a queue bound of 1 on a single-executor
+#     daemon with content-distinct requests yields structured
 #     `overloaded` rejections, never hangs or crashes;
 #   - telemetry: `--time` reports the server-side wall time, `stats`
 #     carries rolling percentiles, the `metrics` request serves
@@ -22,13 +25,16 @@
 #     a structured error and the live view prints `daemon unavailable`
 #     and keeps retrying instead of stack-tracing;
 #   - bench-serve: the load generator produces a schema-valid
-#     BENCH_serve.json, gated against bench/baselines/ when present;
+#     BENCH_serve.json, gated against bench/baselines/ when present, and
+#     a duplicate-heavy profile (--dup-fraction) actually coalesces
+#     requests through the server's single-flight layer;
 #   - graceful drain: both a `shutdown` request and SIGTERM finish
-#     in-flight work, write the final BENCH-style report and exit 0;
+#     in-flight work, join every executor, write the final BENCH-style
+#     report and exit 0;
 #   - fault seams: with every WAVEMIN_FAULTS seam armed the daemon
 #     answers with structured errors (or degraded results) and stays up.
 #
-# Usage: scripts/server_smoke.sh [JOBS]        (from the repo root)
+# Usage: scripts/server_smoke.sh [JOBS] [EXECUTORS]   (from the repo root)
 # Env:   WAVEMIN_BIN        path to wavemin.exe (default _build/default/bin/...)
 #        WAVEMIN_SMOKE_DIR  keep artifacts (logs, traces, reports) here
 #                           instead of a throwaway mktemp dir — CI uploads
@@ -37,6 +43,7 @@
 set -euo pipefail
 
 JOBS="${1:-1}"
+EXECUTORS="${2:-1}"
 W="${WAVEMIN_BIN:-_build/default/bin/wavemin.exe}"
 if [ -n "${WAVEMIN_SMOKE_DIR:-}" ]; then
   TMP="$WAVEMIN_SMOKE_DIR"
@@ -74,15 +81,13 @@ wait_exit() { # pid -> exit code (fails if still alive after ~20 s)
   fail "server $pid did not exit"
 }
 
-echo "== wavemin serve smoke, jobs=$JOBS =="
+echo "== wavemin serve smoke, jobs=$JOBS executors=$EXECUTORS =="
 
-# ---- cache warmth, stats, telemetry, backpressure, shutdown drain ----
+# ---- cache warmth, stats, telemetry, shutdown drain ------------------
 REPORT="$TMP/BENCH_serve_drain.json"
 ACCESS="$TMP/access.jsonl"
-FLIGHT_DIR="$TMP/flight"
-mkdir -p "$FLIGHT_DIR"
-WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --queue 1 --report "$REPORT" \
-  --access-log "$ACCESS" --flight-dir "$FLIGHT_DIR" >"$TMP/serve.log" 2>&1 &
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --executors "$EXECUTORS" \
+  --report "$REPORT" --access-log "$ACCESS" >"$TMP/serve.log" 2>&1 &
 SERVER=$!
 wait_ready
 
@@ -102,16 +107,23 @@ HITS=$("$W" client -A "$SOCK" stats | sed -n 's/.*"hits": \([0-9]*\).*/\1/p' | h
 [ "${HITS:-0}" -ge 1 ] || fail "no cache hit in stats (hits=${HITS:-unset})"
 echo "cache hits: $HITS"
 
-# Rolling percentiles are live in stats; the metrics request exposes the
-# registry as Prometheus text; top renders one snapshot.
+# Rolling percentiles, the coalesce counter and the per-executor lines
+# are live in stats; the metrics request exposes the registry as
+# Prometheus text; top renders one snapshot with the executor lanes.
 "$W" client -A "$SOCK" stats | grep -q '"rolling"' \
   || fail "stats carry no rolling block"
+"$W" client -A "$SOCK" stats | grep -q '"coalesced"' \
+  || fail "stats carry no coalesced counter"
+"$W" client -A "$SOCK" stats | grep -q '"executors"' \
+  || fail "stats carry no per-executor block"
 "$W" client -A "$SOCK" metrics | grep -q 'wavemin_server_requests_total' \
   || fail "Prometheus exposition lacks the request counter"
 "$W" client -A "$SOCK" metrics --format json | grep -q '"metrics"' \
   || fail "JSON metrics snapshot missing"
-"$W" top -A "$SOCK" --once | grep -q 'rolling' || fail "top rendered nothing"
-echo "telemetry endpoints ok (stats rolling, metrics text+json, top)"
+"$W" top -A "$SOCK" --once >"$TMP/top.out" || fail "top rendered nothing"
+grep -q 'rolling' "$TMP/top.out" || fail "top carries no rolling line"
+grep -q 'executors e0' "$TMP/top.out" || fail "top carries no executor line"
+echo "telemetry endpoints ok (stats rolling/coalesced/executors, metrics, top)"
 
 # Live flight-ring snapshot over the control plane, renderable offline.
 "$W" client -A "$SOCK" flight >"$TMP/flight-snap.json" \
@@ -124,24 +136,6 @@ grep -q 'solve timeline' "$TMP/flight-snap.report" \
   || fail "explain report carries no solve timeline"
 echo "flight snapshot ok ($(grep -c 'wavemin-flight' "$TMP/flight-snap.json") schema tag)"
 
-# Flood the bound: a slow request occupies the executor, a second one
-# the single queue slot; the rest of the burst must be rejected with a
-# structured `overloaded` error while the daemon keeps serving.
-"$W" client -A "$SOCK" montecarlo s13207 -n 4000 >"$TMP/slow.json" 2>&1 &
-SLOW=$!
-sleep 0.3
-BURST=""
-for i in 1 2 3 4 5 6; do
-  "$W" client -A "$SOCK" run s15850 -a initial >"$TMP/burst.$i" 2>&1 &
-  BURST="$BURST $!"
-done
-wait $SLOW || true
-for pid in $BURST; do wait "$pid" || true; done
-OVERLOADED=$(grep -l '"overloaded"' "$TMP"/burst.* | wc -l)
-echo "overloaded rejections: $OVERLOADED/6"
-[ "$OVERLOADED" -ge 1 ] || { cat "$TMP"/burst.*; fail "queue bound never rejected"; }
-"$W" client -A "$SOCK" health >/dev/null || fail "daemon unhealthy after flood"
-
 "$W" client -A "$SOCK" shutdown >/dev/null
 CODE=0; wait_exit "$SERVER" || CODE=$?
 SERVER=""
@@ -151,14 +145,47 @@ grep -q '"experiment": "serve-drain"' "$REPORT" || fail "malformed drain report"
 grep -q '"requests_served"' "$REPORT" || fail "drain report lacks counters"
 echo "shutdown drain ok, report written"
 
-# One JSONL access line per data-plane request — including the rejected
-# burst — each with a request id and timings.
+# One JSONL access line per data-plane request, each with a request id
+# and timings.
 [ -s "$ACCESS" ] || fail "no access log at $ACCESS"
 grep -q '"rid":"r' "$ACCESS" || fail "access log lines carry no request id"
 grep -q '"cache":"hit"' "$ACCESS" || fail "access log never saw a cache hit"
-grep -q '"status":"rejected"' "$ACCESS" \
-  || fail "access log missed the overloaded rejections"
 echo "access log ok ($(wc -l <"$ACCESS") lines)"
+
+# ---- backpressure: deterministic overflow on one executor ------------
+# A single-executor daemon with a queue bound of 1: a slow request
+# occupies the executor, the next one the single queue slot, and the
+# rest of the burst — content-distinct kappas, so the single-flight
+# layer cannot coalesce them — must be rejected with a structured
+# `overloaded` error while the daemon keeps serving.
+ACCESS_OVL="$TMP/access-overload.jsonl"
+FLIGHT_DIR="$TMP/flight"
+mkdir -p "$FLIGHT_DIR"
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --queue 1 --executors 1 \
+  --no-report --access-log "$ACCESS_OVL" --flight-dir "$FLIGHT_DIR" \
+  >"$TMP/serve-overload.log" 2>&1 &
+SERVER=$!
+wait_ready
+"$W" client -A "$SOCK" montecarlo s13207 -n 4000 >"$TMP/slow.json" 2>&1 &
+SLOW=$!
+sleep 0.3
+BURST=""
+for i in 1 2 3 4 5 6; do
+  "$W" client -A "$SOCK" run s15850 -a initial -k "2$i" >"$TMP/burst.$i" 2>&1 &
+  BURST="$BURST $!"
+done
+wait $SLOW || true
+for pid in $BURST; do wait "$pid" || true; done
+OVERLOADED=$(grep -l '"overloaded"' "$TMP"/burst.* | wc -l)
+echo "overloaded rejections: $OVERLOADED/6"
+[ "$OVERLOADED" -ge 1 ] || { cat "$TMP"/burst.*; fail "queue bound never rejected"; }
+"$W" client -A "$SOCK" health >/dev/null || fail "daemon unhealthy after flood"
+"$W" client -A "$SOCK" shutdown >/dev/null
+CODE=0; wait_exit "$SERVER" || CODE=$?
+SERVER=""
+[ "$CODE" -eq 0 ] || fail "overload daemon drain exited $CODE"
+grep -q '"status":"rejected"' "$ACCESS_OVL" \
+  || fail "access log missed the overloaded rejections"
 
 # The overload episode left exactly the black-box dump the flight
 # recorder promises: request-id-named, versioned, explainable.
@@ -187,12 +214,13 @@ echo "top survives a dead daemon (retries with notice)"
 # ---- bench-serve: load-generate and gate the BENCH_serve.json --------
 BENCH="$TMP/BENCH_serve.json"
 ROTLOG="$TMP/access-bench.jsonl"
-WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --no-report \
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --executors "$EXECUTORS" \
+  --no-report \
   --access-log "$ROTLOG" --access-log-max-bytes 600 --access-log-keep 2 \
   >"$TMP/serve-bench.log" 2>&1 &
 SERVER=$!
 wait_ready
-"$W" bench-serve -A "$SOCK" -c 2 -n 24 -b s15850 -o "$BENCH" \
+"$W" bench-serve -A "$SOCK" -c 4 -n 32 -b s15850 -o "$BENCH" \
   >"$TMP/bench-serve.out" 2>&1 || fail "bench-serve failed: $(cat "$TMP/bench-serve.out")"
 grep -q '"experiment": "serve"' "$BENCH" || fail "malformed bench-serve report"
 grep -q '"latency_p95_ms"' "$BENCH" || fail "bench-serve report lacks percentiles"
@@ -206,13 +234,29 @@ if [ -f bench/baselines/BENCH_serve.json ]; then
 else
   echo "bench-serve ok (no baseline to gate against)"
 fi
+
+# A duplicate-heavy profile on the same daemon must actually coalesce:
+# concurrent connections carrying content-identical requests share one
+# solve through the single-flight layer.
+DUPBENCH="$TMP/BENCH_serve_dup.json"
+"$W" bench-serve -A "$SOCK" -c 4 -n 48 -b s15850 --dup-fraction 0.6 \
+  -o "$DUPBENCH" >"$TMP/bench-dup.out" 2>&1 \
+  || fail "dup-heavy bench-serve failed: $(cat "$TMP/bench-dup.out")"
+grep -q '"dup-wavemin"' "$DUPBENCH" \
+  || fail "dup-heavy report carries no dup-wavemin class"
+grep -q '"coalesced"' "$DUPBENCH" \
+  || fail "dup-heavy report carries no coalesced counter"
+COAL=$(sed -n 's/^coalesced \([0-9][0-9]*\).*/\1/p' "$TMP/bench-dup.out")
+[ "${COAL:-0}" -ge 1 ] || { cat "$TMP/bench-dup.out"; fail "dup-heavy load coalesced nothing"; }
+echo "bench-serve dup profile ok (coalesced $COAL)"
+
 "$W" client -A "$SOCK" shutdown >/dev/null
 CODE=0; wait_exit "$SERVER" || CODE=$?
 SERVER=""
 [ "$CODE" -eq 0 ] || fail "bench daemon drain exited $CODE"
 
-# 24 bench-serve requests at ~200 bytes/line against a 600-byte cap:
-# the log must have rotated, kept at most 2 generations, and every
+# Bench-serve requests at ~200 bytes/line against a 600-byte cap: the
+# log must have rotated, kept at most 2 generations, and every
 # surviving line must still be one parseable JSON object.
 [ -f "$ROTLOG.1" ] || fail "access log never rotated under --access-log-max-bytes"
 [ ! -f "$ROTLOG.3" ] || fail "access log kept more than --access-log-keep generations"
@@ -224,8 +268,8 @@ echo "access-log rotation ok ($(ls "$ROTLOG".* | wc -l) generations)"
 
 # ---- SIGTERM drain ----------------------------------------------------
 REPORT2="$TMP/BENCH_serve_sigterm.json"
-WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --report "$REPORT2" \
-  >"$TMP/serve2.log" 2>&1 &
+WAVEMIN_JOBS="$JOBS" "$W" serve -A "$SOCK" --executors "$EXECUTORS" \
+  --report "$REPORT2" >"$TMP/serve2.log" 2>&1 &
 SERVER=$!
 wait_ready
 "$W" client -A "$SOCK" run s15850 -a initial >/dev/null
@@ -242,7 +286,8 @@ for SEAM in parser waveform-cache noise-table pool-task report-writer; do
   SEAM_FLIGHT="$TMP/flight-$SEAM"
   mkdir -p "$SEAM_FLIGHT"
   WAVEMIN_JOBS="$JOBS" WAVEMIN_FAULTS="$SEAM:1" \
-    "$W" serve -A "$SOCK" --no-report --flight-dir "$SEAM_FLIGHT" \
+    "$W" serve -A "$SOCK" --executors "$EXECUTORS" --no-report \
+    --flight-dir "$SEAM_FLIGHT" \
     >"$TMP/serve-$SEAM.log" 2>&1 &
   SERVER=$!
   wait_ready

@@ -1,15 +1,17 @@
 (* The service layer: LRU + bounded queue unit tests, protocol
    round-trips, session-cache behavior (hits, content-hash
-   invalidation, eviction), end-to-end socket tests against an
-   in-process server, backpressure, fault-seam survival, and the
-   bit-identity property: concurrent clients at any job count receive
-   byte-identical responses to sequential in-process execution. *)
+   invalidation, per-shard eviction), single-flight coalescing,
+   end-to-end socket tests against an in-process server, backpressure,
+   fault-seam survival, and the bit-identity property: concurrent
+   clients at any executor and job count receive byte-identical
+   responses to sequential in-process execution. *)
 
 module Lru = Repro_server.Lru
 module Bqueue = Repro_server.Bqueue
 module Access_log = Repro_server.Access_log
 module Protocol = Repro_server.Protocol
 module Session = Repro_server.Session
+module Sflight = Repro_server.Sflight
 module Handlers = Repro_server.Handlers
 module Server = Repro_server.Server
 module Client = Repro_server.Client
@@ -182,6 +184,42 @@ let test_access_log_no_rotation_by_default () =
       Alcotest.(check bool) "no rotation" false
         (Sys.file_exists (path ^ ".1")))
 
+let test_access_log_concurrent_writers () =
+  (* Several writer threads interleaving entries — as the multi-executor
+     server does — must leave every line whole: no torn or interleaved
+     writes, every line parseable. *)
+  let path = Filename.temp_file "wm-alog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let a = Access_log.create path in
+      let writers = 8 and per = 50 in
+      let threads =
+        List.init writers (fun w ->
+            Thread.create
+              (fun () ->
+                for i = 1 to per do
+                  Access_log.write a
+                    (Json.Obj
+                       [ ("writer", Json.Num (float_of_int w));
+                         ("seq", Json.Num (float_of_int i));
+                         ("pad", Json.Str (String.make 64 'y')) ])
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      Access_log.close a;
+      let lines = read_lines path in
+      Alcotest.(check int) "every write landed" (writers * per)
+        (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Ok _ -> ()
+          | Error msg ->
+            Alcotest.failf "malformed access line %S: %s" line msg)
+        lines)
+
 (* ---- Protocol ----------------------------------------------------- *)
 
 let roundtrip req =
@@ -305,6 +343,128 @@ let test_session_eviction () =
   Alcotest.(check bool) "s15850 was evicted" true (miss "s15850");
   Alcotest.(check int) "evictions" 2 (Session.stats s).Session.evictions
 
+let test_session_shard_clamping () =
+  let count ~capacity ~shards =
+    Session.shard_count (Session.create ~capacity ~shards ())
+  in
+  Alcotest.(check int) "default-sized" 4 (count ~capacity:8 ~shards:4);
+  Alcotest.(check int) "capacity 1 collapses to one shard" 1
+    (count ~capacity:1 ~shards:8);
+  Alcotest.(check int) "rounds down to a power of two" 4
+    (count ~capacity:16 ~shards:7);
+  Alcotest.(check int) "never exceeds capacity" 2
+    (count ~capacity:3 ~shards:8);
+  Alcotest.check_raises "zero shards rejected"
+    (Invalid_argument "Session.create: shards < 1") (fun () ->
+      ignore (Session.create ~capacity:8 ~shards:0 ()))
+
+let test_session_shard_distribution () =
+  let s = Session.create ~capacity:64 ~shards:4 () in
+  Alcotest.(check int) "four shards" 4 (Session.shard_count s);
+  let hit = Array.make 4 false in
+  for i = 0 to 63 do
+    let k = Digest.to_hex (Digest.string (string_of_int i)) in
+    let ix = Session.shard_index s k in
+    Alcotest.(check bool) "index in range" true (ix >= 0 && ix < 4);
+    hit.(ix) <- true
+  done;
+  Alcotest.(check bool) "keys spread across shards" true
+    (Array.to_list hit |> List.filter Fun.id |> List.length > 1);
+  let k = Digest.to_hex (Digest.string "stable") in
+  Alcotest.(check int) "placement is stable" (Session.shard_index s k)
+    (Session.shard_index s k)
+
+let test_session_per_shard_eviction () =
+  (* Capacity 4 over 2 shards = 2 entries per shard: a third key landing
+     on the same shard evicts within that shard even though the cache as
+     a whole is not full. *)
+  let s = Session.create ~capacity:4 ~shards:2 () in
+  let sp = spec "s15850" in
+  let variant kappa = { params with Repro_core.Context.kappa } in
+  let target =
+    Session.shard_index s
+      (Session.key ~spec:sp ~params:(variant 20.0) ~library:None)
+  in
+  let same_shard =
+    (* kappa variants whose content keys land on one shard *)
+    let rec collect kappa acc =
+      if List.length acc = 3 then List.rev acc
+      else
+        let k = Session.key ~spec:sp ~params:(variant kappa) ~library:None in
+        collect (kappa +. 1.0)
+          (if Session.shard_index s k = target then variant kappa :: acc
+           else acc)
+    in
+    collect 20.0 []
+  in
+  let lookup p =
+    match Session.prepared s ~spec:sp ~params:p () with
+    | Ok (_, kind) -> kind
+    | Error e -> Alcotest.fail (Verrors.to_string e)
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) "cold" true (lookup p = `Miss))
+    same_shard;
+  Alcotest.(check int) "third same-shard key evicts within its shard" 1
+    (Session.stats s).Session.evictions;
+  Alcotest.(check bool) "oldest same-shard key re-misses" true
+    (lookup (List.hd same_shard) = `Miss)
+
+(* ---- single-flight registry --------------------------------------- *)
+
+let test_sflight_lead_join_complete () =
+  let sf = Sflight.create () in
+  (match Sflight.admit sf ~key:"k" 1 ~enqueue:(fun () -> Ok "queued") with
+  | `Led v -> Alcotest.(check string) "leader ran enqueue" "queued" v
+  | `Joined | `Refused _ -> Alcotest.fail "first arrival did not lead");
+  let join v =
+    match
+      Sflight.admit sf ~key:"k" v ~enqueue:(fun () ->
+          Alcotest.fail "follower must not enqueue")
+    with
+    | `Joined -> ()
+    | `Led _ | `Refused _ -> Alcotest.fail "later arrival did not join"
+  in
+  join 2;
+  join 3;
+  Alcotest.(check int) "one open flight" 1 (Sflight.in_flight sf);
+  Alcotest.(check (list int)) "followers in arrival order" [ 2; 3 ]
+    (Sflight.complete sf ~key:"k");
+  Alcotest.(check int) "flight closed" 0 (Sflight.in_flight sf);
+  Alcotest.(check (list int)) "double complete is empty" []
+    (Sflight.complete sf ~key:"k")
+
+let test_sflight_failure_not_memoized () =
+  (* complete runs before the leader's response is written, whatever the
+     outcome: an arrival after completion must lead a fresh flight
+     (re-execute), never inherit the dead flight's result. *)
+  let sf = Sflight.create () in
+  (match Sflight.admit sf ~key:"k" 1 ~enqueue:(fun () -> Ok ()) with
+  | `Led () -> ()
+  | `Joined | `Refused _ -> Alcotest.fail "no leader");
+  (match Sflight.admit sf ~key:"k" 2 ~enqueue:(fun () -> Ok ()) with
+  | `Joined -> ()
+  | `Led _ | `Refused _ -> Alcotest.fail "no follower");
+  ignore (Sflight.complete sf ~key:"k");
+  match Sflight.admit sf ~key:"k" 3 ~enqueue:(fun () -> Ok ()) with
+  | `Led () -> ()
+  | `Joined | `Refused _ ->
+    Alcotest.fail "post-completion arrival joined a dead flight"
+
+let test_sflight_refusal_leaves_no_entry () =
+  (* Backpressure refusal at enqueue time must not open a flight —
+     otherwise later identical requests would strand as followers of a
+     leader that never queued. *)
+  let sf = Sflight.create () in
+  (match Sflight.admit sf ~key:"k" 1 ~enqueue:(fun () -> Error `Full) with
+  | `Refused `Full -> ()
+  | `Led _ | `Joined -> Alcotest.fail "refusal not surfaced");
+  Alcotest.(check int) "no stranded flight" 0 (Sflight.in_flight sf);
+  match Sflight.admit sf ~key:"k" 2 ~enqueue:(fun () -> Ok ()) with
+  | `Led () -> ()
+  | `Joined | `Refused _ ->
+    Alcotest.fail "arrival after refusal joined a phantom flight"
+
 (* ---- end-to-end over a socket ------------------------------------- *)
 
 let next_sock = Atomic.make 0
@@ -316,11 +476,17 @@ let temp_address () =
        (Printf.sprintf "wm-%d-%d.sock" (Unix.getpid ())
           (Atomic.fetch_and_add next_sock 1)))
 
-let with_server ?(queue_capacity = 16) ?access_log_path ?flight_dir f =
+let with_server ?(queue_capacity = 16) ?executors ?access_log_path ?flight_dir
+    f =
   let address = temp_address () in
   let cfg =
     { (Server.default_config address) with
       Server.queue_capacity; report_path = None; access_log_path; flight_dir }
+  in
+  let cfg =
+    match executors with
+    | Some e -> { cfg with Server.executors = e }
+    | None -> cfg
   in
   let t, thread = Server.serve_background cfg in
   Fun.protect
@@ -433,10 +599,12 @@ let test_server_rejects_while_draining () =
               (r.Protocol.rid = Json.Num 0.0 && r.Protocol.ok)))
 
 let test_server_backpressure () =
-  (* Pipeline one slow request plus a burst on a capacity-1 queue
-     without waiting for responses: the burst must overflow the bound
-     and come back as structured overloaded rejections. *)
-  with_server ~queue_capacity:1 (fun address _t ->
+  (* Pipeline one slow request plus a burst on a capacity-1 queue with a
+     single executor, without waiting for responses: the burst must
+     overflow the bound and come back as structured overloaded
+     rejections.  Every burst request carries a distinct kappa so the
+     single-flight layer cannot coalesce them into one queue slot. *)
+  with_server ~queue_capacity:1 ~executors:1 (fun address _t ->
       let path =
         match address with Server.Unix_path p -> p | _ -> assert false
       in
@@ -451,15 +619,17 @@ let test_server_backpressure () =
               { opts = Protocol.default_opts ~benchmark:"s13207";
                 instances = 2000 }
           in
-          let quick =
+          let quick i =
             Protocol.Run
-              { opts = Protocol.default_opts ~benchmark:"s15850";
+              { opts =
+                  { (Protocol.default_opts ~benchmark:"s15850") with
+                    Protocol.kappa = 20.0 +. float_of_int i };
                 algorithm = Flow.Initial }
           in
           let burst = 8 in
           send_raw () fd slow ~id:0.0;
           for i = 1 to burst do
-            send_raw () fd quick ~id:(float_of_int i)
+            send_raw () fd (quick i) ~id:(float_of_int i)
           done;
           let overloaded = ref 0 and ok = ref 0 in
           for _ = 0 to burst do
@@ -480,6 +650,64 @@ let test_server_backpressure () =
                !overloaded !ok)
             true (!overloaded >= 1);
           Alcotest.(check bool) "slow request still served" true (!ok >= 1)))
+
+let test_server_coalescing () =
+  (* A single executor is pinned down by a slow solve; three
+     content-identical heavy requests arrive behind it.  The first leads
+     (takes the queue slot), the other two join its flight: all three
+     must come back ok, byte-identical, each under its own request id,
+     and the server must count exactly two joins. *)
+  with_server ~executors:1 (fun address _t ->
+      let path =
+        match address with Server.Unix_path p -> p | _ -> assert false
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          send_raw () fd
+            (Protocol.Montecarlo
+               { opts = Protocol.default_opts ~benchmark:"s13207";
+                 instances = 2000 })
+            ~id:0.0;
+          let dup =
+            Protocol.Run
+              { opts = Protocol.default_opts ~benchmark:"s15850";
+                algorithm = Flow.Wavemin }
+          in
+          for i = 1 to 3 do
+            send_raw () fd dup ~id:(float_of_int i)
+          done;
+          let bodies = Hashtbl.create 4 in
+          for _ = 0 to 3 do
+            match Protocol.parse_response (input_line ic) with
+            | Error msg -> Alcotest.fail msg
+            | Ok r ->
+              Alcotest.(check bool) "every response ok" true r.Protocol.ok;
+              (match r.Protocol.rid with
+              | Json.Num id ->
+                Hashtbl.replace bodies id (Json.to_string r.Protocol.body)
+              | _ -> Alcotest.fail "response with non-numeric id")
+          done;
+          Alcotest.(check int) "all four ids answered" 4
+            (Hashtbl.length bodies);
+          let body i = Hashtbl.find bodies (float_of_int i) in
+          Alcotest.(check string) "first follower byte-identical" (body 1)
+            (body 2);
+          Alcotest.(check string) "second follower byte-identical" (body 1)
+            (body 3));
+      with_client address (fun c ->
+          let stats = request_exn c Protocol.Stats in
+          match
+            Option.bind
+              (Json.member "coalesced" stats.Protocol.body)
+              Json.float_value
+          with
+          | Some n ->
+            Alcotest.(check (float 0.0)) "two joins counted" 2.0 n
+          | None -> Alcotest.fail "stats carry no coalesced counter"))
 
 (* ---- telemetry: metrics request, stats rolling/last, access log --- *)
 
@@ -839,9 +1067,9 @@ let sequential_outcomes reqs =
   let session = Session.create () in
   List.map (fun req -> render_outcome (Handlers.execute session req)) reqs
 
-let concurrent_outcomes ~jobs reqs =
+let concurrent_outcomes ~executors ~jobs reqs =
   Par.with_jobs jobs (fun () ->
-      with_server (fun address _t ->
+      with_server ~executors (fun address _t ->
           let results = Array.make (List.length reqs) "" in
           let clients =
             List.mapi
@@ -861,10 +1089,14 @@ let concurrent_outcomes ~jobs reqs =
           Array.to_list results))
 
 let bit_identity =
-  QCheck.Test.make ~count:4 ~name:"concurrent clients == sequential execution"
+  QCheck.Test.make ~count:2 ~name:"concurrent clients == sequential execution"
     QCheck.(pair (int_bound 2) small_nat)
     (fun (drop, salt) ->
-      (* a random sublist in a random rotation, served at jobs 1 and 4 *)
+      (* A random sublist in a random rotation, served across executor
+         counts {1, 2, 8} x job counts {1, 4}.  One request is
+         duplicated so the single-flight layer can fire: whether the
+         duplicate coalesces (concurrent in-flight) or re-executes
+         (sequentialized by timing) the bytes must be identical. *)
       let reqs =
         List.filteri (fun i _ -> i <> drop) identity_requests
       in
@@ -873,10 +1105,12 @@ let bit_identity =
       let reqs =
         List.mapi (fun i _ -> List.nth reqs ((i + rot) mod n)) reqs
       in
+      let reqs = reqs @ [ List.hd reqs ] in
       let expected = sequential_outcomes reqs in
       List.for_all
-        (fun jobs -> concurrent_outcomes ~jobs reqs = expected)
-        [ 1; 4 ])
+        (fun (executors, jobs) ->
+          concurrent_outcomes ~executors ~jobs reqs = expected)
+        [ (1, 1); (1, 4); (2, 4); (8, 1); (8, 4); (2, 1) ])
 
 let () =
   Repro_obs.Log.setup ~level:None ();
@@ -896,7 +1130,9 @@ let () =
         [ Alcotest.test_case "size-based rotation" `Quick
             test_access_log_rotation;
           Alcotest.test_case "unbounded by default" `Quick
-            test_access_log_no_rotation_by_default ] );
+            test_access_log_no_rotation_by_default;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_access_log_concurrent_writers ] );
       ( "protocol",
         [ Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "malformed" `Quick test_protocol_malformed;
@@ -904,12 +1140,26 @@ let () =
       ( "session",
         [ Alcotest.test_case "hit/miss" `Quick test_session_hit_miss;
           Alcotest.test_case "content hash" `Quick test_session_content_hash;
-          Alcotest.test_case "eviction" `Quick test_session_eviction ] );
+          Alcotest.test_case "eviction" `Quick test_session_eviction;
+          Alcotest.test_case "shard clamping" `Quick
+            test_session_shard_clamping;
+          Alcotest.test_case "shard distribution" `Quick
+            test_session_shard_distribution;
+          Alcotest.test_case "per-shard eviction" `Quick
+            test_session_per_shard_eviction ] );
+      ( "sflight",
+        [ Alcotest.test_case "lead/join/complete" `Quick
+            test_sflight_lead_join_complete;
+          Alcotest.test_case "failure never memoized" `Quick
+            test_sflight_failure_not_memoized;
+          Alcotest.test_case "refusal leaves no entry" `Quick
+            test_sflight_refusal_leaves_no_entry ] );
       ( "socket",
         [ Alcotest.test_case "round-trip" `Quick test_server_roundtrip;
           Alcotest.test_case "draining rejects" `Quick
             test_server_rejects_while_draining;
           Alcotest.test_case "backpressure" `Slow test_server_backpressure;
+          Alcotest.test_case "coalescing" `Slow test_server_coalescing;
           Alcotest.test_case "telemetry" `Quick test_server_telemetry;
           Alcotest.test_case "fault seams" `Slow test_server_survives_faults ] );
       ( "flight",
