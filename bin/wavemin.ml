@@ -824,9 +824,36 @@ let serve_cmd =
     in
     Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
   in
+  let idle_timeout_arg =
+    let doc =
+      "Close a connection that produces no complete request line for \
+       $(docv) seconds with a structured $(b,io-error) — the slowloris \
+       guard (a byte-at-a-time dribbler counts as idle; only complete \
+       lines reset the clock).  0 disables the timeout."
+    in
+    Arg.(value & opt float 300.0 & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_line_arg =
+    let doc =
+      "Reject (structured $(b,parse-error)) and disconnect a peer whose \
+       request line exceeds $(docv) bytes; the reader buffer is bounded \
+       by it."
+    in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let stall_after_arg =
+    let doc =
+      "Watchdog stall limit in seconds for requests with no budget and \
+       no deadline (budgeted requests stall at 4x their limit instead). \
+       A stalled executor is reported — warning, \
+       $(b,server.executor_stalled) metric, flight note, black-box dump \
+       — once per wedged request, never killed."
+    in
+    Arg.(value & opt float 30.0 & info [ "stall-after" ] ~docv:"SECONDS" ~doc)
+  in
   let run address_s queue cache cache_shards executors report no_report
       access_log access_log_max_bytes access_log_keep flight_dir no_flight
-      window jobs level trace metrics =
+      window idle_timeout max_line stall_after jobs level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
     match parse_address address_s with
@@ -844,6 +871,10 @@ let serve_cmd =
           flight_dir = (if no_flight then None else Some flight_dir);
           rolling_window_s = (if window > 0.0 then window else 60.0);
           sample_period_s = Some 1.0;
+          idle_timeout_s = (if idle_timeout > 0.0 then Some idle_timeout else None);
+          max_line_bytes = max_line;
+          watchdog_period_s = Some 1.0;
+          stall_after_s = (if stall_after > 0.0 then stall_after else 30.0);
           handle_signals = true; readiness = Some stdout }
       in
       match Verrors.guard ~stage:"server.serve" (fun () -> Server.serve cfg) with
@@ -869,7 +900,8 @@ let serve_cmd =
           $ executors_arg $ report_arg
           $ no_report_arg $ access_log_arg $ access_log_max_bytes_arg
           $ access_log_keep_arg $ flight_dir_arg $ no_flight_arg
-          $ window_arg $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
+          $ window_arg $ idle_timeout_arg $ max_line_arg $ stall_after_arg
+          $ jobs_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 let client_cmd =
   let request_arg =
@@ -925,13 +957,45 @@ let client_cmd =
     in
     Arg.(value & flag & info [ "time" ] ~doc)
   in
+  let deadline_ms_arg =
+    let doc =
+      "End-to-end deadline in milliseconds, carried in the request \
+       envelope: once it passes (measured from the server parsing the \
+       line) the server sheds the request with a structured \
+       $(b,deadline-exceeded) error instead of executing it — and \
+       cancels an already-running solve cooperatively."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Re-attempt the request up to $(docv) times — each on a fresh \
+       connection — after an $(b,overloaded) rejection or a transport \
+       failure (connection refused while the daemon restarts, resets \
+       mid-request), with jittered exponential backoff.  Safe because \
+       responses are deterministic and duplicates coalesce server-side."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_backoff_arg =
+    let doc =
+      "Base backoff in milliseconds: sleep $(docv) x 2^attempt x \
+       U[0.5,1.5] before each re-attempt."
+    in
+    Arg.(value & opt float 50.0 & info [ "retry-backoff" ] ~docv:"MS" ~doc)
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   in
   let run address_s request_s bench algo_s kappa slots budget_ms max_labels
-      instances library_file all time metrics_format =
+      instances library_file all time deadline_ms retries retry_backoff
+      metrics_format =
+    (* With --retries, writing into a connection the daemon reset must
+       surface as a retryable io-error, not kill the process. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match parse_address address_s with
     | Error code -> code
     | Ok address -> (
@@ -975,10 +1039,10 @@ let client_cmd =
       match req with
       | Error code -> code
       | Ok req -> (
-        let outcome =
+        let attempt_once () =
           Client.with_connection address (fun c ->
               let t0 = Obs_clock.now_s () in
-              match Client.request_with_id c req with
+              match Client.request_with_id ?deadline_ms c req with
               | Error e -> Error e
               | Ok (id, resp) ->
                 let elapsed_ms = (Obs_clock.now_s () -. t0) *. 1000.0 in
@@ -1004,7 +1068,40 @@ let client_cmd =
                 in
                 Ok (resp, elapsed_ms, server_side))
         in
-        match outcome with
+        (* Same retry policy as {!Client.request_retry}, kept inline so
+           the --time breakdown still rides the winning connection. *)
+        let rng =
+          lazy
+            (Repro_util.Rng.create
+               ~seed:
+                 (int_of_float (Float.rem (Obs_clock.now_s () *. 1e3) 1e9)
+                 lxor 0x5eed))
+        in
+        let backoff attempt why =
+          let ms =
+            Float.max 0.0 retry_backoff
+            *. (2.0 ** float_of_int attempt)
+            *. Repro_util.Rng.uniform (Lazy.force rng) ~lo:0.5 ~hi:1.5
+          in
+          Format.eprintf "wavemin: %s; retry %d/%d in %.0f ms@." why
+            (attempt + 1) retries ms;
+          Thread.delay (ms /. 1000.0)
+        in
+        let overloaded (resp : Proto.response) =
+          (not resp.Proto.ok)
+          && Json.member "code" resp.Proto.body = Some (Json.Str "overloaded")
+        in
+        let rec attempt n =
+          match attempt_once () with
+          | Error e when e.Verrors.code = Verrors.Io_error && n < retries ->
+            backoff n (Verrors.code_name e.Verrors.code);
+            attempt (n + 1)
+          | Ok (resp, _, _) when overloaded resp && n < retries ->
+            backoff n "overloaded";
+            attempt (n + 1)
+          | outcome -> outcome
+        in
+        match attempt 0 with
         | Error e ->
           print_verror e;
           2
@@ -1029,6 +1126,7 @@ let client_cmd =
     Term.(const run $ address_arg $ request_arg $ bench_opt_arg
           $ algo_name_arg $ kappa_arg $ slots_arg $ budget_arg
           $ max_labels_arg $ instances_arg $ library_arg $ all_arg $ time_arg
+          $ deadline_ms_arg $ retries_arg $ retry_backoff_arg
           $ metrics_format_arg)
 
 let bench_serve_cmd =
@@ -1072,9 +1170,25 @@ let bench_serve_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "dup-fraction" ] ~docv:"FRACTION" ~doc)
   in
+  let retries_arg =
+    let doc =
+      "Per-request re-attempts on an $(b,overloaded) rejection or a \
+       transport failure (reconnecting first), with jittered \
+       exponential backoff; spent retries are reported and land in the \
+       report's ungated environment block."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_backoff_arg =
+    let doc =
+      "Base backoff in milliseconds: sleep $(docv) x 2^attempt x \
+       U[0.5,1.5] before each re-attempt."
+    in
+    Arg.(value & opt float 50.0 & info [ "retry-backoff" ] ~docv:"MS" ~doc)
+  in
   let cell = Table.cell_f ~decimals:1 in
   let run address_s connections count duration benchmark window dup_fraction
-      output =
+      retries retry_backoff output =
     match parse_address address_s with
     | Error code -> code
     | Ok address -> (
@@ -1089,7 +1203,9 @@ let bench_serve_cmd =
       let cfg =
         { Loadgen.address; connections = max 1 connections; total;
           duration_s = duration; profile;
-          window_s = (if window > 0.0 then window else 60.0) }
+          window_s = (if window > 0.0 then window else 60.0);
+          retries = max 0 retries;
+          retry_backoff_ms = Float.max 0.0 retry_backoff }
       in
       match Loadgen.run cfg with
       | Error e ->
@@ -1113,8 +1229,10 @@ let bench_serve_cmd =
         row r.overall;
         print_string (Table.render ~align:Table.Right tbl);
         Format.printf
-          "@.wall_s %.2f  requests %d  errors %d  throughput %.1f req/s@."
-          r.wall_s r.total_requests r.total_errors r.throughput_rps;
+          "@.wall_s %.2f  requests %d  errors %d  retries %d  throughput \
+           %.1f req/s@."
+          r.wall_s r.total_requests r.total_errors r.total_retries
+          r.throughput_rps;
         (match r.coalesced with
         | Some n -> Format.printf "coalesced %d@." n
         | None -> ());
@@ -1135,7 +1253,7 @@ let bench_serve_cmd =
           $(b,bench-diff)")
     Term.(const run $ address_arg $ connections_arg $ count_arg
           $ duration_arg $ benchmark_arg $ window_arg $ dup_fraction_arg
-          $ output_arg)
+          $ retries_arg $ retry_backoff_arg $ output_arg)
 
 let top_cmd =
   let interval_arg =
@@ -1413,6 +1531,189 @@ let explain_cmd =
           $ budget_arg $ max_labels_arg $ output_arg $ jobs_arg
           $ log_level_arg $ trace_arg $ metrics_arg)
 
+(* ---- chaos: a misbehaving peer on demand --------------------------- *)
+
+(* Drives the server's abuse paths from the outside, with nothing but
+   raw sockets — the smoke tests' slowloris, flood and mid-request
+   disconnect tooling (no dependency on socat/nc).  Each mode prints
+   one `chaos MODE: ...' line describing what the server did. *)
+let chaos_cmd =
+  let mode_arg =
+    let doc =
+      "What to do to the server: $(b,dribble) (send a request \
+       byte-at-a-time and never finish the line — slowloris), \
+       $(b,oversize) (stream one giant newline-less line), $(b,hang) \
+       (connect and send nothing), $(b,disconnect) (send a valid heavy \
+       request, then close without reading the response)."
+    in
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ ("dribble", `Dribble); ("oversize", `Oversize);
+                     ("hang", `Hang); ("disconnect", `Disconnect) ]))
+             None
+         & info [] ~docv:"MODE" ~doc)
+  in
+  let bytes_arg =
+    let doc = "For $(b,oversize): bytes streamed (newline-less)." in
+    Arg.(value & opt int (2 * (1 lsl 20)) & info [ "bytes" ] ~docv:"N" ~doc)
+  in
+  let delay_arg =
+    let doc = "For $(b,dribble): inter-byte delay in seconds." in
+    Arg.(value & opt float 0.05 & info [ "delay" ] ~docv:"SECONDS" ~doc)
+  in
+  let wait_arg =
+    let doc =
+      "How long to wait for the server's verdict (a response line or \
+       the connection being closed) before giving up."
+    in
+    Arg.(value & opt float 30.0 & info [ "wait" ] ~docv:"SECONDS" ~doc)
+  in
+  let benchmark_arg =
+    let doc = "For $(b,disconnect): benchmark in the abandoned request." in
+    Arg.(value & opt string "s15850"
+         & info [ "benchmark"; "b" ] ~docv:"BENCHMARK" ~doc)
+  in
+  let raw_connect address =
+    match (address : Server.address) with
+    | Server.Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Server.Tcp { host; port } ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            failwith (Printf.sprintf "cannot resolve host %s" host)
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+  in
+  (* Wait for the server's verdict: returns the first line it sends, or
+     [`Closed] on EOF, or [`Silent] after [wait] seconds. *)
+  let await_verdict fd wait =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let deadline = Obs_clock.now_s () +. wait in
+    let rec go () =
+      let left = deadline -. Obs_clock.now_s () in
+      if left <= 0.0 then `Silent
+      else
+        match Unix.select [ fd ] [] [] (Float.min 0.25 left) with
+        | [], _, _ -> go ()
+        | _, _, _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> if Buffer.length buf > 0 then `Line (Buffer.contents buf) else `Closed
+          | n -> (
+            Buffer.add_subbytes buf chunk 0 n;
+            match String.index_opt (Buffer.contents buf) '\n' with
+            | Some i -> `Line (String.sub (Buffer.contents buf) 0 i)
+            | None -> go ())
+          | exception Unix.Unix_error _ -> `Closed)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> `Closed
+    in
+    go ()
+  in
+  let write_all fd s =
+    let len = String.length s in
+    let rec go off =
+      if off < len then
+        let n = Unix.write_substring fd s off (len - off) in
+        go (off + n)
+    in
+    go 0
+  in
+  let describe = function
+    | `Line l -> Printf.sprintf "server answered: %s" l
+    | `Closed -> "server closed the connection"
+    | `Silent -> "server stayed silent until the wait expired"
+  in
+  let run address_s mode bytes delay wait benchmark =
+    (* A server that cuts us off mid-write is the expected outcome here:
+       take it as EPIPE, not a fatal signal. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match parse_address address_s with
+    | Error code -> code
+    | Ok address -> (
+      match raw_connect address with
+      | exception (Unix.Unix_error _ | Failure _) ->
+        Format.eprintf "wavemin: chaos: cannot connect to %s@." address_s;
+        2
+      | fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let request =
+              Proto.line
+                (Proto.request_to_json ~id:(Json.Str "chaos")
+                   (Proto.Run
+                      { opts = Proto.default_opts ~benchmark;
+                        algorithm = Repro_core.Flow.Wavemin }))
+            in
+            match mode with
+            | `Dribble ->
+              (* Send everything but the terminating newline, slowly. *)
+              let body = String.sub request 0 (String.length request - 1) in
+              let verdict = ref `Silent in
+              (try
+                 String.iter
+                   (fun c ->
+                     write_all fd (String.make 1 c);
+                     Thread.delay (Float.max 0.0 delay))
+                   body;
+                 verdict := await_verdict fd wait
+               with Unix.Unix_error _ | Sys_error _ ->
+                 (* The server cut us off mid-dribble: that is the
+                    verdict. *)
+                 verdict := `Closed);
+              Format.printf "chaos dribble: %s@." (describe !verdict);
+              0
+            | `Oversize ->
+              let blk = String.make 65536 'x' in
+              let verdict = ref `Silent in
+              (try
+                 let sent = ref 0 in
+                 while !sent < bytes do
+                   write_all fd blk;
+                   sent := !sent + String.length blk
+                 done;
+                 verdict := await_verdict fd wait
+               with Unix.Unix_error _ | Sys_error _ -> verdict := `Closed);
+              (* A verdict may already be buffered even if the send
+                 died. *)
+              (match !verdict with
+              | `Closed -> verdict := await_verdict fd wait
+              | _ -> ());
+              Format.printf "chaos oversize: %s@." (describe !verdict);
+              0
+            | `Hang ->
+              Format.printf "chaos hang: %s@." (describe (await_verdict fd wait));
+              0
+            | `Disconnect ->
+              (try write_all fd request
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              Format.printf
+                "chaos disconnect: request sent, closing without reading@.";
+              0))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Misbehave at a running `wavemin serve' on purpose — slowloris \
+          dribble, oversized request line, silent connection, \
+          mid-request disconnect — and report how the server responded. \
+          The chaos smoke tests drive the daemon's abuse guards with \
+          this (no socat/nc needed)")
+    Term.(const run $ address_arg $ mode_arg $ bytes_arg $ delay_arg
+          $ wait_arg $ benchmark_arg)
+
 let () =
   let info =
     Cmd.info "wavemin" ~version:"1.0.0"
@@ -1423,7 +1724,7 @@ let () =
       [ list_cmd; run_cmd; validate_cmd; profile_cmd; compare_cmd;
         multimode_cmd; montecarlo_cmd; characterize_cmd; export_cmd;
         stats_cmd; report_cmd; bench_diff_cmd; library_cmd; serve_cmd;
-        client_cmd; bench_serve_cmd; top_cmd; explain_cmd ]
+        client_cmd; bench_serve_cmd; chaos_cmd; top_cmd; explain_cmd ]
   in
   (* Safety net: no subcommand may escape with an uncaught structured
      error (injected faults can fire in paths without a local handler —

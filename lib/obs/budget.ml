@@ -3,15 +3,19 @@ module Verrors = Repro_util.Verrors
 type t = {
   wall_ms : float option;
   deadline_ns : int64 option;  (* absolute, Clock.now_ns scale *)
+  request_deadline_ns : int64 option;
+      (* absolute end-to-end request deadline (Clock.now_ns scale);
+         trips with Deadline_exceeded, not Budget_exhausted — the
+         sender has given up, the work is doomed either way. *)
   max_labels : int option;
   labels : int Atomic.t;
   (* Sticky trip reason: set once by the first failing check; later
      checks re-raise without re-deriving, so a tripped budget cancels
      cooperating workers promptly. *)
-  tripped : string option Atomic.t;
+  tripped : (string * Verrors.code) option Atomic.t;
 }
 
-let create ?wall_ms ?max_labels () =
+let create ?wall_ms ?deadline_ns ?max_labels () =
   (match wall_ms with
   | Some ms when ms <= 0.0 -> invalid_arg "Budget.create: wall_ms <= 0"
   | _ -> ());
@@ -24,6 +28,7 @@ let create ?wall_ms ?max_labels () =
       Option.map
         (fun ms -> Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
         wall_ms;
+    request_deadline_ns = deadline_ns;
     max_labels;
     labels = Atomic.make 0;
     tripped = Atomic.make None;
@@ -31,41 +36,55 @@ let create ?wall_ms ?max_labels () =
 
 let labels_used t = Atomic.get t.labels
 
-let exceeded t =
+let tripped_with t =
   match Atomic.get t.tripped with
   | Some _ as r -> r
   | None ->
     let reason =
-      match t.deadline_ns with
+      match t.request_deadline_ns with
       | Some d when Clock.now_ns () > d ->
-        Some
-          (Printf.sprintf "wall-clock budget of %.0f ms exhausted"
-             (Option.value ~default:0.0 t.wall_ms))
+        Some ("request deadline exceeded", Verrors.Deadline_exceeded)
       | _ -> (
-        match t.max_labels with
-        | Some cap when Atomic.get t.labels > cap ->
+        match t.deadline_ns with
+        | Some d when Clock.now_ns () > d ->
           Some
-            (Printf.sprintf
-               "label budget of %d exhausted (%d labels extended)" cap
-               (Atomic.get t.labels))
-        | _ -> None)
+            ( Printf.sprintf "wall-clock budget of %.0f ms exhausted"
+                (Option.value ~default:0.0 t.wall_ms),
+              Verrors.Budget_exhausted )
+        | _ -> (
+          match t.max_labels with
+          | Some cap when Atomic.get t.labels > cap ->
+            Some
+              ( Printf.sprintf
+                  "label budget of %d exhausted (%d labels extended)" cap
+                  (Atomic.get t.labels),
+                Verrors.Budget_exhausted )
+          | _ -> None))
     in
     (match reason with
-    | Some r ->
+    | Some (r, _) ->
       (* Flight-record the transition only (CAS: one event per trip even
          when racing domains notice simultaneously) — sticky re-raises
          during cooperative cancellation would flood the ring. *)
-      if Atomic.compare_and_set t.tripped None (Some r) then
+      if Atomic.compare_and_set t.tripped None reason then
         Flight.record
           (Flight.Budget_trip { reason = r; labels_used = Atomic.get t.labels })
     | None -> ());
-    reason
+    Atomic.get t.tripped
+
+let exceeded t = Option.map fst (tripped_with t)
 
 let check t =
-  match exceeded t with
+  match tripped_with t with
   | None -> ()
-  | Some reason ->
-    Verrors.fail ~code:Verrors.Budget_exhausted ~stage:"budget"
+  | Some (reason, (Verrors.Deadline_exceeded as code)) ->
+    Verrors.fail ~code ~stage:"budget"
+      ~hints:
+        [ "the client stopped waiting; raise deadline_ms or drop it for \
+           unbounded requests" ]
+      reason
+  | Some (reason, code) ->
+    Verrors.fail ~code ~stage:"budget"
       ~hints:
         [ "raise --budget-ms / the label budget, or accept the recorded \
            degradation" ]

@@ -25,13 +25,20 @@
 
 type t
 
-val create : ?wall_ms:float -> ?max_labels:int -> unit -> t
+val create : ?wall_ms:float -> ?deadline_ns:int64 -> ?max_labels:int -> unit -> t
 (** A budget with the given limits; omitted limits are unlimited.
-    The wall-clock deadline starts at creation time.
+    The wall-clock deadline starts at creation time.  [deadline_ns] is
+    an {e absolute} end-to-end request deadline on the {!Clock.now_ns}
+    scale (the [wavemin serve] data plane stamps it at parse time and
+    threads the remainder here): it trips with code [Deadline_exceeded]
+    rather than [Budget_exhausted] and takes precedence, so a shed
+    request is reported as abandoned-by-sender, not as a solver-side
+    downgrade.
     @raise Invalid_argument on non-positive limits. *)
 
 val check : t -> unit
-(** Raise [Verrors.Error { code = Budget_exhausted; _ }] if a limit has
+(** Raise [Verrors.Error] with code [Budget_exhausted] (wall/label
+    limits) or [Deadline_exceeded] (request deadline) if a limit has
     been reached (or the budget already tripped); otherwise return. *)
 
 val charge_labels : t -> int -> unit

@@ -143,7 +143,26 @@ let render doc =
             in
             Hashtbl.replace contention r (c + 1, total +. num_or 0.0 "wait_ms" e)
           | "note" ->
-            tl "  %8.1f ms  note: %s\n" t_ms (str_or "?" "name" e)
+            (* Attrs ride as flat string fields next to the envelope
+               keys; render every one so server notes (executor-stalled,
+               request-expired) carry their context into the report. *)
+            let attrs =
+              match Json.obj_value e with
+              | None -> []
+              | Some fields ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match (k, v) with
+                    | ("seq" | "t_ms" | "domain" | "kind" | "name"), _ -> None
+                    | k, Json.Str v -> Some (Printf.sprintf "%s=%s" k v)
+                    | _ -> None)
+                  fields
+            in
+            if attrs = [] then
+              tl "  %8.1f ms  note: %s\n" t_ms (str_or "?" "name" e)
+            else
+              tl "  %8.1f ms  note: %s (%s)\n" t_ms (str_or "?" "name" e)
+                (String.concat ", " attrs)
           | k -> Hashtbl.replace unknown k ())
         events;
 

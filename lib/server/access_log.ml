@@ -1,5 +1,13 @@
 module Json = Repro_util.Json
 module Verrors = Repro_util.Verrors
+module Metrics = Repro_obs.Metrics
+module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.access-log"))
+
+(* Every swallowed write/rotate/reopen failure lands here: the log is
+   best-effort by contract, but a full disk must still be visible on
+   the telemetry plane (and as a one-shot warning, not a warning per
+   request line). *)
+let write_errors_c = Metrics.counter "server.log_write_errors"
 
 type t = {
   a_path : string;
@@ -8,7 +16,19 @@ type t = {
   mutex : Mutex.t;
   mutable oc : out_channel option;
   mutable size : int;  (* bytes in the live file, tracked incrementally *)
+  mutable warned : bool;  (* one degraded-mode warning per log lifetime *)
 }
+
+let record_failure t what detail =
+  Metrics.incr write_errors_c;
+  if not t.warned then begin
+    t.warned <- true;
+    Log.warn (fun m ->
+        m
+          "access log degraded: %s failed on %s (%s); continuing without \
+           logging, counting in server.log_write_errors"
+          what t.a_path detail)
+  end
 
 let open_channel path =
   match open_out_gen [ Open_append; Open_creat ] 0o644 path with
@@ -23,7 +43,7 @@ let create ?(max_bytes = 0) ?(keep = 3) path =
     | Unix.Unix_error _ -> 0
   in
   { a_path = path; max_bytes; keep = Stdlib.max 1 keep;
-    mutex = Mutex.create (); oc = Some oc; size }
+    mutex = Mutex.create (); oc = Some oc; size; warned = false }
 
 let path t = t.a_path
 
@@ -42,10 +62,12 @@ let rotate t =
   for n = t.keep - 1 downto 1 do
     try Sys.rename (rotated t n) (rotated t (n + 1)) with Sys_error _ -> ()
   done;
-  (try Sys.rename t.a_path (rotated t 1) with Sys_error _ -> ());
+  (try Sys.rename t.a_path (rotated t 1)
+   with Sys_error msg -> record_failure t "rotation" msg);
   (match open_channel t.a_path with
   | oc -> t.oc <- Some oc
-  | exception Verrors.Error _ -> ());
+  | exception Verrors.Error e ->
+    record_failure t "reopen after rotation" e.Verrors.message);
   t.size <- 0
 
 let write t entry =
@@ -68,15 +90,16 @@ let write t entry =
         | oc ->
           t.oc <- oc |> Option.some;
           t.size <- 0
-        | exception Verrors.Error _ -> ()));
+        | exception Verrors.Error e ->
+          record_failure t "reopen" e.Verrors.message));
       match t.oc with
-      | None -> ()
+      | None -> ()  (* the failed reopen above already counted this drop *)
       | Some oc -> (
         try
           output_string oc line;
           flush oc;
           t.size <- t.size + String.length line
-        with Sys_error _ -> ()))
+        with Sys_error msg -> record_failure t "write" msg))
 
 let close t =
   Mutex.lock t.mutex;

@@ -8,7 +8,11 @@
     [keep] rotated generations are retained and the live file never
     materially exceeds [max_bytes].  Thread-safe; write failures are
     swallowed (the access log is strictly out-of-band and must never
-    take a request down with it). *)
+    take a request down with it) but not silent: each failed write,
+    rotation or reopen bumps the [server.log_write_errors] metrics
+    counter, and the first one logs a single degraded-mode warning —
+    after that the log keeps retrying one reopen per write without
+    flooding stderr. *)
 
 type t
 

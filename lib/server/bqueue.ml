@@ -42,6 +42,37 @@ let pop t =
       in
       wait ())
 
+(* Expiry-sweeping pop: entries whose deadline has already passed while
+   they waited are not worth executing — skim them off (in FIFO order)
+   until a live item or the closed-and-empty end.  The discards come
+   back to the caller, which owes each one a structured
+   [deadline-exceeded] answer; dropping them silently here would leave
+   clients waiting on responses that never come.  Crucially, a sweep
+   that empties the queue returns immediately ([None] with the
+   non-empty discard list) instead of blocking: holding the discards
+   while waiting for unrelated new work would leave their clients — and
+   any followers coalesced behind them — hanging indefinitely. *)
+let pop_live t ~expired =
+  with_lock t (fun () ->
+      let dead = ref [] in
+      let rec wait () =
+        if not (Queue.is_empty t.items) then begin
+          let x = Queue.take t.items in
+          if expired x then begin
+            dead := x :: !dead;
+            wait ()
+          end
+          else Some x
+        end
+        else if t.is_closed || !dead <> [] then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      let live = wait () in
+      (live, List.rev !dead))
+
 let close t =
   with_lock t (fun () ->
       if not t.is_closed then begin

@@ -26,6 +26,18 @@ val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 val pop : 'a t -> 'a option
 (** Blocking dequeue; [None] once the queue is closed {e and} empty. *)
 
+val pop_live : 'a t -> expired:('a -> bool) -> 'a option * 'a list
+(** {!pop}, discarding entries for which [expired] holds at dequeue
+    time: returns the first live item plus every expired entry skimmed
+    on the way, in FIFO order.  The caller owns the discards — the
+    server answers each with a structured [deadline-exceeded] error.
+    A sweep that empties the queue returns [(None, discards)]
+    {e without blocking} so the discards can be answered promptly; the
+    call only means shutdown when both the item and the discard list
+    are empty ([(None, [])] — closed and drained).  [expired] runs
+    under the queue lock: it must be cheap and must not touch the
+    queue. *)
+
 val close : 'a t -> unit
 (** Stop accepting; wake blocked consumers.  Idempotent. *)
 

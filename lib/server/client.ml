@@ -1,5 +1,6 @@
 module Json = Repro_util.Json
 module Verrors = Repro_util.Verrors
+module Rng = Repro_util.Rng
 module P = Protocol
 
 type t = {
@@ -66,10 +67,10 @@ let write_all fd s =
   in
   go 0
 
-let request_with_id t req =
+let request_with_id ?deadline_ms t req =
   let id = Json.Num (float_of_int t.next_id) in
   t.next_id <- t.next_id + 1;
-  match write_all t.fd (P.line (P.request_to_json ~id req)) with
+  match write_all t.fd (P.line (P.request_to_json ?deadline_ms ~id req)) with
   | exception (Unix.Unix_error _ | Sys_error _) ->
     Error (io_error "connection lost while sending request")
   | () ->
@@ -88,9 +89,70 @@ let request_with_id t req =
     in
     await ()
 
-let request t req = Result.map snd (request_with_id t req)
+let request ?deadline_ms t req =
+  Result.map snd (request_with_id ?deadline_ms t req)
 
 let with_connection address f =
   match connect address with
   | Error e -> Error e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ---- retries ------------------------------------------------------- *)
+
+let response_code (resp : P.response) =
+  if resp.P.ok then None
+  else
+    match Json.member "code" resp.P.body with
+    | Some (Json.Str c) -> Some c
+    | _ -> None
+
+(* What a retry can fix: the daemon shedding load ([overloaded]), or the
+   transport dying under us ([Io_error]: connection refused mid-restart,
+   ECONNRESET, a drain racing our send).  Re-sending is safe by
+   construction — responses are deterministic and concurrent duplicates
+   coalesce server-side — so at worst a retry recomputes; it never
+   diverges.  Structured rejections other than [overloaded]
+   ([deadline-exceeded], [parse-error], ...) mean the request itself is
+   the problem and retrying would only repeat the refusal. *)
+let retryable_response resp = response_code resp = Some "overloaded"
+let retryable_error (e : Verrors.t) = e.Verrors.code = Verrors.Io_error
+
+let request_retry ?(retries = 0) ?(backoff_ms = 50.0) ?deadline_ms ?on_retry
+    address req =
+  (* Jittered exponential backoff: backoff_ms × 2^attempt × U[0.5, 1.5],
+     seeded per-process so a fleet of retrying clients spreads out
+     instead of thundering back in lockstep. *)
+  let rng =
+    lazy
+      (Rng.create
+         ~seed:
+           ((Unix.getpid () * 1_000_003)
+           lxor int_of_float (Float.rem (Unix.gettimeofday () *. 1e6) 1e9)))
+  in
+  let attempts = max 1 retries + 1 in
+  let backoff attempt =
+    Float.max 0.0 backoff_ms
+    *. (2.0 ** float_of_int attempt)
+    *. Rng.uniform (Lazy.force rng) ~lo:0.5 ~hi:1.5
+  in
+  let rec go attempt =
+    (* One connection per attempt: the previous one may be the casualty
+       (reset, or pointing at a daemon that no longer exists). *)
+    let outcome = with_connection address (fun c -> request ?deadline_ms c req) in
+    let retry why =
+      let delay_ms = backoff attempt in
+      (match on_retry with
+      | Some f -> f ~attempt:(attempt + 1) ~why ~delay_ms
+      | None -> ());
+      Thread.delay (delay_ms /. 1000.0);
+      go (attempt + 1)
+    in
+    match outcome with
+    | Ok resp when retryable_response resp && attempt + 1 < attempts ->
+      retry "overloaded"
+    | Error e when retryable_error e && attempt + 1 < attempts ->
+      retry (Verrors.code_name e.Verrors.code)
+    | Ok resp -> Ok (resp, attempt)
+    | Error e -> Error e
+  in
+  go 0

@@ -18,14 +18,24 @@ val connect : Server.address -> (t, Verrors.t) result
 val close : t -> unit
 (** Idempotent. *)
 
-val request : t -> Protocol.request -> (Protocol.response, Verrors.t) result
+val request :
+  ?deadline_ms:float ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, Verrors.t) result
 (** Send one request and wait for its response.  [Error] means a
     transport or framing failure; a structured rejection from the
     server (e.g. [overloaded]) is an [Ok] response with
-    [response.ok = false]. *)
+    [response.ok = false].  [deadline_ms] rides in the request envelope:
+    the server sheds the request with a structured [deadline-exceeded]
+    error — and cancels an in-flight solve cooperatively — once that
+    much time has passed since it parsed the line. *)
 
 val request_with_id :
-  t -> Protocol.request -> (Json.t * Protocol.response, Verrors.t) result
+  ?deadline_ms:float ->
+  t ->
+  Protocol.request ->
+  (Json.t * Protocol.response, Verrors.t) result
 (** {!request}, additionally returning the id the request was tagged
     with — for correlating against the server's [stats] ["last"] block
     (the [client --time] server-side wall-time report). *)
@@ -33,3 +43,23 @@ val request_with_id :
 val with_connection :
   Server.address -> (t -> ('a, Verrors.t) result) -> ('a, Verrors.t) result
 (** [connect], run, [close] (also on exceptions). *)
+
+val request_retry :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?deadline_ms:float ->
+  ?on_retry:(attempt:int -> why:string -> delay_ms:float -> unit) ->
+  Server.address ->
+  Protocol.request ->
+  (Protocol.response * int, Verrors.t) result
+(** One-shot request with up to [retries] (default 0) re-attempts, each
+    on a {e fresh} connection, sleeping [backoff_ms] (default 50) ×
+    2{^attempt} × U[0.5, 1.5] between attempts (jittered exponential
+    backoff, per-process seeded so retrying fleets spread out).
+    Retried: an [overloaded] rejection and transport-level [Io_error]s
+    (connection refused while the daemon restarts, resets mid-request)
+    — safe because responses are deterministic and duplicates coalesce
+    server-side.  Any other structured rejection is returned as-is.
+    Returns the final response and the number of retries spent.
+    [on_retry] fires before each backoff sleep ([attempt] counts from
+    1). *)

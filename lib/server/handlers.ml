@@ -12,10 +12,16 @@ module P = Protocol
 let params_of (o : P.solve_opts) =
   { Context.default_params with Context.kappa = o.kappa; num_slots = o.slots }
 
-let budget_of (o : P.solve_opts) =
-  match (o.budget_ms, o.max_labels) with
-  | None, None -> None
-  | wall_ms, max_labels -> Some (Budget.create ?wall_ms ?max_labels ())
+(* One budget per request, merging the caller's solver limits with the
+   envelope deadline (absolute, stamped by the reader at parse time).
+   The deadline channel trips with [Deadline_exceeded] and wins over
+   [Budget_exhausted] — a shed request is the sender's choice, not a
+   solver downgrade. *)
+let budget_of ?deadline_ns (o : P.solve_opts) =
+  match (o.budget_ms, o.max_labels, deadline_ns) with
+  | None, None, None -> None
+  | wall_ms, max_labels, deadline_ns ->
+    Some (Budget.create ?wall_ms ?deadline_ns ?max_labels ())
 
 let find_spec ~stage name =
   match Benchmarks.find name with
@@ -91,15 +97,17 @@ let prepared ?meta session (o : P.solve_opts) ~stage =
       | Error _ -> ()));
     result
 
-let handle_run ?meta session (o : P.solve_opts) algorithm =
+let handle_run ?meta ?deadline_ns session (o : P.solve_opts) algorithm =
   match prepared ?meta session o ~stage:"server.run" with
   | Error e -> Error (e, [])
   | Ok (prep, _) -> (
-    match Flow.run_prepared_robust ?budget:(budget_of o) prep algorithm with
+    match
+      Flow.run_prepared_robust ?budget:(budget_of ?deadline_ns o) prep algorithm
+    with
     | Ok r -> Ok (run_json r)
     | Error (e, degs) -> Error (e, degs))
 
-let handle_compare ?meta session (o : P.solve_opts) =
+let handle_compare ?meta ?deadline_ns session (o : P.solve_opts) =
   match prepared ?meta session o ~stage:"server.compare" with
   | Error e -> Error (e, [])
   | Ok (prep, _) ->
@@ -107,7 +115,9 @@ let handle_compare ?meta session (o : P.solve_opts) =
       List.map
         (fun algorithm ->
           match
-            Flow.run_prepared_robust ?budget:(budget_of o) prep algorithm
+            Flow.run_prepared_robust
+              ?budget:(budget_of ?deadline_ns o)
+              prep algorithm
           with
           | Ok r -> run_json r
           | Error (e, degs) ->
@@ -164,11 +174,15 @@ let handle_validate session (o : P.solve_opts) ~all =
     in
     Ok (Json.Obj [ ("ok", Json.Bool clean); ("benchmarks", Json.List rows) ])
 
-let handle_montecarlo ?meta session (o : P.solve_opts) ~instances =
+let handle_montecarlo ?meta ?deadline_ns session (o : P.solve_opts) ~instances =
   match prepared ?meta session o ~stage:"server.montecarlo" with
   | Error e -> Error (e, [])
   | Ok (prep, _) -> (
-    match Flow.run_prepared_robust ?budget:(budget_of o) prep Flow.Wavemin with
+    match
+      Flow.run_prepared_robust
+        ?budget:(budget_of ?deadline_ns o)
+        prep Flow.Wavemin
+    with
     | Error (e, degs) -> Error (e, degs)
     | Ok r -> (
       let config =
@@ -194,12 +208,13 @@ let handle_montecarlo ?meta session (o : P.solve_opts) ~instances =
                ( "degradations",
                  Json.List (List.map degradation_json r.Flow.degradations) ) ])))
 
-let execute ?meta session = function
-  | P.Run { opts; algorithm } -> handle_run ?meta session opts algorithm
-  | P.Compare opts -> handle_compare ?meta session opts
+let execute ?meta ?deadline_ns session = function
+  | P.Run { opts; algorithm } ->
+    handle_run ?meta ?deadline_ns session opts algorithm
+  | P.Compare opts -> handle_compare ?meta ?deadline_ns session opts
   | P.Validate { opts; all } -> handle_validate session opts ~all
   | P.Montecarlo { opts; instances } ->
-    handle_montecarlo ?meta session opts ~instances
+    handle_montecarlo ?meta ?deadline_ns session opts ~instances
   | (P.Stats | P.Metrics _ | P.Health | P.Flight | P.Shutdown) as req ->
     Error
       ( Verrors.make ~code:Verrors.Invalid_params ~stage:"server.execute"

@@ -35,9 +35,17 @@ val cache_outcome_name : cache_outcome -> string
 
 val execute :
   ?meta:meta ->
+  ?deadline_ns:int64 ->
   Session.t ->
   Protocol.request ->
   (Json.t, Verrors.t * Flow.degradation list) result
 (** Execute a [Run]/[Compare]/[Validate]/[Montecarlo] request.
     Control-plane requests ([Stats]/[Metrics]/[Health]/[Shutdown]) are
-    the server's responsibility and yield an [Error] here. *)
+    the server's responsibility and yield an [Error] here.
+
+    [deadline_ns] is the request's absolute end-to-end deadline
+    ({!Repro_obs.Clock.now_ns} scale), merged into the per-request
+    {!Repro_obs.Budget} so in-flight solves cancel cooperatively (every
+    Warburton row checks the ambient budget) with a structured
+    [Deadline_exceeded] error instead of running to completion for a
+    client that stopped waiting. *)

@@ -1,6 +1,7 @@
 module Json = Repro_util.Json
 module Stats = Repro_util.Stats
 module Verrors = Repro_util.Verrors
+module Rng = Repro_util.Rng
 module Clock = Repro_obs.Clock
 module Rolling = Repro_obs.Rolling
 module Report = Repro_obs.Report
@@ -27,6 +28,8 @@ type config = {
   duration_s : float option;  (* wall budget; stops at whichever is first *)
   profile : (klass * int) list;  (* (class, weight), weights >= 1 *)
   window_s : float;  (* rolling window width for the reported p50/95/99 *)
+  retries : int;  (* per-request re-attempts on overloaded / transport loss *)
+  retry_backoff_ms : float;  (* base of the jittered exponential backoff *)
 }
 
 let default_profile ~benchmark =
@@ -44,7 +47,8 @@ let default_profile ~benchmark =
 
 let default_config address ~benchmark =
   { address; connections = 4; total = Some 64; duration_s = None;
-    profile = default_profile ~benchmark; window_s = 60.0 }
+    profile = default_profile ~benchmark; window_s = 60.0;
+    retries = 0; retry_backoff_ms = 50.0 }
 
 (* Duplicate-heavy profile: the default mix plus one heavy class whose
    every request is content-identical (same benchmark, same kappa), so
@@ -120,12 +124,20 @@ type result = {
   wall_s : float;
   total_requests : int;
   total_errors : int;
+  total_retries : int;  (* backoff re-attempts spent across all workers *)
   coalesced : int option;  (* server-side coalesce delta over the run *)
   throughput_rps : float;
   rolling : Rolling.stats;  (* the rolling-window view, ms *)
   overall : class_stats;  (* exact percentiles over every sample *)
   classes : class_stats list;
 }
+
+let response_code (resp : P.response) =
+  if resp.P.ok then None
+  else
+    match Json.member "code" resp.P.body with
+    | Some (Json.Str c) -> Some c
+    | _ -> None
 
 let class_stats_of name (s : samples) =
   let latencies = Array.sub s.arr 0 s.n in
@@ -153,6 +165,10 @@ let run cfg =
     Verrors.error ~code:Verrors.Invalid_params ~stage:"bench-serve"
       "either a request count or a duration budget is required"
   else begin
+    (* Retrying workers write into connections a restarting daemon may
+       have reset: that must surface as a retryable io-error, never
+       SIGPIPE the process. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let schedule =
       Array.of_list
         (List.concat_map
@@ -178,20 +194,87 @@ let run cfg =
       (match cfg.total with Some n -> i < n | None -> true)
       && match deadline with Some d -> Clock.now_s () < d | None -> true
     in
-    let worker () =
-      match Client.connect cfg.address with
+    let retries_total = Atomic.make 0 in
+    let worker w () =
+      (* Per-worker deterministic jitter stream: the load schedule stays
+         reproducible for a given (connections, retries) config. *)
+      let rng = Rng.create ~seed:(0xb0ff + w) in
+      let backoff attempt =
+        let ms =
+          Float.max 0.0 cfg.retry_backoff_ms
+          *. (2.0 ** float_of_int attempt)
+          *. Rng.uniform rng ~lo:0.5 ~hi:1.5
+        in
+        ignore (Atomic.fetch_and_add retries_total 1);
+        Thread.delay (ms /. 1000.0)
+      in
+      (* [None] after a transport casualty; the next attempt reconnects
+         (the daemon may have restarted meanwhile). *)
+      let client = ref None in
+      let close_client () =
+        match !client with
+        | Some c ->
+          Client.close c;
+          client := None
+        | None -> ()
+      in
+      let connect_client () =
+        match !client with
+        | Some c -> Ok c
+        | None ->
+          Result.map
+            (fun c ->
+              client := Some c;
+              c)
+            (Client.connect cfg.address)
+      in
+      (* One scheduled request with up to [cfg.retries] re-attempts on
+         overloaded rejections and transport failures — mirroring
+         {!Client.request_retry}, but keeping the connection warm across
+         successful requests so retries stay the exceptional path. *)
+      let rec exec k attempt =
+        let failed e =
+          if attempt < cfg.retries then begin
+            backoff attempt;
+            exec k (attempt + 1)
+          end
+          else Error e
+        in
+        match connect_client () with
+        | Error e -> failed e
+        | Ok c -> (
+          match Client.request c k.k_request with
+          | Ok resp
+            when response_code resp = Some "overloaded"
+                 && attempt < cfg.retries ->
+            backoff attempt;
+            exec k (attempt + 1)
+          | Ok resp -> Ok resp
+          | Error e ->
+            close_client ();
+            failed e)
+      in
+      (* A dead daemon should fail loudly (modulo configured retries),
+         not report an all-error run. *)
+      let rec eager attempt =
+        match connect_client () with
+        | Ok _ -> Ok ()
+        | Error _ when attempt < cfg.retries ->
+          backoff attempt;
+          eager (attempt + 1)
+        | Error e -> Error e
+      in
+      match eager 0 with
       | Error e -> Error e
-      | Ok client ->
-        Fun.protect
-          ~finally:(fun () -> Client.close client)
-          (fun () ->
+      | Ok () ->
+        Fun.protect ~finally:close_client (fun () ->
             let rec loop () =
               let i = Atomic.fetch_and_add next 1 in
               if budget_left i then begin
                 let k = schedule.(i mod Array.length schedule) in
                 let cs = List.assoc k.k_name per_class in
                 let t0 = Clock.now_s () in
-                match Client.request client k.k_request with
+                match exec k 0 with
                 | Ok resp ->
                   let ms = (Clock.now_s () -. t0) *. 1000.0 in
                   if resp.P.ok then begin
@@ -202,7 +285,7 @@ let run cfg =
                   else samples_error cs;
                   loop ()
                 | Error _ ->
-                  (* Transport failure: record and retire this worker —
+                  (* Retries exhausted: record and retire this worker —
                      the shared counter lets the others finish the
                      budget. *)
                   samples_error cs;
@@ -216,7 +299,7 @@ let run cfg =
     let results = Array.make cfg.connections (Ok ()) in
     let threads =
       Array.init cfg.connections (fun i ->
-          Thread.create (fun () -> results.(i) <- worker ()) ())
+          Thread.create (fun () -> results.(i) <- worker i ()) ())
     in
     Array.iter Thread.join threads;
     let wall_s = Clock.now_s () -. started_s in
@@ -247,6 +330,7 @@ let run cfg =
         { wall_s;
           total_requests = overall.count + total_errors;
           total_errors;
+          total_retries = Atomic.get retries_total;
           coalesced;
           throughput_rps =
             (if wall_s > 0.0 then float_of_int overall.count /. wall_s
@@ -280,7 +364,8 @@ let to_report cfg r =
         | None -> [])
       ~environment:
         ([ ("address", Server.address_to_string cfg.address);
-           ("errors", string_of_int r.total_errors) ]
+           ("errors", string_of_int r.total_errors);
+           ("retries", string_of_int r.total_retries) ]
         @
         match r.coalesced with
         | Some n -> [ ("coalesced", string_of_int n) ]

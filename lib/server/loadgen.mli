@@ -30,6 +30,14 @@ type config = {
       (** Wall budget; with both set, whichever is spent first stops. *)
   profile : (klass * int) list;  (** (class, weight), weights >= 1. *)
   window_s : float;  (** Rolling window for the reported p50/95/99. *)
+  retries : int;
+      (** Per-request re-attempts on an [overloaded] rejection or a
+          transport failure (reconnecting first), with jittered
+          exponential backoff — mirroring {!Client.request_retry}.
+          Latency samples include time spent retrying.  Default 0. *)
+  retry_backoff_ms : float;
+      (** Base backoff: sleep [retry_backoff_ms × 2{^attempt} ×
+          U[0.5, 1.5]] before re-attempt [attempt]. *)
 }
 
 val default_profile : benchmark:string -> (klass * int) list
@@ -43,7 +51,8 @@ val dup_profile : benchmark:string -> fraction:float -> (klass * int) list
     server's single-flight coalescing. *)
 
 val default_config : Server.address -> benchmark:string -> config
-(** 4 connections, 64 requests, default profile, 60 s window. *)
+(** 4 connections, 64 requests, default profile, 60 s window, no
+    retries (50 ms base backoff). *)
 
 type class_stats = {
   name : string;
@@ -60,6 +69,9 @@ type result = {
   wall_s : float;
   total_requests : int;
   total_errors : int;
+  total_retries : int;
+      (** Backoff re-attempts spent across all workers; reported in the
+          ungated [environment] block as ["retries"]. *)
   coalesced : int option;
       (** Delta of the server's [coalesced] stats counter over the run
           (sampled via an extra stats probe before and after);

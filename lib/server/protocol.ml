@@ -52,7 +52,11 @@ let algorithm_of_name n = List.assoc_opt n algorithms
 let algorithm_name alg =
   fst (List.find (fun (_, a) -> a = alg) algorithms)
 
-type envelope = { id : Json.t; payload : (request, Verrors.t) result }
+type envelope = {
+  id : Json.t;
+  deadline_ms : float option;
+  payload : (request, Verrors.t) result;
+}
 
 let stage = "server.protocol"
 
@@ -148,10 +152,19 @@ let request_of_json doc =
 
 let parse_request line =
   match Json.of_string line with
-  | Error msg -> { id = Json.Null; payload = perr "malformed JSON: %s" msg }
-  | Ok doc ->
+  | Error msg ->
+    { id = Json.Null; deadline_ms = None;
+      payload = perr "malformed JSON: %s" msg }
+  | Ok doc -> (
     let id = Option.value (Json.member "id" doc) ~default:Json.Null in
-    { id; payload = request_of_json doc }
+    match opt_field doc "deadline_ms" Json.float_value with
+    | Error e -> { id; deadline_ms = None; payload = Error e }
+    | Ok (Some ms) when not (Float.is_finite ms && ms >= 0.0) ->
+      { id; deadline_ms = None;
+        payload =
+          perr ~subject:"deadline_ms"
+            "field \"deadline_ms\" must be a finite number >= 0" }
+    | Ok deadline_ms -> { id; deadline_ms; payload = request_of_json doc })
 
 (* ---- request rendering (client side) ----------------------------- *)
 
@@ -169,7 +182,7 @@ let opts_fields o =
     | None -> []
     | Some text -> [ ("library", Json.Str text) ])
 
-let request_to_json ~id req =
+let request_to_json ?deadline_ms ~id req =
   let body =
     match req with
     | Run { opts; algorithm } ->
@@ -183,8 +196,13 @@ let request_to_json ~id req =
     | Metrics Json_snapshot -> [ ("format", Json.Str "json") ]
     | Stats | Health | Flight | Shutdown -> []
   in
+  let deadline =
+    match deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.Num ms) ]
+  in
   Json.Obj
-    (("id", id) :: ("type", Json.Str (request_kind req)) :: body)
+    (("id", id) :: ("type", Json.Str (request_kind req)) :: (deadline @ body))
 
 (* ---- responses --------------------------------------------------- *)
 

@@ -69,22 +69,36 @@ val algorithm_of_name : string -> Flow.algorithm option
 
 val algorithm_name : Flow.algorithm -> string
 
-type envelope = { id : Json.t; payload : (request, Verrors.t) result }
+type envelope = {
+  id : Json.t;
+  deadline_ms : float option;
+      (** Optional end-to-end deadline, milliseconds from the moment the
+          server parses the line.  The reader stamps an absolute
+          deadline at parse time; work still queued (or executing) past
+          it is shed/cancelled with a structured [deadline-exceeded]
+          error.  Envelope-level, like [id]: it never participates in
+          {!canonical_key}, so requests differing only in deadline
+          still coalesce. *)
+  payload : (request, Verrors.t) result;
+}
 (** One parsed request line: the echoed [id] ([Null] when the line was
     too malformed to carry one) and the request or a structured parse
     diagnostic. *)
 
 val parse_request : string -> envelope
 (** Total: malformed JSON, missing/unknown [type] or bad fields come
-    back as [Error] payloads, never exceptions. *)
+    back as [Error] payloads, never exceptions.  A [deadline_ms] that
+    is not a finite number [>= 0] is a parse error. *)
 
-val request_to_json : id:Json.t -> request -> Json.t
+val request_to_json : ?deadline_ms:float -> id:Json.t -> request -> Json.t
 
 val canonical_key : request -> string
 (** Hex digest of the canonical wire rendering with the id nulled out —
     the single-flight coalescing key.  Two requests coalesce iff every
     semantic field (benchmark, parameters, budgets, inline library)
-    matches; the request id never participates. *)
+    matches; the request id and the envelope [deadline_ms] never
+    participate (a deadline bounds waiting, it does not change the
+    deterministic result content). *)
 
 val ok_response : id:Json.t -> Json.t -> Json.t
 val error_response : id:Json.t -> ?degradations:Json.t list -> Verrors.t -> Json.t

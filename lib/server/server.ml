@@ -24,6 +24,9 @@ let requests_c = Metrics.counter "server.requests"
 let rejected_c = Metrics.counter "server.rejected"
 let errors_c = Metrics.counter "server.errors"
 let coalesced_c = Metrics.counter "server.coalesced"
+let expired_c = Metrics.counter "server.expired"
+let abandoned_c = Metrics.counter "server.abandoned"
+let stalled_c = Metrics.counter "server.executor_stalled"
 let queue_depth_g = Metrics.gauge "server.queue_depth"
 let in_flight_g = Metrics.gauge "server.in_flight"
 let latency_h = Metrics.histogram "server.latency_ms"
@@ -75,6 +78,10 @@ type config = {
   handle_signals : bool;
   readiness : out_channel option;
   flight_dir : string option;
+  idle_timeout_s : float option;
+  max_line_bytes : int;
+  watchdog_period_s : float option;
+  stall_after_s : float;
 }
 
 let default_config address =
@@ -83,7 +90,9 @@ let default_config address =
     report_path = Some "BENCH_serve_drain.json"; access_log_path = None;
     access_log_max_bytes = None; access_log_keep = 3;
     rolling_window_s = 60.0; sample_period_s = Some 1.0;
-    handle_signals = false; readiness = None; flight_dir = Some "." }
+    handle_signals = false; readiness = None; flight_dir = Some ".";
+    idle_timeout_s = Some 300.0; max_line_bytes = 1 lsl 20;
+    watchdog_period_s = Some 1.0; stall_after_s = 30.0 }
 
 (* ---- state -------------------------------------------------------- *)
 
@@ -92,6 +101,12 @@ type conn = {
   fd : Unix.file_descr;
   wmutex : Mutex.t;
   mutable open_ : bool;  (* guarded by [wmutex] *)
+  pending : int Atomic.t;
+      (* data-plane responses this connection is still owed (admitted
+         leaders, coalesced followers).  The reader's idle guard only
+         runs while this is 0: a client waiting on a queued or slow
+         solve is not idling. *)
+  mutable last_write_s : float;  (* guarded by [wmutex] *)
 }
 
 type item = {
@@ -100,6 +115,9 @@ type item = {
   item_rid : string;  (* server-assigned request/trace id *)
   item_req : P.request;
   item_key : string;  (* single-flight content key ({!P.canonical_key}) *)
+  item_deadline_ns : int64 option;
+      (* absolute end-to-end deadline, stamped by the reader at parse
+         time; queue pop sheds entries already past it *)
   enqueued_s : float;
   enqueued_ns : int64;
 }
@@ -114,6 +132,13 @@ type executor = {
   ex_requests : int Atomic.t;  (* responses written, followers included *)
   ex_busy_ns : int Atomic.t;
   ex_rid : string Atomic.t;
+  (* Watchdog state, written by the worker at request start/end and read
+     by the watchdog thread: the absolute time past which the request in
+     flight counts as stalled (0L when idle / no limit), and the last
+     rid already reported — one stall event per wedged request, not one
+     per watchdog tick. *)
+  ex_stall_ns : int64 Atomic.t;
+  ex_stall_reported : string Atomic.t;
 }
 
 type t = {
@@ -134,6 +159,9 @@ type t = {
   served : int Atomic.t;
   rejected : int Atomic.t;
   failed : int Atomic.t;
+  expired : int Atomic.t;  (* shed past their deadline, never executed *)
+  abandoned : int Atomic.t;  (* client gone before execution, skipped *)
+  stalls : int Atomic.t;  (* watchdog stall episodes *)
   in_flight : int Atomic.t;
   rolling_latency : Rolling.t;  (* total ms, enqueue to response written *)
   rolling_queue_wait : Rolling.t;  (* ms *)
@@ -144,6 +172,8 @@ type t = {
   mutable sampler : Runtime.sampler option;
   mutable pool_prev : (float * int) option;  (* sampler-thread only *)
   mutable acceptor : Thread.t option;
+  watchdog_stop : bool Atomic.t;
+  mutable watchdog : Thread.t option;
 }
 
 let with_lock m f =
@@ -178,7 +208,11 @@ let write_json t conn json =
   ignore t;
   with_lock conn.wmutex (fun () ->
       if conn.open_ then
-        try write_all conn.fd (P.line json)
+        try
+          write_all conn.fd (P.line json);
+          (* A response write is activity for the idle guard: the peer
+             gets a full idle window to follow up after a long solve. *)
+          conn.last_write_s <- Clock.now_s ()
         with Unix.Unix_error _ | Sys_error _ ->
           conn.open_ <- false;
           (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
@@ -243,6 +277,9 @@ let stats_json t =
       ("served", Json.Num (float_of_int (Atomic.get t.served)));
       ("rejected", Json.Num (float_of_int (Atomic.get t.rejected)));
       ("errors", Json.Num (float_of_int (Atomic.get t.failed)));
+      ("expired", Json.Num (float_of_int (Atomic.get t.expired)));
+      ("abandoned", Json.Num (float_of_int (Atomic.get t.abandoned)));
+      ("stalled", Json.Num (float_of_int (Atomic.get t.stalls)));
       ("coalesced", Json.Num (float_of_int (Atomic.get t.coalesced)));
       ("in_flight", Json.Num (float_of_int (Atomic.get t.in_flight)));
       ("jobs", Json.Num (float_of_int (Par.jobs ())));
@@ -375,11 +412,12 @@ let reject ?(overload = false) t conn ~rid id req err =
    executor with their own request ids.  Works at any executor count
    (including 1) because joining happens before the queue, not at pop
    time. *)
-let admit t conn ~rid id req =
+let admit t conn ~rid ~deadline_ns id req =
   let key = P.canonical_key req in
   let item =
     { item_conn = conn; item_id = id; item_rid = rid; item_req = req;
-      item_key = key; enqueued_s = Clock.now_s ();
+      item_key = key; item_deadline_ns = deadline_ns;
+      enqueued_s = Clock.now_s ();
       enqueued_ns = Clock.now_ns () }
   in
   let enqueue () =
@@ -387,6 +425,10 @@ let admit t conn ~rid id req =
     | `Ok -> Ok ()
     | (`Full | `Closed) as refusal -> Error refusal
   in
+  (* Owed before admission, repaid when the response (or shed error) is
+     written: incrementing first means the executor can never settle an
+     item the reader has not yet counted. *)
+  Atomic.incr conn.pending;
   match Sflight.admit t.sflight ~key item ~enqueue with
   | `Led () ->
     Atomic.set t.overload_dumped false;
@@ -400,6 +442,7 @@ let admit t conn ~rid id req =
     Flight.record
       (Flight.Cache { cache = "single-flight"; outcome = "coalesced"; key })
   | `Refused `Full ->
+    Atomic.decr conn.pending;
     reject ~overload:true t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          (Printf.sprintf "request queue full (%d/%d): request rejected"
@@ -408,12 +451,20 @@ let admit t conn ~rid id req =
            [ "retry with backoff";
              "raise the bound with `wavemin serve --queue N'" ])
   | `Refused `Closed ->
+    Atomic.decr conn.pending;
     reject t conn ~rid id req
       (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
          "server is draining: no new work is accepted" ~hints:[])
 
 let handle_line t conn line =
-  let { P.id; payload } = P.parse_request line in
+  let { P.id; deadline_ms; payload } = P.parse_request line in
+  (* The absolute deadline is stamped here, at parse time: queue wait,
+     execution and response writing all count against it. *)
+  let deadline_ns =
+    Option.map
+      (fun ms -> Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+      deadline_ms
+  in
   match payload with
   | Error e ->
     Atomic.incr t.failed;
@@ -431,22 +482,129 @@ let handle_line t conn line =
         reject t conn ~rid id req
           (overloaded_error ~stage:"server.queue" ~subject:(P.request_kind req)
              "server is draining: no new work is accepted" ~hints:[])
-      else admit t conn ~rid id req
+      else admit t conn ~rid ~deadline_ns id req
 
 (* ---- connections -------------------------------------------------- *)
 
 let unregister t cid = with_lock t.conns_mutex (fun () -> Hashtbl.remove t.conns cid)
 
+(* Structured rejection for a misbehaving peer (oversized request line,
+   slowloris dribble): one error line on the wire, one access-log entry,
+   then the caller closes the connection.  The peer may never read the
+   response — that is its problem, not a parked reader thread's. *)
+let reject_peer t conn ~kind ~code err =
+  Atomic.incr t.failed;
+  Metrics.incr errors_c;
+  write_json t conn (P.error_response ~id:Json.Null err);
+  log_access t
+    (access_entry ~rid:(fresh_rid t) ~id:Json.Null ~cid:conn.cid ~kind
+       ~benchmark:"" ~status:"rejected" ~code ())
+
+(* The connection reader: a bounded buffer fed by [Unix.read] under a
+   [select] poll — never an unbounded [Buffer], never a read the drain
+   cannot interrupt.  Caps and timeouts:
+
+   - a line longer than [max_line_bytes] gets a structured
+     [parse-error] rejection and the connection is closed (an attacker
+     streaming an endless line previously grew a channel buffer without
+     bound);
+   - no complete line for [idle_timeout_s] — idle peer or slowloris
+     dribble alike — gets a structured [io-error] rejection and the
+     close (a byte-at-a-time sender previously parked this thread
+     forever).  A connection still owed responses is exempt: waiting
+     on a queued or slow solve is not idling;
+   - EOF (client disconnect) exits quietly; queued work from this
+     connection is detected dead at pop time and marked abandoned. *)
 let conn_loop t conn =
-  let ic = Unix.in_channel_of_descr conn.fd in
+  let max_line = max 1024 t.cfg.max_line_bytes in
+  let chunk = Bytes.create 8192 in
+  let acc = Buffer.create 256 in
+  let last_line_s = ref (Clock.now_s ()) in
+  let state = ref `Reading in
+  let handle_buffered () =
+    (* Split out every complete line; keep the unterminated tail (empty
+       when the last byte was '\n').  A tail alone past the cap is
+       already oversized — no need to wait for its newline. *)
+    let s = Buffer.contents acc in
+    let len = String.length s in
+    let pos = ref 0 in
+    let scanning = ref true in
+    while !scanning && !state = `Reading do
+      match String.index_from_opt s !pos '\n' with
+      | Some nl ->
+        let line = String.sub s !pos (nl - !pos) in
+        last_line_s := Clock.now_s ();
+        if String.trim line <> "" then handle_line t conn line;
+        pos := nl + 1
+      | None -> scanning := false
+    done;
+    Buffer.clear acc;
+    if !state = `Reading && !pos < len then begin
+      Buffer.add_substring acc s !pos (len - !pos);
+      if Buffer.length acc > max_line then state := `Oversized
+    end
+  in
   let rec loop () =
-    match input_line ic with
-    | line ->
-      if String.trim line <> "" then handle_line t conn line;
-      loop ()
-    | exception (End_of_file | Sys_error _) -> ()
+    match !state with
+    | `Oversized | `Timed_out | `Eof -> ()
+    | `Reading ->
+      let idle_left =
+        match t.cfg.idle_timeout_s with
+        | None -> infinity
+        | Some limit ->
+          (* A connection still owed responses is waiting on us, not
+             idling: the clock is held at a full window while work is
+             pending, and response writes count as activity, so a peer
+             that queued a slow solve is never cut off mid-wait. *)
+          if Atomic.get conn.pending > 0 then limit
+          else
+            let last_write =
+              with_lock conn.wmutex (fun () -> conn.last_write_s)
+            in
+            limit -. (Clock.now_s () -. Float.max !last_line_s last_write)
+      in
+      if idle_left <= 0.0 then state := `Timed_out
+      else begin
+        (* Short poll slices keep drain prompt even against a silent
+           peer; the idle budget spans slices via [last_line_s]. *)
+        let tick = Float.min 0.25 idle_left in
+        (match Unix.select [ conn.fd ] [] [] tick with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> state := `Eof
+          | n ->
+            Buffer.add_subbytes acc chunk 0 n;
+            handle_buffered ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+          | exception (Unix.Unix_error _ | Sys_error _) -> state := `Eof)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> state := `Eof);
+        if with_lock conn.wmutex (fun () -> not conn.open_) then state := `Eof;
+        loop ()
+      end
   in
   loop ();
+  (match !state with
+  | `Oversized ->
+    reject_peer t conn ~kind:"oversized" ~code:"parse-error"
+      (Verrors.make ~code:Verrors.Parse_error ~stage:"server.read"
+         ~subject:"request-line"
+         (Printf.sprintf
+            "request line exceeds %d bytes: connection closed" max_line)
+         ~hints:[ "split work into separate requests";
+                  "raise the cap with `wavemin serve --max-line BYTES'" ])
+  | `Timed_out ->
+    reject_peer t conn ~kind:"idle" ~code:"io-error"
+      (Verrors.make ~code:Verrors.Io_error ~stage:"server.read"
+         ~subject:"idle-timeout"
+         (Printf.sprintf
+            "no complete request line in %.0f s: connection closed"
+            (Option.value ~default:0.0 t.cfg.idle_timeout_s))
+         ~hints:[ "send each request as one newline-terminated line" ])
+  | `Eof | `Reading -> ());
   with_lock conn.wmutex (fun () ->
       if conn.open_ then begin
         conn.open_ <- false;
@@ -460,7 +618,10 @@ let conn_loop t conn =
 
 let spawn_conn t fd =
   let cid = Atomic.fetch_and_add t.next_cid 1 in
-  let conn = { cid; fd; wmutex = Mutex.create (); open_ = true } in
+  let conn =
+    { cid; fd; wmutex = Mutex.create (); open_ = true;
+      pending = Atomic.make 0; last_write_s = 0.0 }
+  in
   with_lock t.conns_mutex (fun () ->
       let thread = Thread.create (fun () -> conn_loop t conn) () in
       Hashtbl.replace t.conns cid (conn, thread))
@@ -518,6 +679,11 @@ let publish_last t ~id ~rid ~kind ~benchmark ~status ~cache ~queue_wait_ms
   in
   with_lock t.last_mutex (fun () -> t.last <- last)
 
+(* The admitted item's response (or shed error) is on the wire — or its
+   client is gone.  Either way its connection is owed one response
+   fewer, re-arming the reader's idle guard once nothing is pending. *)
+let settle item = Atomic.decr item.item_conn.pending
+
 (* Answer one coalesced follower with the leader's (deterministic)
    outcome under the follower's own request id.  Telemetry mirrors a
    normal request: an access-log line with [cache = "coalesced"] and
@@ -560,12 +726,53 @@ let respond_follower t ex ~leader_rid ~outcome ~(meta : Handlers.meta)
       (P.error_response ~id:f.item_id
          ~degradations:(List.map Handlers.degradation_json degs)
          e));
+  settle f;
   Metrics.observe latency_h total_ms;
   Rolling.observe t.rolling_latency total_ms;
   Metrics.observe queue_wait_h queue_wait_ms;
   Rolling.observe t.rolling_queue_wait queue_wait_ms
 
-let process t ex item =
+let opts_of = function
+  | P.Run { opts; _ } | P.Compare opts | P.Validate { opts; _ }
+  | P.Montecarlo { opts; _ } -> Some opts
+  | P.Stats | P.Metrics _ | P.Health | P.Flight | P.Shutdown -> None
+
+(* How long a request may run before the watchdog calls it stalled: a
+   budgeted or deadlined request gets [stall_factor] × its tighter
+   limit (a solve that cooperatively cancels never gets near that); an
+   unbounded one gets the flat configured ceiling. *)
+let stall_factor = 4.0
+
+let stall_limit_ns t item ~now =
+  let budget_s =
+    match opts_of item.item_req with
+    | Some o -> Option.map (fun ms -> ms /. 1000.0) o.P.budget_ms
+    | None -> None
+  in
+  let deadline_s =
+    Option.map
+      (fun d -> Float.max 0.0 (Int64.to_float (Int64.sub d now) /. 1e9))
+      item.item_deadline_ns
+  in
+  let tighter =
+    match (budget_s, deadline_s) with
+    | Some b, Some d -> Some (Float.min b d)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let limit_s =
+    match tighter with
+    | Some s -> Float.max 0.05 (stall_factor *. s)
+    | None -> t.cfg.stall_after_s
+  in
+  Int64.add now (Int64.of_float (limit_s *. 1e9))
+
+(* [claimed]: followers already detached from the flight by [dispatch]
+   (the original leader was shed and this item promoted); the flight no
+   longer exists, so the mid-execution [Sflight.complete] must not run
+   — a duplicate arriving meanwhile opens a fresh flight, which is
+   harmless because responses are deterministic. *)
+let process ?claimed t ex item =
   let kind = P.request_kind item.item_req in
   let benchmark = benchmark_of item.item_req in
   let rid = item.item_rid in
@@ -573,6 +780,7 @@ let process t ex item =
   Atomic.incr t.in_flight;
   Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight));
   Metrics.set queue_depth_g (float_of_int (Bqueue.length t.queue));
+  Atomic.set ex.ex_stall_ns (stall_limit_ns t item ~now:(Clock.now_ns ()));
   let started_s = Clock.now_s () in
   let queue_wait_ms = (started_s -. item.enqueued_s) *. 1000.0 in
   Metrics.observe queue_wait_h queue_wait_ms;
@@ -593,7 +801,9 @@ let process t ex item =
                  does. *)
               match
                 Verrors.guard ~stage:"server.request" (fun () ->
-                    Handlers.execute ~meta t.session item.item_req)
+                    Handlers.execute ~meta
+                      ?deadline_ns:item.item_deadline_ns t.session
+                      item.item_req)
               with
               | Ok outcome -> outcome
               | Error e -> Error (e, []))
@@ -603,7 +813,11 @@ let process t ex item =
            arriving after this point opens a fresh flight (so a failure
            is never memoized), and none can attach to a flight whose
            responses are already on the wire. *)
-        let followers = Sflight.complete t.sflight ~key:item.item_key in
+        let followers =
+          match claimed with
+          | Some fs -> fs
+          | None -> Sflight.complete t.sflight ~key:item.item_key
+        in
         let status, code, degradations = outcome_row outcome in
         publish_last t ~id:item.item_id ~rid ~kind ~benchmark ~status
           ~cache:meta.Handlers.cache ~queue_wait_ms ~wall_ms;
@@ -640,6 +854,7 @@ let process t ex item =
                 (P.error_response ~id:item.item_id
                    ~degradations:(List.map Handlers.degradation_json degs)
                    e));
+        settle item;
         List.iter
           (respond_follower t ex ~leader_rid:rid ~outcome ~meta
              ~exec_started_s:started_s)
@@ -652,8 +867,87 @@ let process t ex item =
   let total_ms = queue_wait_ms +. wall_ms in
   Metrics.observe latency_h total_ms;
   Rolling.observe t.rolling_latency total_ms;
+  Atomic.set ex.ex_stall_ns 0L;
   Atomic.decr t.in_flight;
   Metrics.set in_flight_g (float_of_int (Atomic.get t.in_flight))
+
+(* ---- shed work: expired and abandoned entries --------------------- *)
+
+(* Answer one flight member that will never execute.  An expired entry
+   owes its (still-listening) client a structured [deadline-exceeded]
+   line; an abandoned one has nobody left to write to and is only
+   accounted.  Either way the solve was skipped: no cache mutation, no
+   solve span — the property tests pin exactly that. *)
+let shed t reason item =
+  let kind = P.request_kind item.item_req in
+  let benchmark = benchmark_of item.item_req in
+  let waited_ms =
+    Float.max 0.0 ((Clock.now_s () -. item.enqueued_s) *. 1000.0)
+  in
+  settle item;
+  match reason with
+  | `Expired ->
+    Atomic.incr t.expired;
+    Metrics.incr expired_c;
+    Flight.record
+      (Flight.Note
+         { name = "request-expired";
+           attrs =
+             [ ("rid", item.item_rid); ("type", kind);
+               ("queued_ms", Printf.sprintf "%.0f" waited_ms) ] });
+    write_json t item.item_conn
+      (P.error_response ~id:item.item_id
+         (Verrors.make ~code:Verrors.Deadline_exceeded ~stage:"server.queue"
+            ~subject:kind
+            (Printf.sprintf
+               "deadline exceeded after %.0f ms in queue: request was not \
+                executed"
+               waited_ms)
+            ~hints:
+              [ "raise deadline_ms, or drop it for best-effort requests";
+                "shrink queueing with `wavemin serve --executors N'" ]));
+    log_access t
+      (access_entry ~rid:item.item_rid ~id:item.item_id
+         ~cid:item.item_conn.cid ~kind ~benchmark ~status:"expired"
+         ~code:"deadline-exceeded" ~queue_wait_ms:waited_ms ())
+  | `Abandoned ->
+    Atomic.incr t.abandoned;
+    Metrics.incr abandoned_c;
+    log_access t
+      (access_entry ~rid:item.item_rid ~id:item.item_id
+         ~cid:item.item_conn.cid ~kind ~benchmark ~status:"abandoned"
+         ~queue_wait_ms:waited_ms ())
+
+(* A popped leader can be dead on arrival: expired in the window
+   between the pop-time sweep and here, or its client already gone.
+   Claim the whole flight atomically, then triage per member — any live
+   member still wants the (shared, deterministic) answer, so the solve
+   proceeds with the first live member promoted to leader; with no live
+   member left the solve is skipped entirely. *)
+let dispatch t ex item =
+  let item_expired it =
+    match it.item_deadline_ns with
+    | Some d -> Int64.compare (Clock.now_ns ()) d > 0
+    | None -> false
+  in
+  let item_abandoned it =
+    with_lock it.item_conn.wmutex (fun () -> not it.item_conn.open_)
+  in
+  if not (item_expired item || item_abandoned item) then process t ex item
+  else begin
+    let followers = Sflight.complete t.sflight ~key:item.item_key in
+    let live, gone =
+      List.partition
+        (fun it -> not (item_expired it) && not (item_abandoned it))
+        (item :: followers)
+    in
+    List.iter
+      (fun it -> shed t (if item_abandoned it then `Abandoned else `Expired) it)
+      gone;
+    match live with
+    | [] -> ()
+    | leader :: claimed -> process t ex leader ~claimed
+  end
 
 (* ---- lifecycle ---------------------------------------------------- *)
 
@@ -666,8 +960,40 @@ let bind_listener = function
       io_fail "server.bind"
         (Printf.sprintf "socket path too long (%d chars): %s"
            (String.length path) path);
-    if Sys.file_exists path then
-      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+    (* Stale-socket recovery: a SIGKILLed daemon leaves its socket file
+       behind.  Probe before evicting — only a socket nobody answers is
+       stale; a live daemon (or any non-socket file) must be refused,
+       never unlinked out from under its owner. *)
+    (match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK -> (
+      let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          -> `Stale
+        | exception Unix.Unix_error (err, _, _) -> `Unknown err
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      match verdict with
+      | `Live ->
+        io_fail "server.bind"
+          (Printf.sprintf
+             "%s: a live daemon already answers on this socket; refusing to \
+              evict it"
+             path)
+      | `Stale ->
+        Log.info (fun m -> m "removing stale socket %s (nobody answers)" path);
+        (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | `Unknown err ->
+        io_fail "server.bind"
+          (Printf.sprintf "%s exists and cannot be probed (%s): not evicting"
+             path (Unix.error_message err)))
+    | _ ->
+      io_fail "server.bind"
+        (Printf.sprintf "%s exists and is not a socket: not evicting" path)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | exception (Unix.Unix_error _ | Sys_error _) -> ());
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try
        Unix.bind fd (Unix.ADDR_UNIX path);
@@ -793,6 +1119,9 @@ let flush_report t =
             ("requests_rejected", string_of_int (Atomic.get t.rejected));
             ("request_errors", string_of_int (Atomic.get t.failed));
             ("requests_coalesced", string_of_int (Atomic.get t.coalesced));
+            ("requests_expired", string_of_int (Atomic.get t.expired));
+            ("requests_abandoned", string_of_int (Atomic.get t.abandoned));
+            ("executor_stalls", string_of_int (Atomic.get t.stalls));
             ("cache_hits", string_of_int cache.Session.hits);
             ("cache_misses", string_of_int cache.Session.misses);
             ("cache_evictions", string_of_int cache.Session.evictions) ]
@@ -840,7 +1169,9 @@ let setup cfg =
               ex_tid = executor_tid_base + k;
               ex_requests = Atomic.make 0;
               ex_busy_ns = Atomic.make 0;
-              ex_rid = Atomic.make "" });
+              ex_rid = Atomic.make "";
+              ex_stall_ns = Atomic.make 0L;
+              ex_stall_reported = Atomic.make "" });
       sflight = Sflight.create ();
       coalesced = Atomic.make 0;
       accepting = Atomic.make true;
@@ -853,6 +1184,9 @@ let setup cfg =
       served = Atomic.make 0;
       rejected = Atomic.make 0;
       failed = Atomic.make 0;
+      expired = Atomic.make 0;
+      abandoned = Atomic.make 0;
+      stalls = Atomic.make 0;
       in_flight = Atomic.make 0;
       rolling_latency = Rolling.create ~window_s:cfg.rolling_window_s ();
       rolling_queue_wait = Rolling.create ~window_s:cfg.rolling_window_s ();
@@ -862,7 +1196,9 @@ let setup cfg =
       last = Json.Null;
       sampler = None;
       pool_prev = None;
-      acceptor = None }
+      acceptor = None;
+      watchdog_stop = Atomic.make false;
+      watchdog = None }
   in
   Trace.set_process_name "wavemin-serve";
   Array.iter
@@ -888,22 +1224,87 @@ let setup cfg =
   t
 
 (* One executor worker: pop until the queue is closed and empty,
-   tracking busy time and the request id in flight for [stats]. *)
+   tracking busy time and the request id in flight for [stats].  The
+   expiry-sweeping pop skims entries that went stale while queued in
+   one lock hold; each swept entry still goes through [dispatch], which
+   owns the flight bookkeeping and the member-by-member triage. *)
 let executor_loop t ex =
+  let expired_now item =
+    match item.item_deadline_ns with
+    | Some d -> Int64.compare (Clock.now_ns ()) d > 0
+    | None -> false
+  in
+  let handle item =
+    let t0 = Clock.now_ns () in
+    Atomic.set ex.ex_rid item.item_rid;
+    dispatch t ex item;
+    Atomic.set ex.ex_rid "";
+    Atomic.set ex.ex_stall_ns 0L;
+    ignore
+      (Atomic.fetch_and_add ex.ex_busy_ns
+         (Int64.to_int (Int64.sub (Clock.now_ns ()) t0)))
+  in
   let rec loop () =
-    match Bqueue.pop t.queue with
+    let live, swept = Bqueue.pop_live t.queue ~expired:expired_now in
+    List.iter handle swept;
+    match live with
     | Some item ->
-      let t0 = Clock.now_ns () in
-      Atomic.set ex.ex_rid item.item_rid;
-      process t ex item;
-      Atomic.set ex.ex_rid "";
-      ignore
-        (Atomic.fetch_and_add ex.ex_busy_ns
-           (Int64.to_int (Int64.sub (Clock.now_ns ()) t0)));
+      handle item;
       loop ()
-    | None -> ()
+    | None -> if swept <> [] then loop ()
   in
   loop ()
+
+(* ---- watchdog ----------------------------------------------------- *)
+
+(* Detects executors that stopped making progress: each worker
+   publishes an absolute stall limit when it starts a request and
+   clears it when done; a lane still past its limit at poll time gets
+   one warning, one [server.executor_stalled] bump, one flight note and
+   one black-box dump — per wedged request, not per tick.  Evidence for
+   the operator only: there is no safe way to kill a wedged thread, the
+   budget channel is the cooperative path. *)
+let watchdog_loop t period_s =
+  (* Sleep in short slices so drain never waits a full period. *)
+  let rec nap left =
+    if left > 0.0 && not (Atomic.get t.watchdog_stop) then begin
+      let s = Float.min 0.05 left in
+      Thread.delay s;
+      nap (left -. s)
+    end
+  in
+  while not (Atomic.get t.watchdog_stop) do
+    Array.iter
+      (fun ex ->
+        let limit = Atomic.get ex.ex_stall_ns in
+        let rid = Atomic.get ex.ex_rid in
+        if
+          (not (Int64.equal limit 0L))
+          && rid <> ""
+          && Int64.compare (Clock.now_ns ()) limit > 0
+          && Atomic.get ex.ex_stall_reported <> rid
+        then begin
+          Atomic.set ex.ex_stall_reported rid;
+          Atomic.incr t.stalls;
+          Metrics.incr stalled_c;
+          let overdue_ms =
+            Int64.to_float (Int64.sub (Clock.now_ns ()) limit) /. 1e6
+          in
+          Log.warn (fun m ->
+              m "executor %d stalled on %s (%.0f ms past its stall limit)"
+                ex.ex_id rid overdue_ms);
+          Flight.record
+            (Flight.Note
+               { name = "executor-stalled";
+                 attrs =
+                   [ ("rid", rid);
+                     ("executor", string_of_int ex.ex_id);
+                     ("overdue_ms", Printf.sprintf "%.0f" overdue_ms) ] });
+          dump_flight t ~rid ~why:"stalled executor"
+        end)
+      t.executors;
+    nap period_s
+  done
 
 let run t =
   (* The data plane: N executor workers pulling from the shared bounded
@@ -916,7 +1317,14 @@ let run t =
       (fun ex -> Thread.create (fun () -> executor_loop t ex) ())
       t.executors
   in
+  (match t.cfg.watchdog_period_s with
+  | None -> ()
+  | Some period_s ->
+    t.watchdog <- Some (Thread.create (fun () -> watchdog_loop t period_s) ()));
   Array.iter Thread.join workers;
+  Atomic.set t.watchdog_stop true;
+  (match t.watchdog with None -> () | Some th -> Thread.join th);
+  t.watchdog <- None;
   (* Drained: stop the acceptor, wake and join the readers, release the
      socket, flush the final report. *)
   Atomic.set t.accepting false;

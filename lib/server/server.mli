@@ -102,13 +102,35 @@ type config = {
           written to [<dir>/<rid>.flight.json] (request-id-named, for
           [wavemin explain]).  [None] disables dumping; the in-memory
           recorder stays on either way ([flight] control request). *)
+  idle_timeout_s : float option;
+      (** Close a connection that produces no complete request line for
+          this long (default 300 s) with a structured [io-error] — the
+          slowloris guard; a byte-at-a-time dribbler counts as idle
+          because only {e complete} lines reset the clock.  [None]
+          disables the timeout. *)
+  max_line_bytes : int;
+      (** Reject (structured [parse-error]) and disconnect a peer whose
+          request line exceeds this many bytes (default 1 MiB, floor
+          1024) — the reader buffer is bounded by it. *)
+  watchdog_period_s : float option;
+      (** Poll period of the executor watchdog thread (default 1 s);
+          [None] disables the watchdog. *)
+  stall_after_s : float;
+      (** Stall limit for requests with no budget and no deadline
+          (default 30 s).  Budgeted or deadlined requests stall at 4×
+          their tighter limit instead.  A stalled executor is reported
+          (warning, [server.executor_stalled] metric, flight note and
+          black-box dump) once per wedged request — never killed; the
+          per-request {!Repro_obs.Budget} is the cooperative
+          cancellation path. *)
 }
 
 val default_config : address -> config
 (** Queue 16, cache 8 across 4 shards, executors = jobs, report
     ["BENCH_serve_drain.json"], no access log (rotation off, keep 3),
     60 s rolling window, 1 s sampler, no signal handlers, no banner,
-    flight dumps in ["."]. *)
+    flight dumps in ["."], 300 s idle timeout, 1 MiB line cap, 1 s
+    watchdog period, 30 s unbudgeted stall limit. *)
 
 type t
 (** A handle onto a serving instance, usable from other threads. *)

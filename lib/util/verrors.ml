@@ -8,6 +8,7 @@ type code =
   | Infeasible_window
   | Label_cap
   | Budget_exhausted
+  | Deadline_exceeded
   | Fault_injected
   | Overloaded
   | Io_error
@@ -23,6 +24,7 @@ let code_name = function
   | Infeasible_window -> "infeasible-window"
   | Label_cap -> "label-cap"
   | Budget_exhausted -> "budget-exhausted"
+  | Deadline_exceeded -> "deadline-exceeded"
   | Fault_injected -> "fault-injected"
   | Overloaded -> "overloaded"
   | Io_error -> "io-error"
@@ -31,7 +33,7 @@ let code_name = function
 let all_codes =
   [ Parse_error; Invalid_tree; Invalid_library; Invalid_params; Invalid_modes;
     Empty_zones; Infeasible_window; Label_cap; Budget_exhausted;
-    Fault_injected; Overloaded; Io_error; Internal ]
+    Deadline_exceeded; Fault_injected; Overloaded; Io_error; Internal ]
 
 let code_of_name name =
   List.find_opt (fun c -> String.equal (code_name c) name) all_codes

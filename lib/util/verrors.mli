@@ -22,6 +22,11 @@ type code =
   | Infeasible_window  (** No feasible skew window exists. *)
   | Label_cap  (** MOSP label sets truncated beyond epsilon. *)
   | Budget_exhausted  (** Wall-clock or label budget ran out. *)
+  | Deadline_exceeded
+      (** The request's end-to-end deadline ([deadline_ms]) passed: the
+          work was shed before execution or cancelled cooperatively
+          mid-solve ({!Repro_server.Server}).  The sender has already
+          given up — do not retry with the same deadline. *)
   | Fault_injected  (** A {!Repro_obs.Fault} seam tripped. *)
   | Overloaded
       (** A service refused new work: bounded queue full or draining

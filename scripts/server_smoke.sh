@@ -32,7 +32,11 @@
 #     in-flight work, join every executor, write the final BENCH-style
 #     report and exit 0;
 #   - fault seams: with every WAVEMIN_FAULTS seam armed the daemon
-#     answers with structured errors (or degraded results) and stays up.
+#     answers with structured errors (or degraded results) and stays up;
+#   - chaos (delegated to scripts/server_chaos.sh): abusive peers
+#     (slowloris dribble, silent hang, oversized flood), mid-request
+#     disconnects, expired --deadline-ms bursts, and kill -9 + restart
+#     with stale-socket eviction and client retry/backoff.
 #
 # Usage: scripts/server_smoke.sh [JOBS] [EXECUTORS]   (from the repo root)
 # Env:   WAVEMIN_BIN        path to wavemin.exe (default _build/default/bin/...)
@@ -314,5 +318,12 @@ for SEAM in parser waveform-cache noise-table pool-task report-writer; do
   fi
   echo "seam $SEAM survived (client exit ok, daemon drained cleanly)"
 done
+
+# ---- chaos: abusive peers, expired deadlines, kill -9 recovery -------
+# Delegated to the standalone chaos driver (CI also runs it as its own
+# job); artifacts land in this smoke's directory.
+WAVEMIN_BIN="$W" WAVEMIN_SMOKE_DIR="$TMP" \
+  bash "$(dirname "$0")/server_chaos.sh" "$JOBS" \
+  || fail "chaos driver failed"
 
 echo "== smoke ok =="

@@ -94,6 +94,32 @@ let test_bqueue_drain () =
   Alcotest.(check (option int)) "then None" None (Bqueue.pop q);
   Alcotest.(check bool) "closed" true (Bqueue.closed q)
 
+let test_bqueue_pop_live () =
+  let q = Bqueue.create ~capacity:8 in
+  List.iter (fun i -> ignore (Bqueue.push q i)) [ 1; 2; 3; 4; 5 ];
+  let live, dead = Bqueue.pop_live q ~expired:(fun i -> i < 3) in
+  Alcotest.(check (option int)) "first live item" (Some 3) live;
+  Alcotest.(check (list int)) "expired skimmed in FIFO order" [ 1; 2 ] dead;
+  let live, dead = Bqueue.pop_live q ~expired:(fun _ -> false) in
+  Alcotest.(check (option int)) "live pop unaffected" (Some 4) live;
+  Alcotest.(check (list int)) "nothing skimmed" [] dead;
+  (* A sweep that empties an *open* queue must return the discards
+     immediately, not block: their clients are owed answers now. *)
+  let live, dead = Bqueue.pop_live q ~expired:(fun _ -> true) in
+  Alcotest.(check (option int)) "no live item yet" None live;
+  Alcotest.(check (list int)) "discards returned without blocking" [ 5 ] dead;
+  (* Drain semantics: a closed queue still yields its skimmed tail, and
+     only (None, []) signals closed-and-drained. *)
+  ignore (Bqueue.push q 6);
+  ignore (Bqueue.push q 7);
+  Bqueue.close q;
+  let live, dead = Bqueue.pop_live q ~expired:(fun i -> i = 6) in
+  Alcotest.(check (option int)) "drains past expired" (Some 7) live;
+  Alcotest.(check (list int)) "tail skimmed on drain" [ 6 ] dead;
+  let live, dead = Bqueue.pop_live q ~expired:(fun _ -> true) in
+  Alcotest.(check (option int)) "closed and drained" None live;
+  Alcotest.(check (list int)) "nothing left" [] dead
+
 let test_bqueue_blocking_pop () =
   let q = Bqueue.create ~capacity:1 in
   let producer =
@@ -477,16 +503,24 @@ let temp_address () =
           (Atomic.fetch_and_add next_sock 1)))
 
 let with_server ?(queue_capacity = 16) ?executors ?access_log_path ?flight_dir
-    f =
+    ?idle_timeout_s ?max_line_bytes ?stall_after_s ?watchdog_period_s f =
   let address = temp_address () in
   let cfg =
     { (Server.default_config address) with
       Server.queue_capacity; report_path = None; access_log_path; flight_dir }
   in
+  let override v apply cfg =
+    match v with Some v -> apply cfg v | None -> cfg
+  in
   let cfg =
-    match executors with
-    | Some e -> { cfg with Server.executors = e }
-    | None -> cfg
+    cfg
+    |> override executors (fun c e -> { c with Server.executors = e })
+    |> override idle_timeout_s (fun c s ->
+           { c with Server.idle_timeout_s = Some s })
+    |> override max_line_bytes (fun c b -> { c with Server.max_line_bytes = b })
+    |> override stall_after_s (fun c s -> { c with Server.stall_after_s = s })
+    |> override watchdog_period_s (fun c p ->
+           { c with Server.watchdog_period_s = Some p })
   in
   let t, thread = Server.serve_background cfg in
   Fun.protect
@@ -934,6 +968,244 @@ let test_server_survives_faults () =
                 true clean.Protocol.ok)
             Fault.all_seams))
 
+(* ---- resilience: deadlines, reader guards, watchdog, sockets ------ *)
+
+let with_raw address f =
+  let path = match address with Server.Unix_path p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd (Unix.in_channel_of_descr fd))
+
+let send_deadline fd req ~id ~deadline_ms =
+  let line =
+    Protocol.line (Protocol.request_to_json ~deadline_ms ~id:(Json.Num id) req)
+  in
+  ignore (Unix.write_substring fd line 0 (String.length line))
+
+let read_resp ic =
+  match Protocol.parse_response (input_line ic) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r -> r
+
+let response_code (r : Protocol.response) =
+  match r.Protocol.body with
+  | Json.Obj fields ->
+    Option.bind (List.assoc_opt "code" fields) Json.string_value
+  | _ -> None
+
+let stat_num stats k =
+  Option.bind (Json.member k stats.Protocol.body) Json.float_value
+
+let slow_request =
+  Protocol.Montecarlo
+    { opts = Protocol.default_opts ~benchmark:"s13207"; instances = 2000 }
+
+let test_deadline_flight_triage () =
+  (* A single executor is pinned down; a coalesced flight of three
+     identical requests waits behind it — two with a 1 ms deadline, one
+     without.  At dispatch the dead members must be shed with their own
+     [deadline-exceeded] lines and the live member promoted to leader:
+     the solve still runs exactly once, for the client that still wants
+     it. *)
+  with_server ~executors:1 (fun address _t ->
+      with_raw address (fun fd ic ->
+          send_raw () fd slow_request ~id:0.0;
+          Thread.delay 0.2;
+          let dup =
+            Protocol.Run
+              { opts = Protocol.default_opts ~benchmark:"s15850";
+                algorithm = Flow.Wavemin }
+          in
+          send_deadline fd dup ~id:1.0 ~deadline_ms:1.0;
+          send_deadline fd dup ~id:2.0 ~deadline_ms:1.0;
+          send_raw () fd dup ~id:3.0;
+          let responses = Hashtbl.create 4 in
+          for _ = 0 to 3 do
+            let r = read_resp ic in
+            match r.Protocol.rid with
+            | Json.Num id -> Hashtbl.replace responses id r
+            | _ -> Alcotest.fail "response with non-numeric id"
+          done;
+          Alcotest.(check int) "all four ids answered" 4
+            (Hashtbl.length responses);
+          let r i = Hashtbl.find responses (float_of_int i) in
+          Alcotest.(check bool) "slow request ok" true (r 0).Protocol.ok;
+          Alcotest.(check bool) "expired leader shed" false (r 1).Protocol.ok;
+          Alcotest.(check (option string)) "leader deadline-exceeded"
+            (Some "deadline-exceeded")
+            (response_code (r 1));
+          Alcotest.(check bool) "expired follower shed" false
+            (r 2).Protocol.ok;
+          Alcotest.(check (option string)) "follower deadline-exceeded"
+            (Some "deadline-exceeded")
+            (response_code (r 2));
+          Alcotest.(check bool) "live member promoted and served" true
+            (r 3).Protocol.ok);
+      with_client address (fun c ->
+          let stats = request_exn c Protocol.Stats in
+          Alcotest.(check (option (float 0.0))) "two members expired"
+            (Some 2.0) (stat_num stats "expired")))
+
+let expired_never_executes =
+  QCheck.Test.make ~count:3
+    ~name:"expired-deadline request never executes"
+    QCheck.(pair (int_bound 20) (int_bound 3))
+    (fun (salt, step) ->
+      (* A random request (distinct kappa so nothing is pre-cached) with
+         a random small deadline queues behind a slow solve and expires
+         in the queue.  Contract: the answer is always a structured
+         [deadline-exceeded] error, and the solve never ran — proved by
+         the session cache, which a run would have populated: re-sending
+         the same request afterwards must be a cache miss. *)
+      let opts =
+        { (Protocol.default_opts ~benchmark:"s15850") with
+          Protocol.kappa = 40.0 +. float_of_int salt }
+      in
+      let req = Protocol.Run { opts; algorithm = Flow.Initial } in
+      let deadline_ms = 0.5 +. float_of_int step in
+      with_server ~executors:1 (fun address _t ->
+          with_raw address (fun fd ic ->
+              send_raw () fd slow_request ~id:0.0;
+              Thread.delay 0.1;
+              send_deadline fd req ~id:1.0 ~deadline_ms;
+              let first = read_resp ic in
+              Alcotest.(check bool) "slow request ok" true first.Protocol.ok;
+              let shed = read_resp ic in
+              Alcotest.(check bool) "shed answer is an error" false
+                shed.Protocol.ok;
+              Alcotest.(check (option string)) "deadline-exceeded code"
+                (Some "deadline-exceeded")
+                (response_code shed));
+          with_client address (fun c ->
+              let stats = request_exn c Protocol.Stats in
+              Alcotest.(check bool) "expired counted" true
+                (match stat_num stats "expired" with
+                | Some n -> n >= 1.0
+                | None -> false);
+              let redo = request_exn c req in
+              Alcotest.(check bool) "re-sent request executes" true
+                redo.Protocol.ok;
+              let stats = request_exn c Protocol.Stats in
+              Alcotest.(check (option string))
+                "re-run is a cache miss: the shed request never executed"
+                (Some "miss")
+                (Option.bind
+                   (get [ "last"; "cache" ] stats.Protocol.body)
+                   Json.string_value));
+          true))
+
+let test_reader_oversized_line () =
+  (* A peer streaming an unterminated monster line must get a structured
+     [parse-error] and a closed connection — never unbounded buffering. *)
+  with_server ~max_line_bytes:1024 (fun address _t ->
+      with_raw address (fun fd ic ->
+          let blob = String.make 4096 'x' in
+          ignore (Unix.write_substring fd blob 0 (String.length blob));
+          let r = read_resp ic in
+          Alcotest.(check bool) "rejected" false r.Protocol.ok;
+          Alcotest.(check (option string)) "parse-error code"
+            (Some "parse-error") (response_code r);
+          match input_line ic with
+          | _ -> Alcotest.fail "connection survived an oversized line"
+          | exception End_of_file -> ()))
+
+let test_reader_idle_timeout () =
+  (* A slowloris peer — bytes but never a complete line — must be cut
+     off with a structured [io-error] after the idle timeout. *)
+  with_server ~idle_timeout_s:0.2 (fun address _t ->
+      with_raw address (fun fd ic ->
+          ignore (Unix.write_substring fd "{" 0 1);
+          let r = read_resp ic in
+          Alcotest.(check bool) "rejected" false r.Protocol.ok;
+          Alcotest.(check (option string)) "io-error code" (Some "io-error")
+            (response_code r);
+          match input_line ic with
+          | _ -> Alcotest.fail "connection survived the idle timeout"
+          | exception End_of_file -> ()))
+
+let test_watchdog_reports_stall () =
+  (* An unbudgeted solve running past [stall_after_s] must be reported
+     (counted in stats) but never killed: the request still completes. *)
+  with_server ~executors:1 ~stall_after_s:0.05 ~watchdog_period_s:0.02
+    (fun address _t ->
+      with_client address (fun c ->
+          let resp = request_exn c slow_request in
+          Alcotest.(check bool) "stalled request still completes" true
+            resp.Protocol.ok;
+          let stats = request_exn c Protocol.Stats in
+          Alcotest.(check bool) "stall reported" true
+            (match stat_num stats "stalled" with
+            | Some n -> n >= 1.0
+            | None -> false)))
+
+let test_stale_socket_recovered () =
+  (* A SIGKILLed daemon leaves its socket file behind.  The probe finds
+     nobody answering, evicts it, and the new daemon binds and serves. *)
+  let address = temp_address () in
+  let path = match address with Server.Unix_path p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists path);
+  let cfg =
+    { (Server.default_config address) with
+      Server.report_path = None; flight_dir = None }
+  in
+  let t, thread = Server.serve_background cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_drain t;
+      Thread.join thread)
+    (fun () ->
+      with_client address (fun c ->
+          let health = request_exn c Protocol.Health in
+          Alcotest.(check bool) "recovered and serving" true
+            health.Protocol.ok))
+
+let test_live_socket_refused () =
+  (* A live daemon must never be evicted by a second instance: the
+     probe connects, so the second bind fails with a structured
+     [io-error] — and the first daemon keeps serving. *)
+  with_server (fun address _t ->
+      let cfg =
+        { (Server.default_config address) with
+          Server.report_path = None; flight_dir = None }
+      in
+      (match Server.serve_background cfg with
+      | exception Verrors.Error e ->
+        Alcotest.(check string) "io-error refusal" "io-error"
+          (Verrors.code_name e.Verrors.code)
+      | _ -> Alcotest.fail "second daemon evicted a live socket");
+      with_client address (fun c ->
+          let health = request_exn c Protocol.Health in
+          Alcotest.(check bool) "first daemon unharmed" true
+            health.Protocol.ok))
+
+let test_non_socket_path_refused () =
+  (* Anything that is not a socket is refused, never unlinked. *)
+  let address = temp_address () in
+  let path = match address with Server.Unix_path p -> p | _ -> assert false in
+  let oc = open_out path in
+  output_string oc "precious\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cfg =
+        { (Server.default_config address) with
+          Server.report_path = None; flight_dir = None }
+      in
+      (match Server.serve_background cfg with
+      | exception Verrors.Error e ->
+        Alcotest.(check string) "io-error refusal" "io-error"
+          (Verrors.code_name e.Verrors.code)
+      | _ -> Alcotest.fail "daemon bound over a regular file");
+      Alcotest.(check bool) "file not evicted" true (Sys.file_exists path))
+
 (* ---- flight recorder forensics ------------------------------------ *)
 
 module Flight = Repro_obs.Flight
@@ -1125,6 +1397,7 @@ let () =
       ( "bqueue",
         [ Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
           Alcotest.test_case "drain" `Quick test_bqueue_drain;
+          Alcotest.test_case "expiry sweep" `Quick test_bqueue_pop_live;
           Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop ] );
       ( "access-log",
         [ Alcotest.test_case "size-based rotation" `Quick
@@ -1162,6 +1435,21 @@ let () =
           Alcotest.test_case "coalescing" `Slow test_server_coalescing;
           Alcotest.test_case "telemetry" `Quick test_server_telemetry;
           Alcotest.test_case "fault seams" `Slow test_server_survives_faults ] );
+      ( "resilience",
+        [ Alcotest.test_case "deadline flight triage" `Quick
+            test_deadline_flight_triage;
+          Alcotest.test_case "oversized line rejected" `Quick
+            test_reader_oversized_line;
+          Alcotest.test_case "idle connection cut" `Quick
+            test_reader_idle_timeout;
+          Alcotest.test_case "watchdog reports stall" `Quick
+            test_watchdog_reports_stall;
+          Alcotest.test_case "stale socket recovered" `Quick
+            test_stale_socket_recovered;
+          Alcotest.test_case "live socket refused" `Quick
+            test_live_socket_refused;
+          Alcotest.test_case "non-socket path refused" `Quick
+            test_non_socket_path_refused ] );
       ( "flight",
         [ Alcotest.test_case "degradation forensics" `Quick
             test_server_flight_forensics;
@@ -1174,4 +1462,5 @@ let () =
             test_loadgen_report_roundtrip_and_gate;
           Alcotest.test_case "dead daemon" `Quick test_loadgen_dead_daemon ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ bit_identity ] ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ bit_identity; expired_never_executes ] ) ]
