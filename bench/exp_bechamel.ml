@@ -75,6 +75,57 @@ let kernel_tests ctx =
           build (Waveforms.create_cache ()));
       test "Noise_table.build (warm cache)" (fun () -> build warm_cache) ]
 
+(* The annealer's core claim, measured: one move evaluated incrementally
+   (subtract the old candidate row, add the new one, peak over slots —
+   then an O(1) discard) versus the full zone objective re-summed from
+   scratch.  Both walk the same cyclic move schedule. *)
+let sa_eval_tests table avail =
+  let module Eval = Repro_sa.Eval in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let first_avail s =
+    let rec go c = if avail.(s).(c) then c else go (c + 1) in
+    go 0
+  in
+  let init = Array.mapi (fun s _ -> first_avail s) avail in
+  let problem =
+    { Eval.rows = table.Noise_table.noise;
+      base = table.Noise_table.nonleaf;
+      avail }
+  in
+  let ev = Eval.create problem ~init in
+  let rng = Repro_util.Rng.create ~seed:11 in
+  let moves =
+    Array.init 256 (fun _ ->
+        let s =
+          Repro_util.Rng.int rng ~bound:(Array.length avail)
+        in
+        let cands =
+          List.filter
+            (fun c -> avail.(s).(c))
+            (List.init (Array.length avail.(s)) Fun.id)
+        in
+        let c =
+          List.nth cands
+            (Repro_util.Rng.int rng ~bound:(List.length cands))
+        in
+        (s, c))
+  in
+  let choices = Array.copy init in
+  let i = ref 0 and j = ref 0 in
+  Test.make_grouped ~name:"sa-eval"
+    [ test "delta eval per move (propose+discard)" (fun () ->
+          let s, c = moves.(!i land 255) in
+          incr i;
+          ignore (Eval.propose ev [| (s, c) |]);
+          Eval.discard ev);
+      test "full zone_objective per move" (fun () ->
+          let s, c = moves.(!j land 255) in
+          incr j;
+          let old = choices.(s) in
+          choices.(s) <- c;
+          ignore (Noise_table.zone_objective table ~choices);
+          choices.(s) <- old) ]
+
 let run () =
   Bench_common.section
     "Bechamel — zone-solver kernels (Table V/VI runtime counterpart, one s13207 zone)";
@@ -91,7 +142,8 @@ let run () =
                 Repro_core.Clk_wavemin_f.zone_solver ctx table ~avail);
             test "ClkPeakMin (knapsack DP)" (fun () ->
                 Repro_core.Clk_peakmin.zone_solver ctx table ~avail) ];
-        kernel_tests ctx ]
+        kernel_tests ctx;
+        sa_eval_tests table avail ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]

@@ -49,7 +49,7 @@ let compute params spec =
           match algo with
           | Flow.Peakmin -> (Repro_core.Clk_peakmin.optimize ctx).Context.assignment
           | Flow.Wavemin -> (Repro_core.Clk_wavemin.optimize ctx).Context.assignment
-          | Flow.Wavemin_fast | Flow.Initial -> assert false
+          | Flow.Wavemin_fast | Flow.Initial | Flow.Sa -> assert false
         in
         (algo, Montecarlo.run ~config tree assignment))
       algos

@@ -5,7 +5,7 @@
      dune exec bench/main.exe              # run everything
      dune exec bench/main.exe -- table5    # run selected experiments
    Available experiment names: table1 fig2 table2 fig6 fig9 fig11 table5 table6
-   montecarlo table7 fig14 ablation dynamic baselines bechamel
+   montecarlo table7 fig14 ablation dynamic baselines portfolio bechamel
 
    Every experiment writes a machine-readable run report to
    BENCH_<name>.json in the current directory (override with
@@ -32,6 +32,7 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("dynamic", Exp_dynamic.run);
     ("baselines", Exp_baselines.run);
+    ("portfolio", Exp_portfolio.run);
     ("bechamel", Exp_bechamel.run) ]
 
 let bench_dir () =

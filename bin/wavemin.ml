@@ -123,10 +123,27 @@ let params_of kappa slots =
 let algo_arg =
   let algos =
     [ ("peakmin", Flow.Peakmin); ("wavemin", Flow.Wavemin);
-      ("wavemin-f", Flow.Wavemin_fast); ("initial", Flow.Initial) ]
+      ("wavemin-f", Flow.Wavemin_fast); ("initial", Flow.Initial);
+      ("sa", Flow.Sa) ]
   in
-  let doc = "Algorithm: initial, peakmin, wavemin or wavemin-f." in
+  let doc = "Algorithm: initial, peakmin, wavemin, wavemin-f or sa." in
   Arg.(value & opt (enum algos) Flow.Wavemin & info [ "algo"; "a" ] ~doc)
+
+(* --solver NAME goes through Flow.solver_of_name at run time instead of
+   cmdliner's enum so unknown names yield the same structured
+   invalid-params diagnostic (and exit 2) on the CLI as on the wire. *)
+let solver_arg =
+  let doc =
+    "Force one solver by name (initial, peakmin, wavemin, wavemin-f, \
+     sa).  Overrides $(b,--algo); for $(b,compare), restricts the table \
+     to that solver.  Unknown names are rejected with a structured \
+     error and exit 2."
+  in
+  Arg.(value & opt (some string) None & info [ "solver" ] ~docv:"NAME" ~doc)
+
+let resolve_solver ~default = function
+  | None -> Ok default
+  | Some name -> Flow.solver_of_name name
 
 (* ---- robustness flags (run/compare/montecarlo) -------------------- *)
 
@@ -206,36 +223,114 @@ let print_run (r : Flow.run) =
   Format.printf "  leaf inverters %7d@." r.Flow.num_leaf_inverters;
   Format.printf "  optimizer time %7.2f s wall, %.2f s cpu@." r.Flow.elapsed_s
     r.Flow.cpu_s;
+  (match r.Flow.sa with
+  | None -> ()
+  | Some s ->
+    Format.printf
+      "  annealer: %d moves (%d accepted, %d rejected) over %d zone(s); \
+       %d flips, %d resizes, %d pairs, %d restart(s)@."
+      s.Repro_core.Clk_sa.proposed s.Repro_core.Clk_sa.accepted
+      s.Repro_core.Clk_sa.rejected s.Repro_core.Clk_sa.zones
+      s.Repro_core.Clk_sa.flips s.Repro_core.Clk_sa.resizes
+      s.Repro_core.Clk_sa.pairs s.Repro_core.Clk_sa.restarts);
   if r.Flow.approximate then
     Format.printf "  (label cap tripped: result approximate beyond epsilon)@."
 
+let print_portfolio (entries : Flow.portfolio_entry list) =
+  List.iter
+    (fun (e : Flow.portfolio_entry) ->
+      Format.printf "  portfolio: %-12s %-6s %8.3f s  %s@."
+        (Flow.algorithm_name e.Flow.member)
+        (if e.Flow.won then "won" else "lost")
+        e.Flow.wall_s
+        (match (e.Flow.peak_ma, e.Flow.failure) with
+        | Some p, _ -> Printf.sprintf "peak %.2f mA" p
+        | None, Some err -> Verrors.code_name err.Verrors.code
+        | None, None -> "-"))
+    entries
+
+(* A deterministic leaf-assignment listing — one line per leaf, id
+   order — byte-diffable across runs and job counts (the CI
+   portfolio-determinism gate diffs two of these). *)
+let export_assignment path (r : Flow.run) tree =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "# %s %s\n" r.Flow.benchmark
+       (Flow.algorithm_name r.Flow.algorithm));
+  Array.iter
+    (fun (id, (cell : Repro_cell.Cell.t)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s %s\n" id cell.Repro_cell.Cell.name
+           (Json.float_to_string
+              (Repro_clocktree.Assignment.extra_delay r.Flow.assignment
+                 ~mode:0 id))))
+    (Repro_clocktree.Assignment.leaf_cells r.Flow.assignment tree);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b))
+
 let run_cmd =
-  let run name algo kappa slots jobs strict budget_ms level trace metrics =
+  let portfolio_arg =
+    let doc =
+      "Race ClkWaveMin, ClkWaveMin-f and ClkSA sequentially under one \
+       shared budget and keep the best result (lowest golden peak).  \
+       Ignores $(b,--algo)/$(b,--solver); per-member results are \
+       printed as portfolio lines."
+    in
+    Arg.(value & flag & info [ "portfolio" ] ~doc)
+  in
+  let export_arg =
+    let doc =
+      "Write the optimized leaf assignment (leaf id, cell name, extra \
+       delay) to $(docv) — a deterministic listing for byte-diffing \
+       runs across seeds and job counts."
+    in
+    Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FILE" ~doc)
+  in
+  let run name algo solver portfolio export kappa slots jobs strict budget_ms
+      level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
-    match Benchmarks.find name with
-    | spec -> (
-      match
-        Flow.run_benchmark_robust ~params:(params_of kappa slots)
-          ?budget:(budget_of budget_ms) spec algo
-      with
-      | Ok r ->
-        print_run r;
-        print_degradations r.Flow.degradations;
-        finish ();
-        exit_of ~strict ~approximate:r.Flow.approximate r.Flow.degradations
-      | Error (e, degs) ->
-        print_degradations degs;
-        finish ();
-        print_verror e;
-        2)
-    | exception Not_found ->
-      Format.eprintf "unknown benchmark %s@." name;
-      1
+    match resolve_solver ~default:algo solver with
+    | Error e ->
+      finish ();
+      print_verror e;
+      2
+    | Ok algo -> (
+      match Benchmarks.find name with
+      | spec -> (
+        let params = params_of kappa slots in
+        let budget = budget_of budget_ms in
+        let outcome =
+          if portfolio then Flow.run_benchmark_portfolio ~params ?budget spec
+          else Flow.run_benchmark_robust ~params ?budget spec algo
+        in
+        match outcome with
+        | Ok r ->
+          print_run r;
+          print_portfolio r.Flow.portfolio;
+          print_degradations r.Flow.degradations;
+          (match export with
+          | None -> ()
+          | Some path ->
+            export_assignment path r (Benchmarks.synthesize spec);
+            Format.printf "  assignment written to %s@." path);
+          finish ();
+          exit_of ~strict ~approximate:r.Flow.approximate r.Flow.degradations
+        | Error (e, degs) ->
+          print_degradations degs;
+          finish ();
+          print_verror e;
+          2)
+      | exception Not_found ->
+        Format.eprintf "unknown benchmark %s@." name;
+        1)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize one benchmark")
-    Term.(const run $ bench_arg $ algo_arg $ kappa_arg $ slots_arg $ jobs_arg
+    Term.(const run $ bench_arg $ algo_arg $ solver_arg $ portfolio_arg
+          $ export_arg $ kappa_arg $ slots_arg $ jobs_arg
           $ strict_arg $ budget_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 (* Everything `profile` prints as text, as one machine-readable
@@ -306,9 +401,15 @@ let profile_cmd =
           $ log_level_arg $ trace_arg $ json_arg)
 
 let compare_cmd =
-  let run name kappa slots jobs strict budget_ms level trace metrics =
+  let run name solver kappa slots jobs strict budget_ms level trace metrics =
     apply_jobs jobs;
     let finish = setup_obs level trace metrics in
+    match resolve_solver ~default:Flow.Wavemin solver with
+    | Error e ->
+      finish ();
+      print_verror e;
+      2
+    | Ok forced -> (
     match Benchmarks.find name with
     | spec ->
       let params = params_of kappa slots in
@@ -345,18 +446,20 @@ let compare_cmd =
             print_verror e;
             Table.add_row t
               [ Flow.algorithm_name algo; "failed"; "-"; "-"; "-"; "-"; "-" ])
-        [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ];
+        (match solver with
+        | Some _ -> [ forced ]
+        | None -> [ Flow.Initial; Flow.Peakmin; Flow.Wavemin; Flow.Wavemin_fast ]);
       print_string (Table.render t);
       print_degradations !degradations;
       finish ();
       !code
     | exception Not_found ->
       Format.eprintf "unknown benchmark %s@." name;
-      1
+      1)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the algorithms on one benchmark")
-    Term.(const run $ bench_arg $ kappa_arg $ slots_arg $ jobs_arg
+    Term.(const run $ bench_arg $ solver_arg $ kappa_arg $ slots_arg $ jobs_arg
           $ strict_arg $ budget_arg $ log_level_arg $ trace_arg $ metrics_arg)
 
 let montecarlo_cmd =
@@ -925,8 +1028,19 @@ let client_cmd =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
   in
   let algo_name_arg =
-    let doc = "Algorithm for $(b,run): initial, peakmin, wavemin or wavemin-f." in
+    let doc =
+      "Algorithm for $(b,run): initial, peakmin, wavemin, wavemin-f or sa."
+    in
     Arg.(value & opt string "wavemin" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let warm_arg =
+    let doc =
+      "For $(b,run) with $(b,--algo sa): opt into the server's warm-start \
+       ECO path — when the server holds a previous assignment for the \
+       same tree and library, the annealer quenches from it instead of \
+       solving cold (access-logged as cache=warm)."
+    in
+    Arg.(value & flag & info [ "warm" ] ~doc)
   in
   let instances_arg =
     Arg.(value & opt int 200
@@ -990,9 +1104,9 @@ let client_cmd =
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   in
-  let run address_s request_s bench algo_s kappa slots budget_ms max_labels
-      instances library_file all time deadline_ms retries retry_backoff
-      metrics_format =
+  let run address_s request_s bench algo_s warm kappa slots budget_ms
+      max_labels instances library_file all time deadline_ms retries
+      retry_backoff metrics_format =
     (* With --retries, writing into a connection the daemon reset must
        surface as a retryable io-error, not kill the process. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -1024,7 +1138,7 @@ let client_cmd =
             Error 1
           | Some algorithm ->
             Result.map
-              (fun opts -> Proto.Run { opts; algorithm })
+              (fun opts -> Proto.Run { opts; algorithm; warm })
               (opts_of ()))
         | "compare" -> Result.map (fun o -> Proto.Compare o) (opts_of ())
         | "validate" ->
@@ -1124,7 +1238,7 @@ let client_cmd =
           JSON response (exit 0 on an ok response, 2 on a structured \
           error or transport failure)")
     Term.(const run $ address_arg $ request_arg $ bench_opt_arg
-          $ algo_name_arg $ kappa_arg $ slots_arg $ budget_arg
+          $ algo_name_arg $ warm_arg $ kappa_arg $ slots_arg $ budget_arg
           $ max_labels_arg $ instances_arg $ library_arg $ all_arg $ time_arg
           $ deadline_ms_arg $ retries_arg $ retry_backoff_arg
           $ metrics_format_arg)
@@ -1655,7 +1769,8 @@ let chaos_cmd =
                 (Proto.request_to_json ~id:(Json.Str "chaos")
                    (Proto.Run
                       { opts = Proto.default_opts ~benchmark;
-                        algorithm = Repro_core.Flow.Wavemin }))
+                        algorithm = Repro_core.Flow.Wavemin;
+                        warm = false }))
             in
             match mode with
             | `Dribble ->

@@ -50,7 +50,8 @@ let () =
         let run =
           Protocol.Run
             { opts = Protocol.default_opts ~benchmark:"s13207";
-              algorithm = Flow.Wavemin }
+              algorithm = Flow.Wavemin;
+              warm = false }
         in
         let time req =
           let t0 = Clock.now_s () in

@@ -1,0 +1,220 @@
+module Cell = Repro_cell.Cell
+module Assignment = Repro_clocktree.Assignment
+module Verrors = Repro_util.Verrors
+module Rng = Repro_util.Rng
+module Flight = Repro_obs.Flight
+module Obs_clock = Repro_obs.Clock
+module Trace = Repro_obs.Trace
+module Par = Repro_par.Par
+module Anneal = Repro_sa.Anneal
+module Eval = Repro_sa.Eval
+
+type config = {
+  seed : int;
+  max_classes : int;
+  anneal : Anneal.config;
+}
+
+let default_config =
+  { seed = 1; max_classes = 4; anneal = Anneal.default_config }
+
+let warm_config = { default_config with anneal = Anneal.quench_config }
+
+type stats = {
+  zones : int;
+  proposed : int;
+  accepted : int;
+  rejected : int;
+  flips : int;
+  resizes : int;
+  pairs : int;
+  restarts : int;
+}
+
+let stats_of_anneal zones (a : Anneal.stats) =
+  {
+    zones;
+    proposed = a.Anneal.proposed;
+    accepted = a.Anneal.accepted;
+    rejected = a.Anneal.rejected;
+    flips = a.Anneal.flips;
+    resizes = a.Anneal.resizes;
+    pairs = a.Anneal.pairs;
+    restarts = a.Anneal.restarts_done;
+  }
+
+let problem_of (table : Noise_table.t) ~avail =
+  {
+    Eval.rows = table.Noise_table.noise;
+    base = table.Noise_table.nonleaf;
+    avail;
+  }
+
+(* Move tags: the flip class is the cell polarity, the resize axis is
+   drive strength refined by the adjustable-delay step, so a resize
+   walks the size/delay ladder without changing polarity. *)
+let tags_of (table : Noise_table.t) =
+  Array.map
+    (fun (sink : Intervals.sink) ->
+      Array.map
+        (fun (c : Intervals.candidate) ->
+          {
+            Anneal.group =
+              (match Cell.polarity c.Intervals.cell with
+              | Cell.Positive -> 0
+              | Cell.Negative -> 1);
+            size =
+              (float_of_int c.Intervals.cell.Cell.drive *. 1e6)
+              +. c.Intervals.extra;
+          })
+        sink.Intervals.candidates)
+    table.Noise_table.sinks
+
+let first_available ~stage (avail : bool array) =
+  let rec find i =
+    if i >= Array.length avail then
+      invalid_arg (stage ^ ": sink without available candidate")
+    else if avail.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Cold start: every sink at its first admitted candidate (the library
+   order is deterministic). *)
+let cold_init (table : Noise_table.t) ~avail =
+  ignore table;
+  Array.map (first_available ~stage:"Clk_sa.cold_init") avail
+
+(* Warm start: map the previous assignment of each sink back to a
+   candidate index.  The exact (cell, extra) pair may not be admitted
+   by this interval class; prefer an exact match, then the same cell at
+   the nearest extra-delay step, then the first available candidate. *)
+let warm_init (ctx : Context.t) (table : Noise_table.t) ~avail ~previous =
+  Array.mapi
+    (fun zi (sink : Intervals.sink) ->
+      let prev_cell = Assignment.cell previous sink.Intervals.leaf_id in
+      let prev_extra =
+        if Cell.is_adjustable prev_cell then
+          Assignment.extra_delay previous ~mode:ctx.Context.env.Repro_clocktree.Timing.mode
+            sink.Intervals.leaf_id
+        else 0.0
+      in
+      let best = ref (-1) and best_gap = ref infinity in
+      Array.iteri
+        (fun ci (c : Intervals.candidate) ->
+          if avail.(zi).(ci) && Cell.equal c.Intervals.cell prev_cell then begin
+            let gap = Float.abs (c.Intervals.extra -. prev_extra) in
+            if gap < !best_gap then begin
+              best := ci;
+              best_gap := gap
+            end
+          end)
+        sink.Intervals.candidates;
+      if !best >= 0 then !best
+      else first_available ~stage:"Clk_sa.warm_init" avail.(zi))
+    table.Noise_table.sinks
+
+let infeasible (ctx : Context.t) =
+  let p = ctx.Context.params in
+  let effective_kappa =
+    Float.max 1.0 (p.Context.kappa -. p.Context.sibling_guard)
+  in
+  Verrors.fail ~code:Verrors.Infeasible_window ~stage:"clk_sa.optimize"
+    ~hints:
+      [ "widen the skew window (larger kappa) or reduce sibling_guard";
+        "run `wavemin validate` for a per-sink feasibility breakdown" ]
+    (Printf.sprintf
+       "%s (effective kappa %.2f ps = kappa %.2f ps - sibling guard %.2f ps)"
+       (Intervals.infeasibility_message ctx.Context.sinks
+          ~kappa:effective_kappa)
+       effective_kappa p.Context.kappa p.Context.sibling_guard)
+
+let optimize_stats ?(config = default_config) ?warm (ctx : Context.t) =
+  Trace.with_span ~name:"clk_sa.optimize" @@ fun () ->
+  let classes =
+    List.filteri (fun i _ -> i < config.max_classes) ctx.Context.classes
+  in
+  if classes = [] then infeasible ctx;
+  let nzones = Array.length ctx.Context.tables in
+  let best = ref None in
+  let total_stats = ref Anneal.zero_stats in
+  let total_zones = ref 0 in
+  List.iteri
+    (fun cls_idx (cls : Context.interval_class) ->
+      Trace.with_span ~name:"clk_sa.class"
+        ~attrs:
+          [ ("index", string_of_int cls_idx);
+            ("dof", string_of_int cls.Context.degree_of_freedom) ]
+      @@ fun () ->
+      (* One Rng.of_instance stream per (class, zone): bit-identical
+         randomness no matter how zones are chunked across domains. *)
+      let per_zone =
+        Par.parallel_init ~label:"clk_sa.zone_solve" nzones (fun zi ->
+            let table = ctx.Context.tables.(zi) in
+            let flight = Flight.enabled () in
+            let t0 = if flight then Obs_clock.now_ns () else 0L in
+            if flight then
+              Flight.record
+                (Flight.Zone_start
+                   { cls = cls_idx;
+                     zone = zi;
+                     sinks = Array.length table.Noise_table.sinks });
+            let avail = Context.zone_avail ctx cls.Context.avail table in
+            let init =
+              match warm with
+              | Some previous -> warm_init ctx table ~avail ~previous
+              | None -> cold_init table ~avail
+            in
+            let rng =
+              Rng.of_instance ~seed:config.seed ((cls_idx * nzones) + zi)
+            in
+            let choices, _obj, stats =
+              Anneal.solve ~zone:zi ~config:config.anneal
+                (problem_of table ~avail)
+                ~tags:(tags_of table) ~init ~rng
+            in
+            (* Class selection uses the exact table objective, the same
+               yardstick every other solver is measured by. *)
+            let peak = Noise_table.zone_objective table ~choices in
+            if flight then
+              Flight.record
+                (Flight.Zone_end
+                   { cls = cls_idx;
+                     zone = zi;
+                     peak_ua = peak;
+                     capped = false;
+                     wall_ms =
+                       Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0)
+                       /. 1e6 });
+            (choices, peak, stats))
+      in
+      (* Sequential, index-ordered reduction: deterministic at any job
+         count. *)
+      Array.iter
+        (fun (_, _, s) ->
+          total_stats := Anneal.add_stats !total_stats s;
+          incr total_zones)
+        per_zone;
+      let peak =
+        Array.fold_left (fun acc (_, p, _) -> Float.max acc p) 0.0 per_zone
+      in
+      match !best with
+      | Some (_, best_peak, _) when best_peak <= peak -> ()
+      | Some _ | None -> best := Some (cls, peak, per_zone))
+    classes;
+  match !best with
+  | None -> assert false (* classes <> [] *)
+  | Some (cls, peak, per_zone) ->
+    let assignment =
+      Context.apply_choices ctx (Array.map (fun (c, _, _) -> c) per_zone)
+    in
+    ( {
+        Context.assignment;
+        interval = cls.Context.interval;
+        predicted_peak_ua = peak;
+        zone_peaks = Array.map (fun (_, p, _) -> p) per_zone;
+        approximate = false;
+      },
+      stats_of_anneal !total_zones !total_stats )
+
+let optimize ctx = fst (optimize_stats ctx)

@@ -77,6 +77,19 @@ type outcome = {
           approximation guarantee does not cover this outcome. *)
 }
 
+val zone_avail : t -> bool array array -> Noise_table.t -> bool array array
+(** Restrict a class's global availability matrix (rows = global sink
+    indices) to one zone's table (rows = [table.sinks] order) — the
+    matrix a zone solver receives. *)
+
+val apply_choices : t -> int array array -> Repro_clocktree.Assignment.t
+(** [apply_choices t per_zone_choices] materializes an assignment from
+    one candidate index per sink of every zone ([per_zone_choices.(zi)]
+    aligned with [t.tables.(zi).sinks]), setting the cell and — for
+    adjustable cells — the selected extra delay.  Exposed so solvers
+    with their own class loop (ClkPeakMin-style baselines, the SA
+    engine) can build outcomes without going through {!solve_with}. *)
+
 val solve_with :
   t ->
   zone_solver:

@@ -8,18 +8,45 @@ module Budget = Repro_obs.Budget
 module Obs_metrics = Repro_obs.Metrics
 module Flight = Repro_obs.Flight
 
-type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
+type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast | Sa
 
 let algorithm_name = function
   | Initial -> "Initial"
   | Peakmin -> "ClkPeakMin"
   | Wavemin -> "ClkWaveMin"
   | Wavemin_fast -> "ClkWaveMin-f"
+  | Sa -> "ClkSA"
+
+let solver_names =
+  [ ("initial", Initial);
+    ("peakmin", Peakmin);
+    ("wavemin", Wavemin);
+    ("wavemin-f", Wavemin_fast);
+    ("sa", Sa) ]
+
+let solver_of_name name =
+  match List.assoc_opt (String.lowercase_ascii name) solver_names with
+  | Some alg -> Ok alg
+  | None ->
+    Verrors.error ~code:Verrors.Invalid_params ~stage:"flow.solver"
+      ~subject:name
+      ~hints:
+        [ "valid solvers: "
+          ^ String.concat ", " (List.map fst solver_names) ]
+      "unknown solver"
 
 type degradation = {
   from_alg : algorithm;
   to_alg : algorithm option;
   error : Verrors.t;
+}
+
+type portfolio_entry = {
+  member : algorithm;
+  won : bool;
+  wall_s : float;
+  peak_ma : float option;
+  failure : Verrors.t option;
 }
 
 type run = {
@@ -34,6 +61,8 @@ type run = {
   cpu_s : float;
   approximate : bool;
   degradations : degradation list;
+  sa : Clk_sa.stats option;
+  portfolio : portfolio_entry list;
 }
 
 let leaf_library () =
@@ -83,7 +112,12 @@ let prepared_context p =
     p.prep_ctx <- Some ctx;
     ctx
 
-let run_prepared p algorithm =
+(* The shared solve-and-evaluate skeleton: [solve] produces the
+   assignment (plus the optimizer's own estimate and the annealer's
+   counters when applicable); everything around it — flight bracketing,
+   timing, golden evaluation — is identical for the standard dispatch,
+   the portfolio members and the warm-start path. *)
+let run_prepared_with p ~algorithm ~solve =
   Trace.with_span ~name:"flow.run_tree"
     ~attrs:
       [ ("benchmark", p.prep_name); ("algorithm", algorithm_name algorithm) ]
@@ -94,22 +128,7 @@ let run_prepared p algorithm =
        { benchmark = p.prep_name; algorithm = algorithm_name algorithm });
   let t0 = Clock.now_s () in
   let c0 = Clock.cpu_s () in
-  let assignment, predicted, approximate =
-    match algorithm with
-    | Initial -> (Assignment.default tree ~num_modes:1, 0.0, false)
-    | Peakmin | Wavemin | Wavemin_fast ->
-      let ctx = prepared_context p in
-      let outcome =
-        match algorithm with
-        | Peakmin -> Clk_peakmin.optimize ctx
-        | Wavemin -> Clk_wavemin.optimize ctx
-        | Wavemin_fast -> Clk_wavemin_f.optimize ctx
-        | Initial -> assert false
-      in
-      ( outcome.Context.assignment,
-        outcome.Context.predicted_peak_ua,
-        outcome.Context.approximate )
-  in
+  let assignment, predicted, approximate, sa = solve () in
   let elapsed_s = Clock.now_s () -. t0 in
   let cpu_s = Clock.cpu_s () -. c0 in
   let metrics =
@@ -138,7 +157,35 @@ let run_prepared p algorithm =
     cpu_s;
     approximate;
     degradations = [];
+    sa;
+    portfolio = [];
   }
+
+let run_prepared p algorithm =
+  run_prepared_with p ~algorithm ~solve:(fun () ->
+      match algorithm with
+      | Initial ->
+        (Assignment.default p.prep_tree ~num_modes:1, 0.0, false, None)
+      | Peakmin | Wavemin | Wavemin_fast ->
+        let ctx = prepared_context p in
+        let outcome =
+          match algorithm with
+          | Peakmin -> Clk_peakmin.optimize ctx
+          | Wavemin -> Clk_wavemin.optimize ctx
+          | Wavemin_fast -> Clk_wavemin_f.optimize ctx
+          | Initial | Sa -> assert false
+        in
+        ( outcome.Context.assignment,
+          outcome.Context.predicted_peak_ua,
+          outcome.Context.approximate,
+          None )
+      | Sa ->
+        let ctx = prepared_context p in
+        let outcome, stats = Clk_sa.optimize_stats ctx in
+        ( outcome.Context.assignment,
+          outcome.Context.predicted_peak_ua,
+          outcome.Context.approximate,
+          Some stats ))
 
 let run_tree ?params ~name tree algorithm =
   run_prepared (prepare ?params ~name tree) algorithm
@@ -159,6 +206,7 @@ let fallback_chain = function
   | Wavemin -> [ Wavemin; Wavemin_fast; Peakmin; Initial ]
   | Wavemin_fast -> [ Wavemin_fast; Peakmin; Initial ]
   | Peakmin -> [ Peakmin; Initial ]
+  | Sa -> [ Sa; Wavemin_fast; Peakmin; Initial ]
   | Initial -> [ Initial ]
 
 module Log = (val Logs.src_log (Repro_obs.Log.src "wavemin.flow"))
@@ -238,6 +286,176 @@ let run_benchmark_robust ?params ?budget spec algorithm =
   | Ok tree ->
     run_tree_robust ?params ?budget ~name:spec.Repro_cts.Benchmarks.name tree
       algorithm
+
+(* ------------------------------------------------------------------ *)
+(* Solver portfolio                                                    *)
+
+let portfolio_members = [ Wavemin; Wavemin_fast; Sa ]
+
+(* Run every member under ONE shared budget (a member that exhausts it
+   leaves only already-banked results competitive: the budget is sticky,
+   so later members trip immediately) and keep the best golden peak.
+   The order is fixed, the attempts sequential — the portfolio is as
+   deterministic as its members. *)
+let run_prepared_portfolio ?budget p =
+  Trace.with_span ~name:"flow.portfolio" ~attrs:[ ("benchmark", p.prep_name) ]
+  @@ fun () ->
+  let t0 = Clock.now_s () in
+  let attempts =
+    List.map
+      (fun member ->
+        let a0 = Clock.now_s () in
+        let res =
+          Verrors.guard ~stage:"flow.portfolio" (fun () ->
+              match budget with
+              | Some b -> Budget.with_current b (fun () -> run_prepared p member)
+              | None -> run_prepared p member)
+        in
+        (member, Clock.now_s () -. a0, res))
+      portfolio_members
+  in
+  let ranked =
+    List.filter_map
+      (function
+        | (member, wall, Ok run) -> Some (member, wall, run)
+        | (_, _, Error _) -> None)
+      attempts
+  in
+  let winner =
+    List.fold_left
+      (fun acc (member, _, run) ->
+        match acc with
+        | Some (_, _, best)
+          when best.metrics.Golden.peak_current_ma
+               <= run.metrics.Golden.peak_current_ma ->
+          acc
+        | _ -> Some (algorithm_name member, member, run))
+      None ranked
+  in
+  match winner with
+  | None ->
+    (* Every member failed (broken input or an instantly-tripped
+       budget): degrade to the reference assignment so the caller still
+       gets an answer, with the full failure record attached. *)
+    let degs =
+      List.filter_map
+        (function
+          | (member, _, Error e) ->
+            Some { from_alg = member; to_alg = Some Initial; error = e }
+          | _ -> None)
+        attempts
+    in
+    let entries =
+      List.map
+        (fun (member, wall, res) ->
+          { member;
+            won = false;
+            wall_s = wall;
+            peak_ma = None;
+            failure = (match res with Error e -> Some e | Ok _ -> None) })
+        attempts
+    in
+    (match Verrors.guard ~stage:"flow.portfolio" (fun () ->
+         run_prepared p Initial)
+     with
+    | Ok run ->
+      Ok { run with degradations = degs; portfolio = entries }
+    | Error e ->
+      Error (e, degs @ [ { from_alg = Initial; to_alg = None; error = e } ]))
+  | Some (winner_name, winner_alg, winner_run) ->
+    let entries =
+      List.map
+        (fun (member, wall, res) ->
+          match res with
+          | Ok run ->
+            { member;
+              won = member = winner_alg;
+              wall_s = wall;
+              peak_ma = Some run.metrics.Golden.peak_current_ma;
+              failure = None }
+          | Error e ->
+            { member;
+              won = false;
+              wall_s = wall;
+              peak_ma = None;
+              failure = Some e })
+        attempts
+    in
+    let degs =
+      List.filter_map
+        (function
+          | (member, _, Error e) ->
+            Obs_metrics.incr degradations_c;
+            Some { from_alg = member; to_alg = Some winner_alg; error = e }
+          | _ -> None)
+        attempts
+    in
+    if Flight.enabled () then
+      Flight.record
+        (Flight.Portfolio_winner
+           { winner = winner_name;
+             losers =
+               List.filter_map
+                 (fun (m, _, _) ->
+                   if m = winner_alg then None else Some (algorithm_name m))
+                 attempts;
+             wall_ms = (Clock.now_s () -. t0) *. 1000.0 });
+    Ok { winner_run with degradations = degs; portfolio = entries }
+
+let run_benchmark_portfolio ?params ?budget spec =
+  match
+    Verrors.guard ~stage:"flow.synthesize" (fun () ->
+        Repro_cts.Benchmarks.synthesize spec)
+  with
+  | Error e -> Error (e, [])
+  | Ok tree ->
+    run_prepared_portfolio ?budget
+      (prepare ?params ~name:spec.Repro_cts.Benchmarks.name tree)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started re-solves                                              *)
+
+let warm_starts_c = Obs_metrics.counter "flow.warm_starts"
+
+let resolve_warm ?budget p ~previous =
+  let attempt =
+    Verrors.guard ~stage:"flow.resolve_warm" (fun () ->
+        let solve () =
+          let ctx = prepared_context p in
+          let outcome, stats =
+            Clk_sa.optimize_stats ~config:Clk_sa.warm_config ~warm:previous
+              ctx
+          in
+          if Flight.enabled () then
+            Flight.record
+              (Flight.Warm_start
+                 { benchmark = p.prep_name;
+                   moves = stats.Clk_sa.proposed;
+                   objective = outcome.Context.predicted_peak_ua });
+          Obs_metrics.incr warm_starts_c;
+          ( outcome.Context.assignment,
+            outcome.Context.predicted_peak_ua,
+            outcome.Context.approximate,
+            Some stats )
+        in
+        match budget with
+        | Some b ->
+          Budget.with_current b (fun () ->
+              run_prepared_with p ~algorithm:Sa ~solve)
+        | None -> run_prepared_with p ~algorithm:Sa ~solve)
+  in
+  match attempt with
+  | Ok run -> Ok run
+  | Error e ->
+    (* The quench failed (tripped budget, injected fault): fall through
+       to the cold robust chain, recording the abandoned warm start. *)
+    Log.warn (fun m ->
+        m "%s: warm start failed (%s); cold solve" p.prep_name
+          (Verrors.code_name e.Verrors.code));
+    let deg = { from_alg = Sa; to_alg = Some Sa; error = e } in
+    (match run_prepared_robust ?budget p Sa with
+    | Ok run -> Ok { run with degradations = deg :: run.degradations }
+    | Error (e', degs) -> Error (e', deg :: degs))
 
 let improvement_pct ~baseline ~value =
   if baseline = 0.0 then 0.0 else (baseline -. value) /. baseline *. 100.0

@@ -2,11 +2,20 @@
     algorithm, evaluate with the golden evaluator — the machinery behind
     Tables V and VI. *)
 
-type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast
+type algorithm = Initial | Peakmin | Wavemin | Wavemin_fast | Sa
 (** [Initial] evaluates the unmodified CTS tree (all leaves at the
-    default buffer) as a reference point. *)
+    default buffer) as a reference point; [Sa] is the simulated-
+    annealing solver {!Clk_sa} (ClkSA). *)
 
 val algorithm_name : algorithm -> string
+
+val solver_names : (string * algorithm) list
+(** The CLI/protocol solver vocabulary: initial, peakmin, wavemin,
+    wavemin-f, sa. *)
+
+val solver_of_name : string -> (algorithm, Repro_util.Verrors.t) result
+(** Case-insensitive lookup in {!solver_names}; unknown names return a
+    structured [Invalid_params] error naming the valid solvers. *)
 
 type degradation = {
   from_alg : algorithm;  (** The attempt that failed. *)
@@ -16,6 +25,15 @@ type degradation = {
 }
 (** One link of the fallback chain ClkWaveMin → ClkWaveMin-f →
     ClkPeakMin → Initial taken by {!run_tree_robust}. *)
+
+type portfolio_entry = {
+  member : algorithm;
+  won : bool;
+  wall_s : float;  (** This member's attempt wall time. *)
+  peak_ma : float option;  (** Golden peak; [None] when it failed. *)
+  failure : Repro_util.Verrors.t option;
+}
+(** One member's result in a {!run_prepared_portfolio} race. *)
 
 type run = {
   benchmark : string;
@@ -40,6 +58,12 @@ type run = {
           Empty for {!run_tree}/{!run_benchmark} and for robust runs
           whose first attempt succeeded; when non-empty, [algorithm] is
           the member of the chain that actually produced the result. *)
+  sa : Clk_sa.stats option;
+      (** The annealer's move counters — [Some] exactly when [algorithm]
+          is [Sa] (including warm starts). *)
+  portfolio : portfolio_entry list;
+      (** Per-member results when this run came from
+          {!run_prepared_portfolio}; empty otherwise. *)
 }
 
 val leaf_library : unit -> Repro_cell.Cell.t list
@@ -140,6 +164,54 @@ val run_benchmark_robust :
   algorithm ->
   (run, Repro_util.Verrors.t * degradation list) result
 (** Synthesize (failures captured as [Error]) then {!run_tree_robust}. *)
+
+(** {1 Solver portfolio}
+
+    The portfolio races ClkWaveMin, ClkWaveMin-f and ClkSA sequentially
+    under ONE shared budget and returns the member with the lowest
+    golden peak current ([best-under-budget]; ties go to the earlier,
+    more deterministic member).  A member that exhausts the shared
+    budget leaves the rest to trip instantly — only results banked
+    within the budget compete.  Losing and failed members are recorded
+    in [run.portfolio]; failures additionally appear as
+    degradation-style annotations and a [Portfolio_winner] flight event
+    closes the race. *)
+
+val portfolio_members : algorithm list
+(** [Wavemin; Wavemin_fast; Sa], the fixed race order. *)
+
+val run_prepared_portfolio :
+  ?budget:Repro_obs.Budget.t ->
+  prepared ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** Race the portfolio over a prepared benchmark.  When every member
+    fails, the reference [Initial] assignment is returned with the
+    failures attached (mirroring the robust chain's last resort);
+    [Error] only when even that is impossible. *)
+
+val run_benchmark_portfolio :
+  ?params:Context.params ->
+  ?budget:Repro_obs.Budget.t ->
+  Repro_cts.Benchmarks.spec ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** Synthesize (failures captured as [Error]) then
+    {!run_prepared_portfolio}. *)
+
+(** {1 Warm-started re-solves} *)
+
+val resolve_warm :
+  ?budget:Repro_obs.Budget.t ->
+  prepared ->
+  previous:Repro_clocktree.Assignment.t ->
+  (run, Repro_util.Verrors.t * degradation list) result
+(** Re-solve by annealing from [previous] (a cached assignment for the
+    same tree under nearby parameters) with the low-temperature quench
+    schedule ({!Clk_sa.warm_config}) instead of solving cold — the ECO
+    path behind the server's warm-start cache.  Counted in the
+    [flow.warm_starts] metric and flight-recorded as a [Warm_start]
+    event.  If the quench itself fails, falls back to the cold robust
+    [Sa] chain with the abandoned warm start recorded as a
+    degradation. *)
 
 val improvement_pct : baseline:float -> value:float -> float
 (** [(baseline - value) / baseline * 100] — the paper's improvement

@@ -49,12 +49,13 @@ let for_tree ?(params = Context.default_params) ~name tree ~algorithms =
         (* Re-derive the assignment for the power columns. *)
         match algo with
         | Flow.Initial -> Assignment.default tree ~num_modes:1
-        | Flow.Peakmin | Flow.Wavemin | Flow.Wavemin_fast ->
+        | Flow.Peakmin | Flow.Wavemin | Flow.Wavemin_fast | Flow.Sa ->
           let ctx = Context.create ~params ~env tree ~cells:(Flow.leaf_library ()) in
           (match algo with
           | Flow.Peakmin -> (Clk_peakmin.optimize ctx).Context.assignment
           | Flow.Wavemin -> (Clk_wavemin.optimize ctx).Context.assignment
           | Flow.Wavemin_fast -> (Clk_wavemin_f.optimize ctx).Context.assignment
+          | Flow.Sa -> (Clk_sa.optimize ctx).Context.assignment
           | Flow.Initial -> assert false)
       in
       let p = Power.analyze tree asg env in

@@ -64,6 +64,9 @@ let render doc =
       let budget_trips = ref [] in
       let cache_counts = Hashtbl.create 8 in (* (cache, outcome) -> count *)
       let contention = Hashtbl.create 8 in (* resource -> (count, total_ms) *)
+      (* zone -> (stages, proposed, accepted, last objective) *)
+      let sa = Hashtbl.create 16 in
+      let sa_order = ref [] in
       let unknown = Hashtbl.create 4 in
       List.iter
         (fun e ->
@@ -142,6 +145,39 @@ let render doc =
               Option.value ~default:(0, 0.0) (Hashtbl.find_opt contention r)
             in
             Hashtbl.replace contention r (c + 1, total +. num_or 0.0 "wait_ms" e)
+          | "sa-move" ->
+            let zone = int_or 0 "zone" e in
+            if not (Hashtbl.mem sa zone) then sa_order := zone :: !sa_order;
+            let stages, proposed, accepted, _ =
+              Option.value ~default:(0, 0, 0, 0.0) (Hashtbl.find_opt sa zone)
+            in
+            Hashtbl.replace sa zone
+              ( stages + 1,
+                proposed + int_or 0 "proposed" e,
+                accepted + int_or 0 "accepted" e,
+                num_or 0.0 "objective" e )
+          | "sa-restart" ->
+            tl "  %8.1f ms  annealer: zone %d restart %d (objective %.1f uA)\n"
+              t_ms (int_or 0 "zone" e) (int_or 0 "restart" e)
+              (num_or 0.0 "objective" e)
+          | "portfolio-winner" ->
+            let losers =
+              match Option.bind (Json.member "losers" e) Json.list_value with
+              | None -> ""
+              | Some [] -> ""
+              | Some ls ->
+                Printf.sprintf " over %s"
+                  (String.concat ", "
+                     (List.filter_map Json.string_value ls))
+            in
+            tl "  %8.1f ms  portfolio: %s wins%s after %.1f ms\n" t_ms
+              (str_or "?" "winner" e) losers (num_or 0.0 "wall_ms" e)
+          | "warm-start" ->
+            tl "  %8.1f ms  %s: warm start (%d polish moves, objective \
+                %.1f uA)\n"
+              t_ms
+              (str_or "?" "benchmark" e)
+              (int_or 0 "moves" e) (num_or 0.0 "objective" e)
           | "note" ->
             (* Attrs ride as flat string fields next to the envelope
                keys; render every one so server notes (executor-stalled,
@@ -269,6 +305,22 @@ let render doc =
         |> List.sort compare
         |> List.iter (fun ((cache, outcome), n) ->
                pr "  %-12s %-8s %d\n" cache outcome n)
+      end;
+
+      if Hashtbl.length sa > 0 then begin
+        pr "\nannealer (per zone):\n";
+        List.iter
+          (fun zone ->
+            let stages, proposed, accepted, objective =
+              Hashtbl.find sa zone
+            in
+            pr "  zone %-4d %d stages, %d proposed, %d accepted (%.0f%%), \
+                objective %.1f uA\n"
+              zone stages proposed accepted
+              (if proposed = 0 then 0.0
+               else 100.0 *. float_of_int accepted /. float_of_int proposed)
+              objective)
+          (List.rev !sa_order)
       end;
 
       if Hashtbl.length contention > 0 then begin

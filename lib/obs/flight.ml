@@ -41,6 +41,21 @@ type kind =
   | Budget_trip of { reason : string; labels_used : int }
   | Cache of { cache : string; outcome : string; key : string }
   | Contention of { resource : string; wait_ms : float }
+  | Sa_move of {
+      zone : int;
+      stage : int;
+      temperature : float;
+      proposed : int;
+      accepted : int;
+      objective : float;
+    }
+  | Sa_restart of { zone : int; restart : int; objective : float }
+  | Portfolio_winner of {
+      winner : string;
+      losers : string list;
+      wall_ms : float;
+    }
+  | Warm_start of { benchmark : string; moves : int; objective : float }
   | Note of { name : string; attrs : (string * string) list }
 
 type event = { seq : int; t_ns : int64; domain : int; kind : kind }
@@ -111,6 +126,10 @@ let kind_name = function
   | Budget_trip _ -> "budget-trip"
   | Cache _ -> "cache"
   | Contention _ -> "contention"
+  | Sa_move _ -> "sa-move"
+  | Sa_restart _ -> "sa-restart"
+  | Portfolio_winner _ -> "portfolio-winner"
+  | Warm_start _ -> "warm-start"
   | Note _ -> "note"
 
 let num_i i = Json.Num (float_of_int i)
@@ -160,6 +179,25 @@ let kind_fields = function
       ("key", Json.Str key) ]
   | Contention { resource; wait_ms } ->
     [ ("resource", Json.Str resource); ("wait_ms", Json.Num wait_ms) ]
+  | Sa_move { zone; stage; temperature; proposed; accepted; objective } ->
+    [ ("zone", num_i zone);
+      ("stage", num_i stage);
+      ("temperature", Json.Num temperature);
+      ("proposed", num_i proposed);
+      ("accepted", num_i accepted);
+      ("objective", Json.Num objective) ]
+  | Sa_restart { zone; restart; objective } ->
+    [ ("zone", num_i zone);
+      ("restart", num_i restart);
+      ("objective", Json.Num objective) ]
+  | Portfolio_winner { winner; losers; wall_ms } ->
+    [ ("winner", Json.Str winner);
+      ("losers", Json.List (List.map (fun l -> Json.Str l) losers));
+      ("wall_ms", Json.Num wall_ms) ]
+  | Warm_start { benchmark; moves; objective } ->
+    [ ("benchmark", Json.Str benchmark);
+      ("moves", num_i moves);
+      ("objective", Json.Num objective) ]
   | Note { name; attrs } ->
     ("name", Json.Str name)
     :: List.map (fun (k, v) -> (k, Json.Str v)) attrs

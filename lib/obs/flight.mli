@@ -63,6 +63,29 @@ type kind =
   | Budget_trip of { reason : string; labels_used : int }
   | Cache of { cache : string; outcome : string; key : string }
   | Contention of { resource : string; wait_ms : float }
+  | Sa_move of {
+      zone : int;
+      stage : int;  (** 1-based within the current (re)start. *)
+      temperature : float;
+      proposed : int;  (** Proposals this stage. *)
+      accepted : int;
+      objective : float;  (** Zone objective after the stage; uA. *)
+    }  (** One annealing stage summary (per zone). *)
+  | Sa_restart of {
+      zone : int;
+      restart : int;  (** 1-based restart ordinal. *)
+      objective : float;  (** Objective of the reheated best state. *)
+    }
+  | Portfolio_winner of {
+      winner : string;  (** Winning algorithm name. *)
+      losers : string list;  (** The beaten (or failed) members. *)
+      wall_ms : float;  (** Total portfolio wall time. *)
+    }
+  | Warm_start of {
+      benchmark : string;
+      moves : int;  (** Proposals spent polishing the cached solution. *)
+      objective : float;  (** Final predicted peak; uA. *)
+    }  (** A solve that annealed from a cached assignment. *)
   | Note of { name : string; attrs : (string * string) list }
 
 type event = {

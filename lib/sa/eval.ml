@@ -1,0 +1,124 @@
+type problem = {
+  rows : float array array array;
+  base : float array;
+  avail : bool array array;
+}
+
+type pending = { sites : int array; cands : int array; objective : float }
+
+type t = {
+  prob : problem;
+  choices : int array;
+  mutable acc : float array;  (* committed per-slot sum, base included *)
+  mutable scratch : float array;  (* proposal buffer, valid iff pending *)
+  mutable obj : float;
+  mutable pending : pending option;
+  mutable commits : int;
+  refresh_every : int;
+}
+
+let num_sites t = Array.length t.choices
+let num_slots t = Array.length t.prob.base
+let choice t s = t.choices.(s)
+let choices t = Array.copy t.choices
+let objective t = t.obj
+
+let check_choice prob ~stage s c =
+  if s < 0 || s >= Array.length prob.rows then
+    invalid_arg (stage ^ ": site out of range");
+  if c < 0 || c >= Array.length prob.rows.(s) then
+    invalid_arg (stage ^ ": candidate out of range");
+  if not prob.avail.(s).(c) then
+    invalid_arg (stage ^ ": candidate not available")
+
+(* Exact re-sum into [into]; returns the objective (>= 0, matching
+   Noise_table.zone_objective's fold over a non-negative floor). *)
+let recompute_into prob choices ~into =
+  let slots = Array.length prob.base in
+  Array.blit prob.base 0 into 0 slots;
+  Array.iteri
+    (fun s c ->
+      let row = prob.rows.(s).(c) in
+      for k = 0 to slots - 1 do
+        into.(k) <- into.(k) +. row.(k)
+      done)
+    choices;
+  Array.fold_left Float.max 0.0 into
+
+let create ?(refresh_every = 1024) prob ~init =
+  if refresh_every < 1 then invalid_arg "Eval.create: refresh_every < 1";
+  let n = Array.length prob.rows in
+  if Array.length prob.avail <> n || Array.length init <> n then
+    invalid_arg "Eval.create: arity mismatch";
+  Array.iteri (fun s c -> check_choice prob ~stage:"Eval.create" s c) init;
+  Array.iteri
+    (fun s row ->
+      ignore s;
+      Array.iter
+        (fun r ->
+          if Array.length r <> Array.length prob.base then
+            invalid_arg "Eval.create: slot arity mismatch")
+        row)
+    prob.rows;
+  let slots = Array.length prob.base in
+  let acc = Array.make slots 0.0 in
+  let obj = recompute_into prob init ~into:acc in
+  {
+    prob;
+    choices = Array.copy init;
+    acc;
+    scratch = Array.make slots 0.0;
+    obj;
+    pending = None;
+    commits = 0;
+    refresh_every;
+  }
+
+let propose t moves =
+  let slots = num_slots t in
+  let k = Array.length moves in
+  (* scratch := acc, then apply each move's row delta in place. *)
+  Array.blit t.acc 0 t.scratch 0 slots;
+  for i = 0 to k - 1 do
+    let s, c = moves.(i) in
+    check_choice t.prob ~stage:"Eval.propose" s c;
+    for j = 0 to i - 1 do
+      if fst moves.(j) = s then invalid_arg "Eval.propose: repeated site"
+    done;
+    let old_row = t.prob.rows.(s).(t.choices.(s)) in
+    let new_row = t.prob.rows.(s).(c) in
+    let scratch = t.scratch in
+    for slot = 0 to slots - 1 do
+      scratch.(slot) <- scratch.(slot) -. old_row.(slot) +. new_row.(slot)
+    done
+  done;
+  let obj = Array.fold_left Float.max 0.0 t.scratch in
+  t.pending <-
+    Some
+      {
+        sites = Array.map fst moves;
+        cands = Array.map snd moves;
+        objective = obj;
+      };
+  obj
+
+let recompute t =
+  t.pending <- None;
+  t.obj <- recompute_into t.prob t.choices ~into:t.acc;
+  t.obj
+
+let commit t =
+  match t.pending with
+  | None -> invalid_arg "Eval.commit: no pending proposal"
+  | Some p ->
+    Array.iteri (fun i s -> t.choices.(s) <- p.cands.(i)) p.sites;
+    (* O(1) apply: the scratch buffer already holds the new sums. *)
+    let acc = t.acc in
+    t.acc <- t.scratch;
+    t.scratch <- acc;
+    t.obj <- p.objective;
+    t.pending <- None;
+    t.commits <- t.commits + 1;
+    if t.commits mod t.refresh_every = 0 then ignore (recompute t)
+
+let discard t = t.pending <- None

@@ -1,0 +1,47 @@
+type t = {
+  init_temp : float;
+  target_accept : float;
+  max_dist : int;
+  mutable temp : float;
+  mutable dist : float;  (* kept as float so small adjustments compound *)
+}
+
+let create ?(target_accept = 0.44) ~init_temp ~max_dist () =
+  if init_temp <= 0.0 then invalid_arg "Schedule.create: init_temp <= 0";
+  if max_dist < 1 then invalid_arg "Schedule.create: max_dist < 1";
+  {
+    init_temp;
+    target_accept;
+    max_dist;
+    temp = init_temp;
+    dist = float_of_int max_dist;
+  }
+
+let temperature t = t.temp
+
+let distance t =
+  let d = int_of_float (Float.round t.dist) in
+  Stdlib.max 1 (Stdlib.min t.max_dist d)
+
+(* TimberWolf cooling: slow (0.95) in the productive mid-range, fast at
+   the hot (everything accepted, nothing learned) and frozen ends. *)
+let alpha rate =
+  if rate > 0.96 then 0.5
+  else if rate > 0.8 then 0.9
+  else if rate > 0.15 then 0.95
+  else 0.8
+
+let update t ~accept_rate =
+  t.temp <- t.temp *. alpha accept_rate;
+  (* Move the neighbourhood radius toward the target accept rate:
+     too many rejections -> smaller, safer steps; free acceptance ->
+     widen the search. *)
+  let adj = 1.0 +. ((accept_rate -. t.target_accept) /. 2.0) in
+  t.dist <-
+    Float.max 1.0 (Float.min (float_of_int t.max_dist) (t.dist *. adj))
+
+let frozen t ~min_ratio = t.temp < t.init_temp *. min_ratio
+
+let reheat t ~factor =
+  t.temp <- t.init_temp *. factor;
+  t.dist <- float_of_int t.max_dist

@@ -1,0 +1,31 @@
+(** Adaptive annealing schedules.
+
+    Temperature follows the classic accept-rate-driven cooling of
+    TimberWolf-style placers: cool slowly in the mid-range where the
+    search does useful work, fast when nearly everything (or nearly
+    nothing) is accepted.  The move-distance limit — how far a resize
+    move may travel along a site's size-ordered candidate list — adapts
+    toward a target accept rate: shrink the neighbourhood when too many
+    moves are rejected, widen it when the search accepts freely. *)
+
+type t
+
+val create : ?target_accept:float -> init_temp:float -> max_dist:int -> unit -> t
+(** [target_accept] defaults to 0.44 (the Lam/Delosme sweet spot);
+    [max_dist] is the widest candidate-index distance a resize may use.
+    @raise Invalid_argument on a non-positive temperature or distance. *)
+
+val temperature : t -> float
+val distance : t -> int
+
+val update : t -> accept_rate:float -> unit
+(** End-of-stage update: cool the temperature (rate-dependent alpha) and
+    adapt the distance limit toward the target accept rate. *)
+
+val frozen : t -> min_ratio:float -> bool
+(** The temperature has cooled below [min_ratio] x the initial
+    temperature. *)
+
+val reheat : t -> factor:float -> unit
+(** Restart support: reset the temperature to [factor] x the initial
+    temperature and the distance limit to its maximum. *)

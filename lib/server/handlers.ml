@@ -64,7 +64,12 @@ let run_json (r : Flow.run) =
    content hash.  Threaded as a mutable record precisely so nothing
    about it can leak into the response body — responses stay
    byte-identical with or without a [meta] attached. *)
-type cache_outcome = Cache_hit | Cache_miss | Cache_coalesced | Cache_none
+type cache_outcome =
+  | Cache_hit
+  | Cache_miss
+  | Cache_coalesced
+  | Cache_warm
+  | Cache_none
 
 type meta = {
   mutable cache : cache_outcome;
@@ -77,6 +82,7 @@ let cache_outcome_name = function
   | Cache_hit -> "hit"
   | Cache_miss -> "miss"
   | Cache_coalesced -> "coalesced"
+  | Cache_warm -> "warm"
   | Cache_none -> "none"
 
 let prepared ?meta session (o : P.solve_opts) ~stage =
@@ -97,13 +103,39 @@ let prepared ?meta session (o : P.solve_opts) ~stage =
       | Error _ -> ()));
     result
 
-let handle_run ?meta ?deadline_ns session (o : P.solve_opts) algorithm =
+let handle_run ?meta ?deadline_ns session (o : P.solve_opts) algorithm ~warm =
   match prepared ?meta session o ~stage:"server.run" with
   | Error e -> Error (e, [])
-  | Ok (prep, _) -> (
-    match
-      Flow.run_prepared_robust ?budget:(budget_of ?deadline_ns o) prep algorithm
-    with
+  | Ok (prep, _) ->
+    let budget = budget_of ?deadline_ns o in
+    (* The base key (tree + library, params excluded) indexes the
+       warm-start store: [find_spec] cannot fail here because
+       [prepared] already resolved the same name. *)
+    let base =
+      match find_spec ~stage:"server.run" o.P.benchmark with
+      | Ok spec -> Some (Session.base_key ~spec ~library:o.P.library)
+      | Error _ -> None
+    in
+    let result =
+      match (warm, algorithm, base) with
+      | true, Flow.Sa, Some base -> (
+        match Session.warm_hint session ~base with
+        | Some (_prev_params, previous) ->
+          (match meta with
+          | None -> ()
+          | Some m -> m.cache <- Cache_warm);
+          Flow.resolve_warm ?budget prep ~previous
+        | None -> Flow.run_prepared_robust ?budget prep algorithm)
+      | _ -> Flow.run_prepared_robust ?budget prep algorithm
+    in
+    (* Bank any real solver's solution (the Initial reference is just
+       the default assignment — nothing worth quenching from). *)
+    (match (result, base) with
+    | Ok r, Some base when r.Flow.algorithm <> Flow.Initial ->
+      Session.remember_warm session ~base ~params:(params_of o)
+        r.Flow.assignment
+    | _ -> ());
+    (match result with
     | Ok r -> Ok (run_json r)
     | Error (e, degs) -> Error (e, degs))
 
@@ -209,8 +241,8 @@ let handle_montecarlo ?meta ?deadline_ns session (o : P.solve_opts) ~instances =
                  Json.List (List.map degradation_json r.Flow.degradations) ) ])))
 
 let execute ?meta ?deadline_ns session = function
-  | P.Run { opts; algorithm } ->
-    handle_run ?meta ?deadline_ns session opts algorithm
+  | P.Run { opts; algorithm; warm } ->
+    handle_run ?meta ?deadline_ns session opts algorithm ~warm
   | P.Compare opts -> handle_compare ?meta ?deadline_ns session opts
   | P.Validate { opts; all } -> handle_validate session opts ~all
   | P.Montecarlo { opts; instances } ->

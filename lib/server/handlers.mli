@@ -19,6 +19,10 @@ type cache_outcome =
   | Cache_coalesced
       (** Answered from another request's in-flight solve (single-flight
           follower); set by the server, never by {!execute}. *)
+  | Cache_warm
+      (** A warm-opted [Sa] run found a banked assignment for the same
+          tree and library and re-solved by annealer quench
+          ({!Repro_core.Flow.resolve_warm}) instead of solving cold. *)
   | Cache_none  (** No session-cache lookup happened (e.g. [validate]). *)
 
 type meta = {

@@ -35,10 +35,10 @@ type config = {
 let default_profile ~benchmark =
   let opts = P.default_opts ~benchmark in
   [ ({ k_name = "run-initial";
-       k_request = P.Run { opts; algorithm = Repro_core.Flow.Initial } },
+       k_request = P.Run { opts; algorithm = Repro_core.Flow.Initial; warm = false } },
      3);
     ({ k_name = "run-wavemin";
-       k_request = P.Run { opts; algorithm = Repro_core.Flow.Wavemin } },
+       k_request = P.Run { opts; algorithm = Repro_core.Flow.Wavemin; warm = false } },
      1);
     ({ k_name = "validate";
        k_request = P.Validate { opts; all = false } },
@@ -63,7 +63,7 @@ let dup_profile ~benchmark ~fraction =
   let opts = { (P.default_opts ~benchmark) with P.kappa = 25.0 } in
   default_profile ~benchmark
   @ [ ({ k_name = "dup-wavemin";
-         k_request = P.Run { opts; algorithm = Repro_core.Flow.Wavemin } },
+         k_request = P.Run { opts; algorithm = Repro_core.Flow.Wavemin; warm = false } },
        weight) ]
 
 (* The server's lifetime coalesce counter, via one extra stats probe —

@@ -18,7 +18,7 @@ let default_opts ~benchmark =
 type metrics_format = Text | Json_snapshot
 
 type request =
-  | Run of { opts : solve_opts; algorithm : Flow.algorithm }
+  | Run of { opts : solve_opts; algorithm : Flow.algorithm; warm : bool }
   | Compare of solve_opts
   | Validate of { opts : solve_opts; all : bool }
   | Montecarlo of { opts : solve_opts; instances : int }
@@ -43,9 +43,7 @@ let is_control = function
   | Stats | Metrics _ | Health | Flight | Shutdown -> true
   | Run _ | Compare _ | Validate _ | Montecarlo _ -> false
 
-let algorithms =
-  [ ("initial", Flow.Initial); ("peakmin", Flow.Peakmin);
-    ("wavemin", Flow.Wavemin); ("wavemin-f", Flow.Wavemin_fast) ]
+let algorithms = Flow.solver_names
 
 let algorithm_of_name n = List.assoc_opt n algorithms
 
@@ -118,7 +116,8 @@ let request_of_json doc =
         perr ~subject:"algo" "unknown algorithm %S (expected %s)" name
           (String.concat ", " (List.map fst algorithms))
     in
-    Ok (Run { opts; algorithm })
+    let* warm = field doc "warm" Json.bool_value ~default:false in
+    Ok (Run { opts; algorithm; warm })
   | "compare" ->
     let* opts = solve_opts_of doc in
     Ok (Compare opts)
@@ -185,8 +184,13 @@ let opts_fields o =
 let request_to_json ?deadline_ms ~id req =
   let body =
     match req with
-    | Run { opts; algorithm } ->
-      opts_fields opts @ [ ("algo", Json.Str (algorithm_name algorithm)) ]
+    | Run { opts; algorithm; warm } ->
+      opts_fields opts
+      @ [ ("algo", Json.Str (algorithm_name algorithm)) ]
+      (* Rendered only when set, so pre-warm request bytes (and their
+         canonical keys) are unchanged; a warm run deliberately does
+         NOT coalesce with its cold twin — their ECO paths differ. *)
+      @ (if warm then [ ("warm", Json.Bool true) ] else [])
     | Compare opts -> opts_fields opts
     | Validate { opts; all } ->
       (if all then [ ("all", Json.Bool true) ] else []) @ opts_fields opts

@@ -38,7 +38,13 @@ type metrics_format =
   | Json_snapshot  (** {!Repro_obs.Metrics.to_json} snapshot. *)
 
 type request =
-  | Run of { opts : solve_opts; algorithm : Flow.algorithm }
+  | Run of { opts : solve_opts; algorithm : Flow.algorithm; warm : bool }
+      (** [warm] (wire field ["warm"], default [false]) opts a
+          [Sa] run into the warm-start ECO path: when the session holds
+          a previous assignment for the same tree and library, the
+          annealer quenches from it instead of solving cold.  Only
+          rendered on the wire when [true], so pre-warm request bytes
+          and canonical keys are unchanged. *)
   | Compare of solve_opts  (** All four algorithms on one benchmark. *)
   | Validate of { opts : solve_opts; all : bool }
       (** Preflight one benchmark, or the whole suite with [all]. *)
@@ -65,7 +71,8 @@ val is_control : request -> bool
 
 val algorithm_of_name : string -> Flow.algorithm option
 (** CLI spellings: ["initial"], ["peakmin"], ["wavemin"],
-    ["wavemin-f"]. *)
+    ["wavemin-f"], ["sa"] (the {!Repro_core.Flow.solver_names}
+    vocabulary). *)
 
 val algorithm_name : Flow.algorithm -> string
 

@@ -298,6 +298,13 @@ let stats_json t =
             ("hits", Json.Num (float_of_int cache.Session.hits));
             ("misses", Json.Num (float_of_int cache.Session.misses));
             ("evictions", Json.Num (float_of_int cache.Session.evictions));
+            ( "warm",
+              Json.Obj
+                [ ( "entries",
+                    Json.Num (float_of_int cache.Session.warm_entries) );
+                  ("hits", Json.Num (float_of_int cache.Session.warm_hits));
+                  ( "stores",
+                    Json.Num (float_of_int cache.Session.warm_stores) ) ] );
             ( "keys",
               Json.List (List.map (fun k -> Json.Str k) cache.Session.entries) ) ] );
       ("latency_ms", histogram_json latency_h);

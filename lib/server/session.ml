@@ -11,6 +11,8 @@ module Obs_clock = Repro_obs.Clock
 let hits_c = Metrics.counter "server.cache_hits"
 let misses_c = Metrics.counter "server.cache_misses"
 let evictions_c = Metrics.counter "server.cache_evictions"
+let warm_hits_c = Metrics.counter "server.warm_hits"
+let warm_stores_c = Metrics.counter "server.warm_stores"
 
 (* One lock-striped shard of the prepared-benchmark cache.  Hot keys on
    different shards no longer serialize on a single mutex when several
@@ -24,6 +26,14 @@ type t = {
   libraries : Repro_cell.Cell.t list Lru.t;  (* parsed, by text digest *)
   hits : int Atomic.t;
   misses : int Atomic.t;
+  (* Warm-start store: base key (tree + library, params excluded) to
+     the most recent solved assignment and the params it was solved
+     under.  A near-miss — same tree, different kappa/slots — becomes
+     an annealer quench seed instead of a cold solve. *)
+  warm_mutex : Mutex.t;
+  warm : (Repro_core.Context.params * Repro_clocktree.Assignment.t) Lru.t;
+  warm_hits : int Atomic.t;
+  warm_stores : int Atomic.t;
 }
 
 (* Largest power of two that still gives every shard at least one
@@ -49,6 +59,10 @@ let create ?(capacity = 8) ?(shards = 4) () =
     libraries = Lru.create ~capacity:(max 4 capacity);
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    warm_mutex = Mutex.create ();
+    warm = Lru.create ~capacity:(max 4 capacity);
+    warm_hits = Atomic.make 0;
+    warm_stores = Atomic.make 0;
   }
 
 let shard_count t = Array.length t.shards
@@ -118,6 +132,53 @@ let key ~spec ~params ~library =
       | None -> Lazy.force builtin_library_text) ];
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* The warm-start base key deliberately EXCLUDES the solver params: a
+   repeat request for the same synthesized tree under a nearby kappa or
+   slot count is exactly the near-miss the ECO quench is for. *)
+let base_key ~spec ~library =
+  let b = Buffer.create 128 in
+  Buffer.add_string b spec.Benchmarks.name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b
+    (match spec.Benchmarks.family with
+    | Benchmarks.Iscas89 -> "iscas89"
+    | Benchmarks.Ispd09 -> "ispd09");
+  List.iter
+    (fun s ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b s)
+    [ string_of_int spec.Benchmarks.num_nodes;
+      string_of_int spec.Benchmarks.num_leaves;
+      fl spec.Benchmarks.die_side;
+      string_of_int spec.Benchmarks.clusters;
+      string_of_int spec.Benchmarks.seed;
+      (match library with
+      | Some text -> text
+      | None -> Lazy.force builtin_library_text) ];
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let warm_hint t ~base =
+  match
+    with_lock ~resource:"session.warm" t.warm_mutex (fun () ->
+        Lru.find t.warm base)
+  with
+  | Some entry ->
+    Atomic.incr t.warm_hits;
+    Metrics.incr warm_hits_c;
+    Flight.record
+      (Flight.Cache { cache = "warm"; outcome = "hit"; key = base });
+    Some entry
+  | None ->
+    Flight.record
+      (Flight.Cache { cache = "warm"; outcome = "miss"; key = base });
+    None
+
+let remember_warm t ~base ~params assignment =
+  Atomic.incr t.warm_stores;
+  Metrics.incr warm_stores_c;
+  with_lock ~resource:"session.warm" t.warm_mutex (fun () ->
+      ignore (Lru.add t.warm base (params, assignment)))
+
 let cells_of t = function
   | None -> Ok (Flow.leaf_library ())
   | Some text -> (
@@ -184,6 +245,9 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  warm_entries : int;
+  warm_hits : int;
+  warm_stores : int;
 }
 
 let stats (t : t) =
@@ -206,4 +270,9 @@ let stats (t : t) =
     hits = Atomic.get t.hits;
     misses = Atomic.get t.misses;
     evictions = Array.fold_left (fun acc (_, _, e) -> acc + e) 0 per;
+    warm_entries =
+      with_lock ~resource:"session.warm" t.warm_mutex (fun () ->
+          List.length (Lru.keys t.warm));
+    warm_hits = Atomic.get t.warm_hits;
+    warm_stores = Atomic.get t.warm_stores;
   }

@@ -48,6 +48,31 @@ val key :
     built-in leaf library's serialized form, so swapping the default
     library in a future build also invalidates. *)
 
+val base_key :
+  spec:Repro_cts.Benchmarks.spec -> library:string option -> string
+(** The warm-start base key: like {!key} but with the solver params
+    deliberately excluded, so a repeat request for the same synthesized
+    tree under nearby parameters (a session-cache near-miss) still maps
+    to the previously banked assignment. *)
+
+val warm_hint :
+  t ->
+  base:string ->
+  (Repro_core.Context.params * Repro_clocktree.Assignment.t) option
+(** The most recent assignment banked under [base] (with the params it
+    was solved under), if any — the annealer's ECO quench seed.  Hits
+    are counted in the [server.warm_hits] metric and flight-recorded as
+    a ["warm"] cache event. *)
+
+val remember_warm :
+  t ->
+  base:string ->
+  params:Repro_core.Context.params ->
+  Repro_clocktree.Assignment.t ->
+  unit
+(** Bank a solved assignment for future warm starts (LRU, most recent
+    solution per base key wins).  Counted in [server.warm_stores]. *)
+
 val prepared :
   t ->
   spec:Repro_cts.Benchmarks.spec ->
@@ -72,6 +97,9 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;  (** Summed across shards. *)
+  warm_entries : int;  (** Banked warm-start assignments. *)
+  warm_hits : int;  (** Warm hints served ([server.warm_hits]). *)
+  warm_stores : int;  (** Assignments banked ([server.warm_stores]). *)
 }
 
 val stats : t -> stats

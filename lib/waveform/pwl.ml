@@ -138,6 +138,13 @@ let add_into ?(shift = 0.0) w ~times ~into =
     into.(i) <- into.(i) +. eval w (times.(i) -. shift)
   done
 
+let sub_into ?(shift = 0.0) w ~times ~into =
+  let n = Array.length times in
+  if Array.length into <> n then invalid_arg "Pwl.sub_into: length mismatch";
+  for i = 0 to n - 1 do
+    into.(i) <- into.(i) -. eval w (times.(i) -. shift)
+  done
+
 let peak2 a b =
   (* Peak of the pointwise sum without materializing [add a b]: walk the
      union of breakpoints with two cursors (the maximum of a PWL sum is

@@ -78,6 +78,15 @@ val add_into : ?shift:float -> t -> times:float array -> into:float array -> uni
     with zero intermediate waveform allocation.
     @raise Invalid_argument when lengths differ. *)
 
+val sub_into : ?shift:float -> t -> times:float array -> into:float array -> unit
+(** The inverse of {!add_into}:
+    [into.(i) <- into.(i) -. eval w (times.(i) -. shift)].  With
+    {!add_into} this is the delta-evaluation primitive of the annealer:
+    replacing one pulse in an accumulated waveform is one [sub_into] of
+    the old pulse plus one [add_into] of the new one — no re-sum of the
+    other contributors.
+    @raise Invalid_argument when lengths differ. *)
+
 val peak2 : t -> t -> float
 (** [peak2 a b = peak (add a b)] up to float associativity, computed by
     a two-cursor walk over the union of breakpoints — no merged waveform

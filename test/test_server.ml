@@ -264,7 +264,7 @@ let roundtrip req =
 let test_protocol_roundtrip () =
   let opts = Protocol.default_opts ~benchmark:"s15850" in
   List.iter roundtrip
-    [ Protocol.Run { opts; algorithm = Flow.Wavemin };
+    [ Protocol.Run { opts; algorithm = Flow.Wavemin; warm = false };
       Protocol.Run
         { opts =
             { opts with
@@ -272,7 +272,9 @@ let test_protocol_roundtrip () =
               budget_ms = Some 120.0;
               max_labels = Some 9;
               library = Some "cell INV_X1 { }" };
-          algorithm = Flow.Initial };
+          algorithm = Flow.Initial;
+          warm = false };
+      Protocol.Run { opts; algorithm = Flow.Sa; warm = true };
       Protocol.Compare opts;
       Protocol.Validate { opts; all = false };
       Protocol.Validate { opts; all = true };
@@ -436,6 +438,78 @@ let test_session_per_shard_eviction () =
   Alcotest.(check bool) "oldest same-shard key re-misses" true
     (lookup (List.hd same_shard) = `Miss)
 
+let test_session_warm_store () =
+  (* The warm-start base key excludes the solver params: an assignment
+     banked under one kappa is served as the hint for a nearby kappa,
+     while a different benchmark or library text keys separately. *)
+  let s = Session.create ~capacity:4 () in
+  let sp = spec "s15850" in
+  let base = Session.base_key ~spec:sp ~library:None in
+  Alcotest.(check bool) "params never enter the base key" true
+    (String.equal base (Session.base_key ~spec:sp ~library:None));
+  Alcotest.(check bool) "another benchmark keys separately" false
+    (String.equal base (Session.base_key ~spec:(spec "s13207") ~library:None));
+  Alcotest.(check bool) "library text keys separately" false
+    (String.equal base (Session.base_key ~spec:sp ~library:(Some "x")));
+  Alcotest.(check bool) "cold store has no hint" true
+    (Session.warm_hint s ~base = None);
+  let tree = Benchmarks.synthesize sp in
+  let asg = Repro_clocktree.Assignment.default tree ~num_modes:1 in
+  Session.remember_warm s ~base ~params asg;
+  (match Session.warm_hint s ~base with
+  | Some (p, a) ->
+    Alcotest.(check bool) "params round-trip" true (p = params);
+    Alcotest.(check bool) "assignment round-trips" true (a == asg)
+  | None -> Alcotest.fail "banked assignment not served");
+  let nearby = { params with Repro_core.Context.kappa = 30.0 } in
+  Session.remember_warm s ~base ~params:nearby asg;
+  (match Session.warm_hint s ~base with
+  | Some (p, _) ->
+    Alcotest.(check bool) "most recent solve wins" true (p = nearby)
+  | None -> Alcotest.fail "hint lost after re-bank");
+  let st = Session.stats s in
+  Alcotest.(check int) "warm entries" 1 st.Session.warm_entries;
+  Alcotest.(check int) "warm hits" 2 st.Session.warm_hits;
+  Alcotest.(check int) "warm stores" 2 st.Session.warm_stores
+
+let test_handlers_warm_run () =
+  (* A warm-opted SA run: the first solve is cold (no hint yet) and
+     banks its assignment; the second finds the hint, quenches from it,
+     and the access-log meta reports cache=warm.  The warm re-solve must
+     reach the same kappa-feasible quality regime. *)
+  let session = Session.create () in
+  let opts =
+    { (Protocol.default_opts ~benchmark:"s15850") with Protocol.kappa = 25.0 }
+  in
+  let run ?(warm = true) () =
+    let meta = Handlers.create_meta () in
+    let req = Protocol.Run { opts; algorithm = Flow.Sa; warm } in
+    match Handlers.execute ~meta session req with
+    | Ok body -> (meta, body)
+    | Error (e, _) -> Alcotest.fail (Verrors.to_string e)
+  in
+  let meta_cold, _body_cold = run () in
+  Alcotest.(check string) "first warm-opted run solves cold" "miss"
+    (Handlers.cache_outcome_name meta_cold.Handlers.cache);
+  Alcotest.(check int) "cold solve banked its assignment" 1
+    (Session.stats session).Session.warm_stores;
+  let meta_warm, body_warm = run () in
+  Alcotest.(check string) "second run quenches from the bank" "warm"
+    (Handlers.cache_outcome_name meta_warm.Handlers.cache);
+  (match Json.member "quality" body_warm with
+  | Some q -> (
+    match Option.bind (Json.member "skew_ps" q) Json.float_value with
+    | Some skew ->
+      Alcotest.(check bool) "warm re-solve respects kappa" true
+        (skew <= opts.Protocol.kappa +. 1e-6)
+    | None -> Alcotest.fail "warm response lacks skew_ps")
+  | None -> Alcotest.fail "warm response lacks quality");
+  (* A cold twin of the same request must not be influenced by the
+     bank: warm is strictly opt-in. *)
+  let meta_off, _ = run ~warm:false () in
+  Alcotest.(check string) "warm=false never quenches" "hit"
+    (Handlers.cache_outcome_name meta_off.Handlers.cache)
+
 (* ---- single-flight registry --------------------------------------- *)
 
 let test_sflight_lead_join_complete () =
@@ -547,7 +621,7 @@ let test_server_roundtrip () =
           let run =
             Protocol.Run
               { opts = Protocol.default_opts ~benchmark:"s15850";
-                algorithm = Flow.Initial }
+                algorithm = Flow.Initial; warm = false }
           in
           let cold = request_exn c run in
           Alcotest.(check bool) "run ok" true cold.Protocol.ok;
@@ -559,7 +633,7 @@ let test_server_roundtrip () =
             request_exn c
               (Protocol.Run
                  { opts = Protocol.default_opts ~benchmark:"nonesuch";
-                   algorithm = Flow.Initial })
+                   algorithm = Flow.Initial; warm = false })
           in
           Alcotest.(check bool) "unknown benchmark is an error" false
             bad.Protocol.ok;
@@ -609,7 +683,7 @@ let test_server_rejects_while_draining () =
           send_raw () fd
             (Protocol.Run
                { opts = Protocol.default_opts ~benchmark:"s15850";
-                 algorithm = Flow.Initial })
+                 algorithm = Flow.Initial; warm = false })
             ~id:1.0;
           (* The rejection is written inline by the reader and overtakes
              the queued montecarlo response. *)
@@ -658,7 +732,8 @@ let test_server_backpressure () =
               { opts =
                   { (Protocol.default_opts ~benchmark:"s15850") with
                     Protocol.kappa = 20.0 +. float_of_int i };
-                algorithm = Flow.Initial }
+                algorithm = Flow.Initial;
+                warm = false }
           in
           let burst = 8 in
           send_raw () fd slow ~id:0.0;
@@ -709,7 +784,7 @@ let test_server_coalescing () =
           let dup =
             Protocol.Run
               { opts = Protocol.default_opts ~benchmark:"s15850";
-                algorithm = Flow.Wavemin }
+                algorithm = Flow.Wavemin; warm = false }
           in
           for i = 1 to 3 do
             send_raw () fd dup ~id:(float_of_int i)
@@ -766,7 +841,7 @@ let test_server_telemetry () =
               let run =
                 Protocol.Run
                   { opts = Protocol.default_opts ~benchmark:"s15850";
-                    algorithm = Flow.Initial }
+                    algorithm = Flow.Initial; warm = false }
               in
               let cold = request_exn c run in
               let warm = request_exn c run in
@@ -947,7 +1022,7 @@ let test_server_survives_faults () =
                   in
                   let resp =
                     request_exn c
-                      (Protocol.Run { opts; algorithm = Flow.Wavemin })
+                      (Protocol.Run { opts; algorithm = Flow.Wavemin; warm = false })
                   in
                   (* Fallback chains may absorb the fault (ok response
                      with degradations); what is forbidden is a dead
@@ -961,7 +1036,7 @@ let test_server_survives_faults () =
                 request_exn c
                   (Protocol.Run
                      { opts = Protocol.default_opts ~benchmark:"s15850";
-                       algorithm = Flow.Initial })
+                       algorithm = Flow.Initial; warm = false })
               in
               Alcotest.(check bool)
                 (name ^ ": clean after clearing")
@@ -1016,7 +1091,7 @@ let test_deadline_flight_triage () =
           let dup =
             Protocol.Run
               { opts = Protocol.default_opts ~benchmark:"s15850";
-                algorithm = Flow.Wavemin }
+                algorithm = Flow.Wavemin; warm = false }
           in
           send_deadline fd dup ~id:1.0 ~deadline_ms:1.0;
           send_deadline fd dup ~id:2.0 ~deadline_ms:1.0;
@@ -1063,7 +1138,7 @@ let expired_never_executes =
         { (Protocol.default_opts ~benchmark:"s15850") with
           Protocol.kappa = 40.0 +. float_of_int salt }
       in
-      let req = Protocol.Run { opts; algorithm = Flow.Initial } in
+      let req = Protocol.Run { opts; algorithm = Flow.Initial; warm = false } in
       let deadline_ms = 0.5 +. float_of_int step in
       with_server ~executors:1 (fun address _t ->
           with_raw address (fun fd ic ->
@@ -1240,7 +1315,7 @@ let test_server_flight_forensics () =
               let resp =
                 request_exn c
                   (Protocol.Run
-                     { opts = degraded_run_opts; algorithm = Flow.Wavemin })
+                     { opts = degraded_run_opts; algorithm = Flow.Wavemin; warm = false })
               in
               Alcotest.(check bool) "degraded run still ok" true
                 resp.Protocol.ok;
@@ -1293,7 +1368,7 @@ let test_flight_recorder_never_influences () =
   (* The byte-identity contract with the recorder specifically: the
      same degraded request executes identically with recording off and
      on, while the enabled run actually fills the ring. *)
-  let req = Protocol.Run { opts = degraded_run_opts; algorithm = Flow.Wavemin } in
+  let req = Protocol.Run { opts = degraded_run_opts; algorithm = Flow.Wavemin; warm = false } in
   let render = function
     | Ok body -> "ok:" ^ Json.to_string body
     | Error (e, _) -> "err:" ^ Json.to_string (Verrors.to_json e)
@@ -1316,20 +1391,21 @@ let test_flight_recorder_never_influences () =
 let identity_requests =
   [ Protocol.Run
       { opts = Protocol.default_opts ~benchmark:"s15850";
-        algorithm = Flow.Initial };
+        algorithm = Flow.Initial; warm = false };
     Protocol.Run
       { opts = Protocol.default_opts ~benchmark:"s15850";
-        algorithm = Flow.Peakmin };
+        algorithm = Flow.Peakmin; warm = false };
     Protocol.Run
       { opts = Protocol.default_opts ~benchmark:"s13207";
-        algorithm = Flow.Initial };
+        algorithm = Flow.Initial; warm = false };
     Protocol.Validate
       { opts = Protocol.default_opts ~benchmark:"s15850"; all = false };
     Protocol.Run
       { opts =
           { (Protocol.default_opts ~benchmark:"s15850") with
             Protocol.kappa = 30.0 };
-        algorithm = Flow.Peakmin } ]
+        algorithm = Flow.Peakmin;
+        warm = false } ]
 
 let render_outcome = function
   | Ok body -> "ok:" ^ Json.to_string body
@@ -1419,7 +1495,11 @@ let () =
           Alcotest.test_case "shard distribution" `Quick
             test_session_shard_distribution;
           Alcotest.test_case "per-shard eviction" `Quick
-            test_session_per_shard_eviction ] );
+            test_session_per_shard_eviction;
+          Alcotest.test_case "warm-start store" `Quick
+            test_session_warm_store;
+          Alcotest.test_case "warm-start run" `Quick
+            test_handlers_warm_run ] );
       ( "sflight",
         [ Alcotest.test_case "lead/join/complete" `Quick
             test_sflight_lead_join_complete;

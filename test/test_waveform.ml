@@ -99,6 +99,30 @@ let test_sample () =
 let test_breakpoints () =
   Alcotest.(check int) "count" 3 (List.length (Pwl.breakpoints tri))
 
+let test_sub_into_inverse_of_add_into () =
+  (* sub_into exactly undoes add_into on the same accumulator — the
+     bit-exactness the annealer's delta evaluation relies on. *)
+  let times = [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let acc = Array.map (fun t -> 0.5 *. t) times in
+  let before = Array.copy acc in
+  Pwl.add_into ~shift:0.5 tri ~times ~into:acc;
+  Alcotest.(check bool) "add changed the accumulator" false (acc = before);
+  Pwl.sub_into ~shift:0.5 tri ~times ~into:acc;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d restored bit-exactly" i)
+        true
+        (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float before.(i))))
+    acc;
+  (* And against fresh samples: acc + add - sub = acc at every slot. *)
+  let acc2 = Array.make (Array.length times) 1.25 in
+  Pwl.add_into tri ~times ~into:acc2;
+  let expected = Pwl.sample tri ~times in
+  Array.iteri
+    (fun i v -> check_float "add samples the pulse" (1.25 +. expected.(i)) v)
+    acc2
+
 (* ------------------------------------------------------------------ *)
 (* Sampling                                                            *)
 
@@ -211,6 +235,8 @@ let () =
           Alcotest.test_case "support" `Quick test_support;
           Alcotest.test_case "sample" `Quick test_sample;
           Alcotest.test_case "breakpoints" `Quick test_breakpoints;
+          Alcotest.test_case "sub_into inverts add_into" `Quick
+            test_sub_into_inverse_of_add_into;
         ] );
       ( "sampling",
         [
